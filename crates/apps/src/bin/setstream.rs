@@ -1,0 +1,266 @@
+//! `setstream` — command-line front end for the library.
+//!
+//! ```text
+//! setstream estimate "<expr>" --trace <file> [--copies N] [--second-level S] [--seed N]
+//! setstream exact    "<expr>" --trace <file>
+//! setstream generate --streams N --union U --expr "<expr>" --ratio R [--seed N]   # trace to stdout
+//! setstream plan     --epsilon E --delta D [--ratio R]
+//! setstream simplify "<expr>"
+//! setstream cells    "<expr>" --streams N
+//! ```
+//!
+//! Traces use the `setstream_stream::trace` line format (`A +1 17`).
+
+use setstream_core::{estimate, EstimatorOptions, Plan, SketchFamily, SketchVector};
+use setstream_expr::SetExpr;
+use setstream_stream::{trace, StreamId, StreamSet, Update};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  setstream estimate \"<expr>\" --trace <file> [--copies N] [--second-level S] [--seed N]
+  setstream exact    \"<expr>\" --trace <file>
+  setstream generate --streams N --union U --expr \"<expr>\" --ratio R [--seed N]
+  setstream plan     --epsilon E --delta D [--ratio R]
+  setstream simplify \"<expr>\"
+  setstream cells    \"<expr>\" --streams N";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing command")?;
+    let rest: Vec<&String> = it.collect();
+    match command.as_str() {
+        "estimate" => cmd_estimate(&rest),
+        "exact" => cmd_exact(&rest),
+        "generate" => cmd_generate(&rest),
+        "plan" => cmd_plan(&rest),
+        "simplify" => cmd_simplify(&rest),
+        "cells" => cmd_cells(&rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Split positional arguments from `--flag value` pairs.
+fn parse_flags<'a>(rest: &[&'a String]) -> Result<(Vec<&'a str>, BTreeMap<&'a str, &'a str>), String> {
+    let mut positional = Vec::new();
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let token = rest[i].as_str();
+        if let Some(name) = token.strip_prefix("--") {
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} expects a value"))?;
+            flags.insert(name, value.as_str());
+            i += 2;
+        } else {
+            positional.push(token);
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag_num<T: std::str::FromStr>(
+    flags: &BTreeMap<&str, &str>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: bad value {v:?}")),
+    }
+}
+
+fn load_trace(flags: &BTreeMap<&str, &str>) -> Result<Vec<Update>, String> {
+    let path = flags.get("trace").ok_or("--trace <file> is required")?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    trace::read_trace(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn parse_expr(text: &str) -> Result<SetExpr, String> {
+    text.parse::<SetExpr>().map_err(|e| e.to_string())
+}
+
+fn cmd_estimate(rest: &[&String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(rest)?;
+    let [expr_text] = positional.as_slice() else {
+        return Err("estimate takes exactly one expression".into());
+    };
+    let expr = parse_expr(expr_text)?;
+    let updates = load_trace(&flags)?;
+    let copies = flag_num(&flags, "copies", 512usize)?;
+    let second = flag_num(&flags, "second-level", 16u32)?;
+    let seed = flag_num(&flags, "seed", 42u64)?;
+
+    let family = SketchFamily::builder()
+        .copies(copies)
+        .second_level(second)
+        .seed(seed)
+        .build();
+    let mut synopses: BTreeMap<StreamId, SketchVector> = BTreeMap::new();
+    for u in &updates {
+        synopses
+            .entry(u.stream)
+            .or_insert_with(|| family.new_vector())
+            .process(u);
+    }
+    // Missing streams are legitimately empty.
+    for id in expr.streams() {
+        synopses.entry(id).or_insert_with(|| family.new_vector());
+    }
+    let pairs: Vec<(StreamId, &SketchVector)> =
+        synopses.iter().map(|(&id, v)| (id, v)).collect();
+    let est = estimate::expression(&expr, &pairs, &EstimatorOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!("expression : {expr}");
+    println!("updates    : {}", updates.len());
+    println!("|E| ≈ {:.1}", est.value);
+    if let Some((lo, hi)) = est.confidence_interval(1.96) {
+        println!("95% CI     : [{lo:.1}, {hi:.1}]");
+    }
+    println!(
+        "witnesses  : {} / {} union singletons (û = {:.1}, r = {})",
+        est.witness_hits, est.valid_observations, est.union_estimate, est.copies
+    );
+    Ok(())
+}
+
+fn cmd_exact(rest: &[&String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(rest)?;
+    let [expr_text] = positional.as_slice() else {
+        return Err("exact takes exactly one expression".into());
+    };
+    let expr = parse_expr(expr_text)?;
+    let updates = load_trace(&flags)?;
+    let mut truth = StreamSet::new();
+    for u in &updates {
+        truth.apply(u).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "{}",
+        setstream_expr::eval::exact_cardinality(&expr, &truth)
+    );
+    Ok(())
+}
+
+fn cmd_generate(rest: &[&String]) -> Result<(), String> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let (positional, flags) = parse_flags(rest)?;
+    if !positional.is_empty() {
+        return Err("generate takes only flags".into());
+    }
+    let n: usize = flag_num(&flags, "streams", 2usize)?;
+    let u: usize = flag_num(&flags, "union", 1usize << 14)?;
+    let ratio: f64 = flag_num(&flags, "ratio", 0.25f64)?;
+    let seed: u64 = flag_num(&flags, "seed", 1u64)?;
+    let expr = parse_expr(flags.get("expr").ok_or("--expr is required")?)?;
+
+    let spec = setstream_expr::venn_spec_for(&expr, n, ratio);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = spec.generate(u, &mut rng);
+    let mut out = std::io::stdout().lock();
+    use std::io::Write;
+    writeln!(out, "# generated: u={} expr={} ratio={}", data.union_size(), expr, ratio)
+        .map_err(|e| e.to_string())?;
+    let mut written = 0usize;
+    for i in 0..n {
+        for e in data.stream_elements(i) {
+            writeln!(
+                out,
+                "{}",
+                trace::format_update(&Update::insert(StreamId(i as u32), e, 1))
+            )
+            .map_err(|e| e.to_string())?;
+            written += 1;
+        }
+    }
+    eprintln!(
+        "wrote {written} updates; exact |{expr}| = {}",
+        data.exact_count(|m| expr.eval_mask(m))
+    );
+    Ok(())
+}
+
+fn cmd_plan(rest: &[&String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(rest)?;
+    if !positional.is_empty() {
+        return Err("plan takes only flags".into());
+    }
+    let epsilon: f64 = flag_num(&flags, "epsilon", 0.1f64)?;
+    let delta: f64 = flag_num(&flags, "delta", 0.05f64)?;
+    let plan = match flags.get("ratio") {
+        Some(r) => {
+            let ratio: f64 = r.parse().map_err(|_| "--ratio: bad value")?;
+            Plan::for_witness(epsilon, delta, ratio)
+        }
+        None => Plan::for_union(epsilon, delta),
+    };
+    println!("epsilon        : {}", plan.epsilon);
+    println!("delta          : {}", plan.delta);
+    println!("sketch copies r: {}", plan.copies);
+    println!("second level s : {}", plan.second_level);
+    println!("independence t : {}", plan.independence);
+    println!(
+        "per-stream     : {:.1} KiB",
+        plan.bytes_per_stream() as f64 / 1024.0
+    );
+    Ok(())
+}
+
+fn cmd_simplify(rest: &[&String]) -> Result<(), String> {
+    let (positional, _) = parse_flags(rest)?;
+    let [expr_text] = positional.as_slice() else {
+        return Err("simplify takes exactly one expression".into());
+    };
+    let expr = parse_expr(expr_text)?;
+    let simple = setstream_expr::simplify(&expr);
+    println!("{simple}");
+    if simple != expr {
+        eprintln!(
+            "({} operator(s) → {})",
+            expr.n_operators(),
+            simple.n_operators()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_cells(rest: &[&String]) -> Result<(), String> {
+    let (positional, flags) = parse_flags(rest)?;
+    let [expr_text] = positional.as_slice() else {
+        return Err("cells takes exactly one expression".into());
+    };
+    let expr = parse_expr(expr_text)?;
+    let n: usize = flag_num(&flags, "streams", setstream_expr::cells::stream_span(&expr).max(1))?;
+    let cells = setstream_expr::expression_cells(&expr, n);
+    println!("expression {expr} over {n} streams covers {} / {} Venn cells:", cells.len(), (1usize << n) - 1);
+    for mask in cells {
+        let members: Vec<String> = (0..n as u32)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| StreamId(i).to_string())
+            .collect();
+        println!("  {mask:0width$b}  {{{}}}", members.join(", "), width = n);
+    }
+    Ok(())
+}

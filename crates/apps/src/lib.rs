@@ -1,0 +1,16 @@
+//! Host crate for the workspace's runnable examples (`examples/` at the
+//! repository root) and cross-crate integration tests (`tests/` at the
+//! root), wired in via explicit `[[example]]`/`[[test]]` targets.
+//!
+//! The library itself only re-exports the public API surface so examples
+//! can use one import line.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use setstream_baselines as baselines;
+pub use setstream_core as core;
+pub use setstream_distributed as distributed;
+pub use setstream_expr as expr;
+pub use setstream_hash as hash;
+pub use setstream_stream as stream;

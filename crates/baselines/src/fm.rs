@@ -1,0 +1,236 @@
+//! The Flajolet–Martin distinct-count estimator — the paper's Figure 2,
+//! implemented verbatim.
+//!
+//! Each of `r` independent instances keeps a `Θ(log M)`-bit vector; an
+//! insertion of `e` sets bit `LSB(h_i(e))`. The position of the *leftmost
+//! zero* (lowest unset bit) in each vector indicates `log |A|`, and the
+//! estimate is `1.2928 · 2^{avg leftmost zero}` (the constant `1/φ` from
+//! Flajolet & Martin's analysis).
+//!
+//! FM bit vectors cannot forget: a deletion would need to know whether
+//! *other* elements still hold the bit. [`FmEstimator::delete`] therefore
+//! returns an error — the restriction 2-level hash sketches remove by
+//! upgrading bits to counters.
+
+use serde::{Deserialize, Serialize};
+use setstream_hash::{lsb64, Hash64, MixHash, SeedSequence};
+use setstream_stream::Element;
+
+/// How many bit positions each FM bit-vector tracks (`Θ(log M)`).
+pub const FM_BITS: u32 = 64;
+
+/// Error returned when an insert-only baseline synopsis sees a deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOnlyViolation;
+
+impl std::fmt::Display for InsertOnlyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FM bit-vector synopses cannot process deletions")
+    }
+}
+
+impl std::error::Error for InsertOnlyViolation {}
+
+/// The multi-instance FM estimator (`EstimateDistinctFM`, Figure 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "FmRepr", into = "FmRepr")]
+pub struct FmEstimator {
+    seed: u64,
+    hashes: Vec<MixHash>,
+    /// One `Θ(log M)`-bit sketch per instance, packed into a word.
+    bit_sketches: Vec<u64>,
+}
+
+impl FmEstimator {
+    /// `r` independent instances with coins derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `r == 0`.
+    pub fn new(r: usize, seed: u64) -> Self {
+        assert!(r >= 1, "need at least one FM instance");
+        let hashes = (0..r as u64)
+            .map(|i| MixHash::from_seed(SeedSequence::seed_at(seed, i)))
+            .collect();
+        FmEstimator {
+            seed,
+            hashes,
+            bit_sketches: vec![0u64; r],
+        }
+    }
+
+    /// Number of instances `r`.
+    pub fn instances(&self) -> usize {
+        self.bit_sketches.len()
+    }
+
+    /// Coin this estimator was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Record one occurrence of `e` (Figure 2, maintenance loop):
+    /// `bitSketchᵢ[LSB(hᵢ(e))] := 1`.
+    pub fn insert(&mut self, e: Element) {
+        for (h, bits) in self.hashes.iter().zip(self.bit_sketches.iter_mut()) {
+            let pos = lsb64(h.hash(e)).min(FM_BITS - 1);
+            *bits |= 1u64 << pos;
+        }
+    }
+
+    /// Deletions are not representable in a bit vector.
+    pub fn delete(&mut self, _e: Element) -> Result<(), InsertOnlyViolation> {
+        Err(InsertOnlyViolation)
+    }
+
+    /// The estimation phase of Figure 2: average the leftmost-zero
+    /// positions and return `1.2928 · 2^{sum/r}`.
+    pub fn estimate(&self) -> f64 {
+        let r = self.bit_sketches.len() as f64;
+        let sum: u32 = self.bit_sketches.iter().map(|&b| leftmost_zero(b)).sum();
+        1.2928 * 2f64.powf(sum as f64 / r)
+    }
+
+    /// Bitwise-OR merge: the estimator of the concatenated streams (FM
+    /// sketches are the classic mergeable distinct-count synopsis).
+    ///
+    /// # Panics
+    /// Panics if the estimators use different coins or instance counts.
+    pub fn merge_from(&mut self, other: &FmEstimator) {
+        assert_eq!(self.seed, other.seed, "FM merge requires shared coins");
+        assert_eq!(
+            self.bit_sketches.len(),
+            other.bit_sketches.len(),
+            "FM merge requires equal instance counts"
+        );
+        for (mine, theirs) in self.bit_sketches.iter_mut().zip(&other.bit_sketches) {
+            *mine |= theirs;
+        }
+    }
+
+    /// Raw bit vectors (diagnostics / tests).
+    pub fn bit_sketches(&self) -> &[u64] {
+        &self.bit_sketches
+    }
+}
+
+/// Index of the lowest zero bit (Figure 2's `leftmostZero`, with its
+/// "leftmost" meaning lowest-index). A full word reports `FM_BITS`.
+fn leftmost_zero(bits: u64) -> u32 {
+    (!bits).trailing_zeros().min(FM_BITS)
+}
+
+#[derive(Serialize, Deserialize)]
+struct FmRepr {
+    seed: u64,
+    bit_sketches: Vec<u64>,
+}
+
+impl From<FmRepr> for FmEstimator {
+    fn from(r: FmRepr) -> Self {
+        let mut e = FmEstimator::new(r.bit_sketches.len().max(1), r.seed);
+        e.bit_sketches = r.bit_sketches;
+        e
+    }
+}
+
+impl From<FmEstimator> for FmRepr {
+    fn from(e: FmEstimator) -> Self {
+        FmRepr {
+            seed: e.seed,
+            bit_sketches: e.bit_sketches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leftmost_zero_cases() {
+        assert_eq!(leftmost_zero(0), 0);
+        assert_eq!(leftmost_zero(0b1), 1);
+        assert_eq!(leftmost_zero(0b1011), 2);
+        assert_eq!(leftmost_zero(u64::MAX), FM_BITS);
+    }
+
+    #[test]
+    fn empty_estimator_reports_near_one() {
+        let fm = FmEstimator::new(32, 7);
+        // leftmost zero of empty vectors is 0 → estimate 1.2928.
+        assert!((fm.estimate() - 1.2928).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_track_cardinality() {
+        for &n in &[1_000u64, 10_000, 100_000] {
+            let mut fm = FmEstimator::new(64, 21);
+            for e in 0..n {
+                fm.insert(e);
+            }
+            let est = fm.estimate();
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(rel < 0.35, "n={n}, estimate={est}, rel={rel}");
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut once = FmEstimator::new(32, 3);
+        let mut thrice = FmEstimator::new(32, 3);
+        for e in 0..5_000u64 {
+            once.insert(e);
+            for _ in 0..3 {
+                thrice.insert(e);
+            }
+        }
+        assert_eq!(once.bit_sketches(), thrice.bit_sketches());
+        assert_eq!(once.estimate(), thrice.estimate());
+    }
+
+    #[test]
+    fn deletions_are_refused() {
+        let mut fm = FmEstimator::new(4, 1);
+        fm.insert(10);
+        assert_eq!(fm.delete(10), Err(InsertOnlyViolation));
+    }
+
+    #[test]
+    fn merge_matches_union_stream() {
+        let mut a = FmEstimator::new(16, 9);
+        let mut b = FmEstimator::new(16, 9);
+        let mut ab = FmEstimator::new(16, 9);
+        for e in 0..4_000u64 {
+            a.insert(e);
+            ab.insert(e);
+        }
+        for e in 2_000..8_000u64 {
+            b.insert(e);
+            ab.insert(e);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.bit_sketches(), ab.bit_sketches());
+    }
+
+    #[test]
+    #[should_panic(expected = "shared coins")]
+    fn merge_rejects_different_seeds() {
+        let mut a = FmEstimator::new(4, 1);
+        let b = FmEstimator::new(4, 2);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_input() {
+        let mut fm = FmEstimator::new(64, 5);
+        let mut last = fm.estimate();
+        for chunk in 0..5u64 {
+            for e in chunk * 20_000..(chunk + 1) * 20_000 {
+                fm.insert(e);
+            }
+            let now = fm.estimate();
+            assert!(now >= last, "estimate decreased: {last} -> {now}");
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! Min-wise independent permutations (MIPs) — the only pre-2003 technique
+//! for non-union set operators, and the baseline whose deletion behavior
+//! motivates the paper.
+//!
+//! Two classic forms are implemented:
+//!
+//! * [`MinwiseSignature`] — `k` independent min-hashes; the fraction of
+//!   agreeing coordinates estimates the Jaccard coefficient
+//!   `|A ∩ B| / |A ∪ B|` (Broder et al.).
+//! * [`BottomKSketch`] — the `k` smallest hash values of one function (KMV
+//!   / bottom-k). It is a uniform sample of the distinct elements: it
+//!   yields distinct-count estimates (`(k−1)/v_k`), merges to the sketch
+//!   of the union, and — because membership of a sampled element in each
+//!   input stream is checkable against that stream's own bottom-k —
+//!   extends to arbitrary set expressions (reference \[7\] in the paper).
+//!
+//! **Deletions deplete both synopses.** When a deletion removes a sampled
+//! element, the evicted values that *should* replace it are gone; the
+//! sketch cannot be repaired without rescanning the stream (§1's argument
+//! against MIPs for update streams). The implementation performs the
+//! removal, tracks a [`BottomKSketch::depleted`] count, and lets the
+//! `ablation_deletions` experiment measure the resulting error growth —
+//! in contrast to 2-level hash sketches, which are exactly invariant.
+
+use serde::{Deserialize, Serialize};
+use setstream_expr::SetExpr;
+use setstream_hash::{Hash64, MixHash, SeedSequence};
+use setstream_stream::{Element, StreamId};
+use std::collections::BTreeMap;
+
+/// `k` independent min-hash coordinates (a min-wise signature).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "SignatureRepr", into = "SignatureRepr")]
+pub struct MinwiseSignature {
+    seed: u64,
+    hashes: Vec<MixHash>,
+    /// Per-coordinate minimum hash value (`u64::MAX` when empty).
+    mins: Vec<u64>,
+}
+
+impl MinwiseSignature {
+    /// Signature with `k` coordinates, coins from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "need at least one min-hash coordinate");
+        let hashes = (0..k as u64)
+            .map(|i| MixHash::from_seed(SeedSequence::seed_at(seed, i)))
+            .collect();
+        MinwiseSignature {
+            seed,
+            hashes,
+            mins: vec![u64::MAX; k],
+        }
+    }
+
+    /// Number of coordinates `k`.
+    pub fn k(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Record one occurrence of `e`.
+    pub fn insert(&mut self, e: Element) {
+        for (h, m) in self.hashes.iter().zip(self.mins.iter_mut()) {
+            let v = h.hash(e);
+            if v < *m {
+                *m = v;
+            }
+        }
+    }
+
+    /// Estimated Jaccard coefficient `|A∩B| / |A∪B|`: the fraction of
+    /// coordinates where the two signatures agree.
+    ///
+    /// # Panics
+    /// Panics if the signatures use different coins or `k`.
+    pub fn jaccard(&self, other: &MinwiseSignature) -> f64 {
+        assert_eq!(self.seed, other.seed, "signatures must share coins");
+        assert_eq!(self.mins.len(), other.mins.len());
+        let agree = self
+            .mins
+            .iter()
+            .zip(&other.mins)
+            .filter(|&(a, b)| a == b && *a != u64::MAX)
+            .count();
+        agree as f64 / self.mins.len() as f64
+    }
+
+    /// Min-merge: the signature of the union.
+    pub fn merge_from(&mut self, other: &MinwiseSignature) {
+        assert_eq!(self.seed, other.seed, "signatures must share coins");
+        for (m, o) in self.mins.iter_mut().zip(&other.mins) {
+            *m = (*m).min(*o);
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct SignatureRepr {
+    seed: u64,
+    mins: Vec<u64>,
+}
+
+impl From<SignatureRepr> for MinwiseSignature {
+    fn from(r: SignatureRepr) -> Self {
+        let mut s = MinwiseSignature::new(r.mins.len().max(1), r.seed);
+        s.mins = r.mins;
+        s
+    }
+}
+
+impl From<MinwiseSignature> for SignatureRepr {
+    fn from(s: MinwiseSignature) -> Self {
+        SignatureRepr {
+            seed: s.seed,
+            mins: s.mins,
+        }
+    }
+}
+
+/// Bottom-k (KMV) sketch: the `k` distinct elements with the smallest hash
+/// values, with their net multiplicities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "BottomKRepr", into = "BottomKRepr")]
+pub struct BottomKSketch {
+    seed: u64,
+    k: usize,
+    hash: MixHash,
+    /// hash value → (element, net multiplicity); at most `k` entries.
+    sample: BTreeMap<u64, (Element, u64)>,
+    /// Sample members lost to deletions that cannot be refilled without a
+    /// rescan — the synopsis is biased once this is nonzero.
+    depleted: usize,
+}
+
+impl BottomKSketch {
+    /// Sketch keeping the `k` minimum hash values, coins from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "need k >= 1");
+        BottomKSketch {
+            seed,
+            k,
+            hash: MixHash::from_seed(seed),
+            sample: BTreeMap::new(),
+            depleted: 0,
+        }
+    }
+
+    /// The sample-size bound `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Coins this sketch was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sample members lost to deletions (the depletion the paper warns
+    /// about); nonzero means estimates are biased low.
+    pub fn depleted(&self) -> usize {
+        self.depleted
+    }
+
+    /// Record one occurrence of `e`.
+    pub fn insert(&mut self, e: Element) {
+        let v = self.hash.hash(e);
+        if let Some(entry) = self.sample.get_mut(&v) {
+            entry.1 += 1;
+            return;
+        }
+        if self.sample.len() < self.k {
+            self.sample.insert(v, (e, 1));
+        } else {
+            let max_key = *self.sample.keys().next_back().expect("non-empty");
+            if v < max_key {
+                self.sample.insert(v, (e, 1));
+                self.sample.remove(&max_key);
+            }
+        }
+    }
+
+    /// Record a deletion of `e`.
+    ///
+    /// If `e` is in the sample, its multiplicity drops; at zero the entry
+    /// is removed and **cannot be refilled** — `depleted` grows and the
+    /// sample is now smaller than it should be. Deletions of unsampled
+    /// elements are unobservable and ignored.
+    pub fn delete(&mut self, e: Element) {
+        let v = self.hash.hash(e);
+        if let Some(entry) = self.sample.get_mut(&v) {
+            entry.1 = entry.1.saturating_sub(1);
+            if entry.1 == 0 {
+                self.sample.remove(&v);
+                self.depleted += 1;
+            }
+        }
+    }
+
+    /// Distinct-count estimate: exact while the sample is partial,
+    /// `(k−1) / v_k` (normalized) once full.
+    pub fn distinct_estimate(&self) -> f64 {
+        if self.sample.len() < self.k {
+            return self.sample.len() as f64;
+        }
+        let v_k = *self.sample.keys().next_back().expect("non-empty") as f64;
+        let normalized = v_k / (u64::MAX as f64);
+        if normalized <= 0.0 {
+            return self.sample.len() as f64;
+        }
+        (self.k as f64 - 1.0) / normalized
+    }
+
+    /// Merge another sketch of (possibly) another stream: the bottom-k of
+    /// the union, with multiplicities added on common elements.
+    ///
+    /// # Panics
+    /// Panics if the sketches use different coins or `k`.
+    pub fn merged(&self, other: &BottomKSketch) -> BottomKSketch {
+        assert_eq!(self.seed, other.seed, "bottom-k merge requires shared coins");
+        assert_eq!(self.k, other.k, "bottom-k merge requires equal k");
+        let mut sample = self.sample.clone();
+        for (&v, &(e, c)) in &other.sample {
+            sample
+                .entry(v)
+                .and_modify(|slot| slot.1 += c)
+                .or_insert((e, c));
+        }
+        while sample.len() > self.k {
+            let max_key = *sample.keys().next_back().expect("non-empty");
+            sample.remove(&max_key);
+        }
+        BottomKSketch {
+            seed: self.seed,
+            k: self.k,
+            hash: self.hash,
+            sample,
+            depleted: self.depleted + other.depleted,
+        }
+    }
+
+    /// `true` if the element with hash value `v` is present in this
+    /// stream's sample.
+    fn contains_hash(&self, v: u64) -> bool {
+        self.sample.contains_key(&v)
+    }
+
+    /// The sampled `(hash, element)` pairs in increasing hash order.
+    pub fn sample(&self) -> impl Iterator<Item = (u64, Element)> + '_ {
+        self.sample.iter().map(|(&v, &(e, _))| (v, e))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct BottomKRepr {
+    seed: u64,
+    k: usize,
+    sample: Vec<(u64, Element, u64)>,
+    depleted: usize,
+}
+
+impl From<BottomKRepr> for BottomKSketch {
+    fn from(r: BottomKRepr) -> Self {
+        let mut s = BottomKSketch::new(r.k.max(1), r.seed);
+        s.sample = r.sample.into_iter().map(|(v, e, c)| (v, (e, c))).collect();
+        s.depleted = r.depleted;
+        s
+    }
+}
+
+impl From<BottomKSketch> for BottomKRepr {
+    fn from(s: BottomKSketch) -> Self {
+        BottomKRepr {
+            seed: s.seed,
+            k: s.k,
+            sample: s.sample.into_iter().map(|(v, (e, c))| (v, e, c)).collect(),
+            depleted: s.depleted,
+        }
+    }
+}
+
+/// Estimate `|E|` from per-stream bottom-k sketches (the \[7\]-style
+/// extension of MIPs to set expressions).
+///
+/// Merges the participating sketches into a bottom-k sample of the union;
+/// each sampled element's membership in stream `Aᵢ` is decided by probing
+/// `Aᵢ`'s own sample (valid because the union's k-th minimum is no larger
+/// than any stream's). The fraction satisfying `B(E)` times the union
+/// estimate gives `|Ê|`.
+///
+/// # Errors
+/// Returns the missing stream id if `expr` references a stream without a
+/// sketch.
+pub fn estimate_expression(
+    expr: &SetExpr,
+    sketches: &[(StreamId, &BottomKSketch)],
+) -> Result<f64, StreamId> {
+    let ids = expr.streams();
+    let mut participating: Vec<(StreamId, &BottomKSketch)> = Vec::with_capacity(ids.len());
+    for id in ids {
+        let s = sketches
+            .iter()
+            .find(|&&(sid, _)| sid == id)
+            .map(|&(_, s)| s)
+            .ok_or(id)?;
+        participating.push((id, s));
+    }
+    let Some((_, first)) = participating.first() else {
+        return Ok(0.0);
+    };
+    let mut union_sketch = (*first).clone();
+    for &(_, s) in &participating[1..] {
+        union_sketch = union_sketch.merged(s);
+    }
+    let union_estimate = union_sketch.distinct_estimate();
+    if union_estimate == 0.0 {
+        return Ok(0.0);
+    }
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (v, _e) in union_sketch.sample() {
+        total += 1;
+        let satisfied = expr.eval_bool(&|sid| {
+            participating
+                .iter()
+                .find(|&&(id, _)| id == sid)
+                .is_some_and(|&(_, s)| s.contains_hash(v))
+        });
+        if satisfied {
+            hits += 1;
+        }
+    }
+    if total == 0 {
+        return Ok(0.0);
+    }
+    Ok(hits as f64 / total as f64 * union_estimate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_tracks_truth() {
+        let mut a = MinwiseSignature::new(512, 3);
+        let mut b = MinwiseSignature::new(512, 3);
+        // |A∩B| = 2000, |A∪B| = 6000 → J = 1/3.
+        for e in 0..4000u64 {
+            a.insert(e);
+        }
+        for e in 2000..6000u64 {
+            b.insert(e);
+        }
+        let j = a.jaccard(&b);
+        assert!((j - 1.0 / 3.0).abs() < 0.07, "jaccard {j}");
+    }
+
+    #[test]
+    fn jaccard_of_identical_sets_is_one() {
+        let mut a = MinwiseSignature::new(64, 1);
+        let mut b = MinwiseSignature::new(64, 1);
+        for e in 0..100u64 {
+            a.insert(e);
+            b.insert(e);
+        }
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn jaccard_of_empty_signatures_is_zero() {
+        let a = MinwiseSignature::new(16, 1);
+        let b = MinwiseSignature::new(16, 1);
+        assert_eq!(a.jaccard(&b), 0.0);
+    }
+
+    #[test]
+    fn signature_merge_is_union() {
+        let mut a = MinwiseSignature::new(128, 5);
+        let mut b = MinwiseSignature::new(128, 5);
+        let mut ab = MinwiseSignature::new(128, 5);
+        for e in 0..1000u64 {
+            a.insert(e);
+            ab.insert(e);
+        }
+        for e in 500..2000u64 {
+            b.insert(e);
+            ab.insert(e);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.jaccard(&ab), 1.0);
+    }
+
+    #[test]
+    fn bottom_k_distinct_estimate() {
+        for &n in &[100u64, 10_000, 100_000] {
+            let mut s = BottomKSketch::new(256, 7);
+            for e in 0..n {
+                s.insert(e);
+            }
+            let est = s.distinct_estimate();
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(rel < 0.25, "n={n} est={est}");
+        }
+    }
+
+    #[test]
+    fn bottom_k_exact_below_k() {
+        let mut s = BottomKSketch::new(100, 2);
+        for e in 0..50u64 {
+            s.insert(e);
+            s.insert(e); // duplicates counted once
+        }
+        assert_eq!(s.distinct_estimate(), 50.0);
+    }
+
+    #[test]
+    fn deletion_of_sampled_element_depletes() {
+        let mut s = BottomKSketch::new(10, 4);
+        for e in 0..10u64 {
+            s.insert(e);
+        }
+        assert_eq!(s.depleted(), 0);
+        // Every element is in the sample (len < k budget exactly 10).
+        s.delete(3);
+        assert_eq!(s.depleted(), 1);
+        assert_eq!(s.sample().count(), 9);
+        // Deleting one copy of a doubly-inserted element does not deplete.
+        let mut t = BottomKSketch::new(10, 4);
+        t.insert(1);
+        t.insert(1);
+        t.delete(1);
+        assert_eq!(t.depleted(), 0);
+        assert_eq!(t.sample().count(), 1);
+    }
+
+    #[test]
+    fn depletion_biases_estimates_low() {
+        // Insert n elements, then delete a large fraction that the sample
+        // saw; the distinct estimate of the survivors is biased low
+        // relative to a fresh sketch of the survivors.
+        let n = 50_000u64;
+        let mut churned = BottomKSketch::new(256, 9);
+        for e in 0..n {
+            churned.insert(e);
+        }
+        // Delete even elements (half the stream).
+        for e in (0..n).step_by(2) {
+            churned.delete(e);
+        }
+        let mut fresh = BottomKSketch::new(256, 9);
+        for e in (1..n).step_by(2) {
+            fresh.insert(e);
+        }
+        let truth = (n / 2) as f64;
+        let fresh_rel = (fresh.distinct_estimate() - truth).abs() / truth;
+        assert!(fresh_rel < 0.25, "fresh rel {fresh_rel}");
+        assert!(churned.depleted() > 0);
+        // The churned sketch retains its old k-th minimum but has lost
+        // sample mass — its sample is ~half empty.
+        assert!(churned.sample().count() < 200);
+    }
+
+    #[test]
+    fn expression_estimation_over_bottom_k() {
+        let mut a = BottomKSketch::new(512, 11);
+        let mut b = BottomKSketch::new(512, 11);
+        let mut c = BottomKSketch::new(512, 11);
+        // A = 0..6000, B = 2000..8000, C = 1000..5000;
+        // (A−B) ∩ C = 1000..2000 → 1000.
+        for e in 0..6000u64 {
+            a.insert(e);
+        }
+        for e in 2000..8000u64 {
+            b.insert(e);
+        }
+        for e in 1000..5000u64 {
+            c.insert(e);
+        }
+        let expr: SetExpr = "(A - B) & C".parse().unwrap();
+        let est = estimate_expression(
+            &expr,
+            &[
+                (StreamId(0), &a),
+                (StreamId(1), &b),
+                (StreamId(2), &c),
+            ],
+        )
+        .unwrap();
+        let rel = (est - 1000.0).abs() / 1000.0;
+        assert!(rel < 0.35, "estimate {est}");
+    }
+
+    #[test]
+    fn expression_missing_stream_errors() {
+        let a = BottomKSketch::new(8, 0);
+        let expr: SetExpr = "A & B".parse().unwrap();
+        assert_eq!(
+            estimate_expression(&expr, &[(StreamId(0), &a)]),
+            Err(StreamId(1))
+        );
+    }
+
+    #[test]
+    fn merge_respects_bottom_k_invariant() {
+        let mut a = BottomKSketch::new(64, 13);
+        let mut b = BottomKSketch::new(64, 13);
+        for e in 0..500u64 {
+            a.insert(e);
+        }
+        for e in 250..750u64 {
+            b.insert(e);
+        }
+        let m = a.merged(&b);
+        assert_eq!(m.sample().count(), 64);
+        // Merged sample is exactly the 64 smallest hashes of the union.
+        let mut all: Vec<u64> = (0..750u64).map(|e| MixHash::from_seed(13).hash(e)).collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = all.into_iter().take(64).collect();
+        let got: Vec<u64> = m.sample().map(|(v, _)| v).collect();
+        assert_eq!(got, expect);
+    }
+}

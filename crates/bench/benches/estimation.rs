@@ -1,0 +1,65 @@
+//! Query-time cost: estimating union / difference / intersection /
+//! general expressions from maintained synopses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setstream_core::{estimate, EstimatorOptions, SketchFamily, SketchVector, WitnessMode};
+use setstream_expr::SetExpr;
+use setstream_stream::StreamId;
+
+fn build(r: usize) -> (SketchVector, SketchVector, SketchVector) {
+    let fam = SketchFamily::builder().copies(r).second_level(32).seed(9).build();
+    let mut a = fam.new_vector();
+    let mut b = fam.new_vector();
+    let mut c = fam.new_vector();
+    for e in 0..8000u64 {
+        a.insert(e);
+    }
+    for e in 4000..12_000u64 {
+        b.insert(e);
+    }
+    for e in 2000..10_000u64 {
+        c.insert(e);
+    }
+    (a, b, c)
+}
+
+fn estimation(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("estimation");
+    group.sample_size(20);
+    for r in [64usize, 256] {
+        let (a, b, c) = build(r);
+        let opts = EstimatorOptions::default();
+        group.bench_with_input(BenchmarkId::new("union", r), &r, |bench, _| {
+            bench.iter(|| estimate::union(&[&a, &b], &opts).unwrap().value)
+        });
+        group.bench_with_input(BenchmarkId::new("difference", r), &r, |bench, _| {
+            bench.iter(|| estimate::difference(&a, &b, &opts).unwrap().value)
+        });
+        group.bench_with_input(BenchmarkId::new("intersection", r), &r, |bench, _| {
+            bench.iter(|| estimate::intersection(&a, &b, &opts).unwrap().value)
+        });
+        let expr: SetExpr = "(A - B) & C".parse().unwrap();
+        let pairs = [
+            (StreamId(0), &a),
+            (StreamId(1), &b),
+            (StreamId(2), &c),
+        ];
+        group.bench_with_input(BenchmarkId::new("expression3", r), &r, |bench, _| {
+            bench.iter(|| estimate::expression(&expr, &pairs, &opts).unwrap().value)
+        });
+        // Witness-mode cost comparison at the same r.
+        let single = EstimatorOptions {
+            witness_mode: WitnessMode::SingleBucket,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("intersection_single_bucket", r),
+            &r,
+            |bench, _| bench.iter(|| estimate::intersection(&a, &b, &single).map(|e| e.value)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, estimation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Raw hash-kernel throughput for every first-level family — the inner
+//! loop of all sketch maintenance.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setstream_hash::{Hash64, KWiseHash, MixHash, PairwiseHash, TabulationHash};
+
+fn hash_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash64");
+    group.throughput(Throughput::Elements(1));
+
+    let pairwise = PairwiseHash::from_seed(1);
+    group.bench_function("pairwise", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            pairwise.hash(black_box(x))
+        })
+    });
+
+    for t in [4usize, 8, 16] {
+        let h = KWiseHash::from_seed(t, 1);
+        group.bench_with_input(BenchmarkId::new("kwise", t), &t, |b, _| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                h.hash(black_box(x))
+            })
+        });
+    }
+
+    let tab = TabulationHash::from_seed(1);
+    group.bench_function("tabulation", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            tab.hash(black_box(x))
+        })
+    });
+
+    let mix = MixHash::from_seed(1);
+    group.bench_function("mixer", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            mix.hash(black_box(x))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, hash_families);
+criterion_main!(benches);

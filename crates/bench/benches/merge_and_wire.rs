@@ -1,0 +1,74 @@
+//! Distributed-model costs: sketch merging (the coordinator's hot path)
+//! and wire encode/decode of synopsis frames.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setstream_core::{SketchConfig, SketchFamily, TwoLevelSketch};
+use setstream_distributed::wire::{decode_frame, encode_frame, FrameKind};
+use setstream_distributed::{codec, site::SynopsisMessage};
+use setstream_stream::StreamId;
+
+fn merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    for s in [8u32, 32] {
+        let config = SketchConfig {
+            second_level: s,
+            ..Default::default()
+        };
+        let mut a = TwoLevelSketch::new(config, 4);
+        let mut b = TwoLevelSketch::new(config, 4);
+        for e in 0..5000u64 {
+            a.insert(e);
+            b.insert(e + 2500);
+        }
+        group.throughput(Throughput::Bytes(config.counter_bytes() as u64));
+        group.bench_with_input(BenchmarkId::new("single_sketch", s), &s, |bench, _| {
+            bench.iter(|| a.merged(&b).unwrap().total_count())
+        });
+    }
+    // Vector-level merge (64 copies).
+    let fam = SketchFamily::builder().copies(64).second_level(16).seed(2).build();
+    let mut va = fam.new_vector();
+    let mut vb = fam.new_vector();
+    for e in 0..2000u64 {
+        va.insert(e);
+        vb.insert(e + 1000);
+    }
+    group.bench_function("vector_r64", |bench| {
+        bench.iter_batched(
+            || va.clone(),
+            |mut v| v.merge_from(&vb).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let fam = SketchFamily::builder().copies(16).second_level(16).seed(3).build();
+    let mut v = fam.new_vector();
+    for e in 0..2000u64 {
+        v.insert(e);
+    }
+    let msg = SynopsisMessage {
+        site: 1,
+        stream: StreamId(0),
+        vector: v,
+    };
+    let frame = encode_frame(FrameKind::Synopsis, &msg).unwrap();
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode_synopsis_frame", |b| {
+        b.iter(|| encode_frame(FrameKind::Synopsis, &msg).unwrap().len())
+    });
+    group.bench_function("decode_and_verify_frame", |b| {
+        b.iter(|| {
+            let (_, payload) = decode_frame(frame.clone()).unwrap();
+            let back: SynopsisMessage = codec::from_bytes(&payload).unwrap();
+            back.site
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, merge, wire);
+criterion_main!(benches);

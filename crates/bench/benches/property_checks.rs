@@ -1,0 +1,51 @@
+//! Cost of the §3.2 elementary property checks — the per-bucket work of
+//! every witness-based estimator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setstream_core::sketch::{
+    identical_singleton_bucket, singleton_bucket, singleton_union_bucket,
+    singleton_union_bucket_many,
+};
+use setstream_core::{SketchConfig, TwoLevelSketch};
+
+fn build(s: u32, n: u64) -> TwoLevelSketch {
+    let mut sk = TwoLevelSketch::new(
+        SketchConfig {
+            second_level: s,
+            ..Default::default()
+        },
+        7,
+    );
+    for e in 0..n {
+        sk.insert(e);
+    }
+    sk
+}
+
+fn checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("property_checks");
+    for s in [8u32, 32] {
+        let a = build(s, 10_000);
+        let b = build(s, 10_000);
+        // A mid-depth level: sparsely occupied, the common case scanned by
+        // the all-levels witness mode.
+        let level = 16u32;
+        group.bench_with_input(BenchmarkId::new("singleton", s), &s, |bench, _| {
+            bench.iter(|| singleton_bucket(&a, level))
+        });
+        group.bench_with_input(BenchmarkId::new("identical_singleton", s), &s, |bench, _| {
+            bench.iter(|| identical_singleton_bucket(&a, &b, level))
+        });
+        group.bench_with_input(BenchmarkId::new("singleton_union", s), &s, |bench, _| {
+            bench.iter(|| singleton_union_bucket(&a, &b, level))
+        });
+        let many = [&a, &b, &a];
+        group.bench_with_input(BenchmarkId::new("singleton_union_3way", s), &s, |bench, _| {
+            bench.iter(|| singleton_union_bucket_many(&many, level))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, checks);
+criterion_main!(benches);

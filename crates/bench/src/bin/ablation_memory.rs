@@ -1,0 +1,109 @@
+//! **Ablation 7 — memory-normalized bit vs counter sketches.** §5.1
+//! accounts synopsis size with one *bit* per cell for insert-only
+//! streams; counters (needed for deletions) cost 64× more. At a fixed
+//! memory budget, the insert-only bit variant affords 64× more sketch
+//! copies — this ablation measures how much accuracy that buys, i.e. the
+//! *price of deletion support*.
+//!
+//! ```sh
+//! cargo run --release -p setstream-bench --bin ablation_memory
+//! ```
+
+use setstream_bench::cli::ExperimentArgs;
+use setstream_bench::metrics::{paper_trimmed_mean, relative_error};
+use setstream_bench::table::ResultsTable;
+use setstream_bench::workload::trial_seed;
+use setstream_core::estimate::{bit_intersection, BitSketchVector};
+use setstream_core::{estimate, EstimatorOptions, SketchFamily};
+use setstream_hash::HashFamily;
+use setstream_stream::gen::VennSpec;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let u = args.u_target() / 8; // bits get r up to 1024 — keep builds quick
+    let spec = VennSpec::binary_intersection(0.125);
+    // Memory budgets expressed as counter copies; bits get 64× the count,
+    // capped at 1024 to keep runtime sane (the cap only weakens the bit
+    // side, so the conclusion is conservative).
+    let budgets = [2usize, 4, 8, 16];
+    let s = 16u32;
+
+    let mut rows = Vec::new();
+    for &counter_r in &budgets {
+        let bit_r = (counter_r * 64).min(1024);
+        let counter_family = SketchFamily::builder()
+            .copies(counter_r)
+            .second_level(s)
+            .first_family(HashFamily::KWise(8))
+            .seed(args.seed)
+            .build();
+        let bit_family = SketchFamily::builder()
+            .copies(bit_r)
+            .second_level(s)
+            .first_family(HashFamily::KWise(8))
+            .seed(args.seed)
+            .build();
+
+        let mut counter_errs = Vec::new();
+        let mut bit_errs = Vec::new();
+        for trial in 0..args.runs {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(trial_seed(args.seed, trial));
+            let data = spec.generate(u, &mut rng);
+            let exact = data.exact_count(|m| m == 0b11) as f64;
+
+            let mut ca = counter_family.new_vector();
+            let mut cb = counter_family.new_vector();
+            let mut ba = BitSketchVector::new(bit_family);
+            let mut bb = BitSketchVector::new(bit_family);
+            for e in data.stream_elements(0) {
+                ca.insert(e);
+                ba.insert(e);
+            }
+            for e in data.stream_elements(1) {
+                cb.insert(e);
+                bb.insert(e);
+            }
+            let opts = EstimatorOptions::default();
+            let c_est = estimate::intersection(&ca, &cb, &opts)
+                .map(|e| e.value)
+                .unwrap_or(0.0);
+            let b_est = bit_intersection(&ba, &bb, &opts)
+                .map(|e| e.value)
+                .unwrap_or(0.0);
+            counter_errs.push(relative_error(c_est, exact));
+            bit_errs.push(relative_error(b_est, exact));
+            eprint!(
+                "\rablation_memory: budget {counter_r} trial {}/{}   ",
+                trial + 1,
+                args.runs
+            );
+        }
+        let kib = counter_family.vector_bytes() as f64 / 1024.0;
+        rows.push(vec![
+            kib,
+            paper_trimmed_mean(&counter_errs) * 100.0,
+            bit_r as f64,
+            paper_trimmed_mean(&bit_errs) * 100.0,
+        ]);
+    }
+    eprintln!();
+
+    ResultsTable {
+        title: format!(
+            "Ablation: counters (deletions) vs bits (insert-only) at equal memory \
+             (u ≈ {u}, |A∩B| = u/8, s = {s}, {} runs)",
+            args.runs
+        ),
+        x_label: "counter r".into(),
+        series: vec![
+            "KiB/stream".into(),
+            "counter err %".into(),
+            "bit r".into(),
+            "bit err %".into(),
+        ],
+        xs: budgets.iter().map(|r| r.to_string()).collect(),
+        rows,
+    }
+    .print(args.csv);
+}

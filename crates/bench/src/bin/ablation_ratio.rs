@@ -1,0 +1,65 @@
+//! **Ablation 5 — the hardness ratio `|∪| / |E|`.** Theorems 3.4/3.5 put
+//! the ratio in the numerator of the space bound, and Theorem 3.9 proves
+//! any algorithm must pay it. At fixed space, error should grow roughly
+//! like `√(|∪|/|E|)` (the witness average sees `r′·|E|/|∪|` hits).
+//!
+//! ```sh
+//! cargo run --release -p setstream-bench --bin ablation_ratio
+//! ```
+
+use setstream_bench::cli::ExperimentArgs;
+use setstream_bench::metrics::{paper_trimmed_mean, relative_error};
+use setstream_bench::table::ResultsTable;
+use setstream_bench::workload::{build_trial, figure_family, trial_seed};
+use setstream_core::{estimate, EstimatorOptions};
+use setstream_stream::gen::VennSpec;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let u = args.u_target() / 4;
+    let r = 256;
+    let family = figure_family(r, args.seed);
+    let ratios: [u32; 6] = [2, 8, 32, 128, 512, 1024];
+
+    let mut rows = Vec::new();
+    for &ratio in &ratios {
+        let fraction = 1.0 / ratio as f64;
+        let spec = VennSpec::binary_difference(fraction);
+        let mut errs = Vec::new();
+        let mut hits = Vec::new();
+        for trial in 0..args.runs {
+            let t = build_trial(&spec, u, &family, trial_seed(args.seed ^ ratio as u64, trial));
+            let exact = t.exact(|m| m == 0b01) as f64;
+            let est = estimate::difference(
+                &t.synopses[0],
+                &t.synopses[1],
+                &EstimatorOptions::default(),
+            )
+            .unwrap();
+            errs.push(relative_error(est.value, exact));
+            hits.push(est.witness_hits as f64);
+            eprint!(
+                "\rablation_ratio: ratio {ratio} trial {}/{}   ",
+                trial + 1,
+                args.runs
+            );
+        }
+        rows.push(vec![
+            paper_trimmed_mean(&errs) * 100.0,
+            paper_trimmed_mean(&hits),
+        ]);
+    }
+    eprintln!();
+
+    ResultsTable {
+        title: format!(
+            "Ablation: hardness ratio |∪|/|A−B| at fixed space (u ≈ {u}, r = {r}, {} runs)",
+            args.runs
+        ),
+        x_label: "|∪|/|E|".into(),
+        series: vec!["A−B err %".into(), "witness hits".into()],
+        xs: ratios.iter().map(|x| x.to_string()).collect(),
+        rows,
+    }
+    .print(args.csv);
+}

@@ -1,0 +1,69 @@
+//! **Ablation 3 — second-level width `s`.** Lemma 3.1: each property
+//! check errs with probability `2^{-s}`. Small `s` makes multi-element
+//! buckets masquerade as singletons, corrupting witness counts; the
+//! paper's experiments fix `s = 32`. This sweep shows where the curve
+//! flattens — i.e. how much of the paper's 32 is safety margin.
+//!
+//! ```sh
+//! cargo run --release -p setstream-bench --bin ablation_secondlevel
+//! ```
+
+use setstream_bench::cli::ExperimentArgs;
+use setstream_bench::metrics::{paper_trimmed_mean, relative_error};
+use setstream_bench::table::ResultsTable;
+use setstream_bench::workload::{build_trial, trial_seed};
+use setstream_core::{estimate, EstimatorOptions, SketchFamily};
+use setstream_stream::gen::VennSpec;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let u = args.u_target() / 4;
+    let r = 256;
+    let spec = VennSpec::binary_intersection(0.0625); // |E| = u/16
+    let widths = [1u32, 2, 4, 8, 16, 32];
+
+    let mut rows = Vec::new();
+    for &s in &widths {
+        let family = SketchFamily::builder()
+            .copies(r)
+            .second_level(s)
+            .seed(args.seed)
+            .build();
+        let mut errs = Vec::new();
+        let mut valid_counts = Vec::new();
+        for trial in 0..args.runs {
+            let t = build_trial(&spec, u, &family, trial_seed(args.seed ^ s as u64, trial));
+            let exact = t.exact(|m| m == 0b11) as f64;
+            let est = estimate::intersection(
+                &t.synopses[0],
+                &t.synopses[1],
+                &EstimatorOptions::default(),
+            )
+            .unwrap();
+            errs.push(relative_error(est.value, exact));
+            valid_counts.push(est.valid_observations as f64);
+            eprint!(
+                "\rablation_secondlevel: s={s} trial {}/{}   ",
+                trial + 1,
+                args.runs
+            );
+        }
+        rows.push(vec![
+            paper_trimmed_mean(&errs) * 100.0,
+            paper_trimmed_mean(&valid_counts),
+        ]);
+    }
+    eprintln!();
+
+    ResultsTable {
+        title: format!(
+            "Ablation: second-level width s (u ≈ {u}, r = {r}, |A∩B| = u/16, {} runs)",
+            args.runs
+        ),
+        x_label: "s".into(),
+        series: vec!["∩ err %".into(), "valid obs".into()],
+        xs: widths.iter().map(|s| s.to_string()).collect(),
+        rows,
+    }
+    .print(args.csv);
+}

@@ -1,0 +1,34 @@
+//! **Figure 7(a)**: average relative error of the set-intersection
+//! estimator `|A ∩ B|` as a function of the number of 2-level hash
+//! sketches, for three target intersection sizes.
+//!
+//! Paper setup (§5): `u = |A ∪ B| ≈ 2¹⁸`, `s = 32` second-level hashes,
+//! 10–15 runs, 30%-trimmed average relative error; errors close to or
+//! below 20% at 128–256 sketches, dropping to ≤ 10% at 512.
+//!
+//! ```sh
+//! cargo run --release -p setstream-bench --bin fig7a            # u = 2^16
+//! cargo run --release -p setstream-bench --bin fig7a -- --full  # u = 2^18 (paper scale)
+//! ```
+
+use setstream_bench::cli::ExperimentArgs;
+use setstream_bench::figure::{fraction_targets, run_error_sweep};
+use setstream_core::estimate;
+use setstream_expr::SetExpr;
+use setstream_stream::gen::VennSpec;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    // Target |A∩B| at u/4, u/16, u/64 (the paper plots three sizes across
+    // this kind of range; §5.1 sweeps e from u/2 down to u/2^10).
+    let targets = fraction_targets(&args, &[0.25, 0.0625, 0.015625], VennSpec::binary_intersection);
+    let expr: SetExpr = "A & B".parse().expect("static expression");
+    let table = run_error_sweep(
+        &args,
+        "Figure 7(a): set-intersection |A ∩ B|",
+        &targets,
+        &expr,
+        |vectors, opts| estimate::intersection(&vectors[0], &vectors[1], opts),
+    );
+    table.print(args.csv);
+}

@@ -1,0 +1,35 @@
+//! **Figure 7(b)**: average relative error of the set-difference
+//! estimator `|A − B|` vs the number of 2-level hash sketches, for three
+//! target difference sizes.
+//!
+//! Paper setup (§5): as Figure 7(a); the text calls out ≈48% error at
+//! `|A − B| = 8192` with few sketches, falling to ≤10% at 512 sketches.
+//! The middle series here is that named size (`u/32` of the paper's
+//! `2¹⁸`).
+//!
+//! ```sh
+//! cargo run --release -p setstream-bench --bin fig7b            # u = 2^16
+//! cargo run --release -p setstream-bench --bin fig7b -- --full  # u = 2^18 (paper scale)
+//! ```
+
+use setstream_bench::cli::ExperimentArgs;
+use setstream_bench::figure::{fraction_targets, run_error_sweep};
+use setstream_core::estimate;
+use setstream_expr::SetExpr;
+use setstream_stream::gen::VennSpec;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    // Target |A−B| at u/8, u/32, u/128 — 32768 / 8192 / 2048 at paper
+    // scale, bracketing the 8192 size the paper discusses.
+    let targets = fraction_targets(&args, &[0.125, 0.03125, 0.0078125], VennSpec::binary_difference);
+    let expr: SetExpr = "A - B".parse().expect("static expression");
+    let table = run_error_sweep(
+        &args,
+        "Figure 7(b): set-difference |A − B|",
+        &targets,
+        &expr,
+        |vectors, opts| estimate::difference(&vectors[0], &vectors[1], opts),
+    );
+    table.print(args.csv);
+}

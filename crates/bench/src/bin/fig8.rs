@@ -1,0 +1,41 @@
+//! **Figure 8**: average relative error of the general set-expression
+//! estimator on the three-stream expression `|(A − B) ∩ C|` vs the number
+//! of 2-level hash sketches, for three target expression sizes.
+//!
+//! Paper setup (§5): `u = |A ∪ B ∪ C| ≈ 2¹⁸`, same methodology as
+//! Figure 7; errors tail off to 20% or lower at 512 sketches, and larger
+//! target sizes give better estimates (Theorem 4.1).
+//!
+//! ```sh
+//! cargo run --release -p setstream-bench --bin fig8            # u = 2^16
+//! cargo run --release -p setstream-bench --bin fig8 -- --full  # u = 2^18 (paper scale)
+//! ```
+
+use setstream_bench::cli::ExperimentArgs;
+use setstream_bench::figure::{fraction_targets, run_error_sweep};
+use setstream_core::estimate;
+use setstream_expr::SetExpr;
+use setstream_stream::gen::VennSpec;
+use setstream_stream::StreamId;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let targets = fraction_targets(&args, &[0.125, 0.03125, 0.0078125], VennSpec::diff_intersect);
+    let expr: SetExpr = "(A - B) & C".parse().expect("static expression");
+    let query = expr.clone();
+    let table = run_error_sweep(
+        &args,
+        "Figure 8: set expression |(A − B) ∩ C|",
+        &targets,
+        &expr,
+        move |vectors, opts| {
+            let pairs: Vec<(StreamId, &setstream_core::SketchVector)> = vectors
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (StreamId(i as u32), v))
+                .collect();
+            estimate::expression(&query, &pairs, opts)
+        },
+    );
+    table.print(args.csv);
+}

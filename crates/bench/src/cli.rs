@@ -1,0 +1,90 @@
+//! Minimal CLI parsing shared by the figure binaries.
+
+/// Common experiment knobs.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Union-size exponent: `u ≈ 2^log_u`. Default 16; `--full` sets the
+    /// paper's 18.
+    pub log_u: u32,
+    /// Runs per configuration (paper: 10–15). Default 10.
+    pub runs: u64,
+    /// Master seed for the whole experiment.
+    pub seed: u64,
+    /// Emit machine-readable CSV alongside the table.
+    pub csv: bool,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            log_u: 16,
+            runs: 10,
+            seed: 20030609, // SIGMOD 2003, June 9 — fully deterministic
+            csv: false,
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parse from `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Self {
+        let mut out = ExperimentArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--full" => out.log_u = 18,
+                "--quick" => {
+                    out.log_u = 14;
+                    out.runs = 5;
+                }
+                "--csv" => out.csv = true,
+                "--runs" => out.runs = expect_num(&mut args, "--runs"),
+                "--log-u" => out.log_u = expect_num(&mut args, "--log-u") as u32,
+                "--seed" => out.seed = expect_num(&mut args, "--seed"),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --full (u=2^18, paper scale) | --quick (u=2^14) | \
+                         --log-u N | --runs N | --seed N | --csv"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other:?}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        assert!(
+            (8..=24).contains(&out.log_u),
+            "--log-u must be between 8 and 24"
+        );
+        assert!(out.runs >= 1, "--runs must be positive");
+        out
+    }
+
+    /// The union-size target `u`.
+    pub fn u_target(&self) -> usize {
+        1usize << self.log_u
+    }
+}
+
+fn expect_num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} expects a number");
+            std::process::exit(2);
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_quarter_scale() {
+        let a = ExperimentArgs::default();
+        assert_eq!(a.u_target(), 1 << 16);
+        assert_eq!(a.runs, 10);
+    }
+}

@@ -1,0 +1,100 @@
+//! The generic error-vs-sketch-count sweep behind Figures 7(a), 7(b) and
+//! 8: for each target expression size, repeat `runs` times {generate
+//! data, maintain synopses, estimate at every sketch count}, and report
+//! the §5.1 trimmed-average relative error.
+//!
+//! Synopses are built once per trial at the largest sketch count; smaller
+//! counts are evaluated on prefixes (copies use independent coins, so a
+//! prefix is exactly the synopsis a smaller `r` would have produced).
+
+use crate::cli::ExperimentArgs;
+use crate::metrics::{paper_trimmed_mean, relative_error};
+use crate::table::ResultsTable;
+use crate::workload::{build_trial, figure_family, trial_seed};
+use crate::SKETCH_COUNTS;
+use setstream_core::{Estimate, EstimateError, EstimatorOptions, SketchVector};
+use setstream_expr::SetExpr;
+use setstream_stream::gen::VennSpec;
+
+/// One target-size series: a label and the Venn spec that realizes it.
+pub struct Target {
+    /// Series label (e.g. the expected `|E|`).
+    pub label: String,
+    /// Generator configuration.
+    pub spec: VennSpec,
+}
+
+/// Run the sweep for `expr`, estimating with `estimator` (lets Figure 7
+/// use the specialized binary estimators and Figure 8 the general one).
+pub fn run_error_sweep<F>(
+    args: &ExperimentArgs,
+    title: &str,
+    targets: &[Target],
+    expr: &SetExpr,
+    estimator: F,
+) -> ResultsTable
+where
+    F: Fn(&[SketchVector], &EstimatorOptions) -> Result<Estimate, EstimateError>,
+{
+    let opts = EstimatorOptions::default();
+    let r_max = *SKETCH_COUNTS.last().expect("non-empty sweep");
+    let family = figure_family(r_max, args.seed);
+
+    let mut rows = vec![Vec::with_capacity(targets.len()); SKETCH_COUNTS.len()];
+    for (t_idx, target) in targets.iter().enumerate() {
+        // errors[r_idx][trial]
+        let mut errors = vec![Vec::with_capacity(args.runs as usize); SKETCH_COUNTS.len()];
+        for trial in 0..args.runs {
+            let seed = trial_seed(args.seed ^ (t_idx as u64) << 32, trial);
+            let t = build_trial(&target.spec, args.u_target(), &family, seed);
+            let exact = t.exact(|m| expr.eval_mask(m)) as f64;
+            for (r_idx, &r) in SKETCH_COUNTS.iter().enumerate() {
+                let prefixes = t.at_copies(r);
+                let est = match estimator(&prefixes, &opts) {
+                    Ok(e) => e.value,
+                    Err(EstimateError::NoValidObservations) => 0.0,
+                    Err(e) => panic!("estimation failed: {e}"),
+                };
+                errors[r_idx].push(relative_error(est, exact));
+            }
+            eprint!(
+                "\r{title}: series {}/{} trial {}/{}    ",
+                t_idx + 1,
+                targets.len(),
+                trial + 1,
+                args.runs
+            );
+        }
+        for (r_idx, errs) in errors.iter().enumerate() {
+            rows[r_idx].push(paper_trimmed_mean(errs) * 100.0);
+        }
+    }
+    eprintln!();
+
+    ResultsTable {
+        title: format!(
+            "{title}  (u ≈ 2^{}, {} runs, 30% trimmed avg, % relative error)",
+            args.log_u, args.runs
+        ),
+        x_label: "sketches".into(),
+        series: targets.iter().map(|t| t.label.clone()).collect(),
+        xs: SKETCH_COUNTS.iter().map(|r| r.to_string()).collect(),
+        rows,
+    }
+}
+
+/// The three target fractions of `u` used for a figure, labelled with the
+/// absolute expected sizes at the current scale.
+pub fn fraction_targets(
+    args: &ExperimentArgs,
+    fractions: &[f64],
+    make_spec: impl Fn(f64) -> VennSpec,
+) -> Vec<Target> {
+    fractions
+        .iter()
+        .map(|&f| Target {
+            label: format!("|E|={}", ((args.u_target() as f64) * f) as usize),
+            spec: make_spec(f),
+        })
+        .collect()
+}

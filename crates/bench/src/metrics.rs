@@ -1,0 +1,80 @@
+//! The paper's error metric (§5.1): absolute relative error, averaged
+//! over repeated runs after trimming away the 30% highest errors (a
+//! robust mean that suppresses the outlier estimates a randomized scheme
+//! occasionally produces).
+
+/// Absolute relative error `|estimate − exact| / exact`; zero when both
+/// are zero, infinite when only `exact` is.
+pub fn relative_error(estimate: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - exact).abs() / exact
+    }
+}
+
+/// Trimmed mean: drop the `trim_fraction` highest values, average the
+/// rest. The paper trims 30%.
+pub fn trimmed_mean(values: &[f64], trim_fraction: f64) -> f64 {
+    assert!((0.0..1.0).contains(&trim_fraction), "trim must be in [0,1)");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let keep = ((values.len() as f64) * (1.0 - trim_fraction)).ceil() as usize;
+    let keep = keep.clamp(1, values.len());
+    sorted[..keep].iter().sum::<f64>() / keep as f64
+}
+
+/// The §5.1 metric with the paper's 30% trim.
+pub fn paper_trimmed_mean(values: &[f64]) -> f64 {
+    trimmed_mean(values, 0.30)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_cases() {
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(90.0, 100.0), 0.1);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn trimmed_mean_drops_highest() {
+        // 10 values, trim 30% → keep lowest 7.
+        let vals: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        let m = trimmed_mean(&vals, 0.30);
+        assert!((m - 4.0).abs() < 1e-12); // mean of 1..=7
+    }
+
+    #[test]
+    fn trimmed_mean_handles_edges() {
+        assert_eq!(trimmed_mean(&[], 0.3), 0.0);
+        assert_eq!(trimmed_mean(&[5.0], 0.3), 5.0);
+        assert_eq!(trimmed_mean(&[1.0, 100.0], 0.5), 1.0);
+        // No trim = plain mean.
+        assert!((trimmed_mean(&[1.0, 2.0, 3.0], 0.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimming_suppresses_outliers() {
+        let mut vals = vec![0.1; 9];
+        vals.push(50.0);
+        assert!(paper_trimmed_mean(&vals) < 0.11);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim")]
+    fn full_trim_rejected() {
+        let _ = trimmed_mean(&[1.0], 1.0);
+    }
+}

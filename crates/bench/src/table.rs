@@ -1,0 +1,94 @@
+//! Table / CSV output for the experiment binaries: one row per x-axis
+//! point (sketch count), one column per series (target size), matching
+//! the structure of the paper's plots.
+
+/// A results grid: `rows[i][j]` is the metric at x `xs[i]`, series `j`.
+pub struct ResultsTable {
+    /// Experiment title (printed as a header).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Series names (column headers).
+    pub series: Vec<String>,
+    /// X values.
+    pub xs: Vec<String>,
+    /// `rows[i][j]` metric values.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl ResultsTable {
+    /// Render the aligned human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let w = 16usize;
+        out.push_str(&format!("{:<14}", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!("{s:>w$}"));
+        }
+        out.push('\n');
+        for (x, row) in self.xs.iter().zip(&self.rows) {
+            out.push_str(&format!("{x:<14}"));
+            for v in row {
+                if v.is_finite() {
+                    out.push_str(&format!("{:>w$.2}", v));
+                } else {
+                    out.push_str(&format!("{:>w$}", "—"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render machine-readable CSV (`x,series,value` long format).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("x,series,value\n");
+        for (x, row) in self.xs.iter().zip(&self.rows) {
+            for (s, v) in self.series.iter().zip(row) {
+                out.push_str(&format!("{x},{s},{v}\n"));
+            }
+        }
+        out
+    }
+
+    /// Print per the CLI's `--csv` choice.
+    pub fn print(&self, csv: bool) {
+        println!("{}", self.render());
+        if csv {
+            println!("{}", self.render_csv());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultsTable {
+        ResultsTable {
+            title: "t".into(),
+            x_label: "sketches".into(),
+            series: vec!["a".into(), "b".into()],
+            xs: vec!["64".into(), "128".into()],
+            rows: vec![vec![1.5, 2.25], vec![0.5, f64::INFINITY]],
+        }
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let r = sample().render();
+        assert!(r.contains("1.50") && r.contains("2.25") && r.contains("0.50"));
+        assert!(r.contains('—'), "infinite values render as a dash");
+        assert!(r.contains("sketches"));
+    }
+
+    #[test]
+    fn csv_is_long_format() {
+        let c = sample().render_csv();
+        assert!(c.starts_with("x,series,value\n"));
+        assert!(c.contains("64,a,1.5\n"));
+        assert!(c.contains("128,b,inf\n"));
+        assert_eq!(c.lines().count(), 5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Workload construction: Venn dataset → churny update streams → sketch
+//! synopses, exactly the pipeline of §5.1 (plus deletion churn, which the
+//! paper argues is free for 2-level sketches — `ablation_deletions`
+//! verifies it).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use setstream_core::{SketchFamily, SketchVector};
+use setstream_hash::HashFamily;
+use setstream_stream::gen::{UpdateBuilder, VennData, VennSpec};
+use setstream_stream::StreamId;
+
+/// A built trial: one synopsis per stream plus the generated ground truth.
+pub struct Trial {
+    /// Per-stream synopses, index = stream id.
+    pub synopses: Vec<SketchVector>,
+    /// The generated dataset (exact memberships).
+    pub data: VennData,
+}
+
+impl Trial {
+    /// Exact `|E|` for a mask predicate.
+    pub fn exact(&self, in_expr: impl FnMut(u32) -> bool) -> usize {
+        self.data.exact_count(in_expr)
+    }
+
+    /// Prefix synopses at a smaller copy count `r` (same coins).
+    pub fn at_copies(&self, r: usize) -> Vec<SketchVector> {
+        self.synopses.iter().map(|v| v.truncated(r)).collect()
+    }
+}
+
+/// Family used by the figures: `r` copies, paper `s = 32`, 8-wise first
+/// level.
+pub fn figure_family(copies: usize, seed: u64) -> SketchFamily {
+    SketchFamily::builder()
+        .copies(copies)
+        .second_level(crate::PAPER_S)
+        .first_family(HashFamily::KWise(8))
+        .seed(seed)
+        .build()
+}
+
+/// Build one trial: generate the dataset for `spec`, synthesize insert-
+/// only update streams (the paper's §5.1 setup) and maintain synopses.
+pub fn build_trial(spec: &VennSpec, u_target: usize, family: &SketchFamily, seed: u64) -> Trial {
+    build_trial_with_churn(spec, u_target, family, seed, &UpdateBuilder::default())
+}
+
+/// Build one trial with an explicit churn configuration (for the deletion
+/// ablation).
+pub fn build_trial_with_churn(
+    spec: &VennSpec,
+    u_target: usize,
+    family: &SketchFamily,
+    seed: u64,
+    builder: &UpdateBuilder,
+) -> Trial {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = spec.generate(u_target, &mut rng);
+    let mut synopses = Vec::with_capacity(data.n_streams());
+    for i in 0..data.n_streams() {
+        let updates = builder.build(StreamId(i as u32), &data.stream_elements(i), &mut rng);
+        let mut v = family.new_vector();
+        for u in &updates {
+            v.process(u);
+        }
+        synopses.push(v);
+    }
+    Trial { synopses, data }
+}
+
+/// Derive the per-trial seed from an experiment seed and trial index.
+pub fn trial_seed(experiment_seed: u64, trial: u64) -> u64 {
+    setstream_hash::SeedSequence::seed_at(experiment_seed, trial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_builds_consistent_ground_truth() {
+        let spec = VennSpec::binary_intersection(0.25);
+        let fam = figure_family(16, 1);
+        let t = build_trial(&spec, 2048, &fam, 7);
+        assert_eq!(t.synopses.len(), 2);
+        let u = t.data.union_size();
+        assert!(u > 1900);
+        let inter = t.exact(|m| m == 0b11);
+        assert!((inter as f64 / u as f64 - 0.25).abs() < 0.1);
+        // The synopses really contain the streams (net totals match).
+        let a_count: i64 = t.synopses[0].sketches()[0].total_count();
+        assert_eq!(a_count as usize, t.data.stream_elements(0).len());
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        let spec = VennSpec::binary_difference(0.125);
+        let fam = figure_family(8, 2);
+        let a = build_trial(&spec, 1024, &fam, 5);
+        let b = build_trial(&spec, 1024, &fam, 5);
+        assert_eq!(a.data.memberships(), b.data.memberships());
+        for (x, y) in a.synopses.iter().zip(&b.synopses) {
+            for (sx, sy) in x.sketches().iter().zip(y.sketches()) {
+                assert_eq!(sx.counters(), sy.counters());
+            }
+        }
+    }
+
+    #[test]
+    fn at_copies_gives_prefixes() {
+        let spec = VennSpec::binary_intersection(0.5);
+        let fam = figure_family(8, 3);
+        let t = build_trial(&spec, 512, &fam, 9);
+        let small = t.at_copies(4);
+        assert_eq!(small[0].copies(), 4);
+        assert_eq!(
+            small[0].sketches()[0].counters(),
+            t.synopses[0].sketches()[0].counters()
+        );
+    }
+}

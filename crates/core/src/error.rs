@@ -1,0 +1,54 @@
+//! Error types for sketch operations and estimation.
+
+use std::fmt;
+
+/// Failures surfaced by sketch combination and estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// Two synopses built with different configs or coins cannot be
+    /// compared or merged.
+    Incompatible(String),
+    /// No sketch copy produced a valid (0/1) witness observation, so the
+    /// witness average is undefined. Raising the number of copies `r` (or
+    /// using [`crate::WitnessMode::AllLevels`]) fixes this.
+    NoValidObservations,
+    /// An estimator needed streams the caller did not supply (general
+    /// expression estimation over a stream map).
+    MissingStream(u32),
+    /// The insert-only bit sketch saw a deletion.
+    DeletionUnsupported,
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::Incompatible(why) => write!(f, "incompatible sketches: {why}"),
+            EstimateError::NoValidObservations => {
+                write!(f, "no sketch copy produced a valid witness observation")
+            }
+            EstimateError::MissingStream(id) => {
+                write!(f, "expression references stream {id} but no synopsis was supplied")
+            }
+            EstimateError::DeletionUnsupported => {
+                write!(f, "bit sketches are insert-only and cannot process deletions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(EstimateError::Incompatible("seed mismatch".into())
+            .to_string()
+            .contains("seed mismatch"));
+        assert!(EstimateError::NoValidObservations.to_string().contains("witness"));
+        assert!(EstimateError::MissingStream(7).to_string().contains('7'));
+        assert!(EstimateError::DeletionUnsupported.to_string().contains("insert-only"));
+    }
+}

@@ -1,0 +1,373 @@
+//! Families of independent sketch copies with shared coins.
+//!
+//! Every estimator in the paper averages over `r` independent 2-level hash
+//! sketches, where copy `i` uses the *same* hash functions across all
+//! streams (so their buckets are comparable) but *independent* functions
+//! across copies. A [`SketchFamily`] captures that discipline: it owns the
+//! master coin; [`SketchFamily::new_vector`] mints an `r`-copy synopsis
+//! ([`SketchVector`]) for one stream, copy `i` seeded with the family's
+//! i-th coin.
+
+use crate::config::SketchConfig;
+use crate::error::EstimateError;
+use crate::sketch::TwoLevelSketch;
+use serde::{Deserialize, Serialize};
+use setstream_hash::SeedSequence;
+use setstream_stream::{Element, Update};
+
+/// The shared-coins recipe for a collection of comparable stream synopses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchFamily {
+    config: SketchConfig,
+    copies: usize,
+    master_seed: u64,
+}
+
+impl SketchFamily {
+    /// Family with explicit shape, copy count `r`, and master seed.
+    pub fn new(config: SketchConfig, copies: usize, master_seed: u64) -> Self {
+        config.validate();
+        assert!(copies >= 1, "need at least one sketch copy");
+        SketchFamily {
+            config,
+            copies,
+            master_seed,
+        }
+    }
+
+    /// Start building a family with defaults (`r = 256`, paper shape).
+    pub fn builder() -> SketchFamilyBuilder {
+        SketchFamilyBuilder::default()
+    }
+
+    /// Shape of each sketch copy.
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// Number of independent copies `r`.
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Master seed (the stored coin shared by all sites).
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The coin for copy `i`.
+    pub fn copy_seed(&self, i: usize) -> u64 {
+        SeedSequence::seed_at(self.master_seed, i as u64)
+    }
+
+    /// Mint an empty `r`-copy synopsis for one stream.
+    pub fn new_vector(&self) -> SketchVector {
+        let sketches = (0..self.copies)
+            .map(|i| TwoLevelSketch::new(self.config, self.copy_seed(i)))
+            .collect();
+        SketchVector {
+            family: *self,
+            sketches,
+        }
+    }
+
+    /// Total counter storage of one vector, in bytes.
+    pub fn vector_bytes(&self) -> usize {
+        self.copies * self.config.counter_bytes()
+    }
+}
+
+/// Fluent construction of a [`SketchFamily`].
+#[derive(Debug, Clone)]
+pub struct SketchFamilyBuilder {
+    config: SketchConfig,
+    copies: usize,
+    seed: u64,
+}
+
+impl Default for SketchFamilyBuilder {
+    fn default() -> Self {
+        SketchFamilyBuilder {
+            config: SketchConfig::default(),
+            copies: 256,
+            seed: 0x5e15_7ead_c0ff_ee00,
+        }
+    }
+}
+
+impl SketchFamilyBuilder {
+    /// Number of independent sketch copies `r`.
+    pub fn copies(mut self, r: usize) -> Self {
+        self.copies = r;
+        self
+    }
+
+    /// Number of second-level hash functions `s`.
+    pub fn second_level(mut self, s: u32) -> Self {
+        self.config.second_level = s;
+        self
+    }
+
+    /// Number of first-level buckets.
+    pub fn levels(mut self, levels: u32) -> Self {
+        self.config.levels = levels;
+        self
+    }
+
+    /// First-level hash family (for the independence ablation).
+    pub fn first_family(mut self, family: setstream_hash::HashFamily) -> Self {
+        self.config.first_family = family;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Full config override.
+    pub fn config(mut self, config: SketchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Finalize.
+    pub fn build(self) -> SketchFamily {
+        SketchFamily::new(self.config, self.copies, self.seed)
+    }
+}
+
+/// An `r`-copy 2-level hash sketch synopsis of a single update stream.
+///
+/// This is "the synopsis" in Figure 1: one per stream, maintained online,
+/// combined at query time by the estimators in [`crate::estimate`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SketchVector {
+    family: SketchFamily,
+    sketches: Vec<TwoLevelSketch>,
+}
+
+impl SketchVector {
+    /// The family this vector belongs to.
+    pub fn family(&self) -> &SketchFamily {
+        &self.family
+    }
+
+    /// The `r` sketch copies.
+    pub fn sketches(&self) -> &[TwoLevelSketch] {
+        &self.sketches
+    }
+
+    /// Number of copies `r`.
+    pub fn copies(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Apply a net frequency change to every copy — `O(r · s)` hashing.
+    pub fn update(&mut self, e: Element, delta: i64) {
+        for sk in &mut self.sketches {
+            sk.update(e, delta);
+        }
+    }
+
+    /// Insert one copy of `e`.
+    pub fn insert(&mut self, e: Element) {
+        self.update(e, 1);
+    }
+
+    /// Delete one copy of `e`.
+    pub fn delete(&mut self, e: Element) {
+        self.update(e, -1);
+    }
+
+    /// Route an update tuple into the synopsis.
+    pub fn process(&mut self, u: &Update) {
+        self.update(u.element, u.delta);
+    }
+
+    /// `true` if `other` uses the same family (same coins, shape, `r`).
+    pub fn compatible(&self, other: &SketchVector) -> bool {
+        self.family == other.family
+    }
+
+    /// Ensure compatibility with a descriptive error.
+    pub fn check_compatible(&self, other: &SketchVector) -> Result<(), EstimateError> {
+        if self.compatible(other) {
+            Ok(())
+        } else {
+            Err(EstimateError::Incompatible(format!(
+                "sketch vectors from different families: {:?} vs {:?}",
+                self.family, other.family
+            )))
+        }
+    }
+
+    /// Merge another site's synopsis of the *same* stream (distributed
+    /// model): cell-wise addition per copy.
+    pub fn merge_from(&mut self, other: &SketchVector) -> Result<(), EstimateError> {
+        self.check_compatible(other)?;
+        for (mine, theirs) in self.sketches.iter_mut().zip(other.sketches.iter()) {
+            mine.merge_from(theirs)?;
+        }
+        Ok(())
+    }
+
+    /// `true` if every copy is (net) empty.
+    pub fn is_empty(&self) -> bool {
+        self.sketches.iter().all(TwoLevelSketch::is_empty)
+    }
+
+    /// A synopsis over copies `start..start+len` (same coins). Used by
+    /// the median-of-groups booster; groups at the same offsets of two
+    /// vectors are mutually compatible.
+    pub(crate) fn subrange(&self, start: usize, len: usize) -> SketchVector {
+        assert!(len >= 1 && start + len <= self.sketches.len(), "bad subrange");
+        SketchVector {
+            // Distinct master seed per offset so cross-offset groups are
+            // flagged incompatible; same (seed, offset) pairs still align.
+            family: SketchFamily::new(
+                *self.family.config(),
+                len,
+                self.family.master_seed() ^ (start as u64).rotate_left(17),
+            ),
+            sketches: self.sketches[start..start + len].to_vec(),
+        }
+    }
+
+    /// A synopsis consisting of the first `r` copies of this one.
+    ///
+    /// Copies use independent coins, so a prefix is itself a valid
+    /// (smaller) synopsis of the same stream — experiment harnesses build
+    /// once at the largest `r` and evaluate every smaller `r` for free.
+    ///
+    /// # Panics
+    /// Panics if `r` is zero or exceeds the available copies.
+    pub fn truncated(&self, r: usize) -> SketchVector {
+        assert!(r >= 1 && r <= self.sketches.len(), "bad prefix length {r}");
+        SketchVector {
+            family: SketchFamily::new(*self.family.config(), r, self.family.master_seed()),
+            sketches: self.sketches[..r].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family() -> SketchFamily {
+        SketchFamily::builder()
+            .copies(8)
+            .levels(16)
+            .second_level(8)
+            .seed(11)
+            .build()
+    }
+
+    #[test]
+    fn copies_use_independent_coins() {
+        let f = family();
+        let v = f.new_vector();
+        let seeds: std::collections::HashSet<u64> =
+            v.sketches().iter().map(|s| s.seed()).collect();
+        assert_eq!(seeds.len(), 8, "every copy must get its own coin");
+    }
+
+    #[test]
+    fn vectors_of_same_family_are_compatible_and_aligned() {
+        let f = family();
+        let a = f.new_vector();
+        let b = f.new_vector();
+        assert!(a.compatible(&b));
+        for (x, y) in a.sketches().iter().zip(b.sketches()) {
+            assert!(x.compatible(y));
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_are_incompatible() {
+        let a = SketchFamily::builder().seed(1).copies(4).build().new_vector();
+        let b = SketchFamily::builder().seed(2).copies(4).build().new_vector();
+        assert!(!a.compatible(&b));
+        assert!(a.check_compatible(&b).is_err());
+    }
+
+    #[test]
+    fn update_fans_out_to_all_copies() {
+        let mut v = family().new_vector();
+        v.insert(42);
+        for s in v.sketches() {
+            assert_eq!(s.total_count(), 1);
+        }
+        v.delete(42);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let f = family();
+        let mut site1 = f.new_vector();
+        let mut site2 = f.new_vector();
+        let mut all = f.new_vector();
+        for e in 0..100u64 {
+            site1.insert(e);
+            all.insert(e);
+        }
+        for e in 100..250u64 {
+            site2.insert(e);
+            all.insert(e);
+        }
+        site1.merge_from(&site2).unwrap();
+        for (m, a) in site1.sketches().iter().zip(all.sketches()) {
+            assert_eq!(m.counters(), a.counters());
+        }
+    }
+
+    #[test]
+    fn builder_applies_every_knob() {
+        let f = SketchFamily::builder()
+            .copies(3)
+            .levels(32)
+            .second_level(5)
+            .seed(77)
+            .first_family(setstream_hash::HashFamily::Mix)
+            .build();
+        assert_eq!(f.copies(), 3);
+        assert_eq!(f.config().levels, 32);
+        assert_eq!(f.config().second_level, 5);
+        assert_eq!(f.master_seed(), 77);
+        assert_eq!(f.config().first_family, setstream_hash::HashFamily::Mix);
+        assert_eq!(f.vector_bytes(), 3 * 32 * 5 * 2 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_copies_rejected() {
+        let _ = SketchFamily::new(SketchConfig::default(), 0, 1);
+    }
+
+    #[test]
+    fn truncated_prefix_matches_fresh_small_vector() {
+        let big = SketchFamily::builder().copies(8).levels(16).second_level(4).seed(3).build();
+        let small = SketchFamily::builder().copies(3).levels(16).second_level(4).seed(3).build();
+        let mut v_big = big.new_vector();
+        let mut v_small = small.new_vector();
+        for e in 0..500u64 {
+            v_big.insert(e);
+            v_small.insert(e);
+        }
+        let prefix = v_big.truncated(3);
+        assert!(prefix.compatible(&v_small));
+        for (p, s) in prefix.sketches().iter().zip(v_small.sketches()) {
+            assert_eq!(p.counters(), s.counters());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad prefix")]
+    fn truncated_rejects_oversize() {
+        let v = family().new_vector();
+        let _ = v.truncated(9);
+    }
+}

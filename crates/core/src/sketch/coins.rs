@@ -1,0 +1,55 @@
+//! Shared coin-derivation: both sketch variants must place elements in the
+//! same cells when built from the same `(config, seed)`, so the hash
+//! construction lives in one place.
+
+use crate::config::SketchConfig;
+use setstream_hash::{AnyHash, PairwiseHash, SeedSequence};
+
+const FIRST_LEVEL_SALT: u64 = 0x2d35_8dcc_aa6c_78a5;
+const SECOND_LEVEL_SALT: u64 = 0x8bb8_4b93_962e_acc9;
+
+/// First-level hash for a sketch with the given coins.
+pub(crate) fn first_hash(config: &SketchConfig, seed: u64) -> AnyHash {
+    AnyHash::from_seed(
+        config.first_family,
+        SeedSequence::seed_at(seed ^ FIRST_LEVEL_SALT, 0),
+    )
+}
+
+/// The `s` second-level hashes for a sketch with the given coins.
+pub(crate) fn second_hashes(config: &SketchConfig, seed: u64) -> Vec<PairwiseHash> {
+    (0..config.second_level as u64)
+        .map(|j| PairwiseHash::from_seed(SeedSequence::seed_at(seed ^ SECOND_LEVEL_SALT, j)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setstream_hash::Hash64;
+
+    #[test]
+    fn coins_are_deterministic_and_seed_sensitive() {
+        let c = SketchConfig::default();
+        let a = first_hash(&c, 1);
+        let b = first_hash(&c, 1);
+        let other = first_hash(&c, 2);
+        assert_eq!(a.hash(42), b.hash(42));
+        assert_ne!(a.hash(42), other.hash(42));
+        let g1 = second_hashes(&c, 1);
+        let g2 = second_hashes(&c, 1);
+        assert_eq!(g1.len(), 32);
+        for (x, y) in g1.iter().zip(&g2) {
+            assert_eq!(x.hash(7), y.hash(7));
+        }
+    }
+
+    #[test]
+    fn first_and_second_levels_use_distinct_coins() {
+        // The first-level hash must not be correlated with g_0.
+        let c = SketchConfig::default();
+        let h = first_hash(&c, 3);
+        let g = &second_hashes(&c, 3)[0];
+        assert!((0..64u64).any(|x| h.hash(x) != g.hash(x)));
+    }
+}

@@ -1,0 +1,135 @@
+//! Human-readable sketch diagnostics.
+//!
+//! Operators debugging a deployment want to *see* a synopsis: how many
+//! elements landed per first-level bucket (should decay geometrically),
+//! which buckets are singletons, and how full the structure is. The
+//! `Display` impl prints a compact occupancy report.
+
+use super::checks::singleton_bucket;
+use super::two_level::TwoLevelSketch;
+use std::fmt;
+
+/// Per-level occupancy summary of one sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelHistogram {
+    /// `counts[j]` = net element count (with multiplicity) in bucket `j`.
+    pub counts: Vec<i64>,
+    /// Levels whose second-level signature certifies a singleton.
+    pub singleton_levels: Vec<u32>,
+    /// Deepest non-empty level (`None` when the sketch is empty).
+    pub deepest: Option<u32>,
+}
+
+impl TwoLevelSketch {
+    /// Compute the occupancy histogram.
+    pub fn level_histogram(&self) -> LevelHistogram {
+        let counts: Vec<i64> = (0..self.levels()).map(|l| self.level_total(l)).collect();
+        let singleton_levels = (0..self.levels())
+            .filter(|&l| singleton_bucket(self, l))
+            .collect();
+        let deepest = counts
+            .iter()
+            .rposition(|&c| c != 0)
+            .map(|i| i as u32);
+        LevelHistogram {
+            counts,
+            singleton_levels,
+            deepest,
+        }
+    }
+}
+
+impl fmt::Display for TwoLevelSketch {
+    /// One line per non-empty level: index, net count, a log-scale bar,
+    /// and a `•` singleton marker.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let h = self.level_histogram();
+        writeln!(
+            f,
+            "2-level hash sketch (levels={}, s={}, seed={:#x}, net={})",
+            self.levels(),
+            self.second_level(),
+            self.seed(),
+            self.total_count()
+        )?;
+        let Some(deepest) = h.deepest else {
+            return write!(f, "  (empty)");
+        };
+        for (l, &c) in h.counts.iter().enumerate().take(deepest as usize + 1) {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat((c.unsigned_abs() as f64).log2().max(0.0) as usize + 1);
+            let marker = if h.singleton_levels.contains(&(l as u32)) {
+                " •singleton"
+            } else {
+                ""
+            };
+            writeln!(f, "  [{l:>2}] {c:>10}  {bar}{marker}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SketchConfig;
+
+    fn sketch() -> TwoLevelSketch {
+        TwoLevelSketch::new(
+            SketchConfig {
+                levels: 16,
+                second_level: 8,
+                ..Default::default()
+            },
+            3,
+        )
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = sketch().level_histogram();
+        assert!(h.counts.iter().all(|&c| c == 0));
+        assert!(h.singleton_levels.is_empty());
+        assert_eq!(h.deepest, None);
+        assert!(sketch().to_string().contains("(empty)"));
+    }
+
+    #[test]
+    fn histogram_counts_match_level_totals() {
+        let mut s = sketch();
+        for e in 0..1000u64 {
+            s.insert(e);
+        }
+        let h = s.level_histogram();
+        assert_eq!(h.counts.iter().sum::<i64>(), 1000);
+        for (l, &c) in h.counts.iter().enumerate() {
+            assert_eq!(c, s.level_total(l as u32));
+        }
+        assert!(h.deepest.is_some());
+        // Level 0 should hold roughly half.
+        assert!((300..700).contains(&h.counts[0]), "{:?}", h.counts[0]);
+    }
+
+    #[test]
+    fn singleton_levels_marked() {
+        let mut s = sketch();
+        // Find one element and insert only it: its level is a singleton.
+        s.insert(12345);
+        let level = s.bucket_of(12345);
+        let h = s.level_histogram();
+        assert_eq!(h.singleton_levels, vec![level]);
+        assert!(s.to_string().contains("•singleton"));
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let mut s = sketch();
+        s.insert(1);
+        let text = s.to_string();
+        assert!(text.contains("levels=16"));
+        assert!(text.contains("s=8"));
+        assert!(text.contains("net=1"));
+    }
+}

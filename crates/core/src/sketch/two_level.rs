@@ -1,0 +1,415 @@
+//! The counter-based 2-level hash sketch.
+
+use crate::config::SketchConfig;
+use crate::error::EstimateError;
+use serde::{Deserialize, Serialize};
+use super::coins;
+use setstream_hash::{bucket_of, AnyHash, Hash64, PairwiseHash};
+use setstream_stream::{Element, Update};
+
+/// One 2-level hash sketch: conceptually a `levels × s × 2` array of
+/// element counters (Figure 3 of the paper).
+///
+/// Maintenance per update `⟨e, ±v⟩` (§3.1): for each second-level function
+/// `gⱼ`, add `±v` to `X[LSB(h(e)), j, gⱼ(e)]`. Since cell updates commute,
+/// the sketch is *identical* to one built from any reordering of the
+/// updates — and deletions cancel insertions exactly, so deleted items
+/// leave no trace.
+///
+/// Construction is deterministic in `(config, seed)`: the first-level hash
+/// and all `s` second-level hashes are derived from `seed` ("stored
+/// coins"), so two sketches with equal `(config, seed)` are comparable and
+/// mergeable even when built on different machines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "SketchRepr", into = "SketchRepr")]
+pub struct TwoLevelSketch {
+    config: SketchConfig,
+    seed: u64,
+    first: AnyHash,
+    second: Vec<PairwiseHash>,
+    /// Row-major `[level][j][bit]` counters.
+    counters: Box<[i64]>,
+    /// Total net count over all cells of one second-level function —
+    /// maintained for O(1) emptiness checks.
+    total: i64,
+}
+
+impl TwoLevelSketch {
+    /// Build an empty sketch for `(config, seed)`.
+    ///
+    /// # Panics
+    /// Panics if `config` is invalid (see [`SketchConfig::validate`]).
+    pub fn new(config: SketchConfig, seed: u64) -> Self {
+        config.validate();
+        let first = coins::first_hash(&config, seed);
+        let second = coins::second_hashes(&config, seed);
+        TwoLevelSketch {
+            config,
+            seed,
+            first,
+            second,
+            counters: vec![0i64; config.n_counters()].into_boxed_slice(),
+            total: 0,
+        }
+    }
+
+    /// This sketch's shape.
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// The coin this sketch was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of first-level buckets.
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.config.levels
+    }
+
+    /// Number of second-level functions `s`.
+    #[inline]
+    pub fn second_level(&self) -> u32 {
+        self.config.second_level
+    }
+
+    #[inline]
+    fn cell_index(&self, level: u32, j: u32, b: usize) -> usize {
+        debug_assert!(level < self.config.levels);
+        debug_assert!(j < self.config.second_level);
+        debug_assert!(b < 2);
+        ((level * self.config.second_level + j) as usize) << 1 | b
+    }
+
+    /// Counter `X[level, j, bit]` (the paper indexes `j` from 1; we use 0).
+    #[inline]
+    pub fn cell(&self, level: u32, j: u32, bit: usize) -> i64 {
+        self.counters[self.cell_index(level, j, bit)]
+    }
+
+    /// Net number of elements (with multiplicity) in first-level bucket
+    /// `level` — the paper's emptiness probe `X[i,1,0] + X[i,1,1]`.
+    #[inline]
+    pub fn level_total(&self, level: u32) -> i64 {
+        self.cell(level, 0, 0) + self.cell(level, 0, 1)
+    }
+
+    /// `true` if no element (net) maps to `level`.
+    #[inline]
+    pub fn is_level_empty(&self, level: u32) -> bool {
+        self.level_total(level) == 0
+    }
+
+    /// `true` if the whole sketch is (net) empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Total net count over the summarized multi-set.
+    pub fn total_count(&self) -> i64 {
+        self.total
+    }
+
+    /// First-level bucket element `e` maps to.
+    #[inline]
+    pub fn bucket_of(&self, e: Element) -> u32 {
+        bucket_of(self.first.hash(e), self.config.levels)
+    }
+
+    /// Apply a net frequency change of `delta` to element `e`.
+    ///
+    /// This is the entire per-update work: one first-level hash, then `s`
+    /// second-level hashes and counter bumps — `O(s)` with no allocation.
+    pub fn update(&mut self, e: Element, delta: i64) {
+        let level = self.bucket_of(e);
+        let base = (level * self.config.second_level) as usize * 2;
+        for (j, g) in self.second.iter().enumerate() {
+            let bit = g.hash_bit(e);
+            self.counters[base + j * 2 + bit] += delta;
+        }
+        self.total += delta;
+    }
+
+    /// Insert one copy of `e`.
+    #[inline]
+    pub fn insert(&mut self, e: Element) {
+        self.update(e, 1);
+    }
+
+    /// Delete one copy of `e`.
+    #[inline]
+    pub fn delete(&mut self, e: Element) {
+        self.update(e, -1);
+    }
+
+    /// Route an update tuple into the sketch (the stream id is the
+    /// caller's concern — a sketch summarizes a single multi-set).
+    #[inline]
+    pub fn process(&mut self, u: &Update) {
+        self.update(u.element, u.delta);
+    }
+
+    /// `true` if `other` was built with the same coins and shape, i.e. the
+    /// two synopses can be compared cell-by-cell or merged.
+    pub fn compatible(&self, other: &TwoLevelSketch) -> bool {
+        self.config == other.config && self.seed == other.seed
+    }
+
+    /// Ensure compatibility, with a descriptive error otherwise.
+    pub fn check_compatible(&self, other: &TwoLevelSketch) -> Result<(), EstimateError> {
+        if self.config != other.config {
+            return Err(EstimateError::Incompatible(format!(
+                "config mismatch: {:?} vs {:?}",
+                self.config, other.config
+            )));
+        }
+        if self.seed != other.seed {
+            return Err(EstimateError::Incompatible(format!(
+                "seed mismatch: {:#x} vs {:#x}",
+                self.seed, other.seed
+            )));
+        }
+        Ok(())
+    }
+
+    /// Merge `other` into `self` cell-by-cell.
+    ///
+    /// Because the sketch transform is linear in the update stream, the
+    /// result is exactly the sketch of the concatenated streams — the
+    /// operation that makes the distributed stored-coins model work.
+    pub fn merge_from(&mut self, other: &TwoLevelSketch) -> Result<(), EstimateError> {
+        self.check_compatible(other)?;
+        for (c, o) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *c += o;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
+    /// Non-destructive merge.
+    pub fn merged(&self, other: &TwoLevelSketch) -> Result<TwoLevelSketch, EstimateError> {
+        let mut out = self.clone();
+        out.merge_from(other)?;
+        Ok(out)
+    }
+
+    /// Raw counter slice (row-major `[level][j][bit]`); used by the
+    /// property checks and the wire format.
+    pub fn counters(&self) -> &[i64] {
+        &self.counters
+    }
+}
+
+/// Serialized form: coins + counters; hash functions are reconstructed on
+/// deserialization, so the wire never carries them.
+#[derive(Serialize, Deserialize)]
+struct SketchRepr {
+    config: SketchConfig,
+    seed: u64,
+    counters: Vec<i64>,
+    total: i64,
+}
+
+impl From<SketchRepr> for TwoLevelSketch {
+    fn from(r: SketchRepr) -> Self {
+        let mut s = TwoLevelSketch::new(r.config, r.seed);
+        assert_eq!(
+            r.counters.len(),
+            s.counters.len(),
+            "corrupt sketch payload: counter count mismatch"
+        );
+        s.counters = r.counters.into_boxed_slice();
+        s.total = r.total;
+        s
+    }
+}
+
+impl From<TwoLevelSketch> for SketchRepr {
+    fn from(s: TwoLevelSketch) -> Self {
+        SketchRepr {
+            config: s.config,
+            seed: s.seed,
+            counters: s.counters.into_vec(),
+            total: s.total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setstream_stream::StreamId;
+
+    fn small() -> TwoLevelSketch {
+        TwoLevelSketch::new(
+            SketchConfig {
+                levels: 16,
+                second_level: 8,
+                ..Default::default()
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn new_sketch_is_empty() {
+        let s = small();
+        assert!(s.is_empty());
+        assert_eq!(s.total_count(), 0);
+        for l in 0..16 {
+            assert!(s.is_level_empty(l));
+        }
+    }
+
+    #[test]
+    fn insert_touches_exactly_one_cell_per_second_function() {
+        let mut s = small();
+        s.insert(123);
+        let level = s.bucket_of(123);
+        for j in 0..8 {
+            assert_eq!(s.cell(level, j, 0) + s.cell(level, j, 1), 1, "j={j}");
+        }
+        // All other levels stay empty.
+        for l in 0..16 {
+            if l != level {
+                assert!(s.is_level_empty(l), "level {l}");
+            }
+        }
+        assert_eq!(s.total_count(), 1);
+    }
+
+    #[test]
+    fn delete_exactly_cancels_insert() {
+        let empty = small();
+        let mut s = small();
+        for e in 0..100u64 {
+            s.insert(e);
+        }
+        for e in 0..100u64 {
+            s.delete(e);
+        }
+        assert_eq!(s.counters(), empty.counters());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn deletion_imperviousness_stream_equality() {
+        // Sketch(inserts ∪ churn) == Sketch(inserts): the §3.1 claim.
+        let mut with_churn = small();
+        let mut without = small();
+        for e in 0..500u64 {
+            with_churn.insert(e);
+            without.insert(e);
+        }
+        // Churn: 300 extra elements inserted then fully deleted,
+        // interleaved with double-inserts that are half-deleted.
+        for e in 10_000..10_300u64 {
+            with_churn.update(e, 3);
+        }
+        for e in 0..500u64 {
+            with_churn.insert(e); // second copy
+        }
+        for e in 10_000..10_300u64 {
+            with_churn.update(e, -3);
+        }
+        for e in 0..500u64 {
+            with_churn.delete(e); // remove the second copy
+        }
+        assert_eq!(with_churn.counters(), without.counters());
+        assert_eq!(with_churn.total_count(), without.total_count());
+    }
+
+    #[test]
+    fn update_order_is_irrelevant() {
+        let mut fwd = small();
+        let mut rev = small();
+        let updates: Vec<(u64, i64)> =
+            (0..200).map(|i| (i * 17 % 97, if i % 3 == 0 { 2 } else { 1 })).collect();
+        for &(e, d) in &updates {
+            fwd.update(e, d);
+        }
+        for &(e, d) in updates.iter().rev() {
+            rev.update(e, d);
+        }
+        assert_eq!(fwd.counters(), rev.counters());
+    }
+
+    #[test]
+    fn same_seed_same_mapping_different_seed_different() {
+        let a = small();
+        let b = small();
+        assert!(a.compatible(&b));
+        for e in [1u64, 99, 12345] {
+            assert_eq!(a.bucket_of(e), b.bucket_of(e));
+        }
+        let c = TwoLevelSketch::new(*a.config(), 8);
+        assert!(!a.compatible(&c));
+        assert!(a.check_compatible(&c).is_err());
+        assert!((0..200u64).any(|e| a.bucket_of(e) != c.bucket_of(e)));
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        let mut left = small();
+        let mut right = small();
+        let mut both = small();
+        for e in 0..300u64 {
+            left.insert(e);
+            both.insert(e);
+        }
+        for e in 200..500u64 {
+            right.insert(e);
+            both.insert(e);
+        }
+        let merged = left.merged(&right).unwrap();
+        assert_eq!(merged.counters(), both.counters());
+        assert_eq!(merged.total_count(), both.total_count());
+    }
+
+    #[test]
+    fn merge_rejects_incompatible() {
+        let a = small();
+        let mut b = TwoLevelSketch::new(*a.config(), 1234);
+        b.insert(5);
+        assert!(matches!(
+            a.merged(&b),
+            Err(EstimateError::Incompatible(_))
+        ));
+        let c = TwoLevelSketch::new(
+            SketchConfig {
+                levels: 8,
+                second_level: 8,
+                ..Default::default()
+            },
+            7,
+        );
+        assert!(a.merged(&c).is_err());
+    }
+
+    #[test]
+    fn process_routes_updates() {
+        let mut s = small();
+        s.process(&Update::insert(StreamId(0), 42, 5));
+        assert_eq!(s.total_count(), 5);
+        s.process(&Update::delete(StreamId(0), 42, 5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn level_distribution_is_geometric() {
+        let mut s = TwoLevelSketch::new(SketchConfig::default(), 99);
+        let n = 1 << 15;
+        for e in 0..n as u64 {
+            s.insert(e);
+        }
+        // Level 0 should hold ≈ n/2, level 1 ≈ n/4, ...
+        for l in 0..5u32 {
+            let got = s.level_total(l) as f64;
+            let expect = n as f64 / 2f64.powi(l as i32 + 1);
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.15, "level {l}: {got} vs {expect}");
+        }
+    }
+}

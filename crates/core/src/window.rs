@@ -1,0 +1,248 @@
+//! Approximate time-windowed synopses via epoch rotation — a
+//! production-oriented extension beyond the paper.
+//!
+//! The paper's synopses summarize a stream *since the beginning of time*.
+//! Monitoring deployments usually ask about recent history ("distinct
+//! sources in the last hour"). Because 2-level hash sketches merge by
+//! addition, a cheap approximation is **epoch rotation**: keep `g`
+//! generation sketches, route updates to the newest, and every epoch
+//! boundary drop the oldest and start a fresh one. A query over the merge
+//! of all live generations then covers between `g−1` and `g` epochs of
+//! history — the classic coarse sliding window.
+//!
+//! **Deletion caveat**: a deletion is only meaningful if the matching
+//! insertion lives in a *current* generation; deleting an element whose
+//! insertion has already rotated out drives cells negative and voids the
+//! property-check guarantees. This fits the windowed use cases (session
+//! opens/closes within an epoch span; append-mostly analytics) — the
+//! type tracks and surfaces net-negative evidence via
+//! [`RotatingSketchVector::saw_underflow`].
+
+use crate::error::EstimateError;
+use crate::family::{SketchFamily, SketchVector};
+use setstream_stream::{Element, Update};
+use std::collections::VecDeque;
+
+/// A ring of generation synopses implementing a coarse sliding window.
+#[derive(Debug, Clone)]
+pub struct RotatingSketchVector {
+    family: SketchFamily,
+    /// Front = oldest generation, back = current.
+    generations: VecDeque<SketchVector>,
+    capacity: usize,
+    rotations: u64,
+    underflow: bool,
+}
+
+impl RotatingSketchVector {
+    /// A window of `generations ≥ 1` epochs using `family`'s coins.
+    ///
+    /// # Panics
+    /// Panics if `generations == 0`.
+    pub fn new(family: SketchFamily, generations: usize) -> Self {
+        assert!(generations >= 1, "need at least one generation");
+        let mut ring = VecDeque::with_capacity(generations);
+        ring.push_back(family.new_vector());
+        RotatingSketchVector {
+            family,
+            generations: ring,
+            capacity: generations,
+            rotations: 0,
+            underflow: false,
+        }
+    }
+
+    /// Number of epochs the window spans when full.
+    pub fn window_epochs(&self) -> usize {
+        self.capacity
+    }
+
+    /// Generations currently live (≤ `window_epochs`).
+    pub fn live_generations(&self) -> usize {
+        self.generations.len()
+    }
+
+    /// Epoch boundaries crossed so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// `true` if any deletion could not be matched inside the live window
+    /// (the total net count of the current generation went negative) —
+    /// estimates may be unreliable once set.
+    pub fn saw_underflow(&self) -> bool {
+        self.underflow
+    }
+
+    /// Apply a net change to the current generation.
+    pub fn update(&mut self, e: Element, delta: i64) {
+        let current = self.generations.back_mut().expect("ring is never empty");
+        current.update(e, delta);
+        if delta < 0 && current.sketches()[0].total_count() < 0 {
+            self.underflow = true;
+        }
+    }
+
+    /// Insert one copy of `e` into the current epoch.
+    pub fn insert(&mut self, e: Element) {
+        self.update(e, 1);
+    }
+
+    /// Delete one copy of `e` from the current epoch.
+    pub fn delete(&mut self, e: Element) {
+        self.update(e, -1);
+    }
+
+    /// Route an update tuple.
+    pub fn process(&mut self, u: &Update) {
+        self.update(u.element, u.delta);
+    }
+
+    /// Cross an epoch boundary: start a fresh generation, dropping the
+    /// oldest once the ring is full. Returns the number of generations
+    /// now live.
+    pub fn rotate(&mut self) -> usize {
+        if self.generations.len() == self.capacity {
+            self.generations.pop_front();
+        }
+        self.generations.push_back(self.family.new_vector());
+        self.rotations += 1;
+        self.generations.len()
+    }
+
+    /// Merge the live generations into a plain synopsis covering the
+    /// current window — feed it to any estimator in [`crate::estimate`].
+    pub fn window_synopsis(&self) -> Result<SketchVector, EstimateError> {
+        let mut iter = self.generations.iter();
+        let mut merged = iter.next().expect("ring is never empty").clone();
+        for g in iter {
+            merged.merge_from(g)?;
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{self, EstimatorOptions};
+
+    fn family() -> SketchFamily {
+        SketchFamily::builder()
+            .copies(128)
+            .second_level(8)
+            .seed(2027)
+            .build()
+    }
+
+    #[test]
+    fn window_forgets_old_epochs() {
+        let mut w = RotatingSketchVector::new(family(), 2);
+        // Epoch 1: elements 0..3000.
+        for e in 0..3000u64 {
+            w.insert(e);
+        }
+        w.rotate();
+        // Epoch 2: elements 3000..4000.
+        for e in 3000..4000u64 {
+            w.insert(e);
+        }
+        // Window = epochs 1+2 → ~4000 distinct.
+        let opts = EstimatorOptions::default();
+        let est = estimate::union(&[&w.window_synopsis().unwrap()], &opts)
+            .unwrap()
+            .value;
+        assert!((est - 4000.0).abs() / 4000.0 < 0.2, "estimate {est}");
+
+        w.rotate();
+        // Epoch 3: elements 4000..4500. Window = epochs 2+3 → ~1500.
+        for e in 4000..4500u64 {
+            w.insert(e);
+        }
+        let est = estimate::union(&[&w.window_synopsis().unwrap()], &opts)
+            .unwrap()
+            .value;
+        assert!(
+            (est - 1500.0).abs() / 1500.0 < 0.25,
+            "old epoch must be forgotten: estimate {est}"
+        );
+        assert_eq!(w.rotations(), 2);
+        assert_eq!(w.live_generations(), 2);
+    }
+
+    #[test]
+    fn windows_of_different_streams_remain_comparable() {
+        // The window synopses share the family's coins, so expression
+        // estimation across windowed streams works unchanged.
+        let fam = family();
+        let mut a = RotatingSketchVector::new(fam, 3);
+        let mut b = RotatingSketchVector::new(fam, 3);
+        for e in 0..2000u64 {
+            a.insert(e);
+            b.insert(e + 1000);
+        }
+        a.rotate();
+        b.rotate();
+        for e in 2000..2500u64 {
+            a.insert(e);
+            b.insert(e);
+        }
+        let wa = a.window_synopsis().unwrap();
+        let wb = b.window_synopsis().unwrap();
+        let est = estimate::intersection(&wa, &wb, &EstimatorOptions::default())
+            .unwrap()
+            .value;
+        // A∩B within the window = {1000..2000} ∪ {2000..2500} → 1500.
+        assert!((est - 1500.0).abs() / 1500.0 < 0.3, "estimate {est}");
+    }
+
+    #[test]
+    fn same_epoch_deletions_are_exact() {
+        let mut w = RotatingSketchVector::new(family(), 2);
+        for e in 0..1000u64 {
+            w.insert(e);
+        }
+        for e in 500..1000u64 {
+            w.delete(e);
+        }
+        assert!(!w.saw_underflow());
+        let est = estimate::union(
+            &[&w.window_synopsis().unwrap()],
+            &EstimatorOptions::default(),
+        )
+        .unwrap()
+        .value;
+        assert!((est - 500.0).abs() / 500.0 < 0.3, "estimate {est}");
+    }
+
+    #[test]
+    fn cross_epoch_deletion_flags_underflow() {
+        let mut w = RotatingSketchVector::new(family(), 1);
+        w.insert(42);
+        w.rotate(); // the insert rotates out
+        w.delete(42); // unmatched deletion
+        assert!(w.saw_underflow());
+    }
+
+    #[test]
+    fn single_generation_degenerates_to_tumbling_window() {
+        let mut w = RotatingSketchVector::new(family(), 1);
+        for e in 0..500u64 {
+            w.insert(e);
+        }
+        w.rotate();
+        let est = estimate::union(
+            &[&w.window_synopsis().unwrap()],
+            &EstimatorOptions::default(),
+        )
+        .unwrap()
+        .value;
+        assert_eq!(est, 0.0, "tumbling window starts empty after rotate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one generation")]
+    fn zero_generations_rejected() {
+        let _ = RotatingSketchVector::new(family(), 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The central site: merges per-stream synopses from all sites and answers
+//! set-expression cardinality queries (Figure 1's "Set-Expression Query
+//! Processing Engine", deployed in the stored-coins model).
+//!
+//! Thread-safe: sites may deliver frames concurrently (ingestion takes a
+//! short [`parking_lot::Mutex`] critical section per frame), while queries
+//! snapshot under the same lock. Linearity of the sketches guarantees the
+//! merged synopsis equals a single-site synopsis of the combined traffic,
+//! regardless of delivery order.
+
+use crate::site::{Hello, SynopsisMessage};
+use crate::codec;
+use crate::wire::{FrameKind, WireError};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use setstream_core::{estimate, Estimate, EstimateError, EstimatorOptions, SketchFamily, SketchVector};
+use setstream_expr::SetExpr;
+use setstream_stream::StreamId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Coordinator failures.
+#[derive(Debug)]
+pub enum CoordinatorError {
+    /// A frame failed to decode or verify.
+    Wire(WireError),
+    /// A site announced coins different from the coordinator's.
+    CoinMismatch {
+        /// The offending site.
+        site: u32,
+    },
+    /// A synopsis arrived that is incompatible with the family.
+    Estimate(EstimateError),
+    /// A query referenced a stream no site has reported.
+    UnknownStream(StreamId),
+}
+
+impl fmt::Display for CoordinatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordinatorError::Wire(e) => write!(f, "wire error: {e}"),
+            CoordinatorError::CoinMismatch { site } => {
+                write!(f, "site {site} uses different stored coins")
+            }
+            CoordinatorError::Estimate(e) => write!(f, "estimation error: {e}"),
+            CoordinatorError::UnknownStream(s) => write!(f, "no synopsis for stream {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordinatorError {}
+
+impl From<WireError> for CoordinatorError {
+    fn from(e: WireError) -> Self {
+        CoordinatorError::Wire(e)
+    }
+}
+
+impl From<EstimateError> for CoordinatorError {
+    fn from(e: EstimateError) -> Self {
+        CoordinatorError::Estimate(e)
+    }
+}
+
+#[derive(Default)]
+struct State {
+    /// Merged synopsis per logical stream.
+    merged: BTreeMap<StreamId, SketchVector>,
+    /// Frames ingested (diagnostics).
+    frames: u64,
+    /// Sites seen via hello frames.
+    sites: Vec<u32>,
+}
+
+/// The query-processing coordinator.
+pub struct Coordinator {
+    family: SketchFamily,
+    options: EstimatorOptions,
+    state: Mutex<State>,
+}
+
+impl Coordinator {
+    /// Coordinator expecting synopses built with `family`'s coins.
+    pub fn new(family: SketchFamily) -> Self {
+        Coordinator {
+            family,
+            options: EstimatorOptions::default(),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Override the estimator options used for queries.
+    pub fn with_options(mut self, options: EstimatorOptions) -> Self {
+        options.validate();
+        self.options = options;
+        self
+    }
+
+    /// The stored coins queries are answered under.
+    pub fn family(&self) -> &SketchFamily {
+        &self.family
+    }
+
+    /// Ingest one frame from a site.
+    pub fn ingest_frame(&self, frame: &Bytes) -> Result<(), CoordinatorError> {
+        // Decode outside the lock; merge inside.
+        let (kind, payload) = crate::wire::decode_frame(frame.clone())?;
+        match kind {
+            FrameKind::Hello => {
+                let hello: Hello = codec::from_bytes(&payload).map_err(WireError::from)?;
+                if hello.family != self.family {
+                    return Err(CoordinatorError::CoinMismatch { site: hello.site });
+                }
+                let mut st = self.state.lock();
+                st.frames += 1;
+                if !st.sites.contains(&hello.site) {
+                    st.sites.push(hello.site);
+                }
+            }
+            FrameKind::Synopsis => {
+                let msg: SynopsisMessage =
+                    codec::from_bytes(&payload).map_err(WireError::from)?;
+                if msg.vector.family() != &self.family {
+                    return Err(CoordinatorError::CoinMismatch { site: msg.site });
+                }
+                let mut st = self.state.lock();
+                st.frames += 1;
+                match st.merged.get_mut(&msg.stream) {
+                    Some(existing) => existing.merge_from(&msg.vector)?,
+                    None => {
+                        st.merged.insert(msg.stream, msg.vector);
+                    }
+                }
+            }
+            FrameKind::Flush => {
+                self.state.lock().frames += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Streams for which a merged synopsis exists.
+    pub fn streams(&self) -> Vec<StreamId> {
+        self.state.lock().merged.keys().copied().collect()
+    }
+
+    /// Sites that have said hello.
+    pub fn sites(&self) -> Vec<u32> {
+        self.state.lock().sites.clone()
+    }
+
+    /// Total frames ingested.
+    pub fn frames_ingested(&self) -> u64 {
+        self.state.lock().frames
+    }
+
+    /// Estimate `|E|` over the merged global synopses.
+    pub fn estimate_expression(&self, expr: &SetExpr) -> Result<Estimate, CoordinatorError> {
+        let st = self.state.lock();
+        let mut pairs: Vec<(StreamId, &SketchVector)> = Vec::new();
+        for id in expr.streams() {
+            let v = st
+                .merged
+                .get(&id)
+                .ok_or(CoordinatorError::UnknownStream(id))?;
+            pairs.push((id, v));
+        }
+        Ok(estimate::expression(expr, &pairs, &self.options)?)
+    }
+
+    /// Estimate the distinct-count union over a set of streams.
+    pub fn estimate_union(&self, streams: &[StreamId]) -> Result<Estimate, CoordinatorError> {
+        let st = self.state.lock();
+        let mut vs: Vec<&SketchVector> = Vec::with_capacity(streams.len());
+        for id in streams {
+            vs.push(
+                st.merged
+                    .get(id)
+                    .ok_or(CoordinatorError::UnknownStream(*id))?,
+            );
+        }
+        Ok(estimate::union(&vs, &self.options)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::Site;
+    use setstream_stream::Update;
+
+    fn family() -> SketchFamily {
+        SketchFamily::builder()
+            .copies(64)
+            .second_level(8)
+            .seed(2024)
+            .build()
+    }
+
+    fn deliver(site: &Site, coord: &Coordinator) {
+        for frame in site.snapshot_frames().unwrap() {
+            coord.ingest_frame(&frame).unwrap();
+        }
+    }
+
+    #[test]
+    fn merged_synopsis_equals_single_site() {
+        let fam = family();
+        // Split one logical stream across two sites.
+        let mut s1 = Site::new(1, fam);
+        let mut s2 = Site::new(2, fam);
+        let mut all = Site::new(3, fam);
+        for e in 0..1000u64 {
+            let u = Update::insert(StreamId(0), e, 1);
+            if e % 2 == 0 {
+                s1.observe(&u);
+            } else {
+                s2.observe(&u);
+            }
+            all.observe(&u);
+        }
+        let coord = Coordinator::new(fam);
+        deliver(&s1, &coord);
+        deliver(&s2, &coord);
+        let merged = coord
+            .estimate_union(&[StreamId(0)])
+            .unwrap()
+            .value;
+        // Ground truth comparison: single-site synopsis gives the exact
+        // same estimate (identical counters).
+        let direct = estimate::union(
+            &[all.synopsis(StreamId(0)).unwrap()],
+            &EstimatorOptions::default(),
+        )
+        .unwrap()
+        .value;
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn expression_queries_over_sites() {
+        let fam = family();
+        let mut site = Site::new(1, fam);
+        // A = 0..2000, B = 1000..3000 → |A∩B| = 1000.
+        for e in 0..2000u64 {
+            site.observe(&Update::insert(StreamId(0), e, 1));
+        }
+        for e in 1000..3000u64 {
+            site.observe(&Update::insert(StreamId(1), e, 1));
+        }
+        let coord = Coordinator::new(fam);
+        deliver(&site, &coord);
+        let est = coord
+            .estimate_expression(&"A & B".parse().unwrap())
+            .unwrap();
+        let rel = (est.value - 1000.0).abs() / 1000.0;
+        assert!(rel < 0.4, "estimate {}", est.value);
+    }
+
+    #[test]
+    fn coin_mismatch_is_rejected() {
+        let coord = Coordinator::new(family());
+        let other = SketchFamily::builder().copies(64).seed(999).build();
+        let mut site = Site::new(5, other);
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        let frames = site.snapshot_frames().unwrap();
+        let err = coord.ingest_frame(&frames[0]).unwrap_err();
+        assert!(matches!(err, CoordinatorError::CoinMismatch { site: 5 }));
+    }
+
+    #[test]
+    fn unknown_stream_query_errors() {
+        let coord = Coordinator::new(family());
+        let err = coord
+            .estimate_expression(&"A & B".parse().unwrap())
+            .unwrap_err();
+        assert!(matches!(err, CoordinatorError::UnknownStream(StreamId(0))));
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected() {
+        let fam = family();
+        let mut site = Site::new(1, fam);
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        let frames = site.snapshot_frames().unwrap();
+        let mut bad = frames[1].to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        let err = Coordinator::new(fam).ingest_frame(&Bytes::from(bad)).unwrap_err();
+        assert!(matches!(err, CoordinatorError::Wire(_)));
+    }
+
+    #[test]
+    fn concurrent_ingestion_from_many_sites() {
+        let fam = family();
+        let coord = std::sync::Arc::new(Coordinator::new(fam));
+        let mut site_frames = Vec::new();
+        for sid in 0..8u32 {
+            let mut site = Site::new(sid, fam);
+            for e in 0..500u64 {
+                site.observe(&Update::insert(StreamId(0), (sid as u64) * 500 + e, 1));
+            }
+            site_frames.push(site.snapshot_frames().unwrap());
+        }
+        crossbeam::thread::scope(|scope| {
+            for frames in &site_frames {
+                let coord = coord.clone();
+                scope.spawn(move |_| {
+                    for f in frames {
+                        coord.ingest_frame(f).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(coord.sites().len(), 8);
+        let est = coord.estimate_union(&[StreamId(0)]).unwrap().value;
+        let rel = (est - 4000.0).abs() / 4000.0;
+        assert!(rel < 0.3, "estimate {est}");
+    }
+}

@@ -1,0 +1,57 @@
+//! The distributed-streams deployment model with **stored coins**
+//! (Gibbons & Tirthapura), which the paper's §1/§3 say 2-level hash
+//! sketches extend to naturally.
+//!
+//! Each *site* observes one part of the update traffic and maintains local
+//! synopses using hash functions derived from a shared master seed (the
+//! stored coins). Sites periodically ship their synopses — as compact
+//! binary frames — to a *coordinator*, which merges them per stream
+//! (sketch linearity makes merged synopses identical to single-site ones)
+//! and answers set-expression cardinality queries over the union of all
+//! traffic.
+//!
+//! Modules:
+//!
+//! * [`codec`] — a compact, non-self-describing binary serde format
+//!   (little-endian, length-prefixed), written from scratch;
+//! * [`wire`] — length-delimited, CRC-checked frames over [`bytes`];
+//! * [`site`] — the per-site stream processor;
+//! * [`coordinator`] — synopsis ingestion, merging and query answering.
+//!
+//! # Example
+//!
+//! ```
+//! use setstream_core::SketchFamily;
+//! use setstream_distributed::{coordinator::Coordinator, site::Site};
+//! use setstream_stream::{StreamId, Update};
+//!
+//! let family = SketchFamily::builder().copies(64).seed(7).build();
+//! let mut site1 = Site::new(1, family);
+//! let mut site2 = Site::new(2, family);
+//! // The same logical stream A observed at two sites.
+//! for e in 0..500u64 {
+//!     site1.observe(&Update::insert(StreamId(0), e, 1));
+//!     site2.observe(&Update::insert(StreamId(0), e + 300, 1));
+//! }
+//! let mut coord = Coordinator::new(family);
+//! for frame in site1.snapshot_frames().unwrap() {
+//!     coord.ingest_frame(&frame).unwrap();
+//! }
+//! for frame in site2.snapshot_frames().unwrap() {
+//!     coord.ingest_frame(&frame).unwrap();
+//! }
+//! let est = coord.estimate_expression(&"A".parse().unwrap()).unwrap();
+//! assert!((est.value - 800.0).abs() / 800.0 < 0.3);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod codec;
+pub mod coordinator;
+pub mod network;
+pub mod site;
+pub mod wire;
+
+pub use coordinator::Coordinator;
+pub use site::Site;

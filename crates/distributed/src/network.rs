@@ -1,0 +1,398 @@
+//! An in-memory lossy network and a reliable-delivery layer for synopsis
+//! collection.
+//!
+//! The paper's deployment ships synopses from sites to a central
+//! processor "periodically" over a real network; frames can be dropped,
+//! corrupted, duplicated or reordered in flight. Because the coordinator
+//! *merges* synopsis frames (cell-wise addition), raw retransmission
+//! would double-count — so collection runs over a small
+//! acknowledge-and-dedup protocol:
+//!
+//! * every frame travels in an **envelope** with a unique id;
+//! * the receiver ignores envelope ids it has already accepted, verifies
+//!   the inner frame (CRC), and hands it to the coordinator exactly once;
+//! * the sender retransmits unacknowledged envelopes each round.
+//!
+//! [`LossyLink`] injects seeded faults; [`deliver_reliably`] runs the
+//! protocol to completion and reports the rounds and retransmissions it
+//! needed. Tests (and `tests/distributed_pipeline.rs`) show that the
+//! merged synopsis is exactly right no matter the fault pattern — as long
+//! as every frame eventually gets through.
+
+use crate::coordinator::{Coordinator, CoordinatorError};
+use bytes::{BufMut, Bytes, BytesMut};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Fault model for a simulated link.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability a surviving frame has one byte corrupted.
+    pub corrupt: f64,
+    /// Probability a surviving frame is delivered twice.
+    pub duplicate: f64,
+    /// Shuffle delivery order within a round.
+    pub reorder: bool,
+}
+
+impl FaultSpec {
+    /// A perfect link.
+    pub fn reliable() -> Self {
+        FaultSpec {
+            drop: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            reorder: false,
+        }
+    }
+
+    /// A nasty link: 30% drops, 10% corruption, 10% duplication,
+    /// reordering.
+    pub fn nasty() -> Self {
+        FaultSpec {
+            drop: 0.3,
+            corrupt: 0.1,
+            duplicate: 0.1,
+            reorder: true,
+        }
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("corrupt", self.corrupt),
+            ("duplicate", self.duplicate),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} probability out of range");
+        }
+    }
+}
+
+/// A seeded, fault-injecting unidirectional link.
+#[derive(Debug)]
+pub struct LossyLink {
+    spec: FaultSpec,
+    rng: StdRng,
+    in_flight: Vec<Bytes>,
+    /// Total frames accepted for transmission.
+    pub sent: u64,
+    /// Frames dropped by the link.
+    pub dropped: u64,
+    /// Frames corrupted by the link.
+    pub corrupted: u64,
+}
+
+impl LossyLink {
+    /// A link with the given faults and deterministic seed.
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        spec.validate();
+        LossyLink {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            in_flight: Vec::new(),
+            sent: 0,
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Offer a frame for transmission.
+    pub fn send(&mut self, frame: Bytes) {
+        self.sent += 1;
+        if self.rng.gen_bool(self.spec.drop) {
+            self.dropped += 1;
+            return;
+        }
+        let frame = if self.rng.gen_bool(self.spec.corrupt) {
+            self.corrupted += 1;
+            let mut bytes = frame.to_vec();
+            if !bytes.is_empty() {
+                let i = self.rng.gen_range(0..bytes.len());
+                bytes[i] ^= 1 << self.rng.gen_range(0..8);
+            }
+            Bytes::from(bytes)
+        } else {
+            frame
+        };
+        if self.rng.gen_bool(self.spec.duplicate) {
+            self.in_flight.push(frame.clone());
+        }
+        self.in_flight.push(frame);
+    }
+
+    /// Drain everything currently in flight (one delivery round).
+    pub fn drain(&mut self) -> Vec<Bytes> {
+        if self.spec.reorder {
+            // Fisher–Yates with the link's own RNG.
+            for i in (1..self.in_flight.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                self.in_flight.swap(i, j);
+            }
+        }
+        std::mem::take(&mut self.in_flight)
+    }
+}
+
+/// Outcome of a reliable collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryReport {
+    /// Rounds (send + drain cycles) used.
+    pub rounds: u32,
+    /// Total envelope transmissions, including retransmissions.
+    pub transmissions: u64,
+    /// Distinct frames delivered to the coordinator.
+    pub delivered: usize,
+}
+
+/// Reliable-delivery failure.
+#[derive(Debug)]
+pub enum DeliveryError {
+    /// The round budget ran out with frames still unacknowledged.
+    Incomplete {
+        /// Frames that never made it.
+        missing: usize,
+        /// Rounds attempted.
+        rounds: u32,
+    },
+    /// The coordinator rejected a *valid* frame (e.g. coin mismatch) —
+    /// retransmission cannot fix that.
+    Rejected(CoordinatorError),
+}
+
+impl fmt::Display for DeliveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeliveryError::Incomplete { missing, rounds } => {
+                write!(f, "{missing} frames undelivered after {rounds} rounds")
+            }
+            DeliveryError::Rejected(e) => write!(f, "coordinator rejected frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeliveryError {}
+
+/// Envelope: `id:u64 | frame bytes`.
+fn envelope(id: u64, frame: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + frame.len());
+    buf.put_u64_le(id);
+    buf.put_slice(frame);
+    buf.freeze()
+}
+
+fn open_envelope(mut bytes: Bytes) -> Option<(u64, Bytes)> {
+    use bytes::Buf;
+    if bytes.len() < 8 {
+        return None;
+    }
+    let id = bytes.get_u64_le();
+    Some((id, bytes))
+}
+
+/// Ship `frames` to `coordinator` across `link`, retransmitting until all
+/// are acknowledged or `max_rounds` is exhausted. Acks are assumed
+/// reliable (they are tiny; a lossy ack path only raises the round count,
+/// which the caller already bounds).
+pub fn deliver_reliably(
+    frames: &[Bytes],
+    link: &mut LossyLink,
+    coordinator: &Coordinator,
+    max_rounds: u32,
+) -> Result<DeliveryReport, DeliveryError> {
+    let mut acked: Vec<bool> = vec![false; frames.len()];
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut transmissions = 0u64;
+    for round in 1..=max_rounds {
+        // Send every unacked frame.
+        for (i, frame) in frames.iter().enumerate() {
+            if !acked[i] {
+                link.send(envelope(i as u64, frame));
+                transmissions += 1;
+            }
+        }
+        // Deliver.
+        for received in link.drain() {
+            let Some((id, frame)) = open_envelope(received) else {
+                continue; // truncated envelope
+            };
+            let Some(slot) = acked.get_mut(id as usize) else {
+                continue; // id corrupted out of range
+            };
+            if seen.contains(&id) {
+                continue; // duplicate of an accepted frame
+            }
+            match coordinator.ingest_frame(&frame) {
+                Ok(()) => {
+                    seen.insert(id);
+                    *slot = true;
+                }
+                Err(CoordinatorError::Wire(_)) => {
+                    // Corrupted in flight: leave unacked, retransmit.
+                }
+                Err(fatal) => return Err(DeliveryError::Rejected(fatal)),
+            }
+        }
+        if acked.iter().all(|&a| a) {
+            return Ok(DeliveryReport {
+                rounds: round,
+                transmissions,
+                delivered: frames.len(),
+            });
+        }
+    }
+    Err(DeliveryError::Incomplete {
+        missing: acked.iter().filter(|&&a| !a).count(),
+        rounds: max_rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::Site;
+    use setstream_core::SketchFamily;
+    use setstream_stream::{StreamId, Update};
+
+    fn family() -> SketchFamily {
+        SketchFamily::builder()
+            .copies(32)
+            .second_level(8)
+            .seed(5)
+            .build()
+    }
+
+    fn site_frames() -> Vec<Bytes> {
+        let mut site = Site::new(1, family());
+        for e in 0..2000u64 {
+            site.observe(&Update::insert(StreamId((e % 3) as u32), e, 1));
+        }
+        site.snapshot_frames().unwrap()
+    }
+
+    #[test]
+    fn reliable_link_delivers_in_one_round() {
+        let frames = site_frames();
+        let mut link = LossyLink::new(FaultSpec::reliable(), 1);
+        let coord = Coordinator::new(family());
+        let report = deliver_reliably(&frames, &mut link, &coord, 3).unwrap();
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.transmissions as usize, frames.len());
+        assert_eq!(report.delivered, frames.len());
+    }
+
+    #[test]
+    fn nasty_link_converges_to_exact_state() {
+        let frames = site_frames();
+        // Reference: same frames over a perfect link.
+        let clean = Coordinator::new(family());
+        for f in &frames {
+            clean.ingest_frame(f).unwrap();
+        }
+
+        let coord = Coordinator::new(family());
+        let mut link = LossyLink::new(FaultSpec::nasty(), 99);
+        let report = deliver_reliably(&frames, &mut link, &coord, 100).unwrap();
+        assert!(report.rounds > 1, "faults should force retransmission");
+        assert!(link.dropped > 0 || link.corrupted > 0);
+
+        // The merged synopsis must be identical despite duplicates,
+        // corruption and reordering.
+        for stream in clean.streams() {
+            let a = clean.estimate_union(&[stream]).unwrap().value;
+            let b = coord.estimate_union(&[stream]).unwrap().value;
+            assert_eq!(a, b, "stream {stream}");
+        }
+    }
+
+    #[test]
+    fn total_blackout_reports_incomplete() {
+        let frames = site_frames();
+        let mut link = LossyLink::new(
+            FaultSpec {
+                drop: 1.0,
+                ..FaultSpec::reliable()
+            },
+            3,
+        );
+        let coord = Coordinator::new(family());
+        match deliver_reliably(&frames, &mut link, &coord, 5) {
+            Err(DeliveryError::Incomplete { missing, rounds }) => {
+                assert_eq!(missing, frames.len());
+                assert_eq!(rounds, 5);
+            }
+            other => panic!("expected Incomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coin_mismatch_is_fatal_not_retried() {
+        let other = SketchFamily::builder().copies(32).second_level(8).seed(6).build();
+        let mut site = Site::new(2, other);
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        let frames = site.snapshot_frames().unwrap();
+        let coord = Coordinator::new(family());
+        let mut link = LossyLink::new(FaultSpec::reliable(), 4);
+        match deliver_reliably(&frames, &mut link, &coord, 10) {
+            Err(DeliveryError::Rejected(_)) => {}
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_stats_are_tracked() {
+        let mut link = LossyLink::new(
+            FaultSpec {
+                drop: 0.5,
+                ..FaultSpec::reliable()
+            },
+            7,
+        );
+        for _ in 0..1000 {
+            link.send(Bytes::from_static(b"xyz"));
+        }
+        assert_eq!(link.sent, 1000);
+        assert!(link.dropped > 400 && link.dropped < 600, "{}", link.dropped);
+        assert_eq!(link.drain().len() as u64, 1000 - link.dropped);
+        assert!(link.drain().is_empty(), "drain empties the link");
+    }
+
+    #[test]
+    fn duplicates_do_not_double_merge() {
+        let frames = site_frames();
+        let clean = Coordinator::new(family());
+        for f in &frames {
+            clean.ingest_frame(f).unwrap();
+        }
+        let coord = Coordinator::new(family());
+        let mut link = LossyLink::new(
+            FaultSpec {
+                duplicate: 1.0,
+                ..FaultSpec::reliable()
+            },
+            11,
+        );
+        deliver_reliably(&frames, &mut link, &coord, 3).unwrap();
+        for stream in clean.streams() {
+            assert_eq!(
+                clean.estimate_union(&[stream]).unwrap().value,
+                coord.estimate_union(&[stream]).unwrap().value
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn invalid_fault_spec_rejected() {
+        let _ = LossyLink::new(
+            FaultSpec {
+                drop: 1.5,
+                ..FaultSpec::reliable()
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! A site: one observer in the distributed-streams model.
+//!
+//! Each site sees a part of the global update traffic (e.g. one IP
+//! router's element-management system in the paper's motivating setup),
+//! maintains a [`SketchVector`] per logical stream using the family's
+//! stored coins, and periodically emits its synopses as wire frames.
+
+use crate::wire::{encode_frame, FrameKind, WireError};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use setstream_core::{SketchFamily, SketchVector};
+use setstream_stream::{StreamId, Update};
+use std::collections::BTreeMap;
+
+/// Site identity carried in every frame.
+pub type SiteId = u32;
+
+/// The hello message announcing a site and its coins.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hello {
+    /// Sender.
+    pub site: SiteId,
+    /// Family the site builds synopses with; the coordinator refuses
+    /// sites whose coins differ from its own.
+    pub family: SketchFamily,
+}
+
+/// One stream's synopsis snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynopsisMessage {
+    /// Sender.
+    pub site: SiteId,
+    /// Which logical stream this synopsis summarizes.
+    pub stream: StreamId,
+    /// The synopsis itself.
+    pub vector: SketchVector,
+}
+
+/// A stream-processing site.
+#[derive(Debug, Clone)]
+pub struct Site {
+    id: SiteId,
+    family: SketchFamily,
+    streams: BTreeMap<StreamId, SketchVector>,
+}
+
+impl Site {
+    /// A site using the shared `family` coins.
+    pub fn new(id: SiteId, family: SketchFamily) -> Self {
+        Site {
+            id,
+            family,
+            streams: BTreeMap::new(),
+        }
+    }
+
+    /// This site's id.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// The family (stored coins) in use.
+    pub fn family(&self) -> &SketchFamily {
+        &self.family
+    }
+
+    /// Route one update into the synopsis of its stream, creating the
+    /// synopsis on first sight.
+    pub fn observe(&mut self, update: &Update) {
+        self.streams
+            .entry(update.stream)
+            .or_insert_with(|| self.family.new_vector())
+            .process(update);
+    }
+
+    /// Streams this site has observed.
+    pub fn streams(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.streams.keys().copied()
+    }
+
+    /// Direct access to a stream's synopsis (e.g. for local queries).
+    pub fn synopsis(&self, stream: StreamId) -> Option<&SketchVector> {
+        self.streams.get(&stream)
+    }
+
+    /// The hello frame for this site.
+    pub fn hello_frame(&self) -> Result<Bytes, WireError> {
+        encode_frame(
+            FrameKind::Hello,
+            &Hello {
+                site: self.id,
+                family: self.family,
+            },
+        )
+    }
+
+    /// Serialize every stream's synopsis as a frame batch, terminated by a
+    /// `Flush` frame. Snapshotting does not disturb the live synopses —
+    /// the site keeps streaming afterwards.
+    pub fn snapshot_frames(&self) -> Result<Vec<Bytes>, WireError> {
+        let mut frames = Vec::with_capacity(self.streams.len() + 2);
+        frames.push(self.hello_frame()?);
+        for (&stream, vector) in &self.streams {
+            frames.push(encode_frame(
+                FrameKind::Synopsis,
+                &SynopsisMessage {
+                    site: self.id,
+                    stream,
+                    vector: vector.clone(),
+                },
+            )?);
+        }
+        frames.push(encode_frame(FrameKind::Flush, &self.id)?);
+        Ok(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::decode_payload;
+
+    fn family() -> SketchFamily {
+        SketchFamily::builder()
+            .copies(4)
+            .levels(16)
+            .second_level(4)
+            .seed(42)
+            .build()
+    }
+
+    #[test]
+    fn observe_routes_by_stream() {
+        let mut site = Site::new(7, family());
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        site.observe(&Update::insert(StreamId(1), 2, 3));
+        site.observe(&Update::delete(StreamId(1), 2, 1));
+        assert_eq!(site.streams().count(), 2);
+        assert_eq!(
+            site.synopsis(StreamId(1)).unwrap().sketches()[0].total_count(),
+            2
+        );
+        assert!(site.synopsis(StreamId(9)).is_none());
+    }
+
+    #[test]
+    fn snapshot_contains_hello_synopses_flush() {
+        let mut site = Site::new(3, family());
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        site.observe(&Update::insert(StreamId(5), 2, 1));
+        let frames = site.snapshot_frames().unwrap();
+        assert_eq!(frames.len(), 4); // hello + 2 synopses + flush
+
+        let (kind, hello): (_, Hello) = decode_payload(frames[0].clone()).unwrap();
+        assert_eq!(kind, FrameKind::Hello);
+        assert_eq!(hello.site, 3);
+        assert_eq!(&hello.family, site.family());
+
+        let (kind, syn): (_, SynopsisMessage) = decode_payload(frames[1].clone()).unwrap();
+        assert_eq!(kind, FrameKind::Synopsis);
+        assert_eq!(syn.stream, StreamId(0));
+
+        let (kind, site_id): (_, SiteId) = decode_payload(frames[3].clone()).unwrap();
+        assert_eq!(kind, FrameKind::Flush);
+        assert_eq!(site_id, 3);
+    }
+
+    #[test]
+    fn snapshot_is_nondestructive() {
+        let mut site = Site::new(1, family());
+        site.observe(&Update::insert(StreamId(0), 9, 2));
+        let _ = site.snapshot_frames().unwrap();
+        site.observe(&Update::insert(StreamId(0), 10, 1));
+        assert_eq!(
+            site.synopsis(StreamId(0)).unwrap().sketches()[0].total_count(),
+            3
+        );
+    }
+}

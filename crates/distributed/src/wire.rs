@@ -1,0 +1,218 @@
+//! Length-delimited, CRC-checked frames for shipping synopses.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic:u32 | kind:u8 | len:u32 | payload[len] | crc32:u32
+//! ```
+//!
+//! The CRC covers `kind | len | payload` so bit rot anywhere in a frame is
+//! detected before the codec sees it. Built on [`bytes`] so frames can be
+//! sliced out of a receive buffer without copying payloads.
+
+use crate::codec::{self, CodecError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+
+/// Frame magic: "2LHS".
+const MAGIC: u32 = 0x324c_4853;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A site announcing itself and its sketch family.
+    Hello,
+    /// A per-stream synopsis snapshot.
+    Synopsis,
+    /// End of a snapshot batch.
+    Flush,
+}
+
+impl FrameKind {
+    fn as_byte(self) -> u8 {
+        match self {
+            FrameKind::Hello => 1,
+            FrameKind::Synopsis => 2,
+            FrameKind::Flush => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            1 => Ok(FrameKind::Hello),
+            2 => Ok(FrameKind::Synopsis),
+            3 => Ok(FrameKind::Flush),
+            other => Err(WireError::BadKind(other)),
+        }
+    }
+}
+
+/// Wire failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame did not start with the magic bytes.
+    BadMagic(u32),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Frame shorter than its header claims.
+    Truncated,
+    /// Checksum mismatch — the frame was corrupted in flight.
+    Corrupt {
+        /// CRC carried by the frame.
+        expected: u32,
+        /// CRC computed over the received content.
+        actual: u32,
+    },
+    /// Payload decoding failed.
+    Codec(CodecError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#x}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Corrupt { expected, actual } => {
+                write!(f, "frame CRC mismatch: header {expected:#x}, computed {actual:#x}")
+            }
+            WireError::Codec(e) => write!(f, "payload codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+/// Encode `value` as a framed message of the given kind.
+pub fn encode_frame<T: Serialize>(kind: FrameKind, value: &T) -> Result<Bytes, WireError> {
+    let payload = codec::to_bytes(value)?;
+    let mut buf = BytesMut::with_capacity(payload.len() + 13);
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(kind.as_byte());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(&payload);
+    let crc = crc32(&buf[4..]);
+    buf.put_u32_le(crc);
+    Ok(buf.freeze())
+}
+
+/// Decode one frame, returning its kind and raw payload (zero-copy slice
+/// of the input).
+pub fn decode_frame(mut frame: Bytes) -> Result<(FrameKind, Bytes), WireError> {
+    if frame.len() < 13 {
+        return Err(WireError::Truncated);
+    }
+    let crc_region = frame.slice(4..frame.len() - 4);
+    let magic = frame.get_u32_le();
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let kind = FrameKind::from_byte(frame.get_u8())?;
+    let len = frame.get_u32_le() as usize;
+    if frame.len() != len + 4 {
+        return Err(WireError::Truncated);
+    }
+    let payload = frame.slice(..len);
+    frame.advance(len);
+    let expected = frame.get_u32_le();
+    let actual = crc32(&crc_region);
+    if expected != actual {
+        return Err(WireError::Corrupt { expected, actual });
+    }
+    Ok((kind, payload))
+}
+
+/// Decode a frame's payload into `T` after CRC verification.
+pub fn decode_payload<T: DeserializeOwned>(frame: Bytes) -> Result<(FrameKind, T), WireError> {
+    let (kind, payload) = decode_frame(frame)?;
+    Ok((kind, codec::from_bytes(&payload)?))
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-free bitwise variant —
+/// frames are small and this keeps the implementation dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let value: Vec<u64> = (0..50).collect();
+        let frame = encode_frame(FrameKind::Synopsis, &value).unwrap();
+        let (kind, back): (FrameKind, Vec<u64>) = decode_payload(frame).unwrap();
+        assert_eq!(kind, FrameKind::Synopsis);
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        for kind in [FrameKind::Hello, FrameKind::Synopsis, FrameKind::Flush] {
+            let frame = encode_frame(kind, &1u8).unwrap();
+            let (k, _payload) = decode_frame(frame).unwrap();
+            assert_eq!(k, kind);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_anywhere() {
+        let frame = encode_frame(FrameKind::Synopsis, &vec![1u64, 2, 3]).unwrap();
+        for i in 0..frame.len() {
+            let mut bad = frame.to_vec();
+            bad[i] ^= 0x01;
+            let r = decode_frame(Bytes::from(bad));
+            assert!(r.is_err(), "flipping byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let frame = encode_frame(FrameKind::Hello, &42u64).unwrap();
+        for cut in 0..frame.len() {
+            let r = decode_frame(frame.slice(..cut));
+            assert!(r.is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_reported() {
+        let mut bytes = encode_frame(FrameKind::Hello, &0u8).unwrap().to_vec();
+        bytes[0] ^= 0xff;
+        match decode_frame(Bytes::from(bytes)) {
+            Err(WireError::BadMagic(_)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_payload_type_is_codec_error() {
+        let frame = encode_frame(FrameKind::Synopsis, &"text".to_string()).unwrap();
+        let r: Result<(FrameKind, u64), _> = decode_payload(frame);
+        assert!(matches!(r, Err(WireError::Codec(_))));
+    }
+}

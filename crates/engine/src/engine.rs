@@ -1,0 +1,395 @@
+//! The engine proper: stream registry, query registry, evaluation rounds.
+
+use crate::query::{QueryId, RegisteredQuery};
+use crate::watch::{Comparison, Watch, WatchEvent, WatchId};
+use setstream_core::{estimate, Estimate, EstimateError, EstimatorOptions, SketchFamily, SketchVector};
+use setstream_expr::{ParseError, SetExpr};
+use setstream_stream::{StreamId, Update};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Engine failures.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The query text did not parse.
+    Parse(ParseError),
+    /// Estimation failed (incompatible synopses cannot happen inside one
+    /// engine; this surfaces e.g. `NoValidObservations`).
+    Estimate(EstimateError),
+    /// Unknown query handle.
+    UnknownQuery(QueryId),
+    /// Unknown watch handle.
+    UnknownWatch(WatchId),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "query parse error: {e}"),
+            EngineError::Estimate(e) => write!(f, "estimation error: {e}"),
+            EngineError::UnknownQuery(q) => write!(f, "unknown query id {}", q.0),
+            EngineError::UnknownWatch(w) => write!(f, "unknown watch id {}", w.0),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<EstimateError> for EngineError {
+    fn from(e: EstimateError) -> Self {
+        EngineError::Estimate(e)
+    }
+}
+
+/// Operational counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Update tuples processed.
+    pub updates: u64,
+    /// Of which deletions.
+    pub deletions: u64,
+    /// Streams with a live synopsis.
+    pub streams: usize,
+    /// Registered queries.
+    pub queries: usize,
+    /// Registered watches.
+    pub watches: usize,
+    /// Synopsis memory in bytes (counters only).
+    pub synopsis_bytes: usize,
+}
+
+/// The continuous query engine (Figure 1).
+pub struct StreamEngine {
+    family: SketchFamily,
+    options: EstimatorOptions,
+    synopses: BTreeMap<StreamId, SketchVector>,
+    /// Shared stand-in for streams that have never received an update.
+    empty: SketchVector,
+    queries: BTreeMap<QueryId, RegisteredQuery>,
+    watches: BTreeMap<WatchId, Watch>,
+    next_query: u64,
+    next_watch: u64,
+    updates: u64,
+    deletions: u64,
+}
+
+impl StreamEngine {
+    /// Engine with the given synopsis family and default estimator
+    /// options.
+    pub fn new(family: SketchFamily) -> Self {
+        StreamEngine {
+            family,
+            options: EstimatorOptions::default(),
+            synopses: BTreeMap::new(),
+            empty: family.new_vector(),
+            queries: BTreeMap::new(),
+            watches: BTreeMap::new(),
+            next_query: 1,
+            next_watch: 1,
+            updates: 0,
+            deletions: 0,
+        }
+    }
+
+    /// Override the estimator options.
+    pub fn with_options(mut self, options: EstimatorOptions) -> Self {
+        options.validate();
+        self.options = options;
+        self
+    }
+
+    /// The synopsis family in use.
+    pub fn family(&self) -> &SketchFamily {
+        &self.family
+    }
+
+    // ----------------------------------------------------------- updates
+
+    /// Route one update tuple into its stream's synopsis (created lazily).
+    pub fn process(&mut self, update: &Update) {
+        self.synopses
+            .entry(update.stream)
+            .or_insert_with(|| self.family.new_vector())
+            .process(update);
+        self.updates += 1;
+        if update.is_deletion() {
+            self.deletions += 1;
+        }
+    }
+
+    /// Process a batch in arrival order.
+    pub fn process_batch<'a>(&mut self, updates: impl IntoIterator<Item = &'a Update>) {
+        for u in updates {
+            self.process(u);
+        }
+    }
+
+    // ----------------------------------------------------------- queries
+
+    /// Register a continuous query from text (see
+    /// [`setstream_expr::parser`] for the grammar) or fail with a parse
+    /// error. The expression is simplified before registration.
+    pub fn register_query(&mut self, text: &str) -> Result<QueryId, EngineError> {
+        let expr: SetExpr = text.parse()?;
+        Ok(self.register_query_expr(expr))
+    }
+
+    /// Register a pre-built expression.
+    pub fn register_query_expr(&mut self, expr: SetExpr) -> QueryId {
+        let id = QueryId(self.next_query);
+        self.next_query += 1;
+        self.queries.insert(id, RegisteredQuery::new(id, expr));
+        id
+    }
+
+    /// Remove a query (and any watches bound to it).
+    pub fn unregister_query(&mut self, id: QueryId) -> Result<(), EngineError> {
+        self.queries
+            .remove(&id)
+            .ok_or(EngineError::UnknownQuery(id))?;
+        self.watches.retain(|_, w| w.query != id);
+        Ok(())
+    }
+
+    /// Inspect a registered query.
+    pub fn query(&self, id: QueryId) -> Option<&RegisteredQuery> {
+        self.queries.get(&id)
+    }
+
+    /// All registered queries.
+    pub fn queries(&self) -> impl Iterator<Item = &RegisteredQuery> {
+        self.queries.values()
+    }
+
+    // -------------------------------------------------------- estimation
+
+    /// Answer one registered query from the current synopses.
+    ///
+    /// Streams the query references but the engine has never seen updates
+    /// for are treated as empty (an empty synopsis is minted on the fly).
+    pub fn estimate(&self, id: QueryId) -> Result<Estimate, EngineError> {
+        let q = self
+            .queries
+            .get(&id)
+            .ok_or(EngineError::UnknownQuery(id))?;
+        self.estimate_expr_internal(&q.simplified)
+    }
+
+    /// Answer an ad-hoc expression without registering it.
+    pub fn estimate_expr(&self, expr: &SetExpr) -> Result<Estimate, EngineError> {
+        self.estimate_expr_internal(&setstream_expr::simplify(expr))
+    }
+
+    /// Answer every registered query in one round. Queries over the same
+    /// participating stream set are **batched**: one union estimate and
+    /// one witness scan answer the whole group
+    /// ([`estimate::multi_expression`]), so a dashboard with dozens of
+    /// queries costs barely more than one.
+    pub fn estimate_all(&self) -> Vec<(QueryId, Result<Estimate, EngineError>)> {
+        // Group queries by their (sorted) participating stream set.
+        let mut groups: BTreeMap<Vec<StreamId>, Vec<QueryId>> = BTreeMap::new();
+        for (&id, q) in &self.queries {
+            groups.entry(q.streams.clone()).or_default().push(id);
+        }
+        let mut results: BTreeMap<QueryId, Result<Estimate, EngineError>> = BTreeMap::new();
+        for (streams, members) in groups {
+            let pairs: Vec<(StreamId, &SketchVector)> = streams
+                .iter()
+                .map(|&id| (id, self.synopses.get(&id).unwrap_or(&self.empty)))
+                .collect();
+            let exprs: Vec<setstream_expr::SetExpr> = members
+                .iter()
+                .map(|id| self.queries[id].simplified.clone())
+                .collect();
+            match estimate::multi_expression(&exprs, &pairs, &self.options) {
+                Ok(estimates) => {
+                    for (id, est) in members.iter().zip(estimates) {
+                        results.insert(*id, Ok(est));
+                    }
+                }
+                Err(shared_err) => {
+                    // Re-run individually so each query reports its own
+                    // error (e.g. NoValidObservations) faithfully.
+                    let _ = shared_err;
+                    for id in members {
+                        results.insert(id, self.estimate(id));
+                    }
+                }
+            }
+        }
+        results.into_iter().collect()
+    }
+
+    fn estimate_cached(
+        &self,
+        q: &RegisteredQuery,
+        union_cache: &mut BTreeMap<Vec<StreamId>, f64>,
+    ) -> Result<Estimate, EngineError> {
+        let pairs = self.resolve(&q.simplified);
+        let vectors: Vec<&SketchVector> = pairs.iter().map(|&(_, v)| v).collect();
+        let u_hat = match union_cache.get(&q.streams) {
+            Some(&u) => u,
+            None => {
+                let u = estimate::union(&vectors, &self.options)?.value;
+                union_cache.insert(q.streams.clone(), u);
+                u
+            }
+        };
+        Ok(estimate::expression_with_union(
+            &q.simplified,
+            &pairs,
+            u_hat,
+            &self.options,
+        )?)
+    }
+
+    fn estimate_expr_internal(&self, expr: &SetExpr) -> Result<Estimate, EngineError> {
+        let pairs = self.resolve(expr);
+        Ok(estimate::expression(expr, &pairs, &self.options)?)
+    }
+
+    /// Resolve the synopses an expression needs; streams that never
+    /// received an update resolve to the engine's shared empty synopsis.
+    fn resolve(&self, expr: &SetExpr) -> Vec<(StreamId, &SketchVector)> {
+        expr.streams()
+            .into_iter()
+            .map(|id| (id, self.synopses.get(&id).unwrap_or(&self.empty)))
+            .collect()
+    }
+
+    // ----------------------------------------------------------- watches
+
+    /// Register a watch on a query.
+    pub fn register_watch(
+        &mut self,
+        query: QueryId,
+        threshold: f64,
+        comparison: Comparison,
+    ) -> Result<WatchId, EngineError> {
+        if !self.queries.contains_key(&query) {
+            return Err(EngineError::UnknownQuery(query));
+        }
+        let id = WatchId(self.next_watch);
+        self.next_watch += 1;
+        self.watches.insert(
+            id,
+            Watch {
+                id,
+                query,
+                threshold,
+                comparison,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Remove a watch.
+    pub fn unregister_watch(&mut self, id: WatchId) -> Result<(), EngineError> {
+        self.watches
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(EngineError::UnknownWatch(id))
+    }
+
+    /// Evaluate all watches against fresh estimates; returns the ones
+    /// that trigger. Queries are evaluated at most once per round.
+    pub fn check_watches(&self) -> Vec<WatchEvent> {
+        let mut estimates: BTreeMap<QueryId, f64> = BTreeMap::new();
+        let mut union_cache: BTreeMap<Vec<StreamId>, f64> = BTreeMap::new();
+        let mut events = Vec::new();
+        for watch in self.watches.values() {
+            let value = match estimates.get(&watch.query) {
+                Some(&v) => v,
+                None => {
+                    let Some(q) = self.queries.get(&watch.query) else {
+                        continue;
+                    };
+                    let v = self
+                        .estimate_cached(q, &mut union_cache)
+                        .map(|e| e.value)
+                        .unwrap_or(0.0);
+                    estimates.insert(watch.query, v);
+                    v
+                }
+            };
+            if watch.triggers(value) {
+                events.push(WatchEvent {
+                    watch: watch.id,
+                    query: watch.query,
+                    estimate: value,
+                    threshold: watch.threshold,
+                });
+            }
+        }
+        events
+    }
+
+    // ------------------------------------------------------------- stats
+
+    /// Operational counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            updates: self.updates,
+            deletions: self.deletions,
+            streams: self.synopses.len(),
+            queries: self.queries.len(),
+            watches: self.watches.len(),
+            synopsis_bytes: self.synopses.len() * self.family.vector_bytes(),
+        }
+    }
+
+    /// Direct access to a stream's synopsis (e.g. for shipping to a
+    /// distributed coordinator).
+    pub fn synopsis(&self, stream: StreamId) -> Option<&SketchVector> {
+        self.synopses.get(&stream)
+    }
+
+    /// Streams with a live synopsis.
+    pub fn stream_ids(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.synopses.keys().copied()
+    }
+
+    /// All registered watches.
+    pub fn watches(&self) -> impl Iterator<Item = &Watch> {
+        self.watches.values()
+    }
+
+    // --------------------------------------------- snapshot plumbing
+
+    pub(crate) fn options_ref(&self) -> EstimatorOptions {
+        self.options
+    }
+
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.updates, self.deletions)
+    }
+
+    pub(crate) fn next_ids(&self) -> (u64, u64) {
+        (self.next_query, self.next_watch)
+    }
+
+    pub(crate) fn install_synopsis(&mut self, stream: StreamId, vector: SketchVector) {
+        self.synopses.insert(stream, vector);
+    }
+
+    pub(crate) fn install_query(&mut self, query: RegisteredQuery) {
+        self.queries.insert(query.id, query);
+    }
+
+    pub(crate) fn install_watch(&mut self, watch: Watch) {
+        self.watches.insert(watch.id, watch);
+    }
+
+    pub(crate) fn set_counters(&mut self, counters: (u64, u64), next_ids: (u64, u64)) {
+        self.updates = counters.0;
+        self.deletions = counters.1;
+        self.next_query = next_ids.0;
+        self.next_watch = next_ids.1;
+    }
+}

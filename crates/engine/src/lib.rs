@@ -1,0 +1,53 @@
+//! The continuous query-processing engine of the paper's Figure 1: update
+//! streams flow in on one side, registered set-expression queries are
+//! answered from the maintained synopses on the other — at any time,
+//! without a second pass over the data.
+//!
+//! ```text
+//!  updates ──► [ per-stream 2-level hash sketch synopses ]
+//!                               │
+//!  "(A ∩ B) − C" ──►  [ query registry │ estimator │ watches ] ──► answers
+//! ```
+//!
+//! The engine adds the operational layer the paper assumes around the
+//! estimators:
+//!
+//! * stream registry — synopses are created lazily on first update;
+//! * continuous queries — parsed, **simplified** (set-algebra rewrites
+//!   shrink the participating stream set and the hardness ratio), and
+//!   answered on demand;
+//! * shared union estimates — queries over the same stream set reuse one
+//!   `û` per evaluation round instead of re-deriving it;
+//! * threshold **watches** — "alert when `|(A ∩ B) − C|` exceeds 1000",
+//!   the paper's denial-of-service motivating scenario.
+//!
+//! # Example
+//!
+//! ```
+//! use setstream_engine::StreamEngine;
+//! use setstream_core::SketchFamily;
+//! use setstream_stream::{StreamId, Update};
+//!
+//! let family = SketchFamily::builder().copies(128).second_level(8).seed(1).build();
+//! let mut engine = StreamEngine::new(family);
+//! let q = engine.register_query("A & B").unwrap();
+//! for e in 0..2000u64 {
+//!     engine.process(&Update::insert(StreamId(0), e, 1));
+//!     engine.process(&Update::insert(StreamId(1), e + 1000, 1));
+//! }
+//! let answer = engine.estimate(q).unwrap();
+//! assert!((answer.value - 1000.0).abs() / 1000.0 < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod engine;
+mod query;
+mod snapshot;
+mod watch;
+
+pub use engine::{EngineError, EngineStats, StreamEngine};
+pub use snapshot::EngineSnapshot;
+pub use query::{QueryId, RegisteredQuery};
+pub use watch::{Comparison, Watch, WatchEvent, WatchId};

@@ -1,0 +1,59 @@
+//! Registered continuous queries.
+
+use setstream_expr::SetExpr;
+use setstream_stream::StreamId;
+
+/// Handle to a registered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// A continuous set-expression query held by the engine.
+#[derive(Debug, Clone)]
+pub struct RegisteredQuery {
+    /// Handle.
+    pub id: QueryId,
+    /// The expression as the user registered it.
+    pub original: SetExpr,
+    /// The simplified expression actually evaluated.
+    pub simplified: SetExpr,
+    /// Streams the simplified expression touches (sorted).
+    pub streams: Vec<StreamId>,
+}
+
+impl RegisteredQuery {
+    pub(crate) fn new(id: QueryId, original: SetExpr) -> Self {
+        let simplified = setstream_expr::simplify(&original);
+        let streams = simplified.streams();
+        RegisteredQuery {
+            id,
+            original,
+            simplified,
+            streams,
+        }
+    }
+
+    /// `true` if simplification changed the expression.
+    pub fn was_simplified(&self) -> bool {
+        self.original != self.simplified
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_simplifies() {
+        let q = RegisteredQuery::new(QueryId(1), "A | (A & B)".parse().unwrap());
+        assert_eq!(q.simplified, "A".parse().unwrap());
+        assert!(q.was_simplified());
+        assert_eq!(q.streams, vec![StreamId(0)]);
+    }
+
+    #[test]
+    fn irreducible_queries_pass_through() {
+        let q = RegisteredQuery::new(QueryId(2), "(A - B) & C".parse().unwrap());
+        assert!(!q.was_simplified());
+        assert_eq!(q.streams.len(), 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! Threshold watches over continuous queries.
+//!
+//! The paper's motivating deployment watches cardinalities for anomalies
+//! (denial-of-service detection, load-balancing problems). A watch binds
+//! a registered query to a threshold; evaluating the watches reports
+//! which ones currently trigger.
+
+use crate::query::QueryId;
+
+/// Handle to a registered watch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WatchId(pub u64);
+
+/// Trigger direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// Trigger when the estimate rises above the threshold.
+    Above,
+    /// Trigger when the estimate falls below the threshold.
+    Below,
+}
+
+/// A threshold watch on a query.
+#[derive(Debug, Clone)]
+pub struct Watch {
+    /// Handle.
+    pub id: WatchId,
+    /// The query being watched.
+    pub query: QueryId,
+    /// Trigger threshold on the estimated cardinality.
+    pub threshold: f64,
+    /// Trigger direction.
+    pub comparison: Comparison,
+}
+
+impl Watch {
+    /// `true` if `estimate` trips this watch.
+    pub fn triggers(&self, estimate: f64) -> bool {
+        match self.comparison {
+            Comparison::Above => estimate > self.threshold,
+            Comparison::Below => estimate < self.threshold,
+        }
+    }
+}
+
+/// A watch that fired during an evaluation round.
+#[derive(Debug, Clone)]
+pub struct WatchEvent {
+    /// Which watch fired.
+    pub watch: WatchId,
+    /// Its query.
+    pub query: QueryId,
+    /// The estimate that tripped it.
+    pub estimate: f64,
+    /// The configured threshold.
+    pub threshold: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_directions() {
+        let above = Watch {
+            id: WatchId(1),
+            query: QueryId(1),
+            threshold: 100.0,
+            comparison: Comparison::Above,
+        };
+        assert!(above.triggers(101.0));
+        assert!(!above.triggers(100.0));
+        let below = Watch {
+            comparison: Comparison::Below,
+            ..above.clone()
+        };
+        assert!(below.triggers(99.0));
+        assert!(!below.triggers(100.0));
+    }
+}

@@ -1,0 +1,201 @@
+//! Integration tests for the continuous query engine.
+
+use setstream_core::SketchFamily;
+use setstream_engine::{Comparison, EngineError, StreamEngine};
+use setstream_stream::{StreamId, Update};
+
+fn family() -> SketchFamily {
+    SketchFamily::builder()
+        .copies(128)
+        .second_level(16)
+        .seed(0xabc)
+        .build()
+}
+
+fn engine_with_data() -> StreamEngine {
+    let mut engine = StreamEngine::new(family());
+    // A = 0..4000, B = 2000..6000, C = 3000..5000.
+    for e in 0..4000u64 {
+        engine.process(&Update::insert(StreamId(0), e, 1));
+    }
+    for e in 2000..6000u64 {
+        engine.process(&Update::insert(StreamId(1), e, 1));
+    }
+    for e in 3000..5000u64 {
+        engine.process(&Update::insert(StreamId(2), e, 1));
+    }
+    engine
+}
+
+#[test]
+fn registered_queries_answer_close_to_truth() {
+    let mut engine = engine_with_data();
+    let cases = [
+        ("A & B", 2000.0),
+        ("A - B", 2000.0),
+        ("A | B", 6000.0),
+        ("(A & B) - C", 1000.0), // A∩B = 2000..4000, −C = 2000..3000
+    ];
+    for (text, truth) in cases {
+        let q = engine.register_query(text).unwrap();
+        let est = engine.estimate(q).unwrap();
+        let rel = (est.value - truth).abs() / truth;
+        assert!(rel < 0.45, "{text}: estimate {} (truth {truth})", est.value);
+    }
+}
+
+#[test]
+fn estimate_all_shares_union_and_matches_individual() {
+    let mut engine = engine_with_data();
+    let q1 = engine.register_query("A & B").unwrap();
+    let q2 = engine.register_query("A - B").unwrap();
+    let q3 = engine.register_query("(A & B) - C").unwrap();
+    let all: std::collections::BTreeMap<_, _> = engine
+        .estimate_all()
+        .into_iter()
+        .map(|(id, r)| (id, r.unwrap()))
+        .collect();
+    assert_eq!(all.len(), 3);
+    // q1 and q2 run over the same stream set {A, B}: the cached union must
+    // make their û identical.
+    assert_eq!(all[&q1].union_estimate, all[&q2].union_estimate);
+    // q3 involves {A, B, C} — a different (larger) union.
+    assert!(all[&q3].union_estimate >= all[&q1].union_estimate);
+}
+
+#[test]
+fn queries_are_simplified_on_registration() {
+    let mut engine = engine_with_data();
+    let q = engine.register_query("A | (A & B)").unwrap();
+    let reg = engine.query(q).unwrap();
+    assert!(reg.was_simplified());
+    assert_eq!(reg.simplified.to_string(), "A");
+    // The simplified query only touches stream A.
+    assert_eq!(reg.streams, vec![StreamId(0)]);
+    let est = engine.estimate(q).unwrap();
+    let rel = (est.value - 4000.0).abs() / 4000.0;
+    assert!(rel < 0.2, "estimate {}", est.value);
+}
+
+#[test]
+fn unknown_streams_are_empty_sets() {
+    let mut engine = engine_with_data();
+    let q = engine.register_query("A & Z").unwrap();
+    let est = engine.estimate(q).unwrap();
+    assert_eq!(est.witness_hits, 0, "nothing intersects an empty stream");
+    let q2 = engine.register_query("A - Z").unwrap();
+    let est2 = engine.estimate(q2).unwrap();
+    let rel = (est2.value - 4000.0).abs() / 4000.0;
+    assert!(rel < 0.2, "A - ∅ should be ≈ |A|, got {}", est2.value);
+}
+
+#[test]
+fn deletions_flow_through_to_answers() {
+    let mut engine = StreamEngine::new(family());
+    for e in 0..2000u64 {
+        engine.process(&Update::insert(StreamId(0), e, 1));
+        engine.process(&Update::insert(StreamId(1), e, 1));
+    }
+    let q = engine.register_query("A & B").unwrap();
+    let before = engine.estimate(q).unwrap().value;
+    // Remove the top half of B.
+    for e in 1000..2000u64 {
+        engine.process(&Update::delete(StreamId(1), e, 1));
+    }
+    let after = engine.estimate(q).unwrap().value;
+    assert!((before - 2000.0).abs() / 2000.0 < 0.25, "before {before}");
+    assert!((after - 1000.0).abs() / 1000.0 < 0.35, "after {after}");
+    assert_eq!(engine.stats().deletions, 1000);
+}
+
+#[test]
+fn watches_fire_on_threshold_crossings() {
+    let mut engine = StreamEngine::new(family());
+    let q = engine.register_query("A & B").unwrap();
+    let w_above = engine
+        .register_watch(q, 500.0, Comparison::Above)
+        .unwrap();
+    let w_below = engine
+        .register_watch(q, 100.0, Comparison::Below)
+        .unwrap();
+
+    // Empty engine: estimate 0 → the "below 100" watch fires.
+    let events = engine.check_watches();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].watch, w_below);
+
+    // Grow the intersection past 500.
+    for e in 0..1500u64 {
+        engine.process(&Update::insert(StreamId(0), e, 1));
+        engine.process(&Update::insert(StreamId(1), e, 1));
+    }
+    let events = engine.check_watches();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].watch, w_above);
+    assert!(events[0].estimate > 500.0);
+}
+
+#[test]
+fn unregistering_cleans_up() {
+    let mut engine = engine_with_data();
+    let q = engine.register_query("A & B").unwrap();
+    let w = engine.register_watch(q, 1.0, Comparison::Above).unwrap();
+    assert_eq!(engine.stats().queries, 1);
+    assert_eq!(engine.stats().watches, 1);
+    engine.unregister_query(q).unwrap();
+    assert_eq!(engine.stats().queries, 0);
+    assert_eq!(engine.stats().watches, 0, "orphan watches must be removed");
+    assert!(matches!(
+        engine.estimate(q),
+        Err(EngineError::UnknownQuery(_))
+    ));
+    assert!(engine.unregister_watch(w).is_err());
+}
+
+#[test]
+fn error_paths() {
+    let mut engine = StreamEngine::new(family());
+    assert!(matches!(
+        engine.register_query("A &&& B"),
+        Err(EngineError::Parse(_))
+    ));
+    let bogus = setstream_engine::QueryId(999);
+    assert!(matches!(
+        engine.register_watch(bogus, 1.0, Comparison::Above),
+        Err(EngineError::UnknownQuery(_))
+    ));
+    assert!(matches!(
+        engine.unregister_query(bogus),
+        Err(EngineError::UnknownQuery(_))
+    ));
+}
+
+#[test]
+fn stats_track_activity() {
+    let mut engine = StreamEngine::new(family());
+    assert_eq!(engine.stats(), Default::default());
+    engine.process(&Update::insert(StreamId(0), 1, 1));
+    engine.process(&Update::delete(StreamId(0), 1, 1));
+    engine.process(&Update::insert(StreamId(5), 2, 3));
+    let s = engine.stats();
+    assert_eq!(s.updates, 3);
+    assert_eq!(s.deletions, 1);
+    assert_eq!(s.streams, 2);
+    assert!(s.synopsis_bytes > 0);
+    assert!(engine.synopsis(StreamId(5)).is_some());
+    assert!(engine.synopsis(StreamId(9)).is_none());
+}
+
+#[test]
+fn ad_hoc_expressions_without_registration() {
+    let engine = {
+        let mut e = engine_with_data();
+        // consume &mut then reuse immutably
+        e.process(&Update::insert(StreamId(0), 123456, 1));
+        e
+    };
+    let expr = "B - A".parse().unwrap();
+    let est = engine.estimate_expr(&expr).unwrap();
+    let rel = (est.value - 2000.0).abs() / 2000.0;
+    assert!(rel < 0.45, "estimate {}", est.value);
+}

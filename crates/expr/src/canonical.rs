@@ -1,0 +1,132 @@
+//! Canonical (disjunctive) form: rebuild an expression from its Venn
+//! cells.
+//!
+//! [`crate::expression_cells`] maps an expression to the set of Venn cells
+//! it contains; this module provides the inverse — a canonical expression
+//! whose cells are exactly a given set. Together they give a normal form:
+//! two expressions are equivalent iff their canonical forms are equal,
+//! and the canonical form is a useful worst case for the estimator (it
+//! mentions every stream in every term).
+
+use crate::ast::SetExpr;
+
+/// Build an expression over streams `0..n_streams` whose Venn cells are
+/// exactly `cells`: a union of cell terms, each term
+/// `(∩ member streams) − (∪ non-member streams)`.
+///
+/// Returns `None` for an empty cell set (the empty set has no expression
+/// in an algebra without a ∅ constant).
+///
+/// # Panics
+/// Panics if `n_streams ∉ 1..=16` or any mask is 0 / out of range.
+pub fn from_cells(cells: &[u32], n_streams: usize) -> Option<SetExpr> {
+    assert!((1..=16).contains(&n_streams), "n_streams must be in 1..=16");
+    let limit = (1u32 << n_streams) - 1;
+    let mut terms = Vec::with_capacity(cells.len());
+    for &mask in cells {
+        assert!(mask >= 1 && mask <= limit, "bad cell mask {mask:#b}");
+        terms.push(cell_term(mask, n_streams));
+    }
+    terms.into_iter().reduce(SetExpr::union)
+}
+
+/// The expression denoting exactly one Venn cell.
+fn cell_term(mask: u32, n_streams: usize) -> SetExpr {
+    let members: Vec<u32> = (0..n_streams as u32).filter(|i| mask >> i & 1 == 1).collect();
+    let outsiders: Vec<u32> = (0..n_streams as u32).filter(|i| mask >> i & 1 == 0).collect();
+    let inside = members
+        .into_iter()
+        .map(SetExpr::stream)
+        .reduce(SetExpr::intersect)
+        .expect("cell mask is nonzero");
+    match outsiders.into_iter().map(SetExpr::stream).reduce(SetExpr::union) {
+        Some(outside) => inside.diff(outside),
+        None => inside,
+    }
+}
+
+/// The canonical form of `expr` over `n_streams` streams (`None` if the
+/// expression is unsatisfiable).
+pub fn canonicalize(expr: &SetExpr, n_streams: usize) -> Option<SetExpr> {
+    from_cells(&crate::cells::expression_cells(expr, n_streams), n_streams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{equivalent, expression_cells};
+
+    fn e(text: &str) -> SetExpr {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn single_cell_terms() {
+        // Cell {A} over 2 streams: A − B.
+        assert_eq!(from_cells(&[0b01], 2).unwrap(), e("A - B"));
+        // Cell {A,B} over 2 streams: A ∩ B.
+        assert_eq!(from_cells(&[0b11], 2).unwrap(), e("A & B"));
+        // Cell {A,C} over 3 streams: (A ∩ C) − B.
+        assert_eq!(from_cells(&[0b101], 3).unwrap(), e("(A & C) - B"));
+    }
+
+    #[test]
+    fn empty_cells_have_no_expression() {
+        assert!(from_cells(&[], 3).is_none());
+        assert!(canonicalize(&e("A - A"), 2).is_none());
+    }
+
+    #[test]
+    fn round_trip_cells_to_expression_to_cells() {
+        for cells in [vec![0b01u32], vec![0b11, 0b10], vec![0b001, 0b101, 0b111]] {
+            let n = 3;
+            let expr = from_cells(&cells, n).unwrap();
+            let mut back = expression_cells(&expr, n);
+            back.sort_unstable();
+            let mut want = cells.clone();
+            want.sort_unstable();
+            assert_eq!(back, want, "expr {expr}");
+        }
+    }
+
+    #[test]
+    fn canonicalize_preserves_semantics() {
+        for text in [
+            "A & B",
+            "A | B | C",
+            "(A - B) & C",
+            "A - (B | C)",
+            "(A | B) - (A & B)", // symmetric difference
+        ] {
+            let original = e(text);
+            let canonical = canonicalize(&original, 3).unwrap();
+            assert!(
+                equivalent(&original, &canonical),
+                "{text} → {canonical} changed meaning"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_forms_decide_equivalence() {
+        let pairs = [
+            ("A - B", "A - (A & B)"),
+            ("A - (B | C)", "(A - B) - C"),
+            ("A & (B | C)", "(A & B) | (A & C)"),
+        ];
+        for (x, y) in pairs {
+            assert_eq!(
+                canonicalize(&e(x), 3),
+                canonicalize(&e(y), 3),
+                "{x} vs {y}"
+            );
+        }
+        assert_ne!(canonicalize(&e("A - B"), 2), canonicalize(&e("B - A"), 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cell mask")]
+    fn out_of_range_mask_rejected() {
+        let _ = from_cells(&[0b100], 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Venn-cell analysis of set expressions.
+//!
+//! Over `n` streams, every element lives in exactly one of the `2ⁿ − 1`
+//! non-empty cells of the Venn diagram (a bitmask of stream memberships),
+//! and a set expression is fully characterized by *which cells it
+//! contains*. This module enumerates those cells, which powers:
+//!
+//! * the controlled workload generator of §5.1 for **arbitrary**
+//!   expressions ([`venn_spec_for`]): "give assignment probabilities to
+//!   each partition such that the sum over the partitions comprising `E`
+//!   is approximately `|E|/u`";
+//! * semantic equivalence checking and simplification
+//!   ([`mod@crate::simplify`]).
+
+use crate::ast::SetExpr;
+use setstream_stream::gen::VennSpec;
+use setstream_stream::StreamId;
+
+/// The cells (membership bitmasks over `n_streams`) whose elements belong
+/// to `expr`. Bit `i` of a mask ⇔ membership in stream `i`.
+///
+/// # Panics
+/// Panics if `n_streams` is 0 or > 16 (cell enumeration is exponential),
+/// or if `expr` references a stream outside `0..n_streams`.
+pub fn expression_cells(expr: &SetExpr, n_streams: usize) -> Vec<u32> {
+    assert!((1..=16).contains(&n_streams), "n_streams must be in 1..=16");
+    let max = expr.streams().last().map_or(0, |s| s.0 as usize + 1);
+    assert!(
+        max <= n_streams,
+        "expression references stream {} but n_streams = {n_streams}",
+        max - 1
+    );
+    (1u32..(1 << n_streams))
+        .filter(|&m| expr.eval_mask(m))
+        .collect()
+}
+
+/// `true` if the two expressions denote the same set for every possible
+/// input — checked exhaustively over all membership cells of the streams
+/// they mention (sound and complete, since an expression's value on an
+/// element depends only on its cell).
+pub fn equivalent(a: &SetExpr, b: &SetExpr) -> bool {
+    let n = a
+        .streams()
+        .iter()
+        .chain(b.streams().iter())
+        .map(|s| s.0 as usize + 1)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    assert!(n <= 16, "equivalence check limited to 16 streams");
+    (0u32..(1 << n)).all(|m| a.eval_mask(m) == b.eval_mask(m))
+}
+
+/// Build a §5.1-style controlled [`VennSpec`] for an arbitrary expression:
+/// a fraction `ratio` of the union mass lands (uniformly) on the cells
+/// comprising `expr`, the rest spreads uniformly over the remaining
+/// cells. Generating `u` elements from the spec yields
+/// `E[|expr|] ≈ ratio · u`.
+///
+/// # Panics
+/// Panics if `ratio ∉ (0,1)`, if the expression is unsatisfiable (no
+/// cells) or exhaustive (all cells — no mass left for the complement), or
+/// on the [`expression_cells`] limits.
+pub fn venn_spec_for(expr: &SetExpr, n_streams: usize, ratio: f64) -> VennSpec {
+    assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0,1)");
+    let inside = expression_cells(expr, n_streams);
+    let total = (1usize << n_streams) - 1;
+    assert!(
+        !inside.is_empty(),
+        "expression {expr} is unsatisfiable; no cell can carry its mass"
+    );
+    assert!(
+        inside.len() < total,
+        "expression {expr} covers every cell; its size is forced to u"
+    );
+    let outside_count = total - inside.len();
+    let w_in = ratio / inside.len() as f64;
+    let w_out = (1.0 - ratio) / outside_count as f64;
+    let cells: Vec<(u32, f64)> = (1u32..=total as u32)
+        .map(|m| {
+            if inside.contains(&m) {
+                (m, w_in)
+            } else {
+                (m, w_out)
+            }
+        })
+        .collect();
+    VennSpec::from_cells(n_streams, &cells)
+}
+
+/// The number of streams an expression needs (`max id + 1`), convenient
+/// for sizing cell enumerations.
+pub fn stream_span(expr: &SetExpr) -> usize {
+    expr.streams()
+        .last()
+        .map_or(0, |s: &StreamId| s.0 as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(text: &str) -> SetExpr {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn cells_of_binary_operators() {
+        assert_eq!(expression_cells(&e("A & B"), 2), vec![0b11]);
+        assert_eq!(expression_cells(&e("A - B"), 2), vec![0b01]);
+        assert_eq!(expression_cells(&e("A | B"), 2), vec![0b01, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn cells_of_three_stream_expression() {
+        // (A − B) ∩ C: in A, not B, in C → masks with bit0, bit2, not bit1.
+        assert_eq!(expression_cells(&e("(A - B) & C"), 3), vec![0b101]);
+        // A − (B ∪ C): only-A.
+        assert_eq!(expression_cells(&e("A - (B | C)"), 3), vec![0b001]);
+    }
+
+    #[test]
+    fn equivalences_hold() {
+        assert!(equivalent(&e("A - B"), &e("A - (A & B)")));
+        assert!(equivalent(&e("A - (B | C)"), &e("(A - B) - C")));
+        assert!(equivalent(
+            &e("A & (B | C)"),
+            &e("(A & B) | (A & C)")
+        ));
+        assert!(!equivalent(&e("A - B"), &e("B - A")));
+        assert!(!equivalent(&e("A & B"), &e("A | B")));
+        // Reflexivity on a deep expression.
+        let deep = e("((A & B) - C) | (D - (A | C))");
+        assert!(equivalent(&deep, &deep));
+    }
+
+    #[test]
+    fn spec_for_expression_hits_target_mass() {
+        let expr = e("(A - B) & C");
+        let spec = venn_spec_for(&expr, 3, 0.125);
+        let mass = spec.expression_mass(|m| expr.eval_mask(m));
+        assert!((mass - 0.125).abs() < 1e-9);
+        let total = spec.expression_mass(|_| true);
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spec_for_union_expression_spreads_over_three_cells() {
+        let expr = e("A | B");
+        let spec = venn_spec_for(&expr, 3, 0.6);
+        // (A|B) over 3 streams = all masks with bit0 or bit1 set: 6 cells.
+        let cells = expression_cells(&expr, 3);
+        assert_eq!(cells.len(), 6);
+        for &m in &cells {
+            assert!((spec.cell_probability(m) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generated_data_matches_spec_for_expression() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let expr = e("(A & B) - C");
+        let spec = venn_spec_for(&expr, 3, 0.25);
+        let data = spec.generate(20_000, &mut StdRng::seed_from_u64(3));
+        let exact = data.exact_count(|m| expr.eval_mask(m)) as f64;
+        let want = 0.25 * data.union_size() as f64;
+        assert!((exact - want).abs() / want < 0.08, "exact {exact} want {want}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable")]
+    fn unsatisfiable_expression_rejected() {
+        let _ = venn_spec_for(&e("A - A"), 2, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "every cell")]
+    fn exhaustive_expression_rejected() {
+        let _ = venn_spec_for(&e("A"), 1, 0.5);
+    }
+
+    #[test]
+    fn stream_span_counts() {
+        assert_eq!(stream_span(&e("A")), 1);
+        assert_eq!(stream_span(&e("(A & B) - D")), 4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Exact set-expression evaluation over ground-truth multi-sets.
+//!
+//! `|E|` in the paper counts distinct elements with positive net frequency
+//! in the result of `E` (§2.1). Exact evaluation is only feasible off the
+//! stream (it holds full supports); the streaming estimators in
+//! `setstream-core` are judged against these numbers.
+
+use crate::ast::SetExpr;
+use setstream_stream::{Element, StreamSet};
+use std::collections::HashSet;
+
+/// Exact result support of `E` over the stream family.
+pub fn exact_support(expr: &SetExpr, streams: &StreamSet) -> HashSet<Element> {
+    match expr {
+        SetExpr::Stream(id) => streams.get(*id).support().collect(),
+        SetExpr::Union(l, r) => {
+            let mut a = exact_support(l, streams);
+            a.extend(exact_support(r, streams));
+            a
+        }
+        SetExpr::Intersect(l, r) => {
+            let a = exact_support(l, streams);
+            let b = exact_support(r, streams);
+            // Probe the larger set with the smaller one.
+            let (small, large) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+            small.iter().filter(|e| large.contains(*e)).copied().collect()
+        }
+        SetExpr::Diff(l, r) => {
+            let b = exact_support(r, streams);
+            exact_support(l, streams)
+                .into_iter()
+                .filter(|e| !b.contains(e))
+                .collect()
+        }
+    }
+}
+
+/// Exact `|E|`.
+pub fn exact_cardinality(expr: &SetExpr, streams: &StreamSet) -> usize {
+    exact_support(expr, streams).len()
+}
+
+/// Exact `|∪ᵢ Aᵢ|` over the streams participating in `expr` — the
+/// denominator in every witness-based estimator's analysis.
+pub fn exact_union_cardinality(expr: &SetExpr, streams: &StreamSet) -> usize {
+    let mut seen: HashSet<Element> = HashSet::new();
+    for id in expr.streams() {
+        seen.extend(streams.get(id).support());
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setstream_stream::{StreamId, Update};
+
+    fn family(sets: &[&[u64]]) -> StreamSet {
+        let mut f = StreamSet::new();
+        for (i, elems) in sets.iter().enumerate() {
+            for &e in *elems {
+                f.apply(&Update::insert(StreamId(i as u32), e, 1)).unwrap();
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn motivating_query_from_the_paper() {
+        // (A ∩ B) − C : "sources at R1 and R2 but not R3".
+        let f = family(&[&[1, 2, 3, 4], &[2, 3, 4, 5], &[3, 9]]);
+        let e: SetExpr = "(A & B) - C".parse().unwrap();
+        // A∩B = {2,3,4}; minus C = {2,4}.
+        assert_eq!(exact_cardinality(&e, &f), 2);
+        let sup = exact_support(&e, &f);
+        assert!(sup.contains(&2) && sup.contains(&4));
+        assert_eq!(exact_union_cardinality(&e, &f), 6); // {1,2,3,4,5,9}
+    }
+
+    #[test]
+    fn union_cardinality_counts_all_participating_streams() {
+        let f = family(&[&[1, 2], &[2, 3], &[10]]);
+        let e: SetExpr = "A & B".parse().unwrap();
+        // Only A and B participate: {1,2,3}.
+        assert_eq!(exact_union_cardinality(&e, &f), 3);
+        let all: SetExpr = "(A & B) | C".parse().unwrap();
+        assert_eq!(exact_union_cardinality(&all, &f), 4);
+    }
+
+    #[test]
+    fn expression_equivalences() {
+        let f = family(&[&[1, 2, 3, 4, 5], &[4, 5, 6], &[5, 6, 7]]);
+        // A − B ≡ A − (A ∩ B)
+        let d1: SetExpr = "A - B".parse().unwrap();
+        let d2: SetExpr = "A - (A & B)".parse().unwrap();
+        assert_eq!(exact_support(&d1, &f), exact_support(&d2, &f));
+        // De Morgan-ish: A − (B ∪ C) ≡ (A − B) − C
+        let l: SetExpr = "A - (B | C)".parse().unwrap();
+        let r: SetExpr = "(A - B) - C".parse().unwrap();
+        assert_eq!(exact_support(&l, &f), exact_support(&r, &f));
+        // Distributivity: A ∩ (B ∪ C) ≡ (A ∩ B) ∪ (A ∩ C)
+        let l: SetExpr = "A & (B | C)".parse().unwrap();
+        let r: SetExpr = "(A & B) | (A & C)".parse().unwrap();
+        assert_eq!(exact_support(&l, &f), exact_support(&r, &f));
+    }
+
+    #[test]
+    fn untouched_streams_are_empty() {
+        let f = family(&[&[1, 2]]);
+        let e: SetExpr = "A - Z".parse().unwrap();
+        assert_eq!(exact_cardinality(&e, &f), 2);
+        let e: SetExpr = "A & Z".parse().unwrap();
+        assert_eq!(exact_cardinality(&e, &f), 0);
+    }
+
+    #[test]
+    fn eval_mask_agrees_with_exact_on_random_family() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        // 3 streams, 300 elements with random membership masks.
+        let mut f = StreamSet::new();
+        let mut masks = Vec::new();
+        for e in 0..300u64 {
+            let mask = rng.gen_range(1u32..8);
+            masks.push((e, mask));
+            for s in 0..3 {
+                if mask >> s & 1 == 1 {
+                    f.apply(&Update::insert(StreamId(s), e, 1)).unwrap();
+                }
+            }
+        }
+        let exprs: Vec<SetExpr> = ["(A - B) & C", "A | (B & C)", "(A | B) - C", "A & B & C"]
+            .iter()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        for e in &exprs {
+            let via_mask = masks.iter().filter(|&&(_, m)| e.eval_mask(m)).count();
+            assert_eq!(via_mask, exact_cardinality(e, &f), "expr={e}");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Text syntax for set expressions.
+//!
+//! Grammar (left-associative, `&` binds tighter, matching SQL's
+//! INTERSECT-over-UNION/EXCEPT precedence):
+//!
+//! ```text
+//! expr   := term (('|' | '∪' | '-' | '−') term)*
+//! term   := factor (('&' | '∩') factor)*
+//! factor := stream | '(' expr ')'
+//! stream := 'A'..'Z'            — ids 0..25
+//!         | ('A'..'Z') digits   — explicit id, e.g. "A31" is stream 31
+//! ```
+
+use crate::ast::SetExpr;
+use setstream_stream::StreamId;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parse failure with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending character (input length for EOF).
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a set expression from text.
+pub fn parse(input: &str) -> Result<SetExpr, ParseError> {
+    let mut p = Parser {
+        chars: input.char_indices().collect(),
+        pos: 0,
+        len: input.len(),
+    };
+    let e = p.expr()?;
+    p.skip_ws();
+    if let Some(&(at, c)) = p.peek() {
+        return Err(ParseError {
+            pos: at,
+            msg: format!("unexpected trailing input starting with {c:?}"),
+        });
+    }
+    Ok(e)
+}
+
+impl FromStr for SetExpr {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse(s)
+    }
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&(usize, char)> {
+        self.chars.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let c = self.chars.get(self.pos).copied();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(&(_, c)) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn here(&self) -> usize {
+        self.peek().map_or(self.len, |&(at, _)| at)
+    }
+
+    fn expr(&mut self) -> Result<SetExpr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(&(_, '|')) | Some(&(_, '∪')) => {
+                    self.bump();
+                    lhs = lhs.union(self.term()?);
+                }
+                Some(&(_, '-')) | Some(&(_, '−')) | Some(&(_, '\\')) => {
+                    self.bump();
+                    lhs = lhs.diff(self.term()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<SetExpr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(&(_, '&')) | Some(&(_, '∩')) => {
+                    self.bump();
+                    lhs = lhs.intersect(self.factor()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<SetExpr, ParseError> {
+        self.skip_ws();
+        match self.peek().copied() {
+            Some((_, '(')) => {
+                self.bump();
+                let inner = self.expr()?;
+                self.skip_ws();
+                match self.bump() {
+                    Some((_, ')')) => Ok(inner),
+                    other => Err(ParseError {
+                        pos: other.map_or(self.len, |(at, _)| at),
+                        msg: "expected ')'".into(),
+                    }),
+                }
+            }
+            Some((at, c)) if c.is_ascii_uppercase() => {
+                self.bump();
+                // Optional explicit numeric id: "A31" → stream 31.
+                let mut digits = String::new();
+                while let Some(&(_, d)) = self.peek() {
+                    if d.is_ascii_digit() {
+                        digits.push(d);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let id = if digits.is_empty() {
+                    (c as u8 - b'A') as u32
+                } else {
+                    digits.parse::<u32>().map_err(|_| ParseError {
+                        pos: at,
+                        msg: format!("stream id {digits:?} out of range"),
+                    })?
+                };
+                Ok(SetExpr::Stream(StreamId(id)))
+            }
+            Some((at, c)) => Err(ParseError {
+                pos: at,
+                msg: format!("expected stream name or '(', found {c:?}"),
+            }),
+            None => Err(ParseError {
+                pos: self.here(),
+                msg: "unexpected end of input".into(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SetExpr {
+        SetExpr::stream(i)
+    }
+
+    #[test]
+    fn leaves_and_ids() {
+        assert_eq!(parse("A").unwrap(), s(0));
+        assert_eq!(parse("Z").unwrap(), s(25));
+        assert_eq!(parse("A31").unwrap(), s(31));
+        assert_eq!(parse("  B ").unwrap(), s(1));
+    }
+
+    #[test]
+    fn precedence_intersect_over_union() {
+        assert_eq!(parse("A & B | C").unwrap(), s(0).intersect(s(1)).union(s(2)));
+        assert_eq!(parse("A | B & C").unwrap(), s(0).union(s(1).intersect(s(2))));
+    }
+
+    #[test]
+    fn left_associativity() {
+        assert_eq!(parse("A - B - C").unwrap(), s(0).diff(s(1)).diff(s(2)));
+        assert_eq!(parse("A | B - C").unwrap(), s(0).union(s(1)).diff(s(2)));
+    }
+
+    #[test]
+    fn parentheses_override() {
+        assert_eq!(parse("A - (B - C)").unwrap(), s(0).diff(s(1).diff(s(2))));
+        assert_eq!(
+            parse("(A - B) & C").unwrap(),
+            s(0).diff(s(1)).intersect(s(2))
+        );
+    }
+
+    #[test]
+    fn unicode_operators() {
+        assert_eq!(
+            parse("(A ∩ B) − C").unwrap(),
+            s(0).intersect(s(1)).diff(s(2))
+        );
+        assert_eq!(parse("A ∪ B").unwrap(), s(0).union(s(1)));
+        assert_eq!(parse(r"A \ B").unwrap(), s(0).diff(s(1)));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse("A &").unwrap_err();
+        assert_eq!(e.pos, 3);
+        let e = parse("A @ B").unwrap_err();
+        assert_eq!(e.pos, 2);
+        let e = parse("(A | B").unwrap_err();
+        assert!(e.msg.contains("')'"));
+        let e = parse("A) B").unwrap_err();
+        assert!(e.msg.contains("trailing"));
+        let e = parse("").unwrap_err();
+        assert!(e.msg.contains("end of input"));
+        // Errors format reasonably.
+        assert!(e.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn from_str_round_trip_on_display() {
+        for text in [
+            "A",
+            "A | B",
+            "A & B | C",
+            "(A | B) & C",
+            "A - B - C",
+            "A - (B - C)",
+            "(A - B) & C",
+            "((A & B) - C) | (D & E)",
+        ] {
+            let e: SetExpr = text.parse().unwrap();
+            let round: SetExpr = e.to_string().parse().unwrap();
+            assert_eq!(e, round, "text={text}");
+        }
+    }
+}

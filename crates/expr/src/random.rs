@@ -1,0 +1,95 @@
+//! Seeded random expression generation — workload material for the
+//! `ablation_expressions` experiment and fuzz-style tests outside
+//! proptest.
+//!
+//! Deterministic in the seed (SplitMix64 underneath), so experiment runs
+//! are reproducible.
+
+use crate::ast::SetExpr;
+use setstream_hash::splitmix64;
+
+/// Generate a random expression with exactly `operators` operator nodes
+/// over streams `0..n_streams`, deterministically from `seed`.
+///
+/// Construction: start from `operators + 1` random leaves, then repeatedly
+/// merge two uniformly-chosen subtrees with a uniformly-chosen operator —
+/// every binary tree shape is reachable.
+///
+/// # Panics
+/// Panics if `n_streams == 0`.
+pub fn random_expr(seed: u64, n_streams: u32, operators: usize) -> SetExpr {
+    assert!(n_streams >= 1, "need at least one stream");
+    let mut state = seed;
+    let mut next = move || {
+        state = splitmix64(state.wrapping_add(0x9e37_79b9_7f4a_7c15));
+        state
+    };
+    let mut forest: Vec<SetExpr> = (0..=operators)
+        .map(|_| SetExpr::stream((next() % n_streams as u64) as u32))
+        .collect();
+    while forest.len() > 1 {
+        let i = (next() % forest.len() as u64) as usize;
+        let left = forest.swap_remove(i);
+        let j = (next() % forest.len() as u64) as usize;
+        let right = forest.swap_remove(j);
+        let combined = match next() % 3 {
+            0 => left.union(right),
+            1 => left.intersect(right),
+            _ => left.diff(right),
+        };
+        forest.push(combined);
+    }
+    forest.pop().expect("forest starts non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        for seed in 0..20u64 {
+            assert_eq!(random_expr(seed, 4, 5), random_expr(seed, 4, 5));
+        }
+        assert_ne!(random_expr(1, 4, 5), random_expr(2, 4, 5));
+    }
+
+    #[test]
+    fn operator_count_is_exact() {
+        for ops in 0..12 {
+            let e = random_expr(7, 3, ops);
+            assert_eq!(e.n_operators(), ops, "{e}");
+        }
+    }
+
+    #[test]
+    fn streams_stay_in_range() {
+        for seed in 0..50u64 {
+            let e = random_expr(seed, 3, 6);
+            assert!(e.streams().iter().all(|s| s.0 < 3), "{e}");
+        }
+    }
+
+    #[test]
+    fn generated_expressions_round_trip_the_parser() {
+        for seed in 0..50u64 {
+            let e = random_expr(seed, 5, 8);
+            let back: SetExpr = e.to_string().parse().unwrap();
+            assert_eq!(e, back);
+        }
+    }
+
+    #[test]
+    fn all_three_operators_appear_across_seeds() {
+        let mut union = false;
+        let mut inter = false;
+        let mut diff = false;
+        for seed in 0..100u64 {
+            let text = random_expr(seed, 2, 3).to_string();
+            union |= text.contains('|');
+            inter |= text.contains('&');
+            diff |= text.contains('-');
+        }
+        assert!(union && inter && diff);
+    }
+}

@@ -1,0 +1,183 @@
+//! Semantic simplification of set expressions.
+//!
+//! A smaller equivalent expression is cheaper to estimate: the witness
+//! condition touches fewer streams (each stream in `E` contributes a
+//! factor to the union bound of Theorem 4.1) and the union `∪ᵢAᵢ` over
+//! participating streams can shrink, improving the hardness ratio
+//! `|∪|/|E|`. The rewriter applies standard set-algebra identities
+//! bottom-up to a fixed point; every rewrite is justified by exhaustive
+//! cell-level equivalence (tested, and cheap to re-verify via
+//! [`crate::cells::equivalent`]).
+
+use crate::ast::SetExpr;
+
+/// Simplify `expr` to an equivalent expression with at most as many
+/// operator nodes. Idempotent.
+pub fn simplify(expr: &SetExpr) -> SetExpr {
+    let mut current = expr.clone();
+    loop {
+        let next = pass(&current);
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+/// One bottom-up rewriting pass.
+fn pass(expr: &SetExpr) -> SetExpr {
+    match expr {
+        SetExpr::Stream(id) => SetExpr::Stream(*id),
+        SetExpr::Union(l, r) => rewrite_union(pass(l), pass(r)),
+        SetExpr::Intersect(l, r) => rewrite_intersect(pass(l), pass(r)),
+        SetExpr::Diff(l, r) => rewrite_diff(pass(l), pass(r)),
+    }
+}
+
+fn rewrite_union(l: SetExpr, r: SetExpr) -> SetExpr {
+    // X ∪ X = X
+    if l == r {
+        return l;
+    }
+    // (X − Y) ∪ Y … = X ∪ Y; and symmetric.
+    if let SetExpr::Diff(x, y) = &l {
+        if **y == r {
+            return rewrite_union((**x).clone(), r);
+        }
+    }
+    if let SetExpr::Diff(x, y) = &r {
+        if **y == l {
+            return rewrite_union(l, (**x).clone());
+        }
+    }
+    // X ∪ (X ∩ Y) = X (absorption), all four orientations.
+    if let SetExpr::Intersect(x, y) = &r {
+        if **x == l || **y == l {
+            return l;
+        }
+    }
+    if let SetExpr::Intersect(x, y) = &l {
+        if **x == r || **y == r {
+            return r;
+        }
+    }
+    l.union(r)
+}
+
+fn rewrite_intersect(l: SetExpr, r: SetExpr) -> SetExpr {
+    // X ∩ X = X
+    if l == r {
+        return l;
+    }
+    // X ∩ (X ∪ Y) = X (absorption), all orientations.
+    if let SetExpr::Union(x, y) = &r {
+        if **x == l || **y == l {
+            return l;
+        }
+    }
+    if let SetExpr::Union(x, y) = &l {
+        if **x == r || **y == r {
+            return r;
+        }
+    }
+    // (X − Y) ∩ Y = ∅ has no representation; leave it (estimators handle
+    // empty results gracefully).
+    l.intersect(r)
+}
+
+fn rewrite_diff(l: SetExpr, r: SetExpr) -> SetExpr {
+    // (X − Y) − Y = X − Y
+    if let SetExpr::Diff(_, y) = &l {
+        if **y == r {
+            return l;
+        }
+    }
+    // (X − Y) − Z = X − (Y ∪ Z): fewer difference nodes only when it
+    // enables other rewrites; prefer the left-deep form the estimator
+    // walks cheaply — keep as-is.
+    // X − (X − Y) = X ∩ Y
+    if let SetExpr::Diff(x, y) = &r {
+        if **x == l {
+            return rewrite_intersect(l, (**y).clone());
+        }
+    }
+    // X − (Y ∪ X) / X − (X ∪ Y): empty; no ∅ node, so leave for the
+    // estimator (it will report ~0). X − X also stays.
+    l.diff(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::equivalent;
+
+    fn e(text: &str) -> SetExpr {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn idempotence_rules() {
+        assert_eq!(simplify(&e("A | A")), e("A"));
+        assert_eq!(simplify(&e("A & A")), e("A"));
+        assert_eq!(simplify(&e("(A & B) & (A & B)")), e("A & B"));
+    }
+
+    #[test]
+    fn absorption_rules() {
+        assert_eq!(simplify(&e("A | (A & B)")), e("A"));
+        assert_eq!(simplify(&e("(A & B) | A")), e("A"));
+        assert_eq!(simplify(&e("A & (A | B)")), e("A"));
+        assert_eq!(simplify(&e("(A | B) & A")), e("A"));
+    }
+
+    #[test]
+    fn difference_rules() {
+        assert_eq!(simplify(&e("(A - B) - B")), e("A - B"));
+        assert_eq!(simplify(&e("A - (A - B)")), e("A & B"));
+        assert_eq!(simplify(&e("(A - B) | B")), e("A | B"));
+        assert_eq!(simplify(&e("B | (A - B)")), e("B | A"));
+    }
+
+    #[test]
+    fn nested_rewrites_cascade() {
+        // ((A | (A & B)) & A) − ((A − C) − C) → A − (A − C) → A ∩ C
+        let messy = e("((A | (A & B)) & A) - ((A - C) - C)");
+        let simple = simplify(&messy);
+        assert_eq!(simple, e("A & C"));
+    }
+
+    #[test]
+    fn simplification_preserves_semantics_and_never_grows() {
+        let cases = [
+            "A",
+            "A | B",
+            "A - B - C",
+            "(A & B) - (C | D)",
+            "A | (A & (B | (B & C)))",
+            "((A - B) - B) | ((A & A) & (A | D))",
+            "A - (B - (C - (D - A)))",
+        ];
+        for text in cases {
+            let original = e(text);
+            let simplified = simplify(&original);
+            assert!(
+                equivalent(&original, &simplified),
+                "{text} → {simplified} changed meaning"
+            );
+            assert!(
+                simplified.n_operators() <= original.n_operators(),
+                "{text} grew to {simplified}"
+            );
+            // Idempotent.
+            assert_eq!(simplify(&simplified), simplified);
+        }
+    }
+
+    #[test]
+    fn irreducible_expressions_are_untouched() {
+        for text in ["A & B", "A - B", "(A - B) & C", "A | B | C"] {
+            let x = e(text);
+            assert_eq!(simplify(&x), x);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests: random expression trees round-trip through the
+//! printer/parser, and Boolean semantics agree with exact set semantics.
+
+use proptest::prelude::*;
+use setstream_expr::SetExpr;
+use setstream_stream::{StreamId, StreamSet, Update};
+
+/// Strategy producing random expression trees over streams 0..4.
+fn arb_expr() -> impl Strategy<Value = SetExpr> {
+    let leaf = (0u32..4).prop_map(SetExpr::stream);
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.union(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.intersect(r)),
+            (inner.clone(), inner).prop_map(|(l, r)| l.diff(r)),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_parse_round_trip(e in arb_expr()) {
+        let text = e.to_string();
+        let back: SetExpr = text.parse().expect("printer output must parse");
+        prop_assert_eq!(e, back, "text = {}", text);
+    }
+
+    #[test]
+    fn eval_mask_matches_exact_evaluation(
+        e in arb_expr(),
+        memberships in proptest::collection::vec(1u32..16, 1..120),
+    ) {
+        // Build a 4-stream family where element i has membership mask
+        // memberships[i]; compare the Boolean mask semantics against the
+        // exact multiset engine.
+        let mut family = StreamSet::new();
+        for (elem, &mask) in memberships.iter().enumerate() {
+            for s in 0..4u32 {
+                if mask >> s & 1 == 1 {
+                    family.apply(&Update::insert(StreamId(s), elem as u64, 1)).unwrap();
+                }
+            }
+        }
+        let by_mask = memberships.iter().filter(|&&m| e.eval_mask(m)).count();
+        let exact = setstream_expr::eval::exact_cardinality(&e, &family);
+        prop_assert_eq!(by_mask, exact, "expr = {}", e);
+    }
+
+    #[test]
+    fn expression_is_subset_of_union(
+        e in arb_expr(),
+        memberships in proptest::collection::vec(1u32..16, 1..80),
+    ) {
+        // |E| ≤ |∪ participating streams| always.
+        let mut family = StreamSet::new();
+        for (elem, &mask) in memberships.iter().enumerate() {
+            for s in 0..4u32 {
+                if mask >> s & 1 == 1 {
+                    family.apply(&Update::insert(StreamId(s), elem as u64, 1)).unwrap();
+                }
+            }
+        }
+        let card = setstream_expr::eval::exact_cardinality(&e, &family);
+        let union = setstream_expr::eval::exact_union_cardinality(&e, &family);
+        prop_assert!(card <= union);
+    }
+
+    #[test]
+    fn streams_listed_cover_eval_dependencies(e in arb_expr()) {
+        // Flipping the presence bit of a stream NOT in e.streams() never
+        // changes B(E).
+        let ids = e.streams();
+        for absent in 0u32..6 {
+            if ids.contains(&StreamId(absent)) {
+                continue;
+            }
+            for mask in 0u32..16 {
+                let flipped = mask ^ (1 << absent);
+                prop_assert_eq!(e.eval_mask(mask), e.eval_mask(flipped));
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn simplify_preserves_semantics(e in arb_expr()) {
+        let s = setstream_expr::simplify(&e);
+        prop_assert!(setstream_expr::equivalent(&e, &s), "{} vs {}", e, s);
+        prop_assert!(s.n_operators() <= e.n_operators());
+        // Idempotent.
+        prop_assert_eq!(setstream_expr::simplify(&s.clone()), s);
+    }
+
+    #[test]
+    fn expression_cells_match_eval_mask(e in arb_expr()) {
+        let n = 4;
+        let cells = setstream_expr::expression_cells(&e, n);
+        for m in 1u32..(1 << n) {
+            prop_assert_eq!(cells.contains(&m), e.eval_mask(m));
+        }
+    }
+
+    #[test]
+    fn venn_spec_for_satisfiable_exprs(e in arb_expr()) {
+        let n = 4;
+        let cells = setstream_expr::expression_cells(&e, n);
+        let total = (1usize << n) - 1;
+        prop_assume!(!cells.is_empty() && cells.len() < total);
+        let spec = setstream_expr::venn_spec_for(&e, n, 0.3);
+        let mass = spec.expression_mass(|m| e.eval_mask(m));
+        prop_assert!((mass - 0.3).abs() < 1e-9);
+    }
+}

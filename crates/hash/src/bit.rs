@@ -1,0 +1,71 @@
+//! LSB / bucket-index utilities shared by every sketch in the workspace.
+//!
+//! The Flajolet–Martin transform: a uniform hash value `v` lands in
+//! first-level bucket `LSB(v)` (the index of its least-significant set bit),
+//! so bucket `l` receives a `2^{-(l+1)}` fraction of distinct elements —
+//! the exponentially decreasing levels that make log-scale cardinality
+//! estimation possible.
+
+/// Position of the least-significant set bit of `v`, i.e. the number of
+/// trailing zeros. By convention `lsb64(0) = 63` (the deepest level): a
+/// zero hash value is astronomically rare and folding it into the last
+/// bucket keeps indices in `0..64`.
+#[inline]
+pub fn lsb64(v: u64) -> u32 {
+    if v == 0 {
+        63
+    } else {
+        v.trailing_zeros()
+    }
+}
+
+/// First-level bucket for hash value `v` in a sketch with `levels` buckets:
+/// `min(LSB(v), levels − 1)`. Clamping preserves the total probability mass
+/// (the last bucket absorbs the tail), so per-bucket probabilities are
+/// `2^{-(j+1)}` for `j < levels−1`.
+#[inline]
+pub fn bucket_of(v: u64, levels: u32) -> u32 {
+    debug_assert!(levels >= 1);
+    lsb64(v).min(levels - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_basics() {
+        assert_eq!(lsb64(1), 0);
+        assert_eq!(lsb64(2), 1);
+        assert_eq!(lsb64(3), 0);
+        assert_eq!(lsb64(8), 3);
+        assert_eq!(lsb64(0), 63);
+        assert_eq!(lsb64(u64::MAX), 0);
+        assert_eq!(lsb64(1 << 63), 63);
+    }
+
+    #[test]
+    fn bucket_clamps_to_levels() {
+        assert_eq!(bucket_of(1 << 40, 64), 40);
+        assert_eq!(bucket_of(1 << 40, 16), 15);
+        assert_eq!(bucket_of(0, 8), 7);
+        assert_eq!(bucket_of(1, 1), 0);
+    }
+
+    #[test]
+    fn bucket_mass_is_geometric_over_exhaustive_small_domain() {
+        // Over all 16-bit values the bucket distribution is exactly
+        // geometric (the clamp bucket absorbs the remainder).
+        let levels = 8u32;
+        let mut counts = [0u64; 8];
+        for v in 0..(1u64 << 16) {
+            counts[bucket_of(v, levels) as usize] += 1;
+        }
+        let total = 1u64 << 16;
+        for (j, &c) in counts.iter().enumerate().take(7) {
+            assert_eq!(c as f64, total as f64 / 2f64.powi(j as i32 + 1), "j={j}");
+        }
+        // Tail bucket: everything else (incl. v=0).
+        assert_eq!(counts[7], total / 128);
+    }
+}

@@ -1,0 +1,118 @@
+//! Small statistics helpers used by this workspace's tests to check that
+//! hash families actually randomize: a chi-square uniformity test with a
+//! Wilson–Hilferty critical-value approximation (no lookup tables).
+
+/// Chi-square statistic of `counts` against the uniform distribution over
+/// its cells.
+pub fn chi_square_statistic(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || counts.is_empty() {
+        return 0.0;
+    }
+    let expected = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// Approximate upper critical value of the chi-square distribution with
+/// `df` degrees of freedom at significance `alpha`, via the Wilson–Hilferty
+/// cube transform. Accurate to a few percent for `df ≥ 3`, which is ample
+/// for pass/fail randomness checks.
+pub fn chi_square_critical(df: usize, alpha: f64) -> f64 {
+    let z = normal_upper_quantile(alpha);
+    let d = df as f64;
+    let t = 1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt();
+    d * t * t * t
+}
+
+/// `true` if `counts` is consistent with uniformity at significance 10⁻⁴
+/// (i.e. a correct hash family fails this about once in ten thousand runs).
+pub fn chi_square_uniform(counts: &[u64]) -> bool {
+    if counts.len() < 2 {
+        return true;
+    }
+    chi_square_statistic(counts) < chi_square_critical(counts.len() - 1, 1e-4)
+}
+
+/// Upper quantile z with `Pr[N(0,1) > z] = alpha`, by bisection on `erfc`.
+fn normal_upper_quantile(alpha: f64) -> f64 {
+    let target = 2.0 * alpha; // erfc(z/√2) = 2α
+    let (mut lo, mut hi) = (0.0f64, 10.0f64);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if erfc(mid / std::f64::consts::SQRT_2) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26-style rational
+/// approximation; absolute error < 1.5·10⁻⁷ — plenty for test thresholds).
+fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let val = poly * (-x * x).exp();
+    if sign_neg {
+        2.0 - val
+    } else {
+        val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistic_zero_for_perfectly_uniform() {
+        assert_eq!(chi_square_statistic(&[100, 100, 100, 100]), 0.0);
+    }
+
+    #[test]
+    fn statistic_large_for_skewed() {
+        assert!(chi_square_statistic(&[400, 0, 0, 0]) > 100.0);
+    }
+
+    #[test]
+    fn critical_values_roughly_match_tables() {
+        // χ²(df=10, α=0.001) ≈ 29.59; χ²(df=3, α=0.05) ≈ 7.81.
+        let c10 = chi_square_critical(10, 0.001);
+        assert!((c10 - 29.59).abs() < 1.0, "got {c10}");
+        let c3 = chi_square_critical(3, 0.05);
+        assert!((c3 - 7.81).abs() < 0.5, "got {c3}");
+    }
+
+    #[test]
+    fn uniform_check_accepts_uniform_rejects_skewed() {
+        assert!(chi_square_uniform(&[1000, 1010, 990, 1005]));
+        assert!(!chi_square_uniform(&[4000, 5, 0, 0]));
+        assert!(chi_square_uniform(&[])); // degenerate: vacuously uniform
+        assert!(chi_square_uniform(&[7]));
+    }
+
+    #[test]
+    fn erfc_reference_points() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-4);
+        assert!((erfc(-1.0) - 1.842701).abs() < 1e-4);
+        assert!(erfc(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn normal_quantile_reference_points() {
+        assert!((normal_upper_quantile(0.025) - 1.95996).abs() < 1e-2);
+        assert!((normal_upper_quantile(0.001) - 3.0902).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the hash families.
+
+use proptest::prelude::*;
+use setstream_hash::field::{self, P};
+use setstream_hash::{
+    bucket_of, lsb64, AnyHash, Hash64, HashFamily, KWiseHash, MixHash, PairwiseHash, SeedSequence,
+    TabulationHash,
+};
+
+proptest! {
+    #[test]
+    fn field_reduce_matches_modulo(x in any::<u128>()) {
+        // reduce128 is only specified for x < 2^122; constrain.
+        let x = x & ((1u128 << 122) - 1);
+        prop_assert_eq!(field::reduce128(x), (x % P as u128) as u64);
+    }
+
+    #[test]
+    fn field_mul_commutes(a in 0..P, b in 0..P) {
+        prop_assert_eq!(field::mul(a, b), field::mul(b, a));
+    }
+
+    #[test]
+    fn field_mul_associates(a in 0..P, b in 0..P, c in 0..P) {
+        prop_assert_eq!(
+            field::mul(field::mul(a, b), c),
+            field::mul(a, field::mul(b, c))
+        );
+    }
+
+    #[test]
+    fn field_distributes(a in 0..P, b in 0..P, c in 0..P) {
+        prop_assert_eq!(
+            field::mul(a, field::add(b, c)),
+            field::add(field::mul(a, b), field::mul(a, c))
+        );
+    }
+
+    #[test]
+    fn pairwise_hash_deterministic(seed in any::<u64>(), x in any::<u64>()) {
+        let h1 = PairwiseHash::from_seed(seed);
+        let h2 = PairwiseHash::from_seed(seed);
+        prop_assert_eq!(h1.hash(x), h2.hash(x));
+    }
+
+    #[test]
+    fn kwise_outputs_in_field(t in 1usize..12, seed in any::<u64>(), x in any::<u64>()) {
+        let h = KWiseHash::from_seed(t, seed);
+        prop_assert!(h.hash(x) < P);
+    }
+
+    #[test]
+    fn kwise_two_equals_linear_behavior(seed in any::<u64>(), x in 0..P, y in 0..P) {
+        // A degree-1 polynomial is linear: h(x) - h(y) = a(x - y) mod p.
+        let h = KWiseHash::from_seed(2, seed);
+        if x != y {
+            let dx = field::add(x, P - y); // x - y
+            let dh = field::add(h.hash(x), P - h.hash(y));
+            // a = dh / dx must be consistent across a second pair with the
+            // same difference: h(x+1) - h(y+1) = a(x - y) too.
+            let x1 = field::add(x, 1);
+            let y1 = field::add(y, 1);
+            let dh2 = field::add(h.hash(x1), P - h.hash(y1));
+            prop_assert_eq!(dh, dh2, "slope inconsistent for dx={}", dx);
+        }
+    }
+
+    #[test]
+    fn tabulation_deterministic(seed in any::<u64>(), x in any::<u64>()) {
+        let h1 = TabulationHash::from_seed(seed);
+        let h2 = TabulationHash::from_seed(seed);
+        prop_assert_eq!(h1.hash(x), h2.hash(x));
+    }
+
+    #[test]
+    fn mix_hash_bijective_on_samples(seed in any::<u64>(), x in any::<u64>(), y in any::<u64>()) {
+        // splitmix64 composition is a bijection, so distinct inputs never
+        // collide for the same seed.
+        let h = MixHash::from_seed(seed);
+        if x != y {
+            prop_assert_ne!(h.hash(x), h.hash(y));
+        }
+    }
+
+    #[test]
+    fn any_hash_agrees_with_family(x in any::<u64>(), seed in any::<u64>()) {
+        for fam in [HashFamily::Pairwise, HashFamily::KWise(4), HashFamily::Tabulation, HashFamily::Mix] {
+            let any = AnyHash::from_seed(fam, seed);
+            let expect = match fam {
+                HashFamily::Pairwise => PairwiseHash::from_seed(seed).hash(x),
+                HashFamily::KWise(t) => KWiseHash::from_seed(t as usize, seed).hash(x),
+                HashFamily::Tabulation => TabulationHash::from_seed(seed).hash(x),
+                HashFamily::Mix => MixHash::from_seed(seed).hash(x),
+            };
+            prop_assert_eq!(any.hash(x), expect);
+        }
+    }
+
+    #[test]
+    fn lsb_matches_definition(v in 1u64..) {
+        let l = lsb64(v);
+        prop_assert_eq!(v & ((1u64 << l) - 1), 0); // all lower bits zero
+        prop_assert_eq!((v >> l) & 1, 1);          // bit l is set
+    }
+
+    #[test]
+    fn bucket_in_range(v in any::<u64>(), levels in 1u32..=64) {
+        prop_assert!(bucket_of(v, levels) < levels);
+    }
+
+    #[test]
+    fn seed_sequence_random_access_consistent(master in any::<u64>(), n in 1usize..64) {
+        let mut s = SeedSequence::new(master);
+        for i in 0..n as u64 {
+            prop_assert_eq!(s.next_seed(), SeedSequence::seed_at(master, i));
+        }
+    }
+}

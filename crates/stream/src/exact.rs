@@ -1,0 +1,103 @@
+//! Exact set-operator cardinalities over [`Multiset`]s.
+//!
+//! The paper's semantics (§2.1): `|E|` counts distinct elements whose *net
+//! frequency* is positive in the result of evaluating `E` set-wise over the
+//! supports of the input multi-sets.
+
+use crate::multiset::Multiset;
+
+/// Exact `|A ∪ B|`: distinct elements present in either multi-set.
+pub fn union_count(a: &Multiset, b: &Multiset) -> usize {
+    let extra = b.support().filter(|&e| !a.contains(e)).count();
+    a.distinct_count() + extra
+}
+
+/// Exact `|A ∩ B|`: distinct elements present in both multi-sets.
+pub fn intersection_count(a: &Multiset, b: &Multiset) -> usize {
+    // Iterate the smaller support.
+    let (small, large) = if a.distinct_count() <= b.distinct_count() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    small.support().filter(|&e| large.contains(e)).count()
+}
+
+/// Exact `|A − B|`: distinct elements present in `a` but not in `b`.
+pub fn difference_count(a: &Multiset, b: &Multiset) -> usize {
+    a.support().filter(|&e| !b.contains(e)).count()
+}
+
+/// Exact union support over any number of multi-sets (needed for `|∪ᵢAᵢ|`
+/// in the general expression estimator's analysis).
+pub fn union_count_many(sets: &[&Multiset]) -> usize {
+    use std::collections::HashSet;
+    let mut seen: HashSet<u64> = HashSet::new();
+    for s in sets {
+        seen.extend(s.support());
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(elems: &[u64]) -> Multiset {
+        elems.iter().copied().collect()
+    }
+
+    #[test]
+    fn binary_operators_on_small_sets() {
+        let a = ms(&[1, 2, 3, 4]);
+        let b = ms(&[3, 4, 5]);
+        assert_eq!(union_count(&a, &b), 5);
+        assert_eq!(intersection_count(&a, &b), 2);
+        assert_eq!(difference_count(&a, &b), 2);
+        assert_eq!(difference_count(&b, &a), 1);
+    }
+
+    #[test]
+    fn multiplicities_do_not_matter() {
+        let a = ms(&[1, 1, 1, 2]);
+        let b = ms(&[2, 2]);
+        assert_eq!(union_count(&a, &b), 2);
+        assert_eq!(intersection_count(&a, &b), 1);
+        assert_eq!(difference_count(&a, &b), 1);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = ms(&[1, 2]);
+        let e = ms(&[]);
+        assert_eq!(union_count(&a, &e), 2);
+        assert_eq!(union_count(&e, &e), 0);
+        assert_eq!(intersection_count(&a, &e), 0);
+        assert_eq!(difference_count(&a, &e), 2);
+        assert_eq!(difference_count(&e, &a), 0);
+    }
+
+    #[test]
+    fn inclusion_exclusion_holds() {
+        let a = ms(&(0..100u64).collect::<Vec<_>>());
+        let b = ms(&(50..180u64).collect::<Vec<_>>());
+        assert_eq!(
+            union_count(&a, &b),
+            a.distinct_count() + b.distinct_count() - intersection_count(&a, &b)
+        );
+        assert_eq!(
+            difference_count(&a, &b),
+            a.distinct_count() - intersection_count(&a, &b)
+        );
+    }
+
+    #[test]
+    fn union_many_matches_pairwise() {
+        let a = ms(&[1, 2, 3]);
+        let b = ms(&[3, 4]);
+        let c = ms(&[4, 5, 6]);
+        assert_eq!(union_count_many(&[&a, &b, &c]), 6);
+        assert_eq!(union_count_many(&[&a]), 3);
+        assert_eq!(union_count_many(&[]), 0);
+    }
+}

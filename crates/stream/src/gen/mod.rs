@@ -1,0 +1,20 @@
+//! Synthetic workload generation.
+//!
+//! * [`venn`] — the controlled Venn-partition generator of §5.1: fix the
+//!   union size `u`, choose per-cell assignment probabilities so a target
+//!   expression cardinality `|E|` is hit in expectation.
+//! * [`updates`] — turn per-stream element sets into realistic *update*
+//!   streams: multiplicities, insert/delete churn (deleted copies and fully
+//!   deleted transient elements), and time-ordered interleaving.
+//! * [`zipf`] — a Zipf element sampler for skewed workloads in examples and
+//!   throughput benches.
+
+pub mod sessions;
+pub mod updates;
+pub mod venn;
+pub mod zipf;
+
+pub use sessions::{SessionConfig, SessionWorkload};
+pub use updates::{interleave, UpdateBuilder};
+pub use venn::{VennData, VennSpec};
+pub use zipf::ZipfSampler;

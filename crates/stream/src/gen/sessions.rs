@@ -1,0 +1,243 @@
+//! Session-churn workload: the paper's IP-monitoring regime, where every
+//! stream element is an *active session attribute* — inserted when the
+//! session opens and deleted when it closes.
+//!
+//! This is the workload that makes deletions first-class: at steady state
+//! nearly half of all updates are deletions, and the multi-set at any
+//! instant holds exactly the live sessions.
+
+use crate::update::{Element, StreamId, Update};
+use rand::Rng;
+
+/// Configuration for a session-churn simulation.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Streams (e.g. routers) sessions are assigned to, with a weight
+    /// each; a session opens at stream `i` with probability proportional
+    /// to `weights[i]`.
+    pub weights: Vec<f64>,
+    /// Element (e.g. source address) is drawn by this closure index —
+    /// see [`SessionWorkload::new`].
+    pub lifetime_min: u64,
+    /// Maximum session lifetime in ticks (inclusive).
+    pub lifetime_max: u64,
+}
+
+impl SessionConfig {
+    /// Uniform weights over `n` streams, lifetimes in
+    /// `[lifetime_min, lifetime_max]`.
+    pub fn uniform(n: usize, lifetime_min: u64, lifetime_max: u64) -> Self {
+        assert!(n >= 1, "need at least one stream");
+        assert!(
+            lifetime_min >= 1 && lifetime_min <= lifetime_max,
+            "bad lifetime range"
+        );
+        SessionConfig {
+            weights: vec![1.0; n],
+            lifetime_min,
+            lifetime_max,
+        }
+    }
+}
+
+struct Live {
+    stream: StreamId,
+    element: Element,
+    closes_at: u64,
+}
+
+/// A running session-churn simulation: each [`SessionWorkload::tick`]
+/// opens one session and closes any whose lifetime expired, emitting the
+/// corresponding update tuples.
+pub struct SessionWorkload<F> {
+    config: SessionConfig,
+    draw_element: F,
+    live: Vec<Live>,
+    clock: u64,
+    opened: u64,
+    closed: u64,
+    total_weight: f64,
+}
+
+impl<F: FnMut(StreamId, &mut dyn FnMut() -> u64) -> Element> SessionWorkload<F> {
+    /// Start a simulation. `draw_element(stream, rand)` produces the
+    /// session's element for the stream it opens at (`rand` yields raw
+    /// random words so the caller controls the distribution).
+    pub fn new(config: SessionConfig, draw_element: F) -> Self {
+        assert!(
+            config.weights.iter().all(|&w| w >= 0.0) && config.weights.iter().sum::<f64>() > 0.0,
+            "weights must be non-negative and not all zero"
+        );
+        let total_weight = config.weights.iter().sum();
+        SessionWorkload {
+            config,
+            draw_element,
+            live: Vec::new(),
+            clock: 0,
+            opened: 0,
+            closed: 0,
+            total_weight,
+        }
+    }
+
+    /// Advance one tick: open one session, close expired ones. Appends
+    /// the generated updates to `out` (insert first, then any deletes)
+    /// and returns how many were appended.
+    pub fn tick<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut Vec<Update>) -> usize {
+        self.clock += 1;
+        let before = out.len();
+
+        // Pick the stream by weight.
+        let mut pick = rng.gen::<f64>() * self.total_weight;
+        let mut stream = StreamId(0);
+        for (i, &w) in self.config.weights.iter().enumerate() {
+            if pick < w {
+                stream = StreamId(i as u32);
+                break;
+            }
+            pick -= w;
+        }
+
+        let mut rand_word = || rng.gen::<u64>();
+        let element = (self.draw_element)(stream, &mut rand_word);
+        let lifetime = if self.config.lifetime_min == self.config.lifetime_max {
+            self.config.lifetime_min
+        } else {
+            rng.gen_range(self.config.lifetime_min..=self.config.lifetime_max)
+        };
+        out.push(Update::insert(stream, element, 1));
+        self.live.push(Live {
+            stream,
+            element,
+            closes_at: self.clock + lifetime,
+        });
+        self.opened += 1;
+
+        // Expire.
+        let clock = self.clock;
+        let mut i = 0;
+        while i < self.live.len() {
+            if self.live[i].closes_at <= clock {
+                let s = self.live.swap_remove(i);
+                out.push(Update::delete(s.stream, s.element, 1));
+                self.closed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        out.len() - before
+    }
+
+    /// Run `ticks` ticks, collecting all updates.
+    pub fn run<R: Rng + ?Sized>(&mut self, ticks: u64, rng: &mut R) -> Vec<Update> {
+        let mut out = Vec::with_capacity(ticks as usize * 2);
+        for _ in 0..ticks {
+            self.tick(rng, &mut out);
+        }
+        out
+    }
+
+    /// Currently live sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `(opened, closed)` totals.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.opened, self.closed)
+    }
+
+    /// Current virtual time.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiset::StreamSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload() -> SessionWorkload<impl FnMut(StreamId, &mut dyn FnMut() -> u64) -> Element> {
+        SessionWorkload::new(
+            SessionConfig::uniform(3, 10, 100),
+            |stream, rand| rand() % 1000 + stream.0 as u64 * 10_000,
+        )
+    }
+
+    #[test]
+    fn updates_are_always_legal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = workload();
+        let updates = w.run(5_000, &mut rng);
+        let mut truth = StreamSet::new();
+        for u in &updates {
+            truth.apply(u).expect("session updates must be legal");
+        }
+        // Live sessions equal total net count across streams.
+        let net: u64 = (0..3)
+            .map(|i| truth.get(StreamId(i)).total_count())
+            .sum();
+        assert_eq!(net as usize, w.live_sessions());
+    }
+
+    #[test]
+    fn steady_state_has_heavy_deletion_traffic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = workload();
+        let updates = w.run(10_000, &mut rng);
+        let deletions = updates.iter().filter(|u| u.is_deletion()).count();
+        let frac = deletions as f64 / updates.len() as f64;
+        assert!(frac > 0.4, "deletion fraction {frac}");
+        let (opened, closed) = w.totals();
+        assert_eq!(opened, 10_000);
+        assert!(closed > 9_000);
+    }
+
+    #[test]
+    fn live_count_tracks_lifetime_expectation() {
+        // With lifetime ~ U[10,100] (mean 55) and one opening per tick,
+        // steady-state live ≈ 55.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = workload();
+        let _ = w.run(5_000, &mut rng);
+        let live = w.live_sessions() as f64;
+        assert!((30.0..90.0).contains(&live), "live {live}");
+    }
+
+    #[test]
+    fn fixed_lifetime_closes_exactly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut w = SessionWorkload::new(SessionConfig::uniform(1, 5, 5), |_, rand| rand());
+        let _ = w.run(100, &mut rng);
+        // After t ticks with lifetime 5, exactly 5 sessions are live.
+        assert_eq!(w.live_sessions(), 5);
+        assert_eq!(w.clock(), 100);
+    }
+
+    #[test]
+    fn weighted_streams_receive_proportional_sessions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = SessionConfig {
+            weights: vec![3.0, 1.0],
+            lifetime_min: 1,
+            lifetime_max: 1,
+        };
+        let mut w = SessionWorkload::new(config, |_, rand| rand());
+        let updates = w.run(20_000, &mut rng);
+        let to_a = updates
+            .iter()
+            .filter(|u| !u.is_deletion() && u.stream == StreamId(0))
+            .count() as f64;
+        let inserts = updates.iter().filter(|u| !u.is_deletion()).count() as f64;
+        assert!((to_a / inserts - 0.75).abs() < 0.02, "{}", to_a / inserts);
+    }
+
+    #[test]
+    #[should_panic(expected = "lifetime")]
+    fn bad_lifetimes_rejected() {
+        let _ = SessionConfig::uniform(1, 10, 5);
+    }
+}

@@ -1,0 +1,246 @@
+//! Turning element sets into *update* streams.
+//!
+//! A 2-level hash sketch is maintained from updates, not sets; this module
+//! synthesizes realistic update sequences whose *net* effect is a chosen
+//! multi-set, while exercising the deletion machinery:
+//!
+//! * each surviving element gets a random final multiplicity;
+//! * **copy churn** inserts extra copies that are later deleted;
+//! * **transient churn** inserts entirely new elements that are later fully
+//!   deleted (they must leave no trace in the synopsis — the paper's
+//!   "impervious to deletes" claim, ablated in `ablation_deletions`);
+//! * all events are stamped with random virtual times (deletes after their
+//!   inserts) and emitted in time order, so insertions and deletions of
+//!   different elements interleave arbitrarily.
+
+use crate::update::{Element, StreamId, Update};
+use rand::Rng;
+
+/// Configuration for synthesizing an update stream from an element set.
+#[derive(Debug, Clone)]
+pub struct UpdateBuilder {
+    /// Final net multiplicity of each element is drawn uniformly from
+    /// `1..=max_multiplicity`.
+    pub max_multiplicity: u32,
+    /// Up to this many extra copies of each element are inserted and later
+    /// deleted (drawn uniformly from `0..=copy_churn`).
+    pub copy_churn: u32,
+    /// Additional *distinct* transient elements (fully deleted before the
+    /// end), as a fraction of the real element count.
+    pub transient_fraction: f64,
+}
+
+impl Default for UpdateBuilder {
+    /// Insert-only, unit multiplicities — the paper's §5 configuration.
+    fn default() -> Self {
+        UpdateBuilder {
+            max_multiplicity: 1,
+            copy_churn: 0,
+            transient_fraction: 0.0,
+        }
+    }
+}
+
+impl UpdateBuilder {
+    /// Builder with deletion churn enabled: each element gets up to 3 extra
+    /// deleted copies and 50% extra transient elements.
+    pub fn with_churn() -> Self {
+        UpdateBuilder {
+            max_multiplicity: 4,
+            copy_churn: 3,
+            transient_fraction: 0.5,
+        }
+    }
+
+    /// Synthesize the update sequence for one stream.
+    ///
+    /// The returned updates, applied in order, are all legal and their net
+    /// effect is exactly: each element of `elements` present with frequency
+    /// in `1..=max_multiplicity`, nothing else present.
+    pub fn build<R: Rng + ?Sized>(
+        &self,
+        stream: StreamId,
+        elements: &[Element],
+        rng: &mut R,
+    ) -> Vec<Update> {
+        // (virtual time, update); deletes get times strictly after their
+        // element's insert.
+        let mut events: Vec<(u64, Update)> =
+            Vec::with_capacity(elements.len() * 2 + (elements.len() as f64 * self.transient_fraction) as usize * 2);
+
+        let push_pair = |events: &mut Vec<(u64, Update)>,
+                             rng: &mut R,
+                             element: Element,
+                             keep: u32,
+                             extra: u32| {
+            let t_ins = rng.gen::<u64>() >> 1; // keep headroom for t_del
+            let total = keep + extra;
+            if total > 0 {
+                events.push((t_ins, Update::insert(stream, element, total)));
+            }
+            if extra > 0 {
+                let t_del = t_ins + 1 + (rng.gen::<u64>() % (u64::MAX - t_ins - 1));
+                events.push((t_del, Update::delete(stream, element, extra)));
+            }
+        };
+
+        for &e in elements {
+            let keep = if self.max_multiplicity <= 1 {
+                1
+            } else {
+                rng.gen_range(1..=self.max_multiplicity)
+            };
+            let extra = if self.copy_churn == 0 {
+                0
+            } else {
+                rng.gen_range(0..=self.copy_churn)
+            };
+            push_pair(&mut events, rng, e, keep, extra);
+        }
+
+        let n_transient = (elements.len() as f64 * self.transient_fraction).round() as usize;
+        for _ in 0..n_transient {
+            let e: Element = rng.gen::<u32>() as Element;
+            let copies = if self.max_multiplicity <= 1 {
+                1
+            } else {
+                rng.gen_range(1..=self.max_multiplicity)
+            };
+            push_pair(&mut events, rng, e, 0, copies);
+        }
+
+        events.sort_by_key(|&(t, _)| t);
+        events.into_iter().map(|(_, u)| u).collect()
+    }
+}
+
+/// Randomly interleave several per-stream update sequences into one global
+/// arrival order, preserving each stream's internal order (so legality is
+/// preserved).
+pub fn interleave<R: Rng + ?Sized>(mut streams: Vec<Vec<Update>>, rng: &mut R) -> Vec<Update> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; streams.len()];
+    let mut out = Vec::with_capacity(total);
+    let mut remaining = total;
+    while remaining > 0 {
+        // Pick a stream with probability proportional to its remaining
+        // length — a uniformly random merge.
+        let mut pick = rng.gen_range(0..remaining);
+        for (i, s) in streams.iter_mut().enumerate() {
+            let left = s.len() - cursors[i];
+            if pick < left {
+                out.push(s[cursors[i]]);
+                cursors[i] += 1;
+                remaining -= 1;
+                break;
+            }
+            pick -= left;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiset::Multiset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn net_of(updates: &[Update]) -> Multiset {
+        let mut m = Multiset::new();
+        for u in updates {
+            m.apply(u).expect("generated updates must be legal");
+        }
+        m
+    }
+
+    #[test]
+    fn default_builder_is_insert_only_units() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let elems: Vec<Element> = (100..200).collect();
+        let ups = UpdateBuilder::default().build(StreamId(0), &elems, &mut rng);
+        assert_eq!(ups.len(), 100);
+        assert!(ups.iter().all(|u| u.delta == 1));
+        let m = net_of(&ups);
+        assert_eq!(m.distinct_count(), 100);
+        assert_eq!(m.total_count(), 100);
+    }
+
+    #[test]
+    fn churn_preserves_net_effect() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let elems: Vec<Element> = (0..500).map(|i| i * 7 + 1).collect();
+        let b = UpdateBuilder::with_churn();
+        let ups = b.build(StreamId(1), &elems, &mut rng);
+        assert!(ups.iter().any(Update::is_deletion), "churn must delete");
+        let m = net_of(&ups);
+        // Net support is exactly the real elements (transients cancel;
+        // transient values colliding with real ones cancel too).
+        let want: HashSet<Element> = elems.iter().copied().collect();
+        let got: HashSet<Element> = m.support().collect();
+        assert_eq!(got, want);
+        for e in &elems {
+            let f = m.frequency(*e);
+            assert!((1..=4).contains(&f), "element {e} has frequency {f}");
+        }
+    }
+
+    #[test]
+    fn churn_sequences_are_legal_in_order() {
+        // net_of already unwraps; this stresses a larger instance.
+        let mut rng = StdRng::seed_from_u64(5);
+        let elems: Vec<Element> = (0..5_000).collect();
+        let ups = UpdateBuilder::with_churn().build(StreamId(0), &elems, &mut rng);
+        let _ = net_of(&ups);
+    }
+
+    #[test]
+    fn interleave_preserves_per_stream_order_and_content() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s0: Vec<Update> = (0..50).map(|i| Update::insert(StreamId(0), i, 1)).collect();
+        let s1: Vec<Update> = (0..70)
+            .map(|i| Update::insert(StreamId(1), i + 1000, 1))
+            .collect();
+        let merged = interleave(vec![s0.clone(), s1.clone()], &mut rng);
+        assert_eq!(merged.len(), 120);
+        let back0: Vec<Update> = merged
+            .iter()
+            .filter(|u| u.stream == StreamId(0))
+            .copied()
+            .collect();
+        let back1: Vec<Update> = merged
+            .iter()
+            .filter(|u| u.stream == StreamId(1))
+            .copied()
+            .collect();
+        assert_eq!(back0, s0);
+        assert_eq!(back1, s1);
+    }
+
+    #[test]
+    fn interleave_handles_empty_inputs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(interleave(vec![], &mut rng).is_empty());
+        assert!(interleave(vec![vec![], vec![]], &mut rng).is_empty());
+        let one = vec![Update::insert(StreamId(0), 1, 1)];
+        assert_eq!(interleave(vec![vec![], one.clone()], &mut rng), one);
+    }
+
+    #[test]
+    fn transient_fraction_adds_deleted_elements() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let elems: Vec<Element> = (0..1000).collect();
+        let b = UpdateBuilder {
+            max_multiplicity: 1,
+            copy_churn: 0,
+            transient_fraction: 1.0,
+        };
+        let ups = b.build(StreamId(0), &elems, &mut rng);
+        let deletions = ups.iter().filter(|u| u.is_deletion()).count();
+        assert!(deletions >= 990, "expected ~1000 transient deletes, got {deletions}");
+        let m = net_of(&ups);
+        assert_eq!(m.distinct_count(), 1000);
+    }
+}

@@ -1,0 +1,288 @@
+//! The §5.1 controlled Venn-partition workload generator.
+//!
+//! To study estimator accuracy as a function of the ratio `|E| / |∪ᵢAᵢ|`,
+//! the paper fixes the union size `u ≈ 2¹⁸`, enumerates the `2ⁿ − 1`
+//! non-empty cells of the Venn diagram of `n` streams, gives each cell an
+//! assignment probability, and drops every generated element into one cell.
+//! The expected `|E|` is then the total probability of the cells contained
+//! in `E`, times `u`.
+//!
+//! A cell is a bitmask over streams: bit `i` set ⇔ the element belongs to
+//! stream `Aᵢ`.
+
+use crate::update::Element;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Per-cell assignment probabilities for an `n`-stream Venn diagram.
+#[derive(Debug, Clone)]
+pub struct VennSpec {
+    n_streams: usize,
+    /// `weights[mask − 1]` is the probability of cell `mask`
+    /// (masks run over `1 ..= 2ⁿ − 1`; the empty cell is meaningless).
+    weights: Vec<f64>,
+}
+
+impl VennSpec {
+    /// Build a spec from explicit `(cell mask, probability)` pairs; cells
+    /// not mentioned get probability 0.
+    ///
+    /// # Panics
+    /// Panics if `n_streams` is 0 or > 16, any mask is 0 or out of range,
+    /// a probability is negative, or the probabilities don't sum to 1
+    /// (within 1e-9).
+    pub fn from_cells(n_streams: usize, cells: &[(u32, f64)]) -> Self {
+        assert!(
+            (1..=16).contains(&n_streams),
+            "n_streams must be in 1..=16"
+        );
+        let n_cells = (1usize << n_streams) - 1;
+        let mut weights = vec![0.0; n_cells];
+        for &(mask, p) in cells {
+            assert!(mask >= 1 && (mask as usize) <= n_cells, "bad cell mask {mask:#b}");
+            assert!(p >= 0.0, "negative probability for cell {mask:#b}");
+            weights[mask as usize - 1] += p;
+        }
+        let total: f64 = weights.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "cell probabilities must sum to 1, got {total}"
+        );
+        VennSpec { n_streams, weights }
+    }
+
+    /// Two streams `A, B` with `E[|A ∩ B|] = ratio · u`: the paper's
+    /// generator for Figure 7(a). Remaining mass splits evenly between
+    /// "only A" and "only B", so `E[|A|] ≈ E[|B|]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ratio < 1`.
+    pub fn binary_intersection(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0,1)");
+        let only = (1.0 - ratio) / 2.0;
+        Self::from_cells(2, &[(0b11, ratio), (0b01, only), (0b10, only)])
+    }
+
+    /// Two streams with `E[|A − B|] = ratio · u` (Figure 7(b)): cell
+    /// "only A" carries the target mass, the rest splits between "both"
+    /// and "only B".
+    ///
+    /// # Panics
+    /// Panics unless `0 < ratio < 1`.
+    pub fn binary_difference(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0,1)");
+        let rest = (1.0 - ratio) / 2.0;
+        Self::from_cells(2, &[(0b01, ratio), (0b11, rest), (0b10, rest)])
+    }
+
+    /// Three streams with `E[|(A − B) ∩ C|] = ratio · u` (Figure 8): the
+    /// witness cell is `{A, C}` (in A and C, not in B); the remaining mass
+    /// spreads evenly over the other six cells.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ratio < 1`.
+    pub fn diff_intersect(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0,1)");
+        // Streams: A = bit0, B = bit1, C = bit2 → witness cell mask 0b101.
+        let rest = (1.0 - ratio) / 6.0;
+        let cells: Vec<(u32, f64)> = (1u32..8)
+            .map(|m| if m == 0b101 { (m, ratio) } else { (m, rest) })
+            .collect();
+        Self::from_cells(3, &cells)
+    }
+
+    /// Number of streams in the diagram.
+    pub fn n_streams(&self) -> usize {
+        self.n_streams
+    }
+
+    /// Probability assigned to `mask` (0 for the empty mask).
+    pub fn cell_probability(&self, mask: u32) -> f64 {
+        if mask == 0 {
+            0.0
+        } else {
+            self.weights[mask as usize - 1]
+        }
+    }
+
+    /// Expected `|E| / u` for an expression characterized by the predicate
+    /// `in_expr(mask)` (true ⇔ elements of that cell belong to `E`).
+    pub fn expression_mass(&self, mut in_expr: impl FnMut(u32) -> bool) -> f64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| in_expr(i as u32 + 1))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Generate a dataset: draw `u_target` random 32-bit elements (as the
+    /// paper does), dedup, and assign each survivor to a cell.
+    ///
+    /// The realized union size may be slightly below `u_target` because of
+    /// duplicate draws — the paper notes the same effect.
+    pub fn generate<R: Rng + ?Sized>(&self, u_target: usize, rng: &mut R) -> VennData {
+        // Dedup while preserving draw order so generation is a pure
+        // function of the RNG stream (HashSet iteration order is not).
+        let mut seen: HashSet<u32> = HashSet::with_capacity(u_target);
+        let mut elements: Vec<u32> = Vec::with_capacity(u_target);
+        for _ in 0..u_target {
+            let e = rng.gen::<u32>();
+            if seen.insert(e) {
+                elements.push(e);
+            }
+        }
+        // Prefix sums for cell sampling by inverse CDF.
+        let mut cdf = Vec::with_capacity(self.weights.len());
+        let mut acc = 0.0;
+        for &w in &self.weights {
+            acc += w;
+            cdf.push(acc);
+        }
+        let memberships = elements
+            .into_iter()
+            .map(|e| {
+                let x: f64 = rng.gen::<f64>() * acc; // acc ≈ 1.0; guard fp drift
+                let idx = cdf.partition_point(|&c| c < x).min(cdf.len() - 1);
+                (e as Element, idx as u32 + 1)
+            })
+            .collect();
+        VennData {
+            n_streams: self.n_streams,
+            memberships,
+        }
+    }
+}
+
+/// A generated dataset: each distinct element with its Venn-cell mask.
+#[derive(Debug, Clone)]
+pub struct VennData {
+    n_streams: usize,
+    /// `(element, cell mask)` pairs; masks are nonzero.
+    memberships: Vec<(Element, u32)>,
+}
+
+impl VennData {
+    /// Number of streams.
+    pub fn n_streams(&self) -> usize {
+        self.n_streams
+    }
+
+    /// Realized union size `u = |∪ᵢAᵢ|`.
+    pub fn union_size(&self) -> usize {
+        self.memberships.len()
+    }
+
+    /// The `(element, mask)` pairs.
+    pub fn memberships(&self) -> &[(Element, u32)] {
+        &self.memberships
+    }
+
+    /// Elements belonging to stream `i` (bit `i` of the mask set).
+    pub fn stream_elements(&self, i: usize) -> Vec<Element> {
+        assert!(i < self.n_streams);
+        let bit = 1u32 << i;
+        self.memberships
+            .iter()
+            .filter(|&&(_, m)| m & bit != 0)
+            .map(|&(e, _)| e)
+            .collect()
+    }
+
+    /// Exact number of elements whose cell satisfies `in_expr` — the ground
+    /// truth `|E|` for this dataset.
+    pub fn exact_count(&self, mut in_expr: impl FnMut(u32) -> bool) -> usize {
+        self.memberships
+            .iter()
+            .filter(|&&(_, m)| in_expr(m))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binary_intersection_masses() {
+        let s = VennSpec::binary_intersection(0.25);
+        assert_eq!(s.cell_probability(0b11), 0.25);
+        assert_eq!(s.cell_probability(0b01), 0.375);
+        assert_eq!(s.cell_probability(0b10), 0.375);
+        assert_eq!(s.cell_probability(0), 0.0);
+        // |A ∩ B| mass: cells with both bits.
+        let m = s.expression_mass(|m| m & 0b11 == 0b11);
+        assert!((m - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_difference_masses() {
+        let s = VennSpec::binary_difference(0.1);
+        let m = s.expression_mass(|m| m & 0b01 != 0 && m & 0b10 == 0);
+        assert!((m - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_intersect_masses() {
+        let s = VennSpec::diff_intersect(0.125);
+        // (A − B) ∩ C: bit0 set, bit1 clear, bit2 set.
+        let m = s.expression_mass(|m| m & 1 != 0 && m & 2 == 0 && m & 4 != 0);
+        assert!((m - 0.125).abs() < 1e-12);
+        // Everything sums to 1.
+        let total = s.expression_mass(|_| true);
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generate_hits_target_sizes() {
+        let spec = VennSpec::binary_intersection(0.25);
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = spec.generate(1 << 16, &mut rng);
+        let u = data.union_size();
+        // Duplicate 32-bit draws shave off only a tiny fraction.
+        assert!(u > (1 << 16) - 600, "u={u}");
+        let exact = data.exact_count(|m| m == 0b11);
+        let expect = 0.25 * u as f64;
+        let rel = (exact as f64 - expect).abs() / expect;
+        assert!(rel < 0.05, "intersection {exact} vs expected {expect}");
+        // Streams are balanced.
+        let a = data.stream_elements(0).len() as f64;
+        let b = data.stream_elements(1).len() as f64;
+        assert!((a - b).abs() / a < 0.05, "a={a} b={b}");
+    }
+
+    #[test]
+    fn stream_elements_respect_masks() {
+        let spec = VennSpec::binary_difference(0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = spec.generate(1000, &mut rng);
+        let a: std::collections::HashSet<_> = data.stream_elements(0).into_iter().collect();
+        let b: std::collections::HashSet<_> = data.stream_elements(1).into_iter().collect();
+        for &(e, m) in data.memberships() {
+            assert_eq!(a.contains(&e), m & 1 != 0);
+            assert_eq!(b.contains(&e), m & 2 != 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_rejected() {
+        let _ = VennSpec::from_cells(2, &[(0b01, 0.3), (0b10, 0.3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cell mask")]
+    fn zero_mask_rejected() {
+        let _ = VennSpec::from_cells(2, &[(0, 1.0)]);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let spec = VennSpec::diff_intersect(0.1);
+        let d1 = spec.generate(5000, &mut StdRng::seed_from_u64(7));
+        let d2 = spec.generate(5000, &mut StdRng::seed_from_u64(7));
+        assert_eq!(d1.memberships(), d2.memberships());
+    }
+}

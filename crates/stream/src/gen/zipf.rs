@@ -1,0 +1,114 @@
+//! A Zipf(θ) element sampler over a bounded domain.
+//!
+//! Used by the examples and throughput benches to model the skewed element
+//! popularity typical of the paper's motivating workloads (IP addresses,
+//! retail SKUs). Sampling is by inverse CDF with binary search; the CDF
+//! table is built once, so draws are `O(log n)` with no allocation.
+
+use crate::update::Element;
+use rand::Rng;
+
+/// Zipfian sampler: element rank `k ∈ [0, n)` has probability
+/// `∝ 1 / (k+1)^θ`. `θ = 0` degenerates to uniform.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Box<[f64]>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` ranks with skew `theta ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative/NaN.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        ZipfSampler {
+            cdf: cdf.into_boxed_slice(),
+        }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` only for the (disallowed) empty sampler; present for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw a rank in `[0, n)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Element {
+        let x: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1) as Element
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = ZipfSampler::new(8, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u64; 8];
+        for _ in 0..80_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let rel = (c as f64 - 10_000.0).abs() / 10_000.0;
+            assert!(rel < 0.06, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = ZipfSampler::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let head = (0..n)
+            .filter(|_| z.sample(&mut rng) < 10)
+            .count() as f64
+            / n as f64;
+        assert!(head > 0.5, "head mass {head}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(17, 0.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let z = ZipfSampler::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Exact multi-set accumulators — the ground truth every estimator is
+//! judged against.
+//!
+//! These are *not* streaming data structures (they hold the full support);
+//! they exist so tests and experiments can compare sketch estimates with
+//! exact cardinalities.
+
+use crate::update::{Element, StreamError, StreamId, Update};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// An exact multi-set of elements with non-negative net frequencies.
+///
+/// Uses the standard library `HashMap` with its default hasher: ground
+/// truth is off the hot path, and HashDoS-resistance is a fine default for
+/// a structure that may ingest externally controlled elements.
+#[derive(Debug, Clone, Default)]
+pub struct Multiset {
+    freq: HashMap<Element, u64>,
+    total: u64,
+}
+
+impl Multiset {
+    /// An empty multi-set.
+    pub fn new() -> Self {
+        Multiset::default()
+    }
+
+    /// Apply one update, enforcing deletion legality.
+    ///
+    /// The `stream` field of `update` is not interpreted here (a `Multiset`
+    /// models a single stream); it is only echoed in errors.
+    pub fn apply(&mut self, update: &Update) -> Result<(), StreamError> {
+        if update.delta >= 0 {
+            let v = update.delta as u64;
+            *self.freq.entry(update.element).or_insert(0) += v;
+            self.total += v;
+            return Ok(());
+        }
+        let requested = update.delta.unsigned_abs();
+        match self.freq.entry(update.element) {
+            Entry::Occupied(mut slot) => {
+                let have = *slot.get();
+                if have < requested {
+                    return Err(StreamError::IllegalDeletion {
+                        stream: update.stream,
+                        element: update.element,
+                        have,
+                        requested,
+                    });
+                }
+                if have == requested {
+                    slot.remove();
+                } else {
+                    *slot.get_mut() = have - requested;
+                }
+                self.total -= requested;
+                Ok(())
+            }
+            Entry::Vacant(_) => Err(StreamError::IllegalDeletion {
+                stream: update.stream,
+                element: update.element,
+                have: 0,
+                requested,
+            }),
+        }
+    }
+
+    /// Net frequency of `element` (0 if absent).
+    pub fn frequency(&self, element: Element) -> u64 {
+        self.freq.get(&element).copied().unwrap_or(0)
+    }
+
+    /// `true` if `element` has positive net frequency.
+    pub fn contains(&self, element: Element) -> bool {
+        self.freq.contains_key(&element)
+    }
+
+    /// Number of distinct elements with positive net frequency — the
+    /// paper's `|A|`.
+    pub fn distinct_count(&self) -> usize {
+        self.freq.len()
+    }
+
+    /// Sum of all net frequencies (the paper's `N` upper bound tracks this).
+    pub fn total_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterate over `(element, net frequency)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (Element, u64)> + '_ {
+        self.freq.iter().map(|(&e, &f)| (e, f))
+    }
+
+    /// Iterate over the distinct elements (the support).
+    pub fn support(&self) -> impl Iterator<Item = Element> + '_ {
+        self.freq.keys().copied()
+    }
+}
+
+impl FromIterator<Element> for Multiset {
+    fn from_iter<I: IntoIterator<Item = Element>>(iter: I) -> Self {
+        let mut m = Multiset::new();
+        for e in iter {
+            *m.freq.entry(e).or_insert(0) += 1;
+            m.total += 1;
+        }
+        m
+    }
+}
+
+/// A family of exact multi-sets indexed by [`StreamId`] — the ground-truth
+/// mirror of a collection of update streams.
+#[derive(Debug, Clone, Default)]
+pub struct StreamSet {
+    streams: HashMap<StreamId, Multiset>,
+}
+
+impl StreamSet {
+    /// An empty family.
+    pub fn new() -> Self {
+        StreamSet::default()
+    }
+
+    /// Route one update to its stream's multi-set.
+    pub fn apply(&mut self, update: &Update) -> Result<(), StreamError> {
+        self.streams.entry(update.stream).or_default().apply(update)
+    }
+
+    /// Apply a whole batch, stopping at the first illegal deletion.
+    pub fn apply_all<'a, I>(&mut self, updates: I) -> Result<(), StreamError>
+    where
+        I: IntoIterator<Item = &'a Update>,
+    {
+        for u in updates {
+            self.apply(u)?;
+        }
+        Ok(())
+    }
+
+    /// The multi-set for `stream`; an empty one if it never saw an update.
+    pub fn get(&self, stream: StreamId) -> &Multiset {
+        static EMPTY: std::sync::OnceLock<Multiset> = std::sync::OnceLock::new();
+        self.streams
+            .get(&stream)
+            .unwrap_or_else(|| EMPTY.get_or_init(Multiset::new))
+    }
+
+    /// Stream ids present in this family.
+    pub fn stream_ids(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.streams.keys().copied()
+    }
+
+    /// Number of streams that have received at least one update.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// `true` if no stream has received an update.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u32) -> StreamId {
+        StreamId(n)
+    }
+
+    #[test]
+    fn insert_then_full_delete_removes_support() {
+        let mut m = Multiset::new();
+        m.apply(&Update::insert(sid(0), 10, 4)).unwrap();
+        assert_eq!(m.distinct_count(), 1);
+        assert_eq!(m.total_count(), 4);
+        m.apply(&Update::delete(sid(0), 10, 4)).unwrap();
+        assert_eq!(m.distinct_count(), 0);
+        assert_eq!(m.total_count(), 0);
+        assert!(!m.contains(10));
+    }
+
+    #[test]
+    fn partial_delete_keeps_support() {
+        let mut m = Multiset::new();
+        m.apply(&Update::insert(sid(0), 10, 4)).unwrap();
+        m.apply(&Update::delete(sid(0), 10, 3)).unwrap();
+        assert_eq!(m.frequency(10), 1);
+        assert!(m.contains(10));
+    }
+
+    #[test]
+    fn illegal_deletion_is_rejected_and_state_unchanged() {
+        let mut m = Multiset::new();
+        m.apply(&Update::insert(sid(0), 10, 2)).unwrap();
+        let err = m.apply(&Update::delete(sid(0), 10, 3)).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::IllegalDeletion {
+                stream: sid(0),
+                element: 10,
+                have: 2,
+                requested: 3
+            }
+        );
+        assert_eq!(m.frequency(10), 2);
+        assert_eq!(m.total_count(), 2);
+
+        let err2 = m.apply(&Update::delete(sid(0), 99, 1)).unwrap_err();
+        assert!(matches!(
+            err2,
+            StreamError::IllegalDeletion { have: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn from_iterator_counts_duplicates() {
+        let m: Multiset = [1u64, 2, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(m.distinct_count(), 3);
+        assert_eq!(m.total_count(), 6);
+        assert_eq!(m.frequency(3), 3);
+    }
+
+    #[test]
+    fn iter_and_support_agree() {
+        let m: Multiset = [5u64, 6, 6].into_iter().collect();
+        let mut sup: Vec<_> = m.support().collect();
+        sup.sort_unstable();
+        assert_eq!(sup, vec![5, 6]);
+        let total: u64 = m.iter().map(|(_, f)| f).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn stream_set_routes_by_id() {
+        let mut s = StreamSet::new();
+        s.apply(&Update::insert(sid(0), 1, 1)).unwrap();
+        s.apply(&Update::insert(sid(1), 2, 5)).unwrap();
+        assert_eq!(s.get(sid(0)).distinct_count(), 1);
+        assert_eq!(s.get(sid(1)).frequency(2), 5);
+        assert_eq!(s.get(sid(9)).distinct_count(), 0); // untouched stream
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn apply_all_stops_on_error() {
+        let mut s = StreamSet::new();
+        let batch = [
+            Update::insert(sid(0), 1, 1),
+            Update::delete(sid(0), 1, 2), // illegal
+            Update::insert(sid(0), 2, 1), // must not be applied
+        ];
+        assert!(s.apply_all(batch.iter()).is_err());
+        assert!(!s.get(sid(0)).contains(2));
+    }
+}

@@ -1,0 +1,152 @@
+//! Update sources: iterator adapters for feeding update tuples to stream
+//! processors (Figure 1's architecture: sources → synopses → estimator).
+//!
+//! A *source* is anything that yields [`Update`]s in arrival order. Keeping
+//! this as a trait lets the same consumer code run over in-memory replays,
+//! generated workloads, or (in the distributed crate) decoded wire frames.
+
+use crate::update::Update;
+
+/// A one-pass source of update tuples.
+///
+/// Consumers may only iterate once — backtracking over a stream is exactly
+/// what the data-stream model forbids (§2.1).
+pub trait UpdateSource {
+    /// Next update, or `None` at end of stream.
+    fn next_update(&mut self) -> Option<Update>;
+
+    /// Adapter: consume the rest of this source through a callback.
+    fn for_each_update<F: FnMut(&Update)>(&mut self, mut f: F) {
+        while let Some(u) = self.next_update() {
+            f(&u);
+        }
+    }
+}
+
+/// A source replaying a vector of updates.
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    updates: Vec<Update>,
+    pos: usize,
+}
+
+impl VecSource {
+    /// Wrap a batch of updates.
+    pub fn new(updates: Vec<Update>) -> Self {
+        VecSource { updates, pos: 0 }
+    }
+
+    /// Updates not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.updates.len() - self.pos
+    }
+}
+
+impl UpdateSource for VecSource {
+    fn next_update(&mut self) -> Option<Update> {
+        let u = self.updates.get(self.pos).copied();
+        if u.is_some() {
+            self.pos += 1;
+        }
+        u
+    }
+}
+
+impl Iterator for VecSource {
+    type Item = Update;
+    fn next(&mut self) -> Option<Update> {
+        self.next_update()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+/// Round-robin merge of several sources into one arrival order.
+///
+/// Deterministic (unlike [`crate::gen::interleave`], which randomizes);
+/// useful for repeatable integration tests of multi-stream consumers.
+#[derive(Debug)]
+pub struct RoundRobinSource<S> {
+    sources: Vec<S>,
+    next: usize,
+}
+
+impl<S: UpdateSource> RoundRobinSource<S> {
+    /// Merge `sources` in round-robin order.
+    pub fn new(sources: Vec<S>) -> Self {
+        RoundRobinSource { sources, next: 0 }
+    }
+}
+
+impl<S: UpdateSource> UpdateSource for RoundRobinSource<S> {
+    fn next_update(&mut self) -> Option<Update> {
+        let n = self.sources.len();
+        for _ in 0..n {
+            let i = self.next;
+            self.next = (self.next + 1) % n;
+            if let Some(u) = self.sources[i].next_update() {
+                return Some(u);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::StreamId;
+
+    fn ins(s: u32, e: u64) -> Update {
+        Update::insert(StreamId(s), e, 1)
+    }
+
+    #[test]
+    fn vec_source_yields_in_order_once() {
+        let ups = vec![ins(0, 1), ins(0, 2), ins(0, 3)];
+        let mut src = VecSource::new(ups.clone());
+        assert_eq!(src.remaining(), 3);
+        let collected: Vec<Update> = std::iter::from_fn(|| src.next_update()).collect();
+        assert_eq!(collected, ups);
+        assert_eq!(src.next_update(), None);
+        assert_eq!(src.remaining(), 0);
+    }
+
+    #[test]
+    fn vec_source_is_iterator_with_size_hint() {
+        let src = VecSource::new(vec![ins(0, 1), ins(0, 2)]);
+        assert_eq!(src.size_hint(), (2, Some(2)));
+        assert_eq!(src.count(), 2);
+    }
+
+    #[test]
+    fn for_each_update_drains() {
+        let mut src = VecSource::new(vec![ins(0, 1), ins(0, 2)]);
+        let mut seen = 0;
+        src.for_each_update(|_| seen += 1);
+        assert_eq!(seen, 2);
+        assert_eq!(src.next_update(), None);
+    }
+
+    #[test]
+    fn round_robin_alternates_and_drains_tails() {
+        let a = VecSource::new(vec![ins(0, 1), ins(0, 2), ins(0, 3)]);
+        let b = VecSource::new(vec![ins(1, 10)]);
+        let mut rr = RoundRobinSource::new(vec![a, b]);
+        let order: Vec<u64> = std::iter::from_fn(|| rr.next_update())
+            .map(|u| u.element)
+            .collect();
+        assert_eq!(order, vec![1, 10, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_of_empties_is_empty() {
+        let mut rr = RoundRobinSource::new(vec![
+            VecSource::new(vec![]),
+            VecSource::new(vec![]),
+        ]);
+        assert_eq!(rr.next_update(), None);
+    }
+}

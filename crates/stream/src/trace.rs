@@ -1,0 +1,235 @@
+//! A line-oriented text format for update traces.
+//!
+//! One update tuple per line — `⟨stream, element, ±count⟩` rendered as
+//! three whitespace-separated tokens:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! A +3 17        # insert 3 copies of element 17 into stream A
+//! B -1 42        # delete 1 copy of element 42 from stream B
+//! A31 +1 99      # streams beyond Z carry explicit numeric ids
+//! ```
+//!
+//! The format exists so workloads can be captured, shipped, and replayed
+//! deterministically across tools (and so non-Rust producers can feed the
+//! engine). Stream names follow [`crate::StreamId`]'s display convention:
+//! `A`–`Z` for ids 0–25, `A<id>` for the rest.
+
+use crate::update::{StreamId, Update};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, msg } => write!(f, "trace line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Render one update as a trace line (no newline).
+pub fn format_update(u: &Update) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{} {:+} {}", u.stream, u.delta, u.element);
+    s
+}
+
+/// Parse one trace line (comments/blank handled by the caller).
+pub fn parse_line(line: &str, line_no: usize) -> Result<Update, TraceError> {
+    let mut tokens = line.split_whitespace();
+    let stream = tokens.next().ok_or_else(|| err(line_no, "empty line"))?;
+    let delta = tokens
+        .next()
+        .ok_or_else(|| err(line_no, "missing count field"))?;
+    let element = tokens
+        .next()
+        .ok_or_else(|| err(line_no, "missing element field"))?;
+    if let Some(extra) = tokens.next() {
+        return Err(err(line_no, &format!("unexpected trailing token {extra:?}")));
+    }
+
+    let stream = parse_stream(stream, line_no)?;
+    if !delta.starts_with('+') && !delta.starts_with('-') {
+        return Err(err(line_no, "count must carry an explicit sign (+n / -n)"));
+    }
+    let delta: i64 = delta
+        .parse()
+        .map_err(|_| err(line_no, &format!("bad count {delta:?}")))?;
+    if delta == 0 {
+        return Err(err(line_no, "count must be nonzero"));
+    }
+    let element: u64 = element
+        .parse()
+        .map_err(|_| err(line_no, &format!("bad element {element:?}")))?;
+    Ok(Update {
+        stream,
+        element,
+        delta,
+    })
+}
+
+fn parse_stream(token: &str, line_no: usize) -> Result<StreamId, TraceError> {
+    let mut chars = token.chars();
+    let head = chars
+        .next()
+        .filter(char::is_ascii_uppercase)
+        .ok_or_else(|| err(line_no, &format!("bad stream name {token:?}")))?;
+    let rest = chars.as_str();
+    if rest.is_empty() {
+        return Ok(StreamId(head as u32 - 'A' as u32));
+    }
+    if head == 'A' && rest.bytes().all(|b| b.is_ascii_digit()) {
+        let id: u32 = rest
+            .parse()
+            .map_err(|_| err(line_no, &format!("stream id out of range in {token:?}")))?;
+        return Ok(StreamId(id));
+    }
+    Err(err(line_no, &format!("bad stream name {token:?}")))
+}
+
+fn err(line: usize, msg: &str) -> TraceError {
+    TraceError::Parse {
+        line,
+        msg: msg.to_string(),
+    }
+}
+
+/// Write a trace to `out`, one update per line.
+pub fn write_trace<'a, W: Write>(
+    out: &mut W,
+    updates: impl IntoIterator<Item = &'a Update>,
+) -> Result<usize, TraceError> {
+    let mut n = 0;
+    for u in updates {
+        writeln!(out, "{}", format_update(u))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Read a whole trace from `input`, skipping blank lines and `#` comments
+/// (inline comments after the tuple are allowed).
+pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<Update>, TraceError> {
+    let mut updates = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        updates.push(parse_line(body, idx + 1)?);
+    }
+    Ok(updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_examples() {
+        assert_eq!(
+            format_update(&Update::insert(StreamId(0), 17, 3)),
+            "A +3 17"
+        );
+        assert_eq!(
+            format_update(&Update::delete(StreamId(1), 42, 1)),
+            "B -1 42"
+        );
+        assert_eq!(
+            format_update(&Update::insert(StreamId(31), 99, 1)),
+            "A31 +1 99"
+        );
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let updates = vec![
+            Update::insert(StreamId(0), 17, 3),
+            Update::delete(StreamId(1), 42, 1),
+            Update::insert(StreamId(31), 99, 7),
+            Update::insert(StreamId(25), u64::MAX, 1),
+        ];
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, &updates).unwrap();
+        assert_eq!(n, 4);
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, updates);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "\n# header\nA +1 5   # inline comment\n\n  \nB -1 5\n";
+        let updates = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[0], Update::insert(StreamId(0), 5, 1));
+        assert_eq!(updates[1], Update::delete(StreamId(1), 5, 1));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("A 1 5", "explicit sign"),       // unsigned count
+            ("A +0 5", "nonzero"),            // zero count
+            ("A +1", "missing element"),      // truncated
+            ("A +1 5 6", "trailing"),         // too many fields
+            ("a +1 5", "bad stream"),         // lowercase
+            ("AB +1 5", "bad stream"),        // non-digit suffix
+            ("A +1 notanum", "bad element"),  // bad element
+            ("A +x 5", "bad count"),          // bad count
+        ];
+        for (bad, needle) in cases {
+            let text = format!("A +1 1\n{bad}\n");
+            match read_trace(text.as_bytes()) {
+                Err(TraceError::Parse { line, msg }) => {
+                    assert_eq!(line, 2, "{bad}");
+                    assert!(msg.contains(needle), "{bad}: {msg}");
+                }
+                other => panic!("{bad}: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stream_naming_matches_display() {
+        for id in [0u32, 1, 25, 26, 31, 1000] {
+            let u = Update::insert(StreamId(id), 1, 1);
+            let parsed = parse_line(&format_update(&u), 1).unwrap();
+            assert_eq!(parsed.stream, StreamId(id));
+        }
+    }
+
+    #[test]
+    fn trace_is_legal_replay_for_multiset() {
+        let text = "A +3 9\nA -2 9\nA -1 9\n";
+        let updates = read_trace(text.as_bytes()).unwrap();
+        let mut m = crate::Multiset::new();
+        for u in &updates {
+            m.apply(u).unwrap();
+        }
+        assert_eq!(m.distinct_count(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests: generated update sequences are always legal and
+//! their net effect matches the declared membership.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use setstream_stream::exact;
+use setstream_stream::gen::{interleave, UpdateBuilder, VennSpec};
+use setstream_stream::{Multiset, StreamId, Update};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn multiset_apply_matches_reference_counts(
+        ops in vec((0u64..32, 1u32..4, any::<bool>()), 0..200)
+    ) {
+        // Reference: a plain map of saturating counts; deletions that would
+        // go negative are skipped in both models.
+        let mut reference = std::collections::HashMap::<u64, u64>::new();
+        let mut m = Multiset::new();
+        for (e, v, is_del) in ops {
+            let u = if is_del {
+                Update::delete(StreamId(0), e, v)
+            } else {
+                Update::insert(StreamId(0), e, v)
+            };
+            let have = reference.get(&e).copied().unwrap_or(0);
+            if is_del && have < v as u64 {
+                prop_assert!(m.apply(&u).is_err());
+            } else {
+                prop_assert!(m.apply(&u).is_ok());
+                let next = if is_del { have - v as u64 } else { have + v as u64 };
+                if next == 0 { reference.remove(&e); } else { reference.insert(e, next); }
+            }
+        }
+        prop_assert_eq!(m.distinct_count(), reference.len());
+        for (&e, &f) in &reference {
+            prop_assert_eq!(m.frequency(e), f);
+        }
+        let total: u64 = reference.values().sum();
+        prop_assert_eq!(m.total_count(), total);
+    }
+
+    #[test]
+    fn update_builder_net_effect_is_declared_set(
+        seed in any::<u64>(),
+        n in 1usize..300,
+        max_mult in 1u32..5,
+        churn in 0u32..4,
+        transient in 0.0f64..1.5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let elements: Vec<u64> = (0..n as u64).map(|i| i * 31 + 5).collect();
+        let b = UpdateBuilder { max_multiplicity: max_mult, copy_churn: churn, transient_fraction: transient };
+        let ups = b.build(StreamId(0), &elements, &mut rng);
+        let mut m = Multiset::new();
+        for u in &ups {
+            m.apply(u).expect("legal by construction");
+        }
+        let got: std::collections::HashSet<u64> = m.support().collect();
+        let want: std::collections::HashSet<u64> = elements.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        for &e in &elements {
+            prop_assert!((1..=max_mult as u64).contains(&m.frequency(e)));
+        }
+    }
+
+    #[test]
+    fn interleave_is_a_permutation_preserving_stream_order(
+        seed in any::<u64>(),
+        lens in vec(0usize..40, 1..5),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let streams: Vec<Vec<Update>> = lens.iter().enumerate().map(|(s, &l)| {
+            (0..l as u64).map(|i| Update::insert(StreamId(s as u32), i, 1)).collect()
+        }).collect();
+        let merged = interleave(streams.clone(), &mut rng);
+        prop_assert_eq!(merged.len(), lens.iter().sum::<usize>());
+        for (s, original) in streams.iter().enumerate() {
+            let got: Vec<Update> = merged.iter()
+                .filter(|u| u.stream == StreamId(s as u32)).copied().collect();
+            prop_assert_eq!(&got, original);
+        }
+    }
+
+    #[test]
+    fn venn_exact_counts_match_multiset_ground_truth(
+        seed in any::<u64>(),
+        ratio_num in 1u32..8,
+    ) {
+        let ratio = ratio_num as f64 / 16.0;
+        let spec = VennSpec::binary_intersection(ratio);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = spec.generate(2000, &mut rng);
+        let a: Multiset = data.stream_elements(0).into_iter().collect();
+        let b: Multiset = data.stream_elements(1).into_iter().collect();
+        prop_assert_eq!(
+            exact::intersection_count(&a, &b),
+            data.exact_count(|m| m == 0b11)
+        );
+        prop_assert_eq!(
+            exact::union_count(&a, &b),
+            data.union_size()
+        );
+        prop_assert_eq!(
+            exact::difference_count(&a, &b),
+            data.exact_count(|m| m == 0b01)
+        );
+    }
+}

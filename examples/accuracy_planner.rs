@@ -1,0 +1,83 @@
+//! Resource planning: how much synopsis memory does a given (ε, δ)
+//! accuracy target cost, and does the planned family actually deliver?
+//!
+//! The planner implements the space formulas of Theorems 3.3–3.5 — note
+//! the `|∪|/|E|` ratio term for difference/intersection, which Theorem 3.9
+//! proves is unavoidable — and this example then *validates* one plan
+//! empirically.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p setstream-apps --example accuracy_planner
+//! ```
+
+use setstream_core::{estimate, EstimatorOptions, Plan};
+
+fn main() {
+    println!("— set-union plans (Theorem 3.3) —");
+    println!(
+        "{:>6} {:>7} {:>8} {:>4} {:>4} {:>12}",
+        "ε", "δ", "copies", "s", "t", "KiB/stream"
+    );
+    for (eps, delta) in [(0.3, 0.1), (0.2, 0.05), (0.1, 0.05), (0.05, 0.01)] {
+        let p = Plan::for_union(eps, delta);
+        println!(
+            "{:>6} {:>7} {:>8} {:>4} {:>4} {:>12.0}",
+            eps,
+            delta,
+            p.copies,
+            p.second_level,
+            p.independence,
+            p.bytes_per_stream() as f64 / 1024.0
+        );
+    }
+
+    println!("\n— witness plans for |A∩B| / |A−B| (Theorems 3.4/3.5) —");
+    println!(
+        "{:>6} {:>7} {:>8} {:>9} {:>4} {:>14}",
+        "ε", "δ", "|∪|/|E|", "copies", "s", "MiB/stream"
+    );
+    for ratio in [2.0, 8.0, 32.0, 128.0] {
+        let p = Plan::for_witness(0.25, 0.1, ratio);
+        println!(
+            "{:>6} {:>7} {:>8} {:>9} {:>4} {:>14.1}",
+            0.25,
+            0.1,
+            ratio,
+            p.copies,
+            p.second_level,
+            p.bytes_per_stream() as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!("(the linear growth in |∪|/|E| is the Theorem 3.9 lower bound at work)");
+
+    // Empirical validation of one union plan: do 100 trials stay within ε
+    // more often than 1 − δ?
+    let (eps, delta) = (0.2f64, 0.1f64);
+    let plan = Plan::for_union(eps, delta);
+    println!(
+        "\nvalidating the (ε={eps}, δ={delta}) union plan: r = {}, s = {} …",
+        plan.copies, plan.second_level
+    );
+    let truth = 20_000u64;
+    let trials = 40;
+    let mut within = 0;
+    for trial in 0..trials {
+        let family = plan.family(1000 + trial);
+        let mut v = family.new_vector();
+        for e in 0..truth {
+            v.insert(e);
+        }
+        let est = estimate::union(&[&v], &EstimatorOptions::default())
+            .unwrap()
+            .value;
+        if (est - truth as f64).abs() / truth as f64 <= eps {
+            within += 1;
+        }
+    }
+    println!(
+        "{within}/{trials} trials within ε = {eps} (target ≥ {:.0}%)",
+        (1.0 - delta) * 100.0
+    );
+}

@@ -1,0 +1,109 @@
+//! Quickstart: summarize two update streams with 2-level hash sketches and
+//! estimate set-expression cardinalities, comparing against exact answers.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p setstream-apps --example quickstart
+//! ```
+
+use setstream_core::{estimate, EstimatorOptions, SketchFamily};
+use setstream_expr::SetExpr;
+use setstream_stream::{exact, Multiset, StreamId, Update};
+
+fn main() {
+    // 1. Agree on a sketch family: r independent sketch copies sharing
+    //    hash functions ("stored coins") so synopses are comparable.
+    let family = SketchFamily::builder()
+        .copies(512) // r: more copies → tighter estimates
+        .second_level(16) // s: signature width for singleton checks
+        .seed(0xC0FFEE)
+        .build();
+    println!(
+        "sketch family: r = {}, s = {}, {} KiB per stream synopsis",
+        family.copies(),
+        family.config().second_level,
+        family.vector_bytes() / 1024
+    );
+
+    // 2. Maintain one synopsis per update stream. We mirror the updates
+    //    into exact multisets only to report ground truth at the end — a
+    //    real deployment would never hold the full data.
+    let mut sketch_a = family.new_vector();
+    let mut sketch_b = family.new_vector();
+    let mut exact_a = Multiset::new();
+    let mut exact_b = Multiset::new();
+
+    let updates = build_updates();
+    println!("processing {} update tuples (with deletions)…", updates.len());
+    for u in &updates {
+        match u.stream {
+            StreamId(0) => {
+                sketch_a.process(u);
+                exact_a.apply(u).expect("legal update stream");
+            }
+            _ => {
+                sketch_b.process(u);
+                exact_b.apply(u).expect("legal update stream");
+            }
+        }
+    }
+
+    // 3. Ask questions. The same synopses answer any expression.
+    let opts = EstimatorOptions::default();
+    let report = |name: &str, estimated: f64, exact: usize| {
+        let rel = if exact == 0 {
+            0.0
+        } else {
+            (estimated - exact as f64).abs() / exact as f64
+        };
+        println!("{name:<12} estimate {estimated:>9.1}   exact {exact:>7}   rel.err {:.1}%", rel * 100.0);
+    };
+
+    let u = estimate::union(&[&sketch_a, &sketch_b], &opts).unwrap();
+    report("|A ∪ B|", u.value, exact::union_count(&exact_a, &exact_b));
+
+    let i = estimate::intersection(&sketch_a, &sketch_b, &opts).unwrap();
+    report("|A ∩ B|", i.value, exact::intersection_count(&exact_a, &exact_b));
+
+    let d = estimate::difference(&sketch_a, &sketch_b, &opts).unwrap();
+    report("|A − B|", d.value, exact::difference_count(&exact_a, &exact_b));
+
+    // 4. Arbitrary expressions parse from text.
+    let e: SetExpr = "B - A".parse().unwrap();
+    let est = estimate::expression(
+        &e,
+        &[(StreamId(0), &sketch_a), (StreamId(1), &sketch_b)],
+        &opts,
+    )
+    .unwrap();
+    report("|B − A|", est.value, exact::difference_count(&exact_b, &exact_a));
+
+    println!(
+        "\nwitness stats for |B − A|: {} union-singleton buckets, {} witnesses, û = {:.0}",
+        est.valid_observations, est.witness_hits, est.union_estimate
+    );
+}
+
+/// A = {0..8000} each with multiplicity 2; B = {5000..12000}. A thousand
+/// transient elements enter each stream and are fully deleted — they must
+/// leave no trace in the synopses.
+fn build_updates() -> Vec<Update> {
+    let mut updates = Vec::new();
+    for e in 0..8000u64 {
+        updates.push(Update::insert(StreamId(0), e, 2));
+    }
+    for e in 5000..12000u64 {
+        updates.push(Update::insert(StreamId(1), e, 1));
+    }
+    // Transient churn, interleaved inserts then deletes.
+    for e in 1_000_000..1_001_000u64 {
+        updates.push(Update::insert(StreamId(0), e, 3));
+        updates.push(Update::insert(StreamId(1), e, 1));
+    }
+    for e in 1_000_000..1_001_000u64 {
+        updates.push(Update::delete(StreamId(0), e, 3));
+        updates.push(Update::delete(StreamId(1), e, 1));
+    }
+    updates
+}

@@ -1,0 +1,154 @@
+//! Integration: the head-to-head story of the paper — 2-level hash
+//! sketches vs the insert-only prior art (FM, MIPs) when deletions enter
+//! the stream.
+
+use setstream_baselines::{mips, BottomKSketch, FmEstimator, MinwiseSignature};
+use setstream_core::{estimate, EstimatorOptions, SketchFamily};
+use setstream_expr::SetExpr;
+use setstream_stream::StreamId;
+
+#[test]
+fn all_methods_agree_on_insert_only_distinct_counts() {
+    let n = 30_000u64;
+    let fam = SketchFamily::builder().copies(256).second_level(8).seed(3).build();
+    let mut tlhs = fam.new_vector();
+    let mut fm = FmEstimator::new(256, 3);
+    let mut kmv = BottomKSketch::new(256, 3);
+    for e in 0..n {
+        tlhs.insert(e);
+        fm.insert(e);
+        kmv.insert(e);
+    }
+    for (name, est) in [
+        (
+            "2lhs",
+            estimate::union(&[&tlhs], &EstimatorOptions::default())
+                .unwrap()
+                .value,
+        ),
+        ("fm", fm.estimate()),
+        ("kmv", kmv.distinct_estimate()),
+    ] {
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.3, "{name}: estimate {est} (rel {rel})");
+    }
+}
+
+#[test]
+fn two_level_sketch_is_invariant_under_churn_baselines_are_not() {
+    // Final live set: 0..10_000. Churn: 10_000 extra elements inserted
+    // and fully deleted.
+    let live = 10_000u64;
+    let fam = SketchFamily::builder().copies(128).second_level(8).seed(9).build();
+
+    let mut tlhs_clean = fam.new_vector();
+    let mut tlhs_churn = fam.new_vector();
+    let mut kmv_clean = BottomKSketch::new(256, 9);
+    let mut kmv_churn = BottomKSketch::new(256, 9);
+
+    for e in 0..live {
+        tlhs_clean.insert(e);
+        tlhs_churn.insert(e);
+        kmv_clean.insert(e);
+        kmv_churn.insert(e);
+    }
+    for e in live..2 * live {
+        tlhs_churn.insert(e);
+        kmv_churn.insert(e);
+    }
+    for e in live..2 * live {
+        tlhs_churn.delete(e);
+        kmv_churn.delete(e);
+    }
+
+    // 2-level hash sketches: bit-for-bit identical.
+    for (a, b) in tlhs_clean.sketches().iter().zip(tlhs_churn.sketches()) {
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    // Bottom-k: depleted — sample shrank and the estimate degrades.
+    assert_eq!(kmv_clean.depleted(), 0);
+    assert!(kmv_churn.depleted() > 0, "churn must deplete the KMV sample");
+    let clean_est = kmv_clean.distinct_estimate();
+    let churn_est = kmv_churn.distinct_estimate();
+    let clean_rel = (clean_est - live as f64).abs() / live as f64;
+    let churn_rel = (churn_est - live as f64).abs() / live as f64;
+    assert!(clean_rel < 0.25, "clean KMV should be accurate, rel {clean_rel}");
+    assert!(
+        churn_rel > 2.0 * clean_rel,
+        "churned KMV should degrade: clean rel {clean_rel}, churned rel {churn_rel}"
+    );
+}
+
+#[test]
+fn fm_cannot_express_deletions_at_all() {
+    let mut fm = FmEstimator::new(16, 1);
+    fm.insert(42);
+    assert!(fm.delete(42).is_err());
+}
+
+#[test]
+fn minwise_jaccard_matches_two_level_ratio_estimates_insert_only() {
+    // On insert-only streams both methods should see the same picture.
+    let fam = SketchFamily::builder().copies(256).second_level(16).seed(4).build();
+    let mut a_sketch = fam.new_vector();
+    let mut b_sketch = fam.new_vector();
+    let mut a_sig = MinwiseSignature::new(512, 4);
+    let mut b_sig = MinwiseSignature::new(512, 4);
+    // |A∩B| = 4000, |A∪B| = 12_000 → J = 1/3.
+    for e in 0..8000u64 {
+        a_sketch.insert(e);
+        a_sig.insert(e);
+    }
+    for e in 4000..12_000u64 {
+        b_sketch.insert(e);
+        b_sig.insert(e);
+    }
+    let opts = EstimatorOptions::default();
+    let inter = estimate::intersection(&a_sketch, &b_sketch, &opts).unwrap();
+    let tlhs_jaccard = inter.value / inter.union_estimate;
+    let mips_jaccard = a_sig.jaccard(&b_sig);
+    assert!((tlhs_jaccard - 1.0 / 3.0).abs() < 0.08, "2lhs J {tlhs_jaccard}");
+    assert!((mips_jaccard - 1.0 / 3.0).abs() < 0.08, "mips J {mips_jaccard}");
+}
+
+#[test]
+fn expression_estimates_agree_between_mips_and_sketches_insert_only() {
+    let expr: SetExpr = "(A - B) & C".parse().unwrap();
+    let fam = SketchFamily::builder().copies(384).second_level(16).seed(6).build();
+    let mut sk: Vec<_> = (0..3).map(|_| fam.new_vector()).collect();
+    let mut bk: Vec<_> = (0..3).map(|_| BottomKSketch::new(512, 6)).collect();
+    // A = 0..8000, B = 3000..11000, C = 1000..6000 →
+    // (A−B) = 0..3000, ∩C = 1000..3000 → 2000.
+    for e in 0..8000u64 {
+        sk[0].insert(e);
+        bk[0].insert(e);
+    }
+    for e in 3000..11_000u64 {
+        sk[1].insert(e);
+        bk[1].insert(e);
+    }
+    for e in 1000..6000u64 {
+        sk[2].insert(e);
+        bk[2].insert(e);
+    }
+    let truth = 2000.0;
+    let pairs: Vec<_> = sk
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (StreamId(i as u32), v))
+        .collect();
+    let tlhs = estimate::expression(&expr, &pairs, &EstimatorOptions::default())
+        .unwrap()
+        .value;
+    let mips_pairs: Vec<_> = bk
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (StreamId(i as u32), s))
+        .collect();
+    let mips = mips::estimate_expression(&expr, &mips_pairs).unwrap();
+    for (name, est) in [("2lhs", tlhs), ("mips", mips)] {
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.35, "{name}: estimate {est} (rel {rel})");
+    }
+}

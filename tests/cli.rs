@@ -1,0 +1,110 @@
+//! Integration tests for the `setstream` command-line tool, driving the
+//! compiled binary end-to-end.
+
+use std::io::Write;
+use std::process::Command;
+
+fn setstream(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_setstream"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn write_temp_trace(lines: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "setstream-cli-test-{}-{}.trace",
+        std::process::id(),
+        lines.len()
+    ));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(lines.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn simplify_command() {
+    let (out, err, ok) = setstream(&["simplify", "A | (A & B)"]);
+    assert!(ok);
+    assert_eq!(out.trim(), "A");
+    assert!(err.contains("2 operator(s) → 0"));
+}
+
+#[test]
+fn cells_command() {
+    let (out, _, ok) = setstream(&["cells", "(A - B) & C"]);
+    assert!(ok);
+    assert!(out.contains("1 / 7"));
+    assert!(out.contains("{A, C}"));
+}
+
+#[test]
+fn plan_command() {
+    let (out, _, ok) = setstream(&["plan", "--epsilon", "0.2", "--delta", "0.1"]);
+    assert!(ok);
+    assert!(out.contains("sketch copies r"));
+    assert!(out.contains("second level s"));
+}
+
+#[test]
+fn exact_and_estimate_agree_on_a_trace() {
+    // A = {1,2,3}, B = {2,3,4}, with a deletion removing 4 from B.
+    let trace = "A +1 1\nA +1 2\nA +1 3\nB +1 2\nB +1 3\nB +1 4\nB -1 4\n";
+    let path = write_temp_trace(trace);
+    let path_str = path.to_str().unwrap();
+
+    let (out, _, ok) = setstream(&["exact", "A & B", "--trace", path_str]);
+    assert!(ok);
+    assert_eq!(out.trim(), "2");
+
+    let (out, _, ok) = setstream(&[
+        "estimate", "A & B", "--trace", path_str, "--copies", "64", "--second-level", "8",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("|E| ≈"), "{out}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn generate_then_exact_pipeline() {
+    let (trace_out, gen_err, ok) = setstream(&[
+        "generate", "--streams", "2", "--union", "1000", "--expr", "A & B", "--ratio", "0.5",
+        "--seed", "3",
+    ]);
+    assert!(ok);
+    assert!(gen_err.contains("exact |A & B|"));
+    let path = write_temp_trace(&trace_out);
+    let (exact_out, _, ok) = setstream(&["exact", "A & B", "--trace", path.to_str().unwrap()]);
+    assert!(ok);
+    let n: usize = exact_out.trim().parse().unwrap();
+    // ratio 0.5 of ~1000 → roughly 500.
+    assert!((380..=620).contains(&n), "exact intersection {n}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let (_, err, ok) = setstream(&["estimate", "A &&& B", "--trace", "/nonexistent"]);
+    assert!(!ok);
+    assert!(err.contains("error"));
+
+    let (_, err, ok) = setstream(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+
+    let (_, err, ok) = setstream(&["exact", "A", "--trace", "/definitely/not/here"]);
+    assert!(!ok);
+    assert!(err.contains("cannot open"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (out, _, ok) = setstream(&["help"]);
+    assert!(ok);
+    assert!(out.contains("usage:"));
+}

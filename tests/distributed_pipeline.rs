@@ -1,0 +1,194 @@
+//! Integration: the stored-coins distributed pipeline — sites, wire
+//! frames, coordinator — agrees exactly with a centralized deployment.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use setstream_core::{estimate, EstimatorOptions, SketchFamily};
+use setstream_distributed::wire;
+use setstream_distributed::{Coordinator, Site};
+use setstream_stream::{StreamId, Update};
+
+fn family() -> SketchFamily {
+    SketchFamily::builder()
+        .copies(128)
+        .second_level(16)
+        .seed(0xfeed)
+        .build()
+}
+
+/// Generate a workload and return (per-site update batches, all updates).
+fn sharded_workload(n_sites: usize, seed: u64) -> (Vec<Vec<Update>>, Vec<Update>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_site: Vec<Vec<Update>> = vec![Vec::new(); n_sites];
+    let mut all = Vec::new();
+    // Stream A = dense ids, stream B = overlapping shifted ids; with 25%
+    // deletions routed to arbitrary sites.
+    let mut live: Vec<Update> = Vec::new();
+    for _ in 0..30_000 {
+        let stream = StreamId(rng.gen_range(0..2));
+        let e = match stream.0 {
+            0 => rng.gen_range(0..8_000u64),
+            _ => rng.gen_range(4_000..12_000u64),
+        };
+        let u = Update::insert(stream, e, 1);
+        per_site[rng.gen_range(0..n_sites)].push(u);
+        all.push(u);
+        if rng.gen_bool(0.25) {
+            live.push(Update::delete(stream, e, 1));
+        }
+    }
+    for d in live {
+        per_site[rng.gen_range(0..n_sites)].push(d);
+        all.push(d);
+    }
+    (per_site, all)
+}
+
+#[test]
+fn distributed_equals_centralized_exactly() {
+    let fam = family();
+    let (per_site, all) = sharded_workload(5, 11);
+
+    // Distributed: five sites, frames, coordinator.
+    let mut sites: Vec<Site> = (0..5).map(|i| Site::new(i as u32, fam)).collect();
+    for (site, batch) in sites.iter_mut().zip(&per_site) {
+        for u in batch {
+            site.observe(u);
+        }
+    }
+    let coord = Coordinator::new(fam);
+    for site in &sites {
+        for frame in site.snapshot_frames().unwrap() {
+            coord.ingest_frame(&frame).unwrap();
+        }
+    }
+
+    // Centralized: one observer sees everything.
+    let mut central_a = fam.new_vector();
+    let mut central_b = fam.new_vector();
+    for u in &all {
+        match u.stream {
+            StreamId(0) => central_a.process(u),
+            _ => central_b.process(u),
+        }
+    }
+
+    let opts = EstimatorOptions::default();
+    let queries = ["A & B", "A - B", "A | B", "B - A"];
+    for text in queries {
+        let expr = text.parse().unwrap();
+        let distributed = coord.estimate_expression(&expr).unwrap();
+        let central = estimate::expression(
+            &expr,
+            &[(StreamId(0), &central_a), (StreamId(1), &central_b)],
+            &opts,
+        )
+        .unwrap();
+        // Merged synopses are cell-identical to central ones, so the
+        // estimates must agree bit-for-bit, not just approximately.
+        assert_eq!(distributed.value, central.value, "query {text}");
+        assert_eq!(
+            distributed.valid_observations, central.valid_observations,
+            "query {text}"
+        );
+    }
+}
+
+#[test]
+fn frames_survive_reordering_and_duplication_is_detected_by_value() {
+    // Delivery order across sites/streams must not matter.
+    let fam = family();
+    let (per_site, _) = sharded_workload(3, 22);
+    let mut sites: Vec<Site> = (0..3).map(|i| Site::new(i as u32, fam)).collect();
+    for (site, batch) in sites.iter_mut().zip(&per_site) {
+        for u in batch {
+            site.observe(u);
+        }
+    }
+    let mut frames: Vec<Bytes> = Vec::new();
+    for site in &sites {
+        frames.extend(site.snapshot_frames().unwrap());
+    }
+
+    let forward = Coordinator::new(fam);
+    for f in &frames {
+        forward.ingest_frame(f).unwrap();
+    }
+    let backward = Coordinator::new(fam);
+    for f in frames.iter().rev() {
+        backward.ingest_frame(f).unwrap();
+    }
+    let q = "A & B".parse().unwrap();
+    assert_eq!(
+        forward.estimate_expression(&q).unwrap().value,
+        backward.estimate_expression(&q).unwrap().value
+    );
+}
+
+#[test]
+fn corrupted_and_truncated_frames_never_reach_the_merger() {
+    let fam = family();
+    let mut site = Site::new(0, fam);
+    for e in 0..200u64 {
+        site.observe(&Update::insert(StreamId(0), e, 1));
+    }
+    let frames = site.snapshot_frames().unwrap();
+    let coord = Coordinator::new(fam);
+
+    // Bit flips across the synopsis frame.
+    let synopsis = &frames[1];
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..32 {
+        let mut bad = synopsis.to_vec();
+        let i = rng.gen_range(0..bad.len());
+        bad[i] ^= 1 << rng.gen_range(0..8);
+        assert!(coord.ingest_frame(&Bytes::from(bad)).is_err());
+    }
+    // Truncations.
+    for cut in [0, 5, synopsis.len() / 2, synopsis.len() - 1] {
+        assert!(coord.ingest_frame(&synopsis.slice(..cut)).is_err());
+    }
+    // Nothing was merged.
+    assert!(coord.streams().is_empty());
+    // The pristine frame still works afterwards.
+    coord.ingest_frame(synopsis).unwrap();
+    assert_eq!(coord.streams(), vec![StreamId(0)]);
+}
+
+#[test]
+fn wire_overhead_is_small() {
+    // Frame overhead over the raw codec payload is exactly 13 bytes.
+    let value: Vec<i64> = (0..1000).collect();
+    let payload = setstream_distributed::codec::to_bytes(&value).unwrap();
+    let frame = wire::encode_frame(wire::FrameKind::Synopsis, &value).unwrap();
+    assert_eq!(frame.len(), payload.len() + 13);
+}
+
+#[test]
+fn late_site_with_wrong_coins_is_quarantined() {
+    let fam = family();
+    let coord = Coordinator::new(fam);
+    let good = {
+        let mut s = Site::new(1, fam);
+        s.observe(&Update::insert(StreamId(0), 7, 1));
+        s
+    };
+    let bad = {
+        let other = SketchFamily::builder().copies(128).second_level(16).seed(1).build();
+        let mut s = Site::new(2, other);
+        s.observe(&Update::insert(StreamId(0), 7, 1));
+        s
+    };
+    for f in good.snapshot_frames().unwrap() {
+        coord.ingest_frame(&f).unwrap();
+    }
+    let mut rejections = 0;
+    for f in bad.snapshot_frames().unwrap() {
+        if coord.ingest_frame(&f).is_err() {
+            rejections += 1;
+        }
+    }
+    assert!(rejections >= 2, "hello and synopsis frames must be rejected");
+    assert_eq!(coord.sites(), vec![1]);
+}

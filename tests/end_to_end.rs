@@ -1,0 +1,146 @@
+//! End-to-end integration: §5.1 workload generator → update synthesis →
+//! sketch maintenance → estimation, judged against exact ground truth.
+//!
+//! These are scaled-down versions of the paper's three evaluation
+//! workloads (Figures 7(a), 7(b), 8); the full-scale reproductions live in
+//! the `setstream-bench` figure binaries.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use setstream_core::{estimate, EstimatorOptions, SketchFamily, SketchVector};
+use setstream_expr::SetExpr;
+use setstream_stream::gen::{interleave, UpdateBuilder, VennSpec};
+use setstream_stream::{StreamId, Update};
+
+/// Build per-stream synopses from a Venn dataset, pushing every element
+/// through the churny update synthesizer (deletions included).
+fn build_synopses(
+    spec: &VennSpec,
+    u_target: usize,
+    family: &SketchFamily,
+    seed: u64,
+) -> (Vec<SketchVector>, setstream_stream::gen::VennData) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = spec.generate(u_target, &mut rng);
+    let builder = UpdateBuilder::with_churn();
+    let per_stream: Vec<Vec<Update>> = (0..data.n_streams())
+        .map(|i| builder.build(StreamId(i as u32), &data.stream_elements(i), &mut rng))
+        .collect();
+    let merged = interleave(per_stream, &mut rng);
+    let mut synopses: Vec<SketchVector> =
+        (0..data.n_streams()).map(|_| family.new_vector()).collect();
+    for u in &merged {
+        synopses[u.stream.0 as usize].process(u);
+    }
+    (synopses, data)
+}
+
+fn family() -> SketchFamily {
+    SketchFamily::builder()
+        .copies(384)
+        .second_level(16)
+        .seed(0xabcd)
+        .build()
+}
+
+#[test]
+fn intersection_workload_fig7a_shape() {
+    let spec = VennSpec::binary_intersection(0.25);
+    let (synopses, data) = build_synopses(&spec, 16_384, &family(), 1);
+    let exact = data.exact_count(|m| m == 0b11) as f64;
+    let est = estimate::intersection(&synopses[0], &synopses[1], &EstimatorOptions::default())
+        .unwrap()
+        .value;
+    let rel = (est - exact).abs() / exact;
+    assert!(rel < 0.25, "estimate {est} vs exact {exact} (rel {rel})");
+}
+
+#[test]
+fn difference_workload_fig7b_shape() {
+    let spec = VennSpec::binary_difference(0.125);
+    let (synopses, data) = build_synopses(&spec, 16_384, &family(), 2);
+    let exact = data.exact_count(|m| m == 0b01) as f64;
+    let est = estimate::difference(&synopses[0], &synopses[1], &EstimatorOptions::default())
+        .unwrap()
+        .value;
+    let rel = (est - exact).abs() / exact;
+    assert!(rel < 0.35, "estimate {est} vs exact {exact} (rel {rel})");
+}
+
+#[test]
+fn three_stream_workload_fig8_shape() {
+    let spec = VennSpec::diff_intersect(0.125);
+    let (synopses, data) = build_synopses(&spec, 16_384, &family(), 3);
+    let expr: SetExpr = "(A - B) & C".parse().unwrap();
+    let exact = data.exact_count(|m| expr.eval_mask(m)) as f64;
+    let pairs: Vec<(StreamId, &SketchVector)> = synopses
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (StreamId(i as u32), v))
+        .collect();
+    let est = estimate::expression(&expr, &pairs, &EstimatorOptions::default())
+        .unwrap()
+        .value;
+    let rel = (est - exact).abs() / exact;
+    assert!(rel < 0.35, "estimate {est} vs exact {exact} (rel {rel})");
+}
+
+#[test]
+fn union_estimation_through_full_pipeline() {
+    let spec = VennSpec::binary_intersection(0.5);
+    let (synopses, data) = build_synopses(&spec, 16_384, &family(), 4);
+    let exact = data.union_size() as f64;
+    let est = estimate::union(&[&synopses[0], &synopses[1]], &EstimatorOptions::default())
+        .unwrap()
+        .value;
+    let rel = (est - exact).abs() / exact;
+    assert!(rel < 0.15, "estimate {est} vs exact {exact}");
+}
+
+#[test]
+fn accuracy_improves_with_more_copies() {
+    // The headline trend of every figure: error shrinks as r grows.
+    // Use trimmed averages over several trials to keep the test stable.
+    let spec = VennSpec::binary_intersection(0.25);
+    let mut errors = Vec::new();
+    for &r in &[32usize, 512] {
+        let mut trial_errors = Vec::new();
+        for trial in 0..5 {
+            let fam = SketchFamily::builder()
+                .copies(r)
+                .second_level(16)
+                .seed(5000 + trial)
+                .build();
+            let (synopses, data) = build_synopses(&spec, 8_192, &fam, 100 + trial);
+            let exact = data.exact_count(|m| m == 0b11) as f64;
+            let est =
+                estimate::intersection(&synopses[0], &synopses[1], &EstimatorOptions::default())
+                    .unwrap()
+                    .value;
+            trial_errors.push((est - exact).abs() / exact);
+        }
+        trial_errors.sort_by(f64::total_cmp);
+        // Trim the worst trial, average the rest (the paper's metric).
+        let kept = &trial_errors[..4];
+        errors.push(kept.iter().sum::<f64>() / kept.len() as f64);
+    }
+    assert!(
+        errors[1] < errors[0],
+        "error with 512 copies ({:.3}) should beat 32 copies ({:.3})",
+        errors[1],
+        errors[0]
+    );
+}
+
+#[test]
+fn estimates_are_deterministic_given_seeds() {
+    let spec = VennSpec::binary_difference(0.25);
+    let fam = family();
+    let (s1, _) = build_synopses(&spec, 4_096, &fam, 42);
+    let (s2, _) = build_synopses(&spec, 4_096, &fam, 42);
+    let opts = EstimatorOptions::default();
+    let e1 = estimate::difference(&s1[0], &s1[1], &opts).unwrap();
+    let e2 = estimate::difference(&s2[0], &s2[1], &opts).unwrap();
+    assert_eq!(e1.value, e2.value);
+    assert_eq!(e1.valid_observations, e2.valid_observations);
+}

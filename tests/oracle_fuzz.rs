@@ -1,0 +1,108 @@
+//! Randomized oracle test: drive the engine with arbitrary (legal) update
+//! sequences and arbitrary queries, mirroring everything into the exact
+//! multiset engine, and check structural invariants plus statistical
+//! agreement. This is the broadest end-to-end net in the suite — it has
+//! no idea what the workload looks like, only what must always hold.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use setstream_core::SketchFamily;
+use setstream_engine::StreamEngine;
+use setstream_expr::{random_expr, SetExpr};
+use setstream_stream::{StreamSet, StreamId, Update};
+
+const N_STREAMS: u32 = 3;
+
+/// Generate a random legal update against the current exact state.
+fn random_update(rng: &mut StdRng, truth: &StreamSet) -> Update {
+    let stream = StreamId(rng.gen_range(0..N_STREAMS));
+    // 30% of the time try to delete something that exists.
+    if rng.gen_bool(0.3) {
+        let sup: Vec<u64> = truth.get(stream).support().collect();
+        if !sup.is_empty() {
+            let e = sup[rng.gen_range(0..sup.len())];
+            let have = truth.get(stream).frequency(e);
+            let v = rng.gen_range(1..=have.min(3)) as u32;
+            return Update::delete(stream, e, v);
+        }
+    }
+    Update::insert(stream, rng.gen_range(0..2_000u64), rng.gen_range(1..4))
+}
+
+#[test]
+fn engine_matches_oracle_on_random_workloads() {
+    for trial in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + trial);
+        let family = SketchFamily::builder()
+            .copies(192)
+            .second_level(16)
+            .seed(3000 + trial)
+            .build();
+        let mut engine = StreamEngine::new(family);
+        let mut truth = StreamSet::new();
+
+        for _ in 0..15_000 {
+            let u = random_update(&mut rng, &truth);
+            truth.apply(&u).expect("constructed to be legal");
+            engine.process(&u);
+        }
+
+        for q_seed in 0..6u64 {
+            let expr: SetExpr = random_expr(trial * 100 + q_seed, N_STREAMS, 3);
+            let est = engine.estimate_expr(&expr).expect("estimation runs");
+            let exact = setstream_expr::eval::exact_cardinality(&expr, &truth) as f64;
+            let union =
+                setstream_expr::eval::exact_union_cardinality(&expr, &truth) as f64;
+
+            // Invariants that must hold regardless of randomness:
+            assert!(est.value >= 0.0);
+            assert!(est.witness_hits <= est.valid_observations);
+            assert!(
+                est.value <= est.union_estimate + 1e-9,
+                "|E| estimate {} cannot exceed û {}",
+                est.value,
+                est.union_estimate
+            );
+
+            // Statistical agreement: generous bands, tight enough to catch
+            // systematic bugs. For small |E| relative to the union the
+            // absolute band dominates.
+            let band = (0.45 * exact).max(0.12 * union).max(40.0);
+            assert!(
+                (est.value - exact).abs() <= band,
+                "trial {trial} expr {expr}: estimate {} vs exact {exact} (union {union})",
+                est.value
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_union_tracks_oracle_running_totals() {
+    // Interleave updates and queries: the estimate must track the moving
+    // truth, not a stale snapshot.
+    let mut rng = StdRng::seed_from_u64(9);
+    let family = SketchFamily::builder()
+        .copies(192)
+        .second_level(8)
+        .seed(17)
+        .build();
+    let mut engine = StreamEngine::new(family);
+    let mut truth = StreamSet::new();
+    let expr: SetExpr = "A | B | C".parse().unwrap();
+
+    for checkpoint in 1..=5 {
+        for _ in 0..4_000 {
+            let u = random_update(&mut rng, &truth);
+            truth.apply(&u).expect("legal");
+            engine.process(&u);
+        }
+        let est = engine.estimate_expr(&expr).unwrap().value;
+        let exact = setstream_expr::eval::exact_cardinality(&expr, &truth) as f64;
+        let rel = (est - exact).abs() / exact.max(1.0);
+        assert!(
+            rel < 0.25,
+            "checkpoint {checkpoint}: estimate {est} vs exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Integration tests pinned to specific claims in the paper's text.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use setstream_core::{
+    estimate, EstimatorOptions, SketchFamily, UnionMode, WitnessMode,
+};
+use setstream_expr::SetExpr;
+use setstream_stream::gen::{interleave, UpdateBuilder};
+use setstream_stream::{StreamId, Update};
+
+/// §3.1: "the sketch obtained at the end of an update stream is identical
+/// to a sketch that never sees the deleted items in the stream" — under
+/// arbitrary interleaving, multiplicities, and delivery order.
+#[test]
+fn claim_sketch_identical_without_deleted_items() {
+    let fam = SketchFamily::builder().copies(32).second_level(8).seed(77).build();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let live: Vec<u64> = (0..3000).collect();
+    let builder = UpdateBuilder {
+        max_multiplicity: 5,
+        copy_churn: 4,
+        transient_fraction: 1.0,
+    };
+    let churny = builder.build(StreamId(0), &live, &mut rng);
+    assert!(churny.iter().filter(|u| u.is_deletion()).count() > 1000);
+
+    let mut churned = fam.new_vector();
+    for u in &churny {
+        churned.process(u);
+    }
+
+    // Replay only the *net* multiset.
+    let mut net = setstream_stream::Multiset::new();
+    for u in &churny {
+        net.apply(u).unwrap();
+    }
+    let mut clean = fam.new_vector();
+    for (e, f) in net.iter() {
+        clean.update(e, f as i64);
+    }
+
+    for (a, b) in churned.sketches().iter().zip(clean.sketches()) {
+        assert_eq!(a.counters(), b.counters());
+    }
+}
+
+/// §4: the general expression estimator specializes to the binary
+/// operators — estimates for `A − B` / `A ∩ B` via `B(E)` match the
+/// dedicated Figure-6 estimators exactly (same witnesses, same value).
+#[test]
+fn claim_expression_estimator_subsumes_binary_operators() {
+    let fam = SketchFamily::builder().copies(96).second_level(16).seed(55).build();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut a = fam.new_vector();
+    let mut b = fam.new_vector();
+    for _ in 0..6000 {
+        let e = rng.gen_range(0..5000u64);
+        if rng.gen_bool(0.6) {
+            a.insert(e);
+        } else {
+            b.insert(e);
+        }
+    }
+    let u_hat = 4000.0;
+    for mode in [WitnessMode::SingleBucket, WitnessMode::AllLevels] {
+        let opts = EstimatorOptions {
+            witness_mode: mode,
+            ..Default::default()
+        };
+        let pairs = [(StreamId(0), &a), (StreamId(1), &b)];
+        let diff_expr: SetExpr = "A - B".parse().unwrap();
+        let d1 = estimate::expression_with_union(&diff_expr, &pairs, u_hat, &opts);
+        let d2 = estimate::difference_with_union(&a, &b, u_hat, &opts);
+        match (d1, d2) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.value, y.value, "{mode:?}");
+                assert_eq!(x.witness_hits, y.witness_hits, "{mode:?}");
+            }
+            (Err(x), Err(y)) => assert_eq!(format!("{x}"), format!("{y}")),
+            (x, y) => panic!("estimator disagreement under {mode:?}: {x:?} vs {y:?}"),
+        }
+    }
+}
+
+/// §3.4 analysis: the conditional witness probability equals `|E| / |∪|`.
+/// Empirically, the hit fraction over many sketches should concentrate
+/// around that ratio.
+#[test]
+fn claim_witness_probability_is_expression_over_union() {
+    let fam = SketchFamily::builder().copies(512).second_level(16).seed(66).build();
+    let mut a = fam.new_vector();
+    let mut b = fam.new_vector();
+    // A = 0..6000, B = 2000..8000: |A∪B| = 8000, |A−B| = 2000 → p = 0.25.
+    for e in 0..6000u64 {
+        a.insert(e);
+    }
+    for e in 2000..8000u64 {
+        b.insert(e);
+    }
+    let est = estimate::difference_with_union(&a, &b, 8000.0, &EstimatorOptions::default())
+        .unwrap();
+    let p_hat = est.witness_hits as f64 / est.valid_observations as f64;
+    assert!(
+        (p_hat - 0.25).abs() < 0.05,
+        "witness fraction {p_hat} should be ≈ 0.25 ({} / {})",
+        est.witness_hits,
+        est.valid_observations
+    );
+}
+
+/// §4's closing remark: the specialized Figure-5 union estimator and the
+/// witness-based union have the same asymptotics; both should land near
+/// the truth on the same synopses.
+#[test]
+fn claim_both_union_algorithms_work() {
+    let fam = SketchFamily::builder().copies(512).second_level(8).seed(88).build();
+    let mut a = fam.new_vector();
+    let mut b = fam.new_vector();
+    for e in 0..7000u64 {
+        a.insert(e);
+    }
+    for e in 5000..12_000u64 {
+        b.insert(e);
+    }
+    let truth = 12_000.0;
+
+    let fig5 = estimate::union(
+        &[&a, &b],
+        &EstimatorOptions {
+            union_mode: UnionMode::PaperLevel,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .value;
+
+    let witness_union = estimate::expression(
+        &"A | B".parse().unwrap(),
+        &[(StreamId(0), &a), (StreamId(1), &b)],
+        &EstimatorOptions::default(),
+    )
+    .unwrap()
+    .value;
+
+    for (name, est) in [("figure-5", fig5), ("witness", witness_union)] {
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.2, "{name} union: {est} (rel {rel})");
+    }
+}
+
+/// §2.1: "backtracking over an update stream … impossible" — the sketch
+/// only ever sees each tuple once, so processing a permutation of the
+/// same net stream gives the identical synopsis (order-insensitivity is
+/// what makes one-pass maintenance sufficient).
+#[test]
+fn claim_one_pass_order_insensitive() {
+    let fam = SketchFamily::builder().copies(16).second_level(8).seed(99).build();
+    let mut rng = StdRng::seed_from_u64(3);
+    let batch_a: Vec<Update> = (0..2000u64)
+        .map(|e| Update::insert(StreamId(0), e, 1))
+        .collect();
+    let batch_b: Vec<Update> = (500..1500u64)
+        .map(|e| Update::delete(StreamId(0), e, 1))
+        .collect();
+    // Legal order: all inserts then deletes, vs a random legal interleave
+    // (deletes always after their inserts because batches are ordered).
+    let mut v1 = fam.new_vector();
+    for u in batch_a.iter().chain(&batch_b) {
+        v1.process(u);
+    }
+    let merged = interleave(vec![batch_a, batch_b], &mut rng);
+    let mut v2 = fam.new_vector();
+    for u in &merged {
+        v2.process(u);
+    }
+    for (x, y) in v1.sketches().iter().zip(v2.sketches()) {
+        assert_eq!(x.counters(), y.counters());
+    }
+}
+
+/// Theorems 3.4/3.5: at fixed space, accuracy degrades as `|E|` shrinks
+/// relative to `|∪|` (the ratio the lower bound says you must pay for).
+#[test]
+fn claim_accuracy_degrades_with_ratio() {
+    let trials = 6;
+    let mut avg_errors = Vec::new();
+    for &e_frac in &[0.25f64, 1.0 / 64.0] {
+        let mut errs = Vec::new();
+        for t in 0..trials {
+            let fam = SketchFamily::builder()
+                .copies(128)
+                .second_level(16)
+                .seed(7000 + t)
+                .build();
+            let mut a = fam.new_vector();
+            let mut b = fam.new_vector();
+            let u = 8192u64;
+            let e_size = (u as f64 * e_frac) as u64;
+            // A−B = 0..e_size; shared = e_size..u.
+            for e in 0..u {
+                a.insert(e);
+                if e >= e_size {
+                    b.insert(e);
+                }
+            }
+            let est = estimate::difference_with_union(
+                &a,
+                &b,
+                u as f64,
+                &EstimatorOptions::default(),
+            )
+            .unwrap()
+            .value;
+            errs.push((est - e_size as f64).abs() / e_size as f64);
+        }
+        errs.sort_by(f64::total_cmp);
+        let kept = &errs[..trials as usize - 1]; // trim the worst
+        avg_errors.push(kept.iter().sum::<f64>() / kept.len() as f64);
+    }
+    assert!(
+        avg_errors[1] > avg_errors[0],
+        "hard ratio should hurt: easy {:.3} vs hard {:.3}",
+        avg_errors[0],
+        avg_errors[1]
+    );
+}
