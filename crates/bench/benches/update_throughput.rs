@@ -4,6 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use setstream_baselines::{BottomKSketch, FmEstimator, MinwiseSignature};
 use setstream_core::{BitSketch, SketchConfig, SketchFamily, TwoLevelSketch};
+use setstream_engine::ShardedIngestor;
+use setstream_stream::{StreamId, Update};
 
 fn single_sketch_updates(c: &mut Criterion) {
     let mut group = c.benchmark_group("single_sketch_update");
@@ -51,6 +53,55 @@ fn vector_updates(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batch path over the same vectors as `vector_updates`: whole-batch
+/// maintenance per iteration, throughput per element. Comparing
+/// `vector_update/r/512` against `vector_update_batch/r/512` (per-element)
+/// is the scalar-vs-batch speedup recorded in `BENCH_ingest.json`.
+fn vector_batch_updates(c: &mut Criterion) {
+    const BATCH: usize = 1024;
+    let mut group = c.benchmark_group("vector_update_batch");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.sample_size(20);
+    for r in [64usize, 256, 512] {
+        group.bench_with_input(BenchmarkId::new("r", r), &r, |b, &r| {
+            let fam = SketchFamily::builder().copies(r).second_level(32).seed(1).build();
+            let mut v = fam.new_vector();
+            let mut updates: Vec<Update> = (0..BATCH as u64)
+                .map(|e| Update::insert(StreamId(0), e, 1))
+                .collect();
+            let mut next = 0u64;
+            b.iter(|| {
+                for u in updates.iter_mut() {
+                    next = next.wrapping_add(1);
+                    u.element = next;
+                }
+                v.update_batch(black_box(&updates));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Sharded crossbeam ingestion across worker counts; each iteration
+/// builds one synopsis of the whole batch from scratch.
+fn parallel_ingest(c: &mut Criterion) {
+    const N: usize = 16 * 1024;
+    let mut group = c.benchmark_group("parallel_ingest");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(10);
+    let fam = SketchFamily::builder().copies(128).second_level(32).seed(1).build();
+    let updates: Vec<Update> = (0..N as u64)
+        .map(|i| Update::insert(StreamId(0), i.wrapping_mul(0x9e37_79b9), 1))
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            let ingestor = ShardedIngestor::new(fam, threads);
+            b.iter(|| ingestor.ingest_vector(black_box(&updates)));
+        });
+    }
+    group.finish();
+}
+
 fn baseline_updates(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline_update");
     group.throughput(Throughput::Elements(1));
@@ -81,5 +132,12 @@ fn baseline_updates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, single_sketch_updates, vector_updates, baseline_updates);
+criterion_group!(
+    benches,
+    single_sketch_updates,
+    vector_updates,
+    vector_batch_updates,
+    parallel_ingest,
+    baseline_updates
+);
 criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Ingestion-throughput benchmark with machine-readable output.
+//!
+//! Measures the three maintenance paths introduced by the batched
+//! ingestion work — scalar (element-major `SketchVector::update`),
+//! batched (copy-major `update_batch`), and sharded-parallel
+//! (`ShardedIngestor` over crossbeam workers) — and writes the results to
+//! `BENCH_ingest.json` so later changes have a perf trajectory to compare
+//! against.
+//!
+//! ```sh
+//! cargo run --release -p setstream-bench --bin ingest_bench             # full
+//! cargo run --release -p setstream-bench --bin ingest_bench -- --quick  # smoke test
+//! cargo run --release -p setstream-bench --bin ingest_bench -- --out results/BENCH_ingest.json
+//! ```
+
+use setstream_core::{SketchFamily, SketchVector};
+use setstream_engine::ShardedIngestor;
+use setstream_stream::{StreamId, Update};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PAPER_S: u32 = 32;
+
+struct Args {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        quick: false,
+        out: "BENCH_ingest.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => out.quick = true,
+            "--out" => out.out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    out
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("{err}");
+    }
+    eprintln!("options: --quick (smaller workload) | --out PATH (default BENCH_ingest.json)");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// `deletes = false` is the insert-only shape (hits the uniform-delta
+/// group kernel, like the criterion `vector_update_batch` workload);
+/// `deletes = true` mixes in 10% deletions, forcing the general
+/// per-delta path.
+fn workload(n: usize, deletes: bool) -> Vec<Update> {
+    (0..n as u64)
+        .map(|i| Update {
+            stream: StreamId(0),
+            element: i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 3,
+            delta: if deletes && i % 10 == 9 { -1 } else { 1 },
+        })
+        .collect()
+}
+
+fn family(r: usize) -> SketchFamily {
+    SketchFamily::builder().copies(r).second_level(PAPER_S).seed(1).build()
+}
+
+/// Best-of-`reps` wall-clock nanoseconds per update for `f` applied to the
+/// whole slice (minimum filters scheduler noise; each rep re-runs the
+/// full ingestion).
+fn time_ns_per_update(updates: &[Update], reps: usize, mut f: impl FnMut(&[Update]) -> SketchVector) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let v = f(updates);
+        let dt = t.elapsed().as_secs_f64();
+        // Defeat dead-code elimination via a data-dependent check.
+        assert!(!v.is_empty(), "benchmark workload must leave a net count");
+        best = best.min(dt * 1e9 / updates.len() as f64);
+    }
+    best
+}
+
+fn main() {
+    let args = parse_args();
+    let (n_scalar, n_parallel, reps) = if args.quick {
+        (2_000usize, 8_192usize, 2usize)
+    } else {
+        (20_000, 131_072, 3)
+    };
+
+    let mut rows = String::new();
+    println!("ingest_bench: s = {PAPER_S}, scalar/batch over {n_scalar} updates, parallel over {n_parallel}");
+
+    // Scalar vs batched, across the paper's r sweep, on both workload
+    // shapes. `speedup_batch_r512` reports the insert-only shape — the
+    // common stream case and the one the criterion bench measures.
+    let mut speedup_r512 = 0.0;
+    for deletes in [false, true] {
+        let shape = if deletes { "mixed10" } else { "insert_only" };
+        for r in [64usize, 256, 512] {
+            let updates = workload(n_scalar, deletes);
+            let scalar = time_ns_per_update(&updates, reps, |us| {
+                let mut v = family(r).new_vector();
+                for u in us {
+                    v.process(u);
+                }
+                v
+            });
+            let batch = time_ns_per_update(&updates, reps, |us| {
+                let mut v = family(r).new_vector();
+                v.update_batch(us);
+                v
+            });
+            let speedup = scalar / batch;
+            if r == 512 && !deletes {
+                speedup_r512 = speedup;
+            }
+            println!("  [{shape}] r={r:<4} scalar {scalar:>10.1} ns/update   batch {batch:>10.1} ns/update   speedup {speedup:.2}x");
+            let _ = write!(
+                rows,
+                "{}{{\"mode\":\"scalar_vs_batch\",\"workload\":\"{shape}\",\"r\":{r},\"s\":{PAPER_S},\
+                 \"updates\":{n_scalar},\
+                 \"scalar_ns_per_update\":{scalar:.1},\"batch_ns_per_update\":{batch:.1},\
+                 \"speedup\":{speedup:.3}}}",
+                if rows.is_empty() { "" } else { ",\n    " }
+            );
+        }
+    }
+
+    // Sharded-parallel scaling at a mid-size r.
+    let r_par = 128usize;
+    let updates = workload(n_parallel, true);
+    let mut base_1t = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let ingestor = ShardedIngestor::new(family(r_par), threads);
+        let ns = time_ns_per_update(&updates, reps, |us| ingestor.ingest_vector(us));
+        if threads == 1 {
+            base_1t = ns;
+        }
+        let scaling = base_1t / ns;
+        println!("  parallel r={r_par} threads={threads}  {ns:>10.1} ns/update   scaling {scaling:.2}x");
+        let _ = write!(
+            rows,
+            ",\n    {{\"mode\":\"parallel\",\"r\":{r_par},\"s\":{PAPER_S},\"updates\":{n_parallel},\
+             \"threads\":{threads},\"ns_per_update\":{ns:.1},\"scaling_vs_1_thread\":{scaling:.3}}}"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"quick\": {},\n  \"speedup_batch_r512\": {speedup_r512:.3},\n  \"results\": [\n    {rows}\n  ]\n}}\n",
+        args.quick
+    );
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.out);
+}

@@ -34,20 +34,31 @@ impl Default for SketchConfig {
 }
 
 impl SketchConfig {
+    /// Check invariants (non-degenerate shape) without panicking — the
+    /// form deserialization of untrusted payloads needs.
+    pub fn check(&self) -> Result<(), String> {
+        if !(1..=64).contains(&self.levels) {
+            return Err(format!("levels must be in 1..=64, got {}", self.levels));
+        }
+        if self.second_level < 1 {
+            return Err("need at least one second-level hash".to_string());
+        }
+        if let HashFamily::KWise(t) = self.first_family {
+            if t < 1 {
+                return Err("k-wise family needs degree >= 1".to_string());
+            }
+        }
+        Ok(())
+    }
+
     /// Validate invariants (non-degenerate shape).
     ///
     /// # Panics
     /// Panics on zero levels / zero second-level functions or more than 64
     /// levels (the LSB of a 64-bit hash cannot exceed 63).
     pub fn validate(&self) {
-        assert!(
-            (1..=64).contains(&self.levels),
-            "levels must be in 1..=64, got {}",
-            self.levels
-        );
-        assert!(self.second_level >= 1, "need at least one second-level hash");
-        if let HashFamily::KWise(t) = self.first_family {
-            assert!(t >= 1, "k-wise family needs degree >= 1");
+        if let Err(why) = self.check() {
+            panic!("{why}");
         }
     }
 

@@ -17,6 +17,11 @@ pub enum EstimateError {
     MissingStream(u32),
     /// The insert-only bit sketch saw a deletion.
     DeletionUnsupported,
+    /// A deserialized synopsis payload is internally inconsistent
+    /// (wrong counter count, impossible shape, or a total that does not
+    /// match the counters). Surfaced instead of panicking so a corrupt
+    /// network frame cannot kill a coordinator.
+    Corrupt(String),
 }
 
 impl fmt::Display for EstimateError {
@@ -32,6 +37,7 @@ impl fmt::Display for EstimateError {
             EstimateError::DeletionUnsupported => {
                 write!(f, "bit sketches are insert-only and cannot process deletions")
             }
+            EstimateError::Corrupt(why) => write!(f, "corrupt synopsis payload: {why}"),
         }
     }
 }
@@ -50,5 +56,8 @@ mod tests {
         assert!(EstimateError::NoValidObservations.to_string().contains("witness"));
         assert!(EstimateError::MissingStream(7).to_string().contains('7'));
         assert!(EstimateError::DeletionUnsupported.to_string().contains("insert-only"));
+        assert!(EstimateError::Corrupt("counter count mismatch".into())
+            .to_string()
+            .contains("counter count mismatch"));
     }
 }

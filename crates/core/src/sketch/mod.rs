@@ -5,7 +5,7 @@ mod bit;
 mod coins;
 mod checks;
 mod diagnostics;
-mod two_level;
+pub(crate) mod two_level;
 
 pub use bit::BitSketch;
 pub use checks::{

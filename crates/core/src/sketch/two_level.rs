@@ -4,8 +4,14 @@ use crate::config::SketchConfig;
 use crate::error::EstimateError;
 use serde::{Deserialize, Serialize};
 use super::coins;
-use setstream_hash::{bucket_of, AnyHash, Hash64, PairwiseHash};
+use setstream_hash::{bucket_of, field, hash_many, AnyHash, Hash64, PairwiseHashBank};
 use setstream_stream::{Element, Update};
+
+/// Elements hashed per inner batch round: large enough to amortize the
+/// per-chunk grouping pass and give the per-bucket group kernel long
+/// runs (a chunk of 512 puts ~256 elements in the level-0 group), small
+/// enough that the ~16 KiB of scratch arrays live on the stack.
+pub(crate) const BATCH_CHUNK: usize = 512;
 
 /// One 2-level hash sketch: conceptually a `levels × s × 2` array of
 /// element counters (Figure 3 of the paper).
@@ -21,12 +27,15 @@ use setstream_stream::{Element, Update};
 /// coins"), so two sketches with equal `(config, seed)` are comparable and
 /// mergeable even when built on different machines.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(from = "SketchRepr", into = "SketchRepr")]
+#[serde(try_from = "SketchRepr", into = "SketchRepr")]
 pub struct TwoLevelSketch {
     config: SketchConfig,
     seed: u64,
     first: AnyHash,
-    second: Vec<PairwiseHash>,
+    /// The `s` second-level functions, coefficients stored contiguously
+    /// (structure-of-arrays) so one element's bits come from one tight
+    /// multiply-add loop.
+    second: PairwiseHashBank,
     /// Row-major `[level][j][bit]` counters.
     counters: Box<[i64]>,
     /// Total net count over all cells of one second-level function —
@@ -42,7 +51,7 @@ impl TwoLevelSketch {
     pub fn new(config: SketchConfig, seed: u64) -> Self {
         config.validate();
         let first = coins::first_hash(&config, seed);
-        let second = coins::second_hashes(&config, seed);
+        let second = PairwiseHashBank::from_functions(&coins::second_hashes(&config, seed));
         TwoLevelSketch {
             config,
             seed,
@@ -75,12 +84,21 @@ impl TwoLevelSketch {
         self.config.second_level
     }
 
+    /// Start of the `2·s` contiguous counters of first-level bucket
+    /// `level` — the single definition of the row-major layout; every
+    /// counter access (scalar, batch, serde validation) goes through this
+    /// or [`Self::cell_index`].
+    #[inline]
+    fn row_base(&self, level: u32) -> usize {
+        debug_assert!(level < self.config.levels);
+        (level * self.config.second_level) as usize * 2
+    }
+
     #[inline]
     fn cell_index(&self, level: u32, j: u32, b: usize) -> usize {
-        debug_assert!(level < self.config.levels);
         debug_assert!(j < self.config.second_level);
         debug_assert!(b < 2);
-        ((level * self.config.second_level + j) as usize) << 1 | b
+        self.row_base(level) + ((j as usize) << 1 | b)
     }
 
     /// Counter `X[level, j, bit]` (the paper indexes `j` from 1; we use 0).
@@ -120,16 +138,111 @@ impl TwoLevelSketch {
 
     /// Apply a net frequency change of `delta` to element `e`.
     ///
-    /// This is the entire per-update work: one first-level hash, then `s`
-    /// second-level hashes and counter bumps — `O(s)` with no allocation.
+    /// This is the batch kernel applied to a batch of one: one first-level
+    /// hash, then all `s` second-level bits from the coefficient bank and
+    /// the counter bumps — `O(s)` with no allocation. Bit-for-bit
+    /// identical to routing the same update through [`Self::update_batch`].
     pub fn update(&mut self, e: Element, delta: i64) {
         let level = self.bucket_of(e);
-        let base = (level * self.config.second_level) as usize * 2;
-        for (j, g) in self.second.iter().enumerate() {
-            let bit = g.hash_bit(e);
-            self.counters[base + j * 2 + bit] += delta;
-        }
+        let base = self.row_base(level);
+        let s = self.config.second_level as usize;
+        self.second.accumulate_row(e, delta, &mut self.counters[base..base + 2 * s]);
         self.total += delta;
+    }
+
+    /// Apply a slice of updates (stream ids are ignored, as in
+    /// [`Self::process`]).
+    ///
+    /// Same cell arithmetic as [`Self::update`], restructured for
+    /// throughput: per chunk of [`BATCH_CHUNK`] updates the first-level
+    /// hashes are evaluated together ([`hash_many`], exposing
+    /// instruction-level parallelism across the latency-bound Horner
+    /// chains), the chunk is counting-sorted by first-level bucket so all
+    /// writes against one `2·s`-cell row happen back-to-back, and each
+    /// bucket's group of updates is applied in one pass per second-level
+    /// function (`PairwiseHashBank::accumulate_group`), touching every
+    /// counter cell once per group. Because cell increments commute, the
+    /// resulting counters are bit-for-bit identical to applying the
+    /// updates one at a time, in any order.
+    ///
+    /// The whole path is allocation-free: scratch arrays are stack-sized
+    /// by [`BATCH_CHUNK`].
+    pub fn update_batch(&mut self, updates: &[Update]) {
+        if updates.len() < 32 {
+            // Grouping overhead outweighs locality on tiny batches.
+            for u in updates {
+                self.update(u.element, u.delta);
+            }
+            return;
+        }
+        let mut elems = [0u64; BATCH_CHUNK];
+        let mut deltas = [0i64; BATCH_CHUNK];
+        for chunk in updates.chunks(BATCH_CHUNK) {
+            let n = chunk.len();
+            for (i, u) in chunk.iter().enumerate() {
+                elems[i] = u.element;
+                deltas[i] = u.delta;
+            }
+            self.update_chunk(&elems[..n], &deltas[..n]);
+        }
+    }
+
+    /// One batch round over parallel `(element, delta)` slices of length
+    /// `≤ BATCH_CHUNK`: first-level hashes evaluated together, the chunk
+    /// counting-sorted by bucket into linear scratch arrays (so the group
+    /// kernel walks plain slices — no index indirection), then each
+    /// bucket's group applied against its row in one register-resident
+    /// pass per second-level function. The net delta is folded into
+    /// `total` once per chunk.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or exceed [`BATCH_CHUNK`].
+    pub(crate) fn update_chunk(&mut self, elems: &[u64], deltas: &[i64]) {
+        let n = elems.len();
+        assert!(n <= BATCH_CHUNK && n == deltas.len(), "chunk shape");
+        let levels = self.config.levels as usize;
+        let s = self.config.second_level as usize;
+        // Hashing hoisted out of the counter loop.
+        let mut hashes = [0u64; BATCH_CHUNK];
+        hash_many(&self.first, elems, &mut hashes[..n]);
+        let mut buckets = [0usize; BATCH_CHUNK];
+        for (bkt, &h) in buckets[..n].iter_mut().zip(&hashes[..n]) {
+            *bkt = bucket_of(h, self.config.levels) as usize;
+        }
+        // Counting-sort the chunk by bucket; `starts[b]` is then the group
+        // boundary of bucket `b` in the sorted scratch.
+        let mut starts = [0u32; 65];
+        for &b in &buckets[..n] {
+            starts[b + 1] += 1;
+        }
+        for l in 0..levels {
+            starts[l + 1] += starts[l];
+        }
+        let mut cursor = starts;
+        // Scatter *canonical field representatives* — the second-level
+        // kernel needs `reduce64(e)`, and reducing once here saves an
+        // `s`-fold repetition inside the bit loop.
+        let mut selems = [0u64; BATCH_CHUNK];
+        let mut sdeltas = [0i64; BATCH_CHUNK];
+        for i in 0..n {
+            let pos = cursor[buckets[i]] as usize;
+            selems[pos] = field::reduce64(elems[i]);
+            sdeltas[pos] = deltas[i];
+            cursor[buckets[i]] += 1;
+        }
+        // Grouped counter writes: one bucket's row at a time, all of the
+        // bucket's updates applied in a single pass per second-level
+        // function (coefficients and accumulator stay in registers).
+        for level in 0..levels {
+            let (lo, hi) = (starts[level] as usize, starts[level + 1] as usize);
+            if lo == hi {
+                continue;
+            }
+            let base = self.row_base(level as u32);
+            let row = &mut self.counters[base..base + 2 * s];
+            self.second.accumulate_group(&selems[lo..hi], &sdeltas[lo..hi], row);
+        }
+        self.total += deltas.iter().sum::<i64>();
     }
 
     /// Insert one copy of `e`.
@@ -212,17 +325,40 @@ struct SketchRepr {
     total: i64,
 }
 
-impl From<SketchRepr> for TwoLevelSketch {
-    fn from(r: SketchRepr) -> Self {
+impl TryFrom<SketchRepr> for TwoLevelSketch {
+    type Error = EstimateError;
+
+    /// Rebuild a sketch from its wire form, rejecting inconsistent
+    /// payloads instead of panicking — a corrupt network frame must
+    /// surface as a decode error, not kill the coordinator.
+    fn try_from(r: SketchRepr) -> Result<Self, EstimateError> {
+        r.config.check().map_err(EstimateError::Corrupt)?;
+        if r.counters.len() != r.config.n_counters() {
+            return Err(EstimateError::Corrupt(format!(
+                "counter count mismatch: payload carries {}, shape {:?} needs {}",
+                r.counters.len(),
+                r.config,
+                r.config.n_counters()
+            )));
+        }
+        // Every update adds its delta to exactly one `j = 0` cell, so the
+        // j = 0 cells must sum to the stored total (wrapping arithmetic:
+        // adversarial payloads must not be able to trigger overflow
+        // panics either).
+        let row = r.config.second_level as usize * 2;
+        let j0_sum = (0..r.config.levels as usize)
+            .map(|l| r.counters[l * row].wrapping_add(r.counters[l * row + 1]))
+            .fold(0i64, i64::wrapping_add);
+        if j0_sum != r.total {
+            return Err(EstimateError::Corrupt(format!(
+                "total {} does not match counters (j=0 cells sum to {j0_sum})",
+                r.total
+            )));
+        }
         let mut s = TwoLevelSketch::new(r.config, r.seed);
-        assert_eq!(
-            r.counters.len(),
-            s.counters.len(),
-            "corrupt sketch payload: counter count mismatch"
-        );
         s.counters = r.counters.into_boxed_slice();
         s.total = r.total;
-        s
+        Ok(s)
     }
 }
 
@@ -395,6 +531,81 @@ mod tests {
         assert_eq!(s.total_count(), 5);
         s.process(&Update::delete(StreamId(0), 42, 5));
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn update_batch_matches_sequential_bit_for_bit() {
+        let updates: Vec<Update> = (0..1000u64)
+            .map(|i| Update {
+                stream: StreamId(0),
+                element: i.wrapping_mul(0x9e37_79b9) % 4096,
+                delta: if i % 7 == 0 { -1 } else { 1 + (i % 3) as i64 },
+            })
+            .collect();
+        let mut scalar = small();
+        for u in &updates {
+            scalar.update(u.element, u.delta);
+        }
+        let mut batched = small();
+        batched.update_batch(&updates);
+        assert_eq!(scalar.counters(), batched.counters());
+        assert_eq!(scalar.total_count(), batched.total_count());
+
+        // Arbitrary re-chunking agrees too (linearity).
+        let mut split = small();
+        let (a, b) = updates.split_at(137);
+        split.update_batch(a);
+        split.update_batch(b);
+        assert_eq!(scalar.counters(), split.counters());
+    }
+
+    #[test]
+    fn tiny_batches_take_the_scalar_path_and_agree() {
+        let mut scalar = small();
+        let mut batched = small();
+        let updates: Vec<Update> =
+            (0..5u64).map(|e| Update::insert(StreamId(0), e * 31, 2)).collect();
+        for u in &updates {
+            scalar.process(u);
+        }
+        batched.update_batch(&updates);
+        assert_eq!(scalar.counters(), batched.counters());
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected_not_panicking() {
+        let mut s = small();
+        for e in 0..100u64 {
+            s.insert(e);
+        }
+        // A faithful repr round-trips.
+        let good = SketchRepr::from(s.clone());
+        let back = TwoLevelSketch::try_from(good).unwrap();
+        assert_eq!(back.counters(), s.counters());
+
+        // Wrong counter count.
+        let mut short = SketchRepr::from(s.clone());
+        short.counters.pop();
+        assert!(matches!(
+            TwoLevelSketch::try_from(short),
+            Err(EstimateError::Corrupt(_))
+        ));
+
+        // Total inconsistent with the j = 0 cells.
+        let mut lied = SketchRepr::from(s.clone());
+        lied.total += 1;
+        assert!(matches!(
+            TwoLevelSketch::try_from(lied),
+            Err(EstimateError::Corrupt(_))
+        ));
+
+        // Impossible shape must not panic either.
+        let mut bad_shape = SketchRepr::from(s);
+        bad_shape.config.levels = 200;
+        assert!(matches!(
+            TwoLevelSketch::try_from(bad_shape),
+            Err(EstimateError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Property tests pinning the batched maintenance paths to the scalar
+//! semantics: for any workload, any chunking, and any sketch shape,
+//! `update_batch` must leave counters **bit-for-bit identical** to
+//! applying the same updates one at a time with `update`.
+//!
+//! This is the contract that makes the batch kernels safe to substitute
+//! on the hot path (and, transitively, what makes sharded-parallel
+//! ingestion exact — see the engine's `parallel_equivalence` suite).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use setstream_core::{SketchConfig, SketchFamily, TwoLevelSketch};
+use setstream_hash::HashFamily;
+use setstream_stream::{StreamId, Update};
+
+fn updates_from(pairs: &[(u64, i64)]) -> Vec<Update> {
+    pairs
+        .iter()
+        .map(|&(element, delta)| Update {
+            stream: StreamId(0),
+            element,
+            delta,
+        })
+        .collect()
+}
+
+/// Sketch shapes worth sweeping: tiny rows, the paper's defaults, odd
+/// sizes, and every first-level family.
+fn arb_config() -> impl Strategy<Value = SketchConfig> {
+    (
+        prop_oneof![Just(4u32), Just(16), Just(33), Just(64)],
+        prop_oneof![Just(1u32), Just(8), Just(32), Just(33)],
+        prop_oneof![
+            Just(HashFamily::Pairwise),
+            Just(HashFamily::KWise(4)),
+            Just(HashFamily::KWise(8)),
+            Just(HashFamily::Tabulation),
+            Just(HashFamily::Mix),
+        ],
+    )
+        .prop_map(|(levels, second_level, first_family)| SketchConfig {
+            levels,
+            second_level,
+            first_family,
+            ..Default::default()
+        })
+}
+
+/// Workloads spanning both batch regimes: below the scalar-fallback
+/// threshold (32) and above one full `BATCH_CHUNK` (512), with deltas
+/// mixing inserts, deletes, and zero.
+fn arb_workload() -> impl Strategy<Value = Vec<(u64, i64)>> {
+    vec((any::<u64>(), -3i64..4), 0..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn update_batch_matches_scalar_updates(
+        config in arb_config(),
+        seed in any::<u64>(),
+        pairs in arb_workload(),
+    ) {
+        let mut scalar = TwoLevelSketch::new(config, seed);
+        for &(e, d) in &pairs {
+            scalar.update(e, d);
+        }
+        let mut batched = TwoLevelSketch::new(config, seed);
+        batched.update_batch(&updates_from(&pairs));
+        prop_assert_eq!(scalar.counters(), batched.counters());
+        prop_assert_eq!(scalar.total_count(), batched.total_count());
+    }
+
+    #[test]
+    fn update_batch_is_chunking_invariant(
+        config in arb_config(),
+        seed in any::<u64>(),
+        pairs in arb_workload(),
+        cut_a in 0usize..600,
+        cut_b in 0usize..600,
+    ) {
+        // Feeding the stream as one batch or as arbitrary sub-batches
+        // must be indistinguishable: the cuts land anywhere, including
+        // mid-chunk and on empty slices.
+        let updates = updates_from(&pairs);
+        let (lo, hi) = (
+            cut_a.min(cut_b).min(updates.len()),
+            cut_a.max(cut_b).min(updates.len()),
+        );
+        let mut whole = TwoLevelSketch::new(config, seed);
+        whole.update_batch(&updates);
+        let mut split = TwoLevelSketch::new(config, seed);
+        split.update_batch(&updates[..lo]);
+        split.update_batch(&updates[lo..hi]);
+        split.update_batch(&updates[hi..]);
+        prop_assert_eq!(whole.counters(), split.counters());
+        prop_assert_eq!(whole.total_count(), split.total_count());
+    }
+
+    #[test]
+    fn insert_only_batches_match_scalar(
+        config in arb_config(),
+        seed in any::<u64>(),
+        elems in vec(any::<u64>(), 0..600),
+    ) {
+        // All-insert batches exercise the uniform-delta group kernel.
+        let pairs: Vec<(u64, i64)> = elems.iter().map(|&e| (e, 1)).collect();
+        let mut scalar = TwoLevelSketch::new(config, seed);
+        for &e in &elems {
+            scalar.insert(e);
+        }
+        let mut batched = TwoLevelSketch::new(config, seed);
+        batched.update_batch(&updates_from(&pairs));
+        prop_assert_eq!(scalar.counters(), batched.counters());
+        prop_assert_eq!(scalar.total_count(), batched.total_count());
+    }
+
+    #[test]
+    fn vector_update_batch_matches_scalar_updates(
+        seed in any::<u64>(),
+        pairs in vec((any::<u64>(), -3i64..4), 0..300),
+    ) {
+        // The copy-major vector path shares element/delta extraction
+        // across copies; every copy must still match its scalar twin.
+        let fam = SketchFamily::builder()
+            .copies(3)
+            .levels(16)
+            .second_level(8)
+            .seed(seed)
+            .build();
+        let updates = updates_from(&pairs);
+        let mut scalar = fam.new_vector();
+        for u in &updates {
+            scalar.process(u);
+        }
+        let mut batched = fam.new_vector();
+        batched.update_batch(&updates);
+        for (a, b) in scalar.sketches().iter().zip(batched.sketches()) {
+            prop_assert_eq!(a.counters(), b.counters());
+            prop_assert_eq!(a.total_count(), b.total_count());
+        }
+    }
+}

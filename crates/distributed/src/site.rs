@@ -73,6 +73,73 @@ impl Site {
             .process(update);
     }
 
+    /// Observe a batch of updates, grouped by stream and driven through
+    /// the synopsis batch path. Bit-for-bit identical to calling
+    /// [`Self::observe`] per tuple (sketch linearity).
+    pub fn observe_batch(&mut self, updates: &[Update]) {
+        let mut groups: BTreeMap<StreamId, Vec<Update>> = BTreeMap::new();
+        for u in updates {
+            groups.entry(u.stream).or_default().push(*u);
+        }
+        for (stream, group) in groups {
+            self.streams
+                .entry(stream)
+                .or_insert_with(|| self.family.new_vector())
+                .update_batch(&group);
+        }
+    }
+
+    /// Observe a batch using `threads` worker threads: workers build
+    /// partial synopses over disjoint shards of the batch, and the
+    /// partials are merged into the site's live synopses — the same
+    /// stored-coins merge the coordinator performs across sites, applied
+    /// across cores within one site. Identical counters to
+    /// [`Self::observe_batch`] for any shard split.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn observe_batch_parallel(&mut self, updates: &[Update], threads: usize) {
+        assert!(threads >= 1, "need at least one ingest worker");
+        // Small batches (or one worker): threading overhead dominates.
+        if threads == 1 || updates.len() < 4096 {
+            self.observe_batch(updates);
+            return;
+        }
+        let shard_len = updates.len().div_ceil(threads);
+        let family = self.family;
+        let partials = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = updates
+                .chunks(shard_len)
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        let mut site = Site::new(0, family);
+                        site.observe_batch(shard);
+                        site.streams
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("ingest worker"))
+                .collect::<Vec<_>>()
+        })
+        .expect("ingest scope");
+        for partial in partials {
+            for (stream, part) in partial {
+                match self.streams.entry(stream) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(part);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        e.get_mut()
+                            .merge_from(&part)
+                            .expect("partials minted from the site family");
+                    }
+                }
+            }
+        }
+    }
+
     /// Streams this site has observed.
     pub fn streams(&self) -> impl Iterator<Item = StreamId> + '_ {
         self.streams.keys().copied()
@@ -141,6 +208,34 @@ mod tests {
             2
         );
         assert!(site.synopsis(StreamId(9)).is_none());
+    }
+
+    #[test]
+    fn batch_and_parallel_observation_match_scalar() {
+        let updates: Vec<Update> = (0..12_000u64)
+            .map(|i| Update {
+                stream: StreamId((i % 4) as u32),
+                element: i.wrapping_mul(0x9e37) % 3000,
+                delta: if i % 9 == 0 { -1 } else { 1 },
+            })
+            .collect();
+        let mut scalar = Site::new(1, family());
+        for u in &updates {
+            scalar.observe(u);
+        }
+        let mut batched = Site::new(1, family());
+        batched.observe_batch(&updates);
+        let mut parallel = Site::new(1, family());
+        parallel.observe_batch_parallel(&updates, 4);
+        for site in [&batched, &parallel] {
+            for stream in scalar.streams() {
+                let want = scalar.synopsis(stream).unwrap();
+                let got = site.synopsis(stream).unwrap();
+                for (a, b) in want.sketches().iter().zip(got.sketches()) {
+                    assert_eq!(a.counters(), b.counters(), "stream {stream}");
+                }
+            }
+        }
     }
 
     #[test]

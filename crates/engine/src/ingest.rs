@@ -1,0 +1,198 @@
+//! Sharded, parallel synopsis ingestion.
+//!
+//! The sketch transform is linear in the update stream, so a synopsis of
+//! the whole stream equals the cell-wise sum of synopses of any partition
+//! of it — the same fact that powers the distributed stored-coins model.
+//! The [`ShardedIngestor`] exploits it for multicore throughput on a
+//! single machine: the batch is split into contiguous shards, worker
+//! threads build partial [`SketchVector`]s over their shard with the
+//! cache-friendly batch path, and the partials are combined with the
+//! existing `merge_from`. The result is bit-for-bit identical to
+//! single-threaded ingestion, for any shard split.
+
+use setstream_core::{SketchFamily, SketchVector};
+use setstream_stream::{StreamId, Update};
+use std::collections::BTreeMap;
+
+/// Below this batch size threading overhead dominates; ingest inline.
+const MIN_PARALLEL: usize = 4096;
+
+/// Builds synopses from update batches using a pool of `threads` workers.
+#[derive(Debug, Clone)]
+pub struct ShardedIngestor {
+    family: SketchFamily,
+    threads: usize,
+}
+
+impl ShardedIngestor {
+    /// An ingestor minting synopses from `family`'s stored coins.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(family: SketchFamily, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one ingest worker");
+        ShardedIngestor { family, threads }
+    }
+
+    /// The family whose coins every produced synopsis uses.
+    pub fn family(&self) -> &SketchFamily {
+        &self.family
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Build one synopsis over the whole slice (stream ids are ignored,
+    /// as in [`SketchVector::process`]).
+    pub fn ingest_vector(&self, updates: &[Update]) -> SketchVector {
+        if self.threads == 1 || updates.len() < MIN_PARALLEL {
+            let mut v = self.family.new_vector();
+            v.update_batch(updates);
+            return v;
+        }
+        let shard_len = updates.len().div_ceil(self.threads);
+        let family = self.family;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = updates
+                .chunks(shard_len)
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        let mut v = family.new_vector();
+                        v.update_batch(shard);
+                        v
+                    })
+                })
+                .collect();
+            let mut parts = handles.into_iter().map(|h| h.join().expect("ingest worker"));
+            let mut acc = parts.next().expect("at least one shard");
+            for part in parts {
+                acc.merge_from(&part).expect("partials share one family");
+            }
+            acc
+        })
+        .expect("ingest scope")
+    }
+
+    /// Build one synopsis per stream appearing in the slice.
+    ///
+    /// Each worker groups its shard by stream locally; the per-stream
+    /// partials are then merged, so the output is identical to routing
+    /// every update through its stream's synopsis one at a time.
+    pub fn ingest_streams(&self, updates: &[Update]) -> BTreeMap<StreamId, SketchVector> {
+        if self.threads == 1 || updates.len() < MIN_PARALLEL {
+            return ingest_streams_local(&self.family, updates);
+        }
+        let shard_len = updates.len().div_ceil(self.threads);
+        let family = self.family;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = updates
+                .chunks(shard_len)
+                .map(|shard| scope.spawn(move |_| ingest_streams_local(&family, shard)))
+                .collect();
+            let mut acc: BTreeMap<StreamId, SketchVector> = BTreeMap::new();
+            for h in handles {
+                for (stream, part) in h.join().expect("ingest worker") {
+                    match acc.entry(stream) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(part);
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            e.get_mut().merge_from(&part).expect("partials share one family");
+                        }
+                    }
+                }
+            }
+            acc
+        })
+        .expect("ingest scope")
+    }
+}
+
+/// Sequential per-stream grouped ingestion: partition the slice by stream,
+/// then drive each group through the batch path.
+fn ingest_streams_local(
+    family: &SketchFamily,
+    updates: &[Update],
+) -> BTreeMap<StreamId, SketchVector> {
+    let mut groups: BTreeMap<StreamId, Vec<Update>> = BTreeMap::new();
+    for u in updates {
+        groups.entry(u.stream).or_default().push(*u);
+    }
+    groups
+        .into_iter()
+        .map(|(stream, group)| {
+            let mut v = family.new_vector();
+            v.update_batch(&group);
+            (stream, v)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family() -> SketchFamily {
+        SketchFamily::builder().copies(4).levels(16).second_level(8).seed(21).build()
+    }
+
+    fn workload(n: u64) -> Vec<Update> {
+        (0..n)
+            .map(|i| Update {
+                stream: StreamId((i % 3) as u32),
+                element: i.wrapping_mul(0x2545_f491) % 5000,
+                delta: if i % 11 == 0 { -1 } else { 1 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_vector_matches_sequential_for_every_thread_count() {
+        let updates = workload(9000);
+        let mut seq = family().new_vector();
+        for u in &updates {
+            seq.process(u);
+        }
+        for threads in [1usize, 2, 3, 4, 8] {
+            let par = ShardedIngestor::new(family(), threads).ingest_vector(&updates);
+            for (a, b) in seq.sketches().iter().zip(par.sketches()) {
+                assert_eq!(a.counters(), b.counters(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_streams_match_sequential_routing() {
+        let updates = workload(10_000);
+        let by_stream = ShardedIngestor::new(family(), 4).ingest_streams(&updates);
+        assert_eq!(by_stream.len(), 3);
+        for (stream, got) in &by_stream {
+            let mut want = family().new_vector();
+            for u in updates.iter().filter(|u| u.stream == *stream) {
+                want.process(u);
+            }
+            for (a, b) in want.sketches().iter().zip(got.sketches()) {
+                assert_eq!(a.counters(), b.counters(), "stream {stream}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_batches_stay_inline() {
+        let updates = workload(64);
+        let par = ShardedIngestor::new(family(), 8).ingest_vector(&updates);
+        let mut seq = family().new_vector();
+        seq.update_batch(&updates);
+        for (a, b) in seq.sketches().iter().zip(par.sketches()) {
+            assert_eq!(a.counters(), b.counters());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ingest worker")]
+    fn zero_threads_rejected() {
+        let _ = ShardedIngestor::new(family(), 0);
+    }
+}

@@ -43,11 +43,13 @@
 #![deny(unsafe_code)]
 
 mod engine;
+mod ingest;
 mod query;
 mod snapshot;
 mod watch;
 
 pub use engine::{EngineError, EngineStats, StreamEngine};
+pub use ingest::ShardedIngestor;
 pub use snapshot::EngineSnapshot;
 pub use query::{QueryId, RegisteredQuery};
 pub use watch::{Comparison, Watch, WatchEvent, WatchId};

@@ -1,0 +1,91 @@
+//! Property tests for sharded-parallel ingestion: because the sketch
+//! transform is linear, a synopsis built from merged per-shard partials
+//! must be **bit-for-bit identical** to single-threaded ingestion — for
+//! any workload, any shard boundaries, and any worker count.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use setstream_core::{SketchFamily, SketchVector};
+use setstream_engine::ShardedIngestor;
+use setstream_stream::{StreamId, Update};
+
+fn small_family(seed: u64) -> SketchFamily {
+    SketchFamily::builder()
+        .copies(3)
+        .levels(16)
+        .second_level(8)
+        .seed(seed)
+        .build()
+}
+
+fn updates_from(pairs: &[(u64, i64)]) -> Vec<Update> {
+    pairs
+        .iter()
+        .map(|&(element, delta)| Update {
+            stream: StreamId(0),
+            element,
+            delta,
+        })
+        .collect()
+}
+
+fn assert_identical(a: &SketchVector, b: &SketchVector) {
+    for (x, y) in a.sketches().iter().zip(b.sketches()) {
+        assert_eq!(x.counters(), y.counters());
+        assert_eq!(x.total_count(), y.total_count());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merged_shards_match_sequential_for_any_split(
+        seed in any::<u64>(),
+        pairs in vec((any::<u64>(), -3i64..4), 0..400),
+        cuts in vec(0usize..400, 0..6),
+    ) {
+        // Partition the stream at arbitrary boundaries (possibly empty
+        // shards, possibly one giant shard), build a partial synopsis
+        // per shard exactly as the ingestor's workers do, and merge.
+        let fam = small_family(seed);
+        let updates = updates_from(&pairs);
+        let mut seq = fam.new_vector();
+        seq.update_batch(&updates);
+
+        let mut bounds: Vec<usize> =
+            cuts.iter().map(|&c| c.min(updates.len())).collect();
+        bounds.push(0);
+        bounds.push(updates.len());
+        bounds.sort_unstable();
+        let mut merged = fam.new_vector();
+        for w in bounds.windows(2) {
+            let mut partial = fam.new_vector();
+            partial.update_batch(&updates[w[0]..w[1]]);
+            merged.merge_from(&partial).expect("same family");
+        }
+        assert_identical(&seq, &merged);
+    }
+
+    #[test]
+    fn sharded_ingestor_matches_single_thread(
+        seed in any::<u64>(),
+        base in vec((any::<u64>(), -3i64..4), 0..64),
+        threads in 1usize..5,
+    ) {
+        // Tile the workload past the ingestor's parallel threshold so
+        // worker threads genuinely run, then compare against threads=1.
+        let mut pairs = Vec::new();
+        while pairs.len() < 5000 {
+            if base.is_empty() {
+                break;
+            }
+            pairs.extend(base.iter().copied());
+        }
+        let updates = updates_from(&pairs);
+        let fam = small_family(seed);
+        let single = ShardedIngestor::new(fam, 1).ingest_vector(&updates);
+        let sharded = ShardedIngestor::new(fam, threads).ingest_vector(&updates);
+        assert_identical(&single, &sharded);
+    }
+}

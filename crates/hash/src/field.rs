@@ -15,16 +15,54 @@ pub const P: u64 = (1 << 61) - 1;
 /// elements. The result is canonical (`< P`).
 #[inline]
 pub fn reduce128(x: u128) -> u64 {
-    const M: u128 = P as u128;
-    // First fold: x < 2^122  →  lo < 2^61, hi < 2^61, sum < 2^62.
-    let folded = (x & M) + (x >> 61);
-    // Second fold: folded < 2^62  →  result < 2^61 + 1.
-    let folded = ((folded & M) + (folded >> 61)) as u64;
-    if folded >= P {
-        folded - P
-    } else {
-        folded
-    }
+    // Fold the machine-word halves with weights 1 and 8 (2⁶⁴ ≡ 2³ mod P):
+    // cheaper than base-2⁶¹ limb extraction, which needs cross-word
+    // shifts. For x < 2¹²², hi < 2⁵⁸, so the sum stays below 2⁶².
+    let lo = x as u64;
+    let hi = (x >> 64) as u64;
+    debug_assert!(hi < 1 << 58);
+    reduce64((lo & P) + (lo >> 61) + (hi << 3))
+}
+
+/// Low bit of `x mod P`, for `x < 2¹²²` (any product-plus-addend of field
+/// elements), without computing the canonical representative.
+///
+/// Folds the machine-word halves with weights 1 and 8 (`2⁶⁴ ≡ 2³ mod P`)
+/// into a sum `s < 2⁶² ≡ x`, then corrects the parity of `s` by the number
+/// of subtractions of the (odd) modulus needed to canonicalize it — the
+/// subtractions themselves never happen. Agrees with `reduce128(x) & 1`
+/// exactly; this is the bit evaluation of the sketch maintenance kernel.
+#[inline]
+pub fn parity128(x: u128) -> u64 {
+    let lo = x as u64;
+    let hi = (x >> 64) as u64;
+    debug_assert!(hi < 1 << 58);
+    let s = (lo & P) + (lo >> 61) + (hi << 3);
+    // s < 2⁶² < 3P, so canonicalizing subtracts P at most twice, and each
+    // subtraction of the odd P flips the parity.
+    let q = (s >= P) as u64 ^ (s >= 2 * P) as u64;
+    (s ^ q) & 1
+}
+
+/// Horner step `a·b + c` with *lazy* reduction: the result is congruent —
+/// but not necessarily canonical — modulo `P`, and kept below `2⁶²`.
+///
+/// Accepts a partially-reduced accumulator `a < 2⁶²` (as produced by this
+/// function) and canonical `b`, `c`. Skipping the conditional subtraction
+/// shortens the dependent chain that dominates polynomial evaluation;
+/// canonicalize the final accumulator with [`reduce64`] to recover exactly
+/// the value of the canonical-every-step chain.
+#[inline]
+pub fn mul_add_lazy(a: u64, b: u64, c: u64) -> u64 {
+    debug_assert!(a < 1 << 62 && b < P && c < P);
+    let t = a as u128 * b as u128 + c as u128;
+    // Four limbs of weight 1, 1, 8, 1: lo = l₀ + l₁·2⁶¹ with 2⁶¹ ≡ 1, and
+    // hi·2⁶⁴ = (h₀ + h₁·2⁵⁸)·2⁶⁴ ≡ 8·h₀ + h₁ (2⁶⁴ ≡ 8, 2¹²² ≡ 1). Each
+    // term is below 2⁶¹, so the sum stays below 2⁶² for any `a < 2⁶⁴`:
+    // the partial reduction is self-stabilizing.
+    let lo = t as u64;
+    let hi = (t >> 64) as u64;
+    (lo & P) + (lo >> 61) + ((hi << 3) & P) + (hi >> 58)
 }
 
 /// Reduce a `u64` modulo `P` to a canonical representative.
@@ -104,6 +142,45 @@ mod tests {
         // Extremes of the valid input range.
         let max_prod = (P as u128 - 1) * (P as u128 - 1);
         assert_eq!(reduce128(max_prod), (max_prod % P as u128) as u64);
+    }
+
+    #[test]
+    fn parity_matches_full_reduction() {
+        // Structured sweep plus the boundary cases of the limb-sum trick.
+        for i in 0..4000u128 {
+            let x = i * 0x9e37_79b9_7f4a_7c15u128 + (i << 77) + i * i;
+            assert_eq!(parity128(x), reduce128(x) & 1, "x={x}");
+        }
+        for x in [
+            0u128,
+            P as u128 - 1,
+            P as u128,
+            P as u128 + 1,
+            2 * (P as u128),
+            2 * (P as u128) + 1,
+            (P as u128 - 1) * (P as u128 - 1),
+            (1u128 << 122) - 1, // top of the valid input range
+        ] {
+            assert_eq!(parity128(x), ((x % P as u128) & 1) as u64, "x={x}");
+        }
+    }
+
+    #[test]
+    fn lazy_horner_matches_canonical_horner() {
+        // A canonical chain and a lazy chain over the same coefficients
+        // must produce the same final value once canonicalized.
+        for seed in 0..300u64 {
+            let x = reduce64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let coeffs = [reduce64(seed ^ 0xabcd), reduce64(!seed), 17u64, P - 1, 0];
+            let mut canon = 0u64;
+            let mut lazy = 0u64;
+            for &c in &coeffs {
+                canon = mul_add(canon, x, c);
+                lazy = mul_add_lazy(lazy, x, c);
+                assert!(lazy < 1 << 62);
+            }
+            assert_eq!(reduce64(lazy), canon, "seed={seed}");
+        }
     }
 
     #[test]

@@ -48,12 +48,16 @@ impl KWiseHash {
 impl Hash64 for KWiseHash {
     #[inline]
     fn hash(&self, x: u64) -> u64 {
+        // Lazy Horner: intermediate accumulators stay partially reduced
+        // (< 2⁶²); only the final value is canonicalized. Same output as
+        // a canonical-every-step chain, minus `t` conditional
+        // subtractions from the latency-bound dependency chain.
         let x = field::reduce64(x);
         let mut acc = 0u64;
         for &c in self.coeffs.iter() {
-            acc = field::mul_add(acc, x, c);
+            acc = field::mul_add_lazy(acc, x, c);
         }
-        acc
+        field::reduce64(acc)
     }
 }
 

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod batch;
 pub mod bit;
 pub mod field;
 pub mod kwise;
@@ -42,6 +43,7 @@ pub mod seed;
 pub mod stats;
 pub mod tabulation;
 
+pub use batch::{hash_many, PairwiseHashBank};
 pub use bit::{bucket_of, lsb64};
 pub use kwise::KWiseHash;
 pub use mix::{splitmix64, MixHash};
@@ -67,6 +69,21 @@ pub trait Hash64 {
     #[inline]
     fn hash_bit(&self, x: u64) -> usize {
         (self.hash(x) & 1) as usize
+    }
+
+    /// Hash a slice of inputs: `out[i] = hash(xs[i])`.
+    ///
+    /// The provided implementation is a plain loop; enum wrappers override
+    /// it to dispatch once per slice instead of once per element.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != xs.len()`.
+    #[inline]
+    fn hash_slice(&self, xs: &[u64], out: &mut [u64]) {
+        assert_eq!(xs.len(), out.len(), "output sized to input");
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = self.hash(x);
+        }
     }
 }
 
@@ -135,6 +152,17 @@ impl Hash64 for AnyHash {
             AnyHash::KWise(h) => h.hash(x),
             AnyHash::Tabulation(h) => h.hash(x),
             AnyHash::Mix(h) => h.hash(x),
+        }
+    }
+
+    #[inline]
+    fn hash_slice(&self, xs: &[u64], out: &mut [u64]) {
+        // One variant dispatch per slice; the inner loops monomorphize.
+        match self {
+            AnyHash::Pairwise(h) => h.hash_slice(xs, out),
+            AnyHash::KWise(h) => h.hash_slice(xs, out),
+            AnyHash::Tabulation(h) => h.hash_slice(xs, out),
+            AnyHash::Mix(h) => h.hash_slice(xs, out),
         }
     }
 }

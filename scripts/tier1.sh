@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a change must keep green.
+#
+#   scripts/tier1.sh          # build + tests + clippy + ingest smoke bench
+#   SKIP_BENCH=1 scripts/tier1.sh   # skip the bench step (e.g. constrained CI)
+#
+# Mirrors ROADMAP.md's tier-1 gate (`cargo build --release && cargo test -q`)
+# and adds the lint wall plus a quick run of the ingestion benchmark so perf
+# regressions that break the harness itself are caught before merge.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+    echo "==> ingest smoke bench (quick)"
+    cargo run --release -q -p setstream-bench --bin ingest_bench -- \
+        --quick --out target/BENCH_ingest.quick.json
+    echo "    wrote target/BENCH_ingest.quick.json"
+fi
+
+echo "tier-1: OK"

@@ -1,0 +1,344 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same macro/API surface (`criterion_group!`, `criterion_main!`,
+//! benchmark groups, `Bencher::iter`), real wall-clock measurement:
+//! auto-calibrated batch sizes, a warm-up pass, then timed samples with
+//! median ns/iter reported. Modes:
+//!
+//! - default (`cargo bench`): ~0.4 s warm-up + ~1 s measurement per bench
+//! - `--quick` flag or `CRITERION_QUICK=1`: ~20 ms per bench
+//! - `--test` flag (cargo test --benches): one iteration, correctness only
+//!
+//! Unknown CLI flags (e.g. cargo's `--bench`) are ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Full,
+    Quick,
+    TestOnce,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick_env = std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false);
+        let mode = if args.iter().any(|a| a == "--test") {
+            Mode::TestOnce
+        } else if quick_env || args.iter().any(|a| a == "--quick") {
+            Mode::Quick
+        } else {
+            Mode::Full
+        };
+        Criterion { mode }
+    }
+}
+
+impl Criterion {
+    /// Apply CLI configuration (flags are parsed in `default`; kept for
+    /// API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            mode: self.mode,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mode = self.mode;
+        run_one(id, mode, f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group, usually `name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter under the group name.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted upon —
+/// this stand-in times each routine invocation individually).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Record units-per-iteration for throughput lines.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.mode, f);
+        self
+    }
+
+    /// Benchmark a closure parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.full), self.mode, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mode: Mode, mut f: F) {
+    let mut bencher = Bencher {
+        mode,
+        ns_per_iter: None,
+    };
+    f(&mut bencher);
+    match (mode, bencher.ns_per_iter) {
+        (Mode::TestOnce, _) => println!("Testing {label}: ok"),
+        (_, Some(ns)) => println!("{label:<50} time: [{} {} {}]", fmt_ns(ns), fmt_ns(ns), fmt_ns(ns)),
+        (_, None) => println!("{label:<50} (no measurement)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    fn budgets(&self) -> (Duration, Duration) {
+        match self.mode {
+            Mode::Full => (Duration::from_millis(400), Duration::from_millis(1000)),
+            Mode::Quick => (Duration::from_millis(5), Duration::from_millis(20)),
+            Mode::TestOnce => (Duration::ZERO, Duration::ZERO),
+        }
+    }
+
+    /// Measure a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::TestOnce {
+            black_box(routine());
+            return;
+        }
+        let (warm_budget, measure_budget) = self.budgets();
+
+        // Calibrate: grow the batch until one batch is ≥ ~1ms, warming up
+        // caches and branch predictors along the way.
+        let mut batch: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 2;
+            if warm_start.elapsed() >= warm_budget.max(Duration::from_millis(1)) && batch > 2 {
+                break;
+            }
+        }
+        while warm_start.elapsed() < warm_budget {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+        }
+
+        // Measure: repeated batches until the budget is spent; report the
+        // median batch time.
+        let mut samples: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+            if measure_start.elapsed() >= measure_budget && samples.len() >= 5 {
+                break;
+            }
+            if samples.len() >= 10_000 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+
+    /// Measure a routine over per-iteration inputs built by `setup`.
+    /// Setup time is excluded from the reported figure.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.mode == Mode::TestOnce {
+            black_box(routine(setup()));
+            return;
+        }
+        let (warm_budget, measure_budget) = self.budgets();
+
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine(setup()));
+            if warm_start.elapsed() >= warm_budget {
+                break;
+            }
+        }
+
+        let mut samples: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed().as_secs_f64() * 1e9);
+            if measure_start.elapsed() >= measure_budget && samples.len() >= 5 {
+                break;
+            }
+            if samples.len() >= 100_000 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Bundle benchmark functions into a group callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_in_quick_mode() {
+        let mut b = Bencher {
+            mode: Mode::Quick,
+            ns_per_iter: None,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert!(b.ns_per_iter.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            mode: Mode::Quick,
+            ns_per_iter: None,
+        };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput);
+        assert!(b.ns_per_iter.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("r", 512);
+        assert_eq!(id.full, "r/512");
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Supplies `crossbeam::thread::scope` on top of `std::thread::scope`
+//! (std has had scoped threads since 1.63, so the std primitive gives
+//! the same borrow-the-stack guarantees). Semantics preserved from
+//! crossbeam: `scope` returns `Err` with the panic payload if any
+//! spawned thread panicked, instead of resuming the unwind.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle for spawning threads that may borrow from the enclosing
+    /// stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope again so it can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-stack threads can be
+    /// spawned; all threads are joined before this returns. Any panic in
+    /// a spawned thread surfaces as `Err(payload)`.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[test]
+        fn threads_borrow_stack_and_join() {
+            let total = AtomicU64::new(0);
+            let parts: Vec<u64> = (0..16).collect();
+            super::scope(|s| {
+                for chunk in parts.chunks(4) {
+                    s.spawn(|_| {
+                        total.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(total.load(Ordering::Relaxed), (0..16).sum::<u64>());
+        }
+
+        #[test]
+        fn join_returns_thread_result() {
+            let out = super::scope(|s| {
+                let h = s.spawn(|_| 40 + 2);
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(out, 42);
+        }
+
+        #[test]
+        fn panic_in_spawned_thread_becomes_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

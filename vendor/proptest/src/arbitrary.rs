@@ -1,0 +1,118 @@
+//! `any::<T>()` — strategies from a type's canonical distribution.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range generation strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ASCII with a sprinkle of wider code points, always valid.
+        match rng.below(8) {
+            0 => char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('¡'),
+            _ => (0x20 + rng.below(0x5F) as u8) as char,
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = rng.unit_f64() * 10f64.powi(rng.below(600) as i32 - 300);
+        if rng.next_u64() & 1 == 0 {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.below(25) as usize;
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_valid_and_bounded() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..500 {
+            let s = String::arbitrary(&mut rng);
+            assert!(s.chars().count() < 25);
+        }
+    }
+
+    #[test]
+    fn floats_are_finite() {
+        let mut rng = TestRng::new(6);
+        for _ in 0..1000 {
+            assert!(f64::arbitrary(&mut rng).is_finite());
+        }
+    }
+}

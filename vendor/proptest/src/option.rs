@@ -1,0 +1,41 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option<T>`; `None` about a quarter of the time.
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `Some` from the inner strategy, or `None` (~25%).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(any::<u32>());
+        let mut rng = TestRng::new(3);
+        let vals: Vec<_> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().any(Option::is_some));
+    }
+}

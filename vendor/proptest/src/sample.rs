@@ -1,0 +1,50 @@
+//! Sampling helpers: `Index`.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// A position that scales to any collection length at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolve against a collection of `len` elements. Panics if empty,
+    /// matching proptest.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        // Scale the stored 64-bit fraction onto [0, len).
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_in_bounds_for_all_lengths() {
+        let mut rng = TestRng::new(4);
+        for _ in 0..200 {
+            let i = Index::arbitrary(&mut rng);
+            for len in [1usize, 2, 3, 10, 1000] {
+                assert!(i.index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn index_covers_whole_range() {
+        let mut rng = TestRng::new(5);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[Index::arbitrary(&mut rng).index(10)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,175 @@
+//! String generation from regex-like literals.
+//!
+//! Real proptest treats `&str` strategies as full regexes. This stand-in
+//! supports the subset the workspace's patterns use: sequences of atoms
+//! — character classes `[...]` (with ranges and literals), `\PC`
+//! (printable, non-control), `\d`, `\w`, `.`, or literal characters —
+//! each optionally quantified with `{m}`, `{m,n}`, `?`, `*` or `+`
+//! (`*`/`+` capped at 16 repeats).
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Inclusive char ranges to draw from.
+    ranges: Vec<(char, char)>,
+    min: u32,
+    max: u32,
+}
+
+const PRINTABLE: &[(char, char)] = &[(' ', '~')];
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges: Vec<(char, char)> = match c {
+            '[' => {
+                let mut out = Vec::new();
+                let mut inner = Vec::new();
+                for c in chars.by_ref() {
+                    if c == ']' {
+                        break;
+                    }
+                    inner.push(c);
+                }
+                let mut i = 0;
+                while i < inner.len() {
+                    if i + 2 < inner.len() && inner[i + 1] == '-' {
+                        out.push((inner[i], inner[i + 2]));
+                        i += 3;
+                    } else {
+                        out.push((inner[i], inner[i]));
+                        i += 1;
+                    }
+                }
+                out
+            }
+            '\\' => match chars.next() {
+                Some('P') | Some('p') => {
+                    // Unicode category escape (\PC = not-control): consume
+                    // the category (single letter or {Name}); generate
+                    // printable ASCII.
+                    match chars.next() {
+                        Some('{') => {
+                            for c in chars.by_ref() {
+                                if c == '}' {
+                                    break;
+                                }
+                            }
+                        }
+                        Some(_) => {}
+                        None => panic!("dangling \\P in pattern {pattern:?}"),
+                    }
+                    PRINTABLE.to_vec()
+                }
+                Some('d') => vec![('0', '9')],
+                Some('w') => vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+                Some(other) => vec![(other, other)],
+                None => panic!("dangling escape in pattern {pattern:?}"),
+            },
+            '.' => PRINTABLE.to_vec(),
+            lit => vec![(lit, lit)],
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+/// Generate a string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+        for _ in 0..n {
+            // Pick a range weighted by its width, then a char within it.
+            let total: u64 = atom
+                .ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in &atom.ranges {
+                let width = (hi as u64) - (lo as u64) + 1;
+                if pick < width {
+                    out.push(char::from_u32(lo as u32 + pick as u32).unwrap());
+                    break;
+                }
+                pick -= width;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z0-9 ]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn printable_escape() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = generate_matching("\\PC{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::new(3);
+        let s = generate_matching("ab{3}c?", &mut rng);
+        assert!(s.starts_with("abbb"));
+        assert!(s == "abbb" || s == "abbbc");
+    }
+}

@@ -1,0 +1,162 @@
+//! Case generation loop, config, and the deterministic RNG strategies
+//! draw from.
+
+/// Deterministic SplitMix64 stream used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How a generated case ended, other than success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// Assertion failure: abort the test with this message.
+    Fail(String),
+    /// `prop_assume!` miss: discard the case and draw another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Give up after this many consecutive rejects.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse().unwrap_or(0xB5AD_4ECE_DA1C_E2A9),
+        Err(_) => 0xB5AD_4ECE_DA1C_E2A9,
+    }
+}
+
+/// Drive `case` over `config.cases` generated inputs, panicking on the
+/// first failure with enough detail to replay it.
+pub fn run<F>(config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = base_seed();
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    let mut stream = 0u64;
+    while passed < config.cases {
+        // Each case gets an independent, replayable seed.
+        let case_seed = seed ^ stream.wrapping_mul(0xD605_BBB5_8C8A_BC03);
+        stream += 1;
+        let mut rng = TestRng::new(case_seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest: too many rejected cases ({} rejects, {} passed)",
+                        rejects, passed
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case failed (case #{passed}, seed {case_seed:#x}, \
+                     set PROPTEST_SEED={seed} to replay the run):\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_only_passes() {
+        let mut calls = 0;
+        run(&ProptestConfig::with_cases(10), |rng| {
+            calls += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::reject("odd"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failure_panics() {
+        run(&ProptestConfig::with_cases(5), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn rng_below_is_in_range() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..10_000 {
+            assert!(rng.below(37) < 37);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Mirrors the real crate's data-model trait surface (the subset this
+//! workspace exercises) so hand-written `Serializer` / `Deserializer`
+//! implementations — notably `setstream-distributed`'s binary codec —
+//! compile unchanged, and the vendored derive macros have a stable
+//! target. No `serde_json`-style formats ship here; the workspace brings
+//! its own.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,605 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros for `Serialize` / `Deserialize` covering the
+//! subset of shapes this workspace uses: non-generic structs (named,
+//! tuple, unit) and enums (unit, newtype, tuple, struct variants), plus
+//! the container attributes `#[serde(from = "T")]`, `#[serde(try_from =
+//! "T")]` and `#[serde(into = "T")]`.
+//!
+//! The generated code targets the vendored `serde` facade's data model,
+//! which mirrors the real crate's trait surface, so hand-written
+//! `Serializer`/`Deserializer` impls (e.g. the workspace's binary codec)
+//! interoperate unchanged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------------ model
+
+struct Input {
+    name: String,
+    kind: Kind,
+    attrs: ContainerAttrs,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Unnamed(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    from: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut i = 0;
+
+    // Leading attributes (doc comments, #[serde(...)], …) and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut attrs);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                // pub(crate) / pub(super) …
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_enum = match &tokens[i] {
+        TokenTree::Ident(id) if *id.to_string() == *"struct" => false,
+        TokenTree::Ident(id) if *id.to_string() == *"enum" => true,
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+
+    let kind = if is_enum {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => panic!("serde_derive: expected enum body"),
+        };
+        Kind::Enum(parse_variants(body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Unnamed(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            None => Kind::Struct(Fields::Unit),
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        }
+    };
+    Input { name, kind, attrs }
+}
+
+/// Pull `from` / `try_from` / `into` out of a `#[serde(...)]` attribute.
+fn parse_serde_attr(stream: TokenStream, attrs: &mut ContainerAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let [TokenTree::Ident(id), TokenTree::Group(g)] = &tokens[..] else {
+        return;
+    };
+    if id.to_string() != "serde" {
+        return;
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        let TokenTree::Ident(key) = &inner[j] else {
+            j += 1;
+            continue;
+        };
+        let key = key.to_string();
+        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+            (inner.get(j + 1), inner.get(j + 2))
+        {
+            if eq.as_char() == '=' {
+                let ty = lit.to_string().trim_matches('"').to_string();
+                match key.as_str() {
+                    "from" => attrs.from = Some(ty),
+                    "try_from" => attrs.try_from = Some(ty),
+                    "into" => attrs.into = Some(ty),
+                    other => panic!("serde_derive (vendored): unsupported attr `{other}`"),
+                }
+                j += 3;
+                // Skip a separating comma.
+                if matches!(inner.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    j += 1;
+                }
+                continue;
+            }
+        }
+        panic!("serde_derive (vendored): unsupported serde attribute form");
+    }
+}
+
+/// Field names (in declaration order) of a `{ ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // '#' + [...]
+                continue;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Expect ':' then the type: consume until a comma at zero
+                // angle-bracket depth (types like BTreeMap<u32, String>
+                // contain commas of their own).
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive: unexpected token in field list: {other}"),
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct / tuple-variant `( ... )` list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_trailing_comma = true;
+            }
+            _ => saw_trailing_comma = false,
+        }
+    }
+    if saw_trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let fields = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        Fields::Unnamed(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push(Variant { name, fields });
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+
+    let body = if let Some(into) = &input.attrs.into {
+        format!(
+            "let __repr: {into} = <{into} as ::core::convert::From<{name}>>::from(\
+                 ::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::serialize(&__repr, __serializer)"
+        )
+    } else {
+        match &input.kind {
+            Kind::Struct(Fields::Unit) => {
+                format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+            }
+            Kind::Struct(Fields::Unnamed(1)) => format!(
+                "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+            ),
+            Kind::Struct(Fields::Unnamed(n)) => {
+                let mut s = format!(
+                    "use ::serde::ser::SerializeTupleStruct as _;\n\
+                     let mut __st = ::serde::Serializer::serialize_tuple_struct(\
+                         __serializer, \"{name}\", {n}usize)?;\n"
+                );
+                for k in 0..*n {
+                    s += &format!("__st.serialize_field(&self.{k})?;\n");
+                }
+                s += "__st.end()";
+                s
+            }
+            Kind::Struct(Fields::Named(fields)) => {
+                let n = fields.len();
+                let mut s = format!(
+                    "use ::serde::ser::SerializeStruct as _;\n\
+                     let mut __st = ::serde::Serializer::serialize_struct(\
+                         __serializer, \"{name}\", {n}usize)?;\n"
+                );
+                for f in fields {
+                    s += &format!("__st.serialize_field(\"{f}\", &self.{f})?;\n");
+                }
+                s += "__st.end()";
+                s
+            }
+            Kind::Enum(variants) => {
+                let mut arms = String::new();
+                for (idx, v) in variants.iter().enumerate() {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => arms += &format!(
+                            "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                                 __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                        ),
+                        Fields::Unnamed(1) => arms += &format!(
+                            "{name}::{vname}(__f0) => \
+                                 ::serde::Serializer::serialize_newtype_variant(\
+                                 __serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                        ),
+                        Fields::Unnamed(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let mut arm = format!(
+                                "{name}::{vname}({}) => {{\n\
+                                 use ::serde::ser::SerializeTupleVariant as _;\n\
+                                 let mut __tv = ::serde::Serializer::serialize_tuple_variant(\
+                                     __serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                                binds.join(", ")
+                            );
+                            for b in &binds {
+                                arm += &format!("__tv.serialize_field({b})?;\n");
+                            }
+                            arm += "__tv.end()\n}\n";
+                            arms += &arm;
+                        }
+                        Fields::Named(fields) => {
+                            let n = fields.len();
+                            let mut arm = format!(
+                                "{name}::{vname} {{ {} }} => {{\n\
+                                 use ::serde::ser::SerializeStructVariant as _;\n\
+                                 let mut __sv = ::serde::Serializer::serialize_struct_variant(\
+                                     __serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                                fields.join(", ")
+                            );
+                            for f in fields {
+                                arm += &format!("__sv.serialize_field(\"{f}\", {f})?;\n");
+                            }
+                            arm += "__sv.end()\n}\n";
+                            arms += &arm;
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error>\n\
+             where __S: ::serde::Serializer {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+
+    let body = if let Some(from) = &input.attrs.try_from {
+        format!(
+            "let __repr: {from} = ::serde::Deserialize::deserialize(__deserializer)?;\n\
+             <{name} as ::core::convert::TryFrom<{from}>>::try_from(__repr)\
+                 .map_err(::serde::de::Error::custom)"
+        )
+    } else if let Some(from) = &input.attrs.from {
+        format!(
+            "let __repr: {from} = ::serde::Deserialize::deserialize(__deserializer)?;\n\
+             ::core::result::Result::Ok(\
+                 <{name} as ::core::convert::From<{from}>>::from(__repr))"
+        )
+    } else {
+        match &input.kind {
+            Kind::Struct(Fields::Unit) => format!(
+                "struct __V;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) \
+                         -> ::core::fmt::Result {{ __f.write_str(\"unit struct {name}\") }}\n\
+                     fn visit_unit<__E: ::serde::de::Error>(self) \
+                         -> ::core::result::Result<{name}, __E> {{ \
+                         ::core::result::Result::Ok({name}) }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __V)"
+            ),
+            Kind::Struct(Fields::Unnamed(1)) => format!(
+                "struct __V;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) \
+                         -> ::core::fmt::Result {{ __f.write_str(\"newtype struct {name}\") }}\n\
+                     fn visit_newtype_struct<__D: ::serde::Deserializer<'de>>(self, __d: __D) \
+                         -> ::core::result::Result<{name}, __D::Error> {{\n\
+                         ::core::result::Result::Ok({name}(\
+                             ::serde::Deserialize::deserialize(__d)?))\n\
+                     }}\n\
+                     fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                         -> ::core::result::Result<{name}, __A::Error> {{\n\
+                         ::core::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::Deserializer::deserialize_newtype_struct(\
+                     __deserializer, \"{name}\", __V)",
+                next_element_expr("0")
+            ),
+            Kind::Struct(Fields::Unnamed(n)) => {
+                let elems: Vec<String> =
+                    (0..*n).map(|k| next_element_expr(&k.to_string())).collect();
+                format!(
+                    "struct __V;\n\
+                     impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut ::core::fmt::Formatter) \
+                             -> ::core::fmt::Result {{ __f.write_str(\"tuple struct {name}\") }}\n\
+                         fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                             -> ::core::result::Result<{name}, __A::Error> {{\n\
+                             ::core::result::Result::Ok({name}({}))\n\
+                         }}\n\
+                     }}\n\
+                     ::serde::Deserializer::deserialize_tuple_struct(\
+                         __deserializer, \"{name}\", {n}usize, __V)",
+                    elems.join(", ")
+                )
+            }
+            Kind::Struct(Fields::Named(fields)) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: {}", next_element_expr(f)))
+                    .collect();
+                let field_names: Vec<String> =
+                    fields.iter().map(|f| format!("\"{f}\"")).collect();
+                format!(
+                    "struct __V;\n\
+                     impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut ::core::fmt::Formatter) \
+                             -> ::core::fmt::Result {{ __f.write_str(\"struct {name}\") }}\n\
+                         fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                             -> ::core::result::Result<{name}, __A::Error> {{\n\
+                             ::core::result::Result::Ok({name} {{ {} }})\n\
+                         }}\n\
+                     }}\n\
+                     ::serde::Deserializer::deserialize_struct(\
+                         __deserializer, \"{name}\", &[{}], __V)",
+                    inits.join(", "),
+                    field_names.join(", ")
+                )
+            }
+            Kind::Enum(variants) => {
+                let variant_names: Vec<String> =
+                    variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+                let mut arms = String::new();
+                for (idx, v) in variants.iter().enumerate() {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => arms += &format!(
+                            "{idx}u32 => {{ \
+                                 ::serde::de::VariantAccess::unit_variant(__variant)?; \
+                                 ::core::result::Result::Ok({name}::{vname}) }}\n"
+                        ),
+                        Fields::Unnamed(1) => arms += &format!(
+                            "{idx}u32 => ::serde::de::VariantAccess::newtype_variant(__variant)\
+                                 .map({name}::{vname}),\n"
+                        ),
+                        Fields::Unnamed(n) => {
+                            let elems: Vec<String> =
+                                (0..*n).map(|k| next_element_expr(&k.to_string())).collect();
+                            arms += &format!(
+                                "{idx}u32 => {{\n\
+                                 struct __TV;\n\
+                                 impl<'de> ::serde::de::Visitor<'de> for __TV {{\n\
+                                     type Value = {name};\n\
+                                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) \
+                                         -> ::core::fmt::Result {{ \
+                                         __f.write_str(\"tuple variant {name}::{vname}\") }}\n\
+                                     fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(\
+                                         self, mut __seq: __A) \
+                                         -> ::core::result::Result<{name}, __A::Error> {{\n\
+                                         ::core::result::Result::Ok({name}::{vname}({}))\n\
+                                     }}\n\
+                                 }}\n\
+                                 ::serde::de::VariantAccess::tuple_variant(\
+                                     __variant, {n}usize, __TV)\n\
+                                 }}\n",
+                                elems.join(", ")
+                            );
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: {}", next_element_expr(f)))
+                                .collect();
+                            let fnames: Vec<String> =
+                                fields.iter().map(|f| format!("\"{f}\"")).collect();
+                            arms += &format!(
+                                "{idx}u32 => {{\n\
+                                 struct __SV;\n\
+                                 impl<'de> ::serde::de::Visitor<'de> for __SV {{\n\
+                                     type Value = {name};\n\
+                                     fn expecting(&self, __f: &mut ::core::fmt::Formatter) \
+                                         -> ::core::fmt::Result {{ \
+                                         __f.write_str(\"struct variant {name}::{vname}\") }}\n\
+                                     fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(\
+                                         self, mut __seq: __A) \
+                                         -> ::core::result::Result<{name}, __A::Error> {{\n\
+                                         ::core::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                     }}\n\
+                                 }}\n\
+                                 ::serde::de::VariantAccess::struct_variant(\
+                                     __variant, &[{}], __SV)\n\
+                                 }}\n",
+                                inits.join(", "),
+                                fnames.join(", ")
+                            );
+                        }
+                    }
+                }
+                format!(
+                    "struct __Tag(u32);\n\
+                     impl<'de> ::serde::Deserialize<'de> for __Tag {{\n\
+                         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+                             -> ::core::result::Result<__Tag, __D::Error> {{\n\
+                             struct __TagV;\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __TagV {{\n\
+                                 type Value = u32;\n\
+                                 fn expecting(&self, __f: &mut ::core::fmt::Formatter) \
+                                     -> ::core::fmt::Result {{ \
+                                     __f.write_str(\"variant index\") }}\n\
+                                 fn visit_u32<__E: ::serde::de::Error>(self, __v: u32) \
+                                     -> ::core::result::Result<u32, __E> {{ \
+                                     ::core::result::Result::Ok(__v) }}\n\
+                                 fn visit_u64<__E: ::serde::de::Error>(self, __v: u64) \
+                                     -> ::core::result::Result<u32, __E> {{ \
+                                     ::core::result::Result::Ok(__v as u32) }}\n\
+                             }}\n\
+                             __d.deserialize_identifier(__TagV).map(__Tag)\n\
+                         }}\n\
+                     }}\n\
+                     struct __V;\n\
+                     impl<'de> ::serde::de::Visitor<'de> for __V {{\n\
+                         type Value = {name};\n\
+                         fn expecting(&self, __f: &mut ::core::fmt::Formatter) \
+                             -> ::core::fmt::Result {{ __f.write_str(\"enum {name}\") }}\n\
+                         fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __a: __A) \
+                             -> ::core::result::Result<{name}, __A::Error> {{\n\
+                             let (__Tag(__idx), __variant) = \
+                                 ::serde::de::EnumAccess::variant(__a)?;\n\
+                             match __idx {{\n\
+                                 {arms}\
+                                 __other => ::core::result::Result::Err(\
+                                     ::serde::de::Error::custom(::core::format_args!(\
+                                         \"invalid variant index {{}} for enum {name}\", \
+                                         __other))),\n\
+                             }}\n\
+                         }}\n\
+                     }}\n\
+                     ::serde::Deserializer::deserialize_enum(\
+                         __deserializer, \"{name}\", &[{}], __V)",
+                    variant_names.join(", ")
+                )
+            }
+        }
+    };
+
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error>\n\
+             where __D: ::serde::Deserializer<'de> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// `match seq.next_element()? { Some(v) => v, None => missing-field error }`
+fn next_element_expr(what: &str) -> String {
+    format!(
+        "match ::serde::de::SeqAccess::next_element(&mut __seq)? {{ \
+             ::core::option::Option::Some(__v) => __v, \
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+                 ::serde::de::Error::custom(\"missing field `{what}`\")) }}"
+    )
+}
