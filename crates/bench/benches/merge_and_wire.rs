@@ -53,6 +53,7 @@ fn wire(c: &mut Criterion) {
     let msg = SynopsisMessage {
         site: 1,
         stream: StreamId(0),
+        epoch: 0,
         vector: v,
     };
     let frame = encode_frame(FrameKind::Synopsis, &msg).unwrap();

@@ -244,6 +244,35 @@ impl SketchVector {
         Ok(())
     }
 
+    /// Subtract another synopsis of the *same* stream cell-wise — the
+    /// inverse of [`Self::merge_from`]. Used to retract a site's previous
+    /// cumulative contribution before installing a fresh snapshot, and to
+    /// compute epoch deltas.
+    pub fn subtract_from(&mut self, other: &SketchVector) -> Result<(), EstimateError> {
+        self.check_compatible(other)?;
+        for (mine, theirs) in self.sketches.iter_mut().zip(other.sketches.iter()) {
+            mine.subtract_from(theirs)?;
+        }
+        Ok(())
+    }
+
+    /// The counter-wise difference `self − baseline`: by linearity,
+    /// exactly the synopsis of the updates applied since `baseline` was
+    /// captured. This is what a site ships as an epoch **delta frame**.
+    pub fn delta_since(&self, baseline: &SketchVector) -> Result<SketchVector, EstimateError> {
+        let mut delta = self.clone();
+        delta.subtract_from(baseline)?;
+        Ok(delta)
+    }
+
+    /// `true` if every cell of every copy is exactly zero (no update ever
+    /// touched it, or every update was exactly cancelled). Stricter than
+    /// [`Self::is_empty`]: a stream that saw `+x, -y` in one epoch is
+    /// net-empty but not null, and its delta must still ship.
+    pub fn is_null(&self) -> bool {
+        self.sketches.iter().all(TwoLevelSketch::is_null)
+    }
+
     /// `true` if every copy is (net) empty.
     pub fn is_empty(&self) -> bool {
         self.sketches.iter().all(TwoLevelSketch::is_empty)
@@ -376,6 +405,55 @@ mod tests {
         for (m, a) in site1.sketches().iter().zip(all.sketches()) {
             assert_eq!(m.counters(), a.counters());
         }
+    }
+
+    #[test]
+    fn delta_since_is_exactly_the_new_traffic() {
+        let f = family();
+        let mut live = f.new_vector();
+        for e in 0..200u64 {
+            live.insert(e);
+        }
+        let baseline = live.clone();
+        // Epoch traffic: some inserts, one deletion of old data.
+        let mut epoch_only = f.new_vector();
+        for e in 200..320u64 {
+            live.insert(e);
+            epoch_only.insert(e);
+        }
+        live.delete(5);
+        epoch_only.delete(5);
+
+        let delta = live.delta_since(&baseline).unwrap();
+        for (d, w) in delta.sketches().iter().zip(epoch_only.sketches()) {
+            assert_eq!(d.counters(), w.counters());
+        }
+        // Replaying the delta onto the baseline reproduces the live state.
+        let mut replay = baseline.clone();
+        replay.merge_from(&delta).unwrap();
+        for (r, l) in replay.sketches().iter().zip(live.sketches()) {
+            assert_eq!(r.counters(), l.counters());
+        }
+    }
+
+    #[test]
+    fn null_detects_cancelled_but_touched_epochs() {
+        let f = family();
+        let mut v = f.new_vector();
+        assert!(v.is_null() && v.is_empty());
+        v.insert(7);
+        v.delete(9);
+        // Net-zero count, but cells were touched: empty yet not null.
+        assert!(!v.is_null());
+        let delta = v.delta_since(&v.clone()).unwrap();
+        assert!(delta.is_null(), "self-delta must be all-zero");
+    }
+
+    #[test]
+    fn subtract_rejects_incompatible_vectors() {
+        let mut a = family().new_vector();
+        let b = SketchFamily::builder().copies(8).seed(999).build().new_vector();
+        assert!(a.subtract_from(&b).is_err());
     }
 
     #[test]

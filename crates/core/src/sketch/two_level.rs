@@ -308,6 +308,27 @@ impl TwoLevelSketch {
         Ok(out)
     }
 
+    /// Subtract `other` from `self` cell-by-cell — the inverse of
+    /// [`Self::merge_from`]. Linearity makes the result exactly the
+    /// sketch of the updates in `self`'s stream that are *not* in
+    /// `other`'s, which is what epoch-delta shipping needs: a delta frame
+    /// carries `current − last_acknowledged`.
+    pub fn subtract_from(&mut self, other: &TwoLevelSketch) -> Result<(), EstimateError> {
+        self.check_compatible(other)?;
+        for (c, o) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *c -= o;
+        }
+        self.total -= other.total;
+        Ok(())
+    }
+
+    /// `true` if every cell is exactly zero. Stricter than
+    /// [`Self::is_empty`], which only checks the net total: a sketch of
+    /// `+x, -y` has total 0 but non-null cells.
+    pub fn is_null(&self) -> bool {
+        self.total == 0 && self.counters.iter().all(|&c| c == 0)
+    }
+
     /// Raw counter slice (row-major `[level][j][bit]`); used by the
     /// property checks and the wire format.
     pub fn counters(&self) -> &[i64] {

@@ -306,7 +306,7 @@ impl<'de> Decoder<'de> {
     }
 
     fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
-        Ok(self.take(N)?.try_into().expect("length checked"))
+        self.take(N)?.try_into().map_err(|_| CodecError::Eof)
     }
 
     fn read_u64(&mut self) -> Result<u64, CodecError> {

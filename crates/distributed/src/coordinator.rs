@@ -2,18 +2,42 @@
 //! set-expression cardinality queries (Figure 1's "Set-Expression Query
 //! Processing Engine", deployed in the stored-coins model).
 //!
+//! # Continuous collection
+//!
+//! The coordinator tracks, per `(site, stream)`, an **epoch watermark**
+//! (the last applied epoch) and the site's **cumulative contribution**
+//! (everything that site has reported for that stream so far). Incoming
+//! frames are guarded:
+//!
+//! * **Delta** frames merge additively, but only when their
+//!   `(epoch, prev_epoch)` stamps chain exactly onto the watermark — a
+//!   duplicate or out-of-order epoch is a typed [`CoordinatorError::StaleEpoch`],
+//!   a hole in the chain is a typed [`CoordinatorError::EpochGap`] that
+//!   flags the site for resync. Nothing is ever silently double-merged.
+//! * **Synopsis** frames are cumulative and *replace* the site's previous
+//!   contribution for the stream (the pre-epoch double-count footgun is
+//!   gone), which is also how resync heals a diverged site.
+//! * Sites whose frames repeatedly fail CRC/decode are **quarantined**:
+//!   further traffic from them is refused until released, but their last
+//!   good contribution keeps serving queries — the coordinator degrades
+//!   gracefully instead of blocking, and every query can be annotated
+//!   with per-stream staleness and collection health
+//!   ([`Coordinator::estimate_expression_annotated`]).
+//!
 //! Thread-safe: sites may deliver frames concurrently (ingestion takes a
 //! short [`parking_lot::Mutex`] critical section per frame), while queries
 //! snapshot under the same lock. Linearity of the sketches guarantees the
 //! merged synopsis equals a single-site synopsis of the combined traffic,
 //! regardless of delivery order.
 
-use crate::site::{Hello, SynopsisMessage};
 use crate::codec;
+use crate::site::{DeltaMessage, Epoch, EpochCommit, Hello, SiteId, SynopsisMessage};
 use crate::wire::{FrameKind, WireError};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use setstream_core::{estimate, Estimate, EstimateError, EstimatorOptions, SketchFamily, SketchVector};
+use setstream_core::{
+    estimate, Estimate, EstimateError, EstimatorOptions, SketchFamily, SketchVector,
+};
 use setstream_expr::SetExpr;
 use setstream_stream::StreamId;
 use std::collections::BTreeMap;
@@ -27,12 +51,57 @@ pub enum CoordinatorError {
     /// A site announced coins different from the coordinator's.
     CoinMismatch {
         /// The offending site.
-        site: u32,
+        site: SiteId,
     },
     /// A synopsis arrived that is incompatible with the family.
     Estimate(EstimateError),
     /// A query referenced a stream no site has reported.
     UnknownStream(StreamId),
+    /// A delta or snapshot for an epoch at or before the watermark — a
+    /// duplicate or out-of-order shipment. Never merged.
+    StaleEpoch {
+        /// Sender.
+        site: SiteId,
+        /// Stream concerned.
+        stream: StreamId,
+        /// The coordinator's applied watermark.
+        have: Epoch,
+        /// The epoch the frame carried.
+        got: Epoch,
+    },
+    /// A delta whose `prev_epoch` does not chain onto the watermark — at
+    /// least one epoch was lost in between. The site is flagged for
+    /// cumulative resync.
+    EpochGap {
+        /// Sender.
+        site: SiteId,
+        /// Stream concerned.
+        stream: StreamId,
+        /// The watermark the delta should have chained from.
+        expected_prev: Epoch,
+        /// The `prev_epoch` it actually carried.
+        got_prev: Epoch,
+        /// The epoch of the rejected delta.
+        epoch: Epoch,
+    },
+    /// The site is quarantined after repeated CRC/decode failures; its
+    /// frames are refused until [`Coordinator::release_quarantine`].
+    Quarantined {
+        /// The quarantined site.
+        site: SiteId,
+    },
+}
+
+impl CoordinatorError {
+    /// `true` for the epoch-accounting rejections that a cumulative
+    /// resync from the site will heal (retransmitting the same frame
+    /// cannot).
+    pub fn wants_resync(&self) -> bool {
+        matches!(
+            self,
+            CoordinatorError::StaleEpoch { .. } | CoordinatorError::EpochGap { .. }
+        )
+    }
 }
 
 impl fmt::Display for CoordinatorError {
@@ -44,6 +113,28 @@ impl fmt::Display for CoordinatorError {
             }
             CoordinatorError::Estimate(e) => write!(f, "estimation error: {e}"),
             CoordinatorError::UnknownStream(s) => write!(f, "no synopsis for stream {s}"),
+            CoordinatorError::StaleEpoch {
+                site,
+                stream,
+                have,
+                got,
+            } => write!(
+                f,
+                "site {site} stream {stream}: epoch {got} at or before watermark {have} (duplicate/out-of-order)"
+            ),
+            CoordinatorError::EpochGap {
+                site,
+                stream,
+                expected_prev,
+                got_prev,
+                epoch,
+            } => write!(
+                f,
+                "site {site} stream {stream}: delta for epoch {epoch} chains from {got_prev}, watermark is {expected_prev} — resync required"
+            ),
+            CoordinatorError::Quarantined { site } => {
+                write!(f, "site {site} is quarantined")
+            }
         }
     }
 }
@@ -62,20 +153,154 @@ impl From<EstimateError> for CoordinatorError {
     }
 }
 
+/// One site's bookkeeping at the coordinator.
+#[derive(Default)]
+struct SiteState {
+    /// The site said hello (synopses may arrive first; such sites exist
+    /// but are not listed by [`Coordinator::sites`] until they announce).
+    announced: bool,
+    /// `resume_epoch` from the site's last hello.
+    announced_epoch: Epoch,
+    /// Highest committed epoch (from `Commit` frames).
+    commit_epoch: Epoch,
+    /// Per-stream applied-epoch watermark.
+    watermarks: BTreeMap<StreamId, Epoch>,
+    /// Per-stream cumulative contribution from this site.
+    contributions: BTreeMap<StreamId, SketchVector>,
+    /// Consecutive CRC/decode failures attributed to this site.
+    wire_failures: u32,
+    /// Frames refused until released.
+    quarantined: bool,
+    /// The site needs a cumulative resync (epoch gap or stale restore).
+    needs_resync: bool,
+}
+
+/// A site's health as seen by the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteStatus {
+    /// Site identity.
+    pub site: SiteId,
+    /// `resume_epoch` from the site's last hello.
+    pub announced_epoch: Epoch,
+    /// Highest committed epoch.
+    pub commit_epoch: Epoch,
+    /// Refusing frames after repeated CRC/decode failures.
+    pub quarantined: bool,
+    /// Waiting for a cumulative resync.
+    pub needs_resync: bool,
+    /// Consecutive unattributable/corrupt frames so far.
+    pub wire_failures: u32,
+}
+
+/// Per-stream staleness of the merged synopsis backing an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStaleness {
+    /// The stream.
+    pub stream: StreamId,
+    /// Sites contributing to this stream.
+    pub reporting_sites: usize,
+    /// The oldest per-site applied epoch — how far behind the laggard is.
+    pub oldest_epoch: Epoch,
+    /// The newest per-site applied epoch.
+    pub newest_epoch: Epoch,
+}
+
+/// Collection-wide health counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollectionHealth {
+    /// Sites that have announced themselves.
+    pub sites: usize,
+    /// Sites currently quarantined.
+    pub quarantined: usize,
+    /// Sites whose commit epoch trails the most advanced site.
+    pub lagging: usize,
+    /// Sites flagged for cumulative resync.
+    pub resync_pending: usize,
+}
+
+/// An estimate plus the metadata a consumer needs to judge how fresh it
+/// is under partial failure.
+#[derive(Debug, Clone)]
+pub struct AnnotatedEstimate {
+    /// The cardinality estimate.
+    pub estimate: Estimate,
+    /// Staleness of every stream the query touched.
+    pub staleness: Vec<StreamStaleness>,
+    /// Collection-wide health at query time.
+    pub health: CollectionHealth,
+}
+
 #[derive(Default)]
 struct State {
-    /// Merged synopsis per logical stream.
-    merged: BTreeMap<StreamId, SketchVector>,
+    /// Per-site bookkeeping (watermarks, contributions, quarantine).
+    sites: BTreeMap<SiteId, SiteState>,
     /// Frames ingested (diagnostics).
     frames: u64,
-    /// Sites seen via hello frames.
-    sites: Vec<u32>,
+}
+
+impl State {
+    fn merged_vector(&self, stream: StreamId) -> Option<SketchVector> {
+        let mut merged: Option<SketchVector> = None;
+        for st in self.sites.values() {
+            if let Some(contribution) = st.contributions.get(&stream) {
+                match merged.as_mut() {
+                    None => merged = Some(contribution.clone()),
+                    Some(m) => m
+                        .merge_from(contribution)
+                        .expect("contributions validated on ingest"),
+                }
+            }
+        }
+        merged
+    }
+
+    fn staleness_of(&self, stream: StreamId) -> StreamStaleness {
+        let mut reporting = 0usize;
+        let mut oldest = Epoch::MAX;
+        let mut newest = 0;
+        for st in self.sites.values() {
+            if st.contributions.contains_key(&stream) {
+                reporting += 1;
+                let epoch = st.watermarks.get(&stream).copied().unwrap_or(0);
+                oldest = oldest.min(epoch);
+                newest = newest.max(epoch);
+            }
+        }
+        StreamStaleness {
+            stream,
+            reporting_sites: reporting,
+            oldest_epoch: if reporting == 0 { 0 } else { oldest },
+            newest_epoch: newest,
+        }
+    }
+
+    fn health(&self) -> CollectionHealth {
+        let max_commit = self
+            .sites
+            .values()
+            .map(|s| s.commit_epoch)
+            .max()
+            .unwrap_or(0);
+        CollectionHealth {
+            sites: self.sites.values().filter(|s| s.announced).count(),
+            quarantined: self.sites.values().filter(|s| s.quarantined).count(),
+            lagging: self
+                .sites
+                .values()
+                .filter(|s| s.commit_epoch < max_commit)
+                .count(),
+            resync_pending: self.sites.values().filter(|s| s.needs_resync).count(),
+        }
+    }
 }
 
 /// The query-processing coordinator.
 pub struct Coordinator {
     family: SketchFamily,
     options: EstimatorOptions,
+    /// Consecutive attributed CRC/decode failures before a site is
+    /// quarantined.
+    quarantine_after: u32,
     state: Mutex<State>,
 }
 
@@ -85,6 +310,7 @@ impl Coordinator {
         Coordinator {
             family,
             options: EstimatorOptions::default(),
+            quarantine_after: 8,
             state: Mutex::new(State::default()),
         }
     }
@@ -96,41 +322,152 @@ impl Coordinator {
         self
     }
 
+    /// Override how many *consecutive* attributed CRC/decode failures
+    /// quarantine a site (default 8 — a 10%-corruption link hits that
+    /// spuriously about once in 10⁸ frames).
+    ///
+    /// # Panics
+    /// Panics if `threshold` is zero.
+    pub fn with_quarantine_after(mut self, threshold: u32) -> Self {
+        assert!(threshold >= 1, "quarantine threshold must be positive");
+        self.quarantine_after = threshold;
+        self
+    }
+
     /// The stored coins queries are answered under.
     pub fn family(&self) -> &SketchFamily {
         &self.family
     }
 
-    /// Ingest one frame from a site.
+    /// Ingest one frame from an unidentified transport. CRC/decode
+    /// failures cannot be attributed to a site here, so they do not count
+    /// toward quarantine — prefer [`Self::ingest_frame_from`] when the
+    /// link identifies its site.
     pub fn ingest_frame(&self, frame: &Bytes) -> Result<(), CoordinatorError> {
         // Decode outside the lock; merge inside.
         let (kind, payload) = crate::wire::decode_frame(frame.clone())?;
+        self.apply(kind, &payload)
+    }
+
+    /// Ingest one frame that arrived on `site`'s link, with failure
+    /// accounting: repeated CRC/decode failures quarantine the site, and
+    /// frames from a quarantined site are refused outright.
+    pub fn ingest_frame_from(&self, site: SiteId, frame: &Bytes) -> Result<(), CoordinatorError> {
+        if self.state.lock().sites.get(&site).is_some_and(|s| s.quarantined) {
+            return Err(CoordinatorError::Quarantined { site });
+        }
+        let decoded = crate::wire::decode_frame(frame.clone());
+        let result = match decoded {
+            Ok((kind, payload)) => self.apply(kind, &payload),
+            Err(e) => Err(CoordinatorError::Wire(e)),
+        };
+        let mut st = self.state.lock();
+        let entry = st.sites.entry(site).or_default();
+        match &result {
+            Err(CoordinatorError::Wire(_)) => {
+                entry.wire_failures += 1;
+                if entry.wire_failures >= self.quarantine_after {
+                    entry.quarantined = true;
+                }
+            }
+            _ => entry.wire_failures = 0,
+        }
+        result
+    }
+
+    fn apply(&self, kind: FrameKind, payload: &Bytes) -> Result<(), CoordinatorError> {
         match kind {
             FrameKind::Hello => {
-                let hello: Hello = codec::from_bytes(&payload).map_err(WireError::from)?;
+                let hello: Hello = codec::from_bytes(payload).map_err(WireError::from)?;
                 if hello.family != self.family {
                     return Err(CoordinatorError::CoinMismatch { site: hello.site });
                 }
                 let mut st = self.state.lock();
                 st.frames += 1;
-                if !st.sites.contains(&hello.site) {
-                    st.sites.push(hello.site);
+                let entry = st.sites.entry(hello.site).or_default();
+                entry.announced = true;
+                entry.announced_epoch = hello.resume_epoch;
+                if hello.resume_epoch < entry.commit_epoch {
+                    // The site restored from a checkpoint older than what
+                    // we already applied — its epoch numbering is about to
+                    // collide with history. Only a cumulative resync can
+                    // realign it.
+                    entry.needs_resync = true;
                 }
             }
             FrameKind::Synopsis => {
-                let msg: SynopsisMessage =
-                    codec::from_bytes(&payload).map_err(WireError::from)?;
+                let msg: SynopsisMessage = codec::from_bytes(payload).map_err(WireError::from)?;
                 if msg.vector.family() != &self.family {
                     return Err(CoordinatorError::CoinMismatch { site: msg.site });
                 }
                 let mut st = self.state.lock();
                 st.frames += 1;
-                match st.merged.get_mut(&msg.stream) {
+                let entry = st.sites.entry(msg.site).or_default();
+                if entry.quarantined {
+                    return Err(CoordinatorError::Quarantined { site: msg.site });
+                }
+                let watermark = entry.watermarks.get(&msg.stream).copied().unwrap_or(0);
+                if msg.epoch < watermark {
+                    return Err(CoordinatorError::StaleEpoch {
+                        site: msg.site,
+                        stream: msg.stream,
+                        have: watermark,
+                        got: msg.epoch,
+                    });
+                }
+                // Cumulative snapshot: REPLACE the previous contribution.
+                // Re-merging it would double-count all prior traffic.
+                entry.contributions.insert(msg.stream, msg.vector);
+                entry.watermarks.insert(msg.stream, msg.epoch);
+                entry.needs_resync = false;
+            }
+            FrameKind::Delta => {
+                let msg: DeltaMessage = codec::from_bytes(payload).map_err(WireError::from)?;
+                if msg.vector.family() != &self.family {
+                    return Err(CoordinatorError::CoinMismatch { site: msg.site });
+                }
+                let mut st = self.state.lock();
+                st.frames += 1;
+                let entry = st.sites.entry(msg.site).or_default();
+                if entry.quarantined {
+                    return Err(CoordinatorError::Quarantined { site: msg.site });
+                }
+                let watermark = entry.watermarks.get(&msg.stream).copied().unwrap_or(0);
+                if msg.epoch <= watermark {
+                    return Err(CoordinatorError::StaleEpoch {
+                        site: msg.site,
+                        stream: msg.stream,
+                        have: watermark,
+                        got: msg.epoch,
+                    });
+                }
+                if msg.prev_epoch != watermark {
+                    entry.needs_resync = true;
+                    return Err(CoordinatorError::EpochGap {
+                        site: msg.site,
+                        stream: msg.stream,
+                        expected_prev: watermark,
+                        got_prev: msg.prev_epoch,
+                        epoch: msg.epoch,
+                    });
+                }
+                match entry.contributions.get_mut(&msg.stream) {
                     Some(existing) => existing.merge_from(&msg.vector)?,
                     None => {
-                        st.merged.insert(msg.stream, msg.vector);
+                        entry.contributions.insert(msg.stream, msg.vector);
                     }
                 }
+                entry.watermarks.insert(msg.stream, msg.epoch);
+            }
+            FrameKind::Commit => {
+                let msg: EpochCommit = codec::from_bytes(payload).map_err(WireError::from)?;
+                let mut st = self.state.lock();
+                st.frames += 1;
+                let entry = st.sites.entry(msg.site).or_default();
+                if entry.quarantined {
+                    return Err(CoordinatorError::Quarantined { site: msg.site });
+                }
+                entry.commit_epoch = entry.commit_epoch.max(msg.epoch);
             }
             FrameKind::Flush => {
                 self.state.lock().frames += 1;
@@ -141,12 +478,28 @@ impl Coordinator {
 
     /// Streams for which a merged synopsis exists.
     pub fn streams(&self) -> Vec<StreamId> {
-        self.state.lock().merged.keys().copied().collect()
+        let st = self.state.lock();
+        let mut out: Vec<StreamId> = Vec::new();
+        for site in st.sites.values() {
+            for &stream in site.contributions.keys() {
+                if !out.contains(&stream) {
+                    out.push(stream);
+                }
+            }
+        }
+        out.sort_unstable_by_key(|s| s.0);
+        out
     }
 
     /// Sites that have said hello.
-    pub fn sites(&self) -> Vec<u32> {
-        self.state.lock().sites.clone()
+    pub fn sites(&self) -> Vec<SiteId> {
+        self.state
+            .lock()
+            .sites
+            .iter()
+            .filter(|(_, s)| s.announced)
+            .map(|(&id, _)| id)
+            .collect()
     }
 
     /// Total frames ingested.
@@ -154,32 +507,87 @@ impl Coordinator {
         self.state.lock().frames
     }
 
+    /// The merged global synopsis of one stream (sum of every site's
+    /// contribution), if any site has reported it.
+    pub fn merged_synopsis(&self, stream: StreamId) -> Option<SketchVector> {
+        self.state.lock().merged_vector(stream)
+    }
+
+    /// One site's health, if the coordinator has heard of it.
+    pub fn site_status(&self, site: SiteId) -> Option<SiteStatus> {
+        let st = self.state.lock();
+        st.sites.get(&site).map(|s| SiteStatus {
+            site,
+            announced_epoch: s.announced_epoch,
+            commit_epoch: s.commit_epoch,
+            quarantined: s.quarantined,
+            needs_resync: s.needs_resync,
+            wire_failures: s.wire_failures,
+        })
+    }
+
+    /// Collection-wide health counters.
+    pub fn health(&self) -> CollectionHealth {
+        self.state.lock().health()
+    }
+
+    /// Lift a site's quarantine and reset its failure counter (after the
+    /// operator or the collection driver has dealt with the cause). The
+    /// site's next frames are accepted again; its watermark state is
+    /// untouched.
+    pub fn release_quarantine(&self, site: SiteId) {
+        let mut st = self.state.lock();
+        if let Some(entry) = st.sites.get_mut(&site) {
+            entry.quarantined = false;
+            entry.wire_failures = 0;
+        }
+    }
+
     /// Estimate `|E|` over the merged global synopses.
     pub fn estimate_expression(&self, expr: &SetExpr) -> Result<Estimate, CoordinatorError> {
+        Ok(self.estimate_expression_annotated(expr)?.estimate)
+    }
+
+    /// Estimate `|E|` and annotate the answer with per-stream staleness
+    /// and collection health — the graceful-degradation contract: the
+    /// answer is always served from the freshest merged state available,
+    /// and the caller can see exactly how stale that is.
+    pub fn estimate_expression_annotated(
+        &self,
+        expr: &SetExpr,
+    ) -> Result<AnnotatedEstimate, CoordinatorError> {
         let st = self.state.lock();
-        let mut pairs: Vec<(StreamId, &SketchVector)> = Vec::new();
+        let mut merged: Vec<(StreamId, SketchVector)> = Vec::new();
+        let mut staleness = Vec::new();
         for id in expr.streams() {
             let v = st
-                .merged
-                .get(&id)
+                .merged_vector(id)
                 .ok_or(CoordinatorError::UnknownStream(id))?;
-            pairs.push((id, v));
+            merged.push((id, v));
+            staleness.push(st.staleness_of(id));
         }
-        Ok(estimate::expression(expr, &pairs, &self.options)?)
+        let pairs: Vec<(StreamId, &SketchVector)> =
+            merged.iter().map(|(id, v)| (*id, v)).collect();
+        let estimate = estimate::expression(expr, &pairs, &self.options)?;
+        Ok(AnnotatedEstimate {
+            estimate,
+            staleness,
+            health: st.health(),
+        })
     }
 
     /// Estimate the distinct-count union over a set of streams.
     pub fn estimate_union(&self, streams: &[StreamId]) -> Result<Estimate, CoordinatorError> {
         let st = self.state.lock();
-        let mut vs: Vec<&SketchVector> = Vec::with_capacity(streams.len());
+        let mut merged: Vec<SketchVector> = Vec::with_capacity(streams.len());
         for id in streams {
-            vs.push(
-                st.merged
-                    .get(id)
+            merged.push(
+                st.merged_vector(*id)
                     .ok_or(CoordinatorError::UnknownStream(*id))?,
             );
         }
-        Ok(estimate::union(&vs, &self.options)?)
+        let refs: Vec<&SketchVector> = merged.iter().collect();
+        Ok(estimate::union(&refs, &self.options)?)
     }
 }
 
@@ -258,6 +666,36 @@ mod tests {
     }
 
     #[test]
+    fn repeated_cumulative_snapshots_replace_not_double_count() {
+        // Regression for the periodic-collection footgun: a site that
+        // ships its (growing) cumulative snapshot twice must contribute
+        // its traffic exactly once.
+        let fam = family();
+        let mut site = Site::new(1, fam);
+        let coord = Coordinator::new(fam);
+        for e in 0..1500u64 {
+            site.observe(&Update::insert(StreamId(0), e, 1));
+        }
+        deliver(&site, &coord); // first periodic snapshot
+        for e in 1500..2000u64 {
+            site.observe(&Update::insert(StreamId(0), e, 1));
+        }
+        deliver(&site, &coord); // second periodic snapshot of the SAME site
+
+        let est = coord.estimate_union(&[StreamId(0)]).unwrap().value;
+        let direct = estimate::union(
+            &[site.synopsis(StreamId(0)).unwrap()],
+            &EstimatorOptions::default(),
+        )
+        .unwrap()
+        .value;
+        assert_eq!(
+            est, direct,
+            "second snapshot must replace the first, not merge on top of it"
+        );
+    }
+
+    #[test]
     fn coin_mismatch_is_rejected() {
         let coord = Coordinator::new(family());
         let other = SketchFamily::builder().copies(64).seed(999).build();
@@ -317,5 +755,193 @@ mod tests {
         let est = coord.estimate_union(&[StreamId(0)]).unwrap().value;
         let rel = (est - 4000.0).abs() / 4000.0;
         assert!(rel < 0.3, "estimate {est}");
+    }
+
+    fn deliver_cut(cut: &crate::site::EpochCut, coord: &Coordinator) {
+        for frame in &cut.frames {
+            coord.ingest_frame(frame).unwrap();
+        }
+    }
+
+    #[test]
+    fn epoch_deltas_accumulate_and_duplicates_are_typed_rejections() {
+        let fam = family();
+        let mut site = Site::new(1, fam);
+        let coord = Coordinator::new(fam);
+        for e in 0..600u64 {
+            site.observe(&Update::insert(StreamId(0), e, 1));
+        }
+        let first = site.cut_epoch().unwrap();
+        deliver_cut(&first, &coord);
+        for e in 600..900u64 {
+            site.observe(&Update::insert(StreamId(0), e, 1));
+        }
+        let second = site.cut_epoch().unwrap();
+        deliver_cut(&second, &coord);
+
+        // Merged state equals the site's cumulative synopsis exactly.
+        let merged = coord.merged_synopsis(StreamId(0)).unwrap();
+        for (m, s) in merged
+            .sketches()
+            .iter()
+            .zip(site.synopsis(StreamId(0)).unwrap().sketches())
+        {
+            assert_eq!(m.counters(), s.counters());
+        }
+
+        // Re-delivering epoch 2's delta is a typed StaleEpoch rejection.
+        let delta_frame = &second.frames[1];
+        match coord.ingest_frame(delta_frame) {
+            Err(CoordinatorError::StaleEpoch { have: 2, got: 2, .. }) => {}
+            other => panic!("expected StaleEpoch, got {other:?}"),
+        }
+        // And the merged state is unchanged.
+        let after = coord.merged_synopsis(StreamId(0)).unwrap();
+        for (a, b) in after.sketches().iter().zip(merged.sketches()) {
+            assert_eq!(a.counters(), b.counters());
+        }
+    }
+
+    #[test]
+    fn epoch_gap_is_rejected_and_flags_resync() {
+        let fam = family();
+        let mut site = Site::new(1, fam);
+        let coord = Coordinator::new(fam);
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        let first = site.cut_epoch().unwrap();
+        deliver_cut(&first, &coord);
+
+        // Epoch 2 is lost entirely; epoch 3 arrives chaining from 2.
+        site.observe(&Update::insert(StreamId(0), 2, 1));
+        let _lost = site.cut_epoch().unwrap();
+        site.observe(&Update::insert(StreamId(0), 3, 1));
+        let third = site.cut_epoch().unwrap();
+        let delta = &third.frames[1];
+        match coord.ingest_frame(delta) {
+            Err(CoordinatorError::EpochGap {
+                expected_prev: 1,
+                got_prev: 2,
+                epoch: 3,
+                ..
+            }) => {}
+            other => panic!("expected EpochGap, got {other:?}"),
+        }
+        assert!(coord.site_status(1).unwrap().needs_resync);
+
+        // The resync heals it: contribution replaced, watermark realigned.
+        for f in site.resync_frames().unwrap() {
+            coord.ingest_frame(&f).unwrap();
+        }
+        assert!(!coord.site_status(1).unwrap().needs_resync);
+        let merged = coord.merged_synopsis(StreamId(0)).unwrap();
+        for (m, s) in merged
+            .sketches()
+            .iter()
+            .zip(site.synopsis(StreamId(0)).unwrap().sketches())
+        {
+            assert_eq!(m.counters(), s.counters());
+        }
+        // And the chain continues: epoch 4 applies cleanly.
+        site.observe(&Update::insert(StreamId(0), 4, 1));
+        let fourth = site.cut_epoch().unwrap();
+        deliver_cut(&fourth, &coord);
+        assert_eq!(
+            coord
+                .merged_synopsis(StreamId(0))
+                .unwrap()
+                .sketches()[0]
+                .total_count(),
+            4
+        );
+    }
+
+    #[test]
+    fn stale_restore_is_flagged_on_hello() {
+        let fam = family();
+        let mut site = Site::new(1, fam);
+        let coord = Coordinator::new(fam);
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        let first = site.cut_epoch().unwrap();
+        let wal = first.checkpoint.clone();
+        deliver_cut(&first, &coord);
+        site.observe(&Update::insert(StreamId(0), 2, 1));
+        deliver_cut(&site.cut_epoch().unwrap(), &coord);
+        assert_eq!(coord.site_status(1).unwrap().commit_epoch, 2);
+
+        // The site comes back from the epoch-1 checkpoint: its hello
+        // announces resume_epoch 1 < commit 2 → resync flagged.
+        let restored = Site::restore_from_bytes(&wal).unwrap();
+        coord.ingest_frame(&restored.hello_frame().unwrap()).unwrap();
+        assert!(coord.site_status(1).unwrap().needs_resync);
+    }
+
+    #[test]
+    fn repeated_wire_failures_quarantine_and_release_recovers() {
+        let fam = family();
+        let mut site = Site::new(4, fam);
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        let frames = site.snapshot_frames().unwrap();
+        let coord = Coordinator::new(fam).with_quarantine_after(3);
+
+        let mut corrupt = frames[1].to_vec();
+        corrupt[frames[1].len() / 2] ^= 0xff;
+        let corrupt = Bytes::from(corrupt);
+        for _ in 0..3 {
+            assert!(matches!(
+                coord.ingest_frame_from(4, &corrupt),
+                Err(CoordinatorError::Wire(_))
+            ));
+        }
+        // Quarantined now: even pristine frames are refused.
+        assert!(coord.site_status(4).unwrap().quarantined);
+        assert!(matches!(
+            coord.ingest_frame_from(4, &frames[1]),
+            Err(CoordinatorError::Quarantined { site: 4 })
+        ));
+        assert_eq!(coord.health().quarantined, 1);
+
+        // Release → the site works again.
+        coord.release_quarantine(4);
+        coord.ingest_frame_from(4, &frames[1]).unwrap();
+        assert_eq!(coord.health().quarantined, 0);
+    }
+
+    #[test]
+    fn queries_survive_partial_failure_with_staleness_annotation() {
+        let fam = family();
+        let coord = Coordinator::new(fam).with_quarantine_after(1);
+        let mut healthy = Site::new(1, fam);
+        let mut flaky = Site::new(2, fam);
+        for e in 0..800u64 {
+            healthy.observe(&Update::insert(StreamId(0), e, 1));
+            flaky.observe(&Update::insert(StreamId(0), e + 400, 1));
+        }
+        // Both sites deliver epoch 1.
+        for cut in [healthy.cut_epoch().unwrap(), flaky.cut_epoch().unwrap()] {
+            for f in &cut.frames {
+                coord.ingest_frame(f).unwrap();
+            }
+        }
+        // Flaky site advances but only garbage arrives → quarantined.
+        flaky.observe(&Update::insert(StreamId(0), 9999, 1));
+        coord.ingest_frame_from(2, &Bytes::from_static(b"garbage")).unwrap_err();
+        assert!(coord.site_status(2).unwrap().quarantined);
+        // Healthy site keeps going.
+        healthy.observe(&Update::insert(StreamId(0), 5000, 1));
+        let cut = healthy.cut_epoch().unwrap();
+        for f in &cut.frames {
+            coord.ingest_frame_from(1, f).unwrap();
+        }
+
+        let annotated = coord
+            .estimate_expression_annotated(&"A".parse().unwrap())
+            .unwrap();
+        assert_eq!(annotated.health.quarantined, 1);
+        assert_eq!(annotated.staleness.len(), 1);
+        let s = annotated.staleness[0];
+        assert_eq!(s.reporting_sites, 2);
+        assert_eq!(s.oldest_epoch, 1, "flaky site is one epoch behind");
+        assert_eq!(s.newest_epoch, 2);
+        assert!(annotated.estimate.value > 0.0);
     }
 }

@@ -10,38 +10,56 @@
 //! and answers set-expression cardinality queries over the union of all
 //! traffic.
 //!
+//! Collection is **continuous**: sites cut numbered *epochs* and ship
+//! compact **delta frames** (counter changes since the last shipped
+//! epoch); the coordinator guards every merge with per-`(site, stream)`
+//! epoch watermarks so duplicates, reordering and crash-restarts can
+//! never double-count, and degrades gracefully (quarantine + staleness
+//! annotations) when a site misbehaves.
+//!
 //! Modules:
 //!
 //! * [`codec`] — a compact, non-self-describing binary serde format
 //!   (little-endian, length-prefixed), written from scratch;
 //! * [`wire`] — length-delimited, CRC-checked frames over [`bytes`];
-//! * [`site`] — the per-site stream processor;
-//! * [`coordinator`] — synopsis ingestion, merging and query answering.
+//! * [`site`] — the per-site stream processor: epoch cuts, delta frames,
+//!   sealed crash-recovery checkpoints;
+//! * [`coordinator`] — watermark-guarded ingestion, merging, quarantine,
+//!   and (staleness-annotated) query answering;
+//! * [`network`] — a fault-injecting link plus the collection drivers
+//!   ([`network::deliver_reliably`], [`network::collect_epoch`]).
 //!
-//! # Example
+//! # Example: continuous collection
 //!
 //! ```
 //! use setstream_core::SketchFamily;
-//! use setstream_distributed::{coordinator::Coordinator, site::Site};
+//! use setstream_distributed::coordinator::Coordinator;
+//! use setstream_distributed::network::{collect_epoch, CollectionOptions, FaultSpec, LossyLink};
+//! use setstream_distributed::site::Site;
 //! use setstream_stream::{StreamId, Update};
 //!
 //! let family = SketchFamily::builder().copies(64).seed(7).build();
-//! let mut site1 = Site::new(1, family);
-//! let mut site2 = Site::new(2, family);
-//! // The same logical stream A observed at two sites.
-//! for e in 0..500u64 {
-//!     site1.observe(&Update::insert(StreamId(0), e, 1));
-//!     site2.observe(&Update::insert(StreamId(0), e + 300, 1));
+//! let mut site = Site::new(1, family);
+//! let coord = Coordinator::new(family);
+//! let mut link = LossyLink::new(FaultSpec::nasty(), 42).unwrap();
+//! let opts = CollectionOptions::default();
+//!
+//! // Periodic collection: observe, cut an epoch, ship the delta.
+//! for epoch in 0..3u64 {
+//!     for e in 0..300 {
+//!         site.observe(&Update::insert(StreamId(0), epoch * 1000 + e, 1));
+//!     }
+//!     let report = collect_epoch(&mut site, &mut link, &coord, &opts).unwrap();
+//!     // `report.checkpoint` is the site's sealed WAL — persist it, and
+//!     // `Site::restore_from_bytes` it after a crash.
+//!     assert_eq!(report.epoch, epoch + 1);
 //! }
-//! let mut coord = Coordinator::new(family);
-//! for frame in site1.snapshot_frames().unwrap() {
-//!     coord.ingest_frame(&frame).unwrap();
-//! }
-//! for frame in site2.snapshot_frames().unwrap() {
-//!     coord.ingest_frame(&frame).unwrap();
-//! }
-//! let est = coord.estimate_expression(&"A".parse().unwrap()).unwrap();
-//! assert!((est.value - 800.0).abs() / 800.0 < 0.3);
+//!
+//! let answer = coord
+//!     .estimate_expression_annotated(&"A".parse().unwrap())
+//!     .unwrap();
+//! assert!((answer.estimate.value - 900.0).abs() / 900.0 < 0.3);
+//! assert_eq!(answer.staleness[0].newest_epoch, 3);
 //! ```
 
 #![warn(missing_docs)]
@@ -50,6 +68,7 @@
 pub mod codec;
 pub mod coordinator;
 pub mod network;
+pub mod persist;
 pub mod site;
 pub mod wire;
 

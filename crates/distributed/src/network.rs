@@ -1,12 +1,12 @@
-//! An in-memory lossy network and a reliable-delivery layer for synopsis
-//! collection.
+//! An in-memory lossy network, a reliable-delivery layer, and the
+//! epoch-collection driver.
 //!
 //! The paper's deployment ships synopses from sites to a central
 //! processor "periodically" over a real network; frames can be dropped,
 //! corrupted, duplicated or reordered in flight. Because the coordinator
-//! *merges* synopsis frames (cell-wise addition), raw retransmission
-//! would double-count — so collection runs over a small
-//! acknowledge-and-dedup protocol:
+//! *merges* delta frames (cell-wise addition), raw retransmission would
+//! double-count — so collection runs over a small acknowledge-and-dedup
+//! protocol:
 //!
 //! * every frame travels in an **envelope** with a unique id;
 //! * the receiver ignores envelope ids it has already accepted, verifies
@@ -14,12 +14,16 @@
 //! * the sender retransmits unacknowledged envelopes each round.
 //!
 //! [`LossyLink`] injects seeded faults; [`deliver_reliably`] runs the
-//! protocol to completion and reports the rounds and retransmissions it
-//! needed. Tests (and `tests/distributed_pipeline.rs`) show that the
-//! merged synopsis is exactly right no matter the fault pattern — as long
-//! as every frame eventually gets through.
+//! protocol to completion for a one-shot batch, and [`collect_epoch`] is
+//! the continuous-collection driver: it cuts an epoch at the site, ships
+//! the delta frames, reacts to the coordinator's typed rejections
+//! (cumulative resync on epoch gaps, bounded backoff-and-release on
+//! quarantine), and returns the site's crash-recovery checkpoint for the
+//! caller to persist.
 
 use crate::coordinator::{Coordinator, CoordinatorError};
+use crate::site::{Epoch, Site};
+use crate::wire::WireError;
 use bytes::{BufMut, Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,6 +42,27 @@ pub struct FaultSpec {
     /// Shuffle delivery order within a round.
     pub reorder: bool,
 }
+
+/// A [`FaultSpec`] field that is not a probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpecError {
+    /// Which probability field is out of range.
+    pub field: &'static str,
+    /// The offending value.
+    pub value: f64,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault probability `{}` = {} outside [0, 1]",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
 
 impl FaultSpec {
     /// A perfect link.
@@ -61,14 +86,18 @@ impl FaultSpec {
         }
     }
 
-    fn validate(&self) {
-        for (name, p) in [
+    /// Check every probability is in `[0, 1]` (and not NaN).
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
+        for (field, value) in [
             ("drop", self.drop),
             ("corrupt", self.corrupt),
             ("duplicate", self.duplicate),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} probability out of range");
+            if !(0.0..=1.0).contains(&value) {
+                return Err(FaultSpecError { field, value });
+            }
         }
+        Ok(())
     }
 }
 
@@ -88,16 +117,16 @@ pub struct LossyLink {
 
 impl LossyLink {
     /// A link with the given faults and deterministic seed.
-    pub fn new(spec: FaultSpec, seed: u64) -> Self {
-        spec.validate();
-        LossyLink {
+    pub fn new(spec: FaultSpec, seed: u64) -> Result<Self, FaultSpecError> {
+        spec.validate()?;
+        Ok(LossyLink {
             spec,
             rng: StdRng::seed_from_u64(seed),
             in_flight: Vec::new(),
             sent: 0,
             dropped: 0,
             corrupted: 0,
-        }
+        })
     }
 
     /// Offer a frame for transmission.
@@ -250,6 +279,245 @@ pub fn deliver_reliably(
     })
 }
 
+/// Knobs for [`collect_epoch`].
+#[derive(Debug, Clone, Copy)]
+pub struct CollectionOptions {
+    /// Retransmission rounds per delivery attempt.
+    pub max_rounds: u32,
+    /// Delivery attempts (each separated by a quarantine release and
+    /// backoff) before giving up.
+    pub max_attempts: u32,
+    /// Base backoff, in drained link rounds, after a quarantine; doubles
+    /// per subsequent attempt.
+    pub backoff_rounds: u32,
+}
+
+impl Default for CollectionOptions {
+    fn default() -> Self {
+        CollectionOptions {
+            max_rounds: 64,
+            max_attempts: 4,
+            backoff_rounds: 1,
+        }
+    }
+}
+
+/// What one [`collect_epoch`] run did.
+#[derive(Debug, Clone)]
+pub struct CollectionReport {
+    /// The epoch that was cut and shipped.
+    pub epoch: Epoch,
+    /// Delivery attempts used (1 = no quarantine trouble).
+    pub attempts: u32,
+    /// Total retransmission rounds across all attempts.
+    pub rounds: u32,
+    /// Total envelope transmissions.
+    pub transmissions: u64,
+    /// Cumulative resyncs the coordinator demanded.
+    pub resyncs: u32,
+    /// The site's sealed post-cut checkpoint — persist this before
+    /// acknowledging the epoch upstream, and feed it to
+    /// [`Site::restore_from_bytes`] after a crash.
+    pub checkpoint: Vec<u8>,
+}
+
+/// Epoch-collection failure.
+#[derive(Debug)]
+pub enum CollectionError {
+    /// Attempt/round budget exhausted with frames unacknowledged (e.g. a
+    /// blackout link, or a site that cannot leave quarantine).
+    Undelivered {
+        /// Frames that never made it.
+        missing: usize,
+        /// Attempts used.
+        attempts: u32,
+    },
+    /// The coordinator rejected a valid frame for an unrecoverable reason
+    /// (coin mismatch, estimator incompatibility).
+    Rejected(CoordinatorError),
+    /// Framing the site's state failed.
+    Wire(WireError),
+}
+
+impl fmt::Display for CollectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectionError::Undelivered { missing, attempts } => {
+                write!(f, "{missing} frames undelivered after {attempts} attempts")
+            }
+            CollectionError::Rejected(e) => write!(f, "coordinator rejected collection: {e}"),
+            CollectionError::Wire(e) => write!(f, "framing error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectionError {}
+
+impl From<WireError> for CollectionError {
+    fn from(e: WireError) -> Self {
+        CollectionError::Wire(e)
+    }
+}
+
+/// Deliver one batch site-attributed, reacting to the coordinator's typed
+/// verdicts. Returns `(resync_needed, rounds_used)`.
+fn deliver_epoch_batch(
+    frames: &[Bytes],
+    site_id: u32,
+    link: &mut LossyLink,
+    coordinator: &Coordinator,
+    opts: &CollectionOptions,
+    attempts: &mut u32,
+    transmissions: &mut u64,
+) -> Result<(bool, u32), CollectionError> {
+    let mut acked: Vec<bool> = vec![false; frames.len()];
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut resync_needed = false;
+    let mut rounds_used = 0u32;
+    loop {
+        let mut blocked = false;
+        for round in 1..=opts.max_rounds {
+            rounds_used = rounds_used.max(round);
+            for (i, frame) in frames.iter().enumerate() {
+                if !acked[i] {
+                    link.send(envelope(i as u64, frame));
+                    *transmissions += 1;
+                }
+            }
+            for received in link.drain() {
+                if blocked {
+                    continue; // discard the rest of the round's traffic
+                }
+                let Some((id, frame)) = open_envelope(received) else {
+                    continue;
+                };
+                let Some(slot) = acked.get_mut(id as usize) else {
+                    continue;
+                };
+                if seen.contains(&id) {
+                    continue;
+                }
+                match coordinator.ingest_frame_from(site_id, &frame) {
+                    Ok(()) => {
+                        seen.insert(id);
+                        *slot = true;
+                    }
+                    Err(CoordinatorError::Wire(_)) => {
+                        // Corrupted in flight: retransmit next round.
+                    }
+                    Err(e) if e.wants_resync() => {
+                        // This frame can never apply; the cumulative
+                        // resync that follows supersedes it.
+                        seen.insert(id);
+                        *slot = true;
+                        resync_needed = true;
+                    }
+                    Err(CoordinatorError::Quarantined { .. }) => {
+                        blocked = true;
+                    }
+                    Err(fatal) => return Err(CollectionError::Rejected(fatal)),
+                }
+            }
+            if blocked {
+                break;
+            }
+            if acked.iter().all(|&a| a) {
+                return Ok((resync_needed, rounds_used));
+            }
+        }
+        *attempts += 1;
+        if *attempts >= opts.max_attempts {
+            return Err(CollectionError::Undelivered {
+                missing: acked.iter().filter(|&&a| !a).count(),
+                attempts: *attempts,
+            });
+        }
+        if blocked {
+            // Back off: let the (doubling) quiet period flush whatever is
+            // still in flight, then ask for another chance.
+            let quiet = opts.backoff_rounds.saturating_mul(1 << (*attempts - 1).min(16));
+            for _ in 0..quiet {
+                link.drain();
+            }
+            coordinator.release_quarantine(site_id);
+        }
+        // Otherwise the round budget ran out (heavy loss): retry the
+        // unacked remainder in a fresh attempt.
+    }
+}
+
+/// Run one full collection cycle for `site`: cut the next epoch, ship its
+/// delta frames across `link` with retransmission and dedup, honour the
+/// coordinator's typed verdicts (epoch gaps and stale epochs trigger a
+/// cumulative resync; quarantine triggers bounded backoff-and-release),
+/// and hand back the site's sealed checkpoint for the caller to persist.
+///
+/// The coordinator keeps answering queries throughout — a failed
+/// collection leaves it serving the last consistent state.
+pub fn collect_epoch(
+    site: &mut Site,
+    link: &mut LossyLink,
+    coordinator: &Coordinator,
+    opts: &CollectionOptions,
+) -> Result<CollectionReport, CollectionError> {
+    let cut = site.cut_epoch()?;
+    let mut attempts = 1u32;
+    let mut transmissions = 0u64;
+    let mut total_rounds;
+    let mut resyncs = 0u32;
+
+    let (mut resync_needed, rounds) = deliver_epoch_batch(
+        &cut.frames,
+        site.id(),
+        link,
+        coordinator,
+        opts,
+        &mut attempts,
+        &mut transmissions,
+    )?;
+    total_rounds = rounds;
+
+    // The coordinator may have flagged the site from the hello (stale
+    // restore) even if every frame applied — and a freshly restored site
+    // must resync regardless, because it cannot know whether its last
+    // pre-crash cut was ever delivered.
+    if let Some(status) = coordinator.site_status(site.id()) {
+        resync_needed |= status.needs_resync;
+    }
+    resync_needed |= site.recovering();
+
+    while resync_needed {
+        resyncs += 1;
+        if resyncs > opts.max_attempts {
+            return Err(CollectionError::Undelivered {
+                missing: 0,
+                attempts,
+            });
+        }
+        let frames = site.resync_frames()?;
+        let (again, rounds) = deliver_epoch_batch(
+            &frames,
+            site.id(),
+            link,
+            coordinator,
+            opts,
+            &mut attempts,
+            &mut transmissions,
+        )?;
+        total_rounds += rounds;
+        resync_needed = again;
+    }
+
+    Ok(CollectionReport {
+        epoch: site.epoch(),
+        attempts,
+        rounds: total_rounds,
+        transmissions,
+        resyncs,
+        checkpoint: cut.checkpoint,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,7 +544,7 @@ mod tests {
     #[test]
     fn reliable_link_delivers_in_one_round() {
         let frames = site_frames();
-        let mut link = LossyLink::new(FaultSpec::reliable(), 1);
+        let mut link = LossyLink::new(FaultSpec::reliable(), 1).unwrap();
         let coord = Coordinator::new(family());
         let report = deliver_reliably(&frames, &mut link, &coord, 3).unwrap();
         assert_eq!(report.rounds, 1);
@@ -294,7 +562,7 @@ mod tests {
         }
 
         let coord = Coordinator::new(family());
-        let mut link = LossyLink::new(FaultSpec::nasty(), 99);
+        let mut link = LossyLink::new(FaultSpec::nasty(), 99).unwrap();
         let report = deliver_reliably(&frames, &mut link, &coord, 100).unwrap();
         assert!(report.rounds > 1, "faults should force retransmission");
         assert!(link.dropped > 0 || link.corrupted > 0);
@@ -317,7 +585,8 @@ mod tests {
                 ..FaultSpec::reliable()
             },
             3,
-        );
+        )
+        .unwrap();
         let coord = Coordinator::new(family());
         match deliver_reliably(&frames, &mut link, &coord, 5) {
             Err(DeliveryError::Incomplete { missing, rounds }) => {
@@ -335,7 +604,7 @@ mod tests {
         site.observe(&Update::insert(StreamId(0), 1, 1));
         let frames = site.snapshot_frames().unwrap();
         let coord = Coordinator::new(family());
-        let mut link = LossyLink::new(FaultSpec::reliable(), 4);
+        let mut link = LossyLink::new(FaultSpec::reliable(), 4).unwrap();
         match deliver_reliably(&frames, &mut link, &coord, 10) {
             Err(DeliveryError::Rejected(_)) => {}
             other => panic!("expected Rejected, got {other:?}"),
@@ -350,7 +619,8 @@ mod tests {
                 ..FaultSpec::reliable()
             },
             7,
-        );
+        )
+        .unwrap();
         for _ in 0..1000 {
             link.send(Bytes::from_static(b"xyz"));
         }
@@ -374,7 +644,8 @@ mod tests {
                 ..FaultSpec::reliable()
             },
             11,
-        );
+        )
+        .unwrap();
         deliver_reliably(&frames, &mut link, &coord, 3).unwrap();
         for stream in clean.streams() {
             assert_eq!(
@@ -385,14 +656,145 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "probability out of range")]
-    fn invalid_fault_spec_rejected() {
-        let _ = LossyLink::new(
+    fn invalid_fault_spec_is_a_typed_error() {
+        let bad = FaultSpec {
+            drop: 1.5,
+            ..FaultSpec::reliable()
+        };
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err.field, "drop");
+        assert_eq!(err.value, 1.5);
+        assert!(LossyLink::new(bad, 0).is_err());
+        let nan = FaultSpec {
+            corrupt: f64::NAN,
+            ..FaultSpec::reliable()
+        };
+        assert_eq!(nan.validate().unwrap_err().field, "corrupt");
+    }
+
+    #[test]
+    fn collect_epoch_over_nasty_link_matches_ground_truth() {
+        let fam = family();
+        let mut site = Site::new(1, fam);
+        let coord = Coordinator::new(fam);
+        let mut link = LossyLink::new(FaultSpec::nasty(), 17).unwrap();
+        let opts = CollectionOptions::default();
+        for epoch in 0..3 {
+            for e in 0..400u64 {
+                site.observe(&Update::insert(StreamId(0), epoch * 1000 + e, 1));
+            }
+            let report = collect_epoch(&mut site, &mut link, &coord, &opts).unwrap();
+            assert_eq!(report.epoch, epoch + 1);
+            assert!(!report.checkpoint.is_empty());
+        }
+        let merged = coord.merged_synopsis(StreamId(0)).unwrap();
+        for (m, s) in merged
+            .sketches()
+            .iter()
+            .zip(site.synopsis(StreamId(0)).unwrap().sketches())
+        {
+            assert_eq!(m.counters(), s.counters());
+        }
+    }
+
+    #[test]
+    fn collect_epoch_survives_quarantine_with_backoff() {
+        let fam = family();
+        let mut site = Site::new(3, fam);
+        // Quarantine trips on the very first corrupt frame.
+        let coord = Coordinator::new(fam).with_quarantine_after(1);
+        let mut link = LossyLink::new(
             FaultSpec {
-                drop: 1.5,
+                corrupt: 0.4,
+                ..FaultSpec::reliable()
+            },
+            23,
+        )
+        .unwrap();
+        for e in 0..300u64 {
+            site.observe(&Update::insert(StreamId(0), e, 1));
+        }
+        let opts = CollectionOptions {
+            max_attempts: 16,
+            ..CollectionOptions::default()
+        };
+        let report = collect_epoch(&mut site, &mut link, &coord, &opts).unwrap();
+        assert!(report.attempts > 1, "corruption should have tripped quarantine");
+        assert!(!coord.site_status(3).unwrap().quarantined);
+        let merged = coord.merged_synopsis(StreamId(0)).unwrap();
+        for (m, s) in merged
+            .sketches()
+            .iter()
+            .zip(site.synopsis(StreamId(0)).unwrap().sketches())
+        {
+            assert_eq!(m.counters(), s.counters());
+        }
+    }
+
+    #[test]
+    fn collect_epoch_blackout_is_undelivered() {
+        let fam = family();
+        let mut site = Site::new(1, fam);
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        let coord = Coordinator::new(fam);
+        let mut link = LossyLink::new(
+            FaultSpec {
+                drop: 1.0,
                 ..FaultSpec::reliable()
             },
             0,
-        );
+        )
+        .unwrap();
+        let opts = CollectionOptions {
+            max_rounds: 4,
+            max_attempts: 2,
+            backoff_rounds: 1,
+        };
+        match collect_epoch(&mut site, &mut link, &coord, &opts) {
+            Err(CollectionError::Undelivered { missing, attempts: 2 }) => {
+                assert!(missing > 0);
+            }
+            other => panic!("expected Undelivered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_restart_resyncs_and_converges() {
+        let fam = family();
+        let coord = Coordinator::new(fam);
+        let mut link = LossyLink::new(FaultSpec::nasty(), 31).unwrap();
+        let opts = CollectionOptions::default();
+
+        let mut site = Site::new(9, fam);
+        for e in 0..500u64 {
+            site.observe(&Update::insert(StreamId(0), e, 1));
+        }
+        let r1 = collect_epoch(&mut site, &mut link, &coord, &opts).unwrap();
+
+        // Epoch 2 is cut and WAL'd but never shipped — then the site dies.
+        for e in 500..700u64 {
+            site.observe(&Update::insert(StreamId(0), e, 1));
+        }
+        let lost_cut = site.cut_epoch().unwrap();
+        drop(site);
+        let _ = r1;
+
+        // Restart from the epoch-2 WAL: the first delta after restart
+        // chains from epoch 2, the coordinator is at 1 → gap → resync.
+        let mut site = Site::restore_from_bytes(&lost_cut.checkpoint).unwrap();
+        for e in 700..900u64 {
+            site.observe(&Update::insert(StreamId(0), e, 1));
+        }
+        let report = collect_epoch(&mut site, &mut link, &coord, &opts).unwrap();
+        assert!(report.resyncs >= 1, "gap must force a resync");
+
+        let merged = coord.merged_synopsis(StreamId(0)).unwrap();
+        for (m, s) in merged
+            .sketches()
+            .iter()
+            .zip(site.synopsis(StreamId(0)).unwrap().sketches())
+        {
+            assert_eq!(m.counters(), s.counters());
+        }
     }
 }

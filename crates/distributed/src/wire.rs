@@ -22,12 +22,20 @@ const MAGIC: u32 = 0x324c_4853;
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
-    /// A site announcing itself and its sketch family.
+    /// A site announcing itself, its sketch family, and (on restart) the
+    /// epoch it resumes from.
     Hello,
-    /// A per-stream synopsis snapshot.
+    /// A per-stream **cumulative** synopsis snapshot. Replaces the
+    /// sender's previous contribution for that stream at the coordinator
+    /// (never re-merged), so periodic re-snapshots and resyncs are safe.
     Synopsis,
     /// End of a snapshot batch.
     Flush,
+    /// A per-stream **delta**: counter changes since the stream's last
+    /// shipped epoch. Merged additively, guarded by epoch watermarks.
+    Delta,
+    /// Epoch commit marker: every delta of the named epoch was emitted.
+    Commit,
 }
 
 impl FrameKind {
@@ -36,6 +44,8 @@ impl FrameKind {
             FrameKind::Hello => 1,
             FrameKind::Synopsis => 2,
             FrameKind::Flush => 3,
+            FrameKind::Delta => 4,
+            FrameKind::Commit => 5,
         }
     }
 
@@ -44,6 +54,8 @@ impl FrameKind {
             1 => Ok(FrameKind::Hello),
             2 => Ok(FrameKind::Synopsis),
             3 => Ok(FrameKind::Flush),
+            4 => Ok(FrameKind::Delta),
+            5 => Ok(FrameKind::Commit),
             other => Err(WireError::BadKind(other)),
         }
     }
@@ -58,6 +70,8 @@ pub enum WireError {
     BadKind(u8),
     /// Frame shorter than its header claims.
     Truncated,
+    /// Payload too large for the frame header's `u32` length field.
+    Oversize(usize),
     /// Checksum mismatch — the frame was corrupted in flight.
     Corrupt {
         /// CRC carried by the frame.
@@ -75,6 +89,7 @@ impl fmt::Display for WireError {
             WireError::BadMagic(m) => write!(f, "bad frame magic {m:#x}"),
             WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Oversize(n) => write!(f, "payload of {n} bytes exceeds frame limit"),
             WireError::Corrupt { expected, actual } => {
                 write!(f, "frame CRC mismatch: header {expected:#x}, computed {actual:#x}")
             }
@@ -94,10 +109,14 @@ impl From<CodecError> for WireError {
 /// Encode `value` as a framed message of the given kind.
 pub fn encode_frame<T: Serialize>(kind: FrameKind, value: &T) -> Result<Bytes, WireError> {
     let payload = codec::to_bytes(value)?;
+    let len: u32 = payload
+        .len()
+        .try_into()
+        .map_err(|_| WireError::Oversize(payload.len()))?;
     let mut buf = BytesMut::with_capacity(payload.len() + 13);
     buf.put_u32_le(MAGIC);
     buf.put_u8(kind.as_byte());
-    buf.put_u32_le(payload.len() as u32);
+    buf.put_u32_le(len);
     buf.put_slice(&payload);
     let crc = crc32(&buf[4..]);
     buf.put_u32_le(crc);
@@ -136,19 +155,8 @@ pub fn decode_payload<T: DeserializeOwned>(frame: Bytes) -> Result<(FrameKind, T
     Ok((kind, codec::from_bytes(&payload)?))
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected), table-free bitwise variant —
-/// frames are small and this keeps the implementation dependency-free.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xffff_ffffu32;
-    for &byte in data {
-        crc ^= byte as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
-        }
-    }
-    !crc
-}
+/// CRC-32 (IEEE 802.3), shared with the durable-snapshot container.
+pub use setstream_hash::crc32;
 
 #[cfg(test)]
 mod tests {
@@ -172,7 +180,13 @@ mod tests {
 
     #[test]
     fn all_kinds_round_trip() {
-        for kind in [FrameKind::Hello, FrameKind::Synopsis, FrameKind::Flush] {
+        for kind in [
+            FrameKind::Hello,
+            FrameKind::Synopsis,
+            FrameKind::Flush,
+            FrameKind::Delta,
+            FrameKind::Commit,
+        ] {
             let frame = encode_frame(kind, &1u8).unwrap();
             let (k, _payload) = decode_frame(frame).unwrap();
             assert_eq!(k, kind);

@@ -1,0 +1,135 @@
+//! Property-based soak for continuous epoch collection: N rounds of
+//! arbitrary traffic over a nasty link (drops, corruption, duplication,
+//! reordering), with one site crash-and-restore mid-run, must leave the
+//! coordinator's merged synopsis **bit-identical** to a single site that
+//! ingested the combined traffic directly. Sketch linearity promises
+//! this; the epoch watermarks must preserve it under every failure the
+//! link and the crash can produce.
+//!
+//! Round count per case is tunable: `SOAK_ROUNDS=12 cargo test ...`
+//! (default 5 — CI-friendly; `scripts/tier1.sh` honours the same knob).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use setstream_core::SketchFamily;
+use setstream_distributed::coordinator::Coordinator;
+use setstream_distributed::network::{collect_epoch, CollectionOptions, FaultSpec, LossyLink};
+use setstream_distributed::site::Site;
+use setstream_stream::{StreamId, Update};
+
+const SITES: usize = 2;
+const STREAMS: u32 = 3;
+
+fn soak_rounds() -> usize {
+    std::env::var("SOAK_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(5)
+}
+
+#[derive(Debug, Clone)]
+struct Op {
+    stream: u32,
+    element: u64,
+    insert: bool,
+}
+
+impl Op {
+    fn update(&self) -> Update {
+        if self.insert {
+            Update::insert(StreamId(self.stream), self.element, 1)
+        } else {
+            Update::delete(StreamId(self.stream), self.element, 1)
+        }
+    }
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    vec(
+        (0..STREAMS, 0u64..400, any::<bool>()).prop_map(|(stream, element, insert)| Op {
+            stream,
+            element,
+            insert,
+        }),
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn collection_under_faults_and_crash_is_bit_identical(
+        seed in any::<u64>(),
+        // Per round, per site, a batch of updates.
+        plan in vec(vec(arb_ops(), SITES..SITES + 1), soak_rounds()..soak_rounds() + 1),
+        crash_round in 0..soak_rounds(),
+        crash_site in 0..SITES,
+    ) {
+        let fam = SketchFamily::builder()
+            .copies(16)
+            .second_level(8)
+            .seed(2003)
+            .build();
+        let coord = Coordinator::new(fam);
+        let mut mirror = Site::new(999, fam); // ground truth: sees ALL traffic
+        let mut sites: Vec<Site> = (0..SITES).map(|i| Site::new(i as u32, fam)).collect();
+        let mut links: Vec<LossyLink> = (0..SITES)
+            .map(|i| LossyLink::new(FaultSpec::nasty(), seed ^ (i as u64) << 32).unwrap())
+            .collect();
+        let opts = CollectionOptions {
+            max_rounds: 256,
+            max_attempts: 8,
+            backoff_rounds: 1,
+        };
+
+        for (round, per_site) in plan.iter().enumerate() {
+            for (i, ops) in per_site.iter().enumerate() {
+                for op in ops {
+                    let u = op.update();
+                    sites[i].observe(&u);
+                    mirror.observe(&u);
+                }
+            }
+            if round == crash_round {
+                // Crash after the WAL write but before shipping: the cut's
+                // frames are lost, the checkpoint survives. The next
+                // collection chains over the hole → the coordinator
+                // detects the gap and demands a cumulative resync.
+                let cut = sites[crash_site].cut_epoch().unwrap();
+                sites[crash_site] = Site::restore_from_bytes(&cut.checkpoint).unwrap();
+            }
+            for i in 0..SITES {
+                let report = collect_epoch(&mut sites[i], &mut links[i], &coord, &opts)
+                    .expect("collection must converge on a lossy-but-alive link");
+                prop_assert!(report.transmissions > 0);
+            }
+        }
+
+        // Bit-identical merged state, stream by stream, counter by counter.
+        for s in 0..STREAMS {
+            let sid = StreamId(s);
+            match (coord.merged_synopsis(sid), mirror.synopsis(sid)) {
+                (None, None) => {} // stream never touched
+                (Some(merged), Some(truth)) => {
+                    for (m, t) in merged.sketches().iter().zip(truth.sketches()) {
+                        prop_assert_eq!(
+                            m.counters(),
+                            t.counters(),
+                            "stream {} diverged from centralized ground truth",
+                            s
+                        );
+                    }
+                }
+                (m, t) => prop_assert!(
+                    false,
+                    "stream {} presence mismatch: coordinator={}, truth={}",
+                    s,
+                    m.is_some(),
+                    t.is_some()
+                ),
+            }
+        }
+    }
+}

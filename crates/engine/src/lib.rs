@@ -42,12 +42,14 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod durable;
 mod engine;
 mod ingest;
 mod query;
 mod snapshot;
 mod watch;
 
+pub use durable::{DurableError, DurableKind};
 pub use engine::{EngineError, EngineStats, StreamEngine};
 pub use ingest::ShardedIngestor;
 pub use snapshot::EngineSnapshot;

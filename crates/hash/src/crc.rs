@@ -1,0 +1,47 @@
+//! CRC-32 (IEEE 802.3) — the integrity checksum shared by the wire
+//! format and the durable snapshot container.
+//!
+//! Lives in the hash crate so both the network layer
+//! (`setstream-distributed::wire`) and the persistence layer
+//! (`setstream-engine::durable`) can stamp and verify payloads without
+//! depending on each other. Table-free bitwise variant: the payloads are
+//! small (synopsis frames, checkpoint blobs) and this keeps the
+//! implementation dependency-free and obviously correct.
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"epoch 7 delta frame";
+        let base = crc32(data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.to_vec();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod batch;
 pub mod bit;
+pub mod crc;
 pub mod field;
 pub mod kwise;
 pub mod mix;
@@ -45,6 +46,7 @@ pub mod tabulation;
 
 pub use batch::{hash_many, PairwiseHashBank};
 pub use bit::{bucket_of, lsb64};
+pub use crc::crc32;
 pub use kwise::KWiseHash;
 pub use mix::{splitmix64, MixHash};
 pub use pairwise::PairwiseHash;

@@ -3,13 +3,20 @@
 #
 #   scripts/tier1.sh          # build + tests + clippy + ingest smoke bench
 #   SKIP_BENCH=1 scripts/tier1.sh   # skip the bench step (e.g. constrained CI)
+#   SOAK_ROUNDS=12 scripts/tier1.sh # deeper distributed fault-injection soak
 #
 # Mirrors ROADMAP.md's tier-1 gate (`cargo build --release && cargo test -q`)
-# and adds the lint wall plus a quick run of the ingestion benchmark so perf
-# regressions that break the harness itself are caught before merge.
+# and adds the lint wall, the distributed fault-injection suite, plus a quick
+# run of the ingestion benchmark so perf regressions that break the harness
+# itself are caught before merge.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Collection rounds per epoch-soak proptest case (default 5; crank up for
+# overnight soaks).
+SOAK_ROUNDS="${SOAK_ROUNDS:-5}"
+export SOAK_ROUNDS
 
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
@@ -17,8 +24,14 @@ cargo build --workspace --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> distributed fault-injection suite (SOAK_ROUNDS=${SOAK_ROUNDS})"
+cargo test -p setstream-distributed -q
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> cargo clippy -p setstream-distributed --all-targets -- -D warnings"
+cargo clippy -p setstream-distributed --all-targets -- -D warnings
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> ingest smoke bench (quick)"

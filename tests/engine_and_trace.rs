@@ -77,6 +77,7 @@ fn engine_synopses_ship_to_coordinator_over_lossy_network() {
             let msg = setstream_distributed::site::SynopsisMessage {
                 site: 7,
                 stream: sid,
+                epoch: 0,
                 vector: engine.synopsis(sid).unwrap().clone(),
             };
             setstream_distributed::wire::encode_frame(
@@ -88,7 +89,7 @@ fn engine_synopses_ship_to_coordinator_over_lossy_network() {
         .collect();
 
     let coordinator = Coordinator::new(fam);
-    let mut link = LossyLink::new(FaultSpec::nasty(), 42);
+    let mut link = LossyLink::new(FaultSpec::nasty(), 42).unwrap();
     let report = deliver_reliably(&frames, &mut link, &coordinator, 200).unwrap();
     assert_eq!(report.delivered, frames.len());
 
