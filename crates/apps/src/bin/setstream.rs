@@ -7,6 +7,7 @@
 //! setstream plan     --epsilon E --delta D [--ratio R]
 //! setstream simplify "<expr>"
 //! setstream cells    "<expr>" --streams N
+//! setstream stats    [--rounds N] [--sites N] [--events N] [--seed N]
 //! ```
 //!
 //! Traces use the `setstream_stream::trace` line format (`A +1 17`).
@@ -38,7 +39,8 @@ const USAGE: &str = "usage:
   setstream generate --streams N --union U --expr \"<expr>\" --ratio R [--seed N]
   setstream plan     --epsilon E --delta D [--ratio R]
   setstream simplify \"<expr>\"
-  setstream cells    \"<expr>\" --streams N";
+  setstream cells    \"<expr>\" --streams N
+  setstream stats    [--rounds N] [--sites N] [--events N] [--seed N]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -51,6 +53,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "plan" => cmd_plan(&rest),
         "simplify" => cmd_simplify(&rest),
         "cells" => cmd_cells(&rest),
+        "stats" => cmd_stats(&rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -243,6 +246,102 @@ fn cmd_simplify(rest: &[&String]) -> Result<(), String> {
             simple.n_operators()
         );
     }
+    Ok(())
+}
+
+/// End-to-end observability demo: runs an instrumented local engine plus
+/// a fault-injected distributed collection, then dumps every metric the
+/// stack exported in Prometheus text format.
+fn cmd_stats(rest: &[&String]) -> Result<(), String> {
+    use setstream_distributed::network::{collect_epoch, CollectionOptions, FaultSpec, LossyLink};
+    use setstream_distributed::{CollectionMetrics, Coordinator, Site};
+    use setstream_engine::StreamEngine;
+    use setstream_obs::{export, Registry};
+    use std::sync::Arc;
+
+    let (positional, flags) = parse_flags(rest)?;
+    if !positional.is_empty() {
+        return Err("stats takes only flags".into());
+    }
+    let rounds: usize = flag_num(&flags, "rounds", 5usize)?;
+    let n_sites: usize = flag_num(&flags, "sites", 3usize)?;
+    let events: usize = flag_num(&flags, "events", 4000usize)?;
+    let seed: u64 = flag_num(&flags, "seed", 42u64)?;
+
+    let family = SketchFamily::builder()
+        .copies(64)
+        .second_level(8)
+        .seed(seed)
+        .build();
+    let mut engine = StreamEngine::new(family);
+    let engine_metrics = engine.metrics().clone();
+    let union_q = engine
+        .register_query("A | B")
+        .map_err(|e| e.to_string())?;
+    let inter_q = engine
+        .register_query("A & B")
+        .map_err(|e| e.to_string())?;
+
+    let coordinator = Arc::new(Coordinator::new(family));
+    let collection_metrics = Arc::new(CollectionMetrics::new());
+    let mut sites: Vec<Site> = (0..n_sites).map(|i| Site::new(i as u32, family)).collect();
+    let mut links: Vec<LossyLink> = (0..n_sites)
+        .map(|i| LossyLink::new(FaultSpec::nasty(), seed ^ ((i as u64) << 32)))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let opts = CollectionOptions::default();
+
+    let registry = Registry::new();
+    registry.register(engine_metrics);
+    registry.register(coordinator.clone());
+    registry.register(collection_metrics.clone());
+
+    for round in 0..rounds {
+        let mut batch = Vec::with_capacity(events);
+        for i in 0..events {
+            let x = (round as u64 * events as u64 + i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let stream = StreamId((x % 2) as u32);
+            let element = x >> 16 & 0xFFFF;
+            if i % 10 == 9 {
+                batch.push(Update::delete(stream, element, 1));
+            } else {
+                batch.push(Update::insert(stream, element, 1));
+            }
+        }
+        engine.process_batch(&batch);
+        for (i, u) in batch.iter().enumerate() {
+            sites[i % n_sites].observe(u);
+        }
+        for i in 0..n_sites {
+            let report = collect_epoch(&mut sites[i], &mut links[i], &coordinator, &opts)
+                .map_err(|e| format!("collection from site {i}: {e}"))?;
+            collection_metrics.record_report(&report);
+        }
+        let union = engine.evaluate(union_q).map_err(|e| e.to_string())?;
+        let inter = engine.evaluate(inter_q).map_err(|e| e.to_string())?;
+        println!(
+            "round {round}: |A ∪ B| ≈ {:.0}, |A ∩ B| ≈ {:.0} ({})",
+            union.value,
+            inter.value,
+            inter.method.as_str(),
+        );
+    }
+    let merged = coordinator
+        .query(&parse_expr("A | B")?)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "coordinator : |A ∪ B| ≈ {:.0} from {n_sites} sites, all epochs ≥ {}",
+        merged.estimate.value,
+        merged
+            .staleness
+            .iter()
+            .map(|s| s.newest_epoch)
+            .min()
+            .unwrap_or(0),
+    );
+
+    println!("\n{}", export::render(&registry));
     Ok(())
 }
 

@@ -48,10 +48,10 @@ fn engine_queries(c: &mut Criterion) {
     engine.register_watch(q1, 100.0, Comparison::Above).unwrap();
 
     group.bench_function("estimate_single", |b| {
-        b.iter(|| engine.estimate(q1).unwrap().value)
+        b.iter(|| engine.evaluate(q1).unwrap().value)
     });
     group.bench_function("estimate_all_3_queries_shared_union", |b| {
-        b.iter(|| engine.estimate_all().len())
+        b.iter(|| engine.evaluate_all().len())
     });
     group.bench_function("check_watches", |b| {
         b.iter(|| engine.check_watches().len())

@@ -14,7 +14,7 @@
 //! ```
 
 use setstream_core::{SketchFamily, SketchVector};
-use setstream_engine::ShardedIngestor;
+use setstream_engine::{ShardedIngestor, StreamEngine};
 use setstream_stream::{StreamId, Update};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -151,8 +151,42 @@ fn main() {
         );
     }
 
+    // Observability overhead: the raw batched kernel against the
+    // instrumented engine path (always-on atomic counters + per-batch
+    // ingest stats) on the same insert-only workload. The ratio is the
+    // price of leaving metrics on; the budget is 5% (see tier1.sh).
+    let r_obs = 512usize;
+    let updates = workload(n_scalar, false);
+    let raw = time_ns_per_update(&updates, reps, |us| {
+        let mut v = family(r_obs).new_vector();
+        v.update_batch(us);
+        v
+    });
+    let engine_ns = {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let mut engine = StreamEngine::new(family(r_obs));
+            let t = Instant::now();
+            engine.process_batch(&updates);
+            let dt = t.elapsed().as_secs_f64();
+            assert!(engine.stats().updates > 0, "engine must have ingested");
+            best = best.min(dt * 1e9 / updates.len() as f64);
+        }
+        best
+    };
+    let metrics_overhead = engine_ns / raw;
+    println!(
+        "  metrics overhead r={r_obs}: raw {raw:.1} ns/update   engine(metrics on) {engine_ns:.1} ns/update   ratio {metrics_overhead:.3}x"
+    );
+    let _ = write!(
+        rows,
+        ",\n    {{\"mode\":\"metrics_overhead\",\"r\":{r_obs},\"s\":{PAPER_S},\"updates\":{n_scalar},\
+         \"raw_ns_per_update\":{raw:.1},\"engine_ns_per_update\":{engine_ns:.1},\
+         \"overhead\":{metrics_overhead:.3}}}"
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"ingest\",\n  \"quick\": {},\n  \"speedup_batch_r512\": {speedup_r512:.3},\n  \"results\": [\n    {rows}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"ingest\",\n  \"quick\": {},\n  \"speedup_batch_r512\": {speedup_r512:.3},\n  \"metrics_overhead\": {metrics_overhead:.3},\n  \"results\": [\n    {rows}\n  ]\n}}\n",
         args.quick
     );
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {

@@ -118,6 +118,7 @@ pub fn bit_union(
     };
     Ok(Estimate {
         value,
+        method: super::EstimateMethod::BitSketch,
         union_estimate: value,
         valid_observations: r,
         witness_hits: counts.get(level_used).copied().unwrap_or(0),
@@ -167,6 +168,7 @@ pub fn bit_expression(
     if u_hat == 0.0 {
         return Ok(Estimate {
             value: 0.0,
+            method: super::EstimateMethod::TrivialEmpty,
             union_estimate: 0.0,
             valid_observations: 0,
             witness_hits: 0,
@@ -208,6 +210,7 @@ pub fn bit_expression(
     }
     Ok(Estimate {
         value: hits as f64 / valid as f64 * u_hat,
+        method: super::EstimateMethod::BitSketch,
         union_estimate: u_hat,
         valid_observations: valid,
         witness_hits: hits,

@@ -70,6 +70,7 @@ where
     };
     Ok(Estimate {
         value: median,
+        method: super::EstimateMethod::MedianBoost,
         union_estimate: union_sum / groups as f64,
         valid_observations: valid,
         witness_hits: hits,
@@ -176,6 +177,7 @@ mod tests {
                 // A wildly wrong group.
                 Ok(Estimate {
                     value: 1e12,
+                    method: crate::EstimateMethod::Witness,
                     union_estimate: 1e12,
                     valid_observations: 1,
                     witness_hits: 1,

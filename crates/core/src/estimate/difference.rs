@@ -40,6 +40,7 @@ pub fn difference_with_union(
         // Empty union ⇒ empty difference; no witness needed.
         return Ok(Estimate {
             value: 0.0,
+            method: super::EstimateMethod::TrivialEmpty,
             union_estimate: 0.0,
             valid_observations: 0,
             witness_hits: 0,

@@ -78,6 +78,7 @@ fn estimate_with(
     if u_hat == 0.0 {
         return Ok(Estimate {
             value: 0.0,
+            method: super::EstimateMethod::TrivialEmpty,
             union_estimate: 0.0,
             valid_observations: 0,
             witness_hits: 0,

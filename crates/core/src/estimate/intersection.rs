@@ -38,6 +38,7 @@ pub fn intersection_with_union(
     if u_hat == 0.0 {
         return Ok(Estimate {
             value: 0.0,
+            method: super::EstimateMethod::TrivialEmpty,
             union_estimate: 0.0,
             valid_observations: 0,
             witness_hits: 0,

@@ -120,11 +120,72 @@ impl EstimatorOptions {
     }
 }
 
+/// Which estimator path produced an [`Estimate`].
+///
+/// Part of the self-describing estimate record: telemetry counts estimates
+/// by method, and callers can tell a witness-backed answer (with a
+/// meaningful confidence band) from a trivial or baseline one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EstimateMethod {
+    /// The set-union estimator (Figure 5 / pooled refinement).
+    Union,
+    /// A witness-based atomic or expression estimator (§3.4–3.5, §4).
+    Witness,
+    /// The shared-scan batch estimator ([`multi_expression`]).
+    MultiWitness,
+    /// Median-of-groups boosting over witness estimates.
+    MedianBoost,
+    /// A bit-sketch baseline estimator.
+    BitSketch,
+    /// Trivial short-circuit: the union estimate was zero, so the answer
+    /// is exactly 0 with no witness semantics.
+    TrivialEmpty,
+}
+
+impl EstimateMethod {
+    /// Stable snake_case name, used as a metric label value.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EstimateMethod::Union => "union",
+            EstimateMethod::Witness => "witness",
+            EstimateMethod::MultiWitness => "multi_witness",
+            EstimateMethod::MedianBoost => "median_boost",
+            EstimateMethod::BitSketch => "bit_sketch",
+            EstimateMethod::TrivialEmpty => "trivial_empty",
+        }
+    }
+}
+
+impl std::fmt::Display for EstimateMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A summary of the witness observations behind an [`Estimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WitnessSummary {
+    /// Valid 0/1 observations (union-singleton buckets found).
+    pub valid: usize,
+    /// Observations that were 1 (the bucket's element lies in `E`).
+    pub hits: usize,
+    /// Sketch copies consulted.
+    pub copies: usize,
+}
+
 /// The result of a cardinality estimation.
+///
+/// A self-describing record: alongside the value it carries the estimator
+/// path that produced it ([`Estimate::method`]), the witness evidence
+/// ([`Estimate::witnesses`]), the atomic witness fraction
+/// ([`Estimate::atomic_fraction`]), and a data-driven confidence band
+/// ([`Estimate::confidence`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Estimate {
     /// The estimated cardinality `|Ê|`.
     pub value: f64,
+    /// Which estimator path produced this value.
+    pub method: EstimateMethod,
     /// The internal union estimate `û = |∪Aᵢ|̂` the value was scaled by
     /// (for [`union`] itself this equals `value`).
     pub union_estimate: f64,
@@ -165,6 +226,29 @@ impl Estimate {
         let lo = ((center - half).max(0.0)) * self.union_estimate;
         let hi = ((center + half).min(1.0)) * self.union_estimate;
         Some((lo, hi))
+    }
+
+    /// The witness evidence behind this estimate.
+    pub fn witnesses(&self) -> WitnessSummary {
+        WitnessSummary {
+            valid: self.valid_observations,
+            hits: self.witness_hits,
+            copies: self.copies,
+        }
+    }
+
+    /// The atomic witness fraction `p̂ = hits / valid` — the probability
+    /// estimate the cardinality was scaled from (`None` without witness
+    /// semantics). Alias of [`Estimate::witness_fraction`] matching the
+    /// instrumented-API vocabulary.
+    pub fn atomic_fraction(&self) -> Option<f64> {
+        self.witness_fraction()
+    }
+
+    /// The default 95% confidence band ([`Estimate::confidence_interval`]
+    /// at `z = 1.96`).
+    pub fn confidence(&self) -> Option<(f64, f64)> {
+        self.confidence_interval(1.96)
     }
 }
 

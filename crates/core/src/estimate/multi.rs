@@ -67,6 +67,7 @@ pub fn multi_expression(
             .iter()
             .map(|_| Estimate {
                 value: 0.0,
+                method: super::EstimateMethod::TrivialEmpty,
                 union_estimate: 0.0,
                 valid_observations: 0,
                 witness_hits: 0,
@@ -119,6 +120,7 @@ pub fn multi_expression(
         .into_iter()
         .map(|h| Estimate {
             value: h as f64 / valid as f64 * u_hat,
+            method: super::EstimateMethod::MultiWitness,
             union_estimate: u_hat,
             valid_observations: valid,
             witness_hits: h,

@@ -47,6 +47,7 @@ pub fn union(vectors: &[&SketchVector], opts: &EstimatorOptions) -> Result<Estim
 
     Ok(Estimate {
         value,
+        method: super::EstimateMethod::Union,
         union_estimate: value,
         valid_observations: r,
         witness_hits: counts.get(level_used).copied().unwrap_or(0),

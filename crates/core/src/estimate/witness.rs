@@ -81,6 +81,7 @@ pub(super) fn finish(
     let p_hat = counts.hits as f64 / counts.valid as f64;
     Ok(Estimate {
         value: p_hat * u_hat,
+        method: super::EstimateMethod::Witness,
         union_estimate: u_hat,
         valid_observations: counts.valid,
         witness_hits: counts.hits,

@@ -16,6 +16,46 @@ use serde::{Deserialize, Serialize};
 use setstream_hash::SeedSequence;
 use setstream_stream::{Element, Update};
 
+/// Instrumentation record returned by [`SketchVector::update_batch`].
+///
+/// `fast_path_updates` counts updates that arrived in uniform-delta chunks
+/// (all deltas equal — the insert-only common case), for which the hash
+/// bank's grouped accumulate path skips per-element delta gathers. It is a
+/// conservative proxy: mixed chunks may still hit the fast path for
+/// individual bucket groups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Updates applied by this call.
+    pub updates: usize,
+    /// Updates that rode a uniform-delta (insert-only fast path) chunk.
+    pub fast_path_updates: usize,
+}
+
+impl IngestStats {
+    /// Chunk-by-chunk fast-path accounting for a batch, mirroring the
+    /// `BATCH_CHUNK`-sized chunking of the ingest loop. Exposed so
+    /// alternative ingest drivers (e.g. sharded-parallel) can account the
+    /// same way without running the batch through a single vector.
+    pub fn for_batch(updates: &[Update]) -> Self {
+        let mut fast = 0usize;
+        for chunk in updates.chunks(BATCH_CHUNK) {
+            if chunk.windows(2).all(|w| w[0].delta == w[1].delta) {
+                fast += chunk.len();
+            }
+        }
+        IngestStats {
+            updates: updates.len(),
+            fast_path_updates: fast,
+        }
+    }
+
+    /// Accumulate another batch's stats into this one.
+    pub fn absorb(&mut self, other: IngestStats) {
+        self.updates += other.updates;
+        self.fast_path_updates += other.fast_path_updates;
+    }
+}
+
 /// The shared-coins recipe for a collection of comparable stream synopses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SketchFamily {
@@ -186,12 +226,19 @@ impl SketchVector {
     /// The update structs are unpacked into parallel `(element, delta)`
     /// arrays once, up front, so the per-copy inner loops see plain `u64`/
     /// `i64` slices instead of re-gathering struct fields `r` times.
-    pub fn update_batch(&mut self, updates: &[Update]) {
+    ///
+    /// Returns [`IngestStats`] for instrumentation: how many updates were
+    /// applied and how many rode in uniform-delta (insert-only) chunks,
+    /// where the per-group fast path in the hash bank is guaranteed to
+    /// fire. The accounting is one extra comparison per update — noise
+    /// next to the `r` copies of hashing each update pays for.
+    pub fn update_batch(&mut self, updates: &[Update]) -> IngestStats {
+        let stats = IngestStats::for_batch(updates);
         if updates.len() < 32 {
             for sk in &mut self.sketches {
                 sk.update_batch(updates);
             }
-            return;
+            return stats;
         }
         let elems: Vec<u64> = updates.iter().map(|u| u.element).collect();
         let deltas: Vec<i64> = updates.iter().map(|u| u.delta).collect();
@@ -200,6 +247,7 @@ impl SketchVector {
                 sk.update_chunk(ec, dc);
             }
         }
+        stats
     }
 
     /// Insert one copy of `e`.

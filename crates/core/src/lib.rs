@@ -62,8 +62,10 @@ pub mod window;
 
 pub use config::SketchConfig;
 pub use error::EstimateError;
-pub use estimate::{Estimate, EstimatorOptions, UnionMode, WitnessMode};
-pub use family::{SketchFamily, SketchFamilyBuilder, SketchVector};
+pub use estimate::{
+    Estimate, EstimateMethod, EstimatorOptions, UnionMode, WitnessMode, WitnessSummary,
+};
+pub use family::{IngestStats, SketchFamily, SketchFamilyBuilder, SketchVector};
 pub use plan::Plan;
 pub use sketch::{BitSketch, TwoLevelSketch};
 pub use window::RotatingSketchVector;

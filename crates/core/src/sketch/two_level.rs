@@ -154,7 +154,7 @@ impl TwoLevelSketch {
     /// [`Self::process`]).
     ///
     /// Same cell arithmetic as [`Self::update`], restructured for
-    /// throughput: per chunk of [`BATCH_CHUNK`] updates the first-level
+    /// throughput: per chunk of `BATCH_CHUNK` updates the first-level
     /// hashes are evaluated together ([`hash_many`], exposing
     /// instruction-level parallelism across the latency-bound Horner
     /// chains), the chunk is counting-sorted by first-level bucket so all
@@ -166,7 +166,7 @@ impl TwoLevelSketch {
     /// updates one at a time, in any order.
     ///
     /// The whole path is allocation-free: scratch arrays are stack-sized
-    /// by [`BATCH_CHUNK`].
+    /// by `BATCH_CHUNK`.
     pub fn update_batch(&mut self, updates: &[Update]) {
         if updates.len() < 32 {
             // Grouping overhead outweighs locality on tiny batches.

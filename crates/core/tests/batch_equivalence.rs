@@ -42,7 +42,6 @@ fn arb_config() -> impl Strategy<Value = SketchConfig> {
             levels,
             second_level,
             first_family,
-            ..Default::default()
         })
 }
 

@@ -20,9 +20,15 @@
 //! * Sites whose frames repeatedly fail CRC/decode are **quarantined**:
 //!   further traffic from them is refused until released, but their last
 //!   good contribution keeps serving queries — the coordinator degrades
-//!   gracefully instead of blocking, and every query can be annotated
+//!   gracefully instead of blocking, and every query is annotated
 //!   with per-stream staleness and collection health
-//!   ([`Coordinator::estimate_expression_annotated`]).
+//!   ([`Coordinator::query`]).
+//!
+//! Every verdict the guards reach is counted in the coordinator's
+//! [`CoordinatorMetrics`] (accepted frames by kind, rejections by typed
+//! reason, quarantine/resync transitions); register the coordinator with
+//! a [`setstream_obs::Registry`] to export them plus collect-time site
+//! gauges.
 //!
 //! Thread-safe: sites may deliver frames concurrently (ingestion takes a
 //! short [`parking_lot::Mutex`] critical section per frame), while queries
@@ -31,6 +37,7 @@
 //! regardless of delivery order.
 
 use crate::codec;
+use crate::metrics::CoordinatorMetrics;
 use crate::site::{DeltaMessage, Epoch, EpochCommit, Hello, SiteId, SynopsisMessage};
 use crate::wire::{FrameKind, WireError};
 use bytes::Bytes;
@@ -39,9 +46,11 @@ use setstream_core::{
     estimate, Estimate, EstimateError, EstimatorOptions, SketchFamily, SketchVector,
 };
 use setstream_expr::SetExpr;
+use setstream_obs::{MetricSource, Sample};
 use setstream_stream::StreamId;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Coordinator failures.
 #[derive(Debug)]
@@ -101,6 +110,20 @@ impl CoordinatorError {
             self,
             CoordinatorError::StaleEpoch { .. } | CoordinatorError::EpochGap { .. }
         )
+    }
+
+    /// Snake-case reason label this rejection is counted under in
+    /// `setstream_distributed_frames_rejected_total{reason=...}`.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            CoordinatorError::Wire(_) => "wire",
+            CoordinatorError::CoinMismatch { .. } => "coin_mismatch",
+            CoordinatorError::Estimate(_) => "estimate",
+            CoordinatorError::UnknownStream(_) => "unknown_stream",
+            CoordinatorError::StaleEpoch { .. } => "stale_epoch",
+            CoordinatorError::EpochGap { .. } => "epoch_gap",
+            CoordinatorError::Quarantined { .. } => "quarantined",
+        }
     }
 }
 
@@ -302,6 +325,7 @@ pub struct Coordinator {
     /// quarantined.
     quarantine_after: u32,
     state: Mutex<State>,
+    metrics: Arc<CoordinatorMetrics>,
 }
 
 impl Coordinator {
@@ -312,7 +336,16 @@ impl Coordinator {
             options: EstimatorOptions::default(),
             quarantine_after: 8,
             state: Mutex::new(State::default()),
+            metrics: Arc::new(CoordinatorMetrics::new()),
         }
+    }
+
+    /// The coordinator's always-on frame/rejection counters. Shareable;
+    /// for the full export (counters plus state-derived site gauges)
+    /// register the coordinator itself as a
+    /// [`setstream_obs::MetricSource`].
+    pub fn metrics(&self) -> &Arc<CoordinatorMetrics> {
+        &self.metrics
     }
 
     /// Override the estimator options used for queries.
@@ -345,8 +378,19 @@ impl Coordinator {
     /// link identifies its site.
     pub fn ingest_frame(&self, frame: &Bytes) -> Result<(), CoordinatorError> {
         // Decode outside the lock; merge inside.
-        let (kind, payload) = crate::wire::decode_frame(frame.clone())?;
-        self.apply(kind, &payload)
+        let (kind, payload) = match crate::wire::decode_frame(frame.clone()) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                self.metrics.record_rejection("wire");
+                return Err(e.into());
+            }
+        };
+        let result = self.apply(kind, &payload);
+        match &result {
+            Ok(()) => self.metrics.record_frame(kind),
+            Err(e) => self.metrics.record_rejection(e.reason()),
+        }
+        result
     }
 
     /// Ingest one frame that arrived on `site`'s link, with failure
@@ -354,20 +398,31 @@ impl Coordinator {
     /// frames from a quarantined site are refused outright.
     pub fn ingest_frame_from(&self, site: SiteId, frame: &Bytes) -> Result<(), CoordinatorError> {
         if self.state.lock().sites.get(&site).is_some_and(|s| s.quarantined) {
+            self.metrics.record_rejection("quarantined");
             return Err(CoordinatorError::Quarantined { site });
         }
         let decoded = crate::wire::decode_frame(frame.clone());
         let result = match decoded {
-            Ok((kind, payload)) => self.apply(kind, &payload),
+            Ok((kind, payload)) => {
+                let applied = self.apply(kind, &payload);
+                if applied.is_ok() {
+                    self.metrics.record_frame(kind);
+                }
+                applied
+            }
             Err(e) => Err(CoordinatorError::Wire(e)),
         };
+        if let Err(e) = &result {
+            self.metrics.record_rejection(e.reason());
+        }
         let mut st = self.state.lock();
         let entry = st.sites.entry(site).or_default();
         match &result {
             Err(CoordinatorError::Wire(_)) => {
                 entry.wire_failures += 1;
-                if entry.wire_failures >= self.quarantine_after {
+                if entry.wire_failures >= self.quarantine_after && !entry.quarantined {
                     entry.quarantined = true;
+                    self.metrics.quarantines.inc();
                 }
             }
             _ => entry.wire_failures = 0,
@@ -392,6 +447,9 @@ impl Coordinator {
                     // we already applied — its epoch numbering is about to
                     // collide with history. Only a cumulative resync can
                     // realign it.
+                    if !entry.needs_resync {
+                        self.metrics.resync_flags.inc();
+                    }
                     entry.needs_resync = true;
                 }
             }
@@ -419,6 +477,9 @@ impl Coordinator {
                 // Re-merging it would double-count all prior traffic.
                 entry.contributions.insert(msg.stream, msg.vector);
                 entry.watermarks.insert(msg.stream, msg.epoch);
+                if entry.needs_resync {
+                    self.metrics.resyncs_healed.inc();
+                }
                 entry.needs_resync = false;
             }
             FrameKind::Delta => {
@@ -442,6 +503,9 @@ impl Coordinator {
                     });
                 }
                 if msg.prev_epoch != watermark {
+                    if !entry.needs_resync {
+                        self.metrics.resync_flags.inc();
+                    }
                     entry.needs_resync = true;
                     return Err(CoordinatorError::EpochGap {
                         site: msg.site,
@@ -538,24 +602,34 @@ impl Coordinator {
     pub fn release_quarantine(&self, site: SiteId) {
         let mut st = self.state.lock();
         if let Some(entry) = st.sites.get_mut(&site) {
+            if entry.quarantined {
+                self.metrics.quarantine_releases.inc();
+            }
             entry.quarantined = false;
             entry.wire_failures = 0;
         }
     }
 
     /// Estimate `|E|` over the merged global synopses.
+    #[deprecated(since = "0.2.0", note = "use `query` (the estimate is `.estimate`)")]
     pub fn estimate_expression(&self, expr: &SetExpr) -> Result<Estimate, CoordinatorError> {
-        Ok(self.estimate_expression_annotated(expr)?.estimate)
+        Ok(self.query(expr)?.estimate)
     }
 
-    /// Estimate `|E|` and annotate the answer with per-stream staleness
-    /// and collection health — the graceful-degradation contract: the
-    /// answer is always served from the freshest merged state available,
-    /// and the caller can see exactly how stale that is.
+    /// Estimate `|E|` and annotate the answer.
+    #[deprecated(since = "0.2.0", note = "renamed to `query`")]
     pub fn estimate_expression_annotated(
         &self,
         expr: &SetExpr,
     ) -> Result<AnnotatedEstimate, CoordinatorError> {
+        self.query(expr)
+    }
+
+    /// Answer `|E|` and annotate the answer with per-stream staleness
+    /// and collection health — the graceful-degradation contract: the
+    /// answer is always served from the freshest merged state available,
+    /// and the caller can see exactly how stale that is.
+    pub fn query(&self, expr: &SetExpr) -> Result<AnnotatedEstimate, CoordinatorError> {
         let st = self.state.lock();
         let mut merged: Vec<(StreamId, SketchVector)> = Vec::new();
         let mut staleness = Vec::new();
@@ -569,6 +643,7 @@ impl Coordinator {
         let pairs: Vec<(StreamId, &SketchVector)> =
             merged.iter().map(|(id, v)| (*id, v)).collect();
         let estimate = estimate::expression(expr, &pairs, &self.options)?;
+        self.metrics.queries.inc();
         Ok(AnnotatedEstimate {
             estimate,
             staleness,
@@ -588,6 +663,57 @@ impl Coordinator {
         }
         let refs: Vec<&SketchVector> = merged.iter().collect();
         Ok(estimate::union(&refs, &self.options)?)
+    }
+}
+
+impl MetricSource for Coordinator {
+    /// Counter samples plus gauges derived from coordinator state at
+    /// scrape time (never maintained on the hot path): announced-site
+    /// counts, and per-site commit epoch / epoch lag behind the most
+    /// advanced site.
+    fn collect(&self, out: &mut Vec<Sample>) {
+        self.metrics.collect_counters(out);
+        let st = self.state.lock();
+        let health = st.health();
+        out.push(Sample::gauge(
+            "setstream_distributed_sites",
+            health.sites as i64,
+        ));
+        out.push(Sample::gauge(
+            "setstream_distributed_sites_quarantined",
+            health.quarantined as i64,
+        ));
+        out.push(Sample::gauge(
+            "setstream_distributed_sites_lagging",
+            health.lagging as i64,
+        ));
+        out.push(Sample::gauge(
+            "setstream_distributed_sites_resync_pending",
+            health.resync_pending as i64,
+        ));
+        let max_commit = st
+            .sites
+            .values()
+            .map(|s| s.commit_epoch)
+            .max()
+            .unwrap_or(0);
+        for (site, s) in &st.sites {
+            let label = site.to_string();
+            out.push(
+                Sample::gauge(
+                    "setstream_distributed_site_commit_epoch",
+                    s.commit_epoch as i64,
+                )
+                .with_label("site", &label),
+            );
+            out.push(
+                Sample::gauge(
+                    "setstream_distributed_site_epoch_lag",
+                    (max_commit - s.commit_epoch) as i64,
+                )
+                .with_label("site", &label),
+            );
+        }
     }
 }
 
@@ -659,8 +785,9 @@ mod tests {
         let coord = Coordinator::new(fam);
         deliver(&site, &coord);
         let est = coord
-            .estimate_expression(&"A & B".parse().unwrap())
-            .unwrap();
+            .query(&"A & B".parse().unwrap())
+            .unwrap()
+            .estimate;
         let rel = (est.value - 1000.0).abs() / 1000.0;
         assert!(rel < 0.4, "estimate {}", est.value);
     }
@@ -710,7 +837,7 @@ mod tests {
     fn unknown_stream_query_errors() {
         let coord = Coordinator::new(family());
         let err = coord
-            .estimate_expression(&"A & B".parse().unwrap())
+            .query(&"A & B".parse().unwrap())
             .unwrap_err();
         assert!(matches!(err, CoordinatorError::UnknownStream(StreamId(0))));
     }
@@ -934,7 +1061,7 @@ mod tests {
         }
 
         let annotated = coord
-            .estimate_expression_annotated(&"A".parse().unwrap())
+            .query(&"A".parse().unwrap())
             .unwrap();
         assert_eq!(annotated.health.quarantined, 1);
         assert_eq!(annotated.staleness.len(), 1);
@@ -943,5 +1070,64 @@ mod tests {
         assert_eq!(s.oldest_epoch, 1, "flaky site is one epoch behind");
         assert_eq!(s.newest_epoch, 2);
         assert!(annotated.estimate.value > 0.0);
+    }
+
+    #[test]
+    fn metrics_count_verdicts_and_transitions() {
+        let fam = family();
+        let mut site = Site::new(1, fam);
+        let coord = Coordinator::new(fam).with_quarantine_after(2);
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        let first = site.cut_epoch().unwrap();
+        deliver_cut(&first, &coord);
+        let m = coord.metrics();
+        // hello + one delta + commit accepted.
+        assert_eq!(m.frames_for(FrameKind::Hello), 1);
+        assert_eq!(m.frames_for(FrameKind::Delta), 1);
+        assert_eq!(m.frames_for(FrameKind::Commit), 1);
+        assert_eq!(m.rejections_total(), 0);
+
+        // Replay the delta: typed stale_epoch rejection.
+        coord.ingest_frame(&first.frames[1]).unwrap_err();
+        assert_eq!(m.rejections_for("stale_epoch"), 1);
+
+        // A lost epoch makes the next delta a gap → resync flagged, and
+        // the cumulative resync heals it.
+        site.observe(&Update::insert(StreamId(0), 2, 1));
+        let _lost = site.cut_epoch().unwrap();
+        site.observe(&Update::insert(StreamId(0), 3, 1));
+        let third = site.cut_epoch().unwrap();
+        coord.ingest_frame(&third.frames[1]).unwrap_err();
+        assert_eq!(m.rejections_for("epoch_gap"), 1);
+        assert_eq!(m.resync_flags.get(), 1);
+        for f in site.resync_frames().unwrap() {
+            coord.ingest_frame(&f).unwrap();
+        }
+        assert_eq!(m.resyncs_healed.get(), 1);
+
+        // Two corrupt frames trip quarantine; release pairs with it.
+        let mut bad = first.frames[1].to_vec();
+        bad[10] ^= 0xff;
+        let bad = Bytes::from(bad);
+        coord.ingest_frame_from(1, &bad).unwrap_err();
+        coord.ingest_frame_from(1, &bad).unwrap_err();
+        assert_eq!(m.quarantines.get(), 1);
+        assert_eq!(m.rejections_for("wire"), 2);
+        coord.ingest_frame_from(1, &first.frames[0]).unwrap_err();
+        assert_eq!(m.rejections_for("quarantined"), 1);
+        coord.release_quarantine(1);
+        assert_eq!(m.quarantine_releases.get(), 1);
+
+        // Queries are counted, and the exporter surface carries both the
+        // counters and the state-derived gauges.
+        let _ = coord.query(&"A".parse().unwrap()).unwrap();
+        assert_eq!(m.queries.get(), 1);
+        let mut samples = Vec::new();
+        coord.collect(&mut samples);
+        let names: Vec<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"setstream_distributed_frames_total"));
+        assert!(names.contains(&"setstream_distributed_frames_rejected_total"));
+        assert!(names.contains(&"setstream_distributed_sites"));
+        assert!(names.contains(&"setstream_distributed_site_commit_epoch"));
     }
 }

@@ -27,7 +27,10 @@
 //! * [`coordinator`] — watermark-guarded ingestion, merging, quarantine,
 //!   and (staleness-annotated) query answering;
 //! * [`network`] — a fault-injecting link plus the collection drivers
-//!   ([`network::deliver_reliably`], [`network::collect_epoch`]).
+//!   ([`network::deliver_reliably`], [`network::collect_epoch`]);
+//! * [`metrics`] — always-on frame/rejection/collection counters
+//!   ([`metrics::CoordinatorMetrics`], [`metrics::CollectionMetrics`]),
+//!   exported through [`setstream_obs`].
 //!
 //! # Example: continuous collection
 //!
@@ -55,9 +58,7 @@
 //!     assert_eq!(report.epoch, epoch + 1);
 //! }
 //!
-//! let answer = coord
-//!     .estimate_expression_annotated(&"A".parse().unwrap())
-//!     .unwrap();
+//! let answer = coord.query(&"A".parse().unwrap()).unwrap();
 //! assert!((answer.estimate.value - 900.0).abs() / 900.0 < 0.3);
 //! assert_eq!(answer.staleness[0].newest_epoch, 3);
 //! ```
@@ -67,10 +68,12 @@
 
 pub mod codec;
 pub mod coordinator;
+pub mod metrics;
 pub mod network;
 pub mod persist;
 pub mod site;
 pub mod wire;
 
 pub use coordinator::Coordinator;
+pub use metrics::{CollectionMetrics, CoordinatorMetrics};
 pub use site::Site;

@@ -1,0 +1,297 @@
+//! Distributed-collection metrics: frame traffic, typed rejections,
+//! quarantine and resync transitions, and collection-driver totals.
+//!
+//! Two instruments live here:
+//!
+//! * [`CoordinatorMetrics`] rides inside every [`crate::Coordinator`] and
+//!   counts what the watermark guards *decide* — frames accepted by kind,
+//!   frames rejected by typed reason, quarantine and resync transitions.
+//!   Register the coordinator itself (it implements
+//!   [`MetricSource`]) to also export collect-time gauges derived from
+//!   its state: announced sites, quarantined sites, per-site commit
+//!   epochs and epoch lag.
+//! * [`CollectionMetrics`] is owned by whoever drives
+//!   [`crate::network::collect_epoch`] and accumulates per-round
+//!   [`CollectionReport`]s: retransmissions, rounds, resyncs, checkpoint
+//!   bytes.
+//!
+//! All counters are relaxed atomics ([`setstream_obs::Counter`]); the hot
+//! ingest path pays one increment per frame verdict.
+
+use crate::network::CollectionReport;
+use crate::wire::FrameKind;
+use setstream_obs::{Counter, MetricSource, Sample};
+
+/// Frame kinds in export order.
+const KINDS: [FrameKind; 5] = [
+    FrameKind::Hello,
+    FrameKind::Synopsis,
+    FrameKind::Delta,
+    FrameKind::Commit,
+    FrameKind::Flush,
+];
+
+/// Snake-case label value for a frame kind.
+pub(crate) fn kind_label(kind: FrameKind) -> &'static str {
+    match kind {
+        FrameKind::Hello => "hello",
+        FrameKind::Synopsis => "synopsis",
+        FrameKind::Delta => "delta",
+        FrameKind::Commit => "commit",
+        FrameKind::Flush => "flush",
+    }
+}
+
+fn kind_index(kind: FrameKind) -> usize {
+    KINDS.iter().position(|&k| k == kind).expect("known kind")
+}
+
+/// Typed rejection reasons in export order. Mirrors
+/// [`crate::coordinator::CoordinatorError`]; see
+/// [`crate::coordinator::CoordinatorError::reason`].
+pub(crate) const REASONS: [&str; 7] = [
+    "wire",
+    "coin_mismatch",
+    "stale_epoch",
+    "epoch_gap",
+    "quarantined",
+    "estimate",
+    "unknown_stream",
+];
+
+pub(crate) fn reason_index(reason: &str) -> usize {
+    REASONS
+        .iter()
+        .position(|&r| r == reason)
+        .expect("known rejection reason")
+}
+
+/// Counters maintained by a [`crate::Coordinator`] as frames arrive.
+///
+/// Names follow the `setstream_distributed_*` convention from DESIGN.md
+/// §7. Gauges (site counts, per-site staleness) are not stored here —
+/// they are derived from coordinator state at scrape time by the
+/// coordinator's [`MetricSource`] impl.
+#[derive(Debug, Default)]
+pub struct CoordinatorMetrics {
+    /// Frames accepted and applied, by kind (indexed like `KINDS`).
+    frames_by_kind: [Counter; 5],
+    /// Frames refused, by typed reason (indexed like `REASONS`).
+    rejected_by_reason: [Counter; 7],
+    /// Sites newly quarantined (transitions into quarantine, not refused
+    /// frames — those land in `rejected{reason="quarantined"}`).
+    pub quarantines: Counter,
+    /// Quarantines lifted via [`crate::Coordinator::release_quarantine`].
+    pub quarantine_releases: Counter,
+    /// Sites newly flagged for cumulative resync (epoch gap or stale
+    /// restore).
+    pub resync_flags: Counter,
+    /// Resync flags cleared by an applied cumulative synopsis.
+    pub resyncs_healed: Counter,
+    /// Expression queries answered.
+    pub queries: Counter,
+}
+
+impl CoordinatorMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one accepted frame.
+    pub(crate) fn record_frame(&self, kind: FrameKind) {
+        self.frames_by_kind[kind_index(kind)].inc();
+    }
+
+    /// Record one rejected frame by its typed reason label.
+    pub(crate) fn record_rejection(&self, reason: &str) {
+        self.rejected_by_reason[reason_index(reason)].inc();
+    }
+
+    /// Accepted frames of one kind.
+    pub fn frames_for(&self, kind: FrameKind) -> u64 {
+        self.frames_by_kind[kind_index(kind)].get()
+    }
+
+    /// Total accepted frames (all kinds).
+    pub fn frames_total(&self) -> u64 {
+        self.frames_by_kind.iter().map(Counter::get).sum()
+    }
+
+    /// Rejected frames for one reason label (see
+    /// [`crate::coordinator::CoordinatorError::reason`]).
+    pub fn rejections_for(&self, reason: &str) -> u64 {
+        self.rejected_by_reason[reason_index(reason)].get()
+    }
+
+    /// Total rejected frames (all reasons).
+    pub fn rejections_total(&self) -> u64 {
+        self.rejected_by_reason.iter().map(Counter::get).sum()
+    }
+
+    /// Append the counter samples (the coordinator's [`MetricSource`]
+    /// impl adds state-derived gauges on top).
+    pub fn collect_counters(&self, out: &mut Vec<Sample>) {
+        for (kind, counter) in KINDS.iter().zip(&self.frames_by_kind) {
+            out.push(
+                Sample::counter("setstream_distributed_frames_total", counter.get())
+                    .with_label("kind", kind_label(*kind)),
+            );
+        }
+        for (reason, counter) in REASONS.iter().zip(&self.rejected_by_reason) {
+            out.push(
+                Sample::counter(
+                    "setstream_distributed_frames_rejected_total",
+                    counter.get(),
+                )
+                .with_label("reason", reason),
+            );
+        }
+        out.push(Sample::counter(
+            "setstream_distributed_quarantines_total",
+            self.quarantines.get(),
+        ));
+        out.push(Sample::counter(
+            "setstream_distributed_quarantine_releases_total",
+            self.quarantine_releases.get(),
+        ));
+        out.push(Sample::counter(
+            "setstream_distributed_resync_flags_total",
+            self.resync_flags.get(),
+        ));
+        out.push(Sample::counter(
+            "setstream_distributed_resyncs_healed_total",
+            self.resyncs_healed.get(),
+        ));
+        out.push(Sample::counter(
+            "setstream_distributed_queries_total",
+            self.queries.get(),
+        ));
+    }
+}
+
+/// Driver-side accumulation of [`CollectionReport`]s from
+/// [`crate::network::collect_epoch`].
+#[derive(Debug, Default)]
+pub struct CollectionMetrics {
+    /// Successful collection cycles.
+    pub collections: Counter,
+    /// Collection cycles that failed (budget exhausted or fatal verdict).
+    pub failures: Counter,
+    /// Delivery attempts across all collections.
+    pub attempts: Counter,
+    /// Retransmission rounds across all collections.
+    pub rounds: Counter,
+    /// Envelope transmissions, including retransmits.
+    pub transmissions: Counter,
+    /// Cumulative resyncs the coordinator demanded.
+    pub resyncs: Counter,
+    /// Bytes of sealed site checkpoints produced.
+    pub checkpoint_bytes: Counter,
+}
+
+impl CollectionMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one successful collection cycle into the totals.
+    pub fn record_report(&self, report: &CollectionReport) {
+        self.collections.inc();
+        self.attempts.add(u64::from(report.attempts));
+        self.rounds.add(u64::from(report.rounds));
+        self.transmissions.add(report.transmissions);
+        self.resyncs.add(u64::from(report.resyncs));
+        self.checkpoint_bytes.add(report.checkpoint.len() as u64);
+    }
+
+    /// Record a failed collection cycle.
+    pub fn record_failure(&self) {
+        self.failures.inc();
+    }
+}
+
+impl MetricSource for CollectionMetrics {
+    fn collect(&self, out: &mut Vec<Sample>) {
+        out.push(Sample::counter(
+            "setstream_distributed_collections_total",
+            self.collections.get(),
+        ));
+        out.push(Sample::counter(
+            "setstream_distributed_collection_failures_total",
+            self.failures.get(),
+        ));
+        out.push(Sample::counter(
+            "setstream_distributed_collection_attempts_total",
+            self.attempts.get(),
+        ));
+        out.push(Sample::counter(
+            "setstream_distributed_collection_rounds_total",
+            self.rounds.get(),
+        ));
+        out.push(Sample::counter(
+            "setstream_distributed_retransmissions_total",
+            self.transmissions.get(),
+        ));
+        out.push(Sample::counter(
+            "setstream_distributed_resyncs_total",
+            self.resyncs.get(),
+        ));
+        out.push(Sample::counter(
+            "setstream_distributed_checkpoint_bytes_total",
+            self.checkpoint_bytes.get(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_and_rejection_accounting() {
+        let m = CoordinatorMetrics::new();
+        m.record_frame(FrameKind::Delta);
+        m.record_frame(FrameKind::Delta);
+        m.record_frame(FrameKind::Hello);
+        m.record_rejection("stale_epoch");
+        m.record_rejection("wire");
+        m.record_rejection("wire");
+        assert_eq!(m.frames_for(FrameKind::Delta), 2);
+        assert_eq!(m.frames_total(), 3);
+        assert_eq!(m.rejections_for("wire"), 2);
+        assert_eq!(m.rejections_total(), 3);
+    }
+
+    #[test]
+    fn collection_report_folds_into_totals() {
+        let m = CollectionMetrics::new();
+        m.record_report(&CollectionReport {
+            epoch: 1,
+            attempts: 2,
+            rounds: 7,
+            transmissions: 40,
+            resyncs: 1,
+            checkpoint: vec![0u8; 128],
+        });
+        m.record_failure();
+        assert_eq!(m.collections.get(), 1);
+        assert_eq!(m.failures.get(), 1);
+        assert_eq!(m.rounds.get(), 7);
+        assert_eq!(m.transmissions.get(), 40);
+        assert_eq!(m.resyncs.get(), 1);
+        assert_eq!(m.checkpoint_bytes.get(), 128);
+    }
+
+    #[test]
+    fn exported_sample_names_are_complete() {
+        let m = CollectionMetrics::new();
+        let mut out = Vec::new();
+        m.collect(&mut out);
+        assert_eq!(out.len(), 7);
+        assert!(out
+            .iter()
+            .all(|s| s.name.starts_with("setstream_distributed_")));
+    }
+}

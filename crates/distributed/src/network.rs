@@ -279,17 +279,19 @@ pub fn deliver_reliably(
     })
 }
 
-/// Knobs for [`collect_epoch`].
-#[derive(Debug, Clone, Copy)]
+/// Knobs for [`collect_epoch`]. Construct via [`CollectionOptions::builder`]
+/// (or take [`CollectionOptions::default`]); the fields are private so
+/// every instance has passed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CollectionOptions {
     /// Retransmission rounds per delivery attempt.
-    pub max_rounds: u32,
+    max_rounds: u32,
     /// Delivery attempts (each separated by a quarantine release and
     /// backoff) before giving up.
-    pub max_attempts: u32,
+    max_attempts: u32,
     /// Base backoff, in drained link rounds, after a quarantine; doubles
     /// per subsequent attempt.
-    pub backoff_rounds: u32,
+    backoff_rounds: u32,
 }
 
 impl Default for CollectionOptions {
@@ -299,6 +301,92 @@ impl Default for CollectionOptions {
             max_attempts: 4,
             backoff_rounds: 1,
         }
+    }
+}
+
+impl CollectionOptions {
+    /// Start from the defaults (64 rounds, 4 attempts, backoff 1).
+    pub fn builder() -> CollectionOptionsBuilder {
+        CollectionOptionsBuilder {
+            options: CollectionOptions::default(),
+        }
+    }
+
+    /// Retransmission rounds per delivery attempt.
+    pub fn max_rounds(&self) -> u32 {
+        self.max_rounds
+    }
+
+    /// Delivery attempts before giving up.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Base quarantine backoff in drained link rounds.
+    pub fn backoff_rounds(&self) -> u32 {
+        self.backoff_rounds
+    }
+}
+
+/// A [`CollectionOptions`] knob set to a value that cannot work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectionOptionsError {
+    /// Which knob is invalid.
+    pub field: &'static str,
+    /// The offending value.
+    pub value: u32,
+}
+
+impl fmt::Display for CollectionOptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "collection option `{}` = {} must be at least 1",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for CollectionOptionsError {}
+
+/// Validating builder for [`CollectionOptions`].
+#[derive(Debug, Clone)]
+pub struct CollectionOptionsBuilder {
+    options: CollectionOptions,
+}
+
+impl CollectionOptionsBuilder {
+    /// Retransmission rounds per delivery attempt (≥ 1).
+    pub fn max_rounds(mut self, rounds: u32) -> Self {
+        self.options.max_rounds = rounds;
+        self
+    }
+
+    /// Delivery attempts before giving up (≥ 1).
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.options.max_attempts = attempts;
+        self
+    }
+
+    /// Base quarantine backoff in drained link rounds (0 disables the
+    /// quiet period).
+    pub fn backoff_rounds(mut self, rounds: u32) -> Self {
+        self.options.backoff_rounds = rounds;
+        self
+    }
+
+    /// Validate and produce the options: round and attempt budgets must
+    /// be at least 1 or [`collect_epoch`] could never ship anything.
+    pub fn build(self) -> Result<CollectionOptions, CollectionOptionsError> {
+        for (field, value) in [
+            ("max_rounds", self.options.max_rounds),
+            ("max_attempts", self.options.max_attempts),
+        ] {
+            if value == 0 {
+                return Err(CollectionOptionsError { field, value });
+            }
+        }
+        Ok(self.options)
     }
 }
 
@@ -460,6 +548,8 @@ pub fn collect_epoch(
     coordinator: &Coordinator,
     opts: &CollectionOptions,
 ) -> Result<CollectionReport, CollectionError> {
+    let trace = site.trace().clone();
+    let mut span = trace.span("collect.epoch");
     let cut = site.cut_epoch()?;
     let mut attempts = 1u32;
     let mut transmissions = 0u64;
@@ -508,6 +598,12 @@ pub fn collect_epoch(
         resync_needed = again;
     }
 
+    if span.is_recording() {
+        span.detail(format!(
+            "epoch={} attempts={attempts} rounds={total_rounds} resyncs={resyncs}",
+            site.epoch()
+        ));
+    }
     Ok(CollectionReport {
         epoch: site.epoch(),
         attempts,
@@ -714,10 +810,7 @@ mod tests {
         for e in 0..300u64 {
             site.observe(&Update::insert(StreamId(0), e, 1));
         }
-        let opts = CollectionOptions {
-            max_attempts: 16,
-            ..CollectionOptions::default()
-        };
+        let opts = CollectionOptions::builder().max_attempts(16).build().unwrap();
         let report = collect_epoch(&mut site, &mut link, &coord, &opts).unwrap();
         assert!(report.attempts > 1, "corruption should have tripped quarantine");
         assert!(!coord.site_status(3).unwrap().quarantined);
@@ -745,11 +838,12 @@ mod tests {
             0,
         )
         .unwrap();
-        let opts = CollectionOptions {
-            max_rounds: 4,
-            max_attempts: 2,
-            backoff_rounds: 1,
-        };
+        let opts = CollectionOptions::builder()
+            .max_rounds(4)
+            .max_attempts(2)
+            .backoff_rounds(1)
+            .build()
+            .unwrap();
         match collect_epoch(&mut site, &mut link, &coord, &opts) {
             Err(CollectionError::Undelivered { missing, attempts: 2 }) => {
                 assert!(missing > 0);

@@ -43,6 +43,7 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use setstream_core::{SketchFamily, SketchVector};
 use setstream_engine::durable::{self, DurableError, DurableKind};
+use setstream_obs::TraceHandle;
 use setstream_stream::{StreamId, Update};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -210,6 +211,10 @@ pub struct Site {
     /// before the crash, so it must resync before its deltas mean
     /// anything again.
     recovering: bool,
+    /// Span sink for epoch cuts and collection rounds; a no-op handle
+    /// (the default) costs one branch per span site. Not persisted in
+    /// checkpoints — a restored site starts with a no-op handle.
+    trace: TraceHandle,
 }
 
 impl Site {
@@ -223,12 +228,25 @@ impl Site {
             baselines: BTreeMap::new(),
             shipped: BTreeMap::new(),
             recovering: false,
+            trace: TraceHandle::noop(),
         }
     }
 
     /// This site's id.
     pub fn id(&self) -> SiteId {
         self.id
+    }
+
+    /// Record epoch-cut and collection spans into `trace` (e.g. a
+    /// [`setstream_obs::RingRecorder`]).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The site's trace handle (no-op unless [`Self::set_trace`] was
+    /// called).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// The family (stored coins) in use.
@@ -358,6 +376,8 @@ impl Site {
     /// point recoverable without double-counting (the durable epoch is
     /// then always ≥ the coordinator's watermark).
     pub fn cut_epoch(&mut self) -> Result<EpochCut, WireError> {
+        let trace = self.trace.clone();
+        let mut span = trace.span("site.cut_epoch");
         self.epoch += 1;
         let mut frames = vec![self.hello_frame()?];
         let mut seq = 0u32;
@@ -400,6 +420,14 @@ impl Site {
             self.baselines.insert(stream, live.clone());
         }
         let checkpoint = self.checkpoint_bytes()?;
+        if span.is_recording() {
+            span.detail(format!(
+                "epoch={} frames={} checkpoint_bytes={}",
+                self.epoch,
+                frames.len(),
+                checkpoint.len()
+            ));
+        }
         Ok(EpochCut {
             epoch: self.epoch,
             frames,
@@ -492,6 +520,7 @@ impl Site {
             epoch: checkpoint.epoch,
             shipped: checkpoint.shipped.into_iter().collect(),
             recovering: true,
+            trace: TraceHandle::noop(),
         })
     }
 

@@ -13,6 +13,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use setstream_core::SketchFamily;
 use setstream_distributed::coordinator::Coordinator;
+use setstream_distributed::metrics::CollectionMetrics;
 use setstream_distributed::network::{collect_epoch, CollectionOptions, FaultSpec, LossyLink};
 use setstream_distributed::site::Site;
 use setstream_stream::{StreamId, Update};
@@ -78,11 +79,15 @@ proptest! {
         let mut links: Vec<LossyLink> = (0..SITES)
             .map(|i| LossyLink::new(FaultSpec::nasty(), seed ^ (i as u64) << 32).unwrap())
             .collect();
-        let opts = CollectionOptions {
-            max_rounds: 256,
-            max_attempts: 8,
-            backoff_rounds: 1,
-        };
+        let opts = CollectionOptions::builder()
+            .max_rounds(256)
+            .max_attempts(8)
+            .backoff_rounds(1)
+            .build()
+            .unwrap();
+        let cm = CollectionMetrics::new();
+        let mut want_transmissions = 0u64;
+        let mut want_resyncs = 0u64;
 
         for (round, per_site) in plan.iter().enumerate() {
             for (i, ops) in per_site.iter().enumerate() {
@@ -104,8 +109,34 @@ proptest! {
                 let report = collect_epoch(&mut sites[i], &mut links[i], &coord, &opts)
                     .expect("collection must converge on a lossy-but-alive link");
                 prop_assert!(report.transmissions > 0);
+                cm.record_report(&report);
+                want_transmissions += report.transmissions;
+                want_resyncs += u64::from(report.resyncs);
             }
         }
+
+        // The observability layer must agree with the fault script: the
+        // driver-side counters sum the reports exactly, the crash forced
+        // at least one cumulative resync, wire rejections cannot exceed
+        // the corruption the links actually injected, and every
+        // quarantine the corruption tripped was released again (the run
+        // converged).
+        prop_assert_eq!(cm.collections.get(), (SITES * plan.len()) as u64);
+        prop_assert_eq!(cm.transmissions.get(), want_transmissions);
+        prop_assert_eq!(cm.resyncs.get(), want_resyncs);
+        prop_assert!(cm.resyncs.get() >= 1, "crash must force a resync");
+        let m = coord.metrics();
+        prop_assert!(m.frames_total() > 0);
+        // A corrupted frame the link also duplicates is rejected twice,
+        // so the ceiling is two rejections per injected corruption.
+        let corrupted: u64 = links.iter().map(|l| l.corrupted).sum();
+        prop_assert!(
+            m.rejections_for("wire") <= 2 * corrupted,
+            "wire rejections {} exceed injected corruption {}",
+            m.rejections_for("wire"),
+            corrupted
+        );
+        prop_assert_eq!(m.quarantines.get(), m.quarantine_releases.get());
 
         // Bit-identical merged state, stream by stream, counter by counter.
         for s in 0..STREAMS {

@@ -1,12 +1,19 @@
 //! The engine proper: stream registry, query registry, evaluation rounds.
 
-use crate::query::{QueryId, RegisteredQuery};
+use crate::config::EngineConfig;
+use crate::metrics::EngineMetrics;
+use crate::query::{Query, QueryId, RegisteredQuery};
 use crate::watch::{Comparison, Watch, WatchEvent, WatchId};
-use setstream_core::{estimate, Estimate, EstimateError, EstimatorOptions, SketchFamily, SketchVector};
+use setstream_core::{
+    estimate, Estimate, EstimateError, EstimatorOptions, IngestStats, SketchFamily, SketchVector,
+};
 use setstream_expr::{ParseError, SetExpr};
+use setstream_hash::clock;
+use setstream_obs::TraceHandle;
 use setstream_stream::{StreamId, Update};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Engine failures.
 #[derive(Debug)]
@@ -27,8 +34,8 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Parse(e) => write!(f, "query parse error: {e}"),
             EngineError::Estimate(e) => write!(f, "estimation error: {e}"),
-            EngineError::UnknownQuery(q) => write!(f, "unknown query id {}", q.0),
-            EngineError::UnknownWatch(w) => write!(f, "unknown watch id {}", w.0),
+            EngineError::UnknownQuery(q) => write!(f, "unknown query id {q}"),
+            EngineError::UnknownWatch(w) => write!(f, "unknown watch id {w}"),
         }
     }
 }
@@ -77,6 +84,8 @@ pub struct StreamEngine {
     next_watch: u64,
     updates: u64,
     deletions: u64,
+    metrics: Arc<EngineMetrics>,
+    trace: TraceHandle,
 }
 
 impl StreamEngine {
@@ -94,7 +103,15 @@ impl StreamEngine {
             next_watch: 1,
             updates: 0,
             deletions: 0,
+            metrics: Arc::new(EngineMetrics::new()),
+            trace: TraceHandle::noop(),
         }
+    }
+
+    /// Engine from a validated [`EngineConfig`] (see
+    /// [`EngineConfig::builder`]).
+    pub fn from_config(config: EngineConfig) -> Self {
+        StreamEngine::new(*config.family()).with_options(*config.options())
     }
 
     /// Override the estimator options.
@@ -109,6 +126,26 @@ impl StreamEngine {
         &self.family
     }
 
+    // ----------------------------------------------------- observability
+
+    /// This engine's always-on metrics. Register the handle with a
+    /// [`setstream_obs::Registry`] to expose them through the exporter.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// Install a trace sink for spans around estimate calls
+    /// (`engine.query`, `engine.query_all`). Defaults to the no-op sink.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Builder-style [`Self::set_trace`].
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+
     // ----------------------------------------------------------- updates
 
     /// Route one update tuple into its stream's synopsis (created lazily).
@@ -118,8 +155,10 @@ impl StreamEngine {
             .or_insert_with(|| self.family.new_vector())
             .process(update);
         self.updates += 1;
+        self.metrics.ingest_updates.inc();
         if update.is_deletion() {
             self.deletions += 1;
+            self.metrics.ingest_deletions.inc();
         }
     }
 
@@ -131,19 +170,25 @@ impl StreamEngine {
     /// to processing the tuples one at a time in arrival order.
     pub fn process_batch<'a>(&mut self, updates: impl IntoIterator<Item = &'a Update>) {
         let mut groups: BTreeMap<StreamId, Vec<Update>> = BTreeMap::new();
+        let mut deletions = 0u64;
         for u in updates {
             self.updates += 1;
             if u.is_deletion() {
                 self.deletions += 1;
+                deletions += 1;
             }
             groups.entry(u.stream).or_default().push(*u);
         }
+        let mut stats = IngestStats::default();
         for (stream, group) in groups {
-            self.synopses
-                .entry(stream)
-                .or_insert_with(|| self.family.new_vector())
-                .update_batch(&group);
+            stats.absorb(
+                self.synopses
+                    .entry(stream)
+                    .or_insert_with(|| self.family.new_vector())
+                    .update_batch(&group),
+            );
         }
+        self.metrics.record_batch(stats, deletions);
     }
 
     /// Process a batch using `threads` worker threads.
@@ -154,12 +199,16 @@ impl StreamEngine {
     /// multicore throughput. Identical counters to [`Self::process_batch`]
     /// for any shard split.
     pub fn process_batch_parallel(&mut self, updates: &[Update], threads: usize) {
+        let mut deletions = 0u64;
         for u in updates {
             self.updates += 1;
             if u.is_deletion() {
                 self.deletions += 1;
+                deletions += 1;
             }
         }
+        self.metrics
+            .record_batch(IngestStats::for_batch(updates), deletions);
         let ingestor = crate::ingest::ShardedIngestor::new(self.family, threads);
         for (stream, part) in ingestor.ingest_streams(updates) {
             match self.synopses.entry(stream) {
@@ -187,7 +236,7 @@ impl StreamEngine {
 
     /// Register a pre-built expression.
     pub fn register_query_expr(&mut self, expr: SetExpr) -> QueryId {
-        let id = QueryId(self.next_query);
+        let id = QueryId::new(self.next_query);
         self.next_query += 1;
         self.queries.insert(id, RegisteredQuery::new(id, expr));
         id
@@ -214,29 +263,52 @@ impl StreamEngine {
 
     // -------------------------------------------------------- estimation
 
-    /// Answer one registered query from the current synopses.
+    /// Answer one estimation request — the single structured entry point.
     ///
+    /// Accepts anything convertible into a [`Query`]: a registered
+    /// [`QueryId`], a [`SetExpr`] (by value or reference), or a parsed
+    /// [`Query`]. Ad-hoc expressions are simplified before evaluation.
     /// Streams the query references but the engine has never seen updates
     /// for are treated as empty (an empty synopsis is minted on the fly).
-    pub fn estimate(&self, id: QueryId) -> Result<Estimate, EngineError> {
-        let q = self
-            .queries
-            .get(&id)
-            .ok_or(EngineError::UnknownQuery(id))?;
-        self.estimate_expr_internal(&q.simplified)
+    ///
+    /// Every call is instrumented: latency lands in the engine's estimate
+    /// histogram, the result bumps the per-method counter, and an
+    /// `engine.query` span is emitted to the installed trace sink. The
+    /// returned [`Estimate`] is self-describing — estimator path
+    /// ([`Estimate::method`]), witness evidence ([`Estimate::witnesses`]),
+    /// atomic fraction, and confidence band ride along with the value.
+    pub fn evaluate(&self, query: impl Into<Query>) -> Result<Estimate, EngineError> {
+        let query = query.into();
+        let mut span = self.trace.span("engine.query");
+        let start = clock::now_ns();
+        let result = match &query {
+            Query::Registered(id) => self
+                .queries
+                .get(id)
+                .ok_or(EngineError::UnknownQuery(*id))
+                .and_then(|q| self.estimate_expr_internal(&q.simplified)),
+            Query::Expr(expr) => self.estimate_expr_internal(&setstream_expr::simplify(expr)),
+        };
+        let elapsed = clock::now_ns().saturating_sub(start);
+        self.metrics
+            .record_estimate(elapsed, result.as_ref().map(|e| e.method).map_err(|_| ()));
+        if span.is_recording() {
+            match &result {
+                Ok(e) => span.detail(format!("{query:?} -> {:.1} via {}", e.value, e.method)),
+                Err(e) => span.detail(format!("{query:?} -> error: {e}")),
+            }
+        }
+        result
     }
 
-    /// Answer an ad-hoc expression without registering it.
-    pub fn estimate_expr(&self, expr: &SetExpr) -> Result<Estimate, EngineError> {
-        self.estimate_expr_internal(&setstream_expr::simplify(expr))
-    }
-
-    /// Answer every registered query in one round. Queries over the same
-    /// participating stream set are **batched**: one union estimate and
-    /// one witness scan answer the whole group
+    /// Answer every registered query in one instrumented round. Queries
+    /// over the same participating stream set are **batched**: one union
+    /// estimate and one witness scan answer the whole group
     /// ([`estimate::multi_expression`]), so a dashboard with dozens of
     /// queries costs barely more than one.
-    pub fn estimate_all(&self) -> Vec<(QueryId, Result<Estimate, EngineError>)> {
+    pub fn evaluate_all(&self) -> Vec<(QueryId, Result<Estimate, EngineError>)> {
+        let mut span = self.trace.span("engine.query_all");
+        let start = clock::now_ns();
         // Group queries by their (sorted) participating stream set.
         let mut groups: BTreeMap<Vec<StreamId>, Vec<QueryId>> = BTreeMap::new();
         for (&id, q) in &self.queries {
@@ -255,20 +327,52 @@ impl StreamEngine {
             match estimate::multi_expression(&exprs, &pairs, &self.options) {
                 Ok(estimates) => {
                     for (id, est) in members.iter().zip(estimates) {
+                        // The shared-scan path bypasses `evaluate`, so it
+                        // accounts its per-method counters here; latency is
+                        // observed once for the whole round below.
+                        self.metrics.record_method(est.method);
                         results.insert(*id, Ok(est));
                     }
                 }
                 Err(shared_err) => {
                     // Re-run individually so each query reports its own
-                    // error (e.g. NoValidObservations) faithfully.
+                    // error (e.g. NoValidObservations) faithfully; the
+                    // individual calls instrument themselves.
                     let _ = shared_err;
                     for id in members {
-                        results.insert(id, self.estimate(id));
+                        results.insert(id, self.evaluate(id));
                     }
                 }
             }
         }
+        self.metrics
+            .estimate_latency_ns
+            .observe(clock::now_ns().saturating_sub(start));
+        if span.is_recording() {
+            span.detail(format!("{} queries", results.len()));
+        }
         results.into_iter().collect()
+    }
+
+    /// Deprecated alias of [`Self::evaluate`] for registered queries.
+    #[deprecated(since = "0.2.0", note = "use `evaluate(id)` — the unified Query/Estimate path")]
+    pub fn estimate(&self, id: QueryId) -> Result<Estimate, EngineError> {
+        self.evaluate(id)
+    }
+
+    /// Deprecated alias of [`Self::evaluate`] for ad-hoc expressions.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `evaluate(expr)` — the unified Query/Estimate path"
+    )]
+    pub fn estimate_expr(&self, expr: &SetExpr) -> Result<Estimate, EngineError> {
+        self.evaluate(expr)
+    }
+
+    /// Deprecated alias of [`Self::evaluate_all`].
+    #[deprecated(since = "0.2.0", note = "use `evaluate_all()`")]
+    pub fn estimate_all(&self) -> Vec<(QueryId, Result<Estimate, EngineError>)> {
+        self.evaluate_all()
     }
 
     fn estimate_cached(
@@ -320,7 +424,7 @@ impl StreamEngine {
         if !self.queries.contains_key(&query) {
             return Err(EngineError::UnknownQuery(query));
         }
-        let id = WatchId(self.next_watch);
+        let id = WatchId::new(self.next_watch);
         self.next_watch += 1;
         self.watches.insert(
             id,

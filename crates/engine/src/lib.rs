@@ -35,23 +35,37 @@
 //!     engine.process(&Update::insert(StreamId(0), e, 1));
 //!     engine.process(&Update::insert(StreamId(1), e + 1000, 1));
 //! }
-//! let answer = engine.estimate(q).unwrap();
+//! let answer = engine.evaluate(q).unwrap();
 //! assert!((answer.value - 1000.0).abs() / 1000.0 < 0.5);
 //! ```
+//!
+//! # Observability
+//!
+//! Every engine carries always-on [`EngineMetrics`] (ingest counters,
+//! estimate latency histogram, per-method counters) reachable via
+//! [`StreamEngine::metrics`]; register the handle with a
+//! [`setstream_obs::Registry`] and render with
+//! [`setstream_obs::export::render`]. Span tracing around estimate calls
+//! is opt-in via [`StreamEngine::set_trace`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod config;
 pub mod durable;
 mod engine;
 mod ingest;
+mod metrics;
+pub mod prelude;
 mod query;
 mod snapshot;
 mod watch;
 
+pub use config::{ConfigError, EngineConfig, EngineConfigBuilder};
 pub use durable::{DurableError, DurableKind};
 pub use engine::{EngineError, EngineStats, StreamEngine};
 pub use ingest::ShardedIngestor;
+pub use metrics::EngineMetrics;
+pub use query::{Query, QueryId, RegisteredQuery};
 pub use snapshot::EngineSnapshot;
-pub use query::{QueryId, RegisteredQuery};
 pub use watch::{Comparison, Watch, WatchEvent, WatchId};

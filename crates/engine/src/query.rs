@@ -1,11 +1,76 @@
-//! Registered continuous queries.
+//! Registered continuous queries and the unified [`Query`] request type.
 
-use setstream_expr::SetExpr;
+use setstream_expr::{ParseError, SetExpr};
 use setstream_stream::StreamId;
 
 /// Handle to a registered query.
+///
+/// The inner value is private: handles are only minted by the engine
+/// (forging one would defeat the registration bookkeeping). Use
+/// [`QueryId::value`] for display or external correlation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct QueryId(pub u64);
+pub struct QueryId(u64);
+
+impl QueryId {
+    pub(crate) fn new(id: u64) -> Self {
+        QueryId(id)
+    }
+
+    /// The numeric handle value (for logs and external correlation).
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A unified estimation request: either a registered query handle or an
+/// ad-hoc expression. The single argument type of
+/// [`crate::StreamEngine::evaluate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Answer a registered continuous query.
+    Registered(QueryId),
+    /// Answer an ad-hoc expression without registering it.
+    Expr(SetExpr),
+}
+
+impl Query {
+    /// Parse query text into an ad-hoc [`Query::Expr`].
+    pub fn parse(text: &str) -> Result<Query, ParseError> {
+        Ok(Query::Expr(text.parse()?))
+    }
+}
+
+impl From<QueryId> for Query {
+    fn from(id: QueryId) -> Self {
+        Query::Registered(id)
+    }
+}
+
+impl From<SetExpr> for Query {
+    fn from(expr: SetExpr) -> Self {
+        Query::Expr(expr)
+    }
+}
+
+impl From<&SetExpr> for Query {
+    fn from(expr: &SetExpr) -> Self {
+        Query::Expr(expr.clone())
+    }
+}
+
+impl std::str::FromStr for Query {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Query::parse(s)
+    }
+}
 
 /// A continuous set-expression query held by the engine.
 #[derive(Debug, Clone)]
@@ -44,7 +109,7 @@ mod tests {
 
     #[test]
     fn registration_simplifies() {
-        let q = RegisteredQuery::new(QueryId(1), "A | (A & B)".parse().unwrap());
+        let q = RegisteredQuery::new(QueryId::new(1), "A | (A & B)".parse().unwrap());
         assert_eq!(q.simplified, "A".parse().unwrap());
         assert!(q.was_simplified());
         assert_eq!(q.streams, vec![StreamId(0)]);
@@ -52,7 +117,7 @@ mod tests {
 
     #[test]
     fn irreducible_queries_pass_through() {
-        let q = RegisteredQuery::new(QueryId(2), "(A - B) & C".parse().unwrap());
+        let q = RegisteredQuery::new(QueryId::new(2), "(A - B) & C".parse().unwrap());
         assert!(!q.was_simplified());
         assert_eq!(q.streams.len(), 3);
     }

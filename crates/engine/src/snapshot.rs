@@ -38,6 +38,7 @@ pub struct EngineSnapshot {
 impl StreamEngine {
     /// Capture the engine state.
     pub fn snapshot(&self) -> EngineSnapshot {
+        self.metrics().snapshots.inc();
         EngineSnapshot {
             family: *self.family(),
             options: self.options_ref(),
@@ -47,14 +48,14 @@ impl StreamEngine {
                 .collect(),
             queries: self
                 .queries()
-                .map(|q| (q.id.0, q.original.clone()))
+                .map(|q| (q.id.value(), q.original.clone()))
                 .collect(),
             watches: self
                 .watches()
                 .map(|w| {
                     (
-                        w.id.0,
-                        w.query.0,
+                        w.id.value(),
+                        w.query.value(),
                         w.threshold,
                         matches!(w.comparison, Comparison::Above),
                     )
@@ -68,16 +69,17 @@ impl StreamEngine {
     /// Rebuild an engine from a snapshot.
     pub fn restore(snapshot: EngineSnapshot) -> Self {
         let mut engine = StreamEngine::new(snapshot.family).with_options(snapshot.options);
+        engine.metrics().restores.inc();
         for (id, vector) in snapshot.synopses {
             engine.install_synopsis(id, vector);
         }
         for (id, expr) in snapshot.queries {
-            engine.install_query(RegisteredQuery::new(QueryId(id), expr));
+            engine.install_query(RegisteredQuery::new(QueryId::new(id), expr));
         }
         for (id, query, threshold, above) in snapshot.watches {
             engine.install_watch(Watch {
-                id: WatchId(id),
-                query: QueryId(query),
+                id: WatchId::new(id),
+                query: QueryId::new(query),
                 threshold,
                 comparison: if above {
                     Comparison::Above
@@ -122,8 +124,8 @@ mod tests {
 
         // Identical answers.
         assert_eq!(
-            engine.estimate(q).unwrap().value,
-            restored.estimate(q).unwrap().value
+            engine.evaluate(q).unwrap().value,
+            restored.evaluate(q).unwrap().value
         );
         // Identical stats.
         assert_eq!(engine.stats(), restored.stats());
@@ -149,8 +151,8 @@ mod tests {
             restored.process(&Update::insert(StreamId(0), e, 1));
         }
         assert_eq!(
-            engine.estimate(q).unwrap().value,
-            restored.estimate(q).unwrap().value
+            engine.evaluate(q).unwrap().value,
+            restored.evaluate(q).unwrap().value
         );
     }
 

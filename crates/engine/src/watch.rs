@@ -8,8 +8,28 @@
 use crate::query::QueryId;
 
 /// Handle to a registered watch.
+///
+/// The inner value is private (handles are minted by the engine, not
+/// forged); use [`WatchId::value`] for display or external correlation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct WatchId(pub u64);
+pub struct WatchId(u64);
+
+impl WatchId {
+    pub(crate) fn new(id: u64) -> Self {
+        WatchId(id)
+    }
+
+    /// The numeric handle value (for logs and external correlation).
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for WatchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
 
 /// Trigger direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,8 +83,8 @@ mod tests {
     #[test]
     fn trigger_directions() {
         let above = Watch {
-            id: WatchId(1),
-            query: QueryId(1),
+            id: WatchId::new(1),
+            query: QueryId::new(1),
             threshold: 100.0,
             comparison: Comparison::Above,
         };

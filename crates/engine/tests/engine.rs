@@ -38,7 +38,7 @@ fn registered_queries_answer_close_to_truth() {
     ];
     for (text, truth) in cases {
         let q = engine.register_query(text).unwrap();
-        let est = engine.estimate(q).unwrap();
+        let est = engine.evaluate(q).unwrap();
         let rel = (est.value - truth).abs() / truth;
         assert!(rel < 0.45, "{text}: estimate {} (truth {truth})", est.value);
     }
@@ -51,7 +51,7 @@ fn estimate_all_shares_union_and_matches_individual() {
     let q2 = engine.register_query("A - B").unwrap();
     let q3 = engine.register_query("(A & B) - C").unwrap();
     let all: std::collections::BTreeMap<_, _> = engine
-        .estimate_all()
+        .evaluate_all()
         .into_iter()
         .map(|(id, r)| (id, r.unwrap()))
         .collect();
@@ -72,7 +72,7 @@ fn queries_are_simplified_on_registration() {
     assert_eq!(reg.simplified.to_string(), "A");
     // The simplified query only touches stream A.
     assert_eq!(reg.streams, vec![StreamId(0)]);
-    let est = engine.estimate(q).unwrap();
+    let est = engine.evaluate(q).unwrap();
     let rel = (est.value - 4000.0).abs() / 4000.0;
     assert!(rel < 0.2, "estimate {}", est.value);
 }
@@ -81,10 +81,10 @@ fn queries_are_simplified_on_registration() {
 fn unknown_streams_are_empty_sets() {
     let mut engine = engine_with_data();
     let q = engine.register_query("A & Z").unwrap();
-    let est = engine.estimate(q).unwrap();
+    let est = engine.evaluate(q).unwrap();
     assert_eq!(est.witness_hits, 0, "nothing intersects an empty stream");
     let q2 = engine.register_query("A - Z").unwrap();
-    let est2 = engine.estimate(q2).unwrap();
+    let est2 = engine.evaluate(q2).unwrap();
     let rel = (est2.value - 4000.0).abs() / 4000.0;
     assert!(rel < 0.2, "A - ∅ should be ≈ |A|, got {}", est2.value);
 }
@@ -97,12 +97,12 @@ fn deletions_flow_through_to_answers() {
         engine.process(&Update::insert(StreamId(1), e, 1));
     }
     let q = engine.register_query("A & B").unwrap();
-    let before = engine.estimate(q).unwrap().value;
+    let before = engine.evaluate(q).unwrap().value;
     // Remove the top half of B.
     for e in 1000..2000u64 {
         engine.process(&Update::delete(StreamId(1), e, 1));
     }
-    let after = engine.estimate(q).unwrap().value;
+    let after = engine.evaluate(q).unwrap().value;
     assert!((before - 2000.0).abs() / 2000.0 < 0.25, "before {before}");
     assert!((after - 1000.0).abs() / 1000.0 < 0.35, "after {after}");
     assert_eq!(engine.stats().deletions, 1000);
@@ -146,7 +146,7 @@ fn unregistering_cleans_up() {
     assert_eq!(engine.stats().queries, 0);
     assert_eq!(engine.stats().watches, 0, "orphan watches must be removed");
     assert!(matches!(
-        engine.estimate(q),
+        engine.evaluate(q),
         Err(EngineError::UnknownQuery(_))
     ));
     assert!(engine.unregister_watch(w).is_err());
@@ -159,7 +159,10 @@ fn error_paths() {
         engine.register_query("A &&& B"),
         Err(EngineError::Parse(_))
     ));
-    let bogus = setstream_engine::QueryId(999);
+    // Handles can no longer be forged (private inner id) — a stale handle
+    // from an unregistered query exercises the same unknown-id path.
+    let bogus = engine.register_query("A").unwrap();
+    engine.unregister_query(bogus).unwrap();
     assert!(matches!(
         engine.register_watch(bogus, 1.0, Comparison::Above),
         Err(EngineError::UnknownQuery(_))
@@ -195,7 +198,109 @@ fn ad_hoc_expressions_without_registration() {
         e
     };
     let expr = "B - A".parse().unwrap();
-    let est = engine.estimate_expr(&expr).unwrap();
+    let est = engine.evaluate(&expr).unwrap();
     let rel = (est.value - 2000.0).abs() / 2000.0;
     assert!(rel < 0.45, "estimate {}", est.value);
+}
+
+#[test]
+fn unified_query_type_accepts_all_request_forms() {
+    use setstream_engine::prelude::*;
+    let mut engine = engine_with_data();
+    let q = engine.register_query("A & B").unwrap();
+    let by_id = engine.evaluate(q).unwrap();
+    let by_query: Query = "A & B".parse().unwrap();
+    let by_text = engine.evaluate(by_query).unwrap();
+    let expr: setstream_expr::SetExpr = "A & B".parse().unwrap();
+    let by_expr = engine.evaluate(&expr).unwrap();
+    // Same synopses, same estimator: identical answers.
+    assert_eq!(by_id.value, by_text.value);
+    assert_eq!(by_id.value, by_expr.value);
+    // The record is self-describing.
+    assert_eq!(by_id.method, EstimateMethod::Witness);
+    assert!(by_id.witnesses().valid > 0);
+    assert!(by_id.atomic_fraction().unwrap() > 0.0);
+    let (lo, hi) = by_id.confidence().unwrap();
+    assert!(lo <= by_id.value && by_id.value <= hi);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_estimate_wrappers_still_answer() {
+    let mut engine = engine_with_data();
+    let q = engine.register_query("A - B").unwrap();
+    let old = engine.estimate(q).unwrap();
+    let new = engine.evaluate(q).unwrap();
+    assert_eq!(old.value, new.value);
+    let expr: setstream_expr::SetExpr = "A - B".parse().unwrap();
+    assert_eq!(engine.estimate_expr(&expr).unwrap().value, new.value);
+    assert_eq!(engine.estimate_all().len(), 1);
+}
+
+#[test]
+fn engine_metrics_track_ingest_and_estimates() {
+    let mut engine = StreamEngine::new(family());
+    let inserts: Vec<Update> = (0..5000u64)
+        .map(|e| Update::insert(StreamId((e % 2) as u32), e, 1))
+        .collect();
+    engine.process_batch(&inserts);
+    engine.process(&Update::delete(StreamId(0), 7, 1));
+    let m = engine.metrics().clone();
+    assert_eq!(m.ingest_updates.get(), 5001);
+    assert_eq!(m.ingest_deletions.get(), 1);
+    assert_eq!(m.ingest_batches.get(), 1);
+    // The all-insert batch rides the uniform-delta fast path end to end.
+    assert_eq!(m.ingest_fastpath_updates.get(), 5000);
+
+    let q = engine.register_query("A & B").unwrap();
+    let _ = engine.evaluate(q).unwrap();
+    let _ = engine.evaluate(q).unwrap();
+    assert_eq!(m.estimates_total(), 2);
+    assert_eq!(m.estimate_latency_ns.count(), 2);
+    assert!(m.estimate_latency_ns.sum() > 0);
+}
+
+#[test]
+fn metrics_counters_sum_exactly_under_sharded_parallel_ingest() {
+    // The concurrency contract of the satellite: however the batch is
+    // sharded across workers, the engine's atomic counters account every
+    // update exactly once.
+    let updates: Vec<Update> = (0..20_000u64)
+        .map(|e| {
+            if e % 10 == 0 {
+                Update::delete(StreamId((e % 3) as u32), e / 2, 1)
+            } else {
+                Update::insert(StreamId((e % 3) as u32), e, 1)
+            }
+        })
+        .collect();
+    for threads in [1, 2, 4] {
+        let mut engine = StreamEngine::new(family());
+        engine.process_batch_parallel(&updates, threads);
+        let m = engine.metrics();
+        assert_eq!(m.ingest_updates.get(), 20_000, "threads={threads}");
+        assert_eq!(m.ingest_deletions.get(), 2_000, "threads={threads}");
+        assert_eq!(m.ingest_batches.get(), 1);
+    }
+}
+
+#[test]
+fn trace_ring_records_estimate_spans() {
+    use setstream_engine::prelude::*;
+    use std::sync::Arc;
+    let ring = Arc::new(RingRecorder::new(16));
+    let mut engine = engine_with_data();
+    engine.set_trace(TraceHandle::new(ring.clone()));
+    let q = engine.register_query("A | B").unwrap();
+    let _ = engine.evaluate(q).unwrap();
+    let _ = engine.evaluate_all();
+    let names: Vec<&str> = ring.events().iter().map(|e| e.name).collect();
+    assert!(names.contains(&"engine.query"));
+    assert!(names.contains(&"engine.query_all"));
+    let q_span = ring
+        .events()
+        .into_iter()
+        .find(|e| e.name == "engine.query")
+        .unwrap();
+    assert!(q_span.detail.contains("via"), "detail: {}", q_span.detail);
 }

@@ -35,6 +35,7 @@
 
 pub mod batch;
 pub mod bit;
+pub mod clock;
 pub mod crc;
 pub mod field;
 pub mod kwise;

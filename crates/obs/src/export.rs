@@ -1,0 +1,186 @@
+//! Prometheus-style text exposition for collected samples.
+//!
+//! Renders the subset of the text format the project needs: `# TYPE`
+//! headers, label sets, and histograms expanded into cumulative `_bucket`
+//! series with `le` labels plus `_sum`/`_count`. Samples sharing a name
+//! are grouped under one header, so labeled variants (e.g. the typed
+//! rejection reasons) render as one metric family.
+
+use crate::registry::{Registry, Sample, SampleValue};
+use std::fmt::Write as _;
+
+/// Render all samples from `registry` in Prometheus text format.
+pub fn render(registry: &Registry) -> String {
+    render_samples(&registry.gather())
+}
+
+/// Render an explicit sample list in Prometheus text format.
+///
+/// Samples are grouped into metric families by name (first-encounter
+/// order, stable within a family), so interleaved labeled variants —
+/// e.g. alternating per-site gauges — still render under a single
+/// `# TYPE` header as the exposition format requires.
+pub fn render_samples(samples: &[Sample]) -> String {
+    let mut order: Vec<&str> = Vec::new();
+    for s in samples {
+        if !order.contains(&s.name.as_str()) {
+            order.push(&s.name);
+        }
+    }
+    let mut out = String::new();
+    for name in order {
+        let mut header_written = false;
+        for s in samples.iter().filter(|s| s.name == name) {
+            if !header_written {
+                let kind = match s.value {
+                    SampleValue::Counter(_) => "counter",
+                    SampleValue::Gauge(_) => "gauge",
+                    SampleValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+                header_written = true;
+            }
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, labels(&s.labels, None), v);
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, labels(&s.labels, None), v);
+                }
+                SampleValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                        cumulative += count;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            s.name,
+                            labels(&s.labels, Some(&bound.to_string())),
+                            cumulative
+                        );
+                    }
+                    cumulative += h.overflow;
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        labels(&s.labels, Some("+Inf")),
+                        cumulative
+                    );
+                    let _ = writeln!(out, "{}_sum{} {}", s.name, labels(&s.labels, None), h.sum);
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        s.name,
+                        labels(&s.labels, None),
+                        h.count
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Format a label set, optionally appending an `le` label (histograms).
+fn labels(pairs: &[(String, String)], le: Option<&str>) -> String {
+    if pairs.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in pairs {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", k, escape(v));
+        first = false;
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{}\"", le);
+    }
+    out.push('}');
+    out
+}
+
+/// Escape a label value per the exposition format.
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+    use crate::registry::Sample;
+
+    #[test]
+    fn counters_and_gauges_render_with_one_header_per_family() {
+        let samples = vec![
+            Sample::counter("x_total", 3).with_label("kind", "a"),
+            Sample::counter("x_total", 4).with_label("kind", "b"),
+            Sample::gauge("y", -1),
+        ];
+        let text = render_samples(&samples);
+        assert_eq!(
+            text,
+            "# TYPE x_total counter\n\
+             x_total{kind=\"a\"} 3\n\
+             x_total{kind=\"b\"} 4\n\
+             # TYPE y gauge\n\
+             y -1\n"
+        );
+    }
+
+    #[test]
+    fn interleaved_families_are_regrouped() {
+        // Per-site gauges arrive interleaved (a0, b0, a1, b1); the
+        // exposition format demands each family contiguous under one header.
+        let samples = vec![
+            Sample::gauge("a", 1).with_label("site", "0"),
+            Sample::gauge("b", 2).with_label("site", "0"),
+            Sample::gauge("a", 3).with_label("site", "1"),
+            Sample::gauge("b", 4).with_label("site", "1"),
+        ];
+        let text = render_samples(&samples);
+        assert_eq!(
+            text,
+            "# TYPE a gauge\n\
+             a{site=\"0\"} 1\n\
+             a{site=\"1\"} 3\n\
+             # TYPE b gauge\n\
+             b{site=\"0\"} 2\n\
+             b{site=\"1\"} 4\n"
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        let text = render_samples(&[Sample::histogram("lat", h.snapshot())]);
+        assert_eq!(
+            text,
+            "# TYPE lat histogram\n\
+             lat_bucket{le=\"10\"} 1\n\
+             lat_bucket{le=\"100\"} 2\n\
+             lat_bucket{le=\"+Inf\"} 3\n\
+             lat_sum 555\n\
+             lat_count 3\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let s = Sample::counter("e_total", 1).with_label("msg", "a\"b\\c\nd");
+        let text = render_samples(&[s]);
+        assert!(text.contains("msg=\"a\\\"b\\\\c\\nd\""));
+    }
+}

@@ -1,0 +1,46 @@
+//! Observability primitives for the setstream stack.
+//!
+//! Three pieces, deliberately small and dependency-free:
+//!
+//! * [`metrics`] — lock-light [`Counter`]/[`Gauge`]/[`Histogram`] built on
+//!   relaxed atomics. Updating a metric on a hot path is one atomic RMW;
+//!   there is no name lookup, no lock, no allocation.
+//! * [`registry`] — a scrape-time [`Registry`] of [`MetricSource`]s. Hot
+//!   paths hold direct field references to their metrics; the registry only
+//!   walks sources when something asks for a dump.
+//! * [`export`] — a Prometheus-style text renderer ([`export::render`])
+//!   for everything a registry gathers.
+//! * [`trace`] — span tracing with a no-op default ([`TraceHandle`]) and a
+//!   bounded [`RingRecorder`] flight recorder.
+//!
+//! # Example
+//!
+//! ```
+//! use setstream_obs::{Counter, Registry, Sample, export};
+//! use std::sync::Arc;
+//!
+//! // A component owns its metrics directly…
+//! struct Ingest { updates: Counter }
+//! let ingest = Arc::new(Ingest { updates: Counter::new() });
+//! ingest.updates.add(42); // …and updates them without any registry traffic.
+//!
+//! // The registry only sees it at scrape time.
+//! let registry = Registry::new();
+//! let src = Arc::clone(&ingest);
+//! registry.register(Arc::new(move |out: &mut Vec<Sample>| {
+//!     out.push(Sample::counter("ingest_updates_total", src.updates.get()));
+//! }));
+//! assert!(export::render(&registry).contains("ingest_updates_total 42"));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{MetricSource, Registry, Sample, SampleValue};
+pub use trace::{NoopTrace, RingRecorder, Span, TraceEvent, TraceHandle, TraceSink};

@@ -1,0 +1,272 @@
+//! Lock-light metric primitives: counters, gauges, fixed-bucket histograms.
+//!
+//! All three are plain atomics — a metric update on a hot path is one (for
+//! counters/gauges) or three (for histograms) relaxed atomic RMW
+//! instructions, no locks, no allocation, no branching beyond the bucket
+//! search. Reads (`get`, [`Histogram::snapshot`]) are relaxed loads; they
+//! are monotone-consistent, not a point-in-time snapshot across metrics,
+//! which is the usual contract for scrape-style exporters.
+//!
+//! Histograms observe **integer** values (nanoseconds, bytes, counts) into
+//! a fixed set of upper bounds chosen at construction; there is no dynamic
+//! resizing, so concurrent observers never contend on anything but the
+//! target bucket's cache line.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move in both directions.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over integer observations with fixed bucket upper bounds.
+///
+/// Bucket `i` counts observations `v <= bounds[i]`; an implicit `+Inf`
+/// bucket catches the rest. `sum` accumulates the raw observed values so
+/// exporters can derive an average.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    /// Count of observations above the last bound (the `+Inf` bucket).
+    overflow: AtomicU64,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given strictly increasing bucket upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Latency buckets in nanoseconds: 1 µs … ~16 s in powers of four.
+    ///
+    /// Covers everything from a cached single-query estimate (~µs) to a
+    /// full multi-round distributed collection (~s) in 13 buckets.
+    pub fn latency_ns() -> Self {
+        let mut bounds = Vec::new();
+        let mut b = 1_000u64; // 1 µs
+        while b <= 16_000_000_000 {
+            bounds.push(b);
+            b *= 4;
+        }
+        Histogram::new(&bounds)
+    }
+
+    /// Size buckets in bytes: 256 B … 16 MiB in powers of four.
+    pub fn size_bytes() -> Self {
+        let mut bounds = Vec::new();
+        let mut b = 256u64;
+        while b <= 16 * 1024 * 1024 {
+            bounds.push(b);
+            b *= 4;
+        }
+        Histogram::new(&bounds)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        match self.bounds.iter().position(|&b| v <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Bucket upper bounds (excluding the implicit `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts plus the `+Inf` overflow count, then `(sum, count)`.
+    ///
+    /// Counts are **non-cumulative** (each bucket counts only its own
+    /// range); the exporter accumulates them into Prometheus' cumulative
+    /// `le` convention.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A point-in-time read of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (excluding `+Inf`).
+    pub bounds: Vec<u64>,
+    /// Non-cumulative per-bucket counts, aligned with `bounds`.
+    pub counts: Vec<u64>,
+    /// Observations above the last bound.
+    pub overflow: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Total observation count.
+    pub count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 100, 999, 5000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 1]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 5 + 10 + 11 + 100 + 999 + 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn canned_bucket_layouts_are_valid() {
+        let l = Histogram::latency_ns();
+        assert!(l.bounds().len() > 8);
+        let s = Histogram::size_bytes();
+        assert!(s.bounds().len() > 6);
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        use std::sync::Arc;
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+}

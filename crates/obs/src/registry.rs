@@ -1,0 +1,163 @@
+//! The metric registry: named sources, collected on demand.
+//!
+//! Hot paths never touch the registry — instrumented components hold direct
+//! references to their own [`Counter`]/[`Gauge`]/[`Histogram`] fields and
+//! update them with single atomic instructions. The registry only comes
+//! into play at *scrape* time: each registered [`MetricSource`] walks its
+//! metrics and appends [`Sample`]s, which the exporter renders as text.
+//! This is the collect-trait design (as opposed to name-keyed lookup maps)
+//! that keeps the always-on overhead near zero.
+//!
+//! [`Counter`]: crate::metrics::Counter
+//! [`Gauge`]: crate::metrics::Gauge
+//! [`Histogram`]: crate::metrics::Histogram
+
+use crate::metrics::HistogramSnapshot;
+use std::sync::{Arc, Mutex};
+
+/// One exported metric value with its name and labels.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Metric name, e.g. `setstream_ingest_updates_total`.
+    ///
+    /// Convention: `setstream_<layer>_<what>_<unit-or-total>`, snake_case.
+    pub name: String,
+    /// Label pairs, e.g. `[("reason", "stale_epoch")]`. May be empty.
+    pub labels: Vec<(String, String)>,
+    /// The value, typed by metric kind.
+    pub value: SampleValue,
+}
+
+impl Sample {
+    /// A counter sample with no labels.
+    pub fn counter(name: &str, value: u64) -> Self {
+        Sample {
+            name: name.to_string(),
+            labels: Vec::new(),
+            value: SampleValue::Counter(value),
+        }
+    }
+
+    /// A gauge sample with no labels.
+    pub fn gauge(name: &str, value: i64) -> Self {
+        Sample {
+            name: name.to_string(),
+            labels: Vec::new(),
+            value: SampleValue::Gauge(value),
+        }
+    }
+
+    /// A histogram sample with no labels.
+    pub fn histogram(name: &str, snapshot: HistogramSnapshot) -> Self {
+        Sample {
+            name: name.to_string(),
+            labels: Vec::new(),
+            value: SampleValue::Histogram(snapshot),
+        }
+    }
+
+    /// Attach a label pair, builder-style.
+    pub fn with_label(mut self, key: &str, value: &str) -> Self {
+        self.labels.push((key.to_string(), value.to_string()));
+        self
+    }
+}
+
+/// The typed value carried by a [`Sample`].
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Signed gauge.
+    Gauge(i64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// Anything that can contribute samples at scrape time.
+///
+/// Implementors are registered once and collected on every scrape; the
+/// `collect` call may take internal locks (it runs off the hot path) but
+/// must not block indefinitely.
+pub trait MetricSource: Send + Sync {
+    /// Append this source's current samples to `out`.
+    fn collect(&self, out: &mut Vec<Sample>);
+}
+
+impl<F> MetricSource for F
+where
+    F: Fn(&mut Vec<Sample>) + Send + Sync,
+{
+    fn collect(&self, out: &mut Vec<Sample>) {
+        self(out)
+    }
+}
+
+/// A scrape-time aggregator over registered [`MetricSource`]s.
+///
+/// Cloning is cheap (shared handle); registration takes a lock, collection
+/// takes it only long enough to clone the source list.
+#[derive(Clone, Default)]
+pub struct Registry {
+    sources: Arc<Mutex<Vec<Arc<dyn MetricSource>>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a source; it is collected on every subsequent scrape.
+    pub fn register(&self, source: Arc<dyn MetricSource>) {
+        self.sources.lock().expect("registry lock").push(source);
+    }
+
+    /// Collect all samples from all registered sources.
+    pub fn gather(&self) -> Vec<Sample> {
+        let sources: Vec<Arc<dyn MetricSource>> =
+            self.sources.lock().expect("registry lock").clone();
+        let mut out = Vec::new();
+        for s in &sources {
+            s.collect(&mut out);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.sources.lock().map(|s| s.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("sources", &n).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_sources_collect_in_registration_order() {
+        let reg = Registry::new();
+        reg.register(Arc::new(|out: &mut Vec<Sample>| {
+            out.push(Sample::counter("a_total", 1));
+        }));
+        reg.register(Arc::new(|out: &mut Vec<Sample>| {
+            out.push(Sample::gauge("b", -2).with_label("k", "v"));
+        }));
+        let samples = reg.gather();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].name, "a_total");
+        assert_eq!(samples[1].labels, vec![("k".into(), "v".into())]);
+    }
+
+    #[test]
+    fn cloned_registry_shares_sources() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        clone.register(Arc::new(|out: &mut Vec<Sample>| {
+            out.push(Sample::counter("c_total", 7));
+        }));
+        assert_eq!(reg.gather().len(), 1);
+    }
+}

@@ -1,0 +1,261 @@
+//! Span-style tracing: a sink trait, a no-op default, a ring recorder.
+//!
+//! Tracing is opt-in per component: everything instrumented holds a
+//! [`TraceHandle`], which defaults to a no-op sink. With the no-op handle a
+//! span is one branch — no clock read, no allocation — so the hooks can
+//! stay compiled-in on the epoch-cut and estimator paths. Installing a
+//! [`RingRecorder`] turns the same hooks into a bounded in-memory flight
+//! recorder suitable for tests and post-mortem dumps.
+
+use setstream_hash::clock;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Process-unique span ID (see [`setstream_hash::clock::next_id`]).
+    pub id: u64,
+    /// Static span name, e.g. `"engine.query"` or `"site.cut_epoch"`.
+    pub name: &'static str,
+    /// Free-form detail attached by the instrumented code (may be empty).
+    pub detail: String,
+    /// Span start, nanoseconds since process start.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Receives completed spans. Implementations must be cheap and non-blocking;
+/// they run inline on the instrumented path.
+pub trait TraceSink: Send + Sync {
+    /// Record one completed span.
+    fn record(&self, event: TraceEvent);
+}
+
+/// The default sink: discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopTrace;
+
+impl TraceSink for NoopTrace {
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// A bounded in-memory recorder: keeps the most recent `capacity` spans.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl RingRecorder {
+    /// A recorder retaining at most `capacity` spans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// All retained spans, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("ring lock").len()
+    }
+
+    /// Whether no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&self, event: TraceEvent) {
+        let mut q = self.events.lock().expect("ring lock");
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        q.push_back(event);
+    }
+}
+
+/// A cloneable, `Debug`-able handle to a trace sink.
+///
+/// Instrumented types (`StreamEngine`, `Site`) derive `Debug`/`Clone`, so
+/// the handle wraps the `dyn TraceSink` behind an `Arc` and implements both
+/// manually. The no-op handle is flagged so spans cost a single branch.
+#[derive(Clone)]
+pub struct TraceHandle {
+    sink: Arc<dyn TraceSink>,
+    enabled: bool,
+}
+
+impl TraceHandle {
+    /// A handle to the given sink.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        TraceHandle {
+            sink,
+            enabled: true,
+        }
+    }
+
+    /// The discard-everything handle.
+    pub fn noop() -> Self {
+        TraceHandle {
+            sink: Arc::new(NoopTrace),
+            enabled: false,
+        }
+    }
+
+    /// Whether spans are actually recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Start a span; it records to the sink when finished (or dropped).
+    ///
+    /// With a no-op handle this reads no clock and allocates nothing.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        if self.enabled {
+            Span {
+                handle: Some(self),
+                id: clock::next_id(),
+                name,
+                detail: String::new(),
+                start_ns: clock::now_ns(),
+            }
+        } else {
+            Span {
+                handle: None,
+                id: 0,
+                name,
+                detail: String::new(),
+                start_ns: 0,
+            }
+        }
+    }
+}
+
+impl Default for TraceHandle {
+    fn default() -> Self {
+        TraceHandle::noop()
+    }
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+/// An in-flight span. Records itself on drop; use [`Span::finish`] to end
+/// it explicitly, [`Span::detail`] to attach context.
+#[derive(Debug)]
+pub struct Span<'a> {
+    handle: Option<&'a TraceHandle>,
+    id: u64,
+    name: &'static str,
+    detail: String,
+    start_ns: u64,
+}
+
+impl Span<'_> {
+    /// Attach free-form detail (overwrites any previous detail).
+    ///
+    /// No-op spans skip the formatting cost: pass a closure-produced string
+    /// only when enabled via [`Span::is_recording`] if the detail is
+    /// expensive to build.
+    pub fn detail(&mut self, detail: impl Into<String>) {
+        if self.handle.is_some() {
+            self.detail = detail.into();
+        }
+    }
+
+    /// Whether this span will actually be recorded.
+    pub fn is_recording(&self) -> bool {
+        self.handle.is_some()
+    }
+
+    /// End the span now.
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle {
+            let end = clock::now_ns();
+            handle.sink.record(TraceEvent {
+                id: self.id,
+                name: self.name,
+                detail: std::mem::take(&mut self.detail),
+                start_ns: self.start_ns,
+                duration_ns: end.saturating_sub(self.start_ns),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_spans_record_nothing_and_read_no_clock() {
+        let h = TraceHandle::noop();
+        assert!(!h.is_enabled());
+        let mut s = h.span("x");
+        assert!(!s.is_recording());
+        s.detail("ignored");
+        s.finish();
+    }
+
+    #[test]
+    fn ring_recorder_captures_spans_in_order() {
+        let ring = Arc::new(RingRecorder::new(8));
+        let h = TraceHandle::new(ring.clone());
+        {
+            let mut s = h.span("first");
+            s.detail("d1");
+        }
+        h.span("second").finish();
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "first");
+        assert_eq!(events[0].detail, "d1");
+        assert_eq!(events[1].name, "second");
+        assert!(events[0].id != events[1].id);
+    }
+
+    #[test]
+    fn ring_recorder_evicts_oldest() {
+        let ring = Arc::new(RingRecorder::new(2));
+        let h = TraceHandle::new(ring.clone());
+        h.span("a").finish();
+        h.span("b").finish();
+        h.span("c").finish();
+        let names: Vec<&str> = ring.events().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["b", "c"]);
+        assert_eq!(ring.dropped(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Golden-file test for the Prometheus text exporter: a fixed registry
+//! must render byte-for-byte identically to `tests/golden/export.txt`.
+//! Catches accidental format drift (header placement, bucket cumulation,
+//! label ordering) that unit assertions on substrings would miss.
+
+use setstream_obs::{export, Counter, Gauge, Histogram, Registry, Sample};
+use std::sync::Arc;
+
+const GOLDEN: &str = include_str!("golden/export.txt");
+
+#[test]
+fn exporter_output_matches_golden_file() {
+    let updates = Counter::new();
+    updates.add(12_345);
+    let rejected_wire = Counter::new();
+    rejected_wire.add(3);
+    let rejected_stale = Counter::new();
+    rejected_stale.add(1);
+    let sites = Gauge::new();
+    sites.set(4);
+    let latency = Histogram::new(&[1_000, 10_000, 100_000]);
+    for v in [500, 900, 5_000, 42_000, 2_000_000] {
+        latency.observe(v);
+    }
+
+    let registry = Registry::new();
+    registry.register(Arc::new(move |out: &mut Vec<Sample>| {
+        out.push(Sample::counter(
+            "setstream_ingest_updates_total",
+            updates.get(),
+        ));
+        out.push(
+            Sample::counter("setstream_frames_rejected_total", rejected_wire.get())
+                .with_label("reason", "wire"),
+        );
+        out.push(
+            Sample::counter("setstream_frames_rejected_total", rejected_stale.get())
+                .with_label("reason", "stale_epoch"),
+        );
+        out.push(Sample::gauge("setstream_sites", sites.get()));
+        out.push(Sample::histogram(
+            "setstream_estimate_latency_ns",
+            latency.snapshot(),
+        ));
+    }));
+
+    assert_eq!(export::render(&registry), GOLDEN);
+}

@@ -1,0 +1,89 @@
+//! Property-based concurrency checks for the lock-light metric
+//! primitives: under arbitrary per-thread update plans, relaxed atomics
+//! must still account for every single update — counters and histogram
+//! sums are exact, never approximate, no matter how the scheduler
+//! interleaves the threads.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use setstream_obs::{Counter, Gauge, Histogram};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn counter_increments_sum_exactly_across_threads(
+        // One increment plan per thread: each entry is an `add(n)`.
+        plans in vec(vec(0u64..1_000, 0..64), 1..6),
+    ) {
+        let c = Arc::new(Counter::new());
+        let want: u64 = plans.iter().flatten().sum();
+        let handles: Vec<_> = plans
+            .into_iter()
+            .map(|plan| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for n in plan {
+                        c.add(n);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(c.get(), want);
+    }
+
+    #[test]
+    fn gauge_deltas_cancel_exactly_across_threads(
+        plans in vec(vec(-500i64..500, 0..64), 1..6),
+    ) {
+        let g = Arc::new(Gauge::new());
+        let want: i64 = plans.iter().flatten().sum();
+        let handles: Vec<_> = plans
+            .into_iter()
+            .map(|plan| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for d in plan {
+                        g.add(d);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(g.get(), want);
+    }
+
+    #[test]
+    fn histogram_observations_are_never_lost_across_threads(
+        plans in vec(vec(0u64..100_000, 0..64), 1..6),
+    ) {
+        let h = Arc::new(Histogram::new(&[10, 1_000, 50_000]));
+        let want_count = plans.iter().map(Vec::len).sum::<usize>() as u64;
+        let want_sum: u64 = plans.iter().flatten().sum();
+        let handles: Vec<_> = plans
+            .into_iter()
+            .map(|plan| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for v in plan {
+                        h.observe(v);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, want_count);
+        prop_assert_eq!(s.sum, want_sum);
+        // Every observation landed in exactly one bucket (or overflow).
+        prop_assert_eq!(s.counts.iter().sum::<u64>() + s.overflow, want_count);
+    }
+}

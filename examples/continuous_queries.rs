@@ -67,7 +67,7 @@ fn main() {
             }
         }
         // End of monitoring interval: evaluate watches.
-        let estimate = engine.estimate(q).unwrap();
+        let estimate = engine.evaluate(q).unwrap();
         let events = engine.check_watches();
         let fired: Vec<String> = events
             .iter()

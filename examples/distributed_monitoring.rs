@@ -22,8 +22,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use setstream_core::SketchFamily;
 use setstream_distributed::network::{collect_epoch, CollectionOptions, FaultSpec, LossyLink};
-use setstream_distributed::{Coordinator, Site};
+use setstream_distributed::{CollectionMetrics, Coordinator, Site};
+use setstream_obs::{export, Registry};
 use setstream_stream::{StreamId, StreamSet, Update};
+use std::sync::Arc;
 
 fn main() {
     // The stored coins: one master seed, agreed on out-of-band. Every
@@ -41,7 +43,13 @@ fn main() {
     let mut links: Vec<LossyLink> = (0..n_sites)
         .map(|i| LossyLink::new(FaultSpec::nasty(), 0x17 + i as u64).expect("valid spec"))
         .collect();
-    let coordinator = Coordinator::new(family);
+    let coordinator = Arc::new(Coordinator::new(family));
+    let collection_metrics = Arc::new(CollectionMetrics::new());
+    // One registry exports everything: the coordinator's frame verdicts
+    // and site gauges, plus the collection driver's totals.
+    let registry = Registry::new();
+    registry.register(coordinator.clone());
+    registry.register(collection_metrics.clone());
     let opts = CollectionOptions::default();
     let mut ground_truth = StreamSet::new();
     let mut rng = StdRng::seed_from_u64(17);
@@ -93,6 +101,7 @@ fn main() {
         for (i, site) in sites.iter_mut().enumerate() {
             let report = collect_epoch(site, &mut links[i], &coordinator, &opts)
                 .expect("collection converges");
+            collection_metrics.record_report(&report);
             round_tx += report.transmissions;
             resyncs += report.resyncs;
             wal[i] = Some(report.checkpoint);
@@ -115,7 +124,7 @@ fn main() {
 
     for text in ["A & B", "A - B", "A | B"] {
         let query = text.parse().unwrap();
-        let answer = coordinator.estimate_expression_annotated(&query).unwrap();
+        let answer = coordinator.query(&query).unwrap();
         let exact = setstream_expr::eval::exact_cardinality(&query, &ground_truth);
         let rel = if exact == 0 {
             0.0
@@ -141,4 +150,8 @@ fn main() {
          faulty link — epoch watermarks plus cell linearity keep the merged \
          synopsis identical to a single observer's."
     );
+
+    // Everything above is also visible to machines: the registry renders
+    // the run's counters and gauges in Prometheus text format.
+    println!("\n--- metrics export ---\n{}", export::render(&registry));
 }

@@ -33,11 +33,27 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo clippy -p setstream-distributed --all-targets -- -D warnings"
 cargo clippy -p setstream-distributed --all-targets -- -D warnings
 
+echo '==> cargo doc --no-deps (warnings are errors)'
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> ingest smoke bench (quick)"
     cargo run --release -q -p setstream-bench --bin ingest_bench -- \
         --quick --out target/BENCH_ingest.quick.json
     echo "    wrote target/BENCH_ingest.quick.json"
+
+    # Observability must stay (near-)free: the instrumented engine ingest
+    # path may cost at most 5% over the raw update_batch kernel. The quick
+    # bench is noisy, so allow a generous-but-real ceiling of 1.05 + noise
+    # margin (1.15 total) before failing the gate; the full bench pins the
+    # tight number.
+    overhead=$(sed -n 's/.*"metrics_overhead": \([0-9.]*\).*/\1/p' \
+        target/BENCH_ingest.quick.json)
+    echo "    metrics overhead (engine vs raw kernel): ${overhead}x"
+    awk -v o="$overhead" 'BEGIN { exit !(o != "" && o <= 1.15) }' || {
+        echo "tier-1: FAIL — metrics overhead ${overhead}x exceeds budget" >&2
+        exit 1
+    }
 fi
 
 echo "tier-1: OK"

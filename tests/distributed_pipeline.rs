@@ -81,7 +81,7 @@ fn distributed_equals_centralized_exactly() {
     let queries = ["A & B", "A - B", "A | B", "B - A"];
     for text in queries {
         let expr = text.parse().unwrap();
-        let distributed = coord.estimate_expression(&expr).unwrap();
+        let distributed = coord.query(&expr).unwrap().estimate;
         let central = estimate::expression(
             &expr,
             &[(StreamId(0), &central_a), (StreamId(1), &central_b)],
@@ -124,8 +124,8 @@ fn frames_survive_reordering_and_duplication_is_detected_by_value() {
     }
     let q = "A & B".parse().unwrap();
     assert_eq!(
-        forward.estimate_expression(&q).unwrap().value,
-        backward.estimate_expression(&q).unwrap().value
+        forward.query(&q).unwrap().estimate.value,
+        backward.query(&q).unwrap().estimate.value
     );
 }
 
@@ -220,11 +220,12 @@ fn continuous_collection_with_crash_matches_exact_engine() {
     let mut links: Vec<LossyLink> = (0..3)
         .map(|i| LossyLink::new(FaultSpec::nasty(), 0xacce55 + i as u64).unwrap())
         .collect();
-    let opts = CollectionOptions {
-        max_rounds: 256,
-        max_attempts: 8,
-        backoff_rounds: 1,
-    };
+    let opts = CollectionOptions::builder()
+        .max_rounds(256)
+        .max_attempts(8)
+        .backoff_rounds(1)
+        .build()
+        .unwrap();
 
     for round in 0..n_rounds {
         // Each site observes its slice of this round's traffic.
@@ -250,7 +251,7 @@ fn continuous_collection_with_crash_matches_exact_engine() {
         // The coordinator answers mid-collection — graceful degradation
         // means queries never block on laggards.
         let ann = coord
-            .estimate_expression_annotated(&"A | B".parse().unwrap())
+            .query(&"A | B".parse().unwrap())
             .unwrap();
         assert!(ann.estimate.value.is_finite());
         assert_eq!(ann.health.sites, 3);
@@ -261,7 +262,7 @@ fn continuous_collection_with_crash_matches_exact_engine() {
     let opts_est = EstimatorOptions::default();
     for text in ["A & B", "A - B", "A | B", "B - A"] {
         let expr = text.parse().unwrap();
-        let distributed = coord.estimate_expression(&expr).unwrap();
+        let distributed = coord.query(&expr).unwrap().estimate;
         let central = estimate::expression(
             &expr,
             &[
@@ -295,7 +296,7 @@ fn continuous_collection_with_crash_matches_exact_engine() {
     }
     // Still in lockstep with the exact engine after the extra epoch.
     assert_eq!(
-        coord.estimate_expression(&"A".parse().unwrap()).unwrap().value,
+        coord.query(&"A".parse().unwrap()).unwrap().estimate.value,
         estimate::expression(
             &"A".parse().unwrap(),
             &[(StreamId(0), engine.synopsis(StreamId(0)).unwrap())],

@@ -44,8 +44,8 @@ fn trace_round_trip_preserves_engine_answers() {
         let q1 = direct.register_query(query).unwrap();
         let q2 = via_trace.register_query(query).unwrap();
         assert_eq!(
-            direct.estimate(q1).unwrap().value,
-            via_trace.estimate(q2).unwrap().value,
+            direct.evaluate(q1).unwrap().value,
+            via_trace.evaluate(q2).unwrap().value,
             "query {query}"
         );
     }
@@ -105,7 +105,7 @@ fn engine_synopses_ship_to_coordinator_over_lossy_network() {
             &opts,
         )
         .unwrap();
-        let global = coordinator.estimate_expression(&expr).unwrap();
+        let global = coordinator.query(&expr).map(|a| a.estimate).unwrap();
         assert_eq!(local.value, global.value, "query {query}");
     }
 }
@@ -132,8 +132,8 @@ fn engine_snapshot_survives_binary_serialization() {
     let restored = StreamEngine::restore(snapshot);
 
     assert_eq!(
-        engine.estimate(q).unwrap().value,
-        restored.estimate(q).unwrap().value
+        engine.evaluate(q).unwrap().value,
+        restored.evaluate(q).unwrap().value
     );
     assert_eq!(engine.stats(), restored.stats());
 }

@@ -49,7 +49,7 @@ fn engine_matches_oracle_on_random_workloads() {
 
         for q_seed in 0..6u64 {
             let expr: SetExpr = random_expr(trial * 100 + q_seed, N_STREAMS, 3);
-            let est = engine.estimate_expr(&expr).expect("estimation runs");
+            let est = engine.evaluate(&expr).expect("estimation runs");
             let exact = setstream_expr::eval::exact_cardinality(&expr, &truth) as f64;
             let union =
                 setstream_expr::eval::exact_union_cardinality(&expr, &truth) as f64;
@@ -97,7 +97,7 @@ fn engine_union_tracks_oracle_running_totals() {
             truth.apply(&u).expect("legal");
             engine.process(&u);
         }
-        let est = engine.estimate_expr(&expr).unwrap().value;
+        let est = engine.evaluate(&expr).unwrap().value;
         let exact = setstream_expr::eval::exact_cardinality(&expr, &truth) as f64;
         let rel = (est - exact).abs() / exact.max(1.0);
         assert!(
