@@ -1,0 +1,214 @@
+//! `setstream-analyze`: the workspace invariant analyzer.
+//!
+//! A lexical static-analysis pass over the setstream crates enforcing the
+//! invariants the paper's (ε, δ) guarantees rest on. Each rule has a code,
+//! a fix-it message, and an escape hatch:
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | A00  | `analyze: allow(...)` comments must be well-formed |
+//! | A01  | atomic `Ordering::*` only in the audited lock-light modules; `SeqCst` never |
+//! | A02  | raw GF(2⁶¹−1) arithmetic only inside `setstream-hash`'s field module |
+//! | A03  | no `panic!`/`unwrap`/`expect`/slice-indexing in library crates |
+//! | A04  | no internal callers of `#[deprecated]` setstream APIs |
+//! | A05  | container magic literals defined exactly once |
+//! | A06  | every public error enum implements `Display + std::error::Error` |
+//!
+//! Escape hatch: `// analyze: allow(<rule>) — <reason>` on (or directly
+//! above) the offending line, or `//! analyze: allow(<rule>) — <reason>`
+//! to waive a rule for a whole file. Rule names: `atomics`, `field`,
+//! `panic`, `indexing`, `deprecated`, `magic`, `error-impl`.
+//!
+//! The pass is lexical by design (the build environment vendors no `syn`):
+//! sources are scrubbed of comments and string literals first, which makes
+//! substring-level matching sound for the patterns these rules need. See
+//! [`scrub`] for the machinery and DESIGN.md §8 for the rule rationale.
+
+pub mod rules;
+pub mod scrub;
+
+use scrub::ScrubbedFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule code (`A01` ... `A06`, `A00` for malformed allows).
+    pub code: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}:{} {}", self.code, self.path, self.line, self.message)
+    }
+}
+
+/// What to analyze and which modules are allow-listed.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace (or fixture) root; paths in diagnostics are relative to it.
+    pub root: PathBuf,
+    /// Directories under `root` to scan for `.rs` files.
+    pub scan_dirs: Vec<String>,
+    /// Crate names whose `src/` is library code for rule A03.
+    pub lib_crates: Vec<String>,
+    /// Path suffixes where atomic `Ordering::*` is allowed (rule A01).
+    pub atomic_modules: Vec<String>,
+    /// Path suffixes where raw mod-p61 arithmetic is allowed (rule A02).
+    pub field_modules: Vec<String>,
+}
+
+impl Config {
+    /// The real workspace configuration rooted at `root`.
+    pub fn workspace(root: impl Into<PathBuf>) -> Self {
+        Config {
+            root: root.into(),
+            scan_dirs: vec!["crates".to_string()],
+            lib_crates: ["hash", "stream", "expr", "core", "engine", "distributed", "obs"]
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+            atomic_modules: vec![
+                "crates/obs/src/metrics.rs".to_string(),
+                "crates/obs/src/trace.rs".to_string(),
+                "crates/hash/src/clock.rs".to_string(),
+            ],
+            field_modules: vec!["crates/hash/src/field.rs".to_string()],
+        }
+    }
+
+    /// A fixture configuration: `root` is one mini-crate whose `src/` is
+    /// library code, with `src/clock.rs` / `src/field.rs` allow-listed.
+    pub fn fixture(root: impl Into<PathBuf>) -> Self {
+        Config {
+            root: root.into(),
+            scan_dirs: vec!["src".to_string()],
+            lib_crates: vec!["fixture".to_string()],
+            atomic_modules: vec!["src/clock.rs".to_string()],
+            field_modules: vec!["src/field.rs".to_string()],
+        }
+    }
+
+    /// The crate name a workspace-relative path belongs to, and whether it
+    /// counts as library (non-test) source for rule A03.
+    fn classify(&self, rel_path: &str) -> Classified {
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("fixture")
+            .to_string();
+        let in_src = if rel_path.starts_with("crates/") {
+            rel_path.split('/').nth(2) == Some("src")
+        } else {
+            rel_path.starts_with("src/")
+        };
+        Classified {
+            is_lib_source: in_src && self.lib_crates.contains(&crate_name),
+            all_test: !in_src,
+        }
+    }
+}
+
+struct Classified {
+    is_lib_source: bool,
+    all_test: bool,
+}
+
+/// A scrubbed file plus the rule scopes that apply to it.
+pub struct AnalyzedFile {
+    /// The scrubbed source and side tables.
+    pub scrubbed: ScrubbedFile,
+    /// Rule A03 applies (library crate `src/`).
+    pub is_lib_source: bool,
+    /// Atomic orderings allowed here (rule A01).
+    pub atomics_allowed: bool,
+    /// Raw field arithmetic allowed here (rule A02).
+    pub field_allowed: bool,
+}
+
+/// Run every rule over the configured tree.
+///
+/// # Errors
+/// Returns an error string if the root cannot be read.
+pub fn analyze(config: &Config) -> Result<Vec<Diagnostic>, String> {
+    let mut files = Vec::new();
+    for dir in &config.scan_dirs {
+        let base = config.root.join(dir);
+        if !base.exists() {
+            return Err(format!("scan dir does not exist: {}", base.display()));
+        }
+        collect_rs_files(&base, &mut files)
+            .map_err(|e| format!("walking {}: {e}", base.display()))?;
+    }
+    files.sort();
+    let mut analyzed = Vec::with_capacity(files.len());
+    for path in &files {
+        let rel = rel_unix_path(&config.root, path);
+        // Generated/vendored/fixture trees under a scanned dir are not
+        // subject to the rules (the fixtures *are* deliberate violations).
+        if rel.contains("/fixtures/") || rel.starts_with("target/") {
+            continue;
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let cls = config.classify(&rel);
+        let in_test_tree = cls.all_test
+            || rel.contains("/tests/")
+            || rel.contains("/benches/")
+            || rel.contains("/examples/");
+        let scrubbed = scrub::scrub(&rel, &text, in_test_tree);
+        analyzed.push(AnalyzedFile {
+            atomics_allowed: config.atomic_modules.iter().any(|m| rel.ends_with(m)),
+            field_allowed: config.field_modules.iter().any(|m| rel.ends_with(m)),
+            is_lib_source: cls.is_lib_source,
+            scrubbed,
+        });
+    }
+    let mut diags = rules::run_all(&analyzed);
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.code).cmp(&(b.path.as_str(), b.line, b.code))
+    });
+    Ok(diags)
+}
+
+/// Render diagnostics one per line (the golden-file format).
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_unix_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

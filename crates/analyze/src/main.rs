@@ -1,0 +1,95 @@
+//! CLI entry point: `cargo run -p setstream-analyze [-- --root <path>]`.
+//!
+//! Exit codes: `0` clean, `1` diagnostics reported, `2` usage/IO error.
+
+use setstream_analyze::{analyze, Config};
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut fixture = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return 2;
+                }
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--fixture" => fixture = true,
+            "--help" | "-h" => {
+                println!(
+                    "setstream-analyze: workspace invariant analyzer\n\
+                     \n\
+                     USAGE: setstream-analyze [--root <workspace>] [--quiet] [--fixture]\n\
+                     \n\
+                     --fixture treats --root as a single fixture mini-crate\n\
+                     (used to regenerate the golden files under tests/fixtures).\n\
+                     \n\
+                     Runs rules A01-A06 over the workspace crates (see DESIGN.md §8).\n\
+                     Exit 0 = clean, 1 = findings, 2 = usage/IO error."
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return 2;
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("could not locate the workspace root (no Cargo.toml with [workspace] above the current directory); pass --root");
+                return 2;
+            }
+        },
+    };
+    let config = if fixture { Config::fixture(&root) } else { Config::workspace(&root) };
+    match analyze(&config) {
+        Ok(diags) if diags.is_empty() => {
+            if !quiet {
+                println!("setstream-analyze: workspace clean (rules A01-A06)");
+            }
+            0
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("setstream-analyze: {} finding(s)", diags.len());
+            1
+        }
+        Err(e) => {
+            eprintln!("setstream-analyze: {e}");
+            2
+        }
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

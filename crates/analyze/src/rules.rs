@@ -1,0 +1,477 @@
+//! The analyzer's rules, A01 through A06 (plus A00 for malformed allows).
+//!
+//! Every rule works on scrubbed lines (comments and literals blanked, see
+//! [`crate::scrub`]), skips test code, and honours the allow escape hatch.
+
+use crate::scrub::is_ident_byte;
+use crate::{AnalyzedFile, Diagnostic};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Run every rule over the scrubbed tree.
+pub fn run_all(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    rule_a00_malformed_allows(files, &mut diags);
+    rule_a01_atomics(files, &mut diags);
+    rule_a02_field(files, &mut diags);
+    rule_a03_panics_and_indexing(files, &mut diags);
+    rule_a04_deprecated_callers(files, &mut diags);
+    rule_a05_magic_literals(files, &mut diags);
+    rule_a06_error_enums(files, &mut diags);
+    diags
+}
+
+fn diag(
+    code: &'static str,
+    file: &AnalyzedFile,
+    line: usize,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    out.push(Diagnostic {
+        code,
+        path: file.scrubbed.rel_path.clone(),
+        line,
+        message,
+    });
+}
+
+/// Find `needle` in `hay` requiring identifier boundaries on both sides.
+fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+/// Non-test, per-line iteration helper: yields `(1-based line, text)`.
+fn code_lines(file: &AnalyzedFile) -> impl Iterator<Item = (usize, &str)> {
+    file.scrubbed
+        .lines
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !file.scrubbed.is_test.get(*i).copied().unwrap_or(false))
+        .map(|(i, l)| (i + 1, l.as_str()))
+}
+
+// ---------------------------------------------------------------- A00
+
+fn rule_a00_malformed_allows(files: &[AnalyzedFile], out: &mut Vec<Diagnostic>) {
+    for f in files {
+        for (line, why) in &f.scrubbed.malformed {
+            diag("A00", f, *line, format!("malformed analyze comment: {why}"), out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- A01
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn rule_a01_atomics(files: &[AnalyzedFile], out: &mut Vec<Diagnostic>) {
+    for f in files {
+        for (line, text) in code_lines(f) {
+            for variant in ORDERINGS {
+                let pat = format!("Ordering::{variant}");
+                if find_word(text, &pat).is_none() {
+                    continue;
+                }
+                if *variant == "SeqCst" {
+                    if !f.scrubbed.is_allowed("atomics", line) {
+                        diag(
+                            "A01",
+                            f,
+                            line,
+                            "`Ordering::SeqCst` is forbidden everywhere: the workspace's \
+                             lock-light protocols are audited against Relaxed/Acquire/Release \
+                             only — pick the weakest ordering the invariant needs"
+                                .to_string(),
+                            out,
+                        );
+                    }
+                } else if !f.atomics_allowed && !f.scrubbed.is_allowed("atomics", line) {
+                    diag(
+                        "A01",
+                        f,
+                        line,
+                        format!(
+                            "atomic `{pat}` outside the audited lock-light modules \
+                             (obs::metrics, obs::trace, hash::clock) — use the obs metric \
+                             types instead of raw atomics, or move the code into an audited \
+                             module; escape hatch: // analyze: allow(atomics) — <reason>"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- A02
+
+fn rule_a02_field(files: &[AnalyzedFile], out: &mut Vec<Diagnostic>) {
+    for f in files {
+        if f.field_allowed {
+            continue;
+        }
+        for (line, text) in code_lines(f) {
+            let canon: String = text
+                .chars()
+                .filter(|c| *c != ' ' && *c != '_')
+                .collect::<String>()
+                .to_ascii_lowercase();
+            let shift61 = canon.find("<<61").is_some_and(|at| {
+                !canon[at + 4..].starts_with(|c: char| c.is_ascii_digit())
+            });
+            let hit = shift61
+                || canon.contains("0x1fffffffffffffff")
+                || canon.contains("2305843009213693951");
+            if hit && !f.scrubbed.is_allowed("field", line) {
+                diag(
+                    "A02",
+                    f,
+                    line,
+                    "raw mod-p61 field arithmetic (Mersenne-prime 2^61-1 constant) outside \
+                     `setstream-hash`'s field module — call `setstream_hash::field`'s audited \
+                     routines (P, reduce64/reduce128, mul_add_lazy, parity128) instead; \
+                     escape hatch: // analyze: allow(field) — <reason>"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- A03
+
+fn rule_a03_panics_and_indexing(files: &[AnalyzedFile], out: &mut Vec<Diagnostic>) {
+    for f in files {
+        if !f.is_lib_source {
+            continue;
+        }
+        for (line, text) in code_lines(f) {
+            for (pat, what) in [
+                ("panic!", "`panic!`"),
+                (".unwrap()", "`unwrap`"),
+                (".expect(", "`expect`"),
+            ] {
+                let hit = if pat.starts_with('.') {
+                    text.contains(pat)
+                } else {
+                    find_word(text, "panic").is_some_and(|at| {
+                        text[at + "panic".len()..].starts_with('!')
+                    })
+                };
+                if hit && !f.scrubbed.is_allowed("panic", line) {
+                    diag(
+                        "A03",
+                        f,
+                        line,
+                        format!(
+                            "{what} in library code — return the crate's typed error on \
+                             fallible paths, or prove infallibility: \
+                             // analyze: allow(panic) — <invariant>"
+                        ),
+                        out,
+                    );
+                }
+            }
+            if has_index_expression(text) && !f.scrubbed.is_allowed("indexing", line) {
+                diag(
+                    "A03",
+                    f,
+                    line,
+                    "slice/array indexing in library code — prefer `get`/iterators, or \
+                     prove the bound: // analyze: allow(indexing) — <invariant> \
+                     (file-level `//! analyze: allow(indexing) — <invariant>` for \
+                     kernel modules with constructor-checked dimensions)"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Does the scrubbed line contain an index expression `recv[...]`?
+///
+/// An opening bracket immediately preceded by an identifier byte, `)`, or
+/// `]` is an index (or slice) expression; attribute syntax (`#[`), macro
+/// invocations (`vec![`), references (`&[`), and type positions (`: [u8; 4]`,
+/// `Vec<[T; 2]>`) all have a different preceding byte.
+fn has_index_expression(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    bytes.iter().enumerate().any(|(i, b)| {
+        *b == b'['
+            && i > 0
+            && (is_ident_byte(bytes[i - 1]) || bytes[i - 1] == b')' || bytes[i - 1] == b']')
+    })
+}
+
+// ---------------------------------------------------------------- A04
+
+fn rule_a04_deprecated_callers(files: &[AnalyzedFile], out: &mut Vec<Diagnostic>) {
+    // Pass 1: deprecated fn names, and every fn name's non-deprecated
+    // definition count (a name also defined non-deprecated somewhere is
+    // ambiguous for a lexical pass — the workspace `-D deprecated` lint
+    // is the precise backstop there).
+    let mut deprecated: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    let mut plain_defs: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        let lines = &f.scrubbed.lines;
+        for (idx, text) in lines.iter().enumerate() {
+            if let Some(name) = fn_name_on(text) {
+                // Scan upward through the fn's own attribute/doc block for
+                // `#[deprecated]`, stopping at the previous item so an
+                // attribute on a *neighbouring* fn is never misattributed.
+                let mut is_deprecated = text.contains("#[deprecated");
+                if !is_deprecated {
+                    for j in (idx.saturating_sub(6)..idx).rev() {
+                        let above = lines[j].trim();
+                        if above.contains("#[deprecated") {
+                            is_deprecated = true;
+                            break;
+                        }
+                        if above.contains('}')
+                            || above.contains(';')
+                            || fn_name_on(above).is_some()
+                        {
+                            break; // previous item's boundary
+                        }
+                    }
+                }
+                if is_deprecated {
+                    deprecated
+                        .entry(name)
+                        .or_insert_with(|| (f.scrubbed.rel_path.clone(), idx + 1));
+                } else {
+                    plain_defs.insert(name);
+                }
+            }
+        }
+    }
+    deprecated.retain(|name, _| !plain_defs.contains(name));
+    if deprecated.is_empty() {
+        return;
+    }
+    // Pass 2: non-test callers anywhere in the scanned tree.
+    for f in files {
+        for (line, text) in code_lines(f) {
+            for (name, (def_path, def_line)) in &deprecated {
+                if *def_path == f.scrubbed.rel_path
+                    && (line).abs_diff(*def_line) <= 6
+                {
+                    continue; // the definition (and its attribute block) itself
+                }
+                let called = find_word(text, name).is_some_and(|at| {
+                    text[at + name.len()..].trim_start().starts_with('(')
+                        && !text[..at].trim_end().ends_with("fn")
+                });
+                if called && !f.scrubbed.is_allowed("deprecated", line) {
+                    diag(
+                        "A04",
+                        f,
+                        line,
+                        format!(
+                            "internal caller of deprecated `{name}` (declared at \
+                             {def_path}:{def_line}) — migrate to the replacement named in \
+                             its #[deprecated] note; escape hatch: \
+                             // analyze: allow(deprecated) — <reason>"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// If the line declares a function, its name.
+fn fn_name_on(text: &str) -> Option<String> {
+    let at = find_word(text, "fn")?;
+    let rest = text[at + 2..].trim_start();
+    let name: String = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+// ---------------------------------------------------------------- A05
+
+fn rule_a05_magic_literals(files: &[AnalyzedFile], out: &mut Vec<Diagnostic>) {
+    // Pass 1: `const <NAME>: ... = <literal>` where NAME mentions MAGIC.
+    struct MagicDef {
+        path: String,
+        line: usize,
+        value: String,
+    }
+    let mut defs: Vec<MagicDef> = Vec::new();
+    for f in files {
+        for (line, text) in code_lines(f) {
+            let Some(at) = find_word(text, "const") else { continue };
+            let rest = &text[at + "const".len()..];
+            let name: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.to_ascii_uppercase().contains("MAGIC") {
+                continue;
+            }
+            let Some(eq) = rest.find('=') else { continue };
+            let value = canonical_literal(&rest[eq + 1..]);
+            if value.is_empty() {
+                continue;
+            }
+            defs.push(MagicDef {
+                path: f.scrubbed.rel_path.clone(),
+                line,
+                value,
+            });
+        }
+    }
+    // Duplicate definitions of the same magic value.
+    let mut by_value: BTreeMap<&str, Vec<&MagicDef>> = BTreeMap::new();
+    for d in &defs {
+        by_value.entry(&d.value).or_default().push(d);
+    }
+    for (value, sites) in &by_value {
+        if sites.len() > 1 {
+            for dup in &sites[1..] {
+                let f = files
+                    .iter()
+                    .find(|f| f.scrubbed.rel_path == dup.path)
+                    .expect("definition site came from this file set");
+                if !f.scrubbed.is_allowed("magic", dup.line) {
+                    diag(
+                        "A05",
+                        f,
+                        dup.line,
+                        format!(
+                            "container magic `{value}` defined more than once (first at \
+                             {}:{}) — keep a single source of truth for the wire magic and \
+                             import it; escape hatch: // analyze: allow(magic) — <reason>",
+                            sites[0].path, sites[0].line
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+    // Pass 2: raw occurrences of a defined magic value away from its consts.
+    // One diagnostic per offending line, pointing at the canonical (first)
+    // definition; lines that are themselves definitions were handled above.
+    for f in files {
+        for (line, text) in code_lines(f) {
+            let canon = canonical_literal(text);
+            for (value, sites) in &by_value {
+                let is_def_site = sites
+                    .iter()
+                    .any(|d| d.path == f.scrubbed.rel_path && d.line == line);
+                if is_def_site || !canon.contains(*value) {
+                    continue;
+                }
+                if !f.scrubbed.is_allowed("magic", line) {
+                    diag(
+                        "A05",
+                        f,
+                        line,
+                        format!(
+                            "magic literal `{value}` duplicated outside its const (defined at \
+                             {}:{}) — reference the const instead; escape hatch: \
+                             // analyze: allow(magic) — <reason>",
+                            sites[0].path, sites[0].line
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Canonical form of a literal-bearing snippet: underscores and spaces
+/// stripped, lowercased, trailing `;`/type suffixes left in place (the
+/// contains-check tolerates them).
+fn canonical_literal(text: &str) -> String {
+    text.chars()
+        .filter(|c| *c != '_' && *c != ' ' && *c != ';')
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+// ---------------------------------------------------------------- A06
+
+fn rule_a06_error_enums(files: &[AnalyzedFile], out: &mut Vec<Diagnostic>) {
+    // Pass 1: public enums whose name ends in `Error`.
+    let mut enums: Vec<(String, usize, String)> = Vec::new(); // (path, line, name)
+    for f in files {
+        for (line, text) in code_lines(f) {
+            let Some(at) = find_word(text, "enum") else { continue };
+            if !text[..at].contains("pub") {
+                continue;
+            }
+            let name: String = text[at + "enum".len()..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.ends_with("Error") && !name.is_empty() {
+                enums.push((f.scrubbed.rel_path.clone(), line, name));
+            }
+        }
+    }
+    // Pass 2: look anywhere in the tree for the two impls.
+    for (path, line, name) in &enums {
+        let has = |impl_pat: &str| {
+            files.iter().any(|f| {
+                f.scrubbed
+                    .lines
+                    .iter()
+                    .any(|l| l.contains(&format!("{impl_pat} {name}")))
+            })
+        };
+        let display = has("Display for");
+        let error = has("Error for");
+        if display && error {
+            continue;
+        }
+        let f = files
+            .iter()
+            .find(|f| f.scrubbed.rel_path == *path)
+            .expect("enum site came from this file set");
+        if f.scrubbed.is_allowed("error-impl", *line) {
+            continue;
+        }
+        let missing = match (display, error) {
+            (false, false) => "`Display` and `std::error::Error`",
+            (false, true) => "`Display`",
+            (true, false) => "`std::error::Error`",
+            (true, true) => unreachable!(),
+        };
+        diag(
+            "A06",
+            f,
+            *line,
+            format!(
+                "public error enum `{name}` does not implement {missing} — error types \
+                 must compose with `?` and `Box<dyn Error>`; escape hatch: \
+                 // analyze: allow(error-impl) — <reason>"
+            ),
+            out,
+        );
+    }
+}

@@ -1,0 +1,549 @@
+//! Source scrubbing: turn a Rust file into rule-checkable lines.
+//!
+//! The analyzer's rules are lexical, so before any rule runs each file is
+//! *scrubbed*: comment and string/char-literal contents are blanked out
+//! (replaced by spaces, preserving line structure and byte columns), and
+//! three side tables are extracted while doing so:
+//!
+//! * `analyze: allow(...)` escape-hatch comments (line- and file-level),
+//! * the set of lines inside `#[cfg(test)]`-gated items, and
+//! * malformed allow comments (reported as rule `A00`).
+//!
+//! Scrubbing is what makes the simple substring rules sound: after it, an
+//! occurrence of `Ordering::SeqCst` or `.unwrap()` on a scrubbed line is
+//! real code, never a doc example, a comment, or a string literal.
+
+/// Rule names accepted inside `allow(...)`.
+pub const ALLOW_RULES: &[&str] = &[
+    "atomics",    // A01
+    "field",      // A02
+    "panic",      // A03 (panic!/unwrap/expect)
+    "indexing",   // A03 (slice/array indexing)
+    "deprecated", // A04
+    "magic",      // A05
+    "error-impl", // A06
+];
+
+/// One parsed `// analyze: allow(...)` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rules the comment waives.
+    pub rules: Vec<String>,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Whether the comment is file-level (`//! analyze: allow(...)`).
+    pub file_level: bool,
+}
+
+/// A scrubbed source file plus its side tables.
+#[derive(Debug)]
+pub struct ScrubbedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Scrubbed lines (1-based access via `line - 1`).
+    pub lines: Vec<String>,
+    /// Per-line flag: inside a `#[cfg(test)]`-gated item (or the file is
+    /// wholly test code).
+    pub is_test: Vec<bool>,
+    /// Parsed allow comments.
+    pub allows: Vec<Allow>,
+    /// Malformed allow comments: `(line, what is wrong)`.
+    pub malformed: Vec<(usize, String)>,
+}
+
+impl ScrubbedFile {
+    /// Whether `rule` is waived on `line` (1-based): by a file-level allow,
+    /// by an allow comment on the line itself, or by one on the line above.
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            a.rules.iter().any(|r| r == rule)
+                && (a.file_level || a.line == line || a.line + 1 == line)
+        })
+    }
+
+    /// Scrubbed text of 1-based `line`, empty for out-of-range.
+    pub fn line(&self, line: usize) -> &str {
+        self.lines.get(line - 1).map_or("", |s| s.as_str())
+    }
+}
+
+/// Scrub `text` into lines + side tables. `all_test` marks every line as
+/// test code (for files under `tests/`, `benches/`, `examples/`).
+pub fn scrub(rel_path: &str, text: &str, all_test: bool) -> ScrubbedFile {
+    let (lines, comments) = blank_non_code(text);
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for (line, comment) in &comments {
+        match parse_allow(comment) {
+            ParsedAllow::NotAllow => {}
+            ParsedAllow::Ok(rules) => allows.push(Allow {
+                rules,
+                line: *line,
+                file_level: comment.starts_with("//!"),
+            }),
+            ParsedAllow::Malformed(why) => malformed.push((*line, why)),
+        }
+    }
+    let is_test = if all_test {
+        vec![true; lines.len()]
+    } else {
+        mark_test_regions(&lines)
+    };
+    ScrubbedFile {
+        rel_path: rel_path.to_string(),
+        lines,
+        is_test,
+        allows,
+        malformed,
+    }
+}
+
+enum ParsedAllow {
+    NotAllow,
+    Ok(Vec<String>),
+    Malformed(String),
+}
+
+/// Parse one comment's text as an allow directive.
+///
+/// Grammar: `// analyze: allow(<rule>[, <rule>]*) — <reason>` (the reason
+/// separator may be `—`, `--`, or `:`; the reason must be non-empty).
+fn parse_allow(comment: &str) -> ParsedAllow {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim_start();
+    let Some(rest) = body.strip_prefix("analyze:") else {
+        return ParsedAllow::NotAllow;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return ParsedAllow::Malformed(format!(
+            "unknown analyze directive (expected `allow(...)`): `{}`",
+            rest.trim()
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return ParsedAllow::Malformed("missing `(` after `allow`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return ParsedAllow::Malformed("unclosed `allow(`".to_string());
+    };
+    let mut rules = Vec::new();
+    for rule in rest[..close].split(',') {
+        let rule = rule.trim();
+        if rule.is_empty() {
+            return ParsedAllow::Malformed("empty rule name in allow(...)".to_string());
+        }
+        if !ALLOW_RULES.contains(&rule) {
+            return ParsedAllow::Malformed(format!(
+                "unknown rule `{rule}` (expected one of: {})",
+                ALLOW_RULES.join(", ")
+            ));
+        }
+        rules.push(rule.to_string());
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix("—")
+        .or_else(|| after.strip_prefix("--"))
+        .or_else(|| after.strip_prefix(':'))
+        .map(str::trim);
+    match reason {
+        Some(r) if !r.is_empty() => ParsedAllow::Ok(rules),
+        _ => ParsedAllow::Malformed(
+            "allow(...) needs a reason: `// analyze: allow(rule) — <why this is sound>`"
+                .to_string(),
+        ),
+    }
+}
+
+/// Blank comments and string/char literals, returning scrubbed lines and
+/// the list of `(1-based line, full text)` of each `//` comment.
+#[allow(clippy::too_many_lines)]
+fn blank_non_code(text: &str) -> (Vec<String>, Vec<(usize, String)>) {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                out.push(b'\n');
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+                comments.push((
+                    line,
+                    String::from_utf8_lossy(&bytes[start..i]).into_owned(),
+                ));
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            out.push(b'\n');
+                            line += 1;
+                        } else {
+                            out.push(b' ');
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                // Ordinary string literal.
+                out.push(b' ');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' if i + 1 < bytes.len() => {
+                            out.push(b' ');
+                            out.push(b' ');
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            out.push(b'\n');
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // Raw (byte) string: r"..." / r#"..."# / br#"..."#.
+                let mut j = i;
+                if bytes[j] == b'b' {
+                    out.push(b' ');
+                    j += 1;
+                }
+                out.push(b' ');
+                j += 1; // past 'r'
+                let mut hashes = 0;
+                while j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    out.push(b' ');
+                    j += 1;
+                }
+                out.push(b' ');
+                j += 1; // past opening quote
+                'raw: while j < bytes.len() {
+                    if bytes[j] == b'"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < bytes.len() && bytes[j + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            out.resize(out.len() + hashes + 1, b' ');
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    if bytes[j] == b'\n' {
+                        out.push(b'\n');
+                        line += 1;
+                    } else {
+                        out.push(b' ');
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'\'' => {
+                // Byte char literal b'x'.
+                out.push(b' ');
+                i += 1; // handle the quote on the next loop turn via char path
+            }
+            b'\'' if is_char_literal(bytes, i) => {
+                out.push(b' ');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' if i + 1 < bytes.len() => {
+                            out.push(b' ');
+                            out.push(b' ');
+                            i += 2;
+                        }
+                        b'\'' => {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        }
+                        _ => {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    let scrubbed = String::from_utf8_lossy(&out).into_owned();
+    (scrubbed.split('\n').map(str::to_string).collect(), comments)
+}
+
+/// Is `bytes[i]` the start of a raw-string prefix (`r"`, `r#`, `br"`, `br#`)?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Must not be the tail of an identifier (`for`, `attr`, ...).
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Distinguish a char literal `'x'`/`'\n'`/`'∞'` from a lifetime `'a`.
+/// A lifetime like `'a` in `<'a, 'b>` must NOT be taken as a literal even
+/// though another `'` appears later on the line, so the closing quote is
+/// required at exactly the end of one escape or one UTF-8 scalar.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        None => false,
+        Some(b'\\') => true,
+        Some(&c) if c >= 0x80 => {
+            // Multi-byte scalar: closing quote right after its 2-4 bytes.
+            (2..=4).any(|len| bytes.get(i + 1 + len) == Some(&b'\''))
+        }
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+    }
+}
+
+/// Mark lines inside `#[cfg(test)]`-gated items (any `cfg(...)` whose
+/// argument mentions the `test` predicate, e.g. `#[cfg(all(loom, test))]`).
+fn mark_test_regions(lines: &[String]) -> Vec<bool> {
+    let mut is_test = vec![false; lines.len()];
+    let mut idx = 0;
+    while idx < lines.len() {
+        if let Some(cfg_args) = cfg_attribute_args(&lines[idx]) {
+            if mentions_test(&cfg_args) {
+                // Find the gated item's opening brace (same line or a few
+                // lines below, past any further attributes) and mark
+                // through its matching close.
+                if let Some((open_line, open_col)) = find_open_brace(lines, idx) {
+                    let end = matching_close(lines, open_line, open_col);
+                    for flag in is_test.iter_mut().take(end + 1).skip(idx) {
+                        *flag = true;
+                    }
+                    idx = end + 1;
+                    continue;
+                }
+            }
+        }
+        idx += 1;
+    }
+    is_test
+}
+
+/// If the line carries a `#[cfg(...)]` attribute, return the `...` text.
+fn cfg_attribute_args(line: &str) -> Option<String> {
+    let start = line.find("#[cfg(")?;
+    let rest = &line[start + "#[cfg(".len()..];
+    let mut depth = 1;
+    let mut out = String::new();
+    for c in rest.chars() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(out);
+                }
+            }
+            _ => {}
+        }
+        out.push(c);
+    }
+    Some(out)
+}
+
+/// Does a cfg argument list mention the bare `test` predicate?
+fn mentions_test(args: &str) -> bool {
+    let bytes = args.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = args[i..].find("test") {
+        let at = i + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + "test".len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        i = at + 1;
+    }
+    false
+}
+
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// First `{` at or after `from` (scanning at most 8 lines ahead), as
+/// `(line index, column)`.
+fn find_open_brace(lines: &[String], from: usize) -> Option<(usize, usize)> {
+    for (l, text) in lines.iter().enumerate().skip(from).take(8) {
+        // A `;` before any `{` means the gated item is brace-less
+        // (e.g. `#[cfg(test)] use ...;`): gate just that line.
+        for (col, c) in text.char_indices() {
+            if c == '{' {
+                return Some((l, col));
+            }
+            if c == ';' && l > from {
+                return Some((l, usize::MAX));
+            }
+        }
+    }
+    None
+}
+
+/// Line index of the `}` matching the `{` at `(open_line, open_col)`.
+fn matching_close(lines: &[String], open_line: usize, open_col: usize) -> usize {
+    if open_col == usize::MAX {
+        return open_line;
+    }
+    let mut depth = 0i64;
+    for (l, text) in lines.iter().enumerate().skip(open_line) {
+        let start_col = if l == open_line { open_col } else { 0 };
+        for c in text.chars().skip(start_col) {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return l;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    lines.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"panic!()\"; // panic!()\nlet y = 'a';\n";
+        let f = scrub("t.rs", src, false);
+        assert!(!f.line(1).contains("panic"));
+        assert!(f.line(1).contains("let x ="));
+        assert!(!f.line(2).contains('a'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"Ordering::SeqCst \" inner\"#; let t = 1;";
+        let f = scrub("t.rs", src, false);
+        assert!(!f.line(1).contains("SeqCst"));
+        assert!(f.line(1).contains("let t = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) -> char { '{' }";
+        let f = scrub("t.rs", src, false);
+        assert!(f.line(1).contains("<'a>"));
+        assert!(!f.line(1).contains("'{'"));
+    }
+
+    #[test]
+    fn test_modules_are_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let f = scrub("t.rs", src, false);
+        // (the trailing newline yields a final empty line)
+        assert_eq!(f.is_test, vec![false, true, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn cfg_all_loom_test_is_a_test_region() {
+        let src = "#[cfg(all(loom, test))]\nmod models {\n    fn m() {}\n}\n";
+        let f = scrub("t.rs", src, false);
+        assert!(f.is_test[0] && f.is_test[1] && f.is_test[2] && f.is_test[3]);
+    }
+
+    #[test]
+    fn attest_is_not_test() {
+        let src = "#[cfg(feature = \"attest\")]\nmod a {\n    fn m() {}\n}\n";
+        let f = scrub("t.rs", src, false);
+        assert!(f.is_test.iter().all(|t| !t));
+    }
+
+    #[test]
+    fn allow_comments_parse_and_scope() {
+        let src = "// analyze: allow(panic) — join only fails if a worker panicked\nlet x = y.unwrap();\n";
+        let f = scrub("t.rs", src, false);
+        assert_eq!(f.allows.len(), 1);
+        assert!(f.is_allowed("panic", 2));
+        assert!(!f.is_allowed("panic", 3));
+        assert!(!f.is_allowed("indexing", 2));
+    }
+
+    #[test]
+    fn file_level_allow_covers_everything() {
+        let src = "//! analyze: allow(indexing) — dims fixed at construction\nfn f(v: &[u8]) -> u8 { v[0] }\n";
+        let f = scrub("t.rs", src, false);
+        assert!(f.is_allowed("indexing", 2));
+        assert!(f.is_allowed("indexing", 200));
+    }
+
+    #[test]
+    fn malformed_allows_are_reported() {
+        for (src, frag) in [
+            ("// analyze: allow(bogus) — x", "unknown rule"),
+            ("// analyze: allow(panic)", "needs a reason"),
+            ("// analyze: deny(panic) — x", "unknown analyze directive"),
+        ] {
+            let f = scrub("t.rs", src, false);
+            assert_eq!(f.malformed.len(), 1, "src: {src}");
+            assert!(f.malformed[0].1.contains(frag), "src: {src}");
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: rule A00 — malformed allow comments are themselves findings,
+//! and a malformed allow does not waive the underlying rule.
+
+pub fn parse(text: &str) -> u64 {
+    text.parse().unwrap() // analyze: allow(panic)
+}
+
+pub fn head(values: &[u64]) -> u64 {
+    // analyze: allow(bounds) — not a recognized rule name
+    values[0]
+}
+
+pub fn tail(values: &[u64]) -> u64 {
+    // analyze: allow indexing — fixture: missing parentheses
+    values[values.len() - 1]
+}

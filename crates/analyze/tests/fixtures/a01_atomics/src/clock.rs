@@ -1,0 +1,11 @@
+//! Allow-listed module: Relaxed/Acquire/Release are fine here, SeqCst is not.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn tick(clock: &AtomicU64) -> u64 {
+    clock.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read_sequenced(clock: &AtomicU64) -> u64 {
+    clock.load(Ordering::SeqCst)
+}

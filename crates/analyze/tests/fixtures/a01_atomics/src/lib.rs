@@ -1,0 +1,15 @@
+//! Fixture: rule A01 — atomic orderings outside the audited modules.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub mod clock;
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // Relaxed outside an allow-listed module: flagged.
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(counter: &AtomicU64, value: u64) {
+    // SeqCst is flagged everywhere, even in audited modules.
+    counter.store(value, Ordering::SeqCst);
+}

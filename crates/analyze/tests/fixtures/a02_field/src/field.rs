@@ -1,0 +1,14 @@
+//! Allow-listed field module: the canonical home of the modulus.
+
+pub const P: u64 = (1 << 61) - 1;
+
+pub fn reduce(x: u128) -> u64 {
+    let lo = (x as u64) & P;
+    let hi = (x >> 61) as u64;
+    let sum = lo + hi;
+    if sum >= P {
+        sum - P
+    } else {
+        sum
+    }
+}

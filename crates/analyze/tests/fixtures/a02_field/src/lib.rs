@@ -1,0 +1,19 @@
+//! Fixture: rule A02 — raw GF(2^61 - 1) arithmetic outside the field module.
+
+pub mod field;
+
+pub fn fold(hash: u64) -> u64 {
+    // The Mersenne modulus written out as a shift: flagged here.
+    let p = (1u64 << 61) - 1;
+    (hash >> 61) + (hash & p)
+}
+
+pub fn reduce_hex(value: u64) -> u64 {
+    // The same modulus as a hex literal: also flagged.
+    value % 0x1FFF_FFFF_FFFF_FFFF
+}
+
+pub fn shift_62_is_fine(value: u64) -> u64 {
+    // Not the modulus (different shift width): not flagged.
+    value << 62
+}

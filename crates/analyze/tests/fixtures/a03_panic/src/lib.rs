@@ -1,0 +1,25 @@
+//! Fixture: rule A03 — panic-class constructs in library code.
+
+pub fn take(values: &[u64]) -> u64 {
+    if values.is_empty() {
+        panic!("no values");
+    }
+    values[0]
+}
+
+pub fn parse(text: &str) -> u64 {
+    text.parse().unwrap()
+}
+
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().expect("at least one line")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let n: u64 = "7".parse().unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,46 @@
+//! Fixture: rule A04 — internal callers of deprecated APIs.
+
+#[deprecated(since = "0.1.0", note = "use `evaluate` instead")]
+pub fn estimate_legacy(values: &[u64]) -> u64 {
+    values.iter().sum()
+}
+
+pub fn evaluate(values: &[u64]) -> u64 {
+    values.iter().sum()
+}
+
+#[deprecated(
+    since = "0.1.0",
+    note = "use `evaluate` instead"
+)]
+pub fn estimate_multiline_attr(values: &[u64]) -> u64 {
+    values.iter().sum()
+}
+
+// Defined directly below a deprecated fn: the attribute above belongs to
+// `estimate_multiline_attr`, not to this one, so calling this is fine.
+pub fn fresh_helper(values: &[u64]) -> u64 {
+    values.iter().sum()
+}
+
+pub fn uses_both(values: &[u64]) -> u64 {
+    #[allow(deprecated)]
+    let a = estimate_multiline_attr(values);
+    a + fresh_helper(values)
+}
+
+pub fn report(values: &[u64]) -> u64 {
+    // Internal caller of the deprecated wrapper: flagged.
+    #[allow(deprecated)]
+    estimate_legacy(values)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn deprecated_callers_in_tests_are_fine() {
+        #[allow(deprecated)]
+        let total = super::estimate_legacy(&[1, 2]);
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: rule A05 — container magic literals defined more than once.
+
+pub mod wire;
+
+/// The canonical definition.
+pub const FRAME_MAGIC: u32 = 0x5353_4658;
+
+pub fn frame_header() -> u32 {
+    FRAME_MAGIC
+}

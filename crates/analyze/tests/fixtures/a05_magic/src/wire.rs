@@ -1,0 +1,9 @@
+//! A second module re-defining and inlining the magic: both flagged.
+
+/// Duplicate definition of the same magic value.
+pub const WIRE_MAGIC: u32 = 0x5353_4658;
+
+pub fn is_frame(word: u32) -> bool {
+    // Raw inline use of the magic literal instead of the named const.
+    word == 0x5353_4658
+}

@@ -1,0 +1,24 @@
+//! Fixture: rule A06 — public error enums missing Display / Error impls.
+
+use std::fmt;
+
+/// Flagged: no `Display` or `std::error::Error` impl anywhere in the tree.
+pub enum DecodeError {
+    Truncated,
+    BadVersion(u8),
+}
+
+/// Not flagged: both impls are present below.
+pub enum IngestError {
+    Closed,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Closed => write!(f, "ingest channel closed"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}

@@ -1,0 +1,29 @@
+//! Fixture: every violation below carries a well-formed allow comment,
+//! so the analyzer must report nothing.
+//! analyze: allow(indexing) — fixture exercising the file-level allow form
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn head(values: &[u64]) -> u64 {
+    // Covered by the file-level indexing allow above.
+    values[0]
+}
+
+pub fn parse(text: &str) -> u64 {
+    text.parse().unwrap() // analyze: allow(panic) — fixture: caller guarantees digits
+}
+
+pub fn tail(values: &[u64]) -> u64 {
+    // analyze: allow(panic) — fixture: the allow-above-the-line form
+    values.last().copied().expect("non-empty by construction")
+}
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // analyze: allow(atomics) — fixture: audited hand-off, Relaxed is sufficient
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn fold(hash: u64) -> u64 {
+    let p = (1u64 << 61) - 1; // analyze: allow(field, panic) — fixture: multi-rule allow
+    (hash >> 61) + (hash & p)
+}

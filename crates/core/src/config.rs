@@ -58,6 +58,7 @@ impl SketchConfig {
     /// levels (the LSB of a 64-bit hash cannot exceed 63).
     pub fn validate(&self) {
         if let Err(why) = self.check() {
+            // analyze: allow(panic) — documented `# Panics` contract; `check()` is the fallible twin
             panic!("{why}");
         }
     }

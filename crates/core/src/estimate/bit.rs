@@ -11,6 +11,8 @@
 //! singleton signatures read the same cells — so for insert-only input a
 //! bit estimate equals the counter estimate built with the same coins
 //! (tested below).
+//!
+//! analyze: allow(indexing) — estimator kernel: per-copy/per-level indices are bounded by `witness::validate_vectors`' dimension check
 
 use super::{union_est, witness, Estimate, EstimatorOptions, WitnessMode};
 use crate::error::EstimateError;

@@ -64,8 +64,10 @@ where
     }
     values.sort_by(f64::total_cmp);
     let median = if groups % 2 == 1 {
+        // analyze: allow(indexing) — `values` holds exactly `groups` entries (one per group)
         values[groups / 2]
     } else {
+        // analyze: allow(indexing) — `values` holds exactly `groups` entries and `groups >= 1`
         0.5 * (values[groups / 2 - 1] + values[groups / 2])
     };
     Ok(Estimate {

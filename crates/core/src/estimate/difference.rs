@@ -49,6 +49,7 @@ pub fn difference_with_union(
     }
     let counts = witness::collect(&vectors, u_hat, opts, |sketches, level| {
         // Witness of A − B: singleton in A, empty in B (Fig. 6 step 5).
+        // analyze: allow(indexing) — binary estimator: `collect` passes one sketch per input vector
         singleton_bucket(sketches[0], level) && sketches[1].is_level_empty(level)
     });
     witness::finish(counts, u_hat, copies)

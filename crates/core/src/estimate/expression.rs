@@ -93,6 +93,7 @@ fn estimate_with(
         expr.eval_bool(&|sid| {
             ids.iter()
                 .position(|&id| id == sid)
+                // analyze: allow(indexing) — `k` is a position into `ids`, which is index-aligned with `sketches`
                 .is_some_and(|k| !sketches[k].is_level_empty(level))
         })
     });

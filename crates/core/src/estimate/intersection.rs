@@ -47,6 +47,7 @@ pub fn intersection_with_union(
     }
     let counts = witness::collect(&vectors, u_hat, opts, |sketches, level| {
         // Witness of A ∩ B (§3.5): singleton in A and singleton in B.
+        // analyze: allow(indexing) — binary estimator: `collect` passes one sketch per input vector
         singleton_bucket(sketches[0], level) && singleton_bucket(sketches[1], level)
     });
     witness::finish(counts, u_hat, copies)

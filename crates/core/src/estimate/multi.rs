@@ -8,6 +8,8 @@
 //! (the engine's `estimate_all`) therefore batches them: certify each
 //! bucket once, then score every expression against the bucket's
 //! occupancy pattern.
+//!
+//! analyze: allow(indexing) — estimator kernel: per-copy/per-level indices are bounded by `witness::validate_vectors`' dimension check
 
 use super::{union_est, witness, Estimate, EstimatorOptions, WitnessMode};
 use crate::error::EstimateError;

@@ -7,6 +7,8 @@
 //! Jaccard similarity `|A∩B|/|A∪B|`, or containment `|A∩B|/|A|` — skipping
 //! the `û` multiplication is strictly more accurate than dividing two
 //! cardinality estimates.
+//!
+//! analyze: allow(indexing) — estimator kernel: per-copy/per-level indices are bounded by `witness::validate_vectors`' dimension check
 
 use super::{witness, EstimatorOptions};
 use crate::error::EstimateError;

@@ -5,6 +5,8 @@
 //! second-level signatures — which is why the paper notes union could run
 //! on a plain extension of the FM structure. We read occupancy straight
 //! off the 2-level sketches.
+//!
+//! analyze: allow(indexing) — estimator kernel: per-copy/per-level indices are bounded by `witness::validate_vectors`' dimension check
 
 use super::{Estimate, EstimatorOptions, UnionMode};
 use crate::error::EstimateError;

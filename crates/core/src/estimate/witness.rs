@@ -5,6 +5,8 @@
 //! streams; each such bucket isolates one uniformly-random element of
 //! `∪Aᵢ`, and the fraction of those elements satisfying the witness
 //! condition estimates `|E| / |∪Aᵢ|`.
+//!
+//! analyze: allow(indexing) — estimator kernel: callers pass non-empty, dimension-validated vector sets (see `validate_vectors`)
 
 use super::{Estimate, EstimatorOptions, WitnessMode};
 use crate::error::EstimateError;

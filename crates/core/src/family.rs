@@ -39,6 +39,7 @@ impl IngestStats {
     pub fn for_batch(updates: &[Update]) -> Self {
         let mut fast = 0usize;
         for chunk in updates.chunks(BATCH_CHUNK) {
+            // analyze: allow(indexing) — windows(2) yields exactly two elements
             if chunk.windows(2).all(|w| w[0].delta == w[1].delta) {
                 fast += chunk.len();
             }
@@ -339,6 +340,7 @@ impl SketchVector {
                 len,
                 self.family.master_seed() ^ (start as u64).rotate_left(17),
             ),
+            // analyze: allow(indexing) — bounds asserted at the top of `subrange`
             sketches: self.sketches[start..start + len].to_vec(),
         }
     }
@@ -355,6 +357,7 @@ impl SketchVector {
         assert!(r >= 1 && r <= self.sketches.len(), "bad prefix length {r}");
         SketchVector {
             family: SketchFamily::new(*self.family.config(), r, self.family.master_seed()),
+            // analyze: allow(indexing) — `r <= self.sketches.len()` asserted above
             sketches: self.sketches[..r].to_vec(),
         }
     }

@@ -7,6 +7,8 @@
 //! checks but **cannot process deletions** — attempting one returns
 //! [`EstimateError::DeletionUnsupported`], which is precisely the failure
 //! mode that motivates counters.
+//!
+//! analyze: allow(indexing) — kernel module: level/bucket indices are bounded by the constructor-checked dimensions shared with the counter sketch
 
 use crate::config::SketchConfig;
 use crate::error::EstimateError;

@@ -1,4 +1,6 @@
 //! The counter-based 2-level hash sketch.
+//!
+//! analyze: allow(indexing) — kernel module: every bucket/counter index is derived from the constructor-checked (levels, second_level) dimensions or reduced mod the table size before use
 
 use crate::config::SketchConfig;
 use crate::error::EstimateError;

@@ -76,8 +76,10 @@ impl RotatingSketchVector {
 
     /// Apply a net change to the current generation.
     pub fn update(&mut self, e: Element, delta: i64) {
+        // analyze: allow(panic) — the constructor seeds one generation and rotate() never empties the ring
         let current = self.generations.back_mut().expect("ring is never empty");
         current.update(e, delta);
+        // analyze: allow(indexing) — config validation guarantees at least one sketch copy
         if delta < 0 && current.sketches()[0].total_count() < 0 {
             self.underflow = true;
         }
@@ -114,6 +116,7 @@ impl RotatingSketchVector {
     /// current window — feed it to any estimator in [`crate::estimate`].
     pub fn window_synopsis(&self) -> Result<SketchVector, EstimateError> {
         let mut iter = self.generations.iter();
+        // analyze: allow(panic) — the constructor seeds one generation and rotate() never empties the ring
         let mut merged = iter.next().expect("ring is never empty").clone();
         for g in iter {
             merged.merge_from(g)?;

@@ -270,6 +270,7 @@ impl State {
                     None => merged = Some(contribution.clone()),
                     Some(m) => m
                         .merge_from(contribution)
+                        // analyze: allow(panic) — every stored contribution passed family validation on ingest
                         .expect("contributions validated on ingest"),
                 }
             }
@@ -652,6 +653,10 @@ impl Coordinator {
     }
 
     /// Estimate the distinct-count union over a set of streams.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `query` with a union expression (the estimate is `.estimate`)"
+    )]
     pub fn estimate_union(&self, streams: &[StreamId]) -> Result<Estimate, CoordinatorError> {
         let st = self.state.lock();
         let mut merged: Vec<SketchVector> = Vec::with_capacity(streams.len());
@@ -757,13 +762,16 @@ mod tests {
         deliver(&s1, &coord);
         deliver(&s2, &coord);
         let merged = coord
-            .estimate_union(&[StreamId(0)])
+            .query(&SetExpr::stream(0))
             .unwrap()
+            .estimate
             .value;
-        // Ground truth comparison: single-site synopsis gives the exact
-        // same estimate (identical counters).
-        let direct = estimate::union(
-            &[all.synopsis(StreamId(0)).unwrap()],
+        // Ground truth comparison: the single-site synopsis, pushed through
+        // the same query path, gives the exact same estimate (identical
+        // counters ⇒ identical estimate).
+        let direct = estimate::expression(
+            &SetExpr::stream(0),
+            &[(StreamId(0), all.synopsis(StreamId(0)).unwrap())],
             &EstimatorOptions::default(),
         )
         .unwrap()
@@ -809,9 +817,10 @@ mod tests {
         }
         deliver(&site, &coord); // second periodic snapshot of the SAME site
 
-        let est = coord.estimate_union(&[StreamId(0)]).unwrap().value;
-        let direct = estimate::union(
-            &[site.synopsis(StreamId(0)).unwrap()],
+        let est = coord.query(&SetExpr::stream(0)).unwrap().estimate.value;
+        let direct = estimate::expression(
+            &SetExpr::stream(0),
+            &[(StreamId(0), site.synopsis(StreamId(0)).unwrap())],
             &EstimatorOptions::default(),
         )
         .unwrap()
@@ -879,7 +888,7 @@ mod tests {
         })
         .unwrap();
         assert_eq!(coord.sites().len(), 8);
-        let est = coord.estimate_union(&[StreamId(0)]).unwrap().value;
+        let est = coord.query(&SetExpr::stream(0)).unwrap().estimate.value;
         let rel = (est - 4000.0).abs() / 4000.0;
         assert!(rel < 0.3, "estimate {est}");
     }

@@ -324,9 +324,11 @@ impl Site {
                 .collect();
             handles
                 .into_iter()
+                // analyze: allow(panic) — join fails only if a worker panicked; propagate it
                 .map(|h| h.join().expect("ingest worker"))
                 .collect::<Vec<_>>()
         })
+        // analyze: allow(panic) — scope fails only if a worker panicked; propagate it
         .expect("ingest scope");
         for partial in partials {
             for (stream, part) in partial {
@@ -337,6 +339,7 @@ impl Site {
                     std::collections::btree_map::Entry::Occupied(mut e) => {
                         e.get_mut()
                             .merge_from(&part)
+                            // analyze: allow(panic) — all partials are minted from this site's one family
                             .expect("partials minted from the site family");
                     }
                 }
@@ -386,6 +389,7 @@ impl Site {
                 Some(base) => {
                     let delta = live
                         .delta_since(base)
+                        // analyze: allow(panic) — the baseline was cloned from this very synopsis
                         .expect("baseline minted from the site family");
                     if delta.is_null() {
                         continue; // unchanged since last cut — nothing to ship

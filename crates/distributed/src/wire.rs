@@ -118,6 +118,7 @@ pub fn encode_frame<T: Serialize>(kind: FrameKind, value: &T) -> Result<Bytes, W
     buf.put_u8(kind.as_byte());
     buf.put_u32_le(len);
     buf.put_slice(&payload);
+    // analyze: allow(indexing) — the 4-byte magic was just written; `buf.len() >= 4`
     let crc = crc32(&buf[4..]);
     buf.put_u32_le(crc);
     Ok(buf.freeze())

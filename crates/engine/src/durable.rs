@@ -131,40 +131,96 @@ pub fn seal(kind: DurableKind, payload: &[u8]) -> Vec<u8> {
     out.push(kind.as_byte());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
+    // analyze: allow(indexing) — the 4-byte magic was just written; `out.len() >= 4`
     let crc = crc32(&out[4..]);
     out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
+/// A bounds-checked little-endian reader over a blob.
+///
+/// Every read is `get`-based and returns [`DurableError::Truncated`] when
+/// the bytes run out, so the decode path is panic-free by construction —
+/// no slice indexing, no `expect` — which also keeps it a clean target for
+/// the Miri lane (`scripts/miri.sh`).
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    /// The next `n` bytes, advancing past them.
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DurableError> {
+        let end = self.at.checked_add(n).ok_or(DurableError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.at..end)
+            .ok_or(DurableError::Truncated)?;
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn read_u8(&mut self) -> Result<u8, DurableError> {
+        let b = *self.bytes.get(self.at).ok_or(DurableError::Truncated)?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn read_u16(&mut self) -> Result<u16, DurableError> {
+        self.take(2)?
+            .try_into()
+            .map(u16::from_le_bytes)
+            .map_err(|_| DurableError::Truncated)
+    }
+
+    fn read_u32(&mut self) -> Result<u32, DurableError> {
+        self.take(4)?
+            .try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| DurableError::Truncated)
+    }
+
+    /// The bytes between absolute offsets `from..self.at` (already taken).
+    fn span_from(&self, from: usize) -> Result<&'a [u8], DurableError> {
+        self.bytes.get(from..self.at).ok_or(DurableError::Truncated)
+    }
+
+    /// Succeeds only if every byte has been consumed.
+    fn finish(&self) -> Result<(), DurableError> {
+        match self.bytes.len() - self.at {
+            0 => Ok(()),
+            extra => Err(DurableError::TrailingBytes(extra)),
+        }
+    }
+}
+
 /// Open a sealed blob, verifying magic, version, kind and checksum, and
 /// return the payload bytes.
 pub fn unseal(bytes: &[u8], expected: DurableKind) -> Result<&[u8], DurableError> {
-    if bytes.len() < OVERHEAD {
-        return Err(DurableError::Truncated);
-    }
-    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sliced"));
+    let mut cur = Cursor::new(bytes);
+    let magic = cur.read_u32()?;
     if magic != MAGIC {
         return Err(DurableError::BadMagic(magic));
     }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("sliced"));
+    let covered_start = cur.at;
+    let version = cur.read_u16()?;
     if version > FORMAT_VERSION {
         return Err(DurableError::FutureVersion {
             found: version,
             supported: FORMAT_VERSION,
         });
     }
-    let kind = DurableKind::from_byte(bytes[6])?;
-    let len = u32::from_le_bytes(bytes[7..11].try_into().expect("sliced")) as usize;
-    let total = OVERHEAD + len;
-    if bytes.len() < total {
-        return Err(DurableError::Truncated);
-    }
-    if bytes.len() > total {
-        return Err(DurableError::TrailingBytes(bytes.len() - total));
-    }
-    let payload = &bytes[11..11 + len];
-    let expected_crc = u32::from_le_bytes(bytes[total - 4..].try_into().expect("sliced"));
-    let actual_crc = crc32(&bytes[4..total - 4]);
+    let kind = DurableKind::from_byte(cur.read_u8()?)?;
+    let len = cur.read_u32()? as usize;
+    let payload = cur.take(len)?;
+    let covered = cur.span_from(covered_start)?;
+    let expected_crc = cur.read_u32()?;
+    cur.finish()?;
+    let actual_crc = crc32(covered);
     if expected_crc != actual_crc {
         return Err(DurableError::Corrupt {
             expected: expected_crc,
@@ -253,6 +309,18 @@ mod tests {
             }
             other => panic!("expected KindMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn absurd_length_claim_is_truncation_not_overflow() {
+        let mut blob = seal(DurableKind::EngineSnapshot, b"x");
+        // Claim a payload far larger than the blob (and large enough that a
+        // careless `offset + len` would wrap on 32-bit targets).
+        blob[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            unseal(&blob, DurableKind::EngineSnapshot),
+            Err(DurableError::Truncated)
+        ));
     }
 
     #[test]

@@ -218,6 +218,7 @@ impl StreamEngine {
                 std::collections::btree_map::Entry::Occupied(mut e) => {
                     e.get_mut()
                         .merge_from(&part)
+                        // analyze: allow(panic) — all partials are minted from this engine's one family
                         .expect("partials minted from the engine family");
                 }
             }
@@ -322,6 +323,7 @@ impl StreamEngine {
                 .collect();
             let exprs: Vec<setstream_expr::SetExpr> = members
                 .iter()
+                // analyze: allow(indexing) — `members` was grouped from `self.queries`' own keys
                 .map(|id| self.queries[id].simplified.clone())
                 .collect();
             match estimate::multi_expression(&exprs, &pairs, &self.options) {

@@ -65,13 +65,17 @@ impl ShardedIngestor {
                     })
                 })
                 .collect();
+            // analyze: allow(panic) — join fails only if a worker panicked; propagate it
             let mut parts = handles.into_iter().map(|h| h.join().expect("ingest worker"));
+            // analyze: allow(panic) — `updates` is non-empty here, so chunking yields at least one shard
             let mut acc = parts.next().expect("at least one shard");
             for part in parts {
+                // analyze: allow(panic) — every partial was minted from this ingestor's one family
                 acc.merge_from(&part).expect("partials share one family");
             }
             acc
         })
+        // analyze: allow(panic) — scope fails only if a worker panicked; propagate it
         .expect("ingest scope")
     }
 
@@ -93,12 +97,14 @@ impl ShardedIngestor {
                 .collect();
             let mut acc: BTreeMap<StreamId, SketchVector> = BTreeMap::new();
             for h in handles {
+                // analyze: allow(panic) — join fails only if a worker panicked; propagate it
                 for (stream, part) in h.join().expect("ingest worker") {
                     match acc.entry(stream) {
                         std::collections::btree_map::Entry::Vacant(e) => {
                             e.insert(part);
                         }
                         std::collections::btree_map::Entry::Occupied(mut e) => {
+                            // analyze: allow(panic) — every partial was minted from this ingestor's one family
                             e.get_mut().merge_from(&part).expect("partials share one family");
                         }
                     }
@@ -106,6 +112,7 @@ impl ShardedIngestor {
             }
             acc
         })
+        // analyze: allow(panic) — scope fails only if a worker panicked; propagate it
         .expect("ingest scope")
     }
 }
@@ -194,5 +201,61 @@ mod tests {
     #[should_panic(expected = "ingest worker")]
     fn zero_threads_rejected() {
         let _ = ShardedIngestor::new(family(), 0);
+    }
+}
+
+/// Model-checked shard hand-off (`RUSTFLAGS="--cfg loom"`).
+///
+/// The sharded ingest protocol moves whole partial synopses across a
+/// fork/join boundary with **no** synchronization other than `join`
+/// itself. The model spawns the workers as loom threads so the scheduler
+/// explores every spawn/join interleaving and verifies the merged result
+/// is bit-identical to sequential ingestion in all of them — i.e. the
+/// hand-off needs no additional fences.
+#[cfg(all(loom, test))]
+mod loom_tests {
+    use super::*;
+    use loom::thread;
+
+    #[test]
+    fn loom_shard_handoff_merges_exactly() {
+        loom::model(|| {
+            let family = SketchFamily::builder()
+                .copies(1)
+                .levels(4)
+                .second_level(2)
+                .seed(7)
+                .build();
+            let updates: Vec<Update> = (0..4)
+                .map(|i| Update {
+                    stream: StreamId(0),
+                    element: i,
+                    delta: 1,
+                })
+                .collect();
+            let (left, right) = updates.split_at(2);
+            let (left, right) = (left.to_vec(), right.to_vec());
+            let workers = [left, right].map(|shard| {
+                thread::spawn(move || {
+                    let mut v = family.new_vector();
+                    v.update_batch(&shard);
+                    v
+                })
+            });
+            let mut acc: Option<SketchVector> = None;
+            for w in workers {
+                let part = w.join().expect("ingest worker");
+                match &mut acc {
+                    None => acc = Some(part),
+                    Some(acc) => acc.merge_from(&part).expect("partials share one family"),
+                }
+            }
+            let acc = acc.expect("two shards joined");
+            let mut seq = family.new_vector();
+            seq.update_batch(&updates);
+            for (a, b) in seq.sketches().iter().zip(acc.sketches()) {
+                assert_eq!(a.counters(), b.counters());
+            }
+        });
     }
 }

@@ -44,6 +44,7 @@ impl StreamEngine {
             options: self.options_ref(),
             synopses: self
                 .stream_ids()
+                // analyze: allow(panic) — `id` comes from this engine's own stream_ids() iteration
                 .map(|id| (id, self.synopsis(id).expect("listed stream").clone()))
                 .collect(),
             queries: self

@@ -38,6 +38,7 @@ fn cell_term(mask: u32, n_streams: usize) -> SetExpr {
         .into_iter()
         .map(SetExpr::stream)
         .reduce(SetExpr::intersect)
+        // analyze: allow(panic) — a nonzero cell mask always yields at least one member stream
         .expect("cell mask is nonzero");
     match outsiders.into_iter().map(SetExpr::stream).reduce(SetExpr::union) {
         Some(outside) => inside.diff(outside),

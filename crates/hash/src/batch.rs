@@ -13,6 +13,8 @@
 //! * [`hash_many`] evaluates a first-level hash over a slice of elements.
 //!   A single Carter–Wegman evaluation is a latency-bound Horner chain;
 //!   hashing a batch exposes independent chains the CPU can overlap.
+//!
+//! analyze: allow(indexing) — batch kernel: lane indices iterate `0..LANES` over arrays sized `LANES`, and chunk offsets are bounded by `chunks_exact`
 
 use crate::field;
 use crate::pairwise::PairwiseHash;

@@ -5,6 +5,8 @@
 //! sense, but Pătrașcu–Thorup showed it behaves like full randomness for
 //! many algorithms; we include it in the independence ablation as a
 //! "cheap but strong in practice" point between pairwise and the mixer.
+//!
+//! analyze: allow(indexing) — the eight table lookups index `[u64; 256]` tables with `u8` bytes, which cannot be out of bounds
 
 use crate::mix::splitmix64;
 use crate::Hash64;

@@ -1,17 +1,32 @@
 //! Lock-light metric primitives: counters, gauges, fixed-bucket histograms.
 //!
 //! All three are plain atomics — a metric update on a hot path is one (for
-//! counters/gauges) or three (for histograms) relaxed atomic RMW
-//! instructions, no locks, no allocation, no branching beyond the bucket
-//! search. Reads (`get`, [`Histogram::snapshot`]) are relaxed loads; they
-//! are monotone-consistent, not a point-in-time snapshot across metrics,
-//! which is the usual contract for scrape-style exporters.
+//! counters/gauges) or two (for histograms) atomic RMW instructions, no
+//! locks, no allocation, no branching beyond the bucket search. Reads
+//! (`get`, [`Histogram::snapshot`]) are monotone-consistent, not a
+//! point-in-time snapshot across metrics, which is the usual contract for
+//! scrape-style exporters.
 //!
 //! Histograms observe **integer** values (nanoseconds, bytes, counts) into
 //! a fixed set of upper bounds chosen at construction; there is no dynamic
 //! resizing, so concurrent observers never contend on anything but the
 //! target bucket's cache line.
+//!
+//! ## Scrape consistency
+//!
+//! A histogram keeps no separate `count` cell: the total is **derived** as
+//! the sum of the bucket counts (plus overflow), so a scrape can never
+//! report `count != Σ buckets` — the torn scrape a racing
+//! `count.fetch_add` made possible. `observe` publishes the value into
+//! `sum` *before* the Release bucket increment, and `snapshot` reads the
+//! buckets (Acquire) *before* `sum`; every observation visible in the
+//! returned buckets therefore has its value included in the returned sum.
+//! The loom model `loom_histogram_scrape_is_never_torn` pins both
+//! properties down.
 
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// A monotonically increasing counter.
@@ -92,7 +107,6 @@ pub struct Histogram {
     /// Count of observations above the last bound (the `+Inf` bucket).
     overflow: AtomicU64,
     sum: AtomicU64,
-    count: AtomicU64,
 }
 
 impl Histogram {
@@ -103,6 +117,7 @@ impl Histogram {
     pub fn new(bounds: &[u64]) -> Self {
         assert!(!bounds.is_empty(), "histogram needs at least one bucket");
         assert!(
+            // analyze: allow(indexing) — windows(2) yields exactly two elements
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
         );
@@ -111,7 +126,6 @@ impl Histogram {
             buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
             overflow: AtomicU64::new(0),
             sum: AtomicU64::new(0),
-            count: AtomicU64::new(0),
         }
     }
 
@@ -141,23 +155,38 @@ impl Histogram {
     }
 
     /// Record one observation.
+    ///
+    /// The value lands in `sum` *before* the Release increment of the
+    /// bucket, so any reader that sees the bucket increment (Acquire) also
+    /// sees the value in `sum` — see the module docs on scrape consistency.
     #[inline]
     pub fn observe(&self, v: u64) {
-        match self.bounds.iter().position(|&b| v <= b) {
-            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
-            None => self.overflow.fetch_add(1, Ordering::Relaxed),
-        };
         self.sum.fetch_add(v, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        match self.bounds.iter().position(|&b| v <= b) {
+            // analyze: allow(indexing) — `buckets` is sized to `bounds` and `i` is a position over `bounds`
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Release),
+            None => self.overflow.fetch_add(1, Ordering::Release),
+        };
     }
 
-    /// Total number of observations.
+    /// Total number of observations, derived from the buckets.
+    ///
+    /// There is no separate count cell to race with the buckets: the total
+    /// is the bucket counts plus overflow by construction.
     #[inline]
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        let buckets: u64 = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Acquire))
+            .sum();
+        buckets + self.overflow.load(Ordering::Acquire)
     }
 
     /// Sum of all observed values.
+    ///
+    /// May run ahead of [`Histogram::count`] by in-flight observations
+    /// (value published, bucket increment not yet visible), never behind.
     #[inline]
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
@@ -173,17 +202,25 @@ impl Histogram {
     /// Counts are **non-cumulative** (each bucket counts only its own
     /// range); the exporter accumulates them into Prometheus' cumulative
     /// `le` convention.
+    ///
+    /// The snapshot's `count` is derived from the bucket counts it returns,
+    /// so `count == counts.sum() + overflow` holds unconditionally, and
+    /// `sum` is read *after* the buckets so it covers every observation the
+    /// buckets include (it may additionally cover in-flight ones).
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Acquire))
+            .collect();
+        let overflow = self.overflow.load(Ordering::Acquire);
+        let count = counts.iter().sum::<u64>() + overflow;
         HistogramSnapshot {
             bounds: self.bounds.clone(),
-            counts: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
-            overflow: self.overflow.load(Ordering::Relaxed),
-            sum: self.sum(),
-            count: self.count(),
+            counts,
+            overflow,
+            sum: self.sum.load(Ordering::Relaxed),
+            count,
         }
     }
 }
@@ -251,6 +288,16 @@ mod tests {
     }
 
     #[test]
+    fn count_is_derived_from_buckets() {
+        let h = Histogram::new(&[10]);
+        h.observe(1);
+        h.observe(11);
+        let s = h.snapshot();
+        assert_eq!(s.count, s.counts.iter().sum::<u64>() + s.overflow);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
     fn concurrent_increments_sum_exactly() {
         use std::sync::Arc;
         let c = Arc::new(Counter::new());
@@ -268,5 +315,90 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.get(), 40_000);
+    }
+}
+
+/// Model-checked concurrency properties, explored exhaustively under
+/// `RUSTFLAGS="--cfg loom"` (see `scripts/loom.sh`). Every interleaving of
+/// the atomic operations below is enumerated by the scheduler.
+#[cfg(all(loom, test))]
+mod loom_tests {
+    use super::*;
+    use loom::sync::Arc;
+    use loom::thread;
+
+    #[test]
+    fn loom_counter_concurrent_adds_are_exact() {
+        loom::model(|| {
+            let c = Arc::new(Counter::new());
+            let t1 = {
+                let c = Arc::clone(&c);
+                thread::spawn(move || c.inc())
+            };
+            let t2 = {
+                let c = Arc::clone(&c);
+                thread::spawn(move || c.add(2))
+            };
+            t1.join().unwrap();
+            t2.join().unwrap();
+            assert_eq!(c.get(), 3);
+        });
+    }
+
+    #[test]
+    fn loom_gauge_concurrent_deltas_are_exact() {
+        loom::model(|| {
+            let g = Arc::new(Gauge::new());
+            let t1 = {
+                let g = Arc::clone(&g);
+                thread::spawn(move || g.add(5))
+            };
+            let t2 = {
+                let g = Arc::clone(&g);
+                thread::spawn(move || g.add(-2))
+            };
+            t1.join().unwrap();
+            t2.join().unwrap();
+            assert_eq!(g.get(), 3);
+        });
+    }
+
+    /// The regression model for the torn-scrape bug: with a separate
+    /// `count` cell, a scraper racing `observe` could report
+    /// `count != Σ buckets + overflow`. With the derived count that tear
+    /// is impossible in *every* interleaving, and the Release-bucket /
+    /// Acquire-load pairing guarantees the scraped sum covers every
+    /// observation the scraped buckets include.
+    #[test]
+    fn loom_histogram_scrape_is_never_torn() {
+        loom::model(|| {
+            let h = Arc::new(Histogram::new(&[10, 100]));
+            let writer = {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    h.observe(5); // lands in bucket 0
+                    h.observe(500); // lands in overflow
+                })
+            };
+            let s = h.snapshot();
+            assert_eq!(
+                s.count,
+                s.counts.iter().sum::<u64>() + s.overflow,
+                "scraped count must equal the scraped buckets"
+            );
+            let covered = 5 * s.counts[0] + 500 * s.overflow;
+            assert!(
+                s.sum >= covered,
+                "scraped sum {} must cover the {} the scraped buckets imply",
+                s.sum,
+                covered
+            );
+            writer.join().expect("writer panicked");
+            let end = h.snapshot();
+            assert_eq!(end.counts, vec![1, 0]);
+            assert_eq!(end.overflow, 1);
+            assert_eq!(end.count, 2);
+            assert_eq!(end.sum, 505);
+        });
     }
 }

@@ -109,14 +109,23 @@ impl Registry {
     }
 
     /// Register a source; it is collected on every subsequent scrape.
+    ///
+    /// Poisoning is recovered, not propagated: the registry holds plain
+    /// `Arc`s, which stay valid even if a registering thread panicked.
     pub fn register(&self, source: Arc<dyn MetricSource>) {
-        self.sources.lock().expect("registry lock").push(source);
+        self.sources
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(source);
     }
 
     /// Collect all samples from all registered sources.
     pub fn gather(&self) -> Vec<Sample> {
-        let sources: Vec<Arc<dyn MetricSource>> =
-            self.sources.lock().expect("registry lock").clone();
+        let sources: Vec<Arc<dyn MetricSource>> = self
+            .sources
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         let mut out = Vec::new();
         for s in &sources {
             s.collect(&mut out);

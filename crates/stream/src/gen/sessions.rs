@@ -117,6 +117,7 @@ impl<F: FnMut(StreamId, &mut dyn FnMut() -> u64) -> Element> SessionWorkload<F> 
         let clock = self.clock;
         let mut i = 0;
         while i < self.live.len() {
+            // analyze: allow(indexing) — the loop guard bounds `i` below `live.len()`
             if self.live[i].closes_at <= clock {
                 let s = self.live.swap_remove(i);
                 out.push(Update::delete(s.stream, s.element, 1));

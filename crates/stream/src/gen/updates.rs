@@ -127,9 +127,12 @@ pub fn interleave<R: Rng + ?Sized>(mut streams: Vec<Vec<Update>>, rng: &mut R) -
         // length — a uniformly random merge.
         let mut pick = rng.gen_range(0..remaining);
         for (i, s) in streams.iter_mut().enumerate() {
+            // analyze: allow(indexing) — `cursors` is index-aligned with `streams`; `i` from enumerate
             let left = s.len() - cursors[i];
             if pick < left {
+                // analyze: allow(indexing) — `pick < left` implies `cursors[i] < s.len()`
                 out.push(s[cursors[i]]);
+                // analyze: allow(indexing) — `cursors` is index-aligned with `streams`; `i` from enumerate
                 cursors[i] += 1;
                 remaining -= 1;
                 break;

@@ -41,6 +41,7 @@ impl VennSpec {
         for &(mask, p) in cells {
             assert!(mask >= 1 && (mask as usize) <= n_cells, "bad cell mask {mask:#b}");
             assert!(p >= 0.0, "negative probability for cell {mask:#b}");
+            // analyze: allow(indexing) — mask validated in `1..=n_cells` by the assert above
             weights[mask as usize - 1] += p;
         }
         let total: f64 = weights.iter().sum();
@@ -101,6 +102,7 @@ impl VennSpec {
         if mask == 0 {
             0.0
         } else {
+            // analyze: allow(indexing) — construction validated every mask in `1..=n_cells`
             self.weights[mask as usize - 1]
         }
     }

@@ -24,6 +24,12 @@ cargo build --workspace --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> setstream-analyze (workspace invariant rules A01-A06)"
+cargo run --release -q -p setstream-analyze
+
+echo "==> loom concurrency models (obs metrics/trace, engine shard hand-off)"
+scripts/loom.sh
+
 echo "==> distributed fault-injection suite (SOAK_ROUNDS=${SOAK_ROUNDS})"
 cargo test -p setstream-distributed -q
 

@@ -1,0 +1,63 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The real loom instruments atomics and locks, then exhaustively explores
+//! thread interleavings (including C11 weak-memory behaviours) under a
+//! user-supplied closure. This stand-in keeps the same API surface and the
+//! same exploration discipline for the subset the workspace models need,
+//! under a **sequentially consistent** memory model:
+//!
+//! * [`model`] runs the closure repeatedly, once per distinct interleaving.
+//! * Every operation on a [`sync::atomic`] type, every [`sync::Mutex`]
+//!   lock/unlock, and every [`thread::spawn`]/[`thread::yield_now`] is a
+//!   *scheduling point*: exactly one model thread runs at a time, and at
+//!   each point the scheduler consults a depth-first search over the tree
+//!   of "which runnable thread goes next" decisions.
+//! * Exploration is exhaustive up to [`MAX_EXECUTIONS`] interleavings;
+//!   models are expected to stay small (a handful of threads, tens of
+//!   scheduling points) exactly as with the real loom.
+//!
+//! What this cannot do that real loom can: weak-memory reorderings
+//! (`Relaxed` here behaves as `SeqCst`) and atomics-granularity causality
+//! tracking. What it still catches — and what the workspace's models are
+//! written against — is every *interleaving*-level race: torn multi-atomic
+//! snapshots, lost updates, deadlocks (reported as a panic naming the
+//! blocked threads), and lock-ordering inversions.
+//!
+//! Outside a [`model`] closure every primitive degrades to its `std`
+//! counterpart with zero scheduling overhead, so code compiled with
+//! `--cfg loom` still runs its ordinary unit tests unchanged.
+
+mod rt;
+
+pub mod thread;
+
+pub mod sync;
+
+pub mod hint {
+    //! Spin-loop hint; a scheduling point under a model.
+
+    /// Equivalent of [`std::hint::spin_loop`], but yields to the model
+    /// scheduler so spin-wait loops make progress under exploration.
+    pub fn spin_loop() {
+        crate::rt::yield_point();
+        std::hint::spin_loop();
+    }
+}
+
+/// Maximum number of distinct interleavings explored per [`model`] call.
+///
+/// Exceeding the cap is not an error (coverage is reported to stderr);
+/// models should be sized so exhaustive exploration fits well under it.
+pub const MAX_EXECUTIONS: usize = 100_000;
+
+/// Run `f` once per distinct thread interleaving.
+///
+/// Panics (assertion failures, deadlocks) in any model thread abort the
+/// current execution and are re-raised from this call, after printing the
+/// number of the failing interleaving so the failure is attributable.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    rt::explore(std::sync::Arc::new(f));
+}

@@ -1,0 +1,353 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! One execution = one run of the model closure in which exactly one model
+//! thread is runnable at a time. Each scheduling point with more than one
+//! runnable thread is a *decision*; the sequence of decisions taken is
+//! recorded, and after the execution finishes the driver computes the next
+//! unexplored branch (depth-first: bump the last decision that still has an
+//! untried alternative, truncate the rest). Replaying the recorded prefix
+//! is deterministic because model closures are required to be deterministic
+//! apart from scheduling.
+
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Sentinel panic payload: "a sibling thread already panicked, unwind
+/// quietly". Raised via `resume_unwind` so the panic hook stays silent.
+pub(crate) struct SiblingAbort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Wait {
+    /// Waiting for the given thread to finish.
+    Join(usize),
+    /// Waiting for the mutex with the given id to unlock.
+    Mutex(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    Blocked(Wait),
+    Finished,
+}
+
+/// One branch-point record: which runnable slot was chosen, out of how many.
+struct Decision {
+    chosen: usize,
+    options: usize,
+}
+
+struct SchedState {
+    threads: Vec<Run>,
+    /// Thread id currently holding the run token (`usize::MAX` = none).
+    current: usize,
+    /// Decision prefix to replay this execution.
+    replay: Vec<usize>,
+    /// Decisions actually taken (replayed + fresh).
+    decisions: Vec<Decision>,
+    /// First real panic payload out of any model thread.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    panicked: bool,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) tid: usize,
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Ctx) {
+    CTX.with(|c| *c.borrow_mut() = Some(ctx));
+}
+
+/// Scheduling point: give the scheduler a chance to switch threads.
+/// No-op outside a model execution.
+pub(crate) fn yield_point() {
+    if let Some(ctx) = current_ctx() {
+        ctx.exec.switch(ctx.tid, None);
+    }
+}
+
+impl Execution {
+    fn new(replay: Vec<usize>) -> Self {
+        Execution {
+            state: Mutex::new(SchedState {
+                threads: Vec::new(),
+                current: 0,
+                replay,
+                decisions: Vec::new(),
+                panic: None,
+                panicked: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Register a new model thread; returns its id. The thread starts
+    /// runnable but does not hold the run token.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.threads.push(Run::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Block-or-yield scheduling point. If `block` is set, the calling
+    /// thread is parked in that wait state and another thread is chosen;
+    /// the call returns once the thread is runnable *and* scheduled again.
+    pub(crate) fn switch(&self, my: usize, block: Option<Wait>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.panicked {
+            drop(st);
+            std::panic::resume_unwind(Box::new(SiblingAbort));
+        }
+        if let Some(w) = block {
+            st.threads[my] = Run::Blocked(w);
+        }
+        Self::pick_next(&mut st);
+        self.cv.notify_all();
+        self.wait_for_token(st, my);
+    }
+
+    /// Park until this thread is runnable and holds the run token.
+    pub(crate) fn wait_first_turn(&self, my: usize) {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.wait_for_token(st, my);
+    }
+
+    fn wait_for_token(
+        &self,
+        mut st: std::sync::MutexGuard<'_, SchedState>,
+        my: usize,
+    ) {
+        loop {
+            if st.panicked {
+                drop(st);
+                std::panic::resume_unwind(Box::new(SiblingAbort));
+            }
+            if st.current == my && st.threads[my] == Run::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Choose the next thread to hold the run token, recording a decision
+    /// when more than one thread is runnable.
+    fn pick_next(st: &mut SchedState) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        match runnable.len() {
+            0 => {
+                if st.threads.iter().all(|r| *r == Run::Finished) {
+                    st.current = usize::MAX;
+                } else {
+                    let stuck: Vec<String> = st
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, r)| match r {
+                            Run::Blocked(w) => Some(format!("thread {i} blocked on {w:?}")),
+                            _ => None,
+                        })
+                        .collect();
+                    panic!("loom: deadlock — {}", stuck.join(", "));
+                }
+            }
+            1 => st.current = runnable[0],
+            n => {
+                let d = st.decisions.len();
+                let chosen = if d < st.replay.len() { st.replay[d] } else { 0 };
+                debug_assert!(chosen < n, "replayed decision out of range");
+                st.decisions.push(Decision { chosen, options: n });
+                st.current = runnable[chosen];
+            }
+        }
+    }
+
+    /// Mark `my` finished, wake its joiners, hand the token onward.
+    pub(crate) fn finish_thread(&self, my: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.threads[my] = Run::Finished;
+        for r in st.threads.iter_mut() {
+            if *r == Run::Blocked(Wait::Join(my)) {
+                *r = Run::Runnable;
+            }
+        }
+        if !st.panicked {
+            Self::pick_next(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Record the first real panic and abort the execution: every thread
+    /// parked at a scheduling point unwinds with [`SiblingAbort`].
+    pub(crate) fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.panic.is_none() && !payload.is::<SiblingAbort>() {
+            st.panic = Some(payload);
+        }
+        st.panicked = true;
+        self.cv.notify_all();
+    }
+
+    /// Park the caller until `target` finishes (a scheduling point).
+    pub(crate) fn join_wait(&self, my: usize, target: usize) {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.threads[target] == Run::Finished {
+            drop(st);
+            self.switch(my, None);
+        } else {
+            drop(st);
+            self.switch(my, Some(Wait::Join(target)));
+        }
+    }
+
+    /// Park the caller until the mutex `id` is released.
+    pub(crate) fn mutex_wait(&self, my: usize, id: usize) {
+        self.switch(my, Some(Wait::Mutex(id)));
+    }
+
+    /// Wake every thread parked on mutex `id` (they re-contend).
+    pub(crate) fn mutex_released(&self, id: usize) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        for r in st.threads.iter_mut() {
+            if *r == Run::Blocked(Wait::Mutex(id)) {
+                *r = Run::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block the driver until every model thread finished (or one panicked).
+    fn wait_all_done(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.panicked || st.threads.iter().all(|r| *r == Run::Finished) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Compute the next depth-first schedule from this execution's decisions,
+/// or `None` when the tree is exhausted.
+fn next_replay(decisions: &[Decision]) -> Option<Vec<usize>> {
+    let mut i = decisions.len();
+    while i > 0 {
+        i -= 1;
+        if decisions[i].chosen + 1 < decisions[i].options {
+            let mut replay: Vec<usize> =
+                decisions[..i].iter().map(|d| d.chosen).collect();
+            replay.push(decisions[i].chosen + 1);
+            return Some(replay);
+        }
+    }
+    None
+}
+
+/// Drive the depth-first exploration of `f`'s interleavings.
+pub(crate) fn explore(f: Arc<dyn Fn() + Send + Sync>) {
+    let mut replay: Vec<usize> = Vec::new();
+    let mut executions: usize = 0;
+    loop {
+        executions += 1;
+        let exec = Arc::new(Execution::new(std::mem::take(&mut replay)));
+        let root = exec.register_thread();
+        debug_assert_eq!(root, 0);
+        let texec = Arc::clone(&exec);
+        let tf = Arc::clone(&f);
+        let main = std::thread::Builder::new()
+            .name("loom-root".into())
+            .spawn(move || {
+                set_ctx(Ctx {
+                    exec: Arc::clone(&texec),
+                    tid: root,
+                });
+                texec.wait_first_turn(root);
+                let out = std::panic::catch_unwind(AssertUnwindSafe(|| tf()));
+                match out {
+                    Ok(()) => texec.finish_thread(root),
+                    Err(p) => texec.record_panic(p),
+                }
+            })
+            .expect("spawn loom root thread");
+        exec.wait_all_done();
+        let _ = main.join();
+        let mut st = exec.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = st.panic.take() {
+            eprintln!("loom: failing interleaving #{executions}");
+            std::panic::resume_unwind(p);
+        }
+        match next_replay(&st.decisions) {
+            Some(r) => replay = r,
+            None => return,
+        }
+        drop(st);
+        if executions >= crate::MAX_EXECUTIONS {
+            eprintln!(
+                "loom: exploration capped at {} interleavings (model too large \
+                 for exhaustive search)",
+                crate::MAX_EXECUTIONS
+            );
+            return;
+        }
+    }
+}
+
+/// Spawn a model thread (used by [`crate::thread::spawn`] inside a model).
+pub(crate) fn spawn_model_thread<F, T>(
+    ctx: &Ctx,
+    f: F,
+) -> (std::thread::JoinHandle<Option<T>>, usize)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = ctx.exec.register_thread();
+    let exec = Arc::clone(&ctx.exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            set_ctx(Ctx {
+                exec: Arc::clone(&exec),
+                tid,
+            });
+            exec.wait_first_turn(tid);
+            let out = std::panic::catch_unwind(AssertUnwindSafe(f));
+            match out {
+                Ok(v) => {
+                    exec.finish_thread(tid);
+                    Some(v)
+                }
+                Err(p) => {
+                    exec.record_panic(p);
+                    None
+                }
+            }
+        })
+        .expect("spawn loom model thread");
+    // The new thread is immediately schedulable: make its creation a
+    // decision point so "child runs first" interleavings are explored.
+    ctx.exec.switch(ctx.tid, None);
+    (handle, tid)
+}

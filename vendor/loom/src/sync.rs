@@ -1,0 +1,223 @@
+//! Model-aware synchronization primitives.
+
+use crate::rt;
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Atomics whose every operation is a model scheduling point.
+    //!
+    //! Memory orderings are accepted for API compatibility but the model
+    //! explores interleavings under sequential consistency (see the crate
+    //! docs for what that does and does not cover).
+
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! atomic {
+        ($name:ident, $std:ty, $int:ty) => {
+            /// Model-instrumented atomic: each op yields to the scheduler.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// A new atomic holding `v`.
+                pub const fn new(v: $int) -> Self {
+                    $name {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                /// Load the value (scheduling point).
+                pub fn load(&self, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.load(order)
+                }
+
+                /// Store `v` (scheduling point).
+                pub fn store(&self, v: $int, order: Ordering) {
+                    rt::yield_point();
+                    self.inner.store(v, order)
+                }
+
+                /// Swap in `v`, returning the previous value.
+                pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.swap(v, order)
+                }
+
+                /// Compare-and-exchange.
+                #[allow(clippy::missing_errors_doc)]
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    rt::yield_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consume and return the inner value.
+                pub fn into_inner(self) -> $int {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! atomic_arith {
+        ($name:ident, $int:ty) => {
+            impl $name {
+                /// Add `v`, returning the previous value (scheduling point).
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Subtract `v`, returning the previous value.
+                pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                /// Bitwise-or `v`, returning the previous value.
+                pub fn fetch_or(&self, v: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_or(v, order)
+                }
+
+                /// Bitwise-and `v`, returning the previous value.
+                pub fn fetch_and(&self, v: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_and(v, order)
+                }
+
+                /// Maximum of current and `v`, returning the previous value.
+                pub fn fetch_max(&self, v: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_max(v, order)
+                }
+            }
+        };
+    }
+
+    atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+    atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    atomic_arith!(AtomicU32, u32);
+    atomic_arith!(AtomicU64, u64);
+    atomic_arith!(AtomicI64, i64);
+    atomic_arith!(AtomicUsize, usize);
+}
+
+static NEXT_MUTEX_ID: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
+
+/// Model-aware mutex: `lock` is a scheduling point, contention parks the
+/// caller with the scheduler (so lock-ordering deadlocks are detected and
+/// reported instead of hanging), and unlock wakes all waiters and yields.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for a [`Mutex`]; unlocking is a scheduling point inside a model.
+pub struct MutexGuard<'a, T> {
+    // `Option` so `drop` can release the std guard before telling the
+    // scheduler the mutex is free.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    released: Option<(std::sync::Arc<rt::Execution>, usize, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex holding `t`.
+    pub fn new(t: T) -> Self {
+        Mutex {
+            id: NEXT_MUTEX_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Acquire the mutex (scheduling point; parks on contention).
+    ///
+    /// # Errors
+    /// Propagates poisoning exactly like [`std::sync::Mutex::lock`].
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        match rt::current_ctx() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: Some(g),
+                    released: None,
+                }),
+                Err(e) => Err(std::sync::PoisonError::new(MutexGuard {
+                    inner: Some(e.into_inner()),
+                    released: None,
+                })),
+            },
+            Some(ctx) => loop {
+                ctx.exec.switch(ctx.tid, None);
+                match self.inner.try_lock() {
+                    Ok(g) => {
+                        return Ok(MutexGuard {
+                            inner: Some(g),
+                            released: Some((ctx.exec.clone(), ctx.tid, self.id)),
+                        })
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        ctx.exec.mutex_wait(ctx.tid, self.id);
+                    }
+                    Err(std::sync::TryLockError::Poisoned(e)) => {
+                        return Err(std::sync::PoisonError::new(MutexGuard {
+                            inner: Some(e.into_inner()),
+                            released: Some((ctx.exec.clone(), ctx.tid, self.id)),
+                        }))
+                    }
+                }
+            },
+        }
+    }
+
+    /// Consume the mutex and return the inner value.
+    ///
+    /// # Errors
+    /// Propagates poisoning like [`std::sync::Mutex::into_inner`].
+    pub fn into_inner(self) -> std::sync::LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still held")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard still held")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock first so woken waiters can take it.
+        self.inner = None;
+        if let Some((exec, tid, id)) = self.released.take() {
+            exec.mutex_released(id);
+            // Unlock is a scheduling point — but never reschedule while
+            // unwinding from a panic (the execution is being torn down).
+            if !std::thread::panicking() {
+                exec.switch(tid, None);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Model-aware threads: `spawn`/`join`/`yield_now`.
+//!
+//! Inside a [`crate::model`] execution, spawned threads are registered with
+//! the scheduler and both `spawn` and `join` are scheduling points. Outside
+//! a model everything degrades to plain [`std::thread`].
+
+use crate::rt;
+use std::sync::Arc;
+
+/// A handle to a model (or plain) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Native(std::thread::JoinHandle<T>),
+    Model {
+        handle: std::thread::JoinHandle<Option<T>>,
+        tid: usize,
+        exec: Arc<rt::Execution>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result.
+    ///
+    /// # Errors
+    /// Returns the thread's panic payload if it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Native(h) => h.join(),
+            Inner::Model { handle, tid, exec } => {
+                if let Some(ctx) = rt::current_ctx() {
+                    exec.join_wait(ctx.tid, tid);
+                }
+                match handle.join() {
+                    Ok(Some(v)) => Ok(v),
+                    // The thread recorded a panic with the execution (or was
+                    // aborted by a sibling's panic): unwind quietly, the
+                    // driver re-raises the original payload.
+                    Ok(None) | Err(_) => {
+                        std::panic::resume_unwind(Box::new(rt::SiblingAbort))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Spawn a thread. A scheduling point inside a model.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current_ctx() {
+        None => JoinHandle {
+            inner: Inner::Native(std::thread::spawn(f)),
+        },
+        Some(ctx) => {
+            let (handle, tid) = rt::spawn_model_thread(&ctx, f);
+            JoinHandle {
+                inner: Inner::Model {
+                    handle,
+                    tid,
+                    exec: ctx.exec,
+                },
+            }
+        }
+    }
+}
+
+/// Yield: a bare scheduling point inside a model, `std` yield outside.
+pub fn yield_now() {
+    rt::yield_point();
+    if rt::current_ctx().is_none() {
+        std::thread::yield_now();
+    }
+}
