@@ -7,11 +7,18 @@
 //! setstream plan     --epsilon E --delta D [--ratio R]
 //! setstream simplify "<expr>"
 //! setstream cells    "<expr>" --streams N
-//! setstream stats    [--rounds N] [--sites N] [--events N] [--seed N]
+//! setstream stats    [--rounds N] [--sites N] [--events N] [--seed N] [--sample R]
+//! setstream serve    [--port P] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
+//! setstream scrape   --addr HOST:PORT [--path /metrics]
+//! setstream top      --addr HOST:PORT [--interval SECS] [--iterations N]
 //! ```
 //!
 //! Traces use the `setstream_stream::trace` line format (`A +1 17`).
+//! `stats`, `serve`, and `top` all run the shared
+//! [`setstream_apps::demo::DemoStack`], so the one-shot dump, the
+//! `/metrics` endpoint, and the live dashboard render the same samples.
 
+use setstream_apps::demo;
 use setstream_core::{estimate, EstimatorOptions, Plan, SketchFamily, SketchVector};
 use setstream_expr::SetExpr;
 use setstream_stream::{trace, StreamId, StreamSet, Update};
@@ -40,7 +47,10 @@ const USAGE: &str = "usage:
   setstream plan     --epsilon E --delta D [--ratio R]
   setstream simplify \"<expr>\"
   setstream cells    \"<expr>\" --streams N
-  setstream stats    [--rounds N] [--sites N] [--events N] [--seed N]";
+  setstream stats    [--rounds N] [--sites N] [--events N] [--seed N] [--sample R]
+  setstream serve    [--port P] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
+  setstream scrape   --addr HOST:PORT [--path /metrics]
+  setstream top      --addr HOST:PORT [--interval SECS] [--iterations N]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -54,6 +64,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "simplify" => cmd_simplify(&rest),
         "cells" => cmd_cells(&rest),
         "stats" => cmd_stats(&rest),
+        "serve" => cmd_serve(&rest),
+        "scrape" => cmd_scrape(&rest),
+        "top" => cmd_top(&rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -249,85 +262,46 @@ fn cmd_simplify(rest: &[&String]) -> Result<(), String> {
     Ok(())
 }
 
-/// End-to-end observability demo: runs an instrumented local engine plus
-/// a fault-injected distributed collection, then dumps every metric the
-/// stack exported in Prometheus text format.
-fn cmd_stats(rest: &[&String]) -> Result<(), String> {
-    use setstream_distributed::network::{collect_epoch, CollectionOptions, FaultSpec, LossyLink};
-    use setstream_distributed::{CollectionMetrics, Coordinator, Site};
-    use setstream_engine::StreamEngine;
-    use setstream_obs::{export, Registry};
-    use std::sync::Arc;
+/// Build the shared demo stack from the common `stats`/`serve` flags.
+fn demo_config_from(flags: &BTreeMap<&str, &str>) -> Result<demo::DemoConfig, String> {
+    let defaults = demo::DemoConfig::default();
+    Ok(demo::DemoConfig {
+        sites: flag_num(flags, "sites", defaults.sites)?,
+        events_per_round: flag_num(flags, "events", defaults.events_per_round)?,
+        seed: flag_num(flags, "seed", defaults.seed)?,
+        sampling_rate: flag_num(flags, "sample", defaults.sampling_rate)?,
+        ..defaults
+    })
+}
 
+fn print_round(summary: &demo::RoundSummary) {
+    println!(
+        "round {}: |A ∪ B| ≈ {:.0}, |A ∩ B| ≈ {:.0} ({})",
+        summary.round,
+        summary.union_estimate,
+        summary.intersection_estimate,
+        summary.intersection_method,
+    );
+}
+
+/// End-to-end observability demo: runs the shared instrumented stack
+/// (engine + quality monitor + fault-injected distributed collection)
+/// for a few rounds, then dumps every metric through the **same** render
+/// path `setstream serve` exposes at `/metrics`.
+fn cmd_stats(rest: &[&String]) -> Result<(), String> {
     let (positional, flags) = parse_flags(rest)?;
     if !positional.is_empty() {
         return Err("stats takes only flags".into());
     }
     let rounds: usize = flag_num(&flags, "rounds", 5usize)?;
-    let n_sites: usize = flag_num(&flags, "sites", 3usize)?;
-    let events: usize = flag_num(&flags, "events", 4000usize)?;
-    let seed: u64 = flag_num(&flags, "seed", 42u64)?;
-
-    let family = SketchFamily::builder()
-        .copies(64)
-        .second_level(8)
-        .seed(seed)
-        .build();
-    let mut engine = StreamEngine::new(family);
-    let engine_metrics = engine.metrics().clone();
-    let union_q = engine
-        .register_query("A | B")
-        .map_err(|e| e.to_string())?;
-    let inter_q = engine
-        .register_query("A & B")
-        .map_err(|e| e.to_string())?;
-
-    let coordinator = Arc::new(Coordinator::new(family));
-    let collection_metrics = Arc::new(CollectionMetrics::new());
-    let mut sites: Vec<Site> = (0..n_sites).map(|i| Site::new(i as u32, family)).collect();
-    let mut links: Vec<LossyLink> = (0..n_sites)
-        .map(|i| LossyLink::new(FaultSpec::nasty(), seed ^ ((i as u64) << 32)))
-        .collect::<Result<_, _>>()
-        .map_err(|e| e.to_string())?;
-    let opts = CollectionOptions::default();
-
-    let registry = Registry::new();
-    registry.register(engine_metrics);
-    registry.register(coordinator.clone());
-    registry.register(collection_metrics.clone());
-
-    for round in 0..rounds {
-        let mut batch = Vec::with_capacity(events);
-        for i in 0..events {
-            let x = (round as u64 * events as u64 + i as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let stream = StreamId((x % 2) as u32);
-            let element = x >> 16 & 0xFFFF;
-            if i % 10 == 9 {
-                batch.push(Update::delete(stream, element, 1));
-            } else {
-                batch.push(Update::insert(stream, element, 1));
-            }
-        }
-        engine.process_batch(&batch);
-        for (i, u) in batch.iter().enumerate() {
-            sites[i % n_sites].observe(u);
-        }
-        for i in 0..n_sites {
-            let report = collect_epoch(&mut sites[i], &mut links[i], &coordinator, &opts)
-                .map_err(|e| format!("collection from site {i}: {e}"))?;
-            collection_metrics.record_report(&report);
-        }
-        let union = engine.evaluate(union_q).map_err(|e| e.to_string())?;
-        let inter = engine.evaluate(inter_q).map_err(|e| e.to_string())?;
-        println!(
-            "round {round}: |A ∪ B| ≈ {:.0}, |A ∩ B| ≈ {:.0} ({})",
-            union.value,
-            inter.value,
-            inter.method.as_str(),
-        );
+    let config = demo_config_from(&flags)?;
+    let n_sites = config.sites;
+    let mut stack = demo::DemoStack::new(config)?;
+    for _ in 0..rounds {
+        print_round(&stack.step()?);
     }
-    let merged = coordinator
+    let merged = stack
+        .coordinator()
         .query(&parse_expr("A | B")?)
         .map_err(|e| e.to_string())?;
     println!(
@@ -341,8 +315,296 @@ fn cmd_stats(rest: &[&String]) -> Result<(), String> {
             .unwrap_or(0),
     );
 
-    println!("\n{}", export::render(&registry));
+    println!("\n{}", stack.render_metrics());
     Ok(())
+}
+
+/// Serve the demo stack's quality plane over HTTP: `/metrics`
+/// (Prometheus text), `/health` (JSON), `/trace` (Chrome trace JSON).
+///
+/// A driver thread keeps stepping rounds (forever with `--rounds 0`,
+/// the default, else exactly N); the accept loop runs on the main
+/// thread until the process is killed.
+fn cmd_serve(rest: &[&String]) -> Result<(), String> {
+    use setstream_obs::HttpServer;
+    use std::io::Write;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    let (positional, flags) = parse_flags(rest)?;
+    if !positional.is_empty() {
+        return Err("serve takes only flags".into());
+    }
+    let port: u16 = flag_num(&flags, "port", 0u16)?;
+    let rounds: usize = flag_num(&flags, "rounds", 0usize)?;
+    let interval_ms: u64 = flag_num(&flags, "interval-ms", 250u64)?;
+    let config = demo_config_from(&flags)?;
+
+    let stack = Arc::new(Mutex::new(demo::DemoStack::new(config)?));
+    let metrics_stack = Arc::clone(&stack);
+    let health_stack = Arc::clone(&stack);
+    let trace_stack = Arc::clone(&stack);
+    let server = HttpServer::bind(&format!("127.0.0.1:{port}"))
+        .map_err(|e| e.to_string())?
+        .route("/metrics", "text/plain; version=0.0.4", move || {
+            metrics_stack
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .render_metrics()
+        })
+        .route("/health", "application/json", move || {
+            health_stack
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .render_health()
+        })
+        .route("/trace", "application/json", move || {
+            trace_stack
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .render_trace()
+        });
+    stack
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .registry()
+        .register(server.metrics());
+
+    println!("serving on http://{}", server.local_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    let driver_stack = Arc::clone(&stack);
+    std::thread::spawn(move || {
+        let mut done = 0usize;
+        loop {
+            let result = driver_stack
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .step();
+            if let Err(e) = result {
+                eprintln!("round failed: {e}");
+                return;
+            }
+            done += 1;
+            if rounds > 0 && done >= rounds {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+    });
+
+    server.serve().map_err(|e| e.to_string())
+}
+
+fn resolve_addr(flags: &BTreeMap<&str, &str>) -> Result<std::net::SocketAddr, String> {
+    use std::net::ToSocketAddrs;
+    let addr = flags.get("addr").ok_or("--addr HOST:PORT is required")?;
+    addr.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolved to no address"))
+}
+
+/// Fetch one endpoint from a running `setstream serve`. `/metrics`
+/// bodies are validated with the exposition parser before printing;
+/// a summary goes to stderr so stdout stays pipeable.
+fn cmd_scrape(rest: &[&String]) -> Result<(), String> {
+    use setstream_obs::serve::http_get;
+
+    let (positional, flags) = parse_flags(rest)?;
+    if !positional.is_empty() {
+        return Err("scrape takes only flags".into());
+    }
+    let addr = resolve_addr(&flags)?;
+    let path = flags.get("path").copied().unwrap_or("/metrics");
+    let (status, body) =
+        http_get(addr, path).map_err(|e| format!("GET {addr}{path}: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET {addr}{path}: HTTP {status}"));
+    }
+    if path == "/metrics" {
+        let summary = setstream_obs::export::parse_exposition(&body)
+            .map_err(|e| format!("invalid exposition from {addr}: {e}"))?;
+        eprintln!(
+            "scrape OK: {} families ({} with help), {} samples, {} bytes",
+            summary.families.len(),
+            summary.helped,
+            summary.samples,
+            body.len()
+        );
+    }
+    print!("{body}");
+    Ok(())
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "∞".into()
+    } else if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn fmt_ppm(ppm: f64) -> String {
+    format!("{:.2}%", ppm / 10_000.0)
+}
+
+/// Render one dashboard frame from a scraped exposition.
+fn render_top_frame(addr: std::net::SocketAddr, lines: &[demo::MetricLine], prev_updates: Option<f64>, interval: f64) -> f64 {
+    use demo::{histogram_quantile, labeled_value, sum_values};
+
+    let updates = sum_values(lines, "setstream_engine_ingest_updates_total");
+    let deletions = sum_values(lines, "setstream_engine_ingest_deletions_total");
+    let rate = prev_updates
+        .map(|p| (updates - p).max(0.0) / interval.max(1e-9))
+        .unwrap_or(0.0);
+    println!("setstream top — http://{addr}");
+    println!(
+        "ingest   : {updates:.0} updates ({rate:.0}/s), {:.1}% deletions",
+        if updates > 0.0 { 100.0 * deletions / updates } else { 0.0 }
+    );
+    let (seen, sampled) = (
+        sum_values(lines, "setstream_quality_updates_seen_total"),
+        sum_values(lines, "setstream_quality_updates_sampled_total"),
+    );
+    println!(
+        "shadow   : {sampled:.0} / {seen:.0} sampled ({}), {} eval rounds",
+        fmt_ppm(sum_values(lines, "setstream_quality_sampling_rate_ppm")),
+        sum_values(lines, "setstream_quality_eval_rounds_total"),
+    );
+    let latency = |q| {
+        histogram_quantile(lines, "setstream_engine_estimate_latency_ns", q)
+            .map(fmt_ns)
+            .unwrap_or_else(|| "—".into())
+    };
+    println!(
+        "latency  : p50 {} · p90 {} · p99 {}",
+        latency(0.5),
+        latency(0.9),
+        latency(0.99)
+    );
+
+    let budget_ppm = sum_values(lines, "setstream_quality_error_budget_ppm");
+    let mut exprs: Vec<&str> = lines
+        .iter()
+        .filter(|l| l.name == "setstream_quality_expr_witnesses")
+        .filter_map(|l| l.label("expr"))
+        .collect();
+    exprs.sort_unstable();
+    exprs.dedup();
+    if !exprs.is_empty() {
+        println!(
+            "{:<14} {:>10} {:>10} {:>8} {:>12}",
+            "expression", "error", "budget", "atomic", "witnesses"
+        );
+        for expr in exprs {
+            let err = labeled_value(lines, "setstream_quality_expr_error_ppm", "expr", expr);
+            let af = labeled_value(
+                lines,
+                "setstream_quality_expr_atomic_fraction_ppm",
+                "expr",
+                expr,
+            );
+            let hits = lines
+                .iter()
+                .find(|l| {
+                    l.name == "setstream_quality_expr_witnesses"
+                        && l.label("expr") == Some(expr)
+                        && l.label("class") == Some("hits")
+                })
+                .map_or(0.0, |l| l.value);
+            let valid = lines
+                .iter()
+                .find(|l| {
+                    l.name == "setstream_quality_expr_witnesses"
+                        && l.label("expr") == Some(expr)
+                        && l.label("class") == Some("valid")
+                })
+                .map_or(0.0, |l| l.value);
+            let over = err.is_some_and(|e| e > budget_ppm);
+            println!(
+                "{:<14} {:>10} {:>10} {:>8} {:>9.0}/{:.0}{}",
+                expr,
+                err.map(fmt_ppm).unwrap_or_else(|| "—".into()),
+                fmt_ppm(budget_ppm),
+                af.map(fmt_ppm).unwrap_or_else(|| "—".into()),
+                hits,
+                valid,
+                if over { "  ← over budget" } else { "" },
+            );
+        }
+    }
+
+    let sites = sum_values(lines, "setstream_distributed_sites");
+    let stale: f64 = [
+        "setstream_distributed_sites_quarantined",
+        "setstream_distributed_sites_lagging",
+        "setstream_distributed_sites_resync_pending",
+    ]
+    .iter()
+    .map(|n| sum_values(lines, n))
+    .sum();
+    let max_lag = lines
+        .iter()
+        .filter(|l| l.name == "setstream_distributed_site_epoch_lag")
+        .map(|l| l.value)
+        .fold(0.0f64, f64::max);
+    println!("sites    : {sites:.0} announced, {stale:.0} stale, max epoch lag {max_lag:.0}");
+
+    let active: Vec<&str> = lines
+        .iter()
+        .filter(|l| l.name == "setstream_alarm_active" && l.value > 0.0)
+        .filter_map(|l| l.label("kind"))
+        .collect();
+    if active.is_empty() {
+        println!("alarms   : none");
+    } else {
+        println!("alarms   : {}", active.join(", "));
+    }
+    updates
+}
+
+/// Self-refreshing terminal dashboard over a running `setstream serve`.
+fn cmd_top(rest: &[&String]) -> Result<(), String> {
+    use setstream_obs::serve::http_get;
+    use std::io::IsTerminal;
+
+    let (positional, flags) = parse_flags(rest)?;
+    if !positional.is_empty() {
+        return Err("top takes only flags".into());
+    }
+    let addr = resolve_addr(&flags)?;
+    let interval: f64 = flag_num(&flags, "interval", 2.0f64)?;
+    let iterations: usize = flag_num(&flags, "iterations", 0usize)?;
+    if !(interval.is_finite() && interval > 0.0) {
+        return Err("--interval must be positive".into());
+    }
+    let clear = std::io::stdout().is_terminal() && iterations != 1;
+
+    let mut prev_updates = None;
+    let mut frame = 0usize;
+    loop {
+        let (status, body) = http_get(addr, "/metrics")
+            .map_err(|e| format!("GET {addr}/metrics: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET {addr}/metrics: HTTP {status}"));
+        }
+        let lines = demo::parse_metric_text(&body);
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        prev_updates = Some(render_top_frame(addr, &lines, prev_updates, interval));
+        frame += 1;
+        if iterations > 0 && frame >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
 }
 
 fn cmd_cells(rest: &[&String]) -> Result<(), String> {

@@ -8,9 +8,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod demo;
+
 pub use setstream_baselines as baselines;
 pub use setstream_core as core;
 pub use setstream_distributed as distributed;
+pub use setstream_engine as engine;
 pub use setstream_expr as expr;
 pub use setstream_hash as hash;
+pub use setstream_obs as obs;
 pub use setstream_stream as stream;

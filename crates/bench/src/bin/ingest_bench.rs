@@ -14,7 +14,7 @@
 //! ```
 
 use setstream_core::{SketchFamily, SketchVector};
-use setstream_engine::{ShardedIngestor, StreamEngine};
+use setstream_engine::{QualityConfig, QualityMonitor, ShardedIngestor, StreamEngine};
 use setstream_stream::{StreamId, Update};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -24,18 +24,23 @@ const PAPER_S: u32 = 32;
 struct Args {
     quick: bool,
     out: String,
+    obs_out: String,
 }
 
 fn parse_args() -> Args {
     let mut out = Args {
         quick: false,
         out: "BENCH_ingest.json".to_string(),
+        obs_out: "BENCH_obs.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => out.quick = true,
             "--out" => out.out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--obs-out" => {
+                out.obs_out = args.next().unwrap_or_else(|| usage("--obs-out needs a path"))
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -47,7 +52,10 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("{err}");
     }
-    eprintln!("options: --quick (smaller workload) | --out PATH (default BENCH_ingest.json)");
+    eprintln!(
+        "options: --quick (smaller workload) | --out PATH (default BENCH_ingest.json) | \
+         --obs-out PATH (default BENCH_obs.json)"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -194,4 +202,57 @@ fn main() {
         std::process::exit(1);
     });
     println!("wrote {}", args.out);
+
+    // Quality-plane overhead: the instrumented engine path alone vs the
+    // same path with a QualityMonitor shadow-sampling the batch. Rate 0.0
+    // prices the per-update hash test alone; rate 0.01 is the documented
+    // operating point (hash + ~1% shadow multiset maintenance) and is the
+    // number tier1.sh gates at ≤5% (+ quick-bench noise margin).
+    let mut obs_rows = String::new();
+    let mut quality_overhead = 0.0;
+    for rate in [0.0f64, 0.01] {
+        let monitor = QualityMonitor::new(QualityConfig {
+            sampling_rate: rate,
+            ..QualityConfig::default()
+        })
+        .expect("valid bench config");
+        let monitored_ns = {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let mut engine = StreamEngine::new(family(r_obs));
+                let t = Instant::now();
+                engine.process_batch(&updates);
+                monitor.observe_batch(&updates);
+                let dt = t.elapsed().as_secs_f64();
+                assert!(engine.stats().updates > 0, "engine must have ingested");
+                best = best.min(dt * 1e9 / updates.len() as f64);
+            }
+            best
+        };
+        let overhead = monitored_ns / engine_ns;
+        if rate > 0.0 {
+            quality_overhead = overhead;
+        }
+        println!(
+            "  quality overhead rate={rate}: engine {engine_ns:.1} ns/update   +monitor {monitored_ns:.1} ns/update   ratio {overhead:.3}x"
+        );
+        let _ = write!(
+            obs_rows,
+            "{}{{\"mode\":\"quality_overhead\",\"sampling_rate\":{rate},\"r\":{r_obs},\
+             \"s\":{PAPER_S},\"updates\":{n_scalar},\
+             \"engine_ns_per_update\":{engine_ns:.1},\
+             \"engine_plus_monitor_ns_per_update\":{monitored_ns:.1},\
+             \"overhead\":{overhead:.3}}}",
+            if obs_rows.is_empty() { "" } else { ",\n    " }
+        );
+    }
+    let obs_json = format!(
+        "{{\n  \"bench\": \"obs\",\n  \"quick\": {},\n  \"quality_overhead\": {quality_overhead:.3},\n  \"results\": [\n    {obs_rows}\n  ]\n}}\n",
+        args.quick
+    );
+    std::fs::write(&args.obs_out, &obs_json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.obs_out);
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.obs_out);
 }

@@ -680,22 +680,31 @@ impl MetricSource for Coordinator {
         self.metrics.collect_counters(out);
         let st = self.state.lock();
         let health = st.health();
-        out.push(Sample::gauge(
-            "setstream_distributed_sites",
-            health.sites as i64,
-        ));
-        out.push(Sample::gauge(
-            "setstream_distributed_sites_quarantined",
-            health.quarantined as i64,
-        ));
-        out.push(Sample::gauge(
-            "setstream_distributed_sites_lagging",
-            health.lagging as i64,
-        ));
-        out.push(Sample::gauge(
-            "setstream_distributed_sites_resync_pending",
-            health.resync_pending as i64,
-        ));
+        out.push(
+            Sample::gauge("setstream_distributed_sites", health.sites as i64)
+                .with_help("Sites announced to the coordinator"),
+        );
+        out.push(
+            Sample::gauge(
+                "setstream_distributed_sites_quarantined",
+                health.quarantined as i64,
+            )
+            .with_help("Sites quarantined after repeated wire failures"),
+        );
+        out.push(
+            Sample::gauge(
+                "setstream_distributed_sites_lagging",
+                health.lagging as i64,
+            )
+            .with_help("Sites lagging behind the collection watermark"),
+        );
+        out.push(
+            Sample::gauge(
+                "setstream_distributed_sites_resync_pending",
+                health.resync_pending as i64,
+            )
+            .with_help("Sites awaiting a full resynchronization"),
+        );
         let max_commit = st
             .sites
             .values()
@@ -709,14 +718,16 @@ impl MetricSource for Coordinator {
                     "setstream_distributed_site_commit_epoch",
                     s.commit_epoch as i64,
                 )
-                .with_label("site", &label),
+                .with_label("site", &label)
+                .with_help("Last epoch durably committed by the site"),
             );
             out.push(
                 Sample::gauge(
                     "setstream_distributed_site_epoch_lag",
                     (max_commit - s.commit_epoch) as i64,
                 )
-                .with_label("site", &label),
+                .with_label("site", &label)
+                .with_help("Epochs behind the most advanced site"),
             );
         }
     }

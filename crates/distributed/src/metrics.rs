@@ -139,7 +139,8 @@ impl CoordinatorMetrics {
         for (kind, counter) in KINDS.iter().zip(&self.frames_by_kind) {
             out.push(
                 Sample::counter("setstream_distributed_frames_total", counter.get())
-                    .with_label("kind", kind_label(*kind)),
+                    .with_label("kind", kind_label(*kind))
+                    .with_help("Delta frames accepted by the coordinator, by kind"),
             );
         }
         for (reason, counter) in REASONS.iter().zip(&self.rejected_by_reason) {
@@ -148,29 +149,45 @@ impl CoordinatorMetrics {
                     "setstream_distributed_frames_rejected_total",
                     counter.get(),
                 )
-                .with_label("reason", reason),
+                .with_label("reason", reason)
+                .with_help("Delta frames rejected by the coordinator, by reason"),
             );
         }
-        out.push(Sample::counter(
-            "setstream_distributed_quarantines_total",
-            self.quarantines.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_distributed_quarantine_releases_total",
-            self.quarantine_releases.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_distributed_resync_flags_total",
-            self.resync_flags.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_distributed_resyncs_healed_total",
-            self.resyncs_healed.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_distributed_queries_total",
-            self.queries.get(),
-        ));
+        out.push(
+            Sample::counter(
+                "setstream_distributed_quarantines_total",
+                self.quarantines.get(),
+            )
+            .with_help("Sites placed in quarantine"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_distributed_quarantine_releases_total",
+                self.quarantine_releases.get(),
+            )
+            .with_help("Quarantines lifted by the operator or driver"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_distributed_resync_flags_total",
+                self.resync_flags.get(),
+            )
+            .with_help("Sites flagged for full resynchronization"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_distributed_resyncs_healed_total",
+                self.resyncs_healed.get(),
+            )
+            .with_help("Resynchronizations completed"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_distributed_queries_total",
+                self.queries.get(),
+            )
+            .with_help("Expression queries answered from merged state"),
+        );
     }
 }
 
@@ -218,34 +235,55 @@ impl CollectionMetrics {
 
 impl MetricSource for CollectionMetrics {
     fn collect(&self, out: &mut Vec<Sample>) {
-        out.push(Sample::counter(
-            "setstream_distributed_collections_total",
-            self.collections.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_distributed_collection_failures_total",
-            self.failures.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_distributed_collection_attempts_total",
-            self.attempts.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_distributed_collection_rounds_total",
-            self.rounds.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_distributed_retransmissions_total",
-            self.transmissions.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_distributed_resyncs_total",
-            self.resyncs.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_distributed_checkpoint_bytes_total",
-            self.checkpoint_bytes.get(),
-        ));
+        out.push(
+            Sample::counter(
+                "setstream_distributed_collections_total",
+                self.collections.get(),
+            )
+            .with_help("Successful collection cycles"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_distributed_collection_failures_total",
+                self.failures.get(),
+            )
+            .with_help("Collection cycles that failed"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_distributed_collection_attempts_total",
+                self.attempts.get(),
+            )
+            .with_help("Delivery attempts across all collections"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_distributed_collection_rounds_total",
+                self.rounds.get(),
+            )
+            .with_help("Retransmission rounds across all collections"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_distributed_retransmissions_total",
+                self.transmissions.get(),
+            )
+            .with_help("Envelope transmissions, including retransmits"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_distributed_resyncs_total",
+                self.resyncs.get(),
+            )
+            .with_help("Full resyncs the coordinator demanded"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_distributed_checkpoint_bytes_total",
+                self.checkpoint_bytes.get(),
+            )
+            .with_help("Bytes of sealed site checkpoints produced"),
+        );
     }
 }
 

@@ -553,6 +553,9 @@ pub fn collect_epoch(
 ) -> Result<CollectionReport, CollectionError> {
     let trace = site.trace().clone();
     let mut span = trace.span("collect.epoch");
+    if span.is_recording() {
+        span.track(format!("site-{}", site.id()));
+    }
     let cut = site.cut_epoch()?;
     let mut attempts = 1u32;
     let mut transmissions = 0u64;

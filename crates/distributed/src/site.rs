@@ -381,6 +381,9 @@ impl Site {
     pub fn cut_epoch(&mut self) -> Result<EpochCut, WireError> {
         let trace = self.trace.clone();
         let mut span = trace.span("site.cut_epoch");
+        if span.is_recording() {
+            span.track(format!("site-{}", self.id));
+        }
         self.epoch += 1;
         let mut frames = vec![self.hello_frame()?];
         let mut seq = 0u32;

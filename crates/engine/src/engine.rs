@@ -209,7 +209,8 @@ impl StreamEngine {
         }
         self.metrics
             .record_batch(IngestStats::for_batch(updates), deletions);
-        let ingestor = crate::ingest::ShardedIngestor::new(self.family, threads);
+        let ingestor = crate::ingest::ShardedIngestor::new(self.family, threads)
+            .with_trace(self.trace.clone());
         for (stream, part) in ingestor.ingest_streams(updates) {
             match self.synopses.entry(stream) {
                 std::collections::btree_map::Entry::Vacant(e) => {

@@ -11,6 +11,7 @@
 //! single-threaded ingestion, for any shard split.
 
 use setstream_core::{SketchFamily, SketchVector};
+use setstream_obs::TraceHandle;
 use setstream_stream::{StreamId, Update};
 use std::collections::BTreeMap;
 
@@ -22,6 +23,7 @@ const MIN_PARALLEL: usize = 4096;
 pub struct ShardedIngestor {
     family: SketchFamily,
     threads: usize,
+    trace: TraceHandle,
 }
 
 impl ShardedIngestor {
@@ -31,7 +33,19 @@ impl ShardedIngestor {
     /// Panics if `threads == 0`.
     pub fn new(family: SketchFamily, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one ingest worker");
-        ShardedIngestor { family, threads }
+        ShardedIngestor {
+            family,
+            threads,
+            trace: TraceHandle::noop(),
+        }
+    }
+
+    /// Install a trace sink: each parallel shard then emits an
+    /// `ingest.shard` span on its own `shard-N` track, so the Chrome
+    /// trace export renders the fan-out as parallel timeline rows.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// The family whose coins every produced synopsis uses.
@@ -54,11 +68,18 @@ impl ShardedIngestor {
         }
         let shard_len = updates.len().div_ceil(self.threads);
         let family = self.family;
+        let trace = &self.trace;
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = updates
                 .chunks(shard_len)
-                .map(|shard| {
+                .enumerate()
+                .map(|(i, shard)| {
                     scope.spawn(move |_| {
+                        let mut span = trace.span("ingest.shard");
+                        if span.is_recording() {
+                            span.track(format!("shard-{i}"));
+                            span.detail(format!("{} updates", shard.len()));
+                        }
                         let mut v = family.new_vector();
                         v.update_batch(shard);
                         v
@@ -90,10 +111,21 @@ impl ShardedIngestor {
         }
         let shard_len = updates.len().div_ceil(self.threads);
         let family = self.family;
+        let trace = &self.trace;
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = updates
                 .chunks(shard_len)
-                .map(|shard| scope.spawn(move |_| ingest_streams_local(&family, shard)))
+                .enumerate()
+                .map(|(i, shard)| {
+                    scope.spawn(move |_| {
+                        let mut span = trace.span("ingest.shard");
+                        if span.is_recording() {
+                            span.track(format!("shard-{i}"));
+                            span.detail(format!("{} updates", shard.len()));
+                        }
+                        ingest_streams_local(&family, shard)
+                    })
+                })
                 .collect();
             let mut acc: BTreeMap<StreamId, SketchVector> = BTreeMap::new();
             for h in handles {

@@ -57,6 +57,7 @@ mod engine;
 mod ingest;
 mod metrics;
 pub mod prelude;
+pub mod quality;
 mod query;
 mod snapshot;
 mod watch;
@@ -66,6 +67,7 @@ pub use durable::{DurableError, DurableKind};
 pub use engine::{EngineError, EngineStats, StreamEngine};
 pub use ingest::ShardedIngestor;
 pub use metrics::EngineMetrics;
+pub use quality::{ExprReport, QualityConfig, QualityError, QualityMonitor};
 pub use query::{Query, QueryId, RegisteredQuery};
 pub use snapshot::EngineSnapshot;
 pub use watch::{Comparison, Watch, WatchEvent, WatchId};

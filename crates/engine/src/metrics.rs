@@ -117,48 +117,70 @@ impl EngineMetrics {
 
 impl MetricSource for EngineMetrics {
     fn collect(&self, out: &mut Vec<Sample>) {
-        out.push(Sample::counter(
-            "setstream_engine_ingest_updates_total",
-            self.ingest_updates.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_engine_ingest_deletions_total",
-            self.ingest_deletions.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_engine_ingest_batches_total",
-            self.ingest_batches.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_engine_ingest_fastpath_updates_total",
-            self.ingest_fastpath_updates.get(),
-        ));
+        out.push(
+            Sample::counter(
+                "setstream_engine_ingest_updates_total",
+                self.ingest_updates.get(),
+            )
+            .with_help("Update tuples ingested across all ingest paths"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_engine_ingest_deletions_total",
+                self.ingest_deletions.get(),
+            )
+            .with_help("Ingested updates that were deletions"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_engine_ingest_batches_total",
+                self.ingest_batches.get(),
+            )
+            .with_help("Batch ingest calls"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_engine_ingest_fastpath_updates_total",
+                self.ingest_fastpath_updates.get(),
+            )
+            .with_help("Updates that rode the uniform-delta fast path"),
+        );
         for (method, counter) in METHODS.iter().zip(&self.estimates_by_method) {
             out.push(
                 Sample::counter("setstream_engine_estimates_total", counter.get())
-                    .with_label("method", method.as_str()),
+                    .with_label("method", method.as_str())
+                    .with_help("Estimates served, by estimator path"),
             );
         }
-        out.push(Sample::counter(
-            "setstream_engine_estimate_errors_total",
-            self.estimate_errors.get(),
-        ));
-        out.push(Sample::histogram(
-            "setstream_engine_estimate_latency_ns",
-            self.estimate_latency_ns.snapshot(),
-        ));
-        out.push(Sample::counter(
-            "setstream_engine_snapshots_total",
-            self.snapshots.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_engine_restores_total",
-            self.restores.get(),
-        ));
-        out.push(Sample::counter(
-            "setstream_engine_checkpoint_bytes_total",
-            self.checkpoint_bytes.get(),
-        ));
+        out.push(
+            Sample::counter(
+                "setstream_engine_estimate_errors_total",
+                self.estimate_errors.get(),
+            )
+            .with_help("Estimate attempts that returned an error"),
+        );
+        out.push(
+            Sample::histogram(
+                "setstream_engine_estimate_latency_ns",
+                self.estimate_latency_ns.snapshot(),
+            )
+            .with_help("Wall-clock latency of estimate calls in nanoseconds"),
+        );
+        out.push(
+            Sample::counter("setstream_engine_snapshots_total", self.snapshots.get())
+                .with_help("Engine snapshots captured"),
+        );
+        out.push(
+            Sample::counter("setstream_engine_restores_total", self.restores.get())
+                .with_help("Engines restored from a snapshot"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_engine_checkpoint_bytes_total",
+                self.checkpoint_bytes.get(),
+            )
+            .with_help("Bytes of sealed checkpoint payloads produced"),
+        );
     }
 }
 

@@ -13,6 +13,16 @@
 //! * [`trace`] — span tracing with a no-op default ([`TraceHandle`]) and a
 //!   bounded [`RingRecorder`] flight recorder.
 //!
+//! On top of those, the *quality plane* (PR 5) adds:
+//!
+//! * [`chrome`] — recorded spans rendered as Chrome trace-event JSON
+//!   (`chrome://tracing` / Perfetto loadable), with span tracks mapped to
+//!   named timeline rows.
+//! * [`quality`] — typed accuracy alarms ([`AlarmSet`]) with edge-triggered
+//!   transition counters; driven by `setstream-engine`'s `QualityMonitor`.
+//! * [`serve`] — a dependency-free blocking HTTP scrape server
+//!   ([`HttpServer`]) for `/metrics`, `/health`, and `/trace`.
+//!
 //! # Example
 //!
 //! ```
@@ -36,11 +46,16 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod chrome;
 pub mod export;
 pub mod metrics;
+pub mod quality;
 pub mod registry;
+pub mod serve;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use quality::{AlarmKind, AlarmSet, AlarmStatus, AlarmTransition};
 pub use registry::{MetricSource, Registry, Sample, SampleValue};
+pub use serve::{HttpServer, ServeError, StopHandle};
 pub use trace::{NoopTrace, RingRecorder, Span, TraceEvent, TraceHandle, TraceSink};

@@ -240,6 +240,31 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Approximate `q`-quantile (`0.0..=1.0`) of the observed values.
+    ///
+    /// Returns the upper bound of the bucket containing the target rank —
+    /// the usual bucketed-quantile estimate, biased at most one bucket
+    /// high. Ranks landing in the `+Inf` overflow bucket report the last
+    /// finite bound (a floor, flagged nowhere else: pick bounds that cover
+    /// the workload). `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let rank = rank.max(1);
+        let mut seen = 0u64;
+        for (bound, count) in self.bounds.iter().zip(&self.counts) {
+            seen += count;
+            if seen >= rank {
+                return Some(*bound);
+            }
+        }
+        self.bounds.last().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +320,21 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, s.counts.iter().sum::<u64>() + s.overflow);
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_quantiles_pick_the_covering_bucket() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [1, 2, 3, 50, 60, 70, 80, 90, 500, 5000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), Some(10));
+        assert_eq!(s.quantile(0.5), Some(100));
+        assert_eq!(s.quantile(0.9), Some(1000));
+        // Overflow rank floors at the last finite bound.
+        assert_eq!(s.quantile(1.0), Some(1000));
+        assert_eq!(Histogram::new(&[10]).snapshot().quantile(0.5), None);
     }
 
     #[test]

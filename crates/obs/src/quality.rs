@@ -1,0 +1,274 @@
+//! Typed alarm machinery for the quality plane.
+//!
+//! The quality plane watches *estimate accuracy*, not throughput: each
+//! failure mode the paper's reliability lemmas predict gets a typed
+//! [`AlarmKind`], and an [`AlarmSet`] tracks which are currently raised,
+//! with edge-triggered transition counters so a flapping alarm is visible
+//! as such on `/metrics`. The engine-side `QualityMonitor` (which needs
+//! the exact stream types and therefore lives in `setstream-engine`)
+//! drives these alarms; this module owns only the generic state machine
+//! so the HTTP layer and the dashboard can consume alarms without a
+//! dependency on the engine.
+
+use crate::registry::{MetricSource, Sample};
+use setstream_hash::clock;
+use std::sync::Mutex;
+
+/// The failure modes the quality plane watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlarmKind {
+    /// The witness-survival fraction over atomic buckets fell below the
+    /// configured floor — the §4–§5 precondition for trusting estimates.
+    LowAtomicFraction,
+    /// Observed relative error against the shadow exact path exceeded the
+    /// configured ε budget.
+    ErrorBudgetExceeded,
+    /// The estimator and the shadow exact path disagree by far more than
+    /// the sampling noise allows — a correctness (not accuracy) signal.
+    ShadowDivergence,
+    /// Remote sites are lagging, quarantined, or awaiting resync, so
+    /// coordinator answers are stale.
+    StaleSites,
+}
+
+impl AlarmKind {
+    /// Every kind, in a stable order (used for metric families and JSON).
+    pub const ALL: [AlarmKind; 4] = [
+        AlarmKind::LowAtomicFraction,
+        AlarmKind::ErrorBudgetExceeded,
+        AlarmKind::ShadowDivergence,
+        AlarmKind::StaleSites,
+    ];
+
+    /// Stable snake_case name (metric label / JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlarmKind::LowAtomicFraction => "low_atomic_fraction",
+            AlarmKind::ErrorBudgetExceeded => "error_budget_exceeded",
+            AlarmKind::ShadowDivergence => "shadow_divergence",
+            AlarmKind::StaleSites => "stale_sites",
+        }
+    }
+}
+
+impl std::fmt::Display for AlarmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An edge on an alarm's state: what [`AlarmSet::set`] just did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlarmTransition {
+    /// Inactive → active.
+    Raised,
+    /// Active → inactive.
+    Cleared,
+}
+
+/// Point-in-time view of one alarm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlarmStatus {
+    /// Which failure mode.
+    pub kind: AlarmKind,
+    /// Currently raised?
+    pub active: bool,
+    /// Operator-facing detail from the most recent raise (empty if never
+    /// raised).
+    pub detail: String,
+    /// Times this alarm transitioned inactive → active.
+    pub raised_total: u64,
+    /// Times this alarm transitioned active → inactive.
+    pub cleared_total: u64,
+    /// `clock::now_ns` timestamp of the most recent raise (0 if never).
+    pub since_ns: u64,
+}
+
+struct AlarmSlot {
+    kind: AlarmKind,
+    active: bool,
+    detail: String,
+    raised_total: u64,
+    cleared_total: u64,
+    since_ns: u64,
+}
+
+/// Level-in, edge-out alarm state: callers report the *condition* every
+/// evaluation cycle and the set reports only genuine transitions.
+///
+/// Interior-mutable so an `Arc<AlarmSet>` can be shared between the
+/// evaluator (writes) and the scrape/health endpoints (reads). The lock is
+/// per-evaluation-cycle, far off any ingest hot path.
+#[derive(Default)]
+pub struct AlarmSet {
+    slots: Mutex<Vec<AlarmSlot>>,
+}
+
+impl AlarmSet {
+    /// An alarm set with every kind inactive.
+    pub fn new() -> Self {
+        AlarmSet {
+            slots: Mutex::new(
+                AlarmKind::ALL
+                    .iter()
+                    .map(|&kind| AlarmSlot {
+                        kind,
+                        active: false,
+                        detail: String::new(),
+                        raised_total: 0,
+                        cleared_total: 0,
+                        since_ns: 0,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Report the current condition for `kind`; returns the transition if
+    /// the level changed, `None` if it merely persisted. A raise while
+    /// already active refreshes the detail text but counts nothing.
+    pub fn set(&self, kind: AlarmKind, active: bool, detail: &str) -> Option<AlarmTransition> {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot = slots.iter_mut().find(|s| s.kind == kind)?;
+        if active {
+            slot.detail = detail.to_string();
+        }
+        match (slot.active, active) {
+            (false, true) => {
+                slot.active = true;
+                slot.raised_total += 1;
+                slot.since_ns = clock::now_ns();
+                Some(AlarmTransition::Raised)
+            }
+            (true, false) => {
+                slot.active = false;
+                slot.cleared_total += 1;
+                Some(AlarmTransition::Cleared)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `kind` is currently raised.
+    pub fn is_active(&self, kind: AlarmKind) -> bool {
+        self.slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .any(|s| s.kind == kind && s.active)
+    }
+
+    /// Number of currently raised alarms.
+    pub fn active_count(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .filter(|s| s.active)
+            .count()
+    }
+
+    /// Point-in-time view of every alarm, in [`AlarmKind::ALL`] order.
+    pub fn snapshot(&self) -> Vec<AlarmStatus> {
+        self.slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|s| AlarmStatus {
+                kind: s.kind,
+                active: s.active,
+                detail: s.detail.clone(),
+                raised_total: s.raised_total,
+                cleared_total: s.cleared_total,
+                since_ns: s.since_ns,
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for AlarmSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlarmSet")
+            .field("active", &self.active_count())
+            .finish()
+    }
+}
+
+impl MetricSource for AlarmSet {
+    fn collect(&self, out: &mut Vec<Sample>) {
+        for s in self.snapshot() {
+            out.push(
+                Sample::gauge("setstream_alarm_active", i64::from(s.active))
+                    .with_label("kind", s.kind.name())
+                    .with_help("1 while the typed quality alarm is raised"),
+            );
+            out.push(
+                Sample::counter("setstream_alarm_raised_total", s.raised_total)
+                    .with_label("kind", s.kind.name())
+                    .with_help("Inactive-to-active transitions per alarm kind"),
+            );
+            out.push(
+                Sample::counter("setstream_alarm_cleared_total", s.cleared_total)
+                    .with_label("kind", s.kind.name())
+                    .with_help("Active-to-inactive transitions per alarm kind"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_clear_reraise_counts_every_edge() {
+        let alarms = AlarmSet::new();
+        let k = AlarmKind::LowAtomicFraction;
+        assert_eq!(alarms.set(k, true, "af=0.02"), Some(AlarmTransition::Raised));
+        assert!(alarms.is_active(k));
+        // Persisting level is not a new edge.
+        assert_eq!(alarms.set(k, true, "af=0.01"), None);
+        assert_eq!(alarms.set(k, false, ""), Some(AlarmTransition::Cleared));
+        assert!(!alarms.is_active(k));
+        assert_eq!(alarms.set(k, false, ""), None);
+        assert_eq!(alarms.set(k, true, "af=0.03"), Some(AlarmTransition::Raised));
+        let status = alarms
+            .snapshot()
+            .into_iter()
+            .find(|s| s.kind == k)
+            .expect("slot exists");
+        assert_eq!(status.raised_total, 2);
+        assert_eq!(status.cleared_total, 1);
+        assert_eq!(status.detail, "af=0.03");
+        assert!(status.since_ns > 0);
+    }
+
+    #[test]
+    fn kinds_are_independent() {
+        let alarms = AlarmSet::new();
+        alarms.set(AlarmKind::StaleSites, true, "2 quarantined");
+        assert!(alarms.is_active(AlarmKind::StaleSites));
+        assert!(!alarms.is_active(AlarmKind::ShadowDivergence));
+        assert_eq!(alarms.active_count(), 1);
+    }
+
+    #[test]
+    fn metrics_expose_per_kind_families() {
+        let alarms = AlarmSet::new();
+        alarms.set(AlarmKind::ErrorBudgetExceeded, true, "err=0.2 > eps=0.1");
+        let mut out = Vec::new();
+        alarms.collect(&mut out);
+        // 4 kinds x 3 families.
+        assert_eq!(out.len(), 12);
+        assert!(out.iter().any(|s| {
+            s.name == "setstream_alarm_active"
+                && s.labels
+                    .iter()
+                    .any(|(_, v)| v == "error_budget_exceeded")
+                && matches!(s.value, crate::registry::SampleValue::Gauge(1))
+        }));
+    }
+}

@@ -26,6 +26,9 @@ pub struct Sample {
     pub labels: Vec<(String, String)>,
     /// The value, typed by metric kind.
     pub value: SampleValue,
+    /// Optional one-line help text rendered as the family's `# HELP`
+    /// header (the first non-empty help in a family wins).
+    pub help: Option<String>,
 }
 
 impl Sample {
@@ -35,6 +38,7 @@ impl Sample {
             name: name.to_string(),
             labels: Vec::new(),
             value: SampleValue::Counter(value),
+            help: None,
         }
     }
 
@@ -44,6 +48,7 @@ impl Sample {
             name: name.to_string(),
             labels: Vec::new(),
             value: SampleValue::Gauge(value),
+            help: None,
         }
     }
 
@@ -53,12 +58,19 @@ impl Sample {
             name: name.to_string(),
             labels: Vec::new(),
             value: SampleValue::Histogram(snapshot),
+            help: None,
         }
     }
 
     /// Attach a label pair, builder-style.
     pub fn with_label(mut self, key: &str, value: &str) -> Self {
         self.labels.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Attach help text, builder-style (rendered as `# HELP`).
+    pub fn with_help(mut self, help: &str) -> Self {
+        self.help = Some(help.to_string());
         self
     }
 }

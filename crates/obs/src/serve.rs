@@ -1,0 +1,428 @@
+//! A dependency-free blocking HTTP scrape server.
+//!
+//! Just enough HTTP/1.1 for a scrape surface: a `std::net::TcpListener`
+//! accept loop, GET only, one response per connection, `Connection: close`.
+//! Routes are registered as closures producing the body on demand, so
+//! `/metrics` renders the registry at scrape time, `/trace` serializes the
+//! flight recorder, and `/health` assembles its JSON — all with zero
+//! background threads of their own. This is deliberately *not* a web
+//! framework; it is the smallest thing Prometheus, `curl`, and the CI
+//! smoke step can talk to.
+//!
+//! Shutdown is cooperative and lock-free on the serve side: a shared
+//! [`Gauge`] acts as the stop flag (the audited atomic primitives are the
+//! only atomics this crate may use outside `metrics`/`trace`), and
+//! [`StopHandle::stop`] unblocks the accept loop by making one throwaway
+//! connection to the listener.
+
+use crate::metrics::Gauge;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why the server could not start or keep serving.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listen address failed.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The bound listener reports no local address.
+    NoLocalAddr(std::io::Error),
+    /// Accepting a connection failed fatally (transient per-connection
+    /// errors are counted, not returned).
+    Accept(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => {
+                write!(f, "binding {addr}: {source}")
+            }
+            ServeError::NoLocalAddr(e) => write!(f, "reading bound address: {e}"),
+            ServeError::Accept(e) => write!(f, "accepting connection: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } => Some(source),
+            ServeError::NoLocalAddr(e) | ServeError::Accept(e) => Some(e),
+        }
+    }
+}
+
+type Handler = Arc<dyn Fn() -> String + Send + Sync>;
+
+struct Route {
+    path: String,
+    content_type: &'static str,
+    handler: Handler,
+}
+
+/// Serve-loop counters, exported so the scrape surface monitors itself.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests answered 200.
+    pub served: crate::metrics::Counter,
+    /// Requests answered 404/405/400.
+    pub rejected: crate::metrics::Counter,
+    /// Connections that failed mid-read/mid-write.
+    pub io_errors: crate::metrics::Counter,
+}
+
+impl crate::registry::MetricSource for ServerMetrics {
+    fn collect(&self, out: &mut Vec<crate::registry::Sample>) {
+        out.push(
+            crate::registry::Sample::counter(
+                "setstream_http_requests_total",
+                self.served.get(),
+            )
+            .with_label("outcome", "ok")
+            .with_help("Scrape requests by outcome"),
+        );
+        out.push(
+            crate::registry::Sample::counter(
+                "setstream_http_requests_total",
+                self.rejected.get(),
+            )
+            .with_label("outcome", "rejected"),
+        );
+        out.push(
+            crate::registry::Sample::counter(
+                "setstream_http_requests_total",
+                self.io_errors.get(),
+            )
+            .with_label("outcome", "io_error"),
+        );
+    }
+}
+
+/// A blocking GET-only HTTP server over registered routes.
+pub struct HttpServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    routes: Vec<Route>,
+    stop: Arc<Gauge>,
+    metrics: Arc<ServerMetrics>,
+}
+
+/// Signals a running [`HttpServer::serve`] loop to exit.
+#[derive(Clone)]
+pub struct StopHandle {
+    stop: Arc<Gauge>,
+    addr: SocketAddr,
+}
+
+impl StopHandle {
+    /// Ask the serve loop to exit; returns once the flag is set. The loop
+    /// notices at its next accept (this call pokes it awake with a
+    /// throwaway connection).
+    pub fn stop(&self) {
+        self.stop.set(1);
+        // Unblock the accept call; failure is fine (the loop may already
+        // be gone, or will notice the flag on its next real connection).
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl std::fmt::Debug for StopHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StopHandle").field("addr", &self.addr).finish()
+    }
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// # Errors
+    /// [`ServeError::Bind`] / [`ServeError::NoLocalAddr`] on socket failure.
+    pub fn bind(addr: &str) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
+            addr: addr.to_string(),
+            source,
+        })?;
+        let local = listener.local_addr().map_err(ServeError::NoLocalAddr)?;
+        Ok(HttpServer {
+            listener,
+            addr: local,
+            routes: Vec::new(),
+            stop: Arc::new(Gauge::new()),
+            metrics: Arc::new(ServerMetrics::default()),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Register a route, builder-style. `handler` runs per request and
+    /// returns the response body.
+    pub fn route(
+        mut self,
+        path: &str,
+        content_type: &'static str,
+        handler: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push(Route {
+            path: path.to_string(),
+            content_type,
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    /// A handle that makes [`HttpServer::serve`] return.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.addr,
+        }
+    }
+
+    /// The serve loop's own request counters (register them so the scrape
+    /// surface reports on itself).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Accept and answer connections until [`StopHandle::stop`] is called.
+    ///
+    /// Connections are handled inline (responses are small renders);
+    /// per-connection I/O errors are counted and survived.
+    ///
+    /// # Errors
+    /// [`ServeError::Accept`] only for fatal listener errors.
+    pub fn serve(&self) -> Result<(), ServeError> {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ServeError::Accept(e)),
+            };
+            if self.stop.get() != 0 {
+                return Ok(());
+            }
+            if self.handle(stream).is_err() {
+                self.metrics.io_errors.inc();
+            }
+        }
+    }
+
+    /// Accept and answer exactly one connection (test hook).
+    ///
+    /// # Errors
+    /// [`ServeError::Accept`] if the accept itself fails.
+    pub fn serve_one(&self) -> Result<(), ServeError> {
+        let (stream, _) = self.listener.accept().map_err(ServeError::Accept)?;
+        if self.handle(stream).is_err() {
+            self.metrics.io_errors.inc();
+        }
+        Ok(())
+    }
+
+    fn handle(&self, stream: TcpStream) -> std::io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        let mut reader = BufReader::new(stream);
+        let mut request_line = String::new();
+        // Cap the request line; scrape clients send short ones.
+        reader
+            .by_ref()
+            .take(8 * 1024)
+            .read_line(&mut request_line)?;
+        // Drain headers until the blank line so well-behaved clients do
+        // not see a reset; cap total header bytes.
+        let mut header = String::new();
+        let mut header_budget = 64 * 1024u64;
+        loop {
+            header.clear();
+            let n = reader
+                .by_ref()
+                .take(header_budget.min(8 * 1024))
+                .read_line(&mut header)?;
+            if n == 0 || header == "\r\n" || header == "\n" {
+                break;
+            }
+            header_budget = header_budget.saturating_sub(n as u64);
+            if header_budget == 0 {
+                break;
+            }
+        }
+        let mut stream = reader.into_inner();
+        let mut parts = request_line.split_whitespace();
+        let (method, path) = match (parts.next(), parts.next()) {
+            (Some(m), Some(p)) => (m, p),
+            _ => {
+                self.metrics.rejected.inc();
+                return respond(&mut stream, 400, "Bad Request", "text/plain", "bad request\n");
+            }
+        };
+        if method != "GET" {
+            self.metrics.rejected.inc();
+            return respond(
+                &mut stream,
+                405,
+                "Method Not Allowed",
+                "text/plain",
+                "GET only\n",
+            );
+        }
+        // Ignore any query string: `/metrics?x=1` scrapes `/metrics`.
+        let path = path.split('?').next().unwrap_or(path);
+        match self.routes.iter().find(|r| r.path == path) {
+            Some(route) => {
+                let body = (route.handler)();
+                self.metrics.served.inc();
+                respond(&mut stream, 200, "OK", route.content_type, &body)
+            }
+            None => {
+                self.metrics.rejected.inc();
+                let known: Vec<&str> = self.routes.iter().map(|r| r.path.as_str()).collect();
+                let body = format!("not found; routes: {}\n", known.join(" "));
+                respond(&mut stream, 404, "Not Found", "text/plain", &body)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let routes: Vec<&str> = self.routes.iter().map(|r| r.path.as_str()).collect();
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("routes", &routes)
+            .finish()
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\n\
+         Content-Type: {content_type}\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal blocking GET: fetch `path` from `addr`, return (status, body).
+///
+/// This is the client half the CI smoke step and `setstream scrape`/`top`
+/// use — kept next to the server so the pair stays protocol-compatible.
+///
+/// # Errors
+/// Any socket or protocol failure, as `std::io::Error`.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    BufReader::new(stream).read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status code"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn test_server() -> HttpServer {
+        HttpServer::bind("127.0.0.1:0")
+            .expect("bind ephemeral")
+            .route("/metrics", "text/plain; version=0.0.4", || {
+                "# TYPE up gauge\nup 1\n".to_string()
+            })
+            .route("/health", "application/json", || "{\"ok\":true}".to_string())
+    }
+
+    #[test]
+    fn routes_answer_and_unknown_paths_404() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let handle = thread::spawn(move || {
+            for _ in 0..3 {
+                server.serve_one().expect("serve_one");
+            }
+            server
+        });
+        let (code, body) = http_get(addr, "/metrics").expect("GET /metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("up 1"));
+        let (code, body) = http_get(addr, "/health").expect("GET /health");
+        assert_eq!(code, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        let (code, body) = http_get(addr, "/nope").expect("GET /nope");
+        assert_eq!(code, 404);
+        assert!(body.contains("/metrics"));
+        let server = handle.join().expect("server thread");
+        assert_eq!(server.metrics().served.get(), 2);
+        assert_eq!(server.metrics().rejected.get(), 1);
+    }
+
+    #[test]
+    fn query_strings_are_ignored() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let handle = thread::spawn(move || server.serve_one());
+        let (code, _) = http_get(addr, "/metrics?scrape=1").expect("GET");
+        assert_eq!(code, 200);
+        handle.join().expect("thread").expect("serve_one");
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let handle = thread::spawn(move || server.serve_one());
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+            .expect("write");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .expect("read");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        handle.join().expect("thread").expect("serve_one");
+    }
+
+    #[test]
+    fn stop_handle_exits_the_serve_loop() {
+        let server = test_server();
+        let stop = server.stop_handle();
+        let handle = thread::spawn(move || server.serve());
+        stop.stop();
+        handle
+            .join()
+            .expect("server thread")
+            .expect("serve returns cleanly");
+    }
+}

@@ -7,6 +7,7 @@
 //! [`RingRecorder`] turns the same hooks into a bounded in-memory flight
 //! recorder suitable for tests and post-mortem dumps.
 
+use crate::registry::{MetricSource, Sample};
 use setstream_hash::clock;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -31,6 +32,10 @@ pub struct TraceEvent {
     pub name: &'static str,
     /// Free-form detail attached by the instrumented code (may be empty).
     pub detail: String,
+    /// Logical track (e.g. `"site-2"`, `"shard-0"`); empty means the
+    /// default track. Chrome trace export maps each distinct track to its
+    /// own named timeline row.
+    pub track: String,
     /// Span start, nanoseconds since process start.
     pub start_ns: u64,
     /// Span duration in nanoseconds.
@@ -101,6 +106,30 @@ impl RingRecorder {
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+
+    /// Maximum number of spans retained before eviction starts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Span loss must be visible on `/metrics` rather than silently truncating
+/// timelines, so the recorder exports its own occupancy and drop counter.
+impl MetricSource for RingRecorder {
+    fn collect(&self, out: &mut Vec<Sample>) {
+        out.push(
+            Sample::counter("setstream_trace_spans_dropped_total", self.dropped())
+                .with_help("Spans evicted because the flight-recorder ring was full"),
+        );
+        out.push(
+            Sample::gauge("setstream_trace_spans_retained", self.len() as i64)
+                .with_help("Spans currently retained in the flight recorder"),
+        );
+        out.push(
+            Sample::gauge("setstream_trace_ring_capacity", self.capacity as i64)
+                .with_help("Configured flight-recorder ring capacity"),
+        );
+    }
 }
 
 impl TraceSink for RingRecorder {
@@ -161,6 +190,7 @@ impl TraceHandle {
                 id: clock::next_id(),
                 name,
                 detail: String::new(),
+                track: String::new(),
                 start_ns: clock::now_ns(),
             }
         } else {
@@ -169,6 +199,7 @@ impl TraceHandle {
                 id: 0,
                 name,
                 detail: String::new(),
+                track: String::new(),
                 start_ns: 0,
             }
         }
@@ -197,6 +228,7 @@ pub struct Span<'a> {
     id: u64,
     name: &'static str,
     detail: String,
+    track: String,
     start_ns: u64,
 }
 
@@ -209,6 +241,14 @@ impl Span<'_> {
     pub fn detail(&mut self, detail: impl Into<String>) {
         if self.handle.is_some() {
             self.detail = detail.into();
+        }
+    }
+
+    /// Assign the span to a logical track (e.g. `"site-2"`). Tracks become
+    /// separate named timeline rows in the Chrome trace export.
+    pub fn track(&mut self, track: impl Into<String>) {
+        if self.handle.is_some() {
+            self.track = track.into();
         }
     }
 
@@ -229,6 +269,7 @@ impl Drop for Span<'_> {
                 id: self.id,
                 name: self.name,
                 detail: std::mem::take(&mut self.detail),
+                track: std::mem::take(&mut self.track),
                 start_ns: self.start_ns,
                 duration_ns: end.saturating_sub(self.start_ns),
             });
@@ -268,6 +309,46 @@ mod tests {
     }
 
     #[test]
+    fn spans_carry_tracks_and_noop_spans_skip_them() {
+        let ring = Arc::new(RingRecorder::new(4));
+        let h = TraceHandle::new(ring.clone());
+        {
+            let mut s = h.span("work");
+            s.track("site-3");
+        }
+        assert_eq!(ring.events()[0].track, "site-3");
+        let noop_handle = TraceHandle::noop();
+        let mut noop = noop_handle.span("x");
+        noop.track("ignored");
+        noop.finish();
+    }
+
+    #[test]
+    fn ring_recorder_exports_occupancy_metrics() {
+        use crate::registry::{MetricSource, SampleValue};
+        let ring = Arc::new(RingRecorder::new(2));
+        let h = TraceHandle::new(ring.clone());
+        h.span("a").finish();
+        h.span("b").finish();
+        h.span("c").finish();
+        let mut out = Vec::new();
+        ring.collect(&mut out);
+        let get = |name: &str| {
+            out.iter()
+                .find(|s| s.name == name)
+                .map(|s| match s.value {
+                    SampleValue::Counter(v) => v as i64,
+                    SampleValue::Gauge(v) => v,
+                    SampleValue::Histogram(_) => -1,
+                })
+                .expect("metric present")
+        };
+        assert_eq!(get("setstream_trace_spans_dropped_total"), 1);
+        assert_eq!(get("setstream_trace_spans_retained"), 2);
+        assert_eq!(get("setstream_trace_ring_capacity"), 2);
+    }
+
+    #[test]
     fn ring_recorder_evicts_oldest() {
         let ring = Arc::new(RingRecorder::new(2));
         let h = TraceHandle::new(ring.clone());
@@ -291,6 +372,7 @@ mod loom_tests {
             id: 0,
             name,
             detail: String::new(),
+            track: String::new(),
             start_ns: 0,
             duration_ns: 0,
         }

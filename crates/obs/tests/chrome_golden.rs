@@ -1,0 +1,53 @@
+//! Golden-file test for the Chrome trace-event exporter: a fixed span set
+//! must render byte-for-byte identically to `tests/golden/trace.json`.
+//! Pins the whole wire shape Perfetto/chrome://tracing depends on —
+//! metadata events, track→tid mapping, microsecond timestamps, argument
+//! escaping — against accidental drift.
+
+use setstream_obs::{chrome, TraceEvent};
+
+const GOLDEN: &str = include_str!("golden/trace.json");
+
+fn event(
+    id: u64,
+    name: &'static str,
+    track: &str,
+    detail: &str,
+    start_ns: u64,
+    duration_ns: u64,
+) -> TraceEvent {
+    TraceEvent {
+        id,
+        name,
+        detail: detail.to_string(),
+        track: track.to_string(),
+        start_ns,
+        duration_ns,
+    }
+}
+
+#[test]
+fn chrome_trace_output_matches_golden_file() {
+    let events = vec![
+        event(7, "engine.query", "", "expr=0 method=direct", 1_000, 2_500),
+        event(8, "site.cut_epoch", "site-0", "", 10_000, 1_234),
+        event(9, "site.cut_epoch", "site-1", "", 10_500, 1_100),
+        event(10, "collect.epoch", "", "epoch=3 sites=2", 9_000, 4_000),
+        event(11, "site.cut_epoch", "site-0", "", 20_000, 987),
+    ];
+    assert_eq!(chrome::render_events(&events), GOLDEN);
+}
+
+#[test]
+fn golden_trace_is_structurally_sound_json() {
+    // Cheap structural checks (no JSON parser in-tree): balanced braces
+    // and brackets, and every event object on its own line.
+    let opens = GOLDEN.matches('{').count();
+    let closes = GOLDEN.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced braces");
+    assert_eq!(GOLDEN.matches('[').count(), GOLDEN.matches(']').count());
+    // One process_name, three thread tracks (main, site-0, site-1).
+    assert_eq!(GOLDEN.matches("process_name").count(), 1);
+    assert_eq!(GOLDEN.matches("thread_name").count(), 3);
+    assert_eq!(GOLDEN.matches("\"ph\":\"X\"").count(), 5);
+}

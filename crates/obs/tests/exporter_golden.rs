@@ -25,24 +25,31 @@ fn exporter_output_matches_golden_file() {
 
     let registry = Registry::new();
     registry.register(Arc::new(move |out: &mut Vec<Sample>| {
-        out.push(Sample::counter(
-            "setstream_ingest_updates_total",
-            updates.get(),
-        ));
+        out.push(
+            Sample::counter("setstream_ingest_updates_total", updates.get())
+                .with_help("Multiset updates ingested"),
+        );
         out.push(
             Sample::counter("setstream_frames_rejected_total", rejected_wire.get())
-                .with_label("reason", "wire"),
+                .with_label("reason", "wire")
+                .with_help("Delta frames rejected, by reason"),
         );
         out.push(
             Sample::counter("setstream_frames_rejected_total", rejected_stale.get())
                 .with_label("reason", "stale_epoch"),
         );
         out.push(Sample::gauge("setstream_sites", sites.get()));
-        out.push(Sample::histogram(
-            "setstream_estimate_latency_ns",
-            latency.snapshot(),
-        ));
+        out.push(
+            Sample::histogram("setstream_estimate_latency_ns", latency.snapshot())
+                .with_help("Estimate latency in nanoseconds"),
+        );
     }));
 
-    assert_eq!(export::render(&registry), GOLDEN);
+    let rendered = export::render(&registry);
+    assert_eq!(rendered, GOLDEN);
+    // The renderer's output must satisfy its own validator — the same
+    // check the CI smoke step runs against a live `setstream serve`.
+    let summary = export::parse_exposition(&rendered).expect("golden output validates");
+    assert_eq!(summary.families.len(), 4);
+    assert_eq!(summary.helped, 3);
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Quality-plane smoke: boot `setstream serve` on an ephemeral port, scrape
+# all three endpoints, and validate the /metrics body parses as Prometheus
+# exposition text (`setstream scrape` runs the strict parser and fails on
+# malformed output).
+#
+#   scripts/serve_smoke.sh                        # uses target/release/setstream
+#   SETSTREAM_BIN=target/debug/setstream scripts/serve_smoke.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${SETSTREAM_BIN:-target/release/setstream}"
+if [[ ! -x "$BIN" ]]; then
+    echo "serve_smoke: $BIN not built (run cargo build --release first)" >&2
+    exit 1
+fi
+
+out=$(mktemp)
+pid=""
+cleanup() {
+    [[ -n "$pid" ]] && kill "$pid" 2>/dev/null || true
+    rm -f "$out"
+}
+trap cleanup EXIT
+
+"$BIN" serve --port 0 --rounds 2 --interval-ms 50 --events 500 --sites 2 > "$out" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#^serving on http://##p' "$out")
+    [[ -n "$addr" ]] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve_smoke: server exited before announcing" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "serve_smoke: no announce line within 10s" >&2
+    exit 1
+fi
+
+# /metrics — scrape validates the exposition and fails on parse errors.
+"$BIN" scrape --addr "$addr" > /dev/null
+
+# /health — must be JSON naming the collection health and the alarm list.
+"$BIN" scrape --addr "$addr" --path /health | grep -q '"alarms"'
+"$BIN" scrape --addr "$addr" --path /health | grep -q '"collection"'
+
+# /trace — must be Chrome trace-event JSON.
+"$BIN" scrape --addr "$addr" --path /trace | grep -q '"traceEvents"'
+
+echo "serve_smoke: OK (http://$addr)"

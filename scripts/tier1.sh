@@ -42,11 +42,15 @@ cargo clippy -p setstream-distributed --all-targets -- -D warnings
 echo '==> cargo doc --no-deps (warnings are errors)'
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
+echo "==> quality-plane serve smoke (/metrics, /health, /trace)"
+scripts/serve_smoke.sh
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> ingest smoke bench (quick)"
     cargo run --release -q -p setstream-bench --bin ingest_bench -- \
-        --quick --out target/BENCH_ingest.quick.json
-    echo "    wrote target/BENCH_ingest.quick.json"
+        --quick --out target/BENCH_ingest.quick.json \
+        --obs-out target/BENCH_obs.quick.json
+    echo "    wrote target/BENCH_ingest.quick.json, target/BENCH_obs.quick.json"
 
     # Observability must stay (near-)free: the instrumented engine ingest
     # path may cost at most 5% over the raw update_batch kernel. The quick
@@ -58,6 +62,17 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "    metrics overhead (engine vs raw kernel): ${overhead}x"
     awk -v o="$overhead" 'BEGIN { exit !(o != "" && o <= 1.15) }' || {
         echo "tier-1: FAIL — metrics overhead ${overhead}x exceeds budget" >&2
+        exit 1
+    }
+
+    # Same contract for the quality monitor: 1% shadow sampling may slow
+    # engine ingest by at most 5% (budget 1.05; 1.15 with quick-bench
+    # noise margin). BENCH_obs.json records the measured ratio.
+    q_overhead=$(sed -n 's/.*"quality_overhead": \([0-9.]*\).*/\1/p' \
+        target/BENCH_obs.quick.json)
+    echo "    quality-monitor overhead (1% shadow sampling): ${q_overhead}x"
+    awk -v o="$q_overhead" 'BEGIN { exit !(o != "" && o <= 1.15) }' || {
+        echo "tier-1: FAIL — quality-monitor overhead ${q_overhead}x exceeds budget" >&2
         exit 1
     }
 fi

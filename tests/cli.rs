@@ -108,3 +108,78 @@ fn help_prints_usage() {
     assert!(ok);
     assert!(out.contains("usage:"));
 }
+
+#[test]
+fn stats_command_emits_a_valid_exposition() {
+    let (out, _, ok) = setstream(&[
+        "stats", "--rounds", "2", "--events", "500", "--sites", "2", "--sample", "0.1",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("round 0:"), "{out}");
+    assert!(out.contains("coordinator :"), "{out}");
+    // The metric dump after the blank line is the same render `/metrics`
+    // serves — it must parse as Prometheus exposition text.
+    let exposition = out
+        .split("\n\n")
+        .filter(|s| !s.trim().is_empty())
+        .last()
+        .expect("metrics section");
+    let summary =
+        setstream_apps::obs::export::parse_exposition(exposition).expect("valid exposition");
+    assert!(summary.families.iter().any(|f| f == "setstream_quality_updates_seen_total"));
+    assert!(summary.families.iter().any(|f| f == "setstream_alarm_active"));
+    assert!(summary.helped > 0, "families carry HELP text");
+}
+
+/// Spawn `setstream serve` on an ephemeral port and wait for its
+/// announcement line; the guard kills the child on drop.
+fn spawn_serve(extra: &[&str]) -> (std::process::Child, String) {
+    use std::io::{BufRead, BufReader};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_setstream"))
+        .args(["serve", "--port", "0", "--events", "400", "--sites", "2"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("announce line");
+    let addr = line
+        .trim()
+        .strip_prefix("serving on http://")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn serve_scrape_and_top_round_trip() {
+    let (mut child, addr) = spawn_serve(&["--rounds", "2", "--interval-ms", "10"]);
+
+    let (metrics, scrape_err, ok) = setstream(&["scrape", "--addr", &addr]);
+    assert!(ok, "{scrape_err}");
+    assert!(scrape_err.contains("scrape OK"), "{scrape_err}");
+    assert!(metrics.contains("# TYPE setstream_http_requests_total counter"), "server reports on itself");
+
+    let (health, _, ok) = setstream(&["scrape", "--addr", &addr, "--path", "/health"]);
+    assert!(ok);
+    assert!(health.contains("\"collection\""), "{health}");
+    assert!(health.contains("\"alarms\""), "{health}");
+
+    let (trace, _, ok) = setstream(&["scrape", "--addr", &addr, "--path", "/trace"]);
+    assert!(ok);
+    assert!(trace.contains("\"traceEvents\""), "{trace}");
+
+    let (dash, _, ok) = setstream(&["top", "--addr", &addr, "--iterations", "1"]);
+    assert!(ok, "{dash}");
+    assert!(dash.contains("setstream top"), "{dash}");
+    assert!(dash.contains("ingest"), "{dash}");
+    assert!(dash.contains("alarms"), "{dash}");
+
+    let (_, err, ok) = setstream(&["scrape", "--addr", &addr, "--path", "/nope"]);
+    assert!(!ok);
+    assert!(err.contains("HTTP 404"), "{err}");
+
+    child.kill().ok();
+    child.wait().ok();
+}
