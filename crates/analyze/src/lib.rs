@@ -13,11 +13,12 @@
 //! | A04  | no internal callers of `#[deprecated]` setstream APIs |
 //! | A05  | container magic literals defined exactly once |
 //! | A06  | every public error enum implements `Display + std::error::Error` |
+//! | A07  | sketch counter cells are written only by the audited cell kernel |
 //!
 //! Escape hatch: `// analyze: allow(<rule>) — <reason>` on (or directly
 //! above) the offending line, or `//! analyze: allow(<rule>) — <reason>`
 //! to waive a rule for a whole file. Rule names: `atomics`, `field`,
-//! `panic`, `indexing`, `deprecated`, `magic`, `error-impl`.
+//! `panic`, `indexing`, `deprecated`, `magic`, `error-impl`, `cells`.
 //!
 //! The pass is lexical by design (the build environment vendors no `syn`):
 //! sources are scrubbed of comments and string literals first, which makes
@@ -63,6 +64,8 @@ pub struct Config {
     pub atomic_modules: Vec<String>,
     /// Path suffixes where raw mod-p61 arithmetic is allowed (rule A02).
     pub field_modules: Vec<String>,
+    /// Path suffixes where sketch counter cells may be mutated (rule A07).
+    pub cell_modules: Vec<String>,
 }
 
 impl Config {
@@ -79,8 +82,10 @@ impl Config {
                 "crates/obs/src/metrics.rs".to_string(),
                 "crates/obs/src/trace.rs".to_string(),
                 "crates/hash/src/clock.rs".to_string(),
+                "crates/engine/src/runqueue.rs".to_string(),
             ],
             field_modules: vec!["crates/hash/src/field.rs".to_string()],
+            cell_modules: vec!["crates/core/src/sketch/two_level.rs".to_string()],
         }
     }
 
@@ -93,6 +98,7 @@ impl Config {
             lib_crates: vec!["fixture".to_string()],
             atomic_modules: vec!["src/clock.rs".to_string()],
             field_modules: vec!["src/field.rs".to_string()],
+            cell_modules: vec!["src/sketch.rs".to_string()],
         }
     }
 
@@ -131,6 +137,8 @@ pub struct AnalyzedFile {
     pub atomics_allowed: bool,
     /// Raw field arithmetic allowed here (rule A02).
     pub field_allowed: bool,
+    /// Sketch counter-cell mutation allowed here (rule A07).
+    pub cells_allowed: bool,
 }
 
 /// Run every rule over the configured tree.
@@ -167,6 +175,7 @@ pub fn analyze(config: &Config) -> Result<Vec<Diagnostic>, String> {
         analyzed.push(AnalyzedFile {
             atomics_allowed: config.atomic_modules.iter().any(|m| rel.ends_with(m)),
             field_allowed: config.field_modules.iter().any(|m| rel.ends_with(m)),
+            cells_allowed: config.cell_modules.iter().any(|m| rel.ends_with(m)),
             is_lib_source: cls.is_lib_source,
             scrubbed,
         });

@@ -34,7 +34,7 @@ fn run() -> i32 {
                      --fixture treats --root as a single fixture mini-crate\n\
                      (used to regenerate the golden files under tests/fixtures).\n\
                      \n\
-                     Runs rules A01-A06 over the workspace crates (see DESIGN.md §8).\n\
+                     Runs rules A01-A07 over the workspace crates (see DESIGN.md §8).\n\
                      Exit 0 = clean, 1 = findings, 2 = usage/IO error."
                 );
                 return 0;
@@ -59,7 +59,7 @@ fn run() -> i32 {
     match analyze(&config) {
         Ok(diags) if diags.is_empty() => {
             if !quiet {
-                println!("setstream-analyze: workspace clean (rules A01-A06)");
+                println!("setstream-analyze: workspace clean (rules A01-A07)");
             }
             0
         }

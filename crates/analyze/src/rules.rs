@@ -1,4 +1,4 @@
-//! The analyzer's rules, A01 through A06 (plus A00 for malformed allows).
+//! The analyzer's rules, A01 through A07 (plus A00 for malformed allows).
 //!
 //! Every rule works on scrubbed lines (comments and literals blanked, see
 //! [`crate::scrub`]), skips test code, and honours the allow escape hatch.
@@ -17,6 +17,7 @@ pub fn run_all(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
     rule_a04_deprecated_callers(files, &mut diags);
     rule_a05_magic_literals(files, &mut diags);
     rule_a06_error_enums(files, &mut diags);
+    rule_a07_cells(files, &mut diags);
     diags
 }
 
@@ -104,9 +105,10 @@ fn rule_a01_atomics(files: &[AnalyzedFile], out: &mut Vec<Diagnostic>) {
                         line,
                         format!(
                             "atomic `{pat}` outside the audited lock-light modules \
-                             (obs::metrics, obs::trace, hash::clock) — use the obs metric \
-                             types instead of raw atomics, or move the code into an audited \
-                             module; escape hatch: // analyze: allow(atomics) — <reason>"
+                             (obs::metrics, obs::trace, hash::clock, engine::runqueue) — \
+                             use the obs metric types instead of raw atomics, or move the \
+                             code into an audited module; escape hatch: \
+                             // analyze: allow(atomics) — <reason>"
                         ),
                         out,
                     );
@@ -401,6 +403,71 @@ fn rule_a05_magic_literals(files: &[AnalyzedFile], out: &mut Vec<Diagnostic>) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------- A07
+
+fn rule_a07_cells(files: &[AnalyzedFile], out: &mut Vec<Diagnostic>) {
+    for f in files {
+        if f.cells_allowed {
+            continue;
+        }
+        for (line, text) in code_lines(f) {
+            if find_word(text, "counters").is_none() {
+                continue;
+            }
+            if mutates_counters(text) && !f.scrubbed.is_allowed("cells", line) {
+                diag(
+                    "A07",
+                    f,
+                    line,
+                    "direct write to sketch counter cells outside the audited cell \
+                     kernel (core::sketch::two_level) — every cell mutation must go \
+                     through `SketchVector::update`/`update_batch`/`apply_prepared`, a \
+                     `SketchVectorSlice`, or the hash-bank kernels, so the SIMD and \
+                     scalar paths stay bit-identical and slice ownership holds; \
+                     escape hatch: // analyze: allow(cells) — <reason>"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Does the scrubbed line mutate counter storage named `counters`?
+///
+/// Flags an assignment (plain or compound) through `counters[...]`, a
+/// mutable borrow `&mut <recv>.counters`, and `iter_mut`/`_mut` accessor
+/// forms. Plain reads (`counters[i]`, `counters[i] == x`, `.counters()`)
+/// pass.
+fn mutates_counters(text: &str) -> bool {
+    if text.contains("counters.iter_mut") || text.contains("counters_mut") {
+        return true;
+    }
+    if let Some(at) = text.find("counters[") {
+        let rest: String = text[at..].chars().filter(|c| *c != ' ').collect();
+        if let Some(close) = rest.find(']') {
+            let after = &rest[close + 1..];
+            if ["+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="]
+                .iter()
+                .any(|op| after.starts_with(op))
+                || (after.starts_with('=') && !after.starts_with("=="))
+            {
+                return true;
+            }
+        }
+    }
+    if let Some(at) = find_word(text, "counters") {
+        // Strip a `<receiver>.` chain, then look for the mutable borrow.
+        let before = text[..at]
+            .trim_end_matches(|c: char| is_ident_byte(c as u8) || c == '.')
+            .trim_end();
+        if before.ends_with("&mut") {
+            return true;
+        }
+    }
+    false
 }
 
 /// Canonical form of a literal-bearing snippet: underscores and spaces

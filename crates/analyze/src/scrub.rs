@@ -22,6 +22,7 @@ pub const ALLOW_RULES: &[&str] = &[
     "deprecated", // A04
     "magic",      // A05
     "error-impl", // A06
+    "cells",      // A07
 ];
 
 /// One parsed `// analyze: allow(...)` comment.

@@ -65,6 +65,11 @@ fn a06_error_enum_without_impls() {
 }
 
 #[test]
+fn a07_cell_writes_outside_kernel() {
+    check_fixture("a07_cells");
+}
+
+#[test]
 fn allowed_fixture_is_clean() {
     check_fixture("allowed");
     // Belt and braces: the golden itself must be empty.
@@ -84,6 +89,7 @@ fn every_fixture_directory_has_a_test() {
         "a04_deprecated",
         "a05_magic",
         "a06_error",
+        "a07_cells",
         "allowed",
     ];
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");

@@ -1,0 +1,45 @@
+//! Fixture: rule A07 — sketch counter-cell writes outside the cell kernel.
+//! analyze: allow(indexing) — the fixture exercises cell writes, not bounds
+
+pub mod sketch;
+
+pub struct Synopsis {
+    pub counters: Vec<i64>,
+}
+
+pub fn poke(s: &mut Synopsis) {
+    // Compound assignment through an index: flagged.
+    s.counters[3] += 1;
+}
+
+pub fn overwrite(s: &mut Synopsis) {
+    // Plain index assignment: flagged.
+    s.counters[0] = 7;
+}
+
+pub fn lend(s: &mut Synopsis) -> &mut [i64] {
+    // Handing out a mutable view of the cells: flagged.
+    &mut s.counters[..]
+}
+
+pub fn zero(s: &mut Synopsis) {
+    // Mutable iteration over the cells: flagged.
+    for c in s.counters.iter_mut() {
+        *c = 0;
+    }
+}
+
+pub fn read(s: &Synopsis) -> i64 {
+    // Reads are fine.
+    s.counters[3]
+}
+
+pub fn compare(s: &Synopsis) -> bool {
+    // Comparison is not an assignment: fine.
+    s.counters[0] == 1
+}
+
+pub fn waived(s: &mut Synopsis) {
+    // analyze: allow(cells) — test harness rebuilding a fixture synopsis
+    s.counters[1] = 9;
+}

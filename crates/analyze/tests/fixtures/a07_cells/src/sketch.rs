@@ -1,0 +1,16 @@
+//! Allow-listed cell kernel: the canonical home of counter mutation.
+//! analyze: allow(indexing) — dimensions fixed at construction
+
+pub struct Sketch {
+    counters: Vec<i64>,
+}
+
+impl Sketch {
+    pub fn new(n: usize) -> Self {
+        Sketch { counters: vec![0; n] }
+    }
+
+    pub fn bump(&mut self, idx: usize, delta: i64) {
+        self.counters[idx] += delta;
+    }
+}

@@ -13,7 +13,7 @@ use crate::error::EstimateError;
 use crate::sketch::two_level::BATCH_CHUNK;
 use crate::sketch::TwoLevelSketch;
 use serde::{Deserialize, Serialize};
-use setstream_hash::SeedSequence;
+use setstream_hash::{field, SeedSequence};
 use setstream_stream::{Element, Update};
 
 /// Instrumentation record returned by [`SketchVector::update_batch`].
@@ -54,6 +54,113 @@ impl IngestStats {
     pub fn absorb(&mut self, other: IngestStats) {
         self.updates += other.updates;
         self.fast_path_updates += other.fast_path_updates;
+    }
+}
+
+/// A batch of updates unpacked **once** into structure-of-arrays form,
+/// shareable across sketch copies and parallel shards.
+///
+/// The ingest pipeline's hash/partition stage: raw elements, their
+/// canonical field representatives (`reduce64(e)`, the second-level
+/// kernel's input), and the signed deltas, in parallel arrays. All of it
+/// is copy-independent — every one of the `r` sketch copies (and every
+/// shard of a parallel ingest) consumes the same prepared arrays, so the
+/// per-element unpack and field reduction are paid once per batch instead
+/// of once per copy.
+#[derive(Debug, Clone)]
+pub struct PreparedBatch {
+    elems: Vec<u64>,
+    xrs: Vec<u64>,
+    deltas: Vec<i64>,
+    stats: IngestStats,
+}
+
+impl PreparedBatch {
+    /// Unpack and reduce a batch (stream ids are ignored, as in
+    /// [`SketchVector::update_batch`]).
+    pub fn from_updates(updates: &[Update]) -> Self {
+        let elems: Vec<u64> = updates.iter().map(|u| u.element).collect();
+        let xrs: Vec<u64> = elems.iter().map(|&e| field::reduce64(e)).collect();
+        let deltas: Vec<i64> = updates.iter().map(|u| u.delta).collect();
+        PreparedBatch {
+            elems,
+            xrs,
+            deltas,
+            stats: IngestStats::for_batch(updates),
+        }
+    }
+
+    /// Number of updates in the batch.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// `true` if the batch holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The ingest instrumentation record for this batch (computed at
+    /// preparation time, chunk-aligned with the apply loop).
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+}
+
+/// Drive a prepared batch through a run of sketch copies — the apply
+/// stage of the ingest pipeline, allocation-free.
+fn apply_prepared_to(sketches: &mut [TwoLevelSketch], batch: &PreparedBatch) {
+    if batch.len() < 32 {
+        // Grouping overhead outweighs locality on tiny batches; the
+        // per-update path is bit-identical.
+        for sk in sketches.iter_mut() {
+            for (&e, &d) in batch.elems.iter().zip(&batch.deltas) {
+                sk.update(e, d);
+            }
+        }
+        return;
+    }
+    for sk in sketches.iter_mut() {
+        let chunks = batch
+            .elems
+            .chunks(BATCH_CHUNK)
+            .zip(batch.xrs.chunks(BATCH_CHUNK))
+            .zip(batch.deltas.chunks(BATCH_CHUNK));
+        for ((ec, xc), dc) in chunks {
+            sk.update_chunk_prepared(ec, xc, dc);
+        }
+    }
+}
+
+/// A borrowed run of consecutive copies of one [`SketchVector`], the unit
+/// of shard ownership in parallel ingest.
+///
+/// [`SketchVector::par_slices`] hands out *disjoint* runs, so each shard
+/// mutates a private region of the vector with no synchronization, and
+/// the combined result needs no merge step: the copies were updated in
+/// place, exactly as single-threaded ingest would have.
+#[derive(Debug)]
+pub struct SketchVectorSlice<'a> {
+    start: usize,
+    sketches: &'a mut [TwoLevelSketch],
+}
+
+impl SketchVectorSlice<'_> {
+    /// Index (within the parent vector) of the first copy in this run.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of copies in this run.
+    pub fn copies(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Apply a prepared batch to every copy in this run. Identical cell
+    /// arithmetic to [`SketchVector::update_batch`] restricted to these
+    /// copies.
+    pub fn apply_prepared(&mut self, batch: &PreparedBatch) {
+        apply_prepared_to(self.sketches, batch);
     }
 }
 
@@ -234,21 +341,43 @@ impl SketchVector {
     /// fire. The accounting is one extra comparison per update — noise
     /// next to the `r` copies of hashing each update pays for.
     pub fn update_batch(&mut self, updates: &[Update]) -> IngestStats {
-        let stats = IngestStats::for_batch(updates);
-        if updates.len() < 32 {
-            for sk in &mut self.sketches {
-                sk.update_batch(updates);
-            }
-            return stats;
-        }
-        let elems: Vec<u64> = updates.iter().map(|u| u.element).collect();
-        let deltas: Vec<i64> = updates.iter().map(|u| u.delta).collect();
-        for sk in &mut self.sketches {
-            for (ec, dc) in elems.chunks(BATCH_CHUNK).zip(deltas.chunks(BATCH_CHUNK)) {
-                sk.update_chunk(ec, dc);
-            }
-        }
-        stats
+        self.apply_prepared(&PreparedBatch::from_updates(updates))
+    }
+
+    /// Apply an already-prepared batch to every copy (the batch-prepare
+    /// work — struct unpack, field reductions, stats — was paid by
+    /// [`PreparedBatch::from_updates`], possibly on another thread or
+    /// shared with other vectors). Bit-for-bit identical to
+    /// [`Self::update_batch`] over the source updates.
+    pub fn apply_prepared(&mut self, batch: &PreparedBatch) -> IngestStats {
+        apply_prepared_to(&mut self.sketches, batch);
+        batch.stats()
+    }
+
+    /// Split the vector into at most `n` disjoint runs of consecutive
+    /// copies, for shard-owned parallel ingest.
+    ///
+    /// Each returned [`SketchVectorSlice`] borrows a private, mutually
+    /// non-overlapping region of this vector's copies (the compiler
+    /// enforces the disjointness — the slices are `&mut` borrows split
+    /// out of one allocation). Workers apply the same [`PreparedBatch`]
+    /// to their own slice concurrently; because every copy sees the whole
+    /// batch, the vector afterwards equals single-threaded
+    /// [`Self::update_batch`] exactly — no merge, no synchronization.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn par_slices(&mut self, n: usize) -> Vec<SketchVectorSlice<'_>> {
+        assert!(n >= 1, "need at least one slice");
+        let chunk = self.sketches.len().div_ceil(n);
+        self.sketches
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, sketches)| SketchVectorSlice {
+                start: i * chunk,
+                sketches,
+            })
+            .collect()
     }
 
     /// Insert one copy of `e`.
@@ -435,6 +564,45 @@ mod tests {
         for (a, b) in scalar.sketches().iter().zip(batched.sketches()) {
             assert_eq!(a.counters(), b.counters());
             assert_eq!(a.total_count(), b.total_count());
+        }
+    }
+
+    #[test]
+    fn par_slices_cover_all_copies_and_match_sequential() {
+        use setstream_stream::StreamId;
+        let f = family();
+        let updates: Vec<Update> = (0..600u64)
+            .map(|i| Update {
+                stream: StreamId(0),
+                element: i.wrapping_mul(0x9e37_79b9) % 2048,
+                delta: if i % 9 == 0 { -2 } else { 1 },
+            })
+            .collect();
+        let mut seq = f.new_vector();
+        seq.update_batch(&updates);
+
+        let batch = PreparedBatch::from_updates(&updates);
+        assert_eq!(batch.len(), updates.len());
+        assert_eq!(batch.stats(), IngestStats::for_batch(&updates));
+        for n in [1usize, 2, 3, 8, 20] {
+            let mut par = f.new_vector();
+            let mut slices = par.par_slices(n);
+            assert!(slices.len() <= n);
+            assert_eq!(slices.iter().map(SketchVectorSlice::copies).sum::<usize>(), 8);
+            // Runs are consecutive and non-overlapping.
+            let mut next = 0usize;
+            for s in &slices {
+                assert_eq!(s.start(), next);
+                next += s.copies();
+            }
+            for s in &mut slices {
+                s.apply_prepared(&batch);
+            }
+            drop(slices);
+            for (a, b) in seq.sketches().iter().zip(par.sketches()) {
+                assert_eq!(a.counters(), b.counters(), "n={n}");
+                assert_eq!(a.total_count(), b.total_count());
+            }
         }
     }
 

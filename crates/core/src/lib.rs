@@ -65,7 +65,10 @@ pub use error::EstimateError;
 pub use estimate::{
     Estimate, EstimateMethod, EstimatorOptions, UnionMode, WitnessMode, WitnessSummary,
 };
-pub use family::{IngestStats, SketchFamily, SketchFamilyBuilder, SketchVector};
+pub use family::{
+    IngestStats, PreparedBatch, SketchFamily, SketchFamilyBuilder, SketchVector,
+    SketchVectorSlice,
+};
 pub use plan::Plan;
 pub use sketch::{BitSketch, TwoLevelSketch};
 pub use window::RotatingSketchVector;

@@ -202,6 +202,32 @@ impl TwoLevelSketch {
     pub(crate) fn update_chunk(&mut self, elems: &[u64], deltas: &[i64]) {
         let n = elems.len();
         assert!(n <= BATCH_CHUNK && n == deltas.len(), "chunk shape");
+        let mut xrs = [0u64; BATCH_CHUNK];
+        for (xr, &e) in xrs[..n].iter_mut().zip(elems) {
+            *xr = field::reduce64(e);
+        }
+        self.update_chunk_prepared(elems, &xrs[..n], deltas);
+    }
+
+    /// [`Self::update_chunk`] with the canonical field representatives
+    /// `xrs[i] = reduce64(elems[i])` already computed. The reductions are
+    /// element-wise and copy-independent, so a prepared batch computes
+    /// them **once** and shares them across all `r` copies (and all
+    /// parallel shards) instead of re-deriving them per copy.
+    ///
+    /// `elems` (the raw values) still feed the first-level hash: the
+    /// Carter–Wegman families reduce their input anyway, but tabulation/
+    /// mixer families hash raw 64-bit values, and feeding them `xrs`
+    /// would silently change their buckets.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or exceed [`BATCH_CHUNK`].
+    pub(crate) fn update_chunk_prepared(&mut self, elems: &[u64], xrs: &[u64], deltas: &[i64]) {
+        let n = elems.len();
+        assert!(
+            n <= BATCH_CHUNK && n == deltas.len() && n == xrs.len(),
+            "chunk shape"
+        );
         let levels = self.config.levels as usize;
         let s = self.config.second_level as usize;
         // Hashing hoisted out of the counter loop.
@@ -221,16 +247,28 @@ impl TwoLevelSketch {
             starts[l + 1] += starts[l];
         }
         let mut cursor = starts;
-        // Scatter *canonical field representatives* — the second-level
-        // kernel needs `reduce64(e)`, and reducing once here saves an
-        // `s`-fold repetition inside the bit loop.
+        // Uniform-delta chunks (the insert-only shape) are detected once
+        // here, so the delta scatter below and the per-group uniformity
+        // scan inside `accumulate_group` both disappear from the hot path.
+        let uniform = n > 0 && deltas.windows(2).all(|w| w[0] == w[1]);
+        // Scatter the *canonical field representatives* — the grouped
+        // second-level kernel consumes per-bucket runs of `reduce64(e)`
+        // directly.
         let mut selems = [0u64; BATCH_CHUNK];
         let mut sdeltas = [0i64; BATCH_CHUNK];
-        for i in 0..n {
-            let pos = cursor[buckets[i]] as usize;
-            selems[pos] = field::reduce64(elems[i]);
-            sdeltas[pos] = deltas[i];
-            cursor[buckets[i]] += 1;
+        if uniform {
+            for i in 0..n {
+                let pos = cursor[buckets[i]] as usize;
+                selems[pos] = xrs[i];
+                cursor[buckets[i]] += 1;
+            }
+        } else {
+            for i in 0..n {
+                let pos = cursor[buckets[i]] as usize;
+                selems[pos] = xrs[i];
+                sdeltas[pos] = deltas[i];
+                cursor[buckets[i]] += 1;
+            }
         }
         // Grouped counter writes: one bucket's row at a time, all of the
         // bucket's updates applied in a single pass per second-level
@@ -242,7 +280,11 @@ impl TwoLevelSketch {
             }
             let base = self.row_base(level as u32);
             let row = &mut self.counters[base..base + 2 * s];
-            self.second.accumulate_group(&selems[lo..hi], &sdeltas[lo..hi], row);
+            if uniform {
+                self.second.accumulate_group_uniform(&selems[lo..hi], deltas[0], row);
+            } else {
+                self.second.accumulate_group(&selems[lo..hi], &sdeltas[lo..hi], row);
+            }
         }
         self.total += deltas.iter().sum::<i64>();
     }

@@ -9,7 +9,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use setstream_core::{SketchConfig, SketchFamily, TwoLevelSketch};
+use setstream_core::{PreparedBatch, SketchConfig, SketchFamily, TwoLevelSketch};
 use setstream_hash::HashFamily;
 use setstream_stream::{StreamId, Update};
 
@@ -113,6 +113,64 @@ proptest! {
         batched.update_batch(&updates_from(&pairs));
         prop_assert_eq!(scalar.counters(), batched.counters());
         prop_assert_eq!(scalar.total_count(), batched.total_count());
+    }
+
+    #[test]
+    fn delete_heavy_batches_match_scalar(
+        config in arb_config(),
+        seed in any::<u64>(),
+        elems in vec(any::<u64>(), 0..600),
+        insert_one_in in 2u64..12,
+    ) {
+        // Mostly-deletion streams keep every chunk on the signed-delta
+        // (weighted) kernel and drive counters negative — the regime the
+        // paper's deletion-imperviousness argument lives in.
+        let pairs: Vec<(u64, i64)> = elems
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, if i as u64 % insert_one_in == 0 { 1 } else { -1 }))
+            .collect();
+        let mut scalar = TwoLevelSketch::new(config, seed);
+        for &(e, d) in &pairs {
+            scalar.update(e, d);
+        }
+        let mut batched = TwoLevelSketch::new(config, seed);
+        batched.update_batch(&updates_from(&pairs));
+        prop_assert_eq!(scalar.counters(), batched.counters());
+        prop_assert_eq!(scalar.total_count(), batched.total_count());
+    }
+
+    #[test]
+    fn slice_owned_apply_matches_whole_vector(
+        seed in any::<u64>(),
+        pairs in vec((any::<u64>(), -3i64..4), 0..700),
+        copies in 1usize..9,
+        slices in 1usize..6,
+    ) {
+        // The shard-owned ingest contract: preparing a batch once and
+        // applying it through disjoint `par_slices` runs must be
+        // bit-identical to one whole-vector `update_batch`, for any
+        // copies/slices split (including more slices than copies).
+        let fam = SketchFamily::builder()
+            .copies(copies)
+            .levels(16)
+            .second_level(8)
+            .seed(seed)
+            .build();
+        let updates = updates_from(&pairs);
+        let mut whole = fam.new_vector();
+        let want_stats = whole.update_batch(&updates);
+        let batch = PreparedBatch::from_updates(&updates);
+        prop_assert_eq!(batch.stats(), want_stats);
+        let mut sliced = fam.new_vector();
+        for slice in sliced.par_slices(slices) {
+            let mut slice = slice;
+            slice.apply_prepared(&batch);
+        }
+        for (a, b) in whole.sketches().iter().zip(sliced.sketches()) {
+            prop_assert_eq!(a.counters(), b.counters());
+            prop_assert_eq!(a.total_count(), b.total_count());
+        }
     }
 
     #[test]

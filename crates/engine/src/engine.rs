@@ -193,11 +193,12 @@ impl StreamEngine {
 
     /// Process a batch using `threads` worker threads.
     ///
-    /// Workers build partial synopses over disjoint shards of the batch
-    /// (see [`crate::ShardedIngestor`]) which are merged into the live
-    /// synopses — the stored-coins merge semantics exploited for
-    /// multicore throughput. Identical counters to [`Self::process_batch`]
-    /// for any shard split.
+    /// Each per-stream group runs the staged ingest pipeline directly
+    /// into that stream's **live** synopsis (see
+    /// [`ShardedIngestor::ingest_into`](crate::ShardedIngestor::ingest_into)):
+    /// workers own disjoint runs of sketch copies, so no partial vectors
+    /// are allocated and no merge happens. Identical counters to
+    /// [`Self::process_batch`] for any thread count.
     pub fn process_batch_parallel(&mut self, updates: &[Update], threads: usize) {
         let mut deletions = 0u64;
         for u in updates {
@@ -211,18 +212,13 @@ impl StreamEngine {
             .record_batch(IngestStats::for_batch(updates), deletions);
         let ingestor = crate::ingest::ShardedIngestor::new(self.family, threads)
             .with_trace(self.trace.clone());
-        for (stream, part) in ingestor.ingest_streams(updates) {
-            match self.synopses.entry(stream) {
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    e.insert(part);
-                }
-                std::collections::btree_map::Entry::Occupied(mut e) => {
-                    e.get_mut()
-                        .merge_from(&part)
-                        // analyze: allow(panic) — all partials are minted from this engine's one family
-                        .expect("partials minted from the engine family");
-                }
-            }
+        let family = self.family;
+        for (stream, group) in crate::ingest::group_by_stream(updates) {
+            let synopsis = self
+                .synopses
+                .entry(stream)
+                .or_insert_with(|| family.new_vector());
+            let _ = ingestor.ingest_into(synopsis, &group);
         }
     }
 

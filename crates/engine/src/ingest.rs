@@ -1,22 +1,44 @@
-//! Sharded, parallel synopsis ingestion.
+//! Staged, shard-owned parallel synopsis ingestion.
 //!
-//! The sketch transform is linear in the update stream, so a synopsis of
-//! the whole stream equals the cell-wise sum of synopses of any partition
-//! of it — the same fact that powers the distributed stored-coins model.
-//! The [`ShardedIngestor`] exploits it for multicore throughput on a
-//! single machine: the batch is split into contiguous shards, worker
-//! threads build partial [`SketchVector`]s over their shard with the
-//! cache-friendly batch path, and the partials are combined with the
-//! existing `merge_from`. The result is bit-for-bit identical to
-//! single-threaded ingestion, for any shard split.
+//! The sketch transform is linear in the update stream **and** the `r`
+//! independent sketch copies never read each other's cells, so a batch can
+//! be parallelized along the copy axis instead of the stream axis: split
+//! the synopsis into disjoint runs of consecutive copies
+//! ([`SketchVector::par_slices`]) and let each worker apply the *whole*
+//! batch to its own run. No partial vectors, no merge, no synchronization
+//! on sketch memory — each cell has exactly one writer, and the result is
+//! bit-for-bit identical to single-threaded ingestion by construction.
+//!
+//! Ingest runs as a two-stage pipeline:
+//!
+//! ```text
+//! caller thread            RunQueue             worker threads
+//! ─────────────            ────────             ──────────────
+//! hash/partition chunk ──► publish(i) ──┬─► shard 0: apply to copies 0..c
+//! (PreparedBatch:          (watermark   ├─► shard 1: apply to copies c..2c
+//!  unpack + reduce64       broadcast)   └─► shard k: apply to its run
+//!  + stats)
+//! ```
+//!
+//! The batch-prepare work (struct-of-arrays unpack, field reductions,
+//! instrumentation) is paid **once** per chunk by the producer and shared
+//! by every shard, instead of once per shard as the old partial-vector
+//! scheme did; the apply stage is allocation-free. Chunks overlap: shard
+//! workers apply chunk `i` while the producer prepares chunk `i+1`.
 
-use setstream_core::{SketchFamily, SketchVector};
+use crate::runqueue::RunQueue;
+use setstream_core::{IngestStats, PreparedBatch, SketchFamily, SketchVector};
 use setstream_obs::TraceHandle;
 use setstream_stream::{StreamId, Update};
 use std::collections::BTreeMap;
 
 /// Below this batch size threading overhead dominates; ingest inline.
 const MIN_PARALLEL: usize = 4096;
+
+/// Updates per pipelined chunk. A multiple of the core batch chunk (512),
+/// so per-chunk instrumentation and counting-sort runs land on the same
+/// boundaries as a single sequential `update_batch` over the whole slice.
+const PIPELINE_CHUNK: usize = 8192;
 
 /// Builds synopses from update batches using a pool of `threads` workers.
 #[derive(Debug, Clone)]
@@ -40,9 +62,10 @@ impl ShardedIngestor {
         }
     }
 
-    /// Install a trace sink: each parallel shard then emits an
-    /// `ingest.shard` span on its own `shard-N` track, so the Chrome
-    /// trace export renders the fan-out as parallel timeline rows.
+    /// Install a trace sink: each shard worker then emits an
+    /// `ingest.shard` span on its own `shard-N` track (and the prepare
+    /// stage an `ingest.prepare` span), so the Chrome trace export
+    /// renders the pipeline as parallel timeline rows.
     pub fn with_trace(mut self, trace: TraceHandle) -> Self {
         self.trace = trace;
         self
@@ -58,115 +81,97 @@ impl ShardedIngestor {
         self.threads
     }
 
-    /// Build one synopsis over the whole slice (stream ids are ignored,
-    /// as in [`SketchVector::process`]).
-    pub fn ingest_vector(&self, updates: &[Update]) -> SketchVector {
+    /// Apply the whole slice to an existing synopsis in place (stream ids
+    /// are ignored, as in [`SketchVector::process`]). This is the engine's
+    /// live-synopsis path: no scratch vector, no merge.
+    ///
+    /// Small batches (or `threads == 1`) take the sequential batch path;
+    /// larger ones run the staged pipeline over `target.par_slices`.
+    pub fn ingest_into(&self, target: &mut SketchVector, updates: &[Update]) -> IngestStats {
         if self.threads == 1 || updates.len() < MIN_PARALLEL {
-            let mut v = self.family.new_vector();
-            v.update_batch(updates);
-            return v;
+            return target.update_batch(updates);
         }
-        let shard_len = updates.len().div_ceil(self.threads);
-        let family = self.family;
+        let n_chunks = updates.len().div_ceil(PIPELINE_CHUNK);
+        let queue: RunQueue<PreparedBatch> = RunQueue::new(n_chunks);
         let trace = &self.trace;
+        let shards = target.par_slices(self.threads);
+        let mut stats = IngestStats::default();
         crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = updates
-                .chunks(shard_len)
+            let queue = &queue;
+            let handles: Vec<_> = shards
+                .into_iter()
                 .enumerate()
-                .map(|(i, shard)| {
+                .map(|(i, mut shard)| {
                     scope.spawn(move |_| {
                         let mut span = trace.span("ingest.shard");
                         if span.is_recording() {
                             span.track(format!("shard-{i}"));
-                            span.detail(format!("{} updates", shard.len()));
+                            span.detail(format!(
+                                "copies {}..{}",
+                                shard.start(),
+                                shard.start() + shard.copies()
+                            ));
                         }
-                        let mut v = family.new_vector();
-                        v.update_batch(shard);
-                        v
+                        for idx in 0..n_chunks {
+                            shard.apply_prepared(queue.wait(idx));
+                        }
                     })
                 })
                 .collect();
-            // analyze: allow(panic) — join fails only if a worker panicked; propagate it
-            let mut parts = handles.into_iter().map(|h| h.join().expect("ingest worker"));
-            // analyze: allow(panic) — `updates` is non-empty here, so chunking yields at least one shard
-            let mut acc = parts.next().expect("at least one shard");
-            for part in parts {
-                // analyze: allow(panic) — every partial was minted from this ingestor's one family
-                acc.merge_from(&part).expect("partials share one family");
+            {
+                // Stage 1 on the calling thread: unpack, reduce, and
+                // account each chunk, overlapping with the apply stage.
+                let mut span = trace.span("ingest.prepare");
+                if span.is_recording() {
+                    span.track("prepare".to_string());
+                    span.detail(format!("{} updates, {n_chunks} chunks", updates.len()));
+                }
+                for (idx, chunk) in updates.chunks(PIPELINE_CHUNK).enumerate() {
+                    let batch = PreparedBatch::from_updates(chunk);
+                    stats.absorb(batch.stats());
+                    queue.publish(idx, batch);
+                }
             }
-            acc
+            for h in handles {
+                // analyze: allow(panic) — join fails only if a worker panicked; propagate it
+                h.join().expect("ingest worker");
+            }
         })
         // analyze: allow(panic) — scope fails only if a worker panicked; propagate it
-        .expect("ingest scope")
+        .expect("ingest scope");
+        stats
+    }
+
+    /// Build one synopsis over the whole slice (stream ids are ignored,
+    /// as in [`SketchVector::process`]).
+    pub fn ingest_vector(&self, updates: &[Update]) -> SketchVector {
+        let mut v = self.family.new_vector();
+        let _ = self.ingest_into(&mut v, updates);
+        v
     }
 
     /// Build one synopsis per stream appearing in the slice.
     ///
-    /// Each worker groups its shard by stream locally; the per-stream
-    /// partials are then merged, so the output is identical to routing
-    /// every update through its stream's synopsis one at a time.
+    /// Updates are grouped by stream once, then each group runs the same
+    /// staged pipeline as [`ingest_into`](Self::ingest_into), so the
+    /// output is identical to routing every update through its stream's
+    /// synopsis one at a time.
     pub fn ingest_streams(&self, updates: &[Update]) -> BTreeMap<StreamId, SketchVector> {
-        if self.threads == 1 || updates.len() < MIN_PARALLEL {
-            return ingest_streams_local(&self.family, updates);
-        }
-        let shard_len = updates.len().div_ceil(self.threads);
-        let family = self.family;
-        let trace = &self.trace;
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = updates
-                .chunks(shard_len)
-                .enumerate()
-                .map(|(i, shard)| {
-                    scope.spawn(move |_| {
-                        let mut span = trace.span("ingest.shard");
-                        if span.is_recording() {
-                            span.track(format!("shard-{i}"));
-                            span.detail(format!("{} updates", shard.len()));
-                        }
-                        ingest_streams_local(&family, shard)
-                    })
-                })
-                .collect();
-            let mut acc: BTreeMap<StreamId, SketchVector> = BTreeMap::new();
-            for h in handles {
-                // analyze: allow(panic) — join fails only if a worker panicked; propagate it
-                for (stream, part) in h.join().expect("ingest worker") {
-                    match acc.entry(stream) {
-                        std::collections::btree_map::Entry::Vacant(e) => {
-                            e.insert(part);
-                        }
-                        std::collections::btree_map::Entry::Occupied(mut e) => {
-                            // analyze: allow(panic) — every partial was minted from this ingestor's one family
-                            e.get_mut().merge_from(&part).expect("partials share one family");
-                        }
-                    }
-                }
-            }
-            acc
-        })
-        // analyze: allow(panic) — scope fails only if a worker panicked; propagate it
-        .expect("ingest scope")
+        group_by_stream(updates)
+            .into_iter()
+            .map(|(stream, group)| (stream, self.ingest_vector(&group)))
+            .collect()
     }
 }
 
-/// Sequential per-stream grouped ingestion: partition the slice by stream,
-/// then drive each group through the batch path.
-fn ingest_streams_local(
-    family: &SketchFamily,
-    updates: &[Update],
-) -> BTreeMap<StreamId, SketchVector> {
+/// Partition a slice of updates by stream id, preserving arrival order
+/// within each stream.
+pub(crate) fn group_by_stream(updates: &[Update]) -> BTreeMap<StreamId, Vec<Update>> {
     let mut groups: BTreeMap<StreamId, Vec<Update>> = BTreeMap::new();
     for u in updates {
         groups.entry(u.stream).or_default().push(*u);
     }
     groups
-        .into_iter()
-        .map(|(stream, group)| {
-            let mut v = family.new_vector();
-            v.update_batch(&group);
-            (stream, v)
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -203,6 +208,44 @@ mod tests {
     }
 
     #[test]
+    fn ingest_into_applies_on_top_of_existing_state() {
+        // The live-engine path: a synopsis that already holds data, fed a
+        // large batch through the staged pipeline, must equal the purely
+        // sequential composition of both batches.
+        let first = workload(500);
+        let second: Vec<Update> = workload(20_000)
+            .into_iter()
+            .map(|mut u| {
+                u.element = u.element.wrapping_mul(31).wrapping_add(7);
+                u
+            })
+            .collect();
+        let mut seq = family().new_vector();
+        seq.update_batch(&first);
+        seq.update_batch(&second);
+        let ingestor = ShardedIngestor::new(family(), 4);
+        let mut live = family().new_vector();
+        live.update_batch(&first);
+        let stats = ingestor.ingest_into(&mut live, &second);
+        assert_eq!(stats.updates, second.len());
+        for (a, b) in seq.sketches().iter().zip(live.sketches()) {
+            assert_eq!(a.counters(), b.counters());
+        }
+    }
+
+    #[test]
+    fn pipeline_stats_match_sequential_accounting() {
+        // PIPELINE_CHUNK is 512-aligned, so per-chunk stats absorbed
+        // across the pipeline must equal one sequential update_batch.
+        let updates = workload(20_000);
+        let mut seq = family().new_vector();
+        let want = seq.update_batch(&updates);
+        let mut par = family().new_vector();
+        let got = ShardedIngestor::new(family(), 3).ingest_into(&mut par, &updates);
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn parallel_streams_match_sequential_routing() {
         let updates = workload(10_000);
         let by_stream = ShardedIngestor::new(family(), 4).ingest_streams(&updates);
@@ -230,6 +273,19 @@ mod tests {
     }
 
     #[test]
+    fn more_threads_than_copies_still_exact() {
+        // par_slices caps the shard count at the copy count; the extra
+        // workers simply never materialize.
+        let updates = workload(12_000);
+        let par = ShardedIngestor::new(family(), 16).ingest_vector(&updates);
+        let mut seq = family().new_vector();
+        seq.update_batch(&updates);
+        for (a, b) in seq.sketches().iter().zip(par.sketches()) {
+            assert_eq!(a.counters(), b.counters());
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "ingest worker")]
     fn zero_threads_rejected() {
         let _ = ShardedIngestor::new(family(), 0);
@@ -238,12 +294,14 @@ mod tests {
 
 /// Model-checked shard hand-off (`RUSTFLAGS="--cfg loom"`).
 ///
-/// The sharded ingest protocol moves whole partial synopses across a
-/// fork/join boundary with **no** synchronization other than `join`
-/// itself. The model spawns the workers as loom threads so the scheduler
-/// explores every spawn/join interleaving and verifies the merged result
-/// is bit-identical to sequential ingestion in all of them — i.e. the
-/// hand-off needs no additional fences.
+/// The slice-owned protocol moves a prepared chunk from the producer to
+/// shard workers through the watermark queue (modeled in
+/// [`crate::runqueue`]) and hands the mutated slices back across the
+/// fork/join boundary with no further synchronization. The model here
+/// covers the join edge: workers ingest disjoint halves as loom threads,
+/// the parent merges after `join`, and every interleaving must be
+/// bit-identical to sequential ingestion — i.e. `join` alone publishes
+/// the workers' sketch writes.
 #[cfg(all(loom, test))]
 mod loom_tests {
     use super::*;

@@ -56,6 +56,7 @@ pub mod durable;
 mod engine;
 mod ingest;
 mod metrics;
+mod runqueue;
 pub mod prelude;
 pub mod quality;
 mod query;

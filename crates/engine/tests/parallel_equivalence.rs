@@ -88,4 +88,37 @@ proptest! {
         let sharded = ShardedIngestor::new(fam, threads).ingest_vector(&updates);
         assert_identical(&single, &sharded);
     }
+
+    #[test]
+    fn slice_owned_ingest_into_matches_sequential(
+        seed in any::<u64>(),
+        base in vec((any::<u64>(), -3i64..4), 1..64),
+        prefix in vec((any::<u64>(), -3i64..4), 0..40),
+        threads in 2usize..6,
+    ) {
+        // The staged pipeline writes through disjoint copy-owned slices
+        // into a live synopsis (no partials, no merge). Starting from an
+        // arbitrary pre-populated state, the result must be bit-identical
+        // to sequential `update_batch` on the same synopsis — for any
+        // worker count, including more workers than sketch copies.
+        let mut pairs = Vec::new();
+        while pairs.len() < 5000 {
+            pairs.extend(base.iter().copied());
+        }
+        let updates = updates_from(&pairs);
+        let warm = updates_from(&prefix);
+        let fam = small_family(seed);
+
+        let mut seq = fam.new_vector();
+        seq.update_batch(&warm);
+        let want_stats = seq.update_batch(&updates);
+
+        let mut live = fam.new_vector();
+        live.update_batch(&warm);
+        let got_stats =
+            ShardedIngestor::new(fam, threads).ingest_into(&mut live, &updates);
+
+        prop_assert_eq!(got_stats, want_stats);
+        assert_identical(&seq, &live);
+    }
 }

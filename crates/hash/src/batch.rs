@@ -18,6 +18,7 @@
 
 use crate::field;
 use crate::pairwise::PairwiseHash;
+use crate::simd;
 use crate::Hash64;
 
 /// Structure-of-arrays bank of pairwise hash functions
@@ -26,21 +27,26 @@ use crate::Hash64;
 /// Bit `j` produced by the bank is identical to
 /// `PairwiseHash::hash_bit` of the j-th source function: same
 /// coefficients, same field arithmetic, so scalar and batched sketch
-/// maintenance agree bit-for-bit.
+/// maintenance agree bit-for-bit. The grouped kernels dispatch to the
+/// lane-parallel forms in [`crate::simd`], which hold split pre-scaled
+/// copies of the coefficients; those are derived from `(a, b)` at
+/// construction and proven (by the simd module's tests) to evaluate the
+/// identical bit.
 #[derive(Debug, Clone)]
 pub struct PairwiseHashBank {
     a: Box<[u64]>,
     b: Box<[u64]>,
+    split: simd::ParityBank,
 }
 
 impl PairwiseHashBank {
     /// Build a bank from individual functions (flattening their
     /// coefficients into contiguous storage).
     pub fn from_functions(fns: &[PairwiseHash]) -> Self {
-        PairwiseHashBank {
-            a: fns.iter().map(|h| h.coefficients().0).collect(),
-            b: fns.iter().map(|h| h.coefficients().1).collect(),
-        }
+        let a: Box<[u64]> = fns.iter().map(|h| h.coefficients().0).collect();
+        let b: Box<[u64]> = fns.iter().map(|h| h.coefficients().1).collect();
+        let split = simd::ParityBank::new(&a, &b);
+        PairwiseHashBank { a, b, split }
     }
 
     /// Number of hash functions in the bank.
@@ -74,14 +80,7 @@ impl PairwiseHashBank {
     #[inline]
     pub fn hash_bits_into(&self, x: u64, out: &mut [u64]) {
         assert_eq!(out.len(), self.words(), "bit buffer sized to bank");
-        let xr = field::reduce64(x) as u128;
-        for ((aw, bw), slot) in self.a.chunks(64).zip(self.b.chunks(64)).zip(out.iter_mut()) {
-            let mut word = 0u64;
-            for (k, (&a, &b)) in aw.iter().zip(bw.iter()).enumerate() {
-                word |= field::parity128(a as u128 * xr + b as u128) << k;
-            }
-            *slot = word;
-        }
+        simd::hash_bits(&self.split, x, out);
     }
 
     /// Evaluate every function's output bit on `x`, invoking
@@ -123,42 +122,39 @@ impl PairwiseHashBank {
         assert_eq!(row.len(), 2 * self.len(), "row holds one cell pair per function");
         assert_eq!(xrs.len(), deltas.len(), "one delta per element");
         debug_assert!(xrs.iter().all(|&x| x < field::P));
-        let total: i64 = deltas.iter().sum();
         // Insert-only (or otherwise uniform-delta) groups are the common
         // stream shape; for them the inner loop only needs to *count*
         // odd-cell landings, dropping the per-element delta load and
-        // mask from the hot loop.
+        // mask-select from the hot loop. Mixed-delta groups take the
+        // weighted kernel, which folds the sign into a branch-free mask —
+        // the two differ by one vector op per lane, so deletions no
+        // longer fall off a fast-path cliff.
         let uniform = deltas.windows(2).all(|w| w[0] == w[1]);
         if uniform && !deltas.is_empty() {
-            let d0 = deltas[0];
-            let n = xrs.len() as i64;
-            for ((pair, &a), &b) in row.chunks_exact_mut(2).zip(self.a.iter()).zip(self.b.iter()) {
-                let mut ones = 0i64;
-                for &xr in xrs {
-                    let bit = field::parity128(a as u128 * xr as u128 + b as u128);
-                    // `black_box` pins the loop to scalar codegen: the
-                    // baseline-SSE2 auto-vectorized form emulates the
-                    // unsigned 64-bit compares inside `parity128` with
-                    // multi-instruction sign-flip sequences and measures
-                    // ~30% slower than the scalar setcc form it
-                    // replaces.
-                    ones += std::hint::black_box(bit) as i64;
-                }
-                pair[0] += d0 * (n - ones);
-                pair[1] += d0 * ones;
-            }
+            simd::accumulate_uniform(&self.split, xrs, deltas[0], row);
             return;
         }
-        for ((pair, &a), &b) in row.chunks_exact_mut(2).zip(self.a.iter()).zip(self.b.iter()) {
-            let mut ones = 0i64;
-            for (&xr, &d) in xrs.iter().zip(deltas.iter()) {
-                let bit = field::parity128(a as u128 * xr as u128 + b as u128);
-                // bit ∈ {0,1}: the mask is 0 or all-ones, so this adds
-                // `d` exactly when the element lands in the odd cell.
-                ones += d & (std::hint::black_box(bit) as i64).wrapping_neg();
-            }
-            pair[0] += total - ones;
-            pair[1] += ones;
+        let total: i64 = deltas.iter().sum();
+        simd::accumulate_weighted(&self.split, xrs, deltas, total, row);
+    }
+
+    /// [`accumulate_group`] for a group whose every element carries the
+    /// same `d0` — the insert-only stream shape. Callers that establish
+    /// uniformity once per *chunk* (e.g. the core batch path) use this to
+    /// skip both the per-group uniformity scan above and the delta
+    /// scatter that feeds it. Bit-identical to `accumulate_group` with a
+    /// constant delta slice.
+    ///
+    /// [`accumulate_group`]: PairwiseHashBank::accumulate_group
+    ///
+    /// # Panics
+    /// Panics if `row.len() != 2 * self.len()`.
+    #[inline]
+    pub fn accumulate_group_uniform(&self, xrs: &[u64], d0: i64, row: &mut [i64]) {
+        assert_eq!(row.len(), 2 * self.len(), "row holds one cell pair per function");
+        debug_assert!(xrs.iter().all(|&x| x < field::P));
+        if !xrs.is_empty() {
+            simd::accumulate_uniform(&self.split, xrs, d0, row);
         }
     }
 

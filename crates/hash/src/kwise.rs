@@ -59,6 +59,14 @@ impl Hash64 for KWiseHash {
         }
         field::reduce64(acc)
     }
+
+    /// Batch evaluation rides the lane-parallel Horner kernel: same lazy
+    /// `< 2⁶²` accumulator chain per element, `LANES` elements per step.
+    #[inline]
+    fn hash_slice(&self, xs: &[u64], out: &mut [u64]) {
+        assert_eq!(xs.len(), out.len(), "output sized to input");
+        crate::simd::horner_many(&self.coeffs, xs, out);
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,8 @@
 //! ```
 
 #![warn(missing_docs)]
+// `unsafe` is denied everywhere except the SIMD dispatch module, which
+// needs it to call `#[target_feature]` kernels behind a cached CPU check.
 #![deny(unsafe_code)]
 
 pub mod batch;
@@ -42,10 +44,12 @@ pub mod kwise;
 pub mod mix;
 pub mod pairwise;
 pub mod seed;
+pub mod simd;
 pub mod stats;
 pub mod tabulation;
 
 pub use batch::{hash_many, PairwiseHashBank};
+pub use simd::{backend, Backend};
 pub use bit::{bucket_of, lsb64};
 pub use crc::crc32;
 pub use kwise::KWiseHash;

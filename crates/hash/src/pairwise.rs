@@ -56,6 +56,15 @@ impl Hash64 for PairwiseHash {
     fn hash(&self, x: u64) -> u64 {
         field::mul_add(self.a, field::reduce64(x), self.b)
     }
+
+    /// Batch evaluation as a degree-1 Horner chain through the
+    /// lane-parallel kernel (`[a, b]` coefficients — identical canonical
+    /// output to per-element [`Hash64::hash`]).
+    #[inline]
+    fn hash_slice(&self, xs: &[u64], out: &mut [u64]) {
+        assert_eq!(xs.len(), out.len(), "output sized to input");
+        crate::simd::horner_many(&[self.a, self.b], xs, out);
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,16 @@ cargo build --workspace --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> setstream-analyze (workspace invariant rules A01-A06)"
+# The SIMD ingest kernels must be bit-identical to the portable scalar
+# instantiation in both deactivation modes: compiled out (no `simd`
+# feature) and dispatched away at runtime (SETSTREAM_FORCE_SCALAR).
+echo "==> forced-scalar: cargo test -p setstream-hash --no-default-features"
+cargo test -q -p setstream-hash --no-default-features
+
+echo "==> forced-scalar: cargo test --workspace (SETSTREAM_FORCE_SCALAR=1)"
+SETSTREAM_FORCE_SCALAR=1 cargo test --workspace -q
+
+echo "==> setstream-analyze (workspace invariant rules A01-A07)"
 cargo run --release -q -p setstream-analyze
 
 echo "==> loom concurrency models (obs metrics/trace, engine shard hand-off)"
@@ -75,6 +84,31 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
         echo "tier-1: FAIL — quality-monitor overhead ${q_overhead}x exceeds budget" >&2
         exit 1
     }
+
+    # Perf gates keyed off the recorded host topology. The SIMD batch
+    # path must beat per-update scalar ingest by ≥2x even in the noisy
+    # quick bench (the full bench pins ≥4x insert-only / ≥2x mixed);
+    # thread scaling only binds where the host has the cores to scale.
+    cores=$(sed -n 's/.*"cores": \([0-9]*\).*/\1/p' target/BENCH_ingest.quick.json)
+    simd=$(sed -n 's/.*"simd": "\([a-z0-9]*\)".*/\1/p' target/BENCH_ingest.quick.json)
+    speedup=$(sed -n 's/.*"speedup_batch_r512": \([0-9.]*\).*/\1/p' \
+        target/BENCH_ingest.quick.json)
+    echo "    host: ${cores} cores, ${simd} kernels; batch speedup r=512: ${speedup}x"
+    awk -v s="$speedup" 'BEGIN { exit !(s != "" && s >= 2.0) }' || {
+        echo "tier-1: FAIL — batch speedup ${speedup}x below quick-bench floor 2.0x" >&2
+        exit 1
+    }
+    scaling=$(sed -n 's/.*"parallel_scaling_4t": \([0-9.]*\).*/\1/p' \
+        target/BENCH_ingest.quick.json)
+    if [[ -n "$cores" && "$cores" -ge 4 ]]; then
+        echo "    staged-pipeline scaling at 4 threads: ${scaling}x"
+        awk -v s="$scaling" 'BEGIN { exit !(s != "" && s >= 2.0) }' || {
+            echo "tier-1: FAIL — 4-thread scaling ${scaling}x below floor 2.0x (cores=${cores})" >&2
+            exit 1
+        }
+    else
+        echo "    staged-pipeline scaling gate inert (cores=${cores} < 4)"
+    fi
 fi
 
 echo "tier-1: OK"
