@@ -8,7 +8,8 @@
 //! setstream simplify "<expr>"
 //! setstream cells    "<expr>" --streams N
 //! setstream stats    [--rounds N] [--sites N] [--events N] [--seed N] [--sample R]
-//! setstream serve    [--port P] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
+//! setstream serve    [--port P] [--listen HOST:PORT] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
+//! setstream site     --connect HOST:PORT [--id N] [--rounds N] [--events N] [--seed N] [--copies N] [--second-level S]
 //! setstream scrape   --addr HOST:PORT [--path /metrics]
 //! setstream top      --addr HOST:PORT [--interval SECS] [--iterations N]
 //! ```
@@ -48,7 +49,8 @@ const USAGE: &str = "usage:
   setstream simplify \"<expr>\"
   setstream cells    \"<expr>\" --streams N
   setstream stats    [--rounds N] [--sites N] [--events N] [--seed N] [--sample R]
-  setstream serve    [--port P] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
+  setstream serve    [--port P] [--listen HOST:PORT] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
+  setstream site     --connect HOST:PORT [--id N] [--rounds N] [--events N] [--seed N] [--copies N] [--second-level S]
   setstream scrape   --addr HOST:PORT [--path /metrics]
   setstream top      --addr HOST:PORT [--interval SECS] [--iterations N]";
 
@@ -65,6 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cells" => cmd_cells(&rest),
         "stats" => cmd_stats(&rest),
         "serve" => cmd_serve(&rest),
+        "site" => cmd_site(&rest),
         "scrape" => cmd_scrape(&rest),
         "top" => cmd_top(&rest),
         "--help" | "-h" | "help" => {
@@ -369,6 +372,24 @@ fn cmd_serve(rest: &[&String]) -> Result<(), String> {
         .registry()
         .register(server.metrics());
 
+    // With --listen, also accept real TCP sites: the collector feeds the
+    // same coordinator the demo's in-process sites use, and its traffic
+    // counters land in the same /metrics exposition.
+    let _collector = match flags.get("listen") {
+        None => None,
+        Some(listen) => {
+            use setstream_apps::distributed::transport::{CoordinatorServer, ServerRole, TransportOptions};
+            let (coordinator, transport) = {
+                let guard = stack.lock().unwrap_or_else(PoisonError::into_inner);
+                (Arc::clone(guard.coordinator()), Arc::clone(guard.transport_metrics()))
+            };
+            let opts = TransportOptions::builder().build().map_err(|e| e.to_string())?;
+            let handle = CoordinatorServer::spawn(listen, coordinator, ServerRole::Coordinator, opts, transport)
+                .map_err(|e| e.to_string())?;
+            println!("collecting sites on {}", handle.addr());
+            Some(handle)
+        }
+    };
     println!("serving on http://{}", server.local_addr());
     std::io::stdout().flush().map_err(|e| e.to_string())?;
 
@@ -393,6 +414,77 @@ fn cmd_serve(rest: &[&String]) -> Result<(), String> {
     });
 
     server.serve().map_err(|e| e.to_string())
+}
+
+/// A real remote site: build the same sketch family the demo stack
+/// serves (same copies/second-level/seed, or the coordinator refuses the
+/// coins), observe a synthetic workload, and ship one epoch per round to
+/// a `setstream serve --listen` collector over TCP.
+fn cmd_site(rest: &[&String]) -> Result<(), String> {
+    use setstream_apps::distributed::transport::{TcpCollector, TransportOptions};
+    use setstream_apps::distributed::{Site, TransportMetrics};
+    use std::net::ToSocketAddrs;
+    use std::sync::Arc;
+
+    let (positional, flags) = parse_flags(rest)?;
+    if !positional.is_empty() {
+        return Err("site takes only flags".into());
+    }
+    let connect = flags.get("connect").ok_or("--connect HOST:PORT is required")?;
+    let addr = connect
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {connect}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{connect} resolved to no address"))?;
+    // Ids below 100 are reserved for the demo stack's in-process sites.
+    let id: u32 = flag_num(&flags, "id", 100u32)?;
+    let rounds: usize = flag_num(&flags, "rounds", 5usize)?;
+    let events: usize = flag_num(&flags, "events", 1000usize)?;
+    let seed: u64 = flag_num(&flags, "seed", 42u64)?;
+    let copies: usize = flag_num(&flags, "copies", 64usize)?;
+    let second: u32 = flag_num(&flags, "second-level", 8u32)?;
+
+    let family = SketchFamily::builder()
+        .copies(copies)
+        .second_level(second)
+        .seed(seed)
+        .build();
+    let mut site = Site::new(id, family);
+    let metrics = Arc::new(TransportMetrics::new());
+    let opts = TransportOptions::builder().build().map_err(|e| e.to_string())?;
+    let mut collector = TcpCollector::new(addr, opts, Arc::clone(&metrics));
+
+    for round in 0..rounds {
+        for i in 0..events {
+            let x = (id as u64)
+                .wrapping_mul(0xA24B_AED4_963E_E407)
+                .wrapping_add((round * events + i) as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let stream = StreamId((x % 2) as u32);
+            let element = x >> 16 & 0xFFFF;
+            if i % 10 == 9 {
+                site.observe(&Update::delete(stream, element, 1));
+            } else {
+                site.observe(&Update::insert(stream, element, 1));
+            }
+        }
+        let report = collector
+            .collect(&mut site)
+            .map_err(|e| format!("round {round}: {e}"))?;
+        println!(
+            "round {round}: epoch {} shipped ({} resyncs so far, {} retransmits)",
+            report.epoch,
+            report.resyncs,
+            metrics.retransmits.get()
+        );
+    }
+    println!(
+        "site {id}: {rounds} epochs over {} connection(s), {} bytes out, {} acks in",
+        metrics.connects.get(),
+        metrics.bytes_out.get(),
+        metrics.frames_in.get()
+    );
+    Ok(())
 }
 
 fn resolve_addr(flags: &BTreeMap<&str, &str>) -> Result<std::net::SocketAddr, String> {

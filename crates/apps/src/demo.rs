@@ -13,7 +13,7 @@ use setstream_core::SketchFamily;
 use setstream_distributed::network::{
     collect_epoch, CollectionOptions, FaultSpec, LossyLink,
 };
-use setstream_distributed::{CollectionMetrics, Coordinator, Site};
+use setstream_distributed::{CollectionMetrics, Coordinator, Site, TransportMetrics};
 use setstream_engine::{ExprReport, QualityConfig, QualityMonitor, QueryId, StreamEngine};
 use setstream_obs::{chrome, export, Registry, RingRecorder, TraceHandle};
 use setstream_stream::{StreamId, Update};
@@ -75,10 +75,12 @@ pub struct RoundSummary {
 /// recorder.
 pub struct DemoStack {
     config: DemoConfig,
+    family: SketchFamily,
     engine: StreamEngine,
     monitor: Arc<QualityMonitor>,
     coordinator: Arc<Coordinator>,
     collection: Arc<CollectionMetrics>,
+    transport: Arc<TransportMetrics>,
     sites: Vec<Site>,
     links: Vec<LossyLink>,
     opts: CollectionOptions,
@@ -119,6 +121,7 @@ impl DemoStack {
 
         let coordinator = Arc::new(Coordinator::new(family));
         let collection = Arc::new(CollectionMetrics::new());
+        let transport = Arc::new(TransportMetrics::new());
         let sites: Vec<Site> = (0..config.sites)
             .map(|i| Site::new(i as u32, family))
             .collect();
@@ -137,14 +140,17 @@ impl DemoStack {
         registry.register(monitor.clone());
         registry.register(coordinator.clone());
         registry.register(collection.clone());
+        registry.register(transport.clone());
         registry.register(recorder.clone());
 
         Ok(DemoStack {
             config,
+            family,
             engine,
             monitor,
             coordinator,
             collection,
+            transport,
             sites,
             links,
             opts: CollectionOptions::default(),
@@ -230,6 +236,20 @@ impl DemoStack {
     /// The coordinator (merged state, health, queries).
     pub fn coordinator(&self) -> &Arc<Coordinator> {
         &self.coordinator
+    }
+
+    /// The TCP transport counters (shared with any
+    /// [`setstream_distributed::transport`] servers the caller spawns on
+    /// this stack, so remote-site traffic lands in the same `/metrics`).
+    pub fn transport_metrics(&self) -> &Arc<TransportMetrics> {
+        &self.transport
+    }
+
+    /// The sketch family the whole stack shares. Remote sites must build
+    /// the identical family (same copies/second-level/seed) or the
+    /// coordinator will refuse their frames as a coin mismatch.
+    pub fn family(&self) -> SketchFamily {
+        self.family
     }
 
     /// The span recorder feeding `/trace`.

@@ -537,6 +537,13 @@ impl Coordinator {
             FrameKind::Flush => {
                 self.state.lock().frames += 1;
             }
+            FrameKind::Ack => {
+                // Acks are transport control traffic flowing *toward*
+                // sites; one arriving at the merge path means a confused
+                // or hostile peer. Refuse it as a wire-level violation so
+                // repeated offenders hit the quarantine counter.
+                return Err(CoordinatorError::Wire(WireError::BadKind(6)));
+            }
         }
         Ok(())
     }
@@ -594,6 +601,21 @@ impl Coordinator {
     /// Collection-wide health counters.
     pub fn health(&self) -> CollectionHealth {
         self.state.lock().health()
+    }
+
+    /// Force a site into quarantine without waiting for wire failures to
+    /// accumulate. The transport layer uses this when a peer wedges (e.g.
+    /// a slow consumer overflowing its send window): rather than letting
+    /// queues grow, the server drops the connection and quarantines the
+    /// site so siblings keep collecting. [`Coordinator::release_quarantine`]
+    /// lifts it once the peer behaves again.
+    pub fn quarantine(&self, site: SiteId) {
+        let mut st = self.state.lock();
+        let entry = st.sites.entry(site).or_default();
+        if !entry.quarantined {
+            self.metrics.quarantines.inc();
+        }
+        entry.quarantined = true;
     }
 
     /// Lift a site's quarantine and reset its failure counter (after the

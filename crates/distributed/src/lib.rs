@@ -29,8 +29,15 @@
 //! * [`network`] — a fault-injecting link plus the collection drivers
 //!   ([`network::deliver_reliably`], [`network::collect_epoch`]);
 //! * [`metrics`] — always-on frame/rejection/collection counters
-//!   ([`metrics::CoordinatorMetrics`], [`metrics::CollectionMetrics`]),
-//!   exported through [`setstream_obs`].
+//!   ([`metrics::CoordinatorMetrics`], [`metrics::CollectionMetrics`],
+//!   [`metrics::TransportMetrics`]), exported through [`setstream_obs`];
+//! * [`transport`] — real networked collection: a dependency-light
+//!   nonblocking TCP layer speaking SSWL frames, with credit-based flow
+//!   control, honest per-epoch acks, bounded buffers everywhere, and a
+//!   fault-injecting [`transport::FaultyListener`] proxy;
+//! * [`relay`] — intermediate aggregation: a relay merges its children's
+//!   delta frames (sketch linearity) and ships one compact delta per
+//!   (stream, epoch) upstream.
 //!
 //! # Example: continuous collection
 //!
@@ -71,9 +78,15 @@ pub mod coordinator;
 pub mod metrics;
 pub mod network;
 pub mod persist;
+pub mod relay;
 pub mod site;
+pub mod transport;
 pub mod wire;
 
 pub use coordinator::Coordinator;
-pub use metrics::{CollectionMetrics, CoordinatorMetrics};
+pub use metrics::{CollectionMetrics, CoordinatorMetrics, TransportMetrics};
+pub use relay::{Relay, RelayNode};
 pub use site::Site;
+pub use transport::{
+    CoordinatorServer, FaultyListener, ServerRole, TcpCollector, TransportOptions,
+};

@@ -25,12 +25,13 @@ use crate::wire::FrameKind;
 use setstream_obs::{Counter, MetricSource, Sample};
 
 /// Frame kinds in export order.
-const KINDS: [FrameKind; 5] = [
+const KINDS: [FrameKind; 6] = [
     FrameKind::Hello,
     FrameKind::Synopsis,
     FrameKind::Delta,
     FrameKind::Commit,
     FrameKind::Flush,
+    FrameKind::Ack,
 ];
 
 /// Snake-case label value for a frame kind.
@@ -41,6 +42,7 @@ pub(crate) fn kind_label(kind: FrameKind) -> &'static str {
         FrameKind::Delta => "delta",
         FrameKind::Commit => "commit",
         FrameKind::Flush => "flush",
+        FrameKind::Ack => "ack",
     }
 }
 
@@ -79,7 +81,7 @@ pub(crate) fn reason_index(reason: &str) -> usize {
 #[derive(Debug, Default)]
 pub struct CoordinatorMetrics {
     /// Frames accepted and applied, by kind (indexed like `KINDS`).
-    frames_by_kind: [Counter; 5],
+    frames_by_kind: [Counter; 6],
     /// Frames refused, by typed reason (indexed like `REASONS`).
     rejected_by_reason: [Counter; 7],
     /// Sites newly quarantined (transitions into quarantine, not refused
@@ -287,6 +289,128 @@ impl MetricSource for CollectionMetrics {
     }
 }
 
+/// Always-on counters for the real TCP transport
+/// ([`crate::transport`]): connection lifecycle, retry/backoff activity,
+/// frame and byte traffic in both directions, relay merges, and the
+/// backpressure safety valve.
+///
+/// One instance is shared by every [`crate::transport::FrameServer`],
+/// [`crate::transport::TcpCollector`] and [`crate::relay::RelayNode`]
+/// that was built from it; register it with a
+/// [`setstream_obs::Registry`] to export the `setstream_transport_*`
+/// families.
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    /// Successful TCP connects (client side).
+    pub connects: Counter,
+    /// Connect attempts that failed and were retried.
+    pub connect_retries: Counter,
+    /// Read/write/ack deadlines that expired.
+    pub timeouts: Counter,
+    /// Exponential-backoff sleeps taken between attempts.
+    pub backoff_sleeps: Counter,
+    /// Connections the server closed because the peer stopped draining
+    /// its responses (write-queue cap hit) — the no-unbounded-queues
+    /// contract in action.
+    pub backpressure_stalls: Counter,
+    /// Connections dropped for poisoned framing (bad magic/kind or an
+    /// oversize declared length mid-stream).
+    pub desyncs: Counter,
+    /// Epoch batches retransmitted after a timeout, reconnect, or
+    /// incomplete ack.
+    pub retransmits: Counter,
+    /// Child delta frames folded into a relay's merged state.
+    pub relay_merges: Counter,
+    /// Acknowledgement frames sent by servers.
+    pub acks_sent: Counter,
+    /// Frames received from peers (servers and clients).
+    pub frames_in: Counter,
+    /// Frames written to peers (servers and clients).
+    pub frames_out: Counter,
+    /// Bytes received from peers.
+    pub bytes_in: Counter,
+    /// Bytes written to peers.
+    pub bytes_out: Counter,
+}
+
+impl TransportMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MetricSource for TransportMetrics {
+    fn collect(&self, out: &mut Vec<Sample>) {
+        out.push(
+            Sample::counter("setstream_transport_connects_total", self.connects.get())
+                .with_help("Successful TCP connects to a collection server"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_transport_connect_retries_total",
+                self.connect_retries.get(),
+            )
+            .with_help("Failed connect attempts that were retried with backoff"),
+        );
+        out.push(
+            Sample::counter("setstream_transport_timeouts_total", self.timeouts.get())
+                .with_help("Read/write/ack deadlines that expired"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_transport_backoff_sleeps_total",
+                self.backoff_sleeps.get(),
+            )
+            .with_help("Exponential-backoff sleeps between delivery attempts"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_transport_backpressure_stalls_total",
+                self.backpressure_stalls.get(),
+            )
+            .with_help("Connections closed because the peer stopped draining responses"),
+        );
+        out.push(
+            Sample::counter("setstream_transport_desyncs_total", self.desyncs.get())
+                .with_help("Connections dropped for unrecoverable framing corruption"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_transport_retransmits_total",
+                self.retransmits.get(),
+            )
+            .with_help("Epoch batches retransmitted after timeout or incomplete ack"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_transport_relay_merges_total",
+                self.relay_merges.get(),
+            )
+            .with_help("Child delta frames folded into a relay's merged state"),
+        );
+        out.push(
+            Sample::counter("setstream_transport_acks_sent_total", self.acks_sent.get())
+                .with_help("Epoch acknowledgement frames sent by servers"),
+        );
+        for (dir, frames, bytes) in [
+            ("in", &self.frames_in, &self.bytes_in),
+            ("out", &self.frames_out, &self.bytes_out),
+        ] {
+            out.push(
+                Sample::counter("setstream_transport_frames_total", frames.get())
+                    .with_label("direction", dir)
+                    .with_help("Wire frames exchanged over TCP, by direction"),
+            );
+            out.push(
+                Sample::counter("setstream_transport_bytes_total", bytes.get())
+                    .with_label("direction", dir)
+                    .with_help("Bytes exchanged over TCP, by direction"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,5 +459,29 @@ mod tests {
         assert!(out
             .iter()
             .all(|s| s.name.starts_with("setstream_distributed_")));
+    }
+
+    #[test]
+    fn transport_samples_all_carry_help() {
+        let m = TransportMetrics::new();
+        m.connects.inc();
+        m.bytes_out.add(100);
+        let mut out = Vec::new();
+        m.collect(&mut out);
+        assert_eq!(out.len(), 13);
+        assert!(out.iter().all(|s| s.name.starts_with("setstream_transport_")));
+        // Every family's first sample documents itself, so the exposition
+        // conformance test (`helped` count) covers the transport plane.
+        for name in [
+            "setstream_transport_connects_total",
+            "setstream_transport_frames_total",
+            "setstream_transport_bytes_total",
+            "setstream_transport_backpressure_stalls_total",
+        ] {
+            assert!(
+                out.iter().any(|s| s.name == name && s.help.is_some()),
+                "{name} lacks HELP"
+            );
+        }
     }
 }

@@ -41,6 +41,25 @@ pub struct FaultSpec {
     pub duplicate: f64,
     /// Shuffle delivery order within a round.
     pub reorder: bool,
+    /// Probability a surviving frame loses its tail (cut at a random
+    /// point, at least one byte kept).
+    pub truncate: f64,
+    /// Probability a surviving frame is held back one delivery round.
+    pub delay: f64,
+    /// When nonzero, reordering shuffles within consecutive bursts of
+    /// this many frames instead of the whole round — models switch-queue
+    /// jitter rather than wholesale scrambling. Only meaningful with
+    /// `reorder` set.
+    pub reorder_burst: u32,
+    /// When nonzero, the link blacks out the first [`partition_for`]
+    /// frames of every `partition_every`-frame window (counted over
+    /// frames offered for transmission). Models a recurring partition.
+    ///
+    /// [`partition_for`]: FaultSpec::partition_for
+    pub partition_every: u64,
+    /// Length of each partition window, in frames. A value ≥
+    /// `partition_every` is a permanent blackout.
+    pub partition_for: u64,
 }
 
 /// A [`FaultSpec`] field that is not a probability.
@@ -72,17 +91,25 @@ impl FaultSpec {
             corrupt: 0.0,
             duplicate: 0.0,
             reorder: false,
+            truncate: 0.0,
+            delay: 0.0,
+            reorder_burst: 0,
+            partition_every: 0,
+            partition_for: 0,
         }
     }
 
     /// A nasty link: 30% drops, 10% corruption, 10% duplication,
-    /// reordering.
+    /// reordering, 5% truncation, 10% one-round delays.
     pub fn nasty() -> Self {
         FaultSpec {
             drop: 0.3,
             corrupt: 0.1,
             duplicate: 0.1,
             reorder: true,
+            truncate: 0.05,
+            delay: 0.1,
+            ..FaultSpec::reliable()
         }
     }
 
@@ -92,6 +119,8 @@ impl FaultSpec {
             ("drop", self.drop),
             ("corrupt", self.corrupt),
             ("duplicate", self.duplicate),
+            ("truncate", self.truncate),
+            ("delay", self.delay),
         ] {
             if !(0.0..=1.0).contains(&value) {
                 return Err(FaultSpecError { field, value });
@@ -101,18 +130,64 @@ impl FaultSpec {
     }
 }
 
+/// The fault seed for soak/acceptance tests: `SETSTREAM_FAULT_SEED` if
+/// set and parseable, else `default`. Pair with [`SeedEcho`] so a red run
+/// prints the seed it used and replays deterministically.
+pub fn fault_seed(default: u64) -> u64 {
+    match std::env::var("SETSTREAM_FAULT_SEED") {
+        Ok(v) => v.trim().parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// Drop guard that prints `SETSTREAM_FAULT_SEED=<seed>` to stderr when
+/// the owning thread is panicking — i.e. exactly when a seeded test goes
+/// red — so the failure can be replayed with
+/// `SETSTREAM_FAULT_SEED=<seed> cargo test ...`.
+#[derive(Debug)]
+pub struct SeedEcho {
+    seed: u64,
+}
+
+impl SeedEcho {
+    /// Guard the current scope with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeedEcho { seed }
+    }
+
+    /// The seed this guard will echo.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Drop for SeedEcho {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "test failed under fault seed — replay with SETSTREAM_FAULT_SEED={}",
+                self.seed
+            );
+        }
+    }
+}
+
 /// A seeded, fault-injecting unidirectional link.
 #[derive(Debug)]
 pub struct LossyLink {
     spec: FaultSpec,
     rng: StdRng,
     in_flight: Vec<Bytes>,
+    delayed: Vec<Bytes>,
+    sessions: u64,
     /// Total frames accepted for transmission.
     pub sent: u64,
-    /// Frames dropped by the link.
+    /// Frames dropped by the link (including partition blackouts).
     pub dropped: u64,
     /// Frames corrupted by the link.
     pub corrupted: u64,
+    /// Frames cut short by the link.
+    pub truncated: u64,
 }
 
 impl LossyLink {
@@ -123,19 +198,53 @@ impl LossyLink {
             spec,
             rng: StdRng::seed_from_u64(seed),
             in_flight: Vec::new(),
+            delayed: Vec::new(),
+            sessions: 0,
             sent: 0,
             dropped: 0,
             corrupted: 0,
+            truncated: 0,
         })
     }
 
+    /// Start a new delivery session over this link and return its id.
+    ///
+    /// Delayed frames can surface rounds — or whole collections — after
+    /// they were sent; a session id lets the driver recognise and discard
+    /// traffic from an earlier conversation instead of mistaking an old
+    /// frame for one of the current batch.
+    pub fn next_session(&mut self) -> u32 {
+        self.sessions += 1;
+        self.sessions as u32
+    }
+
     /// Offer a frame for transmission.
+    ///
+    /// Extra fault draws (`truncate`, `delay`) only consume RNG state
+    /// when their probability is nonzero, so seeded schedules for the
+    /// original drop/corrupt/duplicate specs are unchanged.
     pub fn send(&mut self, frame: Bytes) {
         self.sent += 1;
+        if self.spec.partition_every > 0
+            && (self.sent - 1) % self.spec.partition_every < self.spec.partition_for
+        {
+            self.dropped += 1;
+            return;
+        }
         if self.rng.gen_bool(self.spec.drop) {
             self.dropped += 1;
             return;
         }
+        let frame = if self.spec.truncate > 0.0 && self.rng.gen_bool(self.spec.truncate) {
+            self.truncated += 1;
+            let mut bytes = frame.to_vec();
+            if bytes.len() > 1 {
+                bytes.truncate(self.rng.gen_range(1..bytes.len()));
+            }
+            Bytes::from(bytes)
+        } else {
+            frame
+        };
         let frame = if self.rng.gen_bool(self.spec.corrupt) {
             self.corrupted += 1;
             let mut bytes = frame.to_vec();
@@ -151,19 +260,37 @@ impl LossyLink {
         if self.rng.gen_bool(self.spec.duplicate) {
             self.in_flight.push(frame.clone());
         }
-        self.in_flight.push(frame);
+        if self.spec.delay > 0.0 && self.rng.gen_bool(self.spec.delay) {
+            self.delayed.push(frame);
+        } else {
+            self.in_flight.push(frame);
+        }
     }
 
-    /// Drain everything currently in flight (one delivery round).
+    /// Drain everything currently in flight (one delivery round). Frames
+    /// the `delay` fault held back join the *next* round's traffic.
     pub fn drain(&mut self) -> Vec<Bytes> {
         if self.spec.reorder {
-            // Fisher–Yates with the link's own RNG.
-            for i in (1..self.in_flight.len()).rev() {
-                let j = self.rng.gen_range(0..=i);
-                self.in_flight.swap(i, j);
+            if self.spec.reorder_burst > 1 {
+                // Shuffle within consecutive bursts only.
+                let burst = self.spec.reorder_burst as usize;
+                for chunk in self.in_flight.chunks_mut(burst) {
+                    for i in (1..chunk.len()).rev() {
+                        let j = self.rng.gen_range(0..=i);
+                        chunk.swap(i, j);
+                    }
+                }
+            } else {
+                // Fisher–Yates with the link's own RNG.
+                for i in (1..self.in_flight.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    self.in_flight.swap(i, j);
+                }
             }
         }
-        std::mem::take(&mut self.in_flight)
+        let out = std::mem::take(&mut self.in_flight);
+        self.in_flight = std::mem::take(&mut self.delayed);
+        out
     }
 }
 
@@ -207,20 +334,20 @@ impl fmt::Display for DeliveryError {
 impl std::error::Error for DeliveryError {}
 
 /// Envelope: `id:u64 | frame bytes`.
-fn envelope(id: u64, frame: &Bytes) -> Bytes {
+fn envelope(session: u32, id: u32, frame: &Bytes) -> Bytes {
     let mut buf = BytesMut::with_capacity(8 + frame.len());
-    buf.put_u64_le(id);
+    buf.put_u64_le(u64::from(session) << 32 | u64::from(id));
     buf.put_slice(frame);
     buf.freeze()
 }
 
-fn open_envelope(mut bytes: Bytes) -> Option<(u64, Bytes)> {
+fn open_envelope(mut bytes: Bytes) -> Option<(u32, u32, Bytes)> {
     use bytes::Buf;
     if bytes.len() < 8 {
         return None;
     }
-    let id = bytes.get_u64_le();
-    Some((id, bytes))
+    let tag = bytes.get_u64_le();
+    Some(((tag >> 32) as u32, tag as u32, bytes))
 }
 
 /// Ship `frames` to `coordinator` across `link`, retransmitting until all
@@ -234,22 +361,30 @@ pub fn deliver_reliably(
     max_rounds: u32,
 ) -> Result<DeliveryReport, DeliveryError> {
     let mut acked: Vec<bool> = vec![false; frames.len()];
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: HashSet<u32> = HashSet::new();
     let mut transmissions = 0u64;
+    // A fresh session id per call: a frame the link *delayed* past the
+    // end of this call would otherwise surface during the next one and
+    // be mistaken for a member of that batch (an old Commit would ingest
+    // cleanly and falsely ack a new frame that was never delivered).
+    let session = link.next_session();
     for round in 1..=max_rounds {
         // Send every unacked frame.
         for (i, frame) in frames.iter().enumerate() {
             // analyze: allow(indexing) — `acked` is sized to `frames.len()` and `i` comes from enumerate
             if !acked[i] {
-                link.send(envelope(i as u64, frame));
+                link.send(envelope(session, i as u32, frame));
                 transmissions += 1;
             }
         }
         // Deliver.
         for received in link.drain() {
-            let Some((id, frame)) = open_envelope(received) else {
+            let Some((got_session, id, frame)) = open_envelope(received) else {
                 continue; // truncated envelope
             };
+            if got_session != session {
+                continue; // straggler from an earlier conversation
+            }
             let Some(slot) = acked.get_mut(id as usize) else {
                 continue; // id corrupted out of range
             };
@@ -461,9 +596,12 @@ fn deliver_epoch_batch(
     transmissions: &mut u64,
 ) -> Result<(bool, u32), CollectionError> {
     let mut acked: Vec<bool> = vec![false; frames.len()];
-    let mut seen: HashSet<u64> = HashSet::new();
+    let mut seen: HashSet<u32> = HashSet::new();
     let mut resync_needed = false;
     let mut rounds_used = 0u32;
+    // Fresh session id: frames the link delayed past the end of an
+    // earlier batch must not be mistaken for members of this one.
+    let session = link.next_session();
     loop {
         let mut blocked = false;
         for round in 1..=opts.max_rounds {
@@ -471,7 +609,7 @@ fn deliver_epoch_batch(
             for (i, frame) in frames.iter().enumerate() {
                 // analyze: allow(indexing) — `acked` is sized to `frames.len()` and `i` comes from enumerate
                 if !acked[i] {
-                    link.send(envelope(i as u64, frame));
+                    link.send(envelope(session, i as u32, frame));
                     *transmissions += 1;
                 }
             }
@@ -479,9 +617,12 @@ fn deliver_epoch_batch(
                 if blocked {
                     continue; // discard the rest of the round's traffic
                 }
-                let Some((id, frame)) = open_envelope(received) else {
+                let Some((got_session, id, frame)) = open_envelope(received) else {
                     continue;
                 };
+                if got_session != session {
+                    continue; // straggler from an earlier conversation
+                }
                 let Some(slot) = acked.get_mut(id as usize) else {
                     continue;
                 };
@@ -758,6 +899,126 @@ mod tests {
                 coord.query(&expr).unwrap().estimate.value
             );
         }
+    }
+
+    #[test]
+    fn partition_window_blackholes_in_cycles() {
+        let mut link = LossyLink::new(
+            FaultSpec {
+                partition_every: 10,
+                partition_for: 4,
+                ..FaultSpec::reliable()
+            },
+            0,
+        )
+        .unwrap();
+        for _ in 0..30 {
+            link.send(Bytes::from_static(b"frame"));
+        }
+        // First 4 of every 10 frames vanish: 3 windows × 4 frames.
+        assert_eq!(link.dropped, 12);
+        assert_eq!(link.drain().len(), 18);
+    }
+
+    #[test]
+    fn permanent_partition_recovers_after_spec_swap() {
+        // partition_for >= partition_every is a total blackout; the soak
+        // harness lifts a partition by rebuilding the link, which the
+        // collection protocol must survive via retransmission.
+        let frames = site_frames();
+        let coord = Coordinator::new(family());
+        let mut dark = LossyLink::new(
+            FaultSpec {
+                partition_every: 1,
+                partition_for: 1,
+                ..FaultSpec::reliable()
+            },
+            0,
+        )
+        .unwrap();
+        assert!(deliver_reliably(&frames, &mut dark, &coord, 3).is_err());
+        let mut healed = LossyLink::new(FaultSpec::reliable(), 0).unwrap();
+        deliver_reliably(&frames, &mut healed, &coord, 3).unwrap();
+    }
+
+    #[test]
+    fn delayed_frames_arrive_next_round() {
+        let mut link = LossyLink::new(
+            FaultSpec {
+                delay: 1.0,
+                ..FaultSpec::reliable()
+            },
+            0,
+        )
+        .unwrap();
+        link.send(Bytes::from_static(b"late"));
+        assert!(link.drain().is_empty(), "delayed out of this round");
+        assert_eq!(link.drain().len(), 1, "and into the next");
+    }
+
+    #[test]
+    fn truncation_is_survivable_loss() {
+        let frames = site_frames();
+        let clean = Coordinator::new(family());
+        for f in &frames {
+            clean.ingest_frame(f).unwrap();
+        }
+        let coord = Coordinator::new(family());
+        let mut link = LossyLink::new(
+            FaultSpec {
+                truncate: 0.5,
+                ..FaultSpec::reliable()
+            },
+            13,
+        )
+        .unwrap();
+        let report = deliver_reliably(&frames, &mut link, &coord, 100).unwrap();
+        assert!(link.truncated > 0, "seed must exercise truncation");
+        assert_eq!(report.delivered, frames.len());
+        for stream in clean.streams() {
+            let expr = SetExpr::stream(stream.0);
+            assert_eq!(
+                clean.query(&expr).unwrap().estimate.value,
+                coord.query(&expr).unwrap().estimate.value
+            );
+        }
+    }
+
+    #[test]
+    fn reorder_burst_shuffles_within_bursts_only() {
+        let mut link = LossyLink::new(
+            FaultSpec {
+                reorder: true,
+                reorder_burst: 4,
+                ..FaultSpec::reliable()
+            },
+            3,
+        )
+        .unwrap();
+        for i in 0..16u8 {
+            link.send(Bytes::from(vec![i]));
+        }
+        for (burst, chunk) in link.drain().chunks(4).enumerate() {
+            for b in chunk {
+                let v = b[0] as usize;
+                assert!(
+                    v / 4 == burst,
+                    "frame {v} escaped burst {burst} — burst reorder must be local"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_seed_prefers_env_and_seed_echo_is_quiet_on_success() {
+        // No env override in the test environment → default wins. (Tests
+        // run in-process; we avoid mutating the process environment.)
+        if std::env::var("SETSTREAM_FAULT_SEED").is_err() {
+            assert_eq!(fault_seed(77), 77);
+        }
+        let echo = SeedEcho::new(42);
+        assert_eq!(echo.seed(), 42);
+        drop(echo); // not panicking → silent
     }
 
     #[test]

@@ -19,6 +19,19 @@ use std::fmt;
 /// Frame magic: "2LHS".
 const MAGIC: u32 = 0x324c_4853;
 
+/// Bytes of framing around a payload: magic + kind + len + crc.
+pub const FRAME_OVERHEAD: usize = 13;
+
+/// Hard cap on a frame's declared payload length.
+///
+/// Enforced *before* any buffer is sized from the header, so a hostile or
+/// bit-flipped length field can never make a receiver allocate unbounded
+/// memory — it is a typed [`WireError::Oversize`] instead. Generous for
+/// real synopses (a 16 MiB payload is orders of magnitude beyond any
+/// family this workspace mints) yet small enough that even a frame-per-
+/// connection abuser stays bounded.
+pub const MAX_PAYLOAD_LEN: usize = 16 << 20;
+
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
@@ -36,6 +49,10 @@ pub enum FrameKind {
     Delta,
     /// Epoch commit marker: every delta of the named epoch was emitted.
     Commit,
+    /// Transport acknowledgement: the receiver's verdict on one epoch
+    /// batch (see `transport::AckMessage`). Flows downstream only; the
+    /// coordinator's merge path never sees one.
+    Ack,
 }
 
 impl FrameKind {
@@ -46,6 +63,7 @@ impl FrameKind {
             FrameKind::Flush => 3,
             FrameKind::Delta => 4,
             FrameKind::Commit => 5,
+            FrameKind::Ack => 6,
         }
     }
 
@@ -56,6 +74,7 @@ impl FrameKind {
             3 => Ok(FrameKind::Flush),
             4 => Ok(FrameKind::Delta),
             5 => Ok(FrameKind::Commit),
+            6 => Ok(FrameKind::Ack),
             other => Err(WireError::BadKind(other)),
         }
     }
@@ -109,6 +128,9 @@ impl From<CodecError> for WireError {
 /// Encode `value` as a framed message of the given kind.
 pub fn encode_frame<T: Serialize>(kind: FrameKind, value: &T) -> Result<Bytes, WireError> {
     let payload = codec::to_bytes(value)?;
+    if payload.len() > MAX_PAYLOAD_LEN {
+        return Err(WireError::Oversize(payload.len()));
+    }
     let len: u32 = payload
         .len()
         .try_into()
@@ -137,6 +159,9 @@ pub fn decode_frame(mut frame: Bytes) -> Result<(FrameKind, Bytes), WireError> {
     }
     let kind = FrameKind::from_byte(frame.get_u8())?;
     let len = frame.get_u32_le() as usize;
+    if len > MAX_PAYLOAD_LEN {
+        return Err(WireError::Oversize(len));
+    }
     if frame.len() != len + 4 {
         return Err(WireError::Truncated);
     }
@@ -148,6 +173,38 @@ pub fn decode_frame(mut frame: Bytes) -> Result<(FrameKind, Bytes), WireError> {
         return Err(WireError::Corrupt { expected, actual });
     }
     Ok((kind, payload))
+}
+
+/// Peek at a (possibly partial) receive buffer and report the total size
+/// of the frame at its head, without allocating.
+///
+/// * `Ok(None)` — fewer than 9 header bytes buffered; read more.
+/// * `Ok(Some(n))` — the frame spans `n` bytes (header + payload + CRC);
+///   once `buf.len() >= n`, hand the first `n` bytes to [`decode_frame`].
+/// * `Err(_)` — the stream is poisoned at this position (wrong magic,
+///   unknown kind, or a declared payload beyond [`MAX_PAYLOAD_LEN`]);
+///   the connection cannot be resynchronized and must be dropped.
+///
+/// The length check runs *before* any buffer is grown from the header,
+/// which is what makes a bit-flipped or hostile length field a typed
+/// error instead of an unbounded allocation.
+pub fn frame_size_hint(buf: &[u8]) -> Result<Option<usize>, WireError> {
+    let Some(header) = buf.get(..9) else {
+        return Ok(None);
+    };
+    // analyze: allow(indexing) — `header` was just sliced to exactly 9 bytes
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    // analyze: allow(indexing) — `header` was just sliced to exactly 9 bytes
+    FrameKind::from_byte(header[4])?;
+    // analyze: allow(indexing) — `header` was just sliced to exactly 9 bytes
+    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    if len > MAX_PAYLOAD_LEN {
+        return Err(WireError::Oversize(len));
+    }
+    Ok(Some(len + FRAME_OVERHEAD))
 }
 
 /// Decode a frame's payload into `T` after CRC verification.
@@ -187,11 +244,55 @@ mod tests {
             FrameKind::Flush,
             FrameKind::Delta,
             FrameKind::Commit,
+            FrameKind::Ack,
         ] {
             let frame = encode_frame(kind, &1u8).unwrap();
             let (k, _payload) = decode_frame(frame).unwrap();
             assert_eq!(k, kind);
         }
+    }
+
+    #[test]
+    fn size_hint_tracks_partial_buffers() {
+        let frame = encode_frame(FrameKind::Delta, &vec![9u64; 40]).unwrap();
+        for cut in 0..9 {
+            assert_eq!(frame_size_hint(&frame[..cut]).unwrap(), None, "cut {cut}");
+        }
+        for cut in 9..=frame.len() {
+            assert_eq!(
+                frame_size_hint(&frame[..cut]).unwrap(),
+                Some(frame.len()),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_hint_rejects_poisoned_headers() {
+        let frame = encode_frame(FrameKind::Hello, &7u32).unwrap();
+        let mut bad_magic = frame.to_vec();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            frame_size_hint(&bad_magic),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut bad_kind = frame.to_vec();
+        bad_kind[4] = 0xee;
+        assert!(matches!(
+            frame_size_hint(&bad_kind),
+            Err(WireError::BadKind(0xee))
+        ));
+        // A hostile length field is refused before anything is allocated.
+        let mut huge = frame.to_vec();
+        huge[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            frame_size_hint(&huge),
+            Err(WireError::Oversize(_))
+        ));
+        assert!(matches!(
+            decode_frame(Bytes::from(huge)),
+            Err(WireError::Oversize(_))
+        ));
     }
 
     #[test]

@@ -127,14 +127,15 @@ proptest! {
         prop_assert!(cm.resyncs.get() >= 1, "crash must force a resync");
         let m = coord.metrics();
         prop_assert!(m.frames_total() > 0);
-        // A corrupted frame the link also duplicates is rejected twice,
-        // so the ceiling is two rejections per injected corruption.
-        let corrupted: u64 = links.iter().map(|l| l.corrupted).sum();
+        // A mangled frame the link also duplicates is rejected twice,
+        // so the ceiling is two rejections per injected corruption or
+        // truncation (both surface as typed wire errors).
+        let mangled: u64 = links.iter().map(|l| l.corrupted + l.truncated).sum();
         prop_assert!(
-            m.rejections_for("wire") <= 2 * corrupted,
-            "wire rejections {} exceed injected corruption {}",
+            m.rejections_for("wire") <= 2 * mangled,
+            "wire rejections {} exceed injected corruption+truncation {}",
             m.rejections_for("wire"),
-            corrupted
+            mangled
         );
         prop_assert_eq!(m.quarantines.get(), m.quarantine_releases.get());
 

@@ -1,0 +1,291 @@
+//! The fault-everywhere soak: 1000+ sites collected through a 2-level
+//! relay tree over real loopback TCP, with seeded socket-layer faults on
+//! every relay uplink (drops, duplication, delay, reordering, a
+//! truncating link, and a hard partition window), plus a mid-run site
+//! crash/restore — and the root's estimates must come out **bit-identical**
+//! to a centralized [`StreamEngine`] that saw every update.
+//!
+//! Topology (all loopback TCP):
+//!
+//! ```text
+//!   sites 1..=N ──► 8 leaf relays ──faulty proxies──► 2 mid relays ──► root
+//! ```
+//!
+//! Sites talk to their leaf relay over clean TCP (site-level socket
+//! faults are exercised by the transport unit tests); the aggregation
+//! uplinks — which carry *all* the traffic — each pass through a
+//! [`FaultyListener`]. Exactness survives because relays merge by sketch
+//! linearity and the epoch protocol never double-counts.
+//!
+//! Size is tunable: `NET_SOAK_SITES` (default 1000) scales the site
+//! count for bounded CI lanes; `SETSTREAM_FAULT_SEED` replays a failing
+//! schedule (the seed is echoed on failure).
+
+use setstream_core::{estimate, EstimatorOptions, SketchFamily};
+use setstream_distributed::coordinator::Coordinator;
+use setstream_distributed::metrics::TransportMetrics;
+use setstream_distributed::network::{fault_seed, FaultSpec, SeedEcho};
+use setstream_distributed::relay::RelayNode;
+use setstream_distributed::site::{Site, SiteId};
+use setstream_distributed::transport::{
+    CoordinatorServer, FaultyListener, ServerRole, TcpCollector, TransportOptions,
+};
+use setstream_engine::StreamEngine;
+use setstream_stream::{StreamId, Update};
+use std::sync::Arc;
+use std::time::Duration;
+
+const LEAVES: usize = 8;
+const MIDS: usize = 2;
+const ROUNDS: u64 = 3;
+const UPDATES_PER_ROUND: u64 = 12;
+/// The site that crashes after cutting (but before shipping) an epoch in
+/// round 1 and restores from its sealed checkpoint.
+const CRASH_SITE: SiteId = 3;
+
+fn soak_sites() -> u32 {
+    match std::env::var("NET_SOAK_SITES") {
+        Ok(v) => v.trim().parse().unwrap_or(1000).max(LEAVES as u32),
+        Err(_) => 1000,
+    }
+}
+
+fn family() -> SketchFamily {
+    // Small but real: enough structure to make merges non-trivial while
+    // keeping 1000 sites' synopses (and their wire deltas) compact.
+    SketchFamily::builder()
+        .copies(4)
+        .second_level(4)
+        .levels(16)
+        .seed(0x50a1)
+        .build()
+}
+
+fn opts() -> TransportOptions {
+    TransportOptions::builder()
+        .io_timeout(Duration::from_millis(400))
+        .backoff(Duration::from_millis(5))
+        .max_attempts(10)
+        .build()
+        .unwrap()
+}
+
+/// The deterministic per-(site, round) slice of the global update
+/// traffic. Pure arithmetic so the ground-truth engine can regenerate it
+/// without storing 36k updates. Every fifth update deletes the previous
+/// one, exercising signed counters end to end.
+fn workload(site: SiteId, round: u64) -> Vec<Update> {
+    let gen = |j: u64| {
+        let stream = StreamId(((site as u64 + j) % 2) as u32);
+        let element = (site as u64)
+            .wrapping_mul(7919)
+            .wrapping_add(round.wrapping_mul(104_729))
+            .wrapping_add(j.wrapping_mul(31))
+            % 40_000;
+        (stream, element)
+    };
+    (0..UPDATES_PER_ROUND)
+        .map(|j| {
+            if j % 5 == 4 {
+                let (stream, element) = gen(j - 1);
+                Update::delete(stream, element, 1)
+            } else {
+                let (stream, element) = gen(j);
+                Update::insert(stream, element, 1)
+            }
+        })
+        .collect()
+}
+
+/// Fault schedule for leaf relay `i`'s uplink. Leaf 0 gets a recurring
+/// hard partition (8 of every 40 frames blackholed — proxy-global, so
+/// reconnects can't dodge it); leaf 1 gets a truncating (connection
+/// killing) link; the rest get a general drop/duplicate/delay/reorder
+/// mix.
+fn uplink_spec(i: usize) -> FaultSpec {
+    let mut spec = FaultSpec {
+        drop: 0.08,
+        duplicate: 0.05,
+        delay: 0.08,
+        reorder: true,
+        reorder_burst: 3,
+        ..FaultSpec::reliable()
+    };
+    match i {
+        0 => {
+            spec.partition_every = 40;
+            spec.partition_for = 8;
+        }
+        1 => {
+            spec.truncate = 0.03;
+            spec.drop = 0.05;
+        }
+        _ => {}
+    }
+    spec
+}
+
+#[test]
+fn thousand_sites_two_level_relays_soak() {
+    let seed = fault_seed(0x5eed);
+    let _echo = SeedEcho::new(seed);
+    let sites = soak_sites();
+    let fam = family();
+    let opts = opts();
+    let metrics = Arc::new(TransportMetrics::new());
+
+    // Root coordinator.
+    let root = Arc::new(Coordinator::new(fam));
+    let mut root_server = CoordinatorServer::spawn(
+        "127.0.0.1:0",
+        Arc::clone(&root),
+        ServerRole::Coordinator,
+        opts,
+        Arc::clone(&metrics),
+    )
+    .unwrap();
+
+    // Two mid relays feeding the root over clean uplinks.
+    let mut mids: Vec<RelayNode> = (0..MIDS)
+        .map(|i| {
+            RelayNode::spawn(
+                "127.0.0.1:0",
+                root_server.addr(),
+                9001 + i as SiteId,
+                fam,
+                opts,
+                Arc::clone(&metrics),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // Eight leaf relays whose uplinks each pass through a seeded faulty
+    // proxy toward a mid relay.
+    let mut proxies: Vec<FaultyListener> = (0..LEAVES)
+        .map(|i| {
+            let mid = mids[i % MIDS].addr();
+            FaultyListener::spawn(mid, uplink_spec(i), seed.wrapping_add(i as u64 * 1000)).unwrap()
+        })
+        .collect();
+    let mut leaves: Vec<RelayNode> = (0..LEAVES)
+        .map(|i| {
+            RelayNode::spawn(
+                "127.0.0.1:0",
+                proxies[i].addr(),
+                8001 + i as SiteId,
+                fam,
+                opts,
+                Arc::clone(&metrics),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // Shard the sites across worker threads; worker w drives the sites
+    // homed on leaf relay w (site s → leaf s % LEAVES), each with a
+    // persistent TCP connection.
+    let mut shards: Vec<Vec<(Site, TcpCollector)>> = (0..LEAVES).map(|_| Vec::new()).collect();
+    for s in 1..=sites {
+        let leaf = (s as usize) % LEAVES;
+        let collector = TcpCollector::new(leaves[leaf].addr(), opts, Arc::clone(&metrics));
+        shards[leaf].push((Site::new(s, fam), collector));
+    }
+
+    for round in 0..ROUNDS {
+        crossbeam::thread::scope(|scope| {
+            for shard in shards.iter_mut() {
+                scope.spawn(move |_| {
+                    for (site, collector) in shard.iter_mut() {
+                        for u in workload(site.id(), round) {
+                            site.observe(&u);
+                        }
+                        if round == 1 && site.id() == CRASH_SITE {
+                            // Crash after cutting an epoch but before
+                            // shipping it: the frames die with the
+                            // process, the sealed checkpoint survives.
+                            let cut = site.cut_epoch().unwrap();
+                            *site = Site::restore_from_bytes(&cut.checkpoint).unwrap();
+                            assert!(site.recovering());
+                            let report = collector.collect(site).unwrap();
+                            assert!(
+                                report.resyncs >= 1,
+                                "restored site must resync over the wire"
+                            );
+                        } else {
+                            collector.collect(site).unwrap();
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+
+        // Cascade: leaves push merged deltas through their faulty
+        // uplinks, then mids push toward the root.
+        for leaf in leaves.iter_mut() {
+            leaf.flush_upstream().unwrap();
+        }
+        for mid in mids.iter_mut() {
+            mid.flush_upstream().unwrap();
+        }
+    }
+
+    // Ground truth: one centralized engine sees every update.
+    let mut engine = StreamEngine::new(fam);
+    for s in 1..=sites {
+        for round in 0..ROUNDS {
+            for u in workload(s, round) {
+                engine.process(&u);
+            }
+        }
+    }
+
+    // Cell-identical synopses at the root...
+    for stream in [StreamId(0), StreamId(1)] {
+        let merged = root.merged_synopsis(stream).unwrap();
+        let central = engine.synopsis(stream).unwrap();
+        for (m, c) in merged.sketches().iter().zip(central.sketches()) {
+            assert_eq!(m.counters(), c.counters(), "stream {stream:?}");
+        }
+    }
+
+    // ...and therefore bit-identical estimates for every expression.
+    let est_opts = EstimatorOptions::default();
+    for text in ["A & B", "A - B", "A | B", "B - A"] {
+        let expr = text.parse().unwrap();
+        let distributed = root.query(&expr).unwrap().estimate;
+        let central = estimate::expression(
+            &expr,
+            &[
+                (StreamId(0), engine.synopsis(StreamId(0)).unwrap()),
+                (StreamId(1), engine.synopsis(StreamId(1)).unwrap()),
+            ],
+            &est_opts,
+        )
+        .unwrap();
+        assert_eq!(distributed.value, central.value, "query {text}");
+        assert_eq!(
+            distributed.valid_observations, central.valid_observations,
+            "query {text}"
+        );
+    }
+
+    // The faults actually bit: leaf 0's partition guarantees at least
+    // one timed-out batch was retransmitted, and every site connected.
+    assert!(metrics.connects.get() >= u64::from(sites));
+    assert!(metrics.retransmits.get() >= 1, "partition never bit");
+    assert!(metrics.relay_merges.get() >= 1, "relays never merged");
+    assert!(metrics.acks_sent.get() > 0);
+
+    for leaf in leaves.drain(..) {
+        leaf.shutdown();
+    }
+    for proxy in proxies.iter_mut() {
+        proxy.shutdown();
+    }
+    for mid in mids.drain(..) {
+        mid.shutdown();
+    }
+    root_server.shutdown();
+}

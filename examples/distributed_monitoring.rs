@@ -1,16 +1,17 @@
-//! The distributed-streams model with stored coins: several monitoring
-//! sites summarize their local slice of the traffic, ship compact
-//! CRC-checked **delta frames** to a coordinator in periodic epochs, and
-//! the coordinator answers global set-expression queries — without any
-//! site ever seeing the whole stream, and without any failure
-//! double-counting an update.
+//! The distributed-streams model with stored coins, over **real TCP**:
+//! several monitoring sites summarize their local slice of the traffic
+//! and ship compact CRC-checked **delta frames** in periodic epochs to a
+//! coordinator server on the loopback interface. Every site's path runs
+//! through a fault-injecting proxy (drops, duplication, delays,
+//! reordering, truncation), and one site suffers a full network
+//! partition mid-run — its path simply disappears — then heals.
 //!
-//! The collection loop here is the continuous protocol: every round each
-//! site cuts an epoch, ships only what changed since its last cut across
-//! a deliberately nasty link (30% drops, 10% corruption, duplication,
-//! reordering), and persists a sealed write-ahead checkpoint. One site
-//! even crashes mid-run and restores from its checkpoint — the epoch
-//! watermarks at the coordinator absorb all of it.
+//! Watch the quality plane react: while the partitioned site falls
+//! behind, the coordinator's health counts drive the `stale_sites` alarm
+//! **up**; when the path heals, the epoch protocol detects the gap,
+//! demands a cumulative resync, repairs the site's contribution exactly,
+//! and the alarm **clears**. No failure double-counts an update: the
+//! final estimates are checked against an exact ground truth.
 //!
 //! Run with:
 //!
@@ -21,48 +22,95 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use setstream_core::SketchFamily;
-use setstream_distributed::network::{collect_epoch, CollectionOptions, FaultSpec, LossyLink};
-use setstream_distributed::{CollectionMetrics, Coordinator, Site};
-use setstream_obs::{export, Registry};
+use setstream_distributed::network::FaultSpec;
+use setstream_distributed::transport::{
+    CoordinatorServer, FaultyListener, ServerRole, TcpCollector, TransportOptions,
+};
+use setstream_distributed::{Coordinator, Site, TransportMetrics};
+use setstream_engine::{QualityConfig, QualityMonitor};
+use setstream_obs::{export, AlarmKind, Registry};
 use setstream_stream::{StreamId, StreamSet, Update};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Faults every frame must survive on its way to the coordinator.
+fn link_spec() -> FaultSpec {
+    FaultSpec {
+        drop: 0.1,
+        duplicate: 0.05,
+        delay: 0.1,
+        reorder: true,
+        reorder_burst: 2,
+        truncate: 0.02,
+        ..FaultSpec::reliable()
+    }
+}
 
 fn main() {
     // The stored coins: one master seed, agreed on out-of-band. Every
     // site derives identical hash functions from it, which is what makes
     // the synopses mergeable.
     let family = SketchFamily::builder()
-        .copies(256)
-        .second_level(16)
+        .copies(64)
+        .second_level(8)
         .seed(0xdeed)
         .build();
 
     let n_sites = 4u32;
     let n_rounds = 5;
-    let mut sites: Vec<Site> = (0..n_sites).map(|i| Site::new(i, family)).collect();
-    let mut links: Vec<LossyLink> = (0..n_sites)
-        .map(|i| LossyLink::new(FaultSpec::nasty(), 0x17 + i as u64).expect("valid spec"))
-        .collect();
+    let partition_round = 2; // site 3 unreachable for this round
+    let opts = TransportOptions::builder()
+        .connect_timeout(Duration::from_millis(300))
+        .io_timeout(Duration::from_millis(500))
+        .backoff(Duration::from_millis(20))
+        .max_attempts(6)
+        .build()
+        .expect("valid options");
+
     let coordinator = Arc::new(Coordinator::new(family));
-    let collection_metrics = Arc::new(CollectionMetrics::new());
+    let transport = Arc::new(TransportMetrics::new());
+    let monitor = QualityMonitor::new(QualityConfig::default()).expect("valid config");
     // One registry exports everything: the coordinator's frame verdicts
-    // and site gauges, plus the collection driver's totals.
+    // and site gauges, the TCP transport counters, and the alarms.
     let registry = Registry::new();
     registry.register(coordinator.clone());
-    registry.register(collection_metrics.clone());
-    let opts = CollectionOptions::default();
+    registry.register(transport.clone());
+    registry.register(monitor.alarms().clone());
+
+    let mut server = CoordinatorServer::spawn(
+        "127.0.0.1:0",
+        Arc::clone(&coordinator),
+        ServerRole::Coordinator,
+        opts,
+        Arc::clone(&transport),
+    )
+    .expect("coordinator server binds");
+
+    // Every site's frames cross a seeded faulty proxy on their way in.
+    let mut sites: Vec<Site> = (0..n_sites).map(|i| Site::new(i, family)).collect();
+    let mut proxies: Vec<FaultyListener> = (0..n_sites)
+        .map(|i| {
+            FaultyListener::spawn(server.addr(), link_spec(), 0x17 + i as u64)
+                .expect("proxy binds")
+        })
+        .collect();
+    let mut collectors: Vec<TcpCollector> = proxies
+        .iter()
+        .map(|p| TcpCollector::new(p.addr(), opts, Arc::clone(&transport)))
+        .collect();
+
     let mut ground_truth = StreamSet::new();
     let mut rng = StdRng::seed_from_u64(17);
-    let mut wal: Vec<Option<Vec<u8>>> = vec![None; n_sites as usize];
 
     // Two logical streams (A: login events, B: payment events), each
     // load-balanced across all sites; 20% of events are retracted.
     println!(
-        "{n_sites} sites, 2 logical streams, {n_rounds} collection rounds over a lossy link…\n"
+        "{n_sites} sites shipping epochs over loopback TCP through faulty proxies, \
+         {n_rounds} rounds…\n"
     );
     for round in 0..n_rounds {
         let mut retractions: Vec<(usize, Update)> = Vec::new();
-        for _ in 0..16_000 {
+        for _ in 0..8_000 {
             let stream = StreamId(rng.gen_range(0..2));
             let user = match stream.0 {
                 0 => rng.gen_range(0..30_000u64),
@@ -85,41 +133,76 @@ fn main() {
             ground_truth.apply(&retraction).expect("legal");
         }
 
-        // Mid-run crash: site 2 dies after its epoch cut was WAL'd but
-        // before the frames left the machine. Restoring from the sealed
-        // checkpoint loses nothing — the next collection resyncs.
-        if round == 2 {
-            let cut = sites[2].cut_epoch().expect("serializable");
-            println!("  ! site 2 crashed after WAL write; restoring from checkpoint…");
-            sites[2] = Site::restore_from_bytes(&cut.checkpoint).expect("checkpoint intact");
+        // The partition: site 3's network path vanishes — connects are
+        // refused, nothing gets through. Its proxy going away IS the
+        // fault; the site keeps observing traffic locally.
+        if round == partition_round {
+            proxies[3].shutdown();
+            println!("  ! site 3 partitioned from the coordinator");
         }
 
-        // Periodic collection: each site cuts an epoch and ships only the
-        // delta since its last acknowledged cut.
-        let mut round_tx = 0u64;
+        // Periodic collection: each site cuts an epoch and ships the
+        // delta since its last acknowledged cut over its TCP path.
         let mut resyncs = 0u32;
         for (i, site) in sites.iter_mut().enumerate() {
-            let report = collect_epoch(site, &mut links[i], &coordinator, &opts)
-                .expect("collection converges");
-            collection_metrics.record_report(&report);
-            round_tx += report.transmissions;
-            resyncs += report.resyncs;
-            wal[i] = Some(report.checkpoint);
+            match collectors[i].collect(site) {
+                Ok(report) => resyncs += report.resyncs,
+                Err(e) if i == 3 && round == partition_round => {
+                    println!("  ! collection from site 3 failed as expected: {e}");
+                }
+                Err(e) => panic!("collection from site {i} died: {e}"),
+            }
         }
+
+        if round == partition_round + 1 {
+            assert!(
+                resyncs >= 1,
+                "the healed site must resync its gapped epoch over the wire"
+            );
+        }
+
+        // Feed coordinator health into the quality plane; any lagging or
+        // quarantined site raises the `stale_sites` alarm.
         let health = coordinator.health();
-        println!(
-            "round {round}: epoch {} collected, {round_tx} transmissions, {resyncs} resyncs, \
-             {} sites healthy",
-            round + 1,
-            health.sites - health.quarantined,
+        monitor.note_collection_health(
+            health.sites,
+            health.quarantined,
+            health.lagging,
+            health.resync_pending,
         );
+        let stale = monitor.alarms().is_active(AlarmKind::StaleSites);
+        println!(
+            "round {round}: epoch {} collected, {} sites healthy, {resyncs} resyncs, \
+             stale_sites alarm {}",
+            round + 1,
+            health.sites - health.quarantined - health.lagging,
+            if stale { "ACTIVE" } else { "clear" },
+        );
+
+        if round == partition_round {
+            assert!(stale, "a partitioned site must raise stale_sites");
+            // The path heals: a fresh proxy to the same coordinator, and
+            // site 3 resumes collection through it. The epoch it cut
+            // during the outage never arrived — the coordinator will see
+            // the gap and demand a cumulative resync.
+            proxies[3] = FaultyListener::spawn(server.addr(), link_spec(), 0x9917)
+                .expect("healed proxy binds");
+            collectors[3] = TcpCollector::new(proxies[3].addr(), opts, Arc::clone(&transport));
+            println!("  ! site 3's path healed; next round resyncs the gap");
+        }
+        if round > partition_round {
+            assert!(!stale, "resync must clear stale_sites");
+        }
     }
 
-    let dropped: u64 = links.iter().map(|l| l.dropped).sum();
-    let corrupted: u64 = links.iter().map(|l| l.corrupted).sum();
     println!(
-        "\nlink damage absorbed: {dropped} frames dropped, {corrupted} corrupted \
-         (all retransmitted, none double-counted)\n"
+        "\ntransport totals: {} connects, {} retransmits, {} desyncs, \
+         {} relay merges, {:.1} MiB shipped",
+        transport.connects.get(),
+        transport.retransmits.get(),
+        transport.desyncs.get(),
+        transport.relay_merges.get(),
+        transport.bytes_out.get() as f64 / (1024.0 * 1024.0),
     );
 
     for text in ["A & B", "A - B", "A | B"] {
@@ -146,12 +229,17 @@ fn main() {
     }
 
     println!(
-        "\nNote: retractions were routed to random sites and frames crossed a \
-         faulty link — epoch watermarks plus cell linearity keep the merged \
-         synopsis identical to a single observer's."
+        "\nNote: every frame crossed a lossy TCP proxy and one site vanished \
+         for a whole round — epoch watermarks, cumulative resync, and cell \
+         linearity keep the merged synopsis identical to a single observer's."
     );
 
     // Everything above is also visible to machines: the registry renders
     // the run's counters and gauges in Prometheus text format.
     println!("\n--- metrics export ---\n{}", export::render(&registry));
+
+    for proxy in proxies.iter_mut() {
+        proxy.shutdown();
+    }
+    server.shutdown();
 }

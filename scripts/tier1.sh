@@ -54,6 +54,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "==> quality-plane serve smoke (/metrics, /health, /trace)"
 scripts/serve_smoke.sh
 
+echo "==> networked collection smoke (serve --listen + remote site over TCP)"
+scripts/net_smoke.sh
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "==> ingest smoke bench (quick)"
     cargo run --release -q -p setstream-bench --bin ingest_bench -- \
