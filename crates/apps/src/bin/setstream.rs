@@ -7,6 +7,7 @@
 //! setstream plan     --epsilon E --delta D [--ratio R]
 //! setstream simplify "<expr>"
 //! setstream cells    "<expr>" --streams N
+//! setstream subscribe "SUBSCRIBE <expr> TOLERANCE <tol>" ... --trace <file> [--epochs N] [--copies N] [--second-level S] [--seed N]
 //! setstream stats    [--rounds N] [--sites N] [--events N] [--seed N] [--sample R]
 //! setstream serve    [--port P] [--listen HOST:PORT] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
 //! setstream site     --connect HOST:PORT [--id N] [--rounds N] [--events N] [--seed N] [--copies N] [--second-level S]
@@ -48,6 +49,7 @@ const USAGE: &str = "usage:
   setstream plan     --epsilon E --delta D [--ratio R]
   setstream simplify \"<expr>\"
   setstream cells    \"<expr>\" --streams N
+  setstream subscribe \"SUBSCRIBE <expr> TOLERANCE <tol>\" ... --trace <file> [--epochs N] [--copies N] [--second-level S] [--seed N]
   setstream stats    [--rounds N] [--sites N] [--events N] [--seed N] [--sample R]
   setstream serve    [--port P] [--listen HOST:PORT] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
   setstream site     --connect HOST:PORT [--id N] [--rounds N] [--events N] [--seed N] [--copies N] [--second-level S]
@@ -65,6 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "plan" => cmd_plan(&rest),
         "simplify" => cmd_simplify(&rest),
         "cells" => cmd_cells(&rest),
+        "subscribe" => cmd_subscribe(&rest),
         "stats" => cmd_stats(&rest),
         "serve" => cmd_serve(&rest),
         "site" => cmd_site(&rest),
@@ -697,6 +700,71 @@ fn cmd_top(rest: &[&String]) -> Result<(), String> {
         }
         std::thread::sleep(std::time::Duration::from_secs_f64(interval));
     }
+}
+
+/// Standing queries over a recorded trace: register each `SUBSCRIBE …
+/// TOLERANCE …` statement, replay the trace in `--epochs` slices, and
+/// print the notification log one epoch at a time — the CLI face of
+/// [`setstream_engine::StreamEngine::subscribe_sql`] /
+/// [`setstream_engine::StreamEngine::publish_epoch`].
+fn cmd_subscribe(rest: &[&String]) -> Result<(), String> {
+    use setstream_engine::StreamEngine;
+
+    let (positional, flags) = parse_flags(rest)?;
+    if positional.is_empty() {
+        return Err("subscribe takes at least one \"SUBSCRIBE <expr> TOLERANCE <tol>\" statement".into());
+    }
+    let updates = load_trace(&flags)?;
+    let epochs: usize = flag_num(&flags, "epochs", 10usize)?;
+    if epochs == 0 {
+        return Err("--epochs must be positive".into());
+    }
+    let copies = flag_num(&flags, "copies", 512usize)?;
+    let second = flag_num(&flags, "second-level", 16u32)?;
+    let seed = flag_num(&flags, "seed", 42u64)?;
+
+    let family = SketchFamily::builder()
+        .copies(copies)
+        .second_level(second)
+        .seed(seed)
+        .build();
+    let mut engine = StreamEngine::new(family);
+    for stmt in &positional {
+        let id = engine.subscribe_sql(stmt).map_err(|e| e.to_string())?;
+        let sub = engine
+            .subscription(id)
+            .ok_or("freshly registered subscription must exist")?;
+        println!("sub {id}: {} (tolerance {:?})", sub.expr(), sub.options().tolerance());
+    }
+    println!(
+        "{} subscription(s) share {} interned DAG node(s)",
+        positional.len(),
+        engine.interned_nodes()
+    );
+
+    let chunk = updates.len().div_ceil(epochs).max(1);
+    let mut notifications = 0usize;
+    for (epoch, slice) in updates.chunks(chunk).enumerate() {
+        engine.process_batch(slice);
+        for event in engine.publish_epoch() {
+            notifications += 1;
+            let old = event
+                .old
+                .map_or_else(|| "—".into(), |v| format!("{v:.1}"));
+            println!(
+                "epoch {epoch}: sub {} {} → {:.1} ({})",
+                event.sub_id, old, event.new, event.cause
+            );
+        }
+    }
+    let metrics = engine.subscription_metrics();
+    println!(
+        "{notifications} notification(s) over {} epoch(s); {} node evaluations, {} served from cache",
+        engine.subscription_epoch(),
+        metrics.nodes_evaluated.get(),
+        metrics.nodes_cached.get()
+    );
+    Ok(())
 }
 
 fn cmd_cells(rest: &[&String]) -> Result<(), String> {

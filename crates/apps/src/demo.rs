@@ -14,7 +14,10 @@ use setstream_distributed::network::{
     collect_epoch, CollectionOptions, FaultSpec, LossyLink,
 };
 use setstream_distributed::{CollectionMetrics, Coordinator, Site, TransportMetrics};
-use setstream_engine::{ExprReport, QualityConfig, QualityMonitor, QueryId, StreamEngine};
+use setstream_engine::{
+    ChangeEvent, ExprReport, QualityConfig, QualityMonitor, QueryId, StreamEngine,
+    SubscriptionOptions, Tolerance,
+};
 use setstream_obs::{chrome, export, Registry, RingRecorder, TraceHandle};
 use setstream_stream::{StreamId, Update};
 use std::sync::Arc;
@@ -68,6 +71,8 @@ pub struct RoundSummary {
     pub intersection_method: &'static str,
     /// Quality-monitor reports for the watched expressions.
     pub reports: Vec<ExprReport>,
+    /// Standing-query notifications published this round.
+    pub notifications: Vec<ChangeEvent>,
 }
 
 /// The instrumented demo deployment: engine + quality monitor + sites +
@@ -107,6 +112,20 @@ impl DemoStack {
         let union_q = engine.register_query("A | B").map_err(|e| e.to_string())?;
         let inter_q = engine.register_query("A & B").map_err(|e| e.to_string())?;
 
+        // Standing queries: notify when an estimate drifts more than 5%
+        // from the last notified value. The demo round publishes one
+        // subscription epoch per step, so `/metrics` shows the
+        // incremental-evaluation counters moving.
+        const DEMO_TOLERANCE: Tolerance = Tolerance::Relative(0.05);
+        let sub_options = SubscriptionOptions::builder()
+            .tolerance(DEMO_TOLERANCE)
+            .build()
+            .map_err(|e| e.to_string())?;
+        for text in ["A | B", "A & B", "A - B"] {
+            let query: setstream_engine::Query = text.parse().map_err(|e| format!("{e}"))?;
+            engine.subscribe(query, sub_options).map_err(|e| e.to_string())?;
+        }
+
         let monitor = Arc::new(
             QualityMonitor::new(QualityConfig {
                 sampling_rate: config.sampling_rate,
@@ -137,6 +156,7 @@ impl DemoStack {
 
         let registry = Registry::new();
         registry.register(engine.metrics().clone());
+        registry.register(engine.subscription_metrics().clone());
         registry.register(monitor.clone());
         registry.register(coordinator.clone());
         registry.register(collection.clone());
@@ -197,6 +217,11 @@ impl DemoStack {
             .map_err(|e| format!("collection from site {i}: {e}"))?;
             self.collection.record_report(&report);
         }
+        // The coordinator's delta frames say which streams the sites
+        // touched this round; feed that into the engine's dirty set so
+        // the subscription epoch re-estimates only tainted DAG nodes.
+        self.engine.note_dirty(self.coordinator.drain_dirty_streams());
+        let notifications = self.engine.publish_epoch();
         let reports = self.monitor.evaluate(&self.engine);
         let health = self.coordinator.health();
         self.monitor.note_collection_health(
@@ -214,6 +239,7 @@ impl DemoStack {
             intersection_estimate: inter.value,
             intersection_method: inter.method.as_str(),
             reports,
+            notifications,
         })
     }
 
@@ -522,10 +548,19 @@ mod tests {
         assert!(summary.union_estimate >= 0.0);
         assert_eq!(summary.reports.len(), 2);
 
+        // First epoch: every subscription notifies its initial value.
+        assert_eq!(summary.notifications.len(), 3);
+        assert!(summary
+            .notifications
+            .iter()
+            .all(|n| n.cause == setstream_engine::ChangeCause::Initial));
+
         let metrics = stack.render_metrics();
         assert!(metrics.contains("setstream_engine_ingest_updates_total 600"));
         assert!(metrics.contains("setstream_quality_eval_rounds_total 1"));
         assert!(metrics.contains("setstream_alarm_active"));
+        assert!(metrics.contains("setstream_engine_subs_registered 3"));
+        assert!(metrics.contains("setstream_engine_subs_rounds_total 1"));
         // The one render path is also a valid exposition.
         setstream_obs::export::parse_exposition(&metrics).expect("exposition parses");
 

@@ -5,7 +5,7 @@
 //! buckets and checking union-singletons; evaluating `B(E)` for each
 //! expression on an already-certified bucket is nearly free. A monitoring
 //! deployment with dozens of registered queries over the same streams
-//! (the engine's `estimate_all`) therefore batches them: certify each
+//! (the engine's `evaluate_all`) therefore batches them: certify each
 //! bucket once, then score every expression against the bucket's
 //! occupancy pattern.
 //!

@@ -1,0 +1,216 @@
+//! Per-node estimate caching with dirty bits, for incremental
+//! re-evaluation of interned expression DAGs.
+//!
+//! The subscription layer interns every registered expression into a
+//! shared DAG (see `setstream-expr`'s `intern` module) and keeps one
+//! [`Estimate`] slot per DAG node here. Each epoch, only the nodes
+//! reachable from a *changed* atomic stream are tainted; clean nodes serve
+//! their cached estimate without touching the synopses at all. The cache
+//! is deliberately index-based (`usize` slots) so it stays agnostic of the
+//! DAG representation — callers translate their node ids to dense indices.
+
+use crate::estimate::Estimate;
+
+/// One cache slot: the last stored estimate (if any) and whether it is
+/// still trusted.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    estimate: Option<Estimate>,
+    dirty: bool,
+}
+
+/// A dense estimate cache, one slot per interned DAG node.
+///
+/// Slots start *dirty* (nothing trustworthy cached); [`EvalCache::store`]
+/// cleans a slot, [`EvalCache::taint`] re-dirties it. [`EvalCache::get`]
+/// only ever returns clean values, counting hits and misses so the
+/// observability plane can report cache effectiveness.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    slots: Vec<Slot>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of slots tracked.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no slots are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Grow the cache to at least `n` slots; new slots start dirty.
+    pub fn ensure(&mut self, n: usize) {
+        if n > self.slots.len() {
+            self.slots.resize(
+                n,
+                Slot {
+                    estimate: None,
+                    dirty: true,
+                },
+            );
+        }
+    }
+
+    /// Mark a slot dirty. Counts an invalidation when a previously clean
+    /// estimate is discarded. Out-of-range indices grow the cache.
+    pub fn taint(&mut self, index: usize) {
+        self.ensure(index + 1);
+        // analyze: allow(indexing) — `ensure` just grew the cache past `index`.
+        let slot = &mut self.slots[index];
+        if !slot.dirty && slot.estimate.is_some() {
+            self.invalidations += 1;
+        }
+        slot.dirty = true;
+    }
+
+    /// The cached estimate for a slot, **only** if it is clean. Counts a
+    /// hit or miss either way.
+    pub fn get(&mut self, index: usize) -> Option<Estimate> {
+        let found = self
+            .slots
+            .get(index)
+            .filter(|s| !s.dirty)
+            .and_then(|s| s.estimate);
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Peek at a slot without touching the hit/miss counters (clean slots
+    /// only, like [`EvalCache::get`]).
+    pub fn peek(&self, index: usize) -> Option<Estimate> {
+        self.slots
+            .get(index)
+            .filter(|s| !s.dirty)
+            .and_then(|s| s.estimate)
+    }
+
+    /// `true` if the slot exists and is marked dirty.
+    pub fn is_dirty(&self, index: usize) -> bool {
+        self.slots.get(index).map_or(true, |s| s.dirty)
+    }
+
+    /// Store a freshly computed estimate, cleaning the slot.
+    pub fn store(&mut self, index: usize, estimate: Estimate) {
+        self.ensure(index + 1);
+        // analyze: allow(indexing) — `ensure` just grew the cache past `index`.
+        self.slots[index] = Slot {
+            estimate: Some(estimate),
+            dirty: false,
+        };
+    }
+
+    /// Mark every slot dirty (e.g. after a full refresh is requested or
+    /// the synopses were restored from a snapshot).
+    pub fn taint_all(&mut self) {
+        for slot in &mut self.slots {
+            if !slot.dirty && slot.estimate.is_some() {
+                self.invalidations += 1;
+            }
+            slot.dirty = true;
+        }
+    }
+
+    /// Clean-slot reads served since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Reads that found no clean estimate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Previously clean estimates that were discarded by tainting.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::EstimateMethod;
+
+    fn est(value: f64) -> Estimate {
+        Estimate {
+            value,
+            method: EstimateMethod::Witness,
+            union_estimate: value * 2.0,
+            valid_observations: 10,
+            witness_hits: 5,
+            copies: 16,
+        }
+    }
+
+    #[test]
+    fn new_slots_start_dirty() {
+        let mut c = EvalCache::new();
+        c.ensure(3);
+        assert_eq!(c.len(), 3);
+        assert!(c.is_dirty(0) && c.is_dirty(2));
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn store_then_get_round_trips() {
+        let mut c = EvalCache::new();
+        c.store(4, est(123.0));
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_dirty(4));
+        assert_eq!(c.get(4).map(|e| e.value), Some(123.0));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.peek(4).map(|e| e.value), Some(123.0));
+    }
+
+    #[test]
+    fn taint_hides_the_stale_value() {
+        let mut c = EvalCache::new();
+        c.store(0, est(7.0));
+        c.taint(0);
+        assert_eq!(c.get(0), None);
+        assert_eq!(c.invalidations(), 1);
+        // Re-tainting an already dirty slot is not a second invalidation.
+        c.taint(0);
+        assert_eq!(c.invalidations(), 1);
+        // Storing again cleans it.
+        c.store(0, est(8.0));
+        assert_eq!(c.get(0).map(|e| e.value), Some(8.0));
+    }
+
+    #[test]
+    fn taint_all_sweeps_every_clean_slot() {
+        let mut c = EvalCache::new();
+        c.store(0, est(1.0));
+        c.store(1, est(2.0));
+        c.ensure(4);
+        c.taint_all();
+        assert_eq!(c.invalidations(), 2);
+        assert!((0..4).all(|i| c.is_dirty(i)));
+    }
+
+    #[test]
+    fn out_of_range_reads_are_misses() {
+        let mut c = EvalCache::new();
+        assert!(c.is_empty());
+        assert_eq!(c.get(9), None);
+        assert!(c.is_dirty(9));
+        assert_eq!(c.peek(9), None);
+        assert_eq!(c.misses(), 1);
+    }
+}

@@ -56,12 +56,14 @@ pub mod config;
 pub mod error;
 pub mod estimate;
 pub mod family;
+pub mod incremental;
 pub mod plan;
 pub mod sketch;
 pub mod window;
 
 pub use config::SketchConfig;
 pub use error::EstimateError;
+pub use incremental::EvalCache;
 pub use estimate::{
     Estimate, EstimateMethod, EstimatorOptions, UnionMode, WitnessMode, WitnessSummary,
 };

@@ -48,7 +48,7 @@ use setstream_core::{
 use setstream_expr::SetExpr;
 use setstream_obs::{MetricSource, Sample};
 use setstream_stream::StreamId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -259,6 +259,9 @@ struct State {
     sites: BTreeMap<SiteId, SiteState>,
     /// Frames ingested (diagnostics).
     frames: u64,
+    /// Streams whose merged synopsis changed since the last drain —
+    /// the delta-frame feed for an engine's subscription dirty set.
+    dirty: BTreeSet<StreamId>,
 }
 
 impl State {
@@ -482,6 +485,7 @@ impl Coordinator {
                     self.metrics.resyncs_healed.inc();
                 }
                 entry.needs_resync = false;
+                st.dirty.insert(msg.stream);
             }
             FrameKind::Delta => {
                 let msg: DeltaMessage = codec::from_bytes(payload).map_err(WireError::from)?;
@@ -523,6 +527,7 @@ impl Coordinator {
                     }
                 }
                 entry.watermarks.insert(msg.stream, msg.epoch);
+                st.dirty.insert(msg.stream);
             }
             FrameKind::Commit => {
                 let msg: EpochCommit = codec::from_bytes(payload).map_err(WireError::from)?;
@@ -633,19 +638,13 @@ impl Coordinator {
         }
     }
 
-    /// Estimate `|E|` over the merged global synopses.
-    #[deprecated(since = "0.2.0", note = "use `query` (the estimate is `.estimate`)")]
-    pub fn estimate_expression(&self, expr: &SetExpr) -> Result<Estimate, CoordinatorError> {
-        Ok(self.query(expr)?.estimate)
-    }
-
-    /// Estimate `|E|` and annotate the answer.
-    #[deprecated(since = "0.2.0", note = "renamed to `query`")]
-    pub fn estimate_expression_annotated(
-        &self,
-        expr: &SetExpr,
-    ) -> Result<AnnotatedEstimate, CoordinatorError> {
-        self.query(expr)
+    /// Streams whose merged synopsis changed since the previous drain.
+    /// Pairs with `StreamEngine::note_dirty`: a relay that forwards
+    /// coordinator state into a local engine calls this once per round
+    /// so subscription epochs re-estimate only what the sites touched.
+    pub fn drain_dirty_streams(&self) -> Vec<StreamId> {
+        let mut st = self.state.lock();
+        std::mem::take(&mut st.dirty).into_iter().collect()
     }
 
     /// Answer `|E|` and annotate the answer with per-stream staleness
@@ -672,24 +671,6 @@ impl Coordinator {
             staleness,
             health: st.health(),
         })
-    }
-
-    /// Estimate the distinct-count union over a set of streams.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `query` with a union expression (the estimate is `.estimate`)"
-    )]
-    pub fn estimate_union(&self, streams: &[StreamId]) -> Result<Estimate, CoordinatorError> {
-        let st = self.state.lock();
-        let mut merged: Vec<SketchVector> = Vec::with_capacity(streams.len());
-        for id in streams {
-            merged.push(
-                st.merged_vector(*id)
-                    .ok_or(CoordinatorError::UnknownStream(*id))?,
-            );
-        }
-        let refs: Vec<&SketchVector> = merged.iter().collect();
-        Ok(estimate::union(&refs, &self.options)?)
     }
 }
 
@@ -862,6 +843,32 @@ mod tests {
             est, direct,
             "second snapshot must replace the first, not merge on top of it"
         );
+    }
+
+    #[test]
+    fn dirty_streams_drain_once_per_collection_round() {
+        let fam = family();
+        let mut site = Site::new(1, fam);
+        let coord = Coordinator::new(fam);
+        assert!(coord.drain_dirty_streams().is_empty());
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        site.observe(&Update::insert(StreamId(3), 2, 1));
+        for frame in site.cut_epoch().unwrap().frames {
+            coord.ingest_frame(&frame).unwrap();
+        }
+        assert_eq!(
+            coord.drain_dirty_streams(),
+            vec![StreamId(0), StreamId(3)]
+        );
+        // Drained: a second drain with no new frames reports nothing.
+        assert!(coord.drain_dirty_streams().is_empty());
+        // Epoch cuts ship deltas only for changed streams, so only the
+        // touched stream comes back dirty.
+        site.observe(&Update::insert(StreamId(3), 9, 1));
+        for frame in site.cut_epoch().unwrap().frames {
+            coord.ingest_frame(&frame).unwrap();
+        }
+        assert_eq!(coord.drain_dirty_streams(), vec![StreamId(3)]);
     }
 
     #[test]

@@ -3,15 +3,21 @@
 use crate::config::EngineConfig;
 use crate::metrics::EngineMetrics;
 use crate::query::{Query, QueryId, RegisteredQuery};
+use crate::subscribe::{
+    ChangeCause, ChangeEvent, Subscription, SubscriptionError, SubscriptionHub, SubscriptionId,
+    SubscriptionMetrics, SubscriptionOptions,
+};
 use crate::watch::{Comparison, Watch, WatchEvent, WatchId};
 use setstream_core::{
     estimate, Estimate, EstimateError, EstimatorOptions, IngestStats, SketchFamily, SketchVector,
 };
-use setstream_expr::{ParseError, SetExpr};
+use setstream_expr::intern::NodeId;
+use setstream_expr::{ParseError, SetExpr, SubscribeError};
 use setstream_hash::clock;
 use setstream_obs::TraceHandle;
+use setstream_stream::cdc::CdcEvent;
 use setstream_stream::{StreamId, Update};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -27,6 +33,12 @@ pub enum EngineError {
     UnknownQuery(QueryId),
     /// Unknown watch handle.
     UnknownWatch(WatchId),
+    /// Unknown subscription handle.
+    UnknownSubscription(SubscriptionId),
+    /// Invalid subscription or watch parameters.
+    Subscription(SubscriptionError),
+    /// A `SUBSCRIBE … TOLERANCE …` statement did not parse.
+    Subscribe(SubscribeError),
 }
 
 impl fmt::Display for EngineError {
@@ -36,6 +48,11 @@ impl fmt::Display for EngineError {
             EngineError::Estimate(e) => write!(f, "estimation error: {e}"),
             EngineError::UnknownQuery(q) => write!(f, "unknown query id {q}"),
             EngineError::UnknownWatch(w) => write!(f, "unknown watch id {w}"),
+            EngineError::UnknownSubscription(s) => {
+                write!(f, "unknown subscription id {s}")
+            }
+            EngineError::Subscription(e) => write!(f, "bad subscription: {e}"),
+            EngineError::Subscribe(e) => write!(f, "bad SUBSCRIBE statement: {e}"),
         }
     }
 }
@@ -54,6 +71,18 @@ impl From<EstimateError> for EngineError {
     }
 }
 
+impl From<SubscriptionError> for EngineError {
+    fn from(e: SubscriptionError) -> Self {
+        EngineError::Subscription(e)
+    }
+}
+
+impl From<SubscribeError> for EngineError {
+    fn from(e: SubscribeError) -> Self {
+        EngineError::Subscribe(e)
+    }
+}
+
 /// Operational counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -67,6 +96,8 @@ pub struct EngineStats {
     pub queries: usize,
     /// Registered watches.
     pub watches: usize,
+    /// Registered subscriptions.
+    pub subscriptions: usize,
     /// Synopsis memory in bytes (counters only).
     pub synopsis_bytes: usize,
 }
@@ -80,12 +111,32 @@ pub struct StreamEngine {
     empty: SketchVector,
     queries: BTreeMap<QueryId, RegisteredQuery>,
     watches: BTreeMap<WatchId, Watch>,
+    /// Hysteresis latch state per watch (`true` = currently reporting).
+    watch_latched: BTreeMap<WatchId, bool>,
+    subs: SubscriptionHub,
     next_query: u64,
     next_watch: u64,
     updates: u64,
     deletions: u64,
     metrics: Arc<EngineMetrics>,
     trace: TraceHandle,
+}
+
+/// Estimate an expression against the given synopses (streams the engine
+/// has never seen resolve to the shared empty synopsis). Free function so
+/// the subscription round can borrow the hub mutably alongside it.
+fn estimate_expr_over(
+    synopses: &BTreeMap<StreamId, SketchVector>,
+    empty: &SketchVector,
+    options: &EstimatorOptions,
+    expr: &SetExpr,
+) -> Result<Estimate, EngineError> {
+    let pairs: Vec<(StreamId, &SketchVector)> = expr
+        .streams()
+        .into_iter()
+        .map(|id| (id, synopses.get(&id).unwrap_or(empty)))
+        .collect();
+    Ok(estimate::expression(expr, &pairs, options)?)
 }
 
 impl StreamEngine {
@@ -99,6 +150,8 @@ impl StreamEngine {
             empty: family.new_vector(),
             queries: BTreeMap::new(),
             watches: BTreeMap::new(),
+            watch_latched: BTreeMap::new(),
+            subs: SubscriptionHub::new(),
             next_query: 1,
             next_watch: 1,
             updates: 0,
@@ -154,12 +207,29 @@ impl StreamEngine {
             .entry(update.stream)
             .or_insert_with(|| self.family.new_vector())
             .process(update);
+        self.subs.dirty.insert(update.stream);
         self.updates += 1;
         self.metrics.ingest_updates.inc();
         if update.is_deletion() {
             self.deletions += 1;
             self.metrics.ingest_deletions.inc();
         }
+    }
+
+    /// Ingest a CDC row event, decomposing row `UPDATE`s into
+    /// delete+insert pairs (the pg-stream U → D+I split) so OLTP change
+    /// feeds drive the synopses natively. See
+    /// [`setstream_stream::cdc`].
+    pub fn process_cdc(&mut self, event: &CdcEvent) {
+        for update in event.decompose() {
+            self.process(&update);
+        }
+    }
+
+    /// Ingest a batch of CDC row events via the batch update path.
+    pub fn process_cdc_batch<'a>(&mut self, events: impl IntoIterator<Item = &'a CdcEvent>) {
+        let updates: Vec<Update> = events.into_iter().flat_map(CdcEvent::decompose).collect();
+        self.process_batch(updates.iter());
     }
 
     /// Process a batch of updates.
@@ -181,6 +251,7 @@ impl StreamEngine {
         }
         let mut stats = IngestStats::default();
         for (stream, group) in groups {
+            self.subs.dirty.insert(stream);
             stats.absorb(
                 self.synopses
                     .entry(stream)
@@ -214,6 +285,7 @@ impl StreamEngine {
             .with_trace(self.trace.clone());
         let family = self.family;
         for (stream, group) in crate::ingest::group_by_stream(updates) {
+            self.subs.dirty.insert(stream);
             let synopsis = self
                 .synopses
                 .entry(stream)
@@ -353,75 +425,245 @@ impl StreamEngine {
         results.into_iter().collect()
     }
 
-    /// Deprecated alias of [`Self::evaluate`] for registered queries.
-    #[deprecated(since = "0.2.0", note = "use `evaluate(id)` — the unified Query/Estimate path")]
-    pub fn estimate(&self, id: QueryId) -> Result<Estimate, EngineError> {
-        self.evaluate(id)
-    }
-
-    /// Deprecated alias of [`Self::evaluate`] for ad-hoc expressions.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `evaluate(expr)` — the unified Query/Estimate path"
-    )]
-    pub fn estimate_expr(&self, expr: &SetExpr) -> Result<Estimate, EngineError> {
-        self.evaluate(expr)
-    }
-
-    /// Deprecated alias of [`Self::evaluate_all`].
-    #[deprecated(since = "0.2.0", note = "use `evaluate_all()`")]
-    pub fn estimate_all(&self) -> Vec<(QueryId, Result<Estimate, EngineError>)> {
-        self.evaluate_all()
-    }
-
-    fn estimate_cached(
-        &self,
-        q: &RegisteredQuery,
-        union_cache: &mut BTreeMap<Vec<StreamId>, f64>,
-    ) -> Result<Estimate, EngineError> {
-        let pairs = self.resolve(&q.simplified);
-        let vectors: Vec<&SketchVector> = pairs.iter().map(|&(_, v)| v).collect();
-        let u_hat = match union_cache.get(&q.streams) {
-            Some(&u) => u,
-            None => {
-                let u = estimate::union(&vectors, &self.options)?.value;
-                union_cache.insert(q.streams.clone(), u);
-                u
-            }
-        };
-        Ok(estimate::expression_with_union(
-            &q.simplified,
-            &pairs,
-            u_hat,
-            &self.options,
-        )?)
-    }
-
     fn estimate_expr_internal(&self, expr: &SetExpr) -> Result<Estimate, EngineError> {
-        let pairs = self.resolve(expr);
-        Ok(estimate::expression(expr, &pairs, &self.options)?)
+        estimate_expr_over(&self.synopses, &self.empty, &self.options, expr)
     }
 
-    /// Resolve the synopses an expression needs; streams that never
-    /// received an update resolve to the engine's shared empty synopsis.
-    fn resolve(&self, expr: &SetExpr) -> Vec<(StreamId, &SketchVector)> {
-        expr.streams()
-            .into_iter()
-            .map(|id| (id, self.synopses.get(&id).unwrap_or(&self.empty)))
-            .collect()
+    // ----------------------------------------------------- subscriptions
+
+    /// Register a standing query: the expression is simplified, interned
+    /// into the shared DAG (so equivalent subscriptions share one
+    /// evaluation per round) and evaluated incrementally from then on.
+    /// Notifications arrive from [`Self::publish_epoch`] whenever the
+    /// estimate leaves the subscriber's tolerance band.
+    ///
+    /// Accepts anything convertible into a [`Query`] — a registered
+    /// [`QueryId`] or an ad-hoc [`SetExpr`].
+    pub fn subscribe(
+        &mut self,
+        query: impl Into<Query>,
+        options: SubscriptionOptions,
+    ) -> Result<SubscriptionId, EngineError> {
+        let simplified = match query.into() {
+            Query::Registered(id) => self
+                .queries
+                .get(&id)
+                .ok_or(EngineError::UnknownQuery(id))?
+                .simplified
+                .clone(),
+            Query::Expr(expr) => setstream_expr::simplify(&expr),
+        };
+        Ok(self.subs.register(simplified, options))
+    }
+
+    /// Register a standing query from a
+    /// `SUBSCRIBE <expr> TOLERANCE <n>[%]` statement (see
+    /// [`setstream_expr::parse_subscribe`]).
+    pub fn subscribe_sql(&mut self, text: &str) -> Result<SubscriptionId, EngineError> {
+        let stmt = setstream_expr::parse_subscribe(text)?;
+        let options = SubscriptionOptions::builder()
+            .tolerance(stmt.tolerance.into())
+            .build()?;
+        self.subscribe(stmt.expr, options)
+    }
+
+    /// Remove a subscription. Its DAG node stays interned (other
+    /// subscribers may share it); orphaned nodes cost one cache slot.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), EngineError> {
+        self.subs
+            .remove(id)
+            .map(|_| ())
+            .ok_or(EngineError::UnknownSubscription(id))
+    }
+
+    /// Inspect a subscription.
+    pub fn subscription(&self, id: SubscriptionId) -> Option<&Subscription> {
+        self.subs.subs.get(&id)
+    }
+
+    /// All registered subscriptions.
+    pub fn subscriptions(&self) -> impl Iterator<Item = &Subscription> {
+        self.subs.subs.values()
+    }
+
+    /// The subscription layer's metrics. Register with a
+    /// [`setstream_obs::Registry`] to expose them through the exporter.
+    pub fn subscription_metrics(&self) -> &Arc<SubscriptionMetrics> {
+        &self.subs.metrics
+    }
+
+    /// Distinct interned DAG nodes backing subscriptions and watches.
+    pub fn interned_nodes(&self) -> usize {
+        self.subs.dag.len()
+    }
+
+    /// The number of epochs published so far.
+    pub fn subscription_epoch(&self) -> u64 {
+        self.subs.epoch
+    }
+
+    /// Mark streams as changed for the next epoch without routing updates
+    /// through this engine — the hook for externally-maintained synopses
+    /// (e.g. distributed delta frames merged by a coordinator).
+    pub fn note_dirty(&mut self, streams: impl IntoIterator<Item = StreamId>) {
+        self.subs.dirty.extend(streams);
+    }
+
+    /// Close the current epoch: dirty-propagate the changed streams up
+    /// the interned DAG, re-estimate only the tainted subscription roots
+    /// (clean roots serve their cached estimate), and return a
+    /// [`ChangeEvent`] for every subscription whose estimate moved outside
+    /// its tolerance band.
+    pub fn publish_epoch(&mut self) -> Vec<ChangeEvent> {
+        self.run_subscription_round(false)
+    }
+
+    /// Force a full re-evaluation of every subscription root, ignoring
+    /// the cache (the from-scratch baseline; also useful after restoring
+    /// synopses out-of-band). Notification semantics are identical to
+    /// [`Self::publish_epoch`], with [`ChangeCause::Full`].
+    pub fn refresh_subscriptions(&mut self) -> Vec<ChangeEvent> {
+        self.run_subscription_round(true)
+    }
+
+    /// Bring the estimate cache up to date for the given DAG roots:
+    /// drain the dirty-stream set, taint the affected nodes, re-estimate
+    /// dirty roots. Returns `(evaluated, served_from_cache)`.
+    fn sync_subscription_cache(&mut self, roots: &BTreeSet<NodeId>, full: bool) -> (u64, u64) {
+        let hub = &mut self.subs;
+        hub.cache.ensure(hub.dag.len());
+        let dirty: Vec<StreamId> = std::mem::take(&mut hub.dirty).into_iter().collect();
+        let tainted = hub.dag.taint(&dirty);
+        for id in &tainted {
+            hub.cache.taint(id.index());
+            hub.pending.insert(*id, ChangeCause::Delta);
+        }
+        if full {
+            hub.cache.taint_all();
+            for &root in roots {
+                hub.pending.insert(root, ChangeCause::Full);
+            }
+        }
+        let mut evaluated = 0u64;
+        let mut served = 0u64;
+        for &node in roots {
+            if hub.cache.is_dirty(node.index()) {
+                if let Ok(e) = estimate_expr_over(
+                    &self.synopses,
+                    &self.empty,
+                    &self.options,
+                    hub.dag.node(node).expr(),
+                ) {
+                    hub.cache.store(node.index(), e);
+                }
+                // On error the slot stays dirty; affected subscribers are
+                // skipped this round and retried next epoch.
+                evaluated += 1;
+            } else {
+                served += 1;
+            }
+        }
+        (evaluated, served)
+    }
+
+    fn run_subscription_round(&mut self, full: bool) -> Vec<ChangeEvent> {
+        let trace = self.trace.clone();
+        let mut span = trace.span("engine.publish_epoch");
+        let start = clock::now_ns();
+        let roots: BTreeSet<NodeId> = self.subs.subs.values().map(|s| s.node()).collect();
+        let (evaluated, served) = self.sync_subscription_cache(&roots, full);
+        let hub = &mut self.subs;
+        hub.epoch += 1;
+        let epoch = hub.epoch;
+        let mut events = Vec::new();
+        for sub in hub.subs.values_mut() {
+            let Some(est) = hub.cache.peek(sub.node.index()) else {
+                continue; // estimation failed; retried next epoch
+            };
+            let value = est.value;
+            match sub.last_notified {
+                None => {
+                    if sub.options.notify_initial {
+                        events.push(ChangeEvent {
+                            sub_id: sub.id,
+                            old: None,
+                            new: value,
+                            cause: ChangeCause::Initial,
+                            epoch,
+                        });
+                    }
+                    sub.last_notified = Some(value);
+                }
+                Some(last) => {
+                    if sub.options.tolerance.exceeded(last, value) {
+                        let cause = hub
+                            .pending
+                            .get(&sub.node)
+                            .copied()
+                            .unwrap_or(ChangeCause::Full);
+                        events.push(ChangeEvent {
+                            sub_id: sub.id,
+                            old: Some(last),
+                            new: value,
+                            cause,
+                            epoch,
+                        });
+                        sub.last_notified = Some(value);
+                    }
+                }
+            }
+        }
+        hub.pending.clear();
+        hub.metrics.rounds.inc();
+        hub.metrics.nodes_evaluated.add(evaluated);
+        hub.metrics.nodes_cached.add(served);
+        hub.metrics.notifications.add(events.len() as u64);
+        hub.metrics.dag_nodes.set(hub.dag.len() as i64);
+        let elapsed = clock::now_ns().saturating_sub(start);
+        if full {
+            hub.metrics.full_round_ns.observe(elapsed);
+        } else {
+            hub.metrics.incremental_round_ns.observe(elapsed);
+        }
+        if span.is_recording() {
+            span.detail(format!(
+                "epoch {epoch}: {evaluated} evaluated, {served} cached, {} notified",
+                events.len()
+            ));
+        }
+        events
     }
 
     // ----------------------------------------------------------- watches
 
-    /// Register a watch on a query.
+    /// Register a watch on a query (no hysteresis).
     pub fn register_watch(
         &mut self,
         query: QueryId,
         threshold: f64,
         comparison: Comparison,
     ) -> Result<WatchId, EngineError> {
+        self.register_watch_with_hysteresis(query, threshold, comparison, 0.0)
+    }
+
+    /// Register a watch with a hysteresis band: once tripped, the watch
+    /// keeps reporting until the estimate re-crosses the threshold by
+    /// more than `hysteresis` (level-in, edge-out — the AlarmSet
+    /// discipline), so estimates oscillating on the threshold don't flap.
+    pub fn register_watch_with_hysteresis(
+        &mut self,
+        query: QueryId,
+        threshold: f64,
+        comparison: Comparison,
+        hysteresis: f64,
+    ) -> Result<WatchId, EngineError> {
         if !self.queries.contains_key(&query) {
             return Err(EngineError::UnknownQuery(query));
+        }
+        if !hysteresis.is_finite() || hysteresis < 0.0 {
+            return Err(EngineError::Subscription(
+                SubscriptionError::InvalidHysteresis(hysteresis),
+            ));
         }
         let id = WatchId::new(self.next_watch);
         self.next_watch += 1;
@@ -432,6 +674,7 @@ impl StreamEngine {
                 query,
                 threshold,
                 comparison,
+                hysteresis,
             },
         );
         Ok(id)
@@ -442,31 +685,49 @@ impl StreamEngine {
         self.watches
             .remove(&id)
             .map(|_| ())
-            .ok_or(EngineError::UnknownWatch(id))
+            .ok_or(EngineError::UnknownWatch(id))?;
+        self.watch_latched.remove(&id);
+        Ok(())
     }
 
     /// Evaluate all watches against fresh estimates; returns the ones
-    /// that trigger. Queries are evaluated at most once per round.
-    pub fn check_watches(&self) -> Vec<WatchEvent> {
-        let mut estimates: BTreeMap<QueryId, f64> = BTreeMap::new();
-        let mut union_cache: BTreeMap<Vec<StreamId>, f64> = BTreeMap::new();
-        let mut events = Vec::new();
-        for watch in self.watches.values() {
-            let value = match estimates.get(&watch.query) {
-                Some(&v) => v,
-                None => {
-                    let Some(q) = self.queries.get(&watch.query) else {
-                        continue;
-                    };
-                    let v = self
-                        .estimate_cached(q, &mut union_cache)
-                        .map(|e| e.value)
-                        .unwrap_or(0.0);
-                    estimates.insert(watch.query, v);
-                    v
-                }
+    /// currently reporting (level-triggered, like before — plus the
+    /// hysteresis latch of [`Self::register_watch_with_hysteresis`]).
+    ///
+    /// Watches are a thin adapter over the subscription layer: each
+    /// watched query is interned into the shared expression DAG and
+    /// served from the same per-node estimate cache as the
+    /// subscriptions, so each distinct expression class is evaluated at
+    /// most once per round across watches *and* subscriptions.
+    pub fn check_watches(&mut self) -> Vec<WatchEvent> {
+        // Intern every watched query (cheap hash lookups after the first
+        // call) and sync the shared cache for exactly those roots.
+        let mut nodes: BTreeMap<WatchId, NodeId> = BTreeMap::new();
+        let mut roots: BTreeSet<NodeId> = BTreeSet::new();
+        let watched: Vec<(WatchId, QueryId)> =
+            self.watches.values().map(|w| (w.id, w.query)).collect();
+        for (wid, qid) in watched {
+            let Some(q) = self.queries.get(&qid) else {
+                continue;
             };
-            if watch.triggers(value) {
+            let expr = q.simplified.clone();
+            let node = self.subs.dag.intern(&expr);
+            nodes.insert(wid, node);
+            roots.insert(node);
+        }
+        let (evaluated, served) = self.sync_subscription_cache(&roots, false);
+        self.subs.metrics.nodes_evaluated.add(evaluated);
+        self.subs.metrics.nodes_cached.add(served);
+        let mut events = Vec::new();
+        for (wid, node) in nodes {
+            let Some(watch) = self.watches.get(&wid) else {
+                continue;
+            };
+            let value = self.subs.cache.peek(node.index()).map_or(0.0, |e| e.value);
+            let latched = self.watch_latched.get(&wid).copied().unwrap_or(false);
+            let reporting = watch.triggers(value) || (latched && !watch.releases(value));
+            self.watch_latched.insert(wid, reporting);
+            if reporting {
                 events.push(WatchEvent {
                     watch: watch.id,
                     query: watch.query,
@@ -488,6 +749,7 @@ impl StreamEngine {
             streams: self.synopses.len(),
             queries: self.queries.len(),
             watches: self.watches.len(),
+            subscriptions: self.subs.subs.len(),
             synopsis_bytes: self.synopses.len() * self.family.vector_bytes(),
         }
     }
@@ -530,8 +792,23 @@ impl StreamEngine {
         self.queries.insert(query.id, query);
     }
 
-    pub(crate) fn install_watch(&mut self, watch: Watch) {
+    pub(crate) fn install_watch(&mut self, watch: Watch, latched: bool) {
+        self.watch_latched.insert(watch.id, latched);
         self.watches.insert(watch.id, watch);
+    }
+
+    pub(crate) fn watch_is_latched(&self, id: WatchId) -> bool {
+        self.watch_latched.get(&id).copied().unwrap_or(false)
+    }
+
+    pub(crate) fn install_subscription(
+        &mut self,
+        id: SubscriptionId,
+        expr: SetExpr,
+        options: SubscriptionOptions,
+        last_notified: Option<f64>,
+    ) {
+        self.subs.install(id, expr, options, last_notified);
     }
 
     pub(crate) fn set_counters(&mut self, counters: (u64, u64), next_ids: (u64, u64)) {
@@ -539,5 +816,14 @@ impl StreamEngine {
         self.deletions = counters.1;
         self.next_query = next_ids.0;
         self.next_watch = next_ids.1;
+    }
+
+    pub(crate) fn set_subscription_counters(&mut self, next_sub: u64, epoch: u64) {
+        self.subs.next_sub = self.subs.next_sub.max(next_sub);
+        self.subs.epoch = epoch;
+    }
+
+    pub(crate) fn next_sub(&self) -> u64 {
+        self.subs.next_sub
     }
 }

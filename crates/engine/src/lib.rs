@@ -61,6 +61,7 @@ pub mod prelude;
 pub mod quality;
 mod query;
 mod snapshot;
+mod subscribe;
 mod watch;
 
 pub use config::{ConfigError, EngineConfig, EngineConfigBuilder};
@@ -71,4 +72,8 @@ pub use metrics::EngineMetrics;
 pub use quality::{ExprReport, QualityConfig, QualityError, QualityMonitor};
 pub use query::{Query, QueryId, RegisteredQuery};
 pub use snapshot::EngineSnapshot;
+pub use subscribe::{
+    ChangeCause, ChangeEvent, Subscription, SubscriptionError, SubscriptionId,
+    SubscriptionMetrics, SubscriptionOptions, SubscriptionOptionsBuilder, Tolerance,
+};
 pub use watch::{Comparison, Watch, WatchEvent, WatchId};

@@ -571,7 +571,7 @@ mod tests {
             error_budget: 0.0,
             ..QualityConfig::default()
         };
-        let err = QualityMonitor::new(bad_budget).err().expect("must reject");
+        let err = QualityMonitor::new(bad_budget).expect_err("must reject");
         assert!(err.to_string().contains("error_budget"));
     }
 

@@ -9,11 +9,45 @@
 
 use crate::engine::StreamEngine;
 use crate::query::{QueryId, RegisteredQuery};
+use crate::subscribe::{SubscriptionId, SubscriptionOptions, Tolerance};
 use crate::watch::{Comparison, Watch, WatchId};
 use serde::{Deserialize, Serialize};
 use setstream_core::{EstimatorOptions, SketchFamily, SketchVector};
 use setstream_expr::SetExpr;
 use setstream_stream::StreamId;
+
+/// A registered watch in snapshot form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WatchSnapshot {
+    /// Watch id.
+    pub id: u64,
+    /// Watched query id.
+    pub query: u64,
+    /// Threshold.
+    pub threshold: f64,
+    /// `true` for [`Comparison::Above`].
+    pub above: bool,
+    /// Hysteresis band.
+    pub hysteresis: f64,
+    /// Whether the watch was latched (currently reporting).
+    pub latched: bool,
+}
+
+/// A registered subscription in snapshot form. The expression is
+/// re-interned on restore (interning is deterministic).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubscriptionSnapshot {
+    /// Subscription id.
+    pub id: u64,
+    /// The simplified expression being watched.
+    pub expr: SetExpr,
+    /// Notification band.
+    pub tolerance: Tolerance,
+    /// Whether the first evaluation notifies.
+    pub notify_initial: bool,
+    /// Last value the subscriber was notified about.
+    pub last_notified: Option<f64>,
+}
 
 /// A serializable image of a [`StreamEngine`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -27,12 +61,19 @@ pub struct EngineSnapshot {
     /// Registered queries as `(id, original expression)` — simplification
     /// is re-derived on restore (it is deterministic).
     pub queries: Vec<(u64, SetExpr)>,
-    /// Registered watches as `(id, query id, threshold, above?)`.
-    pub watches: Vec<(u64, u64, f64, bool)>,
+    /// Registered watches.
+    pub watches: Vec<WatchSnapshot>,
+    /// Registered subscriptions. Estimate caches are **not** carried:
+    /// the first epoch after restore re-evaluates from the synopses.
+    pub subscriptions: Vec<SubscriptionSnapshot>,
     /// Update counters `(updates, deletions)`.
     pub counters: (u64, u64),
     /// Next query / watch ids.
     pub next_ids: (u64, u64),
+    /// Next subscription id.
+    pub next_sub: u64,
+    /// Epochs published so far.
+    pub epoch: u64,
 }
 
 impl StreamEngine {
@@ -53,17 +94,29 @@ impl StreamEngine {
                 .collect(),
             watches: self
                 .watches()
-                .map(|w| {
-                    (
-                        w.id.value(),
-                        w.query.value(),
-                        w.threshold,
-                        matches!(w.comparison, Comparison::Above),
-                    )
+                .map(|w| WatchSnapshot {
+                    id: w.id.value(),
+                    query: w.query.value(),
+                    threshold: w.threshold,
+                    above: matches!(w.comparison, Comparison::Above),
+                    hysteresis: w.hysteresis,
+                    latched: self.watch_is_latched(w.id),
+                })
+                .collect(),
+            subscriptions: self
+                .subscriptions()
+                .map(|s| SubscriptionSnapshot {
+                    id: s.id().value(),
+                    expr: s.expr().clone(),
+                    tolerance: s.options().tolerance(),
+                    notify_initial: s.options().notify_initial(),
+                    last_notified: s.last_notified(),
                 })
                 .collect(),
             counters: self.counters(),
             next_ids: self.next_ids(),
+            next_sub: self.next_sub(),
+            epoch: self.subscription_epoch(),
         }
     }
 
@@ -77,19 +130,39 @@ impl StreamEngine {
         for (id, expr) in snapshot.queries {
             engine.install_query(RegisteredQuery::new(QueryId::new(id), expr));
         }
-        for (id, query, threshold, above) in snapshot.watches {
-            engine.install_watch(Watch {
-                id: WatchId::new(id),
-                query: QueryId::new(query),
-                threshold,
-                comparison: if above {
-                    Comparison::Above
-                } else {
-                    Comparison::Below
+        for w in snapshot.watches {
+            engine.install_watch(
+                Watch {
+                    id: WatchId::new(w.id),
+                    query: QueryId::new(w.query),
+                    threshold: w.threshold,
+                    comparison: if w.above {
+                        Comparison::Above
+                    } else {
+                        Comparison::Below
+                    },
+                    hysteresis: w.hysteresis,
                 },
-            });
+                w.latched,
+            );
+        }
+        for s in snapshot.subscriptions {
+            // Builder-validated at original registration; re-validate to
+            // stay robust against hand-edited snapshots.
+            let options = SubscriptionOptions::builder()
+                .tolerance(s.tolerance)
+                .notify_initial(s.notify_initial)
+                .build()
+                .unwrap_or_default();
+            engine.install_subscription(
+                SubscriptionId::new(s.id),
+                s.expr,
+                options,
+                s.last_notified,
+            );
         }
         engine.set_counters(snapshot.counters, snapshot.next_ids);
+        engine.set_subscription_counters(snapshot.next_sub, snapshot.epoch);
         engine
     }
 }
@@ -121,7 +194,7 @@ mod tests {
             .unwrap();
 
         let snap = engine.snapshot();
-        let restored = StreamEngine::restore(snap);
+        let mut restored = StreamEngine::restore(snap);
 
         // Identical answers.
         assert_eq!(

@@ -1,0 +1,558 @@
+//! Standing-query subscriptions: interned expression DAG, incremental
+//! delta evaluation, and typed change notifications.
+//!
+//! The paper's deployment model registers set-expression cardinality
+//! queries once and watches them forever. [`crate::StreamEngine::subscribe`]
+//! hash-conses each (simplified) expression into a shared
+//! [`ExprDag`], so structurally- or semantically-identical subexpressions
+//! — and their Boolean mappings B(E) — are planned and evaluated exactly
+//! once per round. Each epoch, [`crate::StreamEngine::publish_epoch`]:
+//!
+//! 1. drains the set of atomic streams that changed since the last epoch
+//!    (fed by the ingest paths, CDC adapters, and distributed delta
+//!    frames),
+//! 2. dirty-propagates from those streams' leaves up the DAG
+//!    ([`ExprDag::taint`]),
+//! 3. re-estimates only the tainted subscription roots, serving every
+//!    other subscriber from the per-node [`setstream_core::EvalCache`],
+//! 4. emits a typed [`ChangeEvent`] for each subscription whose estimate
+//!    moved outside its [`Tolerance`] band.
+//!
+//! The legacy threshold-watch layer rides on the same machinery: watched
+//! queries are interned into the same DAG and served from the same cache,
+//! so a dashboard mixing watches and subscriptions costs one evaluation
+//! per distinct expression class per round.
+
+use serde::{Deserialize, Serialize};
+use setstream_core::EvalCache;
+use setstream_expr::intern::{ExprDag, NodeId};
+use setstream_expr::{SetExpr, ToleranceSpec};
+use setstream_obs::{Counter, Gauge, Histogram, MetricSource, Sample};
+use setstream_stream::StreamId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Handle to a registered subscription.
+///
+/// Minted by the engine, not forged; use [`SubscriptionId::value`] for
+/// display or external correlation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(u64);
+
+impl SubscriptionId {
+    pub(crate) fn new(id: u64) -> Self {
+        SubscriptionId(id)
+    }
+
+    /// The numeric handle value (for logs and external correlation).
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The notification band of a subscription: how far the estimate may move
+/// from the last *notified* value before the subscriber hears about it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Tolerance {
+    /// Notify when the estimate moves by more than this many elements.
+    Absolute(f64),
+    /// Notify when the estimate moves by more than this fraction of the
+    /// last notified value. A last value of zero makes any non-zero move
+    /// notify.
+    Relative(f64),
+}
+
+impl Default for Tolerance {
+    /// Zero absolute tolerance: every estimate change notifies.
+    fn default() -> Self {
+        Tolerance::Absolute(0.0)
+    }
+}
+
+impl Tolerance {
+    /// The band parameter (absolute elements or relative fraction).
+    pub fn band(&self) -> f64 {
+        match *self {
+            Tolerance::Absolute(b) | Tolerance::Relative(b) => b,
+        }
+    }
+
+    /// `true` when moving from `last` (the last notified value) to
+    /// `current` leaves the band.
+    pub fn exceeded(&self, last: f64, current: f64) -> bool {
+        let delta = (current - last).abs();
+        match *self {
+            Tolerance::Absolute(band) => delta > band,
+            Tolerance::Relative(frac) => delta > frac * last.abs(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), SubscriptionError> {
+        let band = self.band();
+        if band.is_finite() && band >= 0.0 {
+            Ok(())
+        } else {
+            Err(SubscriptionError::InvalidTolerance(band))
+        }
+    }
+}
+
+impl From<ToleranceSpec> for Tolerance {
+    fn from(spec: ToleranceSpec) -> Self {
+        match spec {
+            ToleranceSpec::Absolute(v) => Tolerance::Absolute(v),
+            ToleranceSpec::Relative(v) => Tolerance::Relative(v),
+        }
+    }
+}
+
+/// Why a subscription (or hysteresis) parameter was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubscriptionError {
+    /// The tolerance band is negative or non-finite.
+    InvalidTolerance(f64),
+    /// A watch hysteresis band is negative or non-finite.
+    InvalidHysteresis(f64),
+}
+
+impl fmt::Display for SubscriptionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubscriptionError::InvalidTolerance(b) => {
+                write!(f, "tolerance band {b} must be finite and non-negative")
+            }
+            SubscriptionError::InvalidHysteresis(h) => {
+                write!(f, "hysteresis band {h} must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubscriptionError {}
+
+/// Validated options for a subscription. Construct via
+/// [`SubscriptionOptions::builder`] (the engine-wide config-builder
+/// idiom) or rely on [`Default`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubscriptionOptions {
+    pub(crate) tolerance: Tolerance,
+    pub(crate) notify_initial: bool,
+}
+
+impl Default for SubscriptionOptions {
+    /// Zero tolerance, with an [`ChangeCause::Initial`] notification on
+    /// the first evaluated epoch.
+    fn default() -> Self {
+        SubscriptionOptions {
+            tolerance: Tolerance::default(),
+            notify_initial: true,
+        }
+    }
+}
+
+impl SubscriptionOptions {
+    /// Start building options.
+    pub fn builder() -> SubscriptionOptionsBuilder {
+        SubscriptionOptionsBuilder {
+            options: SubscriptionOptions::default(),
+        }
+    }
+
+    /// The notification band.
+    pub fn tolerance(&self) -> Tolerance {
+        self.tolerance
+    }
+
+    /// Whether the first evaluated estimate is notified.
+    pub fn notify_initial(&self) -> bool {
+        self.notify_initial
+    }
+}
+
+/// Builder for [`SubscriptionOptions`]; [`build`](Self::build) validates.
+#[derive(Debug, Clone)]
+pub struct SubscriptionOptionsBuilder {
+    options: SubscriptionOptions,
+}
+
+impl SubscriptionOptionsBuilder {
+    /// Set the notification band.
+    pub fn tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.options.tolerance = tolerance;
+        self
+    }
+
+    /// Suppress or emit the first-epoch [`ChangeCause::Initial`] event
+    /// (emitted by default).
+    pub fn notify_initial(mut self, notify: bool) -> Self {
+        self.options.notify_initial = notify;
+        self
+    }
+
+    /// Validate and produce the options.
+    pub fn build(self) -> Result<SubscriptionOptions, SubscriptionError> {
+        self.options.tolerance.validate()?;
+        Ok(self.options)
+    }
+}
+
+/// What drove a notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeCause {
+    /// The subscription's first evaluated estimate.
+    Initial,
+    /// An epoch delta tainted the expression's DAG node.
+    Delta,
+    /// A full refresh re-evaluated the node (explicit
+    /// [`crate::StreamEngine::refresh_subscriptions`] or a cold cache
+    /// after restore).
+    Full,
+}
+
+impl ChangeCause {
+    /// Stable snake_case name (metric/label friendly).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ChangeCause::Initial => "initial",
+            ChangeCause::Delta => "delta",
+            ChangeCause::Full => "full",
+        }
+    }
+}
+
+impl fmt::Display for ChangeCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed notification: a subscription's estimate moved outside its
+/// tolerance band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangeEvent {
+    /// Which subscription moved.
+    pub sub_id: SubscriptionId,
+    /// The last notified value (`None` on the first notification).
+    pub old: Option<f64>,
+    /// The new estimate.
+    pub new: f64,
+    /// What drove the re-evaluation.
+    pub cause: ChangeCause,
+    /// The engine epoch that produced the event.
+    pub epoch: u64,
+}
+
+/// A registered standing query.
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    pub(crate) id: SubscriptionId,
+    pub(crate) expr: SetExpr,
+    pub(crate) node: NodeId,
+    pub(crate) options: SubscriptionOptions,
+    pub(crate) last_notified: Option<f64>,
+}
+
+impl Subscription {
+    /// Handle.
+    pub fn id(&self) -> SubscriptionId {
+        self.id
+    }
+
+    /// The simplified expression being watched.
+    pub fn expr(&self) -> &SetExpr {
+        &self.expr
+    }
+
+    /// The interned DAG node serving this subscription (shared with every
+    /// equivalent subscription).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The options it registered with.
+    pub fn options(&self) -> &SubscriptionOptions {
+        &self.options
+    }
+
+    /// The last value the subscriber was notified about.
+    pub fn last_notified(&self) -> Option<f64> {
+        self.last_notified
+    }
+}
+
+/// Metrics for the subscription layer (names follow the
+/// `setstream_engine_subs_*` convention).
+#[derive(Debug)]
+pub struct SubscriptionMetrics {
+    /// Subscriptions registered over the engine's lifetime.
+    pub subscribed: Counter,
+    /// Subscriptions removed.
+    pub unsubscribed: Counter,
+    /// Currently registered subscriptions.
+    pub registered: Gauge,
+    /// Distinct interned DAG nodes backing subscriptions and watches.
+    pub dag_nodes: Gauge,
+    /// Notification rounds run (incremental + full).
+    pub rounds: Counter,
+    /// DAG roots re-estimated because a delta tainted them.
+    pub nodes_evaluated: Counter,
+    /// DAG roots served straight from the clean estimate cache.
+    pub nodes_cached: Counter,
+    /// Change events emitted to subscribers.
+    pub notifications: Counter,
+    /// Wall-clock latency of incremental rounds, nanoseconds.
+    pub incremental_round_ns: Histogram,
+    /// Wall-clock latency of full-refresh rounds, nanoseconds.
+    pub full_round_ns: Histogram,
+}
+
+impl Default for SubscriptionMetrics {
+    fn default() -> Self {
+        SubscriptionMetrics::new()
+    }
+}
+
+impl SubscriptionMetrics {
+    /// Fresh, all-zero metrics with the standard latency buckets.
+    pub fn new() -> Self {
+        SubscriptionMetrics {
+            subscribed: Counter::new(),
+            unsubscribed: Counter::new(),
+            registered: Gauge::new(),
+            dag_nodes: Gauge::new(),
+            rounds: Counter::new(),
+            nodes_evaluated: Counter::new(),
+            nodes_cached: Counter::new(),
+            notifications: Counter::new(),
+            incremental_round_ns: Histogram::latency_ns(),
+            full_round_ns: Histogram::latency_ns(),
+        }
+    }
+}
+
+impl MetricSource for SubscriptionMetrics {
+    fn collect(&self, out: &mut Vec<Sample>) {
+        out.push(
+            Sample::counter(
+                "setstream_engine_subs_subscribed_total",
+                self.subscribed.get(),
+            )
+            .with_help("Subscriptions registered over the engine lifetime"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_engine_subs_unsubscribed_total",
+                self.unsubscribed.get(),
+            )
+            .with_help("Subscriptions removed"),
+        );
+        out.push(
+            Sample::gauge("setstream_engine_subs_registered", self.registered.get())
+                .with_help("Currently registered subscriptions"),
+        );
+        out.push(
+            Sample::gauge("setstream_engine_subs_dag_nodes", self.dag_nodes.get())
+                .with_help("Distinct interned expression-DAG nodes"),
+        );
+        out.push(
+            Sample::counter("setstream_engine_subs_rounds_total", self.rounds.get())
+                .with_help("Subscription notification rounds run"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_engine_subs_nodes_evaluated_total",
+                self.nodes_evaluated.get(),
+            )
+            .with_help("DAG roots re-estimated after delta tainting"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_engine_subs_nodes_cached_total",
+                self.nodes_cached.get(),
+            )
+            .with_help("DAG roots served from the clean estimate cache"),
+        );
+        out.push(
+            Sample::counter(
+                "setstream_engine_subs_notifications_total",
+                self.notifications.get(),
+            )
+            .with_help("Change events emitted to subscribers"),
+        );
+        out.push(
+            Sample::histogram(
+                "setstream_engine_subs_round_latency_ns",
+                self.incremental_round_ns.snapshot(),
+            )
+            .with_label("mode", "incremental")
+            .with_help("Wall-clock latency of subscription rounds in nanoseconds"),
+        );
+        out.push(
+            Sample::histogram(
+                "setstream_engine_subs_round_latency_ns",
+                self.full_round_ns.snapshot(),
+            )
+            .with_label("mode", "full")
+            .with_help("Wall-clock latency of subscription rounds in nanoseconds"),
+        );
+    }
+}
+
+/// Engine-internal state of the subscription layer: the shared DAG, the
+/// per-node estimate cache, the registered subscribers, and the set of
+/// streams dirtied since the last epoch.
+#[derive(Debug, Default)]
+pub(crate) struct SubscriptionHub {
+    pub(crate) dag: ExprDag,
+    pub(crate) cache: EvalCache,
+    pub(crate) subs: BTreeMap<SubscriptionId, Subscription>,
+    pub(crate) next_sub: u64,
+    pub(crate) dirty: BTreeSet<StreamId>,
+    pub(crate) epoch: u64,
+    /// Per-node cause of pending (not-yet-published) re-evaluations.
+    pub(crate) pending: BTreeMap<NodeId, ChangeCause>,
+    pub(crate) metrics: Arc<SubscriptionMetrics>,
+}
+
+impl SubscriptionHub {
+    pub(crate) fn new() -> Self {
+        SubscriptionHub {
+            next_sub: 1,
+            metrics: Arc::new(SubscriptionMetrics::new()),
+            ..Default::default()
+        }
+    }
+
+    /// Intern `expr` (already simplified) and register a subscriber on the
+    /// resulting node.
+    pub(crate) fn register(
+        &mut self,
+        expr: SetExpr,
+        options: SubscriptionOptions,
+    ) -> SubscriptionId {
+        let id = SubscriptionId::new(self.next_sub);
+        self.next_sub += 1;
+        self.install(id, expr, options, None);
+        id
+    }
+
+    /// Install a subscription under a caller-chosen id (snapshot restore).
+    pub(crate) fn install(
+        &mut self,
+        id: SubscriptionId,
+        expr: SetExpr,
+        options: SubscriptionOptions,
+        last_notified: Option<f64>,
+    ) {
+        let node = self.dag.intern(&expr);
+        self.cache.ensure(self.dag.len());
+        self.subs.insert(
+            id,
+            Subscription {
+                id,
+                expr,
+                node,
+                options,
+                last_notified,
+            },
+        );
+        self.next_sub = self.next_sub.max(id.value() + 1);
+        self.metrics.subscribed.inc();
+        self.metrics.registered.set(self.subs.len() as i64);
+        self.metrics.dag_nodes.set(self.dag.len() as i64);
+    }
+
+    pub(crate) fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
+        let removed = self.subs.remove(&id);
+        if removed.is_some() {
+            self.metrics.unsubscribed.inc();
+            self.metrics.registered.set(self.subs.len() as i64);
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_bands() {
+        assert!(Tolerance::Absolute(10.0).exceeded(100.0, 111.0));
+        assert!(!Tolerance::Absolute(10.0).exceeded(100.0, 110.0));
+        assert!(Tolerance::Relative(0.05).exceeded(100.0, 106.0));
+        assert!(!Tolerance::Relative(0.05).exceeded(100.0, 105.0));
+        // Relative to zero: any move notifies.
+        assert!(Tolerance::Relative(0.05).exceeded(0.0, 0.5));
+        // Zero tolerance: every change notifies, no change doesn't.
+        assert!(Tolerance::default().exceeded(5.0, 5.1));
+        assert!(!Tolerance::default().exceeded(5.0, 5.0));
+    }
+
+    #[test]
+    fn tolerance_spec_conversion() {
+        assert_eq!(
+            Tolerance::from(ToleranceSpec::Absolute(9.0)),
+            Tolerance::Absolute(9.0)
+        );
+        assert_eq!(
+            Tolerance::from(ToleranceSpec::Relative(0.1)),
+            Tolerance::Relative(0.1)
+        );
+    }
+
+    #[test]
+    fn builder_validates() {
+        let ok = SubscriptionOptions::builder()
+            .tolerance(Tolerance::Relative(0.05))
+            .notify_initial(false)
+            .build()
+            .unwrap();
+        assert_eq!(ok.tolerance(), Tolerance::Relative(0.05));
+        assert!(!ok.notify_initial());
+
+        let err = SubscriptionOptions::builder()
+            .tolerance(Tolerance::Absolute(-1.0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SubscriptionError::InvalidTolerance(-1.0));
+        assert!(err.to_string().contains("non-negative"));
+
+        assert!(SubscriptionOptions::builder()
+            .tolerance(Tolerance::Relative(f64::NAN))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn hub_registration_round_trips() {
+        let mut hub = SubscriptionHub::new();
+        let e1: SetExpr = "(A & B) - C".parse().unwrap();
+        let e2: SetExpr = "(B & A) - C".parse().unwrap();
+        let s1 = hub.register(e1, SubscriptionOptions::default());
+        let s2 = hub.register(e2, SubscriptionOptions::default());
+        assert_ne!(s1, s2);
+        // Distinct subscriptions, one shared DAG node.
+        let n1 = hub.subs[&s1].node();
+        let n2 = hub.subs[&s2].node();
+        assert_eq!(n1, n2);
+        assert_eq!(hub.metrics.registered.get(), 2);
+        hub.remove(s1).unwrap();
+        assert_eq!(hub.metrics.registered.get(), 1);
+        assert!(hub.remove(s1).is_none());
+    }
+
+    #[test]
+    fn change_cause_names() {
+        assert_eq!(ChangeCause::Initial.as_str(), "initial");
+        assert_eq!(ChangeCause::Delta.to_string(), "delta");
+        assert_eq!(ChangeCause::Full.as_str(), "full");
+    }
+}

@@ -51,14 +51,30 @@ pub struct Watch {
     pub threshold: f64,
     /// Trigger direction.
     pub comparison: Comparison,
+    /// Hysteresis band: once tripped, the watch keeps reporting until the
+    /// estimate re-crosses the threshold by more than this (level-in,
+    /// edge-out). Zero restores plain level semantics.
+    pub hysteresis: f64,
 }
 
 impl Watch {
-    /// `true` if `estimate` trips this watch.
+    /// `true` if `estimate` trips this watch. The comparison is strict:
+    /// an estimate exactly *at* the threshold does **not** trigger, in
+    /// either direction.
     pub fn triggers(&self, estimate: f64) -> bool {
         match self.comparison {
             Comparison::Above => estimate > self.threshold,
             Comparison::Below => estimate < self.threshold,
+        }
+    }
+
+    /// `true` if `estimate` has re-crossed far enough past the threshold
+    /// to release a latched (previously tripped) watch. With zero
+    /// hysteresis this is exactly `!triggers(estimate)`.
+    pub fn releases(&self, estimate: f64) -> bool {
+        match self.comparison {
+            Comparison::Above => estimate <= self.threshold - self.hysteresis,
+            Comparison::Below => estimate >= self.threshold + self.hysteresis,
         }
     }
 }
@@ -87,6 +103,7 @@ mod tests {
             query: QueryId::new(1),
             threshold: 100.0,
             comparison: Comparison::Above,
+            hysteresis: 0.0,
         };
         assert!(above.triggers(101.0));
         assert!(!above.triggers(100.0));
@@ -96,5 +113,55 @@ mod tests {
         };
         assert!(below.triggers(99.0));
         assert!(!below.triggers(100.0));
+    }
+
+    #[test]
+    fn equal_to_threshold_never_triggers() {
+        // Pinned: comparisons are strict in both directions.
+        for comparison in [Comparison::Above, Comparison::Below] {
+            let w = Watch {
+                id: WatchId::new(1),
+                query: QueryId::new(1),
+                threshold: 100.0,
+                comparison,
+                hysteresis: 0.0,
+            };
+            assert!(!w.triggers(100.0), "{comparison:?} must not trigger at the threshold");
+        }
+    }
+
+    #[test]
+    fn release_bands_mirror_the_direction() {
+        let above = Watch {
+            id: WatchId::new(1),
+            query: QueryId::new(1),
+            threshold: 100.0,
+            comparison: Comparison::Above,
+            hysteresis: 10.0,
+        };
+        assert!(!above.releases(95.0)); // inside the band: stay latched
+        assert!(above.releases(90.0)); // at threshold − h: release
+        assert!(above.releases(80.0));
+        let below = Watch {
+            comparison: Comparison::Below,
+            ..above.clone()
+        };
+        assert!(!below.releases(105.0));
+        assert!(below.releases(110.0));
+        assert!(below.releases(120.0));
+    }
+
+    #[test]
+    fn zero_hysteresis_release_is_not_triggers() {
+        let w = Watch {
+            id: WatchId::new(1),
+            query: QueryId::new(1),
+            threshold: 100.0,
+            comparison: Comparison::Above,
+            hysteresis: 0.0,
+        };
+        for v in [0.0, 99.9, 100.0, 100.1, 500.0] {
+            assert_eq!(w.releases(v), !w.triggers(v));
+        }
     }
 }

@@ -225,16 +225,15 @@ fn unified_query_type_accepts_all_request_forms() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_estimate_wrappers_still_answer() {
+fn evaluate_is_the_single_estimation_surface() {
+    // The deprecated `estimate_*` wrappers are gone; every request shape
+    // routes through `evaluate`/`evaluate_all` and answers identically.
     let mut engine = engine_with_data();
     let q = engine.register_query("A - B").unwrap();
-    let old = engine.estimate(q).unwrap();
-    let new = engine.evaluate(q).unwrap();
-    assert_eq!(old.value, new.value);
+    let by_id = engine.evaluate(q).unwrap();
     let expr: setstream_expr::SetExpr = "A - B".parse().unwrap();
-    assert_eq!(engine.estimate_expr(&expr).unwrap().value, new.value);
-    assert_eq!(engine.estimate_all().len(), 1);
+    assert_eq!(engine.evaluate(&expr).unwrap().value, by_id.value);
+    assert_eq!(engine.evaluate_all().len(), 1);
 }
 
 #[test]

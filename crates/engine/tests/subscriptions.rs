@@ -1,0 +1,309 @@
+//! Integration tests for the standing-query subscription surface.
+//!
+//! The two contracts pinned here are the heart of the tentpole:
+//!
+//! 1. **Bit-identity** — the interned-DAG incremental path serves, at
+//!    every epoch, exactly the estimate the from-scratch `evaluate` path
+//!    would compute. Not approximately: the same `f64`, because both
+//!    routes run the identical witness estimator over the identical
+//!    synopses.
+//! 2. **Notification completeness** — the published change log equals a
+//!    brute-force diff of from-scratch evaluations filtered through the
+//!    tolerance band. Nothing extra, nothing missing, values bitwise.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use setstream_core::SketchFamily;
+use setstream_engine::{
+    ChangeCause, Comparison, StreamEngine, SubscriptionOptions, Tolerance,
+};
+use setstream_expr::SetExpr;
+use setstream_stream::{CdcEvent, StreamId, Update};
+
+fn family(copies: usize, seed: u64) -> SketchFamily {
+    SketchFamily::builder()
+        .copies(copies)
+        .second_level(8)
+        .seed(seed)
+        .build()
+}
+
+/// Random expression trees over 4 streams, depth ≤ 3 — deep enough to
+/// produce shared subtrees across the registered family once interned.
+fn arb_expr() -> impl Strategy<Value = SetExpr> {
+    let leaf = (0u32..4).prop_map(SetExpr::stream);
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.intersect(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.diff(b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any subscription family (duplicates included — interning
+    /// collapses them) and any epoch-sliced workload, the cached value a
+    /// subscription holds after `publish_epoch` is **bit-identical** to
+    /// a from-scratch `evaluate` of the same expression.
+    #[test]
+    fn incremental_matches_from_scratch_bitwise(
+        seed in any::<u64>(),
+        exprs in vec(arb_expr(), 1..6),
+        epochs in vec(vec((0u32..4, any::<u64>(), -2i64..3), 0..80), 1..5),
+    ) {
+        let mut engine = StreamEngine::new(family(8, seed));
+        // Zero absolute tolerance: every change notifies, so
+        // `last_notified` tracks the current cached estimate exactly.
+        let options = SubscriptionOptions::default();
+        let mut subs = Vec::new();
+        for expr in &exprs {
+            subs.push(engine.subscribe(expr.clone(), options).unwrap());
+        }
+        for epoch in &epochs {
+            for &(stream, element, delta) in epoch {
+                if delta != 0 {
+                    engine.process(&Update { stream: StreamId(stream), element, delta });
+                }
+            }
+            let _ = engine.publish_epoch();
+            for (id, expr) in subs.iter().zip(&exprs) {
+                let scratch = engine.evaluate(expr).unwrap().value;
+                let cached = engine
+                    .subscription(*id)
+                    .expect("registered subscription")
+                    .last_notified()
+                    .expect("zero tolerance notifies every epoch");
+                prop_assert_eq!(
+                    cached.to_bits(),
+                    scratch.to_bits(),
+                    "expr {} diverged: cached {} vs from-scratch {}",
+                    expr, cached, scratch
+                );
+            }
+        }
+    }
+}
+
+/// Soak: replay a deterministic multi-epoch workload and check the
+/// engine's notification log against a brute-force reference — a second
+/// engine fed the identical updates, evaluated from scratch each epoch,
+/// with the tolerance band applied in plain code.
+#[test]
+fn notification_log_equals_brute_force_diff() {
+    let fam = family(32, 99);
+    let mut engine = StreamEngine::new(fam);
+    let mut reference = StreamEngine::new(fam);
+
+    let specs: &[(&str, Tolerance)] = &[
+        ("A & B", Tolerance::Absolute(40.0)),
+        ("(A | B) - C", Tolerance::Relative(0.08)),
+        ("A & B", Tolerance::Absolute(0.0)), // duplicate expr, distinct band
+        ("C | D", Tolerance::Absolute(25.0)),
+    ];
+    let mut subs = Vec::new();
+    for &(text, tolerance) in specs {
+        let expr: SetExpr = text.parse().unwrap();
+        let options = SubscriptionOptions::builder()
+            .tolerance(tolerance)
+            .build()
+            .unwrap();
+        let id = engine.subscribe(expr.clone(), options).unwrap();
+        subs.push((id, expr, tolerance));
+    }
+
+    let mut last: Vec<Option<f64>> = vec![None; subs.len()];
+    for epoch in 0..12usize {
+        let mut batch = Vec::new();
+        for i in 0..600u64 {
+            let x = (epoch as u64 * 600 + i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let stream = StreamId((x % 4) as u32);
+            let element = (x >> 16) % 3000;
+            if i % 11 == 10 {
+                batch.push(Update::delete(stream, element, 1));
+            } else {
+                batch.push(Update::insert(stream, element, 1));
+            }
+        }
+        engine.process_batch(&batch);
+        reference.process_batch(&batch);
+
+        // Brute force: from-scratch value each epoch, band applied by hand.
+        let mut expected = Vec::new();
+        for (i, (id, expr, tolerance)) in subs.iter().enumerate() {
+            let value = reference.evaluate(expr).unwrap().value;
+            let notify = match last[i] {
+                None => true,
+                Some(prev) => match tolerance {
+                    Tolerance::Absolute(band) => (value - prev).abs() > *band,
+                    Tolerance::Relative(frac) => (value - prev).abs() > frac * prev.abs(),
+                },
+            };
+            if notify {
+                expected.push((*id, last[i], value));
+                last[i] = Some(value);
+            }
+        }
+
+        let events = engine.publish_epoch();
+        let got: Vec<_> = events.iter().map(|e| (e.sub_id, e.old, e.new)).collect();
+        assert_eq!(
+            got, expected,
+            "epoch {epoch}: notification log diverged from brute-force diff"
+        );
+        for e in &events {
+            let want = if e.old.is_none() {
+                ChangeCause::Initial
+            } else {
+                ChangeCause::Delta
+            };
+            assert_eq!(e.cause, want, "epoch {epoch}: wrong cause on {:?}", e);
+        }
+    }
+    // The workload kept moving, so the bands must have fired repeatedly.
+    let metrics = engine.subscription_metrics();
+    assert!(metrics.notifications.get() >= subs.len() as u64);
+    assert_eq!(metrics.rounds.get(), 12);
+}
+
+/// Unsubscribing stops notifications; the remaining family keeps its log.
+#[test]
+fn unsubscribe_silences_only_that_subscription() {
+    let mut engine = StreamEngine::new(family(16, 5));
+    let keep = engine
+        .subscribe("A | B".parse::<SetExpr>().unwrap(), SubscriptionOptions::default())
+        .unwrap();
+    let drop = engine
+        .subscribe("A & B".parse::<SetExpr>().unwrap(), SubscriptionOptions::default())
+        .unwrap();
+    for e in 0..500u64 {
+        engine.process(&Update::insert(StreamId(0), e, 1));
+        engine.process(&Update::insert(StreamId(1), e + 250, 1));
+    }
+    let initial = engine.publish_epoch();
+    assert_eq!(initial.len(), 2);
+    engine.unsubscribe(drop).unwrap();
+    for e in 500..900u64 {
+        engine.process(&Update::insert(StreamId(0), e, 1));
+    }
+    let events = engine.publish_epoch();
+    assert!(events.iter().all(|e| e.sub_id == keep));
+    assert!(engine.subscription(drop).is_none());
+    assert!(engine.unsubscribe(drop).is_err());
+}
+
+/// CDC ingestion drives subscriptions: an update event decomposes into
+/// delete+insert, lands in the dirty set, and the next epoch notifies.
+#[test]
+fn cdc_events_feed_the_dirty_set() {
+    let mut engine = StreamEngine::new(family(32, 17));
+    let sub = engine
+        .subscribe("A".parse::<SetExpr>().unwrap(), SubscriptionOptions::default())
+        .unwrap();
+    let inserts: Vec<CdcEvent> = (0..800u64)
+        .map(|e| CdcEvent::insert(StreamId(0), e))
+        .collect();
+    engine.process_cdc_batch(&inserts);
+    let initial = engine.publish_epoch();
+    assert_eq!(initial.len(), 1);
+    let before = initial[0].new;
+
+    // A no-op update (old == new) decomposes to nothing: no taint, no
+    // notification, no re-estimation.
+    let evaluated = engine.subscription_metrics().nodes_evaluated.get();
+    engine.process_cdc(&CdcEvent::update(StreamId(0), 5, 5));
+    assert!(engine.publish_epoch().is_empty());
+    assert_eq!(engine.subscription_metrics().nodes_evaluated.get(), evaluated);
+
+    // A real update replaces elements 0..200 with fresh ones → the set
+    // keeps its size but churns; deletes alone shrink it.
+    let churn: Vec<CdcEvent> = (0..200u64)
+        .map(|e| CdcEvent::update(StreamId(0), e, e + 10_000))
+        .collect();
+    engine.process_cdc_batch(&churn);
+    let _ = engine.publish_epoch();
+    let deletes: Vec<CdcEvent> = (200..800u64)
+        .map(|e| CdcEvent::delete(StreamId(0), e))
+        .collect();
+    engine.process_cdc_batch(&deletes);
+    let events = engine.publish_epoch();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].sub_id, sub);
+    assert!(
+        events[0].new < before,
+        "600 CDC deletes must shrink |A|: {} vs {}",
+        events[0].new,
+        before
+    );
+}
+
+/// Hysteresis keeps a watch latched through small dips below the
+/// threshold (flap suppression) and releases it only past the band.
+#[test]
+fn watch_hysteresis_suppresses_flapping() {
+    let fam = family(128, 3);
+    let mut engine = StreamEngine::new(fam);
+    let q = engine.register_query("A").unwrap();
+    let w = engine
+        .register_watch_with_hysteresis(q, 1000.0, Comparison::Above, 400.0)
+        .unwrap();
+
+    // Cross the threshold: ~1500 distinct elements.
+    for e in 0..1500u64 {
+        engine.process(&Update::insert(StreamId(0), e, 1));
+    }
+    let events = engine.check_watches();
+    assert_eq!(events.len(), 1, "watch fires on the crossing");
+    assert_eq!(events[0].watch, w);
+
+    // Dip to ~900 — below threshold but inside the release band
+    // (releases only at ≤ 600): still latched, still reporting.
+    for e in 900..1500u64 {
+        engine.process(&Update::delete(StreamId(0), e, 1));
+    }
+    let events = engine.check_watches();
+    assert_eq!(events.len(), 1, "in-band dip must not release the latch");
+
+    // Drop to ~300 — past the release bound: the latch clears.
+    for e in 300..900u64 {
+        engine.process(&Update::delete(StreamId(0), e, 1));
+    }
+    assert!(engine.check_watches().is_empty(), "release band reached");
+
+    // And a zero-hysteresis watch keeps the old strict level semantics.
+    let w0 = engine.register_watch(q, 250.0, Comparison::Above).unwrap();
+    let events = engine.check_watches();
+    assert!(events.iter().any(|e| e.watch == w0));
+}
+
+/// `SUBSCRIBE … TOLERANCE …` round-trips through the engine, and the
+/// snapshot carries subscriptions (band, last value, id counters).
+#[test]
+fn sql_subscriptions_survive_snapshot_restore() {
+    let mut engine = StreamEngine::new(family(32, 41));
+    let id = engine
+        .subscribe_sql("SUBSCRIBE (A & B) | C TOLERANCE 5%")
+        .unwrap();
+    for e in 0..600u64 {
+        engine.process(&Update::insert(StreamId(0), e, 1));
+        engine.process(&Update::insert(StreamId(1), e + 300, 1));
+    }
+    let first = engine.publish_epoch();
+    assert_eq!(first.len(), 1);
+
+    let mut restored = StreamEngine::restore(engine.snapshot());
+    let sub = restored.subscription(id).expect("subscription restored");
+    assert_eq!(sub.options().tolerance(), Tolerance::Relative(0.05));
+    assert_eq!(sub.last_notified(), Some(first[0].new));
+
+    // No traffic since the snapshot: the restored engine's first epoch
+    // re-evaluates from the carried synopses and stays inside the band.
+    assert!(restored.publish_epoch().is_empty());
+    // New ids keep counting from where the original left off.
+    let next = restored
+        .subscribe_sql("SUBSCRIBE A TOLERANCE 1")
+        .unwrap();
+    assert!(next > id);
+}

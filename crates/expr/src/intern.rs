@@ -1,0 +1,428 @@
+//! Hash-consed expression DAG for standing-query workloads.
+//!
+//! Continuous monitoring registers thousands of set expressions that share
+//! structure — the same `(A ∩ B)` core wrapped in different differences, or
+//! outright duplicate expressions registered by independent subscribers.
+//! [`ExprDag`] interns expressions bottom-up so every distinct subexpression
+//! is represented by exactly one node, which downstream layers plan and
+//! estimate exactly once per collection round.
+//!
+//! Two levels of deduplication apply, mirroring what the witness estimator
+//! (§4) actually depends on:
+//!
+//! 1. **Structural** — identical `(operator, child, child)` shapes collapse
+//!    via a hash-cons table, the classic DBSP/pg-stream sharing trick.
+//! 2. **Semantic** — two subexpressions that mention the *same stream set*
+//!    and contain the *same Venn cells* over it are indistinguishable to the
+//!    estimator (its output depends only on B(E) and the participating
+//!    synopses), so they may safely share one node. Cell enumeration is
+//!    exponential in the stream count, so this level only engages up to
+//!    [`SEMANTIC_DEDUP_MAX_STREAMS`] participating streams; beyond that the
+//!    structural level still applies.
+//!
+//! Leaves record which [`StreamId`] feeds them and every node records its
+//! parents, so an epoch's set of *changed* streams dirty-propagates up the
+//! DAG in `O(affected)` ([`ExprDag::taint`]) — untouched subgraphs are never
+//! revisited.
+
+use crate::ast::SetExpr;
+use setstream_stream::StreamId;
+use std::collections::HashMap;
+
+/// Semantic (Venn-cell) deduplication only runs for nodes whose
+/// participating stream set is at most this large; cell enumeration costs
+/// `2^k` evaluations per interned node.
+pub const SEMANTIC_DEDUP_MAX_STREAMS: usize = 12;
+
+/// Identifier of a node in an [`ExprDag`]. Minted densely from 0 by the
+/// owning DAG; only valid for the DAG that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The dense index of this node (0-based insertion order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The resolved operator shape of a DAG node: children are interned node
+/// ids, not subtrees, so structurally-identical shapes hash-cons to one
+/// entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DagOp {
+    /// An atomic stream leaf.
+    Stream(StreamId),
+    /// Set union of two interned children.
+    Union(NodeId, NodeId),
+    /// Set intersection of two interned children.
+    Intersect(NodeId, NodeId),
+    /// Set difference (left minus right) of two interned children.
+    Diff(NodeId, NodeId),
+}
+
+/// One interned node: its operator shape, a materialized representative
+/// expression (the first-interned subtree of its equivalence class), the
+/// sorted participating streams, and the parents that must be re-examined
+/// when this node's estimate changes.
+#[derive(Debug, Clone)]
+pub struct DagNode {
+    op: DagOp,
+    expr: SetExpr,
+    streams: Vec<StreamId>,
+    parents: Vec<NodeId>,
+}
+
+impl DagNode {
+    /// The operator shape of this node.
+    pub fn op(&self) -> DagOp {
+        self.op
+    }
+
+    /// The representative expression this node evaluates. All expressions
+    /// interned onto this node are pointwise-equal to it over the same
+    /// participating stream set, so the witness estimator produces
+    /// bit-identical results for any member of the class.
+    pub fn expr(&self) -> &SetExpr {
+        &self.expr
+    }
+
+    /// The sorted, deduplicated streams participating in this node.
+    pub fn streams(&self) -> &[StreamId] {
+        &self.streams
+    }
+
+    /// Nodes that have this node as a direct child.
+    pub fn parents(&self) -> &[NodeId] {
+        &self.parents
+    }
+}
+
+/// Semantic identity of a subexpression: the participating stream set plus
+/// the Venn cells (over those streams, densely re-indexed) the expression
+/// contains. Equal keys ⇒ the estimator cannot distinguish the
+/// expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SemanticKey {
+    streams: Vec<StreamId>,
+    cells: Vec<u32>,
+}
+
+/// Compute the semantic key of `expr` over its sorted participating
+/// `streams`, or `None` when the stream set is too large to enumerate.
+fn semantic_key(expr: &SetExpr, streams: &[StreamId]) -> Option<SemanticKey> {
+    let k = streams.len();
+    if k == 0 || k > SEMANTIC_DEDUP_MAX_STREAMS {
+        return None;
+    }
+    let cells: Vec<u32> = (1u32..(1u32 << k))
+        .filter(|&mask| {
+            expr.eval_bool(&|sid| {
+                streams
+                    .binary_search(&sid)
+                    .map(|bit| (mask >> bit) & 1 == 1)
+                    .unwrap_or(false)
+            })
+        })
+        .collect();
+    Some(SemanticKey {
+        streams: streams.to_vec(),
+        cells,
+    })
+}
+
+/// A hash-consed DAG of interned set expressions.
+///
+/// # Example
+///
+/// ```
+/// use setstream_expr::intern::ExprDag;
+/// use setstream_expr::SetExpr;
+/// use setstream_stream::StreamId;
+///
+/// let mut dag = ExprDag::new();
+/// let ab: SetExpr = "(A & B) - C".parse().unwrap();
+/// let ba: SetExpr = "(B & A) - C".parse().unwrap(); // semantically equal
+/// let n1 = dag.intern(&ab);
+/// let n2 = dag.intern(&ba);
+/// assert_eq!(n1, n2); // one node serves both subscribers
+///
+/// // Only nodes reachable from a changed stream are tainted.
+/// let tainted = dag.taint(&[StreamId(2)]); // C changed
+/// assert!(tainted.contains(&n1));
+/// ```
+#[derive(Debug, Default)]
+pub struct ExprDag {
+    nodes: Vec<DagNode>,
+    structural: HashMap<DagOp, NodeId>,
+    semantic: HashMap<SemanticKey, NodeId>,
+    leaves: HashMap<StreamId, NodeId>,
+    structural_hits: u64,
+    semantic_hits: u64,
+}
+
+impl ExprDag {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct interned nodes (including leaves).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// How many intern calls were answered by the structural hash-cons
+    /// table (identical operator shapes).
+    pub fn structural_hits(&self) -> u64 {
+        self.structural_hits
+    }
+
+    /// How many intern calls were answered by semantic (Venn-cell)
+    /// deduplication — structurally-distinct but estimator-identical
+    /// subexpressions folded onto one node.
+    pub fn semantic_hits(&self) -> u64 {
+        self.semantic_hits
+    }
+
+    /// Look up a node. `id` must come from this DAG.
+    pub fn node(&self, id: NodeId) -> &DagNode {
+        // analyze: allow(indexing) — NodeIds are minted densely by this DAG and always in bounds for it
+        &self.nodes[id.index()]
+    }
+
+    /// Intern `expr`, returning the node that represents it. Structurally
+    /// or semantically identical subexpressions (see module docs) share
+    /// nodes. Callers that want maximal sharing should
+    /// [`simplify`](crate::simplify()) first, matching the engine's
+    /// evaluation pipeline.
+    pub fn intern(&mut self, expr: &SetExpr) -> NodeId {
+        match expr {
+            SetExpr::Stream(s) => self.intern_leaf(*s),
+            SetExpr::Union(a, b) => {
+                let (l, r) = (self.intern(a), self.intern(b));
+                self.intern_op(DagOp::Union(l, r), expr)
+            }
+            SetExpr::Intersect(a, b) => {
+                let (l, r) = (self.intern(a), self.intern(b));
+                self.intern_op(DagOp::Intersect(l, r), expr)
+            }
+            SetExpr::Diff(a, b) => {
+                let (l, r) = (self.intern(a), self.intern(b));
+                self.intern_op(DagOp::Diff(l, r), expr)
+            }
+        }
+    }
+
+    /// All nodes whose estimate may have moved after the given streams
+    /// changed: the leaves of those streams plus every transitive parent.
+    /// Returned sorted by id (deterministic, bottom-up-friendly order).
+    /// Streams with no interned leaf are ignored.
+    pub fn taint(&self, dirty_streams: &[StreamId]) -> Vec<NodeId> {
+        let mut marked = vec![false; self.nodes.len()];
+        let mut work: Vec<NodeId> = dirty_streams
+            .iter()
+            .filter_map(|s| self.leaves.get(s).copied())
+            .collect();
+        let mut out = Vec::new();
+        while let Some(id) = work.pop() {
+            // analyze: allow(indexing) — `marked` is sized to `nodes` and NodeIds are minted densely by this DAG
+            if marked[id.index()] {
+                continue;
+            }
+            // analyze: allow(indexing) — same bound as the check above
+            marked[id.index()] = true;
+            out.push(id);
+            work.extend(self.node(id).parents().iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn intern_leaf(&mut self, s: StreamId) -> NodeId {
+        if let Some(&id) = self.leaves.get(&s) {
+            self.structural_hits += 1;
+            return id;
+        }
+        let expr = SetExpr::Stream(s);
+        let streams = vec![s];
+        let id = self.push_node(DagOp::Stream(s), expr.clone(), streams.clone());
+        self.leaves.insert(s, id);
+        if let Some(key) = semantic_key(&expr, &streams) {
+            self.semantic.insert(key, id);
+        }
+        id
+    }
+
+    fn intern_op(&mut self, op: DagOp, expr: &SetExpr) -> NodeId {
+        if let Some(&id) = self.structural.get(&op) {
+            self.structural_hits += 1;
+            return id;
+        }
+        let streams = expr.streams();
+        let key = semantic_key(expr, &streams);
+        if let Some(k) = &key {
+            if let Some(&id) = self.semantic.get(k) {
+                self.semantic_hits += 1;
+                // Alias the shape so the next structurally-identical intern
+                // short-circuits without re-enumerating cells.
+                self.structural.insert(op, id);
+                return id;
+            }
+        }
+        let id = self.push_node(op, expr.clone(), streams);
+        self.structural.insert(op, id);
+        if let Some(k) = key {
+            self.semantic.insert(k, id);
+        }
+        if let DagOp::Union(l, r) | DagOp::Intersect(l, r) | DagOp::Diff(l, r) = op {
+            self.add_parent(l, id);
+            self.add_parent(r, id);
+        }
+        id
+    }
+
+    fn push_node(&mut self, op: DagOp, expr: SetExpr, streams: Vec<StreamId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(DagNode {
+            op,
+            expr,
+            streams,
+            parents: Vec::new(),
+        });
+        id
+    }
+
+    fn add_parent(&mut self, child: NodeId, parent: NodeId) {
+        // analyze: allow(indexing) — NodeIds are minted densely by this DAG.
+        let parents = &mut self.nodes[child.index()].parents;
+        if !parents.contains(&parent) {
+            parents.push(parent);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::equivalent;
+    use crate::random::random_expr;
+    use crate::simplify::simplify;
+
+    fn e(text: &str) -> SetExpr {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn duplicate_expressions_share_one_node() {
+        let mut dag = ExprDag::new();
+        let n1 = dag.intern(&e("(A & B) - C"));
+        let n2 = dag.intern(&e("(A & B) - C"));
+        assert_eq!(n1, n2);
+        // A, B, C, A&B, (A&B)-C.
+        assert_eq!(dag.len(), 5);
+        assert!(dag.structural_hits() > 0);
+    }
+
+    #[test]
+    fn shared_subtrees_are_interned_once() {
+        let mut dag = ExprDag::new();
+        let n1 = dag.intern(&e("(A & B) - C"));
+        let n2 = dag.intern(&e("(A & B) | D"));
+        assert_ne!(n1, n2);
+        // A, B, C, D, A&B, (A&B)-C, (A&B)|D — the A&B core is shared.
+        assert_eq!(dag.len(), 7);
+    }
+
+    #[test]
+    fn commuted_operands_fold_semantically() {
+        let mut dag = ExprDag::new();
+        let n1 = dag.intern(&e("A & B"));
+        let n2 = dag.intern(&e("B & A"));
+        assert_eq!(n1, n2);
+        assert_eq!(dag.semantic_hits(), 1);
+    }
+
+    #[test]
+    fn semantic_dedup_requires_same_stream_set() {
+        // (A - B) | (A & B) ≡ A as a set, but it *participates* B — the
+        // estimator scales by û over {A,B}, not {A}, so the nodes must
+        // stay distinct.
+        let mut dag = ExprDag::new();
+        let n1 = dag.intern(&e("(A - B) | (A & B)"));
+        let n2 = dag.intern(&e("A"));
+        assert_ne!(n1, n2);
+        assert!(equivalent(dag.node(n1).expr(), dag.node(n2).expr()));
+    }
+
+    #[test]
+    fn representative_is_pointwise_equal_over_same_streams() {
+        let mut dag = ExprDag::new();
+        for seed in 0..200u64 {
+            let expr = simplify(&random_expr(seed, 5, 4));
+            let id = dag.intern(&expr);
+            let node = dag.node(id);
+            assert_eq!(node.streams(), expr.streams().as_slice());
+            assert!(
+                equivalent(node.expr(), &expr),
+                "representative {} not equivalent to {}",
+                node.expr(),
+                expr
+            );
+        }
+    }
+
+    #[test]
+    fn taint_reaches_exactly_the_affected_ancestors() {
+        let mut dag = ExprDag::new();
+        let shared = dag.intern(&e("A & B"));
+        let left = dag.intern(&e("(A & B) - C"));
+        let right = dag.intern(&e("(A & B) | D"));
+        let lonely = dag.intern(&e("E"));
+
+        // C only feeds `left` (plus its own leaf).
+        let t = dag.taint(&[StreamId(2)]);
+        assert!(t.contains(&left));
+        assert!(!t.contains(&shared));
+        assert!(!t.contains(&right));
+        assert!(!t.contains(&lonely));
+        assert_eq!(t.len(), 2); // leaf C + left
+
+        // A feeds the shared core and both roots.
+        let t = dag.taint(&[StreamId(0)]);
+        assert!(t.contains(&shared) && t.contains(&left) && t.contains(&right));
+        assert!(!t.contains(&lonely));
+
+        // Unknown streams are ignored.
+        assert!(dag.taint(&[StreamId(99)]).is_empty());
+    }
+
+    #[test]
+    fn taint_is_sorted_and_deduplicated() {
+        let mut dag = ExprDag::new();
+        dag.intern(&e("(A | B) & (A | C)"));
+        let t = dag.taint(&[StreamId(0), StreamId(0), StreamId(1)]);
+        let mut sorted = t.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(t, sorted);
+    }
+
+    #[test]
+    fn deep_sharing_keeps_the_dag_small() {
+        let mut dag = ExprDag::new();
+        let base = e("(A & B) - C");
+        for i in 0..100u32 {
+            let wrapped = SetExpr::union(base.clone(), SetExpr::stream(3 + (i % 4)));
+            dag.intern(&wrapped);
+        }
+        // 3 base leaves + base internal nodes (2) + 4 variant leaves +
+        // 4 distinct roots = 13 nodes for 100 registrations.
+        assert_eq!(dag.len(), 13);
+    }
+}

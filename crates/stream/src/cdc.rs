@@ -1,0 +1,147 @@
+//! Change-data-capture ingestion: map OLTP row changes onto update
+//! tuples.
+//!
+//! A CDC feed (trigger capture, logical replication) emits row-level
+//! `INSERT` / `DELETE` / `UPDATE` events. The first two map directly onto
+//! the paper's `⟨i, e, ±v⟩` vocabulary; a row `UPDATE` changing the
+//! tracked column decomposes into a **delete of the old value plus an
+//! insert of the new one** — the pg-stream U → D+I split — which is
+//! exactly the maintenance a 2-level hash sketch needs to track the
+//! column's distinct-value multiset. An `UPDATE` that leaves the tracked
+//! column unchanged decomposes to nothing: the multiset did not move, so
+//! neither should the synopsis.
+
+use crate::update::{Element, StreamId, Update};
+
+/// A row-level change on the tracked column of one stream's source table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdcOp {
+    /// A row appeared with this tracked-column value.
+    Insert(Element),
+    /// A row with this tracked-column value disappeared.
+    Delete(Element),
+    /// A row's tracked column changed from `old` to `new`.
+    Update {
+        /// Value before the row update.
+        old: Element,
+        /// Value after the row update.
+        new: Element,
+    },
+}
+
+/// One CDC event: which stream's source table changed, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdcEvent {
+    /// The stream whose multiset the source table backs.
+    pub stream: StreamId,
+    /// The row-level change.
+    pub op: CdcOp,
+}
+
+impl CdcEvent {
+    /// A row insert.
+    pub fn insert(stream: StreamId, value: Element) -> Self {
+        CdcEvent {
+            stream,
+            op: CdcOp::Insert(value),
+        }
+    }
+
+    /// A row delete.
+    pub fn delete(stream: StreamId, value: Element) -> Self {
+        CdcEvent {
+            stream,
+            op: CdcOp::Delete(value),
+        }
+    }
+
+    /// A row update from `old` to `new`.
+    pub fn update(stream: StreamId, old: Element, new: Element) -> Self {
+        CdcEvent {
+            stream,
+            op: CdcOp::Update { old, new },
+        }
+    }
+
+    /// Decompose into update tuples: `I → +1`, `D → −1`, and
+    /// `U → D(old) + I(new)` (empty when `old == new`).
+    pub fn decompose(&self) -> Vec<Update> {
+        match self.op {
+            CdcOp::Insert(v) => vec![Update::insert(self.stream, v, 1)],
+            CdcOp::Delete(v) => vec![Update::delete(self.stream, v, 1)],
+            CdcOp::Update { old, new } if old == new => Vec::new(),
+            CdcOp::Update { old, new } => vec![
+                Update::delete(self.stream, old, 1),
+                Update::insert(self.stream, new, 1),
+            ],
+        }
+    }
+}
+
+/// Decompose a batch of CDC events into one flat update batch, preserving
+/// per-event ordering (each `UPDATE`'s delete precedes its insert).
+pub fn decompose_batch(events: &[CdcEvent]) -> Vec<Update> {
+    events.iter().flat_map(CdcEvent::decompose).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_delete_map_directly() {
+        let i = CdcEvent::insert(StreamId(0), 7).decompose();
+        assert_eq!(i, vec![Update::insert(StreamId(0), 7, 1)]);
+        let d = CdcEvent::delete(StreamId(1), 9).decompose();
+        assert_eq!(d, vec![Update::delete(StreamId(1), 9, 1)]);
+    }
+
+    #[test]
+    fn update_splits_into_delete_then_insert() {
+        let u = CdcEvent::update(StreamId(2), 10, 20).decompose();
+        assert_eq!(
+            u,
+            vec![
+                Update::delete(StreamId(2), 10, 1),
+                Update::insert(StreamId(2), 20, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn no_op_update_decomposes_to_nothing() {
+        assert!(CdcEvent::update(StreamId(0), 5, 5).decompose().is_empty());
+    }
+
+    #[test]
+    fn batch_preserves_order() {
+        let events = [
+            CdcEvent::insert(StreamId(0), 1),
+            CdcEvent::update(StreamId(0), 1, 2),
+            CdcEvent::delete(StreamId(0), 2),
+        ];
+        let updates = decompose_batch(&events);
+        assert_eq!(updates.len(), 4);
+        assert_eq!(updates[1], Update::delete(StreamId(0), 1, 1));
+        assert_eq!(updates[2], Update::insert(StreamId(0), 2, 1));
+    }
+
+    #[test]
+    fn cdc_stream_nets_out_exactly() {
+        // Replaying a CDC history through a Multiset lands on the final
+        // table contents.
+        use crate::multiset::Multiset;
+        let history = [
+            CdcEvent::insert(StreamId(0), 1),
+            CdcEvent::insert(StreamId(0), 2),
+            CdcEvent::update(StreamId(0), 1, 3),
+            CdcEvent::delete(StreamId(0), 2),
+        ];
+        let mut m = Multiset::new();
+        for u in decompose_batch(&history) {
+            m.apply(&u).unwrap();
+        }
+        assert_eq!(m.distinct_count(), 1);
+        assert_eq!(m.frequency(3), 1);
+    }
+}

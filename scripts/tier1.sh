@@ -112,6 +112,22 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     else
         echo "    staged-pipeline scaling gate inert (cores=${cores} < 4)"
     fi
+
+    echo "==> standing-query smoke bench (quick)"
+    cargo run --release -q -p setstream-bench --bin subs_bench -- \
+        --quick --out target/BENCH_subs.quick.json
+    echo "    wrote target/BENCH_subs.quick.json"
+
+    # The interned-DAG incremental path must beat from-scratch
+    # re-evaluation of a 90%-shared subscription family by ≥5x at 100k
+    # elements (the full bench records ~15x; 5 is the contract floor).
+    subs_speedup=$(sed -n 's/.*"speedup_100k": \([0-9.]*\).*/\1/p' \
+        target/BENCH_subs.quick.json)
+    echo "    incremental vs full at 100k: ${subs_speedup}x"
+    awk -v s="$subs_speedup" 'BEGIN { exit !(s != "" && s >= 5.0) }' || {
+        echo "tier-1: FAIL — subscription speedup ${subs_speedup}x below floor 5.0x" >&2
+        exit 1
+    }
 fi
 
 echo "tier-1: OK"
