@@ -1,0 +1,619 @@
+//! Workspace graphs over the symbol model: call edges, lock acquisitions,
+//! and the atomic release/acquire index.
+//!
+//! Everything here is lexical and per-crate:
+//!
+//! * a **call edge** `F → G` exists when an identifier in `F`'s body,
+//!   followed by `(` (or a `::<` turbofish), names a function defined in
+//!   the same crate — preferring definitions in the same *file* when one
+//!   exists (method resolution and cross-crate calls are documented blind
+//!   spots: an edge says "may call", never "proves calls");
+//! * a **lock acquisition** is a `.lock()` / `.read()` / `.write()` call
+//!   with empty argument parentheses (distinguishing `Mutex::lock` and
+//!   `RwLock::read`/`write` from `io::Read::read(&mut buf)`), keyed by the
+//!   receiver chain's final field identifier per crate. An acquisition in
+//!   a `let` statement is *held* to the end of the function (guard drop is
+//!   not tracked — conservative);
+//! * the **atomic index** records every `.store/.load/.fetch_*/.swap/
+//!   .compare_exchange` with an explicit `Ordering::{Release, Acquire,
+//!   AcqRel}` by `(crate, field)`. `SeqCst` is excluded here because rule
+//!   A01 already forbids it outright.
+
+use crate::scrub::is_ident_byte;
+use crate::symbols::Symbols;
+use crate::AnalyzedFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A lock's identity: `(crate, receiver field)`.
+pub type LockKey = (String, String);
+
+/// One lock acquisition site.
+#[derive(Debug, Clone)]
+pub struct LockAcq {
+    pub key: LockKey,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+    /// Bound into a `let` guard (held to end of fn) vs. a temporary.
+    pub held: bool,
+}
+
+/// One atomic operation with an explicit non-SeqCst ordering.
+#[derive(Debug, Clone)]
+pub struct AtomicOp {
+    pub file: usize,
+    pub line: usize,
+    /// `true` for a Release(/AcqRel)-class write, `false` for an
+    /// Acquire(/AcqRel)-class read.
+    pub is_release_write: bool,
+}
+
+/// Call, lock, and atomic facts for one analyzed tree.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Per function: callee indices with the 1-based call-site line.
+    pub calls: Vec<Vec<(usize, usize)>>,
+    /// Per function: lock acquisitions in source order.
+    pub locks: Vec<Vec<LockAcq>>,
+    /// Per function: transitive lock keys acquired by this fn or any
+    /// same-crate callee (fixpoint over `calls`).
+    pub acquires_star: Vec<BTreeSet<LockKey>>,
+    /// Per function: directly performs blocking I/O.
+    pub does_io: Vec<bool>,
+    /// Per function: this fn or a transitive callee performs I/O.
+    pub does_io_star: Vec<bool>,
+    /// Atomic operations grouped by `(crate, field)`.
+    pub atomics: BTreeMap<(String, String), Vec<AtomicOp>>,
+}
+
+/// Blocking-I/O markers for the guard-across-I/O check (rule A09): socket
+/// and file calls plus blocking channel receives and sleeps.
+const IO_PATTERNS: &[&str] = &[
+    ".write_all(",
+    ".read_exact(",
+    ".flush()",
+    ".accept()",
+    "TcpStream::connect",
+    "thread::sleep",
+    ".recv()",
+    ".recv_timeout(",
+];
+
+impl Graph {
+    /// Build every graph over `files`/`sym`.
+    pub fn build(files: &[AnalyzedFile], sym: &Symbols) -> Graph {
+        let mut g = Graph {
+            calls: vec![Vec::new(); sym.fns.len()],
+            locks: vec![Vec::new(); sym.fns.len()],
+            acquires_star: vec![BTreeSet::new(); sym.fns.len()],
+            does_io: vec![false; sym.fns.len()],
+            does_io_star: vec![false; sym.fns.len()],
+            atomics: BTreeMap::new(),
+        };
+        // (crate, name) -> fn indices, and (file, name) -> fn indices for
+        // the file-local-first resolution rule.
+        let mut by_crate: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_file: BTreeMap<(usize, &str), Vec<usize>> = BTreeMap::new();
+        for (i, f) in sym.fns.iter().enumerate() {
+            by_crate.entry((f.crate_name.as_str(), f.name.as_str())).or_default().push(i);
+            by_file.entry((f.file, f.name.as_str())).or_default().push(i);
+        }
+        for (file_idx, f) in files.iter().enumerate() {
+            for (line0, text) in f.scrubbed.lines.iter().enumerate() {
+                let line = line0 + 1;
+                let Some(owner) = sym.owner_idx(file_idx, line) else { continue };
+                let owner_sym = &sym.fns[owner];
+                if line == owner_sym.decl_line {
+                    continue; // the signature itself
+                }
+                for (qualifier, name) in called_idents(text) {
+                    let targets = by_file
+                        .get(&(file_idx, name))
+                        .or_else(|| by_crate.get(&(owner_sym.crate_name.as_str(), name)));
+                    if let Some(targets) = targets {
+                        for &t in targets {
+                            if t == owner {
+                                continue;
+                            }
+                            // A qualified call `Type::name(..)` only
+                            // resolves to `Type`'s own methods (so
+                            // `OnceLock::new()` never resolves to some
+                            // unrelated local `new`); free functions still
+                            // match any qualifier (module paths).
+                            if let (Some(q), Some(it)) = (qualifier, &sym.fns[t].impl_type) {
+                                if q != "Self" && q != it {
+                                    continue;
+                                }
+                            }
+                            g.calls[owner].push((t, line));
+                        }
+                    }
+                }
+                for acq in lock_acquisitions(&f.scrubbed.lines, line0, &sym.fns[owner].crate_name)
+                {
+                    g.locks[owner].push(acq);
+                }
+                if IO_PATTERNS.iter().any(|p| text.contains(p)) {
+                    g.does_io[owner] = true;
+                }
+                index_atomics(
+                    &f.scrubbed.lines,
+                    line0,
+                    file_idx,
+                    &owner_sym.crate_name,
+                    &mut g.atomics,
+                );
+            }
+        }
+        g.propagate();
+        g
+    }
+
+    /// Fixpoint of transitive lock sets and I/O reachability over calls.
+    fn propagate(&mut self) {
+        for (i, locks) in self.locks.iter().enumerate() {
+            for acq in locks {
+                self.acquires_star[i].insert(acq.key.clone());
+            }
+        }
+        self.does_io_star.copy_from_slice(&self.does_io);
+        loop {
+            let mut changed = false;
+            for i in 0..self.calls.len() {
+                for &(callee, _) in &self.calls[i].clone() {
+                    if self.does_io_star[callee] && !self.does_io_star[i] {
+                        self.does_io_star[i] = true;
+                        changed = true;
+                    }
+                    let add: Vec<LockKey> = self.acquires_star[callee]
+                        .difference(&self.acquires_star[i])
+                        .cloned()
+                        .collect();
+                    if !add.is_empty() {
+                        self.acquires_star[i].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+/// Identifiers on `text` that look like call sites: an ident run followed
+/// (after optional whitespace) by `(`, or by a `::<...>` turbofish and
+/// then `(`. Each comes with its immediate path qualifier, if any
+/// (`OnceLock::new(` → `(Some("OnceLock"), "new")`).
+fn called_idents(text: &str) -> Vec<(Option<&str>, &str)> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !is_ident_byte(bytes[i]) || bytes[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let mut j = i;
+        if bytes.get(j) == Some(&b':') && bytes.get(j + 1) == Some(&b':') {
+            if bytes.get(j + 2) == Some(&b'<') {
+                // Skip the turbofish's generic arguments.
+                let mut depth = 0i64;
+                let mut k = j + 2;
+                while k < bytes.len() {
+                    match bytes[k] {
+                        b'<' => depth += 1,
+                        b'>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k;
+            } else {
+                continue; // a path segment (`mod::name`), handled at `name`
+            }
+        }
+        while bytes.get(j) == Some(&b' ') {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'(') {
+            let mut qualifier = None;
+            if start >= 2 && bytes[start - 1] == b':' && bytes[start - 2] == b':' {
+                let q_end = start - 2;
+                let mut q_start = q_end;
+                while q_start > 0 && is_ident_byte(bytes[q_start - 1]) {
+                    q_start -= 1;
+                }
+                // `>::assoc(` and similar non-ident prefixes yield an
+                // empty qualifier, treated as unqualified.
+                if q_start < q_end {
+                    qualifier = Some(&text[q_start..q_end]);
+                }
+            }
+            out.push((qualifier, &text[start..i]));
+        }
+    }
+    out
+}
+
+/// Lock acquisitions on 0-based `line0`: `.lock()` / `.read()` / `.write()`
+/// with an identifier receiver (method chains split across lines resolve
+/// the receiver from the previous line's trailing identifier).
+fn lock_acquisitions(lines: &[String], line0: usize, crate_name: &str) -> Vec<LockAcq> {
+    let text = &lines[line0];
+    let mut out = Vec::new();
+    for pat in [".lock()", ".read()", ".write()"] {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(pat) {
+            let at = from + pos;
+            from = at + pat.len();
+            let field = receiver_field(lines, line0, at);
+            let Some(field) = field else { continue };
+            out.push(LockAcq {
+                key: (crate_name.to_string(), field),
+                line: line0 + 1,
+                held: statement_has_let(lines, line0),
+            });
+        }
+    }
+    out
+}
+
+/// The receiver chain's final field identifier for a method call whose
+/// `.` sits at byte `at` of line `line0`; `None` when the receiver is not
+/// a plain field chain (e.g. `stdout().lock()`).
+fn receiver_field(lines: &[String], line0: usize, at: usize) -> Option<String> {
+    let before = &lines[line0][..at];
+    let trimmed = before.trim_end();
+    let (hay, end) = if trimmed.is_empty() && line0 > 0 {
+        // Chain continuation: `self.state\n    .lock()`.
+        let prev = lines[line0 - 1].trim_end();
+        (prev, prev.len())
+    } else {
+        (trimmed, trimmed.len())
+    };
+    let bytes = hay.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    let ident = &hay[start..end];
+    // Reject bare calls (`lock()`) and keywords; require a field access
+    // (`.ident`) or a known lock-holding local/receiver.
+    if ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(ident.to_string())
+}
+
+/// Does the statement containing 0-based `line0` start with `let`?
+/// Scans upward (at most 4 lines) until the previous statement boundary.
+fn statement_has_let(lines: &[String], line0: usize) -> bool {
+    let mut l = line0;
+    loop {
+        let text = lines[l].trim();
+        if crate::scrub::find_word(text, "let").is_some() {
+            return true;
+        }
+        if l == 0 || line0 - l >= 4 {
+            return false;
+        }
+        let prev = lines[l - 1].trim_end();
+        if prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}') {
+            return false;
+        }
+        l -= 1;
+    }
+}
+
+/// Record atomic operations with explicit orderings on 0-based `line0`.
+fn index_atomics(
+    lines: &[String],
+    line0: usize,
+    file: usize,
+    crate_name: &str,
+    atomics: &mut BTreeMap<(String, String), Vec<AtomicOp>>,
+) {
+    let text = &lines[line0];
+    let line = line0 + 1;
+    if !text.contains("Ordering::") {
+        return;
+    }
+    let methods: &[(&str, bool, bool)] = &[
+        // (pattern, can_release_write, can_acquire_read)
+        (".store(", true, false),
+        (".swap(", true, true),
+        (".fetch_", true, true),
+        (".compare_exchange", true, true),
+        (".load(", false, true),
+    ];
+    for (pat, can_write, can_read) in methods {
+        let Some(at) = text.find(pat) else { continue };
+        let Some(field) = atomic_field(lines, line0, at) else { continue };
+        let args = &text[at..];
+        let release = args.contains("Ordering::Release") || args.contains("Ordering::AcqRel");
+        let acquire = args.contains("Ordering::Acquire") || args.contains("Ordering::AcqRel");
+        let key = (crate_name.to_string(), field);
+        if *can_write && release {
+            atomics.entry(key.clone()).or_default().push(AtomicOp {
+                file,
+                line,
+                is_release_write: true,
+            });
+        }
+        if *can_read && acquire {
+            atomics.entry(key).or_default().push(AtomicOp {
+                file,
+                line,
+                is_release_write: false,
+            });
+        }
+    }
+}
+
+/// The atomic receiver's field identifier for the method whose `.` is at
+/// byte `at` of line `line0`, stepping over one `[...]` index
+/// (`self.buckets[i].fetch_add` keys as `buckets`).
+///
+/// When the receiver is a plain local — a closure parameter like
+/// `.map(|b| b.load(..))` or a loop binding like `for b in &self.buckets`
+/// — the key is resolved from the iterated field by walking the method
+/// chain (or the binding line) backwards. `SCREAMING_CASE` receivers are
+/// kept as-is (statics). An unresolvable local is not indexed at all:
+/// keying it by the binding name would invent phantom unpaired fields.
+fn atomic_field(lines: &[String], line0: usize, at: usize) -> Option<String> {
+    let text = &lines[line0];
+    let bytes = text.as_bytes();
+    let mut end = at;
+    if end > 0 && bytes[end - 1] == b']' {
+        let mut depth = 0i64;
+        while end > 0 {
+            end -= 1;
+            match bytes[end] {
+                b']' => depth += 1,
+                b'[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    let ident = &text[start..end];
+    if start > 0 && bytes[start - 1] == b'.' {
+        return Some(ident.to_string()); // field access: key as-is
+    }
+    if !ident.chars().any(|c| c.is_ascii_lowercase()) {
+        return Some(ident.to_string()); // `static FLAG: AtomicU64` style
+    }
+    // Closure parameter? Resolve the chain root's field.
+    let pre = &text[..start];
+    if let Some(p2) = pre.rfind('|') {
+        if let Some(p1) = pre[..p2].rfind('|') {
+            if crate::scrub::find_word(&pre[p1..p2], ident).is_some() {
+                let mut l = line0;
+                let mut seg = pre[..p1].to_string();
+                loop {
+                    if let Some(f) = last_field_access(&seg) {
+                        return Some(f);
+                    }
+                    if l == 0 || line0 - l >= 8 || !lines[l].trim_start().starts_with('.') {
+                        break;
+                    }
+                    l -= 1;
+                    seg.clone_from(&lines[l]);
+                }
+                return None;
+            }
+        }
+    }
+    // Loop or `let` binding? Resolve the bound expression's field.
+    for l in (line0.saturating_sub(8)..=line0).rev() {
+        let t = &lines[l];
+        let bound = crate::scrub::find_word(t, "for")
+            .filter(|&f| {
+                crate::scrub::find_word(&t[f..], ident)
+                    .is_some_and(|i| crate::scrub::find_word(&t[f + i..], "in").is_some())
+            })
+            .or_else(|| {
+                crate::scrub::find_word(t, "let")
+                    .filter(|&f| crate::scrub::find_word(&t[f..], ident).is_some())
+            });
+        if bound.is_some() {
+            return last_field_access(t);
+        }
+    }
+    None
+}
+
+/// The last `.field` access in `segment` that is *not* a method call
+/// (`self.buckets.iter()` → `buckets`).
+fn last_field_access(segment: &str) -> Option<String> {
+    let bytes = segment.as_bytes();
+    let mut best = None;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'.'
+            && i + 1 < bytes.len()
+            && is_ident_byte(bytes[i + 1])
+            && !bytes[i + 1].is_ascii_digit()
+        {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && is_ident_byte(bytes[j]) {
+                j += 1;
+            }
+            let mut k = j;
+            while k < bytes.len() && bytes[k] == b' ' {
+                k += 1;
+            }
+            if bytes.get(k) != Some(&b'(') {
+                best = Some(segment[start..j].to_string());
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+    use crate::symbols::Symbols;
+
+    fn tree(src: &str) -> (Vec<AnalyzedFile>, Symbols) {
+        let files = vec![AnalyzedFile {
+            scrubbed: scrub("crates/demo/src/lib.rs", src, false),
+            is_lib_source: true,
+            atomics_allowed: false,
+            field_allowed: false,
+            cells_allowed: false,
+        }];
+        let sym = Symbols::build(&files);
+        (files, sym)
+    }
+
+    #[test]
+    fn call_edges_resolve_in_crate() {
+        let src = "fn a() {\n    b();\n    missing();\n}\nfn b() {}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        assert_eq!(g.calls[0], vec![(1, 2)]);
+        assert!(g.calls[1].is_empty());
+    }
+
+    #[test]
+    fn turbofish_calls_are_edges() {
+        let src = "fn a() {\n    b::<4>(1);\n}\nfn b<const N: usize>(x: u64) {}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        assert_eq!(g.calls[0], vec![(1, 2)]);
+    }
+
+    #[test]
+    fn locks_held_vs_temporary() {
+        let src = "fn f(&self) {\n    let g = self.state.lock();\n    self.other.lock().len();\n}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        let locks = &g.locks[0];
+        assert_eq!(locks.len(), 2);
+        assert!(locks[0].held && locks[0].key.1 == "state");
+        assert!(!locks[1].held && locks[1].key.1 == "other");
+    }
+
+    #[test]
+    fn chain_continuation_resolves_receiver() {
+        let src = "fn f(&self) {\n    let s = self.spans\n        .lock()\n        .unwrap_or_default();\n}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        assert_eq!(g.locks[0].len(), 1);
+        assert_eq!(g.locks[0][0].key.1, "spans");
+        assert!(g.locks[0][0].held);
+    }
+
+    #[test]
+    fn free_function_receivers_are_ignored() {
+        let src = "fn f() {\n    let mut o = stdout().lock();\n}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        assert!(g.locks[0].is_empty());
+    }
+
+    #[test]
+    fn atomic_index_classifies_and_keys() {
+        let src = "fn f(&self) {\n    self.published.store(1, Ordering::Release);\n    self.buckets[i].fetch_add(1, Ordering::Release);\n    let x = self.published.load(Ordering::Acquire);\n}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        let pubs = &g.atomics[&("demo".to_string(), "published".to_string())];
+        assert_eq!(pubs.len(), 2);
+        assert!(pubs[0].is_release_write && !pubs[1].is_release_write);
+        let buckets = &g.atomics[&("demo".to_string(), "buckets".to_string())];
+        assert_eq!(buckets.len(), 1);
+    }
+
+    #[test]
+    fn qualified_calls_do_not_resolve_to_foreign_types() {
+        // `OnceLock::new()` must not create an edge to `Bank::new`.
+        let src = "struct Bank;\nimpl Bank {\n    fn new() -> Bank { Bank }\n}\nfn dispatch() {\n    let x = OnceLock::new();\n}\nfn build() {\n    let b = Bank::new();\n}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        let dispatch = sym.fns.iter().position(|f| f.name == "dispatch").unwrap();
+        let build = sym.fns.iter().position(|f| f.name == "build").unwrap();
+        assert!(g.calls[dispatch].is_empty(), "{:?}", g.calls[dispatch]);
+        assert_eq!(g.calls[build].len(), 1);
+    }
+
+    #[test]
+    fn self_qualified_calls_resolve() {
+        let src = "struct B;\nimpl B {\n    fn new() -> B { B }\n    fn mk() -> B {\n        Self::new()\n    }\n}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        let mk = sym.fns.iter().position(|f| f.name == "mk").unwrap();
+        assert_eq!(g.calls[mk].len(), 1);
+    }
+
+    #[test]
+    fn closure_atomics_key_by_chain_root_field() {
+        let src = "fn f(&self) {\n    let n: u64 = self\n        .buckets\n        .iter()\n        .map(|b| b.load(Ordering::Acquire))\n        .sum();\n}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        assert!(
+            g.atomics.contains_key(&("demo".to_string(), "buckets".to_string())),
+            "{:?}",
+            g.atomics
+        );
+        assert!(!g.atomics.contains_key(&("demo".to_string(), "b".to_string())));
+    }
+
+    #[test]
+    fn loop_binding_atomics_resolve_and_statics_key_as_is() {
+        let src = "fn f(&self) {\n    for c in &self.cells {\n        c.store(0, Ordering::Release);\n    }\n    FLAG.store(1, Ordering::Release);\n}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        assert!(g.atomics.contains_key(&("demo".to_string(), "cells".to_string())));
+        assert!(g.atomics.contains_key(&("demo".to_string(), "FLAG".to_string())));
+    }
+
+    #[test]
+    fn unresolvable_local_atomics_are_not_indexed() {
+        let src = "fn f(cell: &AtomicU64) {\n    cell.store(1, Ordering::Release);\n}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        assert!(g.atomics.is_empty(), "{:?}", g.atomics);
+    }
+
+    #[test]
+    fn io_propagates_through_calls() {
+        let src = "fn outer(&self) {\n    inner();\n}\nfn inner() {\n    sock.write_all(&[]);\n}\n";
+        let (files, sym) = tree(src);
+        let g = Graph::build(&files, &sym);
+        assert!(g.does_io_star[0]);
+        assert!(!g.does_io[0]);
+        assert!(g.does_io[1]);
+    }
+}

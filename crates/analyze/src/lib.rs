@@ -14,19 +14,29 @@
 //! | A05  | container magic literals defined exactly once |
 //! | A06  | every public error enum implements `Display + std::error::Error` |
 //! | A07  | sketch counter cells are written only by the audited cell kernel |
+//! | A08  | unsafe sites carry `// SAFETY:`; `#[target_feature]` fns called only from same-feature fns or the audited dispatch |
+//! | A09  | no cyclic lock-order pairs; no guards held across blocking I/O in transport/coordinator |
+//! | A10  | every Release store has an Acquire load partner on the same atomic field (and vice versa) |
+//! | A11  | audited hot kernels and their same-crate callees are allocation- and panic-free |
+//! | A12  | no wildcard `_ =>` arms in matches over wire frame enums |
 //!
 //! Escape hatch: `// analyze: allow(<rule>) — <reason>` on (or directly
 //! above) the offending line, or `//! analyze: allow(<rule>) — <reason>`
 //! to waive a rule for a whole file. Rule names: `atomics`, `field`,
-//! `panic`, `indexing`, `deprecated`, `magic`, `error-impl`, `cells`.
+//! `panic`, `indexing`, `deprecated`, `magic`, `error-impl`, `cells`,
+//! `unsafe`, `lock-order`, `atomic-pair`, `hotpath`, `wire-match`.
 //!
 //! The pass is lexical by design (the build environment vendors no `syn`):
 //! sources are scrubbed of comments and string literals first, which makes
-//! substring-level matching sound for the patterns these rules need. See
-//! [`scrub`] for the machinery and DESIGN.md §8 for the rule rationale.
+//! substring-level matching sound for the patterns these rules need.
+//! Rules A08–A11 additionally consult a symbol table ([`symbols`]) and a
+//! per-crate call/lock/atomic graph ([`graph`]) built from the same
+//! scrubbed lines. See DESIGN.md §8 for semantics and known blind spots.
 
+pub mod graph;
 pub mod rules;
 pub mod scrub;
+pub mod symbols;
 
 use scrub::ScrubbedFile;
 use std::fmt;
@@ -66,6 +76,20 @@ pub struct Config {
     pub field_modules: Vec<String>,
     /// Path suffixes where sketch counter cells may be mutated (rule A07).
     pub cell_modules: Vec<String>,
+    /// Function names that perform the audited runtime CPU-feature
+    /// dispatch; calling a `#[target_feature]` fn is sanctioned from any
+    /// fn whose body consults one of these (rule A08).
+    pub feature_dispatch_fns: Vec<String>,
+    /// Audited hot-path roots as `(path suffix, fn name)`; the fns and
+    /// their transitive same-crate callees must be allocation- and
+    /// panic-free (rule A11).
+    pub hot_roots: Vec<(String, String)>,
+    /// Wire/transport frame enum names; matches over them must not have
+    /// wildcard `_ =>` arms (rule A12).
+    pub wire_enums: Vec<String>,
+    /// Path suffixes where a lock guard held across blocking I/O is
+    /// flagged (rule A09).
+    pub io_guard_modules: Vec<String>,
 }
 
 impl Config {
@@ -86,6 +110,27 @@ impl Config {
             ],
             field_modules: vec!["crates/hash/src/field.rs".to_string()],
             cell_modules: vec!["crates/core/src/sketch/two_level.rs".to_string()],
+            feature_dispatch_fns: vec!["backend".to_string()],
+            hot_roots: [
+                ("crates/hash/src/simd.rs", "accumulate_uniform"),
+                ("crates/hash/src/simd.rs", "accumulate_weighted"),
+                ("crates/hash/src/simd.rs", "hash_bits"),
+                ("crates/hash/src/simd.rs", "horner_many"),
+                ("crates/core/src/sketch/two_level.rs", "update"),
+                ("crates/core/src/sketch/two_level.rs", "update_batch"),
+                ("crates/core/src/sketch/two_level.rs", "update_chunk"),
+                ("crates/core/src/sketch/two_level.rs", "update_chunk_prepared"),
+                ("crates/engine/src/runqueue.rs", "publish"),
+                ("crates/engine/src/runqueue.rs", "wait"),
+            ]
+            .iter()
+            .map(|(p, f)| ((*p).to_string(), (*f).to_string()))
+            .collect(),
+            wire_enums: vec!["FrameKind".to_string()],
+            io_guard_modules: vec![
+                "crates/distributed/src/transport.rs".to_string(),
+                "crates/distributed/src/coordinator.rs".to_string(),
+            ],
         }
     }
 
@@ -99,6 +144,10 @@ impl Config {
             atomic_modules: vec!["src/clock.rs".to_string()],
             field_modules: vec!["src/field.rs".to_string()],
             cell_modules: vec!["src/sketch.rs".to_string()],
+            feature_dispatch_fns: vec!["backend".to_string()],
+            hot_roots: vec![("src/kernel.rs".to_string(), "hot_root".to_string())],
+            wire_enums: vec!["WireKind".to_string()],
+            io_guard_modules: vec!["src/transport.rs".to_string()],
         }
     }
 
@@ -146,6 +195,27 @@ pub struct AnalyzedFile {
 /// # Errors
 /// Returns an error string if the root cannot be read.
 pub fn analyze(config: &Config) -> Result<Vec<Diagnostic>, String> {
+    let analyzed = load(config)?;
+    let mut diags = rules::run_all(config, &analyzed);
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.code).cmp(&(b.path.as_str(), b.line, b.code))
+    });
+    Ok(diags)
+}
+
+/// Count the `analyze: allow(...)` waiver comments in the configured tree
+/// (well-formed ones only; malformed allows are rule A00's findings, not
+/// waivers). `scripts/tier1.sh` pins this so the count can only ratchet
+/// down.
+///
+/// # Errors
+/// Returns an error string if the root cannot be read.
+pub fn waiver_count(config: &Config) -> Result<usize, String> {
+    Ok(load(config)?.iter().map(|f| f.scrubbed.allows.len()).sum())
+}
+
+/// Scrub and classify every `.rs` file under the configured scan dirs.
+fn load(config: &Config) -> Result<Vec<AnalyzedFile>, String> {
     let mut files = Vec::new();
     for dir in &config.scan_dirs {
         let base = config.root.join(dir);
@@ -180,11 +250,7 @@ pub fn analyze(config: &Config) -> Result<Vec<Diagnostic>, String> {
             scrubbed,
         });
     }
-    let mut diags = rules::run_all(&analyzed);
-    diags.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.code).cmp(&(b.path.as_str(), b.line, b.code))
-    });
-    Ok(diags)
+    Ok(analyzed)
 }
 
 /// Render diagnostics one per line (the golden-file format).
@@ -194,6 +260,45 @@ pub fn render(diags: &[Diagnostic]) -> String {
         out.push_str(&d.to_string());
         out.push('\n');
     }
+    out
+}
+
+/// Render diagnostics as a JSON array (`--format json`): objects with
+/// `code`, `path`, `line`, and `message` keys, one finding per element.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"code\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            json_string(d.code),
+            json_string(&d.path),
+            d.line,
+            json_string(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
     out
 }
 

@@ -2,7 +2,7 @@
 //!
 //! Exit codes: `0` clean, `1` diagnostics reported, `2` usage/IO error.
 
-use setstream_analyze::{analyze, Config};
+use setstream_analyze::{analyze, render, render_json, waiver_count, Config};
 use std::path::PathBuf;
 
 fn main() {
@@ -13,6 +13,8 @@ fn run() -> i32 {
     let mut root: Option<PathBuf> = None;
     let mut quiet = false;
     let mut fixture = false;
+    let mut json = false;
+    let mut waivers = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,16 +27,31 @@ fn run() -> i32 {
             },
             "--quiet" | "-q" => quiet = true,
             "--fixture" => fixture = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => {
+                    eprintln!("--format needs `text` or `json`");
+                    return 2;
+                }
+            },
+            "--waivers" => waivers = true,
             "--help" | "-h" => {
                 println!(
                     "setstream-analyze: workspace invariant analyzer\n\
                      \n\
                      USAGE: setstream-analyze [--root <workspace>] [--quiet] [--fixture]\n\
+                     \x20                        [--format text|json] [--waivers]\n\
                      \n\
-                     --fixture treats --root as a single fixture mini-crate\n\
-                     (used to regenerate the golden files under tests/fixtures).\n\
+                     --fixture treats --root as a single fixture mini-crate and prints\n\
+                     bare diagnostics (used to regenerate the golden files under\n\
+                     tests/fixtures).\n\
+                     --format json prints findings as a JSON array of\n\
+                     {{code, path, line, message}} objects.\n\
+                     --waivers prints the count of well-formed `analyze: allow(...)`\n\
+                     comments and exits 0 (the tier-1 ratchet input).\n\
                      \n\
-                     Runs rules A01-A07 over the workspace crates (see DESIGN.md §8).\n\
+                     Runs rules A01-A12 over the workspace crates (see DESIGN.md §8).\n\
                      Exit 0 = clean, 1 = findings, 2 = usage/IO error."
                 );
                 return 0;
@@ -56,18 +73,36 @@ fn run() -> i32 {
         },
     };
     let config = if fixture { Config::fixture(&root) } else { Config::workspace(&root) };
+    if waivers {
+        return match waiver_count(&config) {
+            Ok(n) => {
+                println!("{n}");
+                0
+            }
+            Err(e) => {
+                eprintln!("setstream-analyze: {e}");
+                2
+            }
+        };
+    }
     match analyze(&config) {
         Ok(diags) if diags.is_empty() => {
-            if !quiet {
-                println!("setstream-analyze: workspace clean (rules A01-A07)");
+            if json {
+                print!("{}", render_json(&diags));
+            } else if !quiet && !fixture {
+                println!("setstream-analyze: workspace clean (rules A01-A12)");
             }
             0
         }
         Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+            if json {
+                print!("{}", render_json(&diags));
+            } else {
+                print!("{}", render(&diags));
+                if !fixture {
+                    println!("setstream-analyze: {} finding(s)", diags.len());
+                }
             }
-            println!("setstream-analyze: {} finding(s)", diags.len());
             1
         }
         Err(e) => {

@@ -1,14 +1,18 @@
-//! The analyzer's rules, A01 through A07 (plus A00 for malformed allows).
+//! The analyzer's rules, A01 through A12 (plus A00 for malformed allows).
 //!
 //! Every rule works on scrubbed lines (comments and literals blanked, see
 //! [`crate::scrub`]), skips test code, and honours the allow escape hatch.
 
-use crate::scrub::is_ident_byte;
-use crate::{AnalyzedFile, Diagnostic};
+use crate::graph::Graph;
+use crate::scrub::{find_word, is_ident_byte};
+use crate::symbols::Symbols;
+use crate::{AnalyzedFile, Config, Diagnostic};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Run every rule over the scrubbed tree.
-pub fn run_all(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
+pub fn run_all(config: &Config, files: &[AnalyzedFile]) -> Vec<Diagnostic> {
+    let symbols = Symbols::build(files);
+    let graph = Graph::build(files, &symbols);
     let mut diags = Vec::new();
     rule_a00_malformed_allows(files, &mut diags);
     rule_a01_atomics(files, &mut diags);
@@ -18,6 +22,11 @@ pub fn run_all(files: &[AnalyzedFile]) -> Vec<Diagnostic> {
     rule_a05_magic_literals(files, &mut diags);
     rule_a06_error_enums(files, &mut diags);
     rule_a07_cells(files, &mut diags);
+    rule_a08_unsafe_discipline(config, files, &symbols, &graph, &mut diags);
+    rule_a09_lock_order(config, files, &symbols, &graph, &mut diags);
+    rule_a10_atomic_pairing(files, &graph, &mut diags);
+    rule_a11_hot_path(config, files, &symbols, &graph, &mut diags);
+    rule_a12_wire_enums(config, files, &mut diags);
     diags
 }
 
@@ -34,23 +43,6 @@ fn diag(
         line,
         message,
     });
-}
-
-/// Find `needle` in `hay` requiring identifier boundaries on both sides.
-fn find_word(hay: &str, needle: &str) -> Option<usize> {
-    let bytes = hay.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(needle) {
-        let at = from + pos;
-        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
-        let end = at + needle.len();
-        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
-        if before_ok && after_ok {
-            return Some(at);
-        }
-        from = at + 1;
-    }
-    None
 }
 
 /// Non-test, per-line iteration helper: yields `(1-based line, text)`.
@@ -468,6 +460,500 @@ fn mutates_counters(text: &str) -> bool {
         }
     }
     false
+}
+
+// ---------------------------------------------------------------- A08
+
+fn rule_a08_unsafe_discipline(
+    config: &Config,
+    files: &[AnalyzedFile],
+    symbols: &Symbols,
+    graph: &Graph,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Part 1: every `unsafe fn` / `unsafe {` / `unsafe impl` site carries
+    // a `// SAFETY:` comment on the line or within 3 lines above.
+    for f in files {
+        for (line, text) in code_lines(f) {
+            let Some(at) = find_word(text, "unsafe") else { continue };
+            let rest = text[at + "unsafe".len()..].trim_start();
+            let is_site = rest.starts_with('{')
+                || find_word(rest, "fn") == Some(0)
+                || find_word(rest, "impl") == Some(0)
+                || find_word(rest, "trait") == Some(0);
+            if !is_site {
+                continue;
+            }
+            let justified = f
+                .scrubbed
+                .safety_lines
+                .iter()
+                .any(|&s| s <= line && line.saturating_sub(s) <= 3);
+            if !justified && !f.scrubbed.is_allowed("unsafe", line) {
+                diag(
+                    "A08",
+                    f,
+                    line,
+                    "unsafe site without a `// SAFETY:` comment — state the obligation \
+                     the caller discharges (CPU feature, slice length, pointer validity) \
+                     on the line or within 3 lines above; escape hatch: \
+                     // analyze: allow(unsafe) — <reason>"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+    // Part 2: `#[target_feature]` functions may only be called from fns
+    // with (at least) the same features, or from a function that consults
+    // the audited runtime dispatch (`backend()`-style, per config).
+    for (caller_idx, caller) in symbols.fns.iter().enumerate() {
+        if caller.is_test {
+            continue;
+        }
+        let caller_file = &files[caller.file];
+        let consults_dispatch = (caller.body_start..=caller.body_end).any(|l| {
+            let text = caller_file.scrubbed.line(l);
+            config.feature_dispatch_fns.iter().any(|d| {
+                find_word(text, d).is_some_and(|at| {
+                    text[at + d.len()..].trim_start().starts_with('(')
+                })
+            })
+        });
+        for &(callee_idx, line) in &graph.calls[caller_idx] {
+            let callee = &symbols.fns[callee_idx];
+            if callee.target_features.is_empty() {
+                continue;
+            }
+            let same_feature = callee
+                .target_features
+                .iter()
+                .all(|feat| caller.target_features.contains(feat));
+            if same_feature || consults_dispatch {
+                continue;
+            }
+            if !caller_file.scrubbed.is_allowed("unsafe", line) {
+                diag(
+                    "A08",
+                    caller_file,
+                    line,
+                    format!(
+                        "call to `#[target_feature(enable = \"{}\")]` fn `{}` from `{}`, \
+                         which neither shares the feature set nor consults the audited \
+                         runtime dispatch ({}) — calling it on a CPU without the feature \
+                         is undefined behavior; escape hatch: \
+                         // analyze: allow(unsafe) — <reason>",
+                        callee.target_features.join(","),
+                        callee.name,
+                        caller.name,
+                        config
+                            .feature_dispatch_fns
+                            .iter()
+                            .map(|d| format!("`{d}()`"))
+                            .collect::<Vec<_>>()
+                            .join("/"),
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- A09
+
+fn rule_a09_lock_order(
+    config: &Config,
+    files: &[AnalyzedFile],
+    symbols: &Symbols,
+    graph: &Graph,
+    out: &mut Vec<Diagnostic>,
+) {
+    use crate::graph::LockKey;
+    // Order edges A -> B: while A is held (a `let` guard), B is acquired
+    // later in the same fn, or a callee (transitively) acquires B.
+    // Witness = (file index, 1-based line, holder fn index).
+    let mut edges: BTreeMap<(LockKey, LockKey), (usize, usize, usize)> = BTreeMap::new();
+    for (fi, fsym) in symbols.fns.iter().enumerate() {
+        if fsym.is_test || !files[fsym.file].is_lib_source {
+            continue;
+        }
+        let locks = &graph.locks[fi];
+        for (i, held) in locks.iter().enumerate() {
+            if !held.held {
+                continue;
+            }
+            for later in locks.iter().skip(i + 1) {
+                if later.key != held.key {
+                    edges
+                        .entry((held.key.clone(), later.key.clone()))
+                        .or_insert((fsym.file, later.line, fi));
+                }
+            }
+            for &(callee, call_line) in &graph.calls[fi] {
+                if call_line < held.line {
+                    continue;
+                }
+                for k in &graph.acquires_star[callee] {
+                    if *k != held.key {
+                        edges
+                            .entry((held.key.clone(), k.clone()))
+                            .or_insert((fsym.file, call_line, fi));
+                    }
+                }
+            }
+        }
+    }
+    // A cyclic pair of order edges is a deadlock hazard: flag every edge
+    // that sits on a cycle (reachability of A from B over the edge set).
+    let adj: BTreeMap<&LockKey, Vec<&LockKey>> = edges.keys().fold(
+        BTreeMap::new(),
+        |mut m, (a, b)| {
+            m.entry(a).or_default().push(b);
+            m
+        },
+    );
+    let reaches = |from: &LockKey, to: &LockKey| -> bool {
+        let mut seen: BTreeSet<&LockKey> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(k) = stack.pop() {
+            if k == to {
+                return true;
+            }
+            if !seen.insert(k) {
+                continue;
+            }
+            if let Some(next) = adj.get(k) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    };
+    for ((a, b), (file, line, fi)) in &edges {
+        if !reaches(b, a) {
+            continue;
+        }
+        let f = &files[*file];
+        if f.scrubbed.is_allowed("lock-order", *line) {
+            continue;
+        }
+        diag(
+            "A09",
+            f,
+            *line,
+            format!(
+                "lock-order cycle: `{}` acquires `{}` while holding `{}`, but another \
+                 path acquires them in the opposite order — deadlock hazard; pick one \
+                 global order (or narrow the first guard's scope); escape hatch: \
+                 // analyze: allow(lock-order) — <reason>",
+                symbols.fns[*fi].name, b.1, a.1
+            ),
+            out,
+        );
+    }
+    // Guards held across blocking I/O in the configured modules.
+    for (fi, fsym) in symbols.fns.iter().enumerate() {
+        let f = &files[fsym.file];
+        let in_scope = config
+            .io_guard_modules
+            .iter()
+            .any(|m| f.scrubbed.rel_path.ends_with(m));
+        if !in_scope || fsym.is_test {
+            continue;
+        }
+        for held in graph.locks[fi].iter().filter(|l| l.held) {
+            let mut crossing = None;
+            for l in held.line..=fsym.body_end {
+                let text = f.scrubbed.line(l);
+                if l > held.line && graph_line_does_io(text) {
+                    crossing = Some(l);
+                    break;
+                }
+            }
+            if crossing.is_none() {
+                for &(callee, call_line) in &graph.calls[fi] {
+                    if call_line > held.line && graph.does_io_star[callee] {
+                        crossing = Some(call_line);
+                        break;
+                    }
+                }
+            }
+            let Some(io_line) = crossing else { continue };
+            if f.scrubbed.is_allowed("lock-order", held.line) {
+                continue;
+            }
+            diag(
+                "A09",
+                f,
+                held.line,
+                format!(
+                    "guard on `{}` held across blocking I/O at line {io_line} in `{}` — \
+                     a slow or wedged peer stalls every other caller of the lock; \
+                     copy what the I/O needs out of the guard, drop it, then block; \
+                     escape hatch: // analyze: allow(lock-order) — <reason>",
+                    held.key.1, fsym.name
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// The I/O markers rule A09 recognizes on a single line (mirrors the
+/// graph's per-fn `does_io` classification).
+fn graph_line_does_io(text: &str) -> bool {
+    [
+        ".write_all(",
+        ".read_exact(",
+        ".flush()",
+        ".accept()",
+        "TcpStream::connect",
+        "thread::sleep",
+        ".recv()",
+        ".recv_timeout(",
+    ]
+    .iter()
+    .any(|p| text.contains(p))
+}
+
+// ---------------------------------------------------------------- A10
+
+fn rule_a10_atomic_pairing(files: &[AnalyzedFile], graph: &Graph, out: &mut Vec<Diagnostic>) {
+    for ((_crate, field), ops) in &graph.atomics {
+        let writes: Vec<_> = ops.iter().filter(|o| o.is_release_write).collect();
+        let reads: Vec<_> = ops.iter().filter(|o| !o.is_release_write).collect();
+        let orphaned: Vec<_> = if writes.is_empty() {
+            reads
+        } else if reads.is_empty() {
+            writes
+        } else {
+            continue; // paired
+        };
+        for op in orphaned {
+            let f = &files[op.file];
+            if f.scrubbed.is_allowed("atomic-pair", op.line) {
+                continue;
+            }
+            let (this, partner) = if op.is_release_write {
+                ("Release store", "Acquire load")
+            } else {
+                ("Acquire load", "Release store")
+            };
+            diag(
+                "A10",
+                f,
+                op.line,
+                format!(
+                    "{this} on atomic field `{field}` with no {partner} anywhere in the \
+                     crate — the ordering synchronizes nothing (the class of bug behind \
+                     the Histogram torn-scrape fix); add the partner or relax to \
+                     `Ordering::Relaxed` with a comment; escape hatch: \
+                     // analyze: allow(atomic-pair) — <reason>"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------- A11
+
+fn rule_a11_hot_path(
+    config: &Config,
+    files: &[AnalyzedFile],
+    symbols: &Symbols,
+    graph: &Graph,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Resolve the audited roots, then walk same-crate call edges.
+    let mut root_of: BTreeMap<usize, String> = BTreeMap::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for (suffix, fn_name) in &config.hot_roots {
+        for (i, s) in symbols.fns.iter().enumerate() {
+            if s.name == *fn_name
+                && files[s.file].scrubbed.rel_path.ends_with(suffix)
+                && !s.is_test
+            {
+                root_of.insert(i, fn_name.clone());
+                stack.push(i);
+            }
+        }
+    }
+    while let Some(i) = stack.pop() {
+        let root = root_of[&i].clone();
+        for &(callee, _) in &graph.calls[i] {
+            if symbols.fns[callee].crate_name == symbols.fns[i].crate_name
+                && !root_of.contains_key(&callee)
+            {
+                root_of.insert(callee, root.clone());
+                stack.push(callee);
+            }
+        }
+    }
+    const ALLOC_PATTERNS: &[&str] = &[
+        "format!",
+        "vec![",
+        "Vec::new(",
+        "Vec::with_capacity(",
+        "Box::new(",
+        "String::new(",
+        "String::from(",
+        ".to_string()",
+        ".to_owned()",
+        ".to_vec()",
+        ".collect()",
+        ".push(",
+        ".clone()",
+    ];
+    for (&fi, root) in &root_of {
+        let s = &symbols.fns[fi];
+        let f = &files[s.file];
+        for l in s.body_start..=s.body_end.min(f.scrubbed.lines.len()) {
+            if f.scrubbed.is_test.get(l - 1).copied().unwrap_or(false) {
+                continue;
+            }
+            let text = f.scrubbed.line(l);
+            if f.scrubbed.is_allowed("hotpath", l) {
+                continue;
+            }
+            if let Some(pat) = ALLOC_PATTERNS.iter().find(|p| text.contains(**p)) {
+                diag(
+                    "A11",
+                    f,
+                    l,
+                    format!(
+                        "`{pat}` in `{}`, reached from audited hot root `{root}` — the \
+                         kernel paths must not allocate; hoist the buffer to the caller \
+                         or use a stack array; escape hatch: \
+                         // analyze: allow(hotpath) — <reason>",
+                        s.name
+                    ),
+                    out,
+                );
+            }
+            for pat in ["panic!", ".unwrap()", ".expect("] {
+                let hit = if pat.starts_with('.') {
+                    text.contains(pat)
+                } else {
+                    find_word(text, "panic").is_some_and(|at| {
+                        text[at + "panic".len()..].starts_with('!')
+                    })
+                };
+                if hit && !f.scrubbed.is_allowed("panic", l) {
+                    diag(
+                        "A11",
+                        f,
+                        l,
+                        format!(
+                            "`{pat}` in `{}`, reached from audited hot root `{root}` — \
+                             kernel paths must be panic-free; escape hatch: \
+                             // analyze: allow(hotpath) — <reason> (or allow(panic) with \
+                             the infallibility argument)",
+                            s.name
+                        ),
+                        out,
+                    );
+                }
+            }
+            if has_index_expression(text) && !f.scrubbed.is_allowed("indexing", l) {
+                diag(
+                    "A11",
+                    f,
+                    l,
+                    format!(
+                        "unchecked indexing in `{}`, reached from audited hot root \
+                         `{root}` — prove the bound with an allow(indexing) invariant \
+                         or restructure with iterators; escape hatch: \
+                         // analyze: allow(hotpath) — <reason>",
+                        s.name
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- A12
+
+fn rule_a12_wire_enums(config: &Config, files: &[AnalyzedFile], out: &mut Vec<Diagnostic>) {
+    if config.wire_enums.is_empty() {
+        return;
+    }
+    for f in files {
+        let lines = &f.scrubbed.lines;
+        // Match spans: (0-based start, 0-based close), innermost = latest
+        // start containing the arm.
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for (idx, text) in lines.iter().enumerate() {
+            let Some(at) = find_word(text, "match") else { continue };
+            // `match` the keyword, not e.g. a field named match (escaped
+            // identifiers are out of scope for a lexical pass).
+            if text[at + "match".len()..].trim_start().is_empty() && idx + 1 >= lines.len() {
+                continue;
+            }
+            if let Some((ol, oc)) = crate::scrub::find_open_brace(lines, idx) {
+                if oc != usize::MAX {
+                    spans.push((idx, crate::scrub::matching_close(lines, ol, oc)));
+                }
+            }
+        }
+        for (line, text) in code_lines(f) {
+            if wildcard_arm_at(text).is_none() {
+                continue;
+            }
+            let line0 = line - 1;
+            let innermost = spans
+                .iter()
+                .filter(|(s, e)| *s <= line0 && line0 <= *e)
+                .max_by_key(|(s, _)| *s);
+            let Some(&(s, e)) = innermost else { continue };
+            let mentioned = config.wire_enums.iter().find(|name| {
+                let pat = format!("{name}::");
+                lines[s..=e.min(lines.len() - 1)].iter().any(|l| l.contains(&pat))
+            });
+            let Some(enum_name) = mentioned else { continue };
+            if f.scrubbed.is_allowed("wire-match", line) {
+                continue;
+            }
+            diag(
+                "A12",
+                f,
+                line,
+                format!(
+                    "wildcard `_ =>` arm in a match over wire enum `{enum_name}` — a \
+                     newly added frame kind would be silently dropped here; list every \
+                     variant (the compiler then flags new ones); escape hatch: \
+                     // analyze: allow(wire-match) — <reason>"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Byte offset of a standalone `_ =>` arm token on the line, if any
+/// (`Some(_) =>` and `(_, x) =>` do not count: the `_` must not be
+/// followed by a closing delimiter or comma before the `=>`).
+fn wildcard_arm_at(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find('_') {
+        let at = i + pos;
+        i = at + 1;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let mut j = at + 1;
+        if j < bytes.len() && is_ident_byte(bytes[j]) {
+            continue; // `_name` binding
+        }
+        while j < bytes.len() && bytes[j] == b' ' {
+            j += 1;
+        }
+        if before_ok && bytes.get(j) == Some(&b'=') && bytes.get(j + 1) == Some(&b'>') {
+            return Some(at);
+        }
+    }
+    None
 }
 
 /// Canonical form of a literal-bearing snippet: underscores and spaces

@@ -15,14 +15,19 @@
 
 /// Rule names accepted inside `allow(...)`.
 pub const ALLOW_RULES: &[&str] = &[
-    "atomics",    // A01
-    "field",      // A02
-    "panic",      // A03 (panic!/unwrap/expect)
-    "indexing",   // A03 (slice/array indexing)
-    "deprecated", // A04
-    "magic",      // A05
-    "error-impl", // A06
-    "cells",      // A07
+    "atomics",     // A01
+    "field",       // A02
+    "panic",       // A03 (panic!/unwrap/expect)
+    "indexing",    // A03 (slice/array indexing)
+    "deprecated",  // A04
+    "magic",       // A05
+    "error-impl",  // A06
+    "cells",       // A07
+    "unsafe",      // A08 (unsafe discipline / target_feature call sites)
+    "lock-order",  // A09 (lock-order cycles, guards across I/O)
+    "atomic-pair", // A10 (release store / acquire load pairing)
+    "hotpath",     // A11 (allocation/panic in audited hot kernels)
+    "wire-match",  // A12 (wildcard arms over wire enums)
 ];
 
 /// One parsed `// analyze: allow(...)` comment.
@@ -50,6 +55,14 @@ pub struct ScrubbedFile {
     pub allows: Vec<Allow>,
     /// Malformed allow comments: `(line, what is wrong)`.
     pub malformed: Vec<(usize, String)>,
+    /// 1-based lines whose comment carries a `SAFETY:` justification
+    /// (rule A08 accepts a site when one sits on or within 3 lines above).
+    pub safety_lines: Vec<usize>,
+    /// Contents of ordinary `"..."` string literals by 1-based line, in
+    /// source order. Scrubbing blanks literals out of `lines`, so rules
+    /// that *need* literal text (e.g. the feature names inside
+    /// `#[target_feature(enable = "...")]`) read it from here.
+    pub strings: Vec<(usize, String)>,
 }
 
 impl ScrubbedFile {
@@ -71,10 +84,14 @@ impl ScrubbedFile {
 /// Scrub `text` into lines + side tables. `all_test` marks every line as
 /// test code (for files under `tests/`, `benches/`, `examples/`).
 pub fn scrub(rel_path: &str, text: &str, all_test: bool) -> ScrubbedFile {
-    let (lines, comments) = blank_non_code(text);
+    let (lines, comments, strings) = blank_non_code(text);
     let mut allows = Vec::new();
     let mut malformed = Vec::new();
+    let mut safety_lines = Vec::new();
     for (line, comment) in &comments {
+        if comment.contains("SAFETY:") {
+            safety_lines.push(*line);
+        }
         match parse_allow(comment) {
             ParsedAllow::NotAllow => {}
             ParsedAllow::Ok(rules) => allows.push(Allow {
@@ -96,6 +113,8 @@ pub fn scrub(rel_path: &str, text: &str, all_test: bool) -> ScrubbedFile {
         is_test,
         allows,
         malformed,
+        safety_lines,
+        strings,
     }
 }
 
@@ -160,13 +179,18 @@ fn parse_allow(comment: &str) -> ParsedAllow {
     }
 }
 
-/// Blank comments and string/char literals, returning scrubbed lines and
-/// the list of `(1-based line, full text)` of each `//` comment.
+/// Per-line string table: `(1-based line, text)` entries.
+type LineTable = Vec<(usize, String)>;
+
+/// Blank comments and string/char literals, returning scrubbed lines, the
+/// list of `(1-based line, full text)` of each `//` comment, and the
+/// contents of ordinary `"..."` literals by line.
 #[allow(clippy::too_many_lines)]
-fn blank_non_code(text: &str) -> (Vec<String>, Vec<(usize, String)>) {
+fn blank_non_code(text: &str) -> (Vec<String>, LineTable, LineTable) {
     let bytes = text.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut strings: Vec<(usize, String)> = Vec::new();
     let mut i = 0;
     let mut line = 1usize;
     while i < bytes.len() {
@@ -217,6 +241,8 @@ fn blank_non_code(text: &str) -> (Vec<String>, Vec<(usize, String)>) {
             }
             b'"' => {
                 // Ordinary string literal.
+                let open_line = line;
+                let start = i + 1;
                 out.push(b' ');
                 i += 1;
                 while i < bytes.len() {
@@ -227,8 +253,6 @@ fn blank_non_code(text: &str) -> (Vec<String>, Vec<(usize, String)>) {
                             i += 2;
                         }
                         b'"' => {
-                            out.push(b' ');
-                            i += 1;
                             break;
                         }
                         b'\n' => {
@@ -241,6 +265,14 @@ fn blank_non_code(text: &str) -> (Vec<String>, Vec<(usize, String)>) {
                             i += 1;
                         }
                     }
+                }
+                strings.push((
+                    open_line,
+                    String::from_utf8_lossy(&bytes[start..i.min(bytes.len())]).into_owned(),
+                ));
+                if i < bytes.len() {
+                    out.push(b' ');
+                    i += 1; // past the closing quote
                 }
             }
             b'r' | b'b' if is_raw_string_start(bytes, i) => {
@@ -316,7 +348,7 @@ fn blank_non_code(text: &str) -> (Vec<String>, Vec<(usize, String)>) {
         }
     }
     let scrubbed = String::from_utf8_lossy(&out).into_owned();
-    (scrubbed.split('\n').map(str::to_string).collect(), comments)
+    (scrubbed.split('\n').map(str::to_string).collect(), comments, strings)
 }
 
 /// Is `bytes[i]` the start of a raw-string prefix (`r"`, `r#`, `br"`, `br#`)?
@@ -424,9 +456,26 @@ pub(crate) fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
+/// Find `needle` in `hay` requiring identifier boundaries on both sides.
+pub(crate) fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
 /// First `{` at or after `from` (scanning at most 8 lines ahead), as
 /// `(line index, column)`.
-fn find_open_brace(lines: &[String], from: usize) -> Option<(usize, usize)> {
+pub(crate) fn find_open_brace(lines: &[String], from: usize) -> Option<(usize, usize)> {
     for (l, text) in lines.iter().enumerate().skip(from).take(8) {
         // A `;` before any `{` means the gated item is brace-less
         // (e.g. `#[cfg(test)] use ...;`): gate just that line.
@@ -443,7 +492,7 @@ fn find_open_brace(lines: &[String], from: usize) -> Option<(usize, usize)> {
 }
 
 /// Line index of the `}` matching the `{` at `(open_line, open_col)`.
-fn matching_close(lines: &[String], open_line: usize, open_col: usize) -> usize {
+pub(crate) fn matching_close(lines: &[String], open_line: usize, open_col: usize) -> usize {
     if open_col == usize::MAX {
         return open_line;
     }

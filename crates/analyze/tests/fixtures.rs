@@ -70,6 +70,31 @@ fn a07_cell_writes_outside_kernel() {
 }
 
 #[test]
+fn a08_unsafe_without_safety_and_feature_discipline() {
+    check_fixture("a08_unsafe");
+}
+
+#[test]
+fn a09_lock_order_cycles_and_io_under_guard() {
+    check_fixture("a09_locks");
+}
+
+#[test]
+fn a10_unpaired_release_acquire() {
+    check_fixture("a10_atomics");
+}
+
+#[test]
+fn a11_allocation_reached_from_hot_root() {
+    check_fixture("a11_hotpath");
+}
+
+#[test]
+fn a12_wildcard_arm_over_wire_enum() {
+    check_fixture("a12_wire");
+}
+
+#[test]
 fn allowed_fixture_is_clean() {
     check_fixture("allowed");
     // Belt and braces: the golden itself must be empty.
@@ -90,6 +115,11 @@ fn every_fixture_directory_has_a_test() {
         "a05_magic",
         "a06_error",
         "a07_cells",
+        "a08_unsafe",
+        "a09_locks",
+        "a10_atomics",
+        "a11_hotpath",
+        "a12_wire",
         "allowed",
     ];
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");

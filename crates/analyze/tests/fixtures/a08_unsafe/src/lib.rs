@@ -1,0 +1,13 @@
+//! Fixture: rule A08 — unsafe discipline.
+
+pub mod simd;
+
+/// Reads one byte with no bounds check.
+unsafe fn raw_peek(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn first(v: &[u8]) -> u8 {
+    // SAFETY: `v` is non-empty — the caller checked before handing it over.
+    unsafe { raw_peek(v.as_ptr()) }
+}

@@ -1,0 +1,30 @@
+//! Fixture: `#[target_feature]` call discipline (A08, second half).
+
+pub enum Backend {
+    Avx2,
+    Scalar,
+}
+
+/// The audited runtime dispatch (named in the analyzer's config).
+pub fn backend() -> Backend {
+    Backend::Scalar
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn kernel(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}
+
+pub fn dispatch(xs: &[u64]) -> u64 {
+    match backend() {
+        // SAFETY: `backend()` returns Avx2 only after feature detection.
+        Backend::Avx2 => unsafe { kernel(xs) },
+        Backend::Scalar => xs.iter().sum(),
+    }
+}
+
+pub fn rogue(xs: &[u64]) -> u64 {
+    // SAFETY: nothing here actually verified avx2 — the comment satisfies
+    // the first half of A08, but the feature-discipline half still fires.
+    unsafe { kernel(xs) }
+}

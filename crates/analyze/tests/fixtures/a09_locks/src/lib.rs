@@ -1,0 +1,24 @@
+//! Fixture: rule A09 — cyclic lock-order pairs.
+
+use std::sync::Mutex;
+
+pub mod transport;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let gb = self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ga = self.a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *ga + *gb
+    }
+}

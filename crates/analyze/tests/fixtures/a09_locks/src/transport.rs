@@ -1,0 +1,22 @@
+//! Fixture: guards held across blocking I/O (A09, second half).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Conn {
+    state: Mutex<Vec<u8>>,
+}
+
+impl Conn {
+    pub fn flush_state(&self, sock: &mut TcpStream) -> std::io::Result<()> {
+        let guard = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        sock.write_all(&guard)
+    }
+
+    pub fn write_len(&self, sock: &mut TcpStream) -> std::io::Result<()> {
+        // analyze: allow(lock-order) — statement temporary, dropped before the write
+        let len = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len();
+        sock.write_all(&[len as u8])
+    }
+}

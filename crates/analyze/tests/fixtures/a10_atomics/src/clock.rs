@@ -1,0 +1,28 @@
+//! Lives at `src/clock.rs` so the fixture config's A01 allow-list admits
+//! the explicit orderings; A10's pairing check still applies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cells {
+    ready: AtomicU64,
+    stale: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl Cells {
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    pub fn peek_stale(&self) -> u64 {
+        self.stale.load(Ordering::Acquire)
+    }
+
+    pub fn bump_epoch(&self) {
+        self.epoch.store(1, Ordering::Release);
+    }
+
+    pub fn read_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}

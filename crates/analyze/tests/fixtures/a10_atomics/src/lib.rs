@@ -1,0 +1,3 @@
+//! Fixture: rule A10 — unpaired release/acquire on an atomic field.
+
+pub mod clock;

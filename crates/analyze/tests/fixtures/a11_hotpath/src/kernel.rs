@@ -1,0 +1,25 @@
+//! `hot_root` is the audited kernel entry (named in the analyzer's
+//! config); everything it can reach in-crate must not allocate.
+
+pub fn hot_root(xs: &[u64]) -> u64 {
+    accumulate(xs)
+}
+
+fn accumulate(xs: &[u64]) -> u64 {
+    let mut scratch = Vec::new();
+    for &x in xs {
+        scratch.push(x);
+    }
+    // analyze: allow(hotpath) — fixture: exercising the escape hatch
+    let copy = scratch.clone();
+    copy.iter().sum::<u64>() + tail(xs)
+}
+
+fn tail(xs: &[u64]) -> u64 {
+    xs.iter().rev().take(1).sum()
+}
+
+pub fn cold(xs: &[u64]) -> Vec<u64> {
+    // Not reachable from the hot root: allocating is fine here.
+    xs.to_vec()
+}

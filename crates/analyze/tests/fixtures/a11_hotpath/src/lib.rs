@@ -1,0 +1,3 @@
+//! Fixture: rule A11 — allocation in audited hot kernels.
+
+pub mod kernel;

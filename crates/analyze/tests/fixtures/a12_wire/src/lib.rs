@@ -1,0 +1,39 @@
+//! Fixture: rule A12 — wildcard arms over wire enums.
+
+pub enum WireKind {
+    Hello,
+    Delta,
+    Commit,
+}
+
+pub fn route(kind: &WireKind) -> u32 {
+    match kind {
+        WireKind::Hello => 0,
+        WireKind::Delta => 1,
+        _ => 9,
+    }
+}
+
+pub fn exhaustive(kind: &WireKind) -> u32 {
+    match kind {
+        WireKind::Hello => 0,
+        WireKind::Delta => 1,
+        WireKind::Commit => 2,
+    }
+}
+
+pub fn unrelated(n: Option<u32>) -> u32 {
+    // A wildcard over a non-wire enum is out of scope.
+    match n {
+        Some(v) => v,
+        _ => 0,
+    }
+}
+
+pub fn waived(kind: &WireKind) -> u32 {
+    match kind {
+        WireKind::Hello => 0,
+        // analyze: allow(wire-match) — fixture: exercising the escape hatch
+        _ => 1,
+    }
+}

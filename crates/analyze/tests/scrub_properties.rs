@@ -1,0 +1,200 @@
+//! Property tests for `analyze::scrub`: whatever mix of nested block
+//! comments, raw/byte strings, and `//`-inside-literals a file throws at
+//! the scrubber, line numbers must never shift — every diagnostic the
+//! rules later emit is keyed to these line numbers.
+
+use proptest::prelude::*;
+use setstream_analyze::scrub::scrub;
+
+/// Marker planted only inside comment/string payloads; generated junk is
+/// lowercase, so any occurrence in scrubbed output is a scrubber leak.
+const SECRET: &str = "ZZSECRETZZ";
+
+/// One source fragment; each renders to one or more full lines.
+#[derive(Debug, Clone)]
+enum Frag {
+    /// `let tokN = <v>;` — real code that must survive scrubbing.
+    Code(u32),
+    /// `// <SECRET> <junk>` — junk may contain quotes and `/*`.
+    LineComment(String),
+    /// `/* /* ... */ */` spanning `extra + 2` lines at the given depth.
+    BlockComment { junk: String, extra: u8, depth: u8 },
+    /// `let sN = "<SECRET> <junk>";` — junk may contain `//` and `/*`.
+    StringLit(String),
+    /// `let rN = r#"..."#;` spanning `extra + 1` lines; junk may contain `"`.
+    RawString { junk: String, extra: u8 },
+    /// `let bN = b"<SECRET> <junk>";`
+    ByteString(String),
+}
+
+/// Junk safe anywhere: no quotes, backslashes, hashes, or comment tokens.
+fn plain_junk() -> impl Strategy<Value = String> {
+    "[a-z0-9 .,;:()]{0,24}"
+}
+
+/// Junk for line comments: adds `//`, `/*`, and quote hazards — inside a
+/// `//` comment none of them may change the scrubber's state.
+fn comment_junk() -> impl Strategy<Value = String> {
+    "[a-z0-9 .,;:()/*\"']{0,24}"
+}
+
+/// Junk for string bodies: slashes and comment openers, but nothing that
+/// terminates or escapes the literal.
+fn string_junk() -> impl Strategy<Value = String> {
+    "[a-z0-9 .,;:()/*']{0,24}"
+}
+
+/// Junk for raw-string bodies: embedded quotes are legal as long as no
+/// `"#` sequence appears, so hashes are excluded wholesale.
+fn raw_junk() -> impl Strategy<Value = String> {
+    "[a-z0-9 .,;:()/*'\"]{0,16}"
+}
+
+fn frag() -> impl Strategy<Value = Frag> {
+    prop_oneof![
+        any::<u32>().prop_map(Frag::Code),
+        comment_junk().prop_map(Frag::LineComment),
+        (plain_junk(), 0u8..4, 1u8..4)
+            .prop_map(|(junk, extra, depth)| Frag::BlockComment { junk, extra, depth }),
+        string_junk().prop_map(Frag::StringLit),
+        (raw_junk(), 0u8..4).prop_map(|(junk, extra)| Frag::RawString { junk, extra }),
+        string_junk().prop_map(Frag::ByteString),
+    ]
+}
+
+/// Render fragments to a source string plus the oracle: for every line,
+/// the code token (if any) that must still be on it after scrubbing, and
+/// for every ordinary string literal its `(line, content)` entry.
+fn render(frags: &[Frag]) -> (String, Vec<Option<String>>, Vec<(usize, String)>) {
+    let mut lines = Vec::new();
+    let mut tokens: Vec<Option<String>> = Vec::new();
+    let mut strings = Vec::new();
+    for (i, frag) in frags.iter().enumerate() {
+        match frag {
+            Frag::Code(v) => {
+                lines.push(format!("let tok{i} = {v};"));
+                tokens.push(Some(format!("tok{i}")));
+            }
+            Frag::LineComment(junk) => {
+                lines.push(format!("// {SECRET} {junk}"));
+                tokens.push(None);
+            }
+            Frag::BlockComment { junk, extra, depth } => {
+                let open = "/* ".repeat(*depth as usize);
+                let close = " */".repeat(*depth as usize);
+                lines.push(format!("{open}{SECRET} {junk}"));
+                tokens.push(None);
+                for _ in 0..*extra {
+                    lines.push(format!("  {junk} {SECRET}"));
+                    tokens.push(None);
+                }
+                lines.push(close);
+                tokens.push(None);
+            }
+            Frag::StringLit(junk) => {
+                let content = format!("{SECRET} {junk}");
+                strings.push((lines.len() + 1, content.clone()));
+                lines.push(format!("let s{i} = \"{content}\";"));
+                tokens.push(Some(format!("s{i}")));
+            }
+            Frag::RawString { junk, extra } => {
+                lines.push(format!("let r{i} = r#\"{SECRET} {junk}"));
+                tokens.push(Some(format!("r{i}")));
+                for _ in 0..*extra {
+                    lines.push(format!("{junk} {SECRET}"));
+                    tokens.push(None);
+                }
+                lines.push("\"#;".to_string());
+                tokens.push(None);
+            }
+            Frag::ByteString(junk) => {
+                lines.push(format!("let b{i} = b\"{SECRET} {junk}\";"));
+                tokens.push(Some(format!("b{i}")));
+            }
+        }
+    }
+    (lines.join("\n"), tokens, strings)
+}
+
+proptest! {
+    /// The scrubber's whole contract in one property: same number of
+    /// lines, same byte length per line, code still on its original
+    /// line, comment/string payloads gone.
+    #[test]
+    fn scrubbing_never_shifts_lines(frags in proptest::collection::vec(frag(), 0..24)) {
+        let (text, tokens, strings) = render(&frags);
+        let sf = scrub("src/lib.rs", &text, false);
+
+        let input_lines: Vec<&str> = text.split('\n').collect();
+        prop_assert_eq!(
+            sf.lines.len(),
+            input_lines.len(),
+            "line count changed"
+        );
+        for (n, (raw, scrubbed)) in input_lines.iter().zip(&sf.lines).enumerate() {
+            prop_assert_eq!(
+                raw.len(),
+                scrubbed.len(),
+                "line {} changed byte length:\n  raw:      {:?}\n  scrubbed: {:?}",
+                n + 1,
+                raw,
+                scrubbed
+            );
+            prop_assert!(
+                !scrubbed.contains(SECRET),
+                "comment/string payload leaked into scrubbed line {}: {:?}",
+                n + 1,
+                scrubbed
+            );
+        }
+        for (n, token) in tokens.iter().enumerate() {
+            if let Some(token) = token {
+                prop_assert!(
+                    sf.lines[n].contains(token.as_str()),
+                    "code token `{}` missing from its line {}: {:?}",
+                    token,
+                    n + 1,
+                    sf.lines[n]
+                );
+            }
+        }
+        // Ordinary string literals land in the side table on their open
+        // line with their exact content (raw/byte strings are blanked
+        // without being recorded — they never hold feature names).
+        for (line, content) in &strings {
+            prop_assert!(
+                sf.strings.iter().any(|(l, c)| l == line && c == content),
+                "string opened on line {} missing from side table",
+                line
+            );
+        }
+    }
+}
+
+/// Deterministic spot-check of the hazards the property above explores,
+/// pinned so a shrink-resistant regression still has a stable witness.
+#[test]
+fn scrub_survives_the_classic_hazards() {
+    let text = concat!(
+        "let a = 1; /* outer /* nested */ still comment */ let b = 2;\n",
+        "let url = \"https://example.com\"; // trailing\n",
+        "let re = r#\"quote \" inside\n",
+        "second raw line\"#;\n",
+        "let bytes = b\"// not a comment\";\n",
+        "let c = 3;\n",
+    );
+    let sf = scrub("src/lib.rs", text, false);
+    assert_eq!(sf.lines.len(), 7, "six lines plus trailing empty");
+    assert!(sf.lines[0].contains("let a = 1;"));
+    assert!(sf.lines[0].contains("let b = 2;"), "code after a closed nested comment survives");
+    assert!(!sf.lines[0].contains("nested"));
+    assert!(sf.lines[1].contains("let url ="));
+    assert!(!sf.lines[1].contains("https"), "`//` inside a string must not start a comment");
+    assert!(!sf.lines[1].contains("trailing"));
+    assert!(sf.lines[2].contains("let re ="));
+    assert!(!sf.lines[3].contains("second"), "raw string bodies are blanked");
+    assert!(sf.lines[3].ends_with(';'), "code resumes after the raw terminator");
+    assert!(sf.lines[4].contains("let bytes ="));
+    assert!(!sf.lines[4].contains("not a comment"));
+    assert!(sf.lines[5].contains("let c = 3;"));
+}

@@ -39,8 +39,7 @@ impl IngestStats {
     pub fn for_batch(updates: &[Update]) -> Self {
         let mut fast = 0usize;
         for chunk in updates.chunks(BATCH_CHUNK) {
-            // analyze: allow(indexing) — windows(2) yields exactly two elements
-            if chunk.windows(2).all(|w| w[0].delta == w[1].delta) {
+            if chunk.windows(2).all(|w| matches!(w, [a, b] if a.delta == b.delta)) {
                 fast += chunk.len();
             }
         }

@@ -370,9 +370,8 @@ pub fn deliver_reliably(
     let session = link.next_session();
     for round in 1..=max_rounds {
         // Send every unacked frame.
-        for (i, frame) in frames.iter().enumerate() {
-            // analyze: allow(indexing) — `acked` is sized to `frames.len()` and `i` comes from enumerate
-            if !acked[i] {
+        for (i, (frame, done)) in frames.iter().zip(acked.iter()).enumerate() {
+            if !done {
                 link.send(envelope(session, i as u32, frame));
                 transmissions += 1;
             }
@@ -606,9 +605,8 @@ fn deliver_epoch_batch(
         let mut blocked = false;
         for round in 1..=opts.max_rounds {
             rounds_used = rounds_used.max(round);
-            for (i, frame) in frames.iter().enumerate() {
-                // analyze: allow(indexing) — `acked` is sized to `frames.len()` and `i` comes from enumerate
-                if !acked[i] {
+            for (i, (frame, done)) in frames.iter().zip(acked.iter()).enumerate() {
+                if !done {
                     link.send(envelope(session, i as u32, frame));
                     *transmissions += 1;
                 }

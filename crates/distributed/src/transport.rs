@@ -1217,7 +1217,9 @@ impl FrameHandler for CoordinatorHandler {
                     Err(_) => Vec::new(),
                 }
             }
-            _ => Vec::new(),
+            // Already handled by the early return above; spelled out (no
+            // wildcard) so adding a frame kind forces a decision here.
+            FrameKind::Hello | FrameKind::Flush | FrameKind::Ack => Vec::new(),
         }
     }
 
@@ -1574,6 +1576,57 @@ mod tests {
         let mut reader = FrameReader::new(1 << 20);
         reader.extend(b"definitely not a frame at all!!!");
         assert!(matches!(reader.next_frame(), Err(WireError::BadMagic(_))));
+    }
+
+    /// Regression pin for the reply-dispatch match in `on_frame`: the
+    /// kinds with no reply path (Hello binds the connection, Flush is a
+    /// legacy marker, an upstream Ack is a peer bug) must stay silent,
+    /// while Commit must answer with exactly one Ack. Guards the
+    /// explicit no-wildcard arm that replaced `_ => Vec::new()`.
+    #[test]
+    fn on_frame_replies_only_to_commit() {
+        let fam = family();
+        let coord = Arc::new(Coordinator::new(fam));
+        let metrics = Arc::new(TransportMetrics::new());
+        let mut handler = CoordinatorHandler::new(
+            coord,
+            Arc::clone(&metrics),
+            ServerRole::Coordinator,
+            &quick_opts(),
+        );
+
+        let hello = encode_frame(
+            FrameKind::Hello,
+            &Hello {
+                site: 7,
+                family: fam,
+                resume_epoch: 0,
+            },
+        )
+        .unwrap();
+        assert!(handler.on_frame(1, hello).is_empty());
+
+        // Flush and a stray upstream Ack carry no mergeable payload and
+        // return before decoding it; any payload byte exercises the arm.
+        let flush = encode_frame(FrameKind::Flush, &0u8).unwrap();
+        assert!(handler.on_frame(1, flush).is_empty());
+        let stray_ack = encode_frame(FrameKind::Ack, &0u8).unwrap();
+        assert!(handler.on_frame(1, stray_ack).is_empty());
+
+        let commit = encode_frame(
+            FrameKind::Commit,
+            &EpochCommit {
+                site: 7,
+                epoch: 1,
+                deltas: 0,
+            },
+        )
+        .unwrap();
+        let replies = handler.on_frame(1, commit);
+        assert_eq!(replies.len(), 1, "commit must be acked");
+        let (kind, _) = decode_frame(replies[0].clone()).unwrap();
+        assert_eq!(kind, FrameKind::Ack);
+        assert_eq!(metrics.acks_sent.get(), 1);
     }
 
     #[test]

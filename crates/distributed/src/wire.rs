@@ -189,18 +189,15 @@ pub fn decode_frame(mut frame: Bytes) -> Result<(FrameKind, Bytes), WireError> {
 /// which is what makes a bit-flipped or hostile length field a typed
 /// error instead of an unbounded allocation.
 pub fn frame_size_hint(buf: &[u8]) -> Result<Option<usize>, WireError> {
-    let Some(header) = buf.get(..9) else {
+    let Some(&[m0, m1, m2, m3, kind_byte, l0, l1, l2, l3]) = buf.get(..9) else {
         return Ok(None);
     };
-    // analyze: allow(indexing) — `header` was just sliced to exactly 9 bytes
-    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let magic = u32::from_le_bytes([m0, m1, m2, m3]);
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    // analyze: allow(indexing) — `header` was just sliced to exactly 9 bytes
-    FrameKind::from_byte(header[4])?;
-    // analyze: allow(indexing) — `header` was just sliced to exactly 9 bytes
-    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    FrameKind::from_byte(kind_byte)?;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if len > MAX_PAYLOAD_LEN {
         return Err(WireError::Oversize(len));
     }

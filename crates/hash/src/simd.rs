@@ -514,55 +514,96 @@ fn horner_many_lanes<const LANES: usize>(coeffs: &[u64], xs: &[u64], out: &mut [
 
 #[cfg(all(target_arch = "x86_64", feature = "simd"))]
 mod x86 {
-    //! `#[target_feature]` instantiations of the generic kernels. Safety
-    //! contract of every function here: the caller has verified the
-    //! named CPU features are present (the [`super::backend`] dispatch
-    //! does, once per process).
+    //! `#[target_feature]` instantiations of the generic kernels, written
+    //! out explicitly (not via a macro) so every `unsafe fn` is a visible
+    //! symbol the analyzer's A08 rule can audit — macro-generated items
+    //! are a documented blind spot of the lexical symbol pass.
+    //!
+    //! Safety contract of every function here: the caller has verified
+    //! the named CPU features are present; [`super::backend`] does that
+    //! once per process via `is_x86_feature_detected!`. The bodies only
+    //! call the safe generic `*_lanes` kernels, which chunk their slices
+    //! (no length precondition beyond what those kernels debug-assert),
+    //! so feature presence is the *entire* obligation.
     use super::*;
 
-    macro_rules! instantiate {
-        ($feat:literal, $lanes:literal, $un:ident, $wt:ident, $hb:ident, $hm:ident) => {
-            #[target_feature(enable = $feat)]
-            pub unsafe fn $un(bank: &ParityBank, xrs: &[u64], d0: i64, row: &mut [i64]) {
-                accumulate_uniform_lanes::<$lanes>(bank, xrs, d0, row);
-            }
-            #[target_feature(enable = $feat)]
-            pub unsafe fn $wt(
-                bank: &ParityBank,
-                xrs: &[u64],
-                deltas: &[i64],
-                total: i64,
-                row: &mut [i64],
-            ) {
-                accumulate_weighted_lanes::<$lanes>(bank, xrs, deltas, total, row);
-            }
-            #[target_feature(enable = $feat)]
-            pub unsafe fn $hb(bank: &ParityBank, x: u64, out: &mut [u64]) {
-                hash_bits_lanes::<$lanes>(bank, x, out);
-            }
-            #[target_feature(enable = $feat)]
-            pub unsafe fn $hm(coeffs: &[u64], xs: &[u64], out: &mut [u64]) {
-                horner_many_lanes::<$lanes>(coeffs, xs, out);
-            }
-        };
+    // SAFETY: to call, the CPU must support avx512f/dq/bw/vl; the body is
+    // safe code over chunked slices.
+    #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
+    pub unsafe fn accumulate_uniform_avx512(
+        bank: &ParityBank,
+        xrs: &[u64],
+        d0: i64,
+        row: &mut [i64],
+    ) {
+        accumulate_uniform_lanes::<16>(bank, xrs, d0, row);
     }
 
-    instantiate!(
-        "avx512f,avx512dq,avx512bw,avx512vl",
-        16,
-        accumulate_uniform_avx512,
-        accumulate_weighted_avx512,
-        hash_bits_avx512,
-        horner_many_avx512
-    );
-    instantiate!(
-        "avx2",
-        4,
-        accumulate_uniform_avx2,
-        accumulate_weighted_avx2,
-        hash_bits_avx2,
-        horner_many_avx2
-    );
+    // SAFETY: to call, the CPU must support avx512f/dq/bw/vl; `xrs`/`deltas`
+    // must be equal-length and `row.len() == 2 * bank.len()`.
+    #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
+    pub unsafe fn accumulate_weighted_avx512(
+        bank: &ParityBank,
+        xrs: &[u64],
+        deltas: &[i64],
+        total: i64,
+        row: &mut [i64],
+    ) {
+        accumulate_weighted_lanes::<16>(bank, xrs, deltas, total, row);
+    }
+
+    // SAFETY: to call, the CPU must support avx512f/dq/bw/vl; `out` must
+    // hold one bit per bank function, `⌈bank.len()/64⌉` words.
+    #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
+    pub unsafe fn hash_bits_avx512(bank: &ParityBank, x: u64, out: &mut [u64]) {
+        hash_bits_lanes::<16>(bank, x, out);
+    }
+
+    // SAFETY: to call, the CPU must support avx512f/dq/bw/vl; `xs` and `out`
+    // must be equal-length (the kernel zips them).
+    #[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
+    pub unsafe fn horner_many_avx512(coeffs: &[u64], xs: &[u64], out: &mut [u64]) {
+        horner_many_lanes::<16>(coeffs, xs, out);
+    }
+
+    // SAFETY: to call, the CPU must support avx2; the body is safe code over
+    // chunked slices.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accumulate_uniform_avx2(
+        bank: &ParityBank,
+        xrs: &[u64],
+        d0: i64,
+        row: &mut [i64],
+    ) {
+        accumulate_uniform_lanes::<4>(bank, xrs, d0, row);
+    }
+
+    // SAFETY: to call, the CPU must support avx2; `xrs` and `deltas` must be
+    // equal-length and `row.len() == 2 * bank.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accumulate_weighted_avx2(
+        bank: &ParityBank,
+        xrs: &[u64],
+        deltas: &[i64],
+        total: i64,
+        row: &mut [i64],
+    ) {
+        accumulate_weighted_lanes::<4>(bank, xrs, deltas, total, row);
+    }
+
+    // SAFETY: to call, the CPU must support avx2; `out` must hold one bit
+    // per bank function, `⌈bank.len()/64⌉` words.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn hash_bits_avx2(bank: &ParityBank, x: u64, out: &mut [u64]) {
+        hash_bits_lanes::<4>(bank, x, out);
+    }
+
+    // SAFETY: to call, the CPU must support avx2; `xs` and `out` must be
+    // equal-length (the kernel zips them).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn horner_many_avx2(coeffs: &[u64], xs: &[u64], out: &mut [u64]) {
+        horner_many_lanes::<4>(coeffs, xs, out);
+    }
 }
 
 // ----------------------------------------------------------- entry points
@@ -573,8 +614,10 @@ mod x86 {
 pub(crate) fn accumulate_uniform(bank: &ParityBank, xrs: &[u64], d0: i64, row: &mut [i64]) {
     debug_assert_eq!(row.len(), 2 * bank.len());
     match backend() {
+        // SAFETY: `backend()` returns Avx512 only after detecting all four features.
         #[cfg(all(target_arch = "x86_64", feature = "simd"))]
         Backend::Avx512 => unsafe { x86::accumulate_uniform_avx512(bank, xrs, d0, row) },
+        // SAFETY: `backend()` returns Avx2 only after detecting avx2.
         #[cfg(all(target_arch = "x86_64", feature = "simd"))]
         Backend::Avx2 => unsafe { x86::accumulate_uniform_avx2(bank, xrs, d0, row) },
         _ => accumulate_uniform_lanes::<1>(bank, xrs, d0, row),
@@ -593,10 +636,13 @@ pub(crate) fn accumulate_weighted(
 ) {
     debug_assert_eq!(row.len(), 2 * bank.len());
     match backend() {
+        // SAFETY: `backend()` returns Avx512 only after detecting all four
+        // features; the caller-facing signature takes equal-length slices.
         #[cfg(all(target_arch = "x86_64", feature = "simd"))]
         Backend::Avx512 => unsafe {
             x86::accumulate_weighted_avx512(bank, xrs, deltas, total, row)
         },
+        // SAFETY: `backend()` returns Avx2 only after detecting avx2.
         #[cfg(all(target_arch = "x86_64", feature = "simd"))]
         Backend::Avx2 => unsafe { x86::accumulate_weighted_avx2(bank, xrs, deltas, total, row) },
         _ => accumulate_weighted_lanes::<1>(bank, xrs, deltas, total, row),
@@ -607,8 +653,10 @@ pub(crate) fn accumulate_weighted(
 #[inline]
 pub(crate) fn hash_bits(bank: &ParityBank, x: u64, out: &mut [u64]) {
     match backend() {
+        // SAFETY: `backend()` returns Avx512 only after detecting all four features.
         #[cfg(all(target_arch = "x86_64", feature = "simd"))]
         Backend::Avx512 => unsafe { x86::hash_bits_avx512(bank, x, out) },
+        // SAFETY: `backend()` returns Avx2 only after detecting avx2.
         #[cfg(all(target_arch = "x86_64", feature = "simd"))]
         Backend::Avx2 => unsafe { x86::hash_bits_avx2(bank, x, out) },
         _ => hash_bits_lanes::<1>(bank, x, out),
@@ -622,8 +670,10 @@ pub(crate) fn hash_bits(bank: &ParityBank, x: u64, out: &mut [u64]) {
 pub(crate) fn horner_many(coeffs: &[u64], xs: &[u64], out: &mut [u64]) {
     debug_assert_eq!(xs.len(), out.len());
     match backend() {
+        // SAFETY: `backend()` returns Avx512 only after detecting all four features.
         #[cfg(all(target_arch = "x86_64", feature = "simd"))]
         Backend::Avx512 => unsafe { x86::horner_many_avx512(coeffs, xs, out) },
+        // SAFETY: `backend()` returns Avx2 only after detecting avx2.
         #[cfg(all(target_arch = "x86_64", feature = "simd"))]
         Backend::Avx2 => unsafe { x86::horner_many_avx2(coeffs, xs, out) },
         _ => horner_many_lanes::<1>(coeffs, xs, out),

@@ -117,8 +117,7 @@ impl Histogram {
     pub fn new(bounds: &[u64]) -> Self {
         assert!(!bounds.is_empty(), "histogram needs at least one bucket");
         assert!(
-            // analyze: allow(indexing) — windows(2) yields exactly two elements
-            bounds.windows(2).all(|w| w[0] < w[1]),
+            bounds.windows(2).all(|w| matches!(w, [a, b] if a < b)),
             "histogram bounds must be strictly increasing"
         );
         Histogram {

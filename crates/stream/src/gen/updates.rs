@@ -126,14 +126,14 @@ pub fn interleave<R: Rng + ?Sized>(mut streams: Vec<Vec<Update>>, rng: &mut R) -
         // Pick a stream with probability proportional to its remaining
         // length — a uniformly random merge.
         let mut pick = rng.gen_range(0..remaining);
-        for (i, s) in streams.iter_mut().enumerate() {
-            // analyze: allow(indexing) — `cursors` is index-aligned with `streams`; `i` from enumerate
-            let left = s.len() - cursors[i];
+        for (s, cursor) in streams.iter_mut().zip(cursors.iter_mut()) {
+            let left = s.len() - *cursor;
             if pick < left {
-                // analyze: allow(indexing) — `pick < left` implies `cursors[i] < s.len()`
-                out.push(s[cursors[i]]);
-                // analyze: allow(indexing) — `cursors` is index-aligned with `streams`; `i` from enumerate
-                cursors[i] += 1;
+                // `pick < left` implies the cursor is in bounds.
+                if let Some(&u) = s.get(*cursor) {
+                    out.push(u);
+                }
+                *cursor += 1;
                 remaining -= 1;
                 break;
             }

@@ -86,8 +86,7 @@ impl<S: UpdateSource> UpdateSource for RoundRobinSource<S> {
         for _ in 0..n {
             let i = self.next;
             self.next = (self.next + 1) % n;
-            // analyze: allow(indexing) — `i = next % n` with `n = sources.len()`
-            if let Some(u) = self.sources[i].next_update() {
+            if let Some(u) = self.sources.get_mut(i).and_then(S::next_update) {
                 return Some(u);
             }
         }
