@@ -105,6 +105,7 @@ impl Config {
             atomic_modules: vec![
                 "crates/obs/src/metrics.rs".to_string(),
                 "crates/obs/src/trace.rs".to_string(),
+                "crates/obs/src/lineage.rs".to_string(),
                 "crates/hash/src/clock.rs".to_string(),
                 "crates/engine/src/runqueue.rs".to_string(),
             ],
@@ -126,7 +127,7 @@ impl Config {
             .iter()
             .map(|(p, f)| ((*p).to_string(), (*f).to_string()))
             .collect(),
-            wire_enums: vec!["FrameKind".to_string()],
+            wire_enums: vec!["FrameKind".to_string(), "ExtensionTag".to_string()],
             io_guard_modules: vec![
                 "crates/distributed/src/transport.rs".to_string(),
                 "crates/distributed/src/coordinator.rs".to_string(),

@@ -9,10 +9,11 @@
 //! setstream cells    "<expr>" --streams N
 //! setstream subscribe "SUBSCRIBE <expr> TOLERANCE <tol>" ... --trace <file> [--epochs N] [--copies N] [--second-level S] [--seed N]
 //! setstream stats    [--rounds N] [--sites N] [--events N] [--seed N] [--sample R]
-//! setstream serve    [--port P] [--listen HOST:PORT] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
+//! setstream serve    [--port P] [--listen HOST:PORT] [--fault-dup P] [--fault-drop P] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
 //! setstream site     --connect HOST:PORT [--id N] [--rounds N] [--events N] [--seed N] [--copies N] [--second-level S]
 //! setstream scrape   --addr HOST:PORT [--path /metrics]
 //! setstream top      --addr HOST:PORT [--interval SECS] [--iterations N]
+//! setstream lineage  --addr HOST:PORT [--stream N] [--epoch N]
 //! ```
 //!
 //! Traces use the `setstream_stream::trace` line format (`A +1 17`).
@@ -51,10 +52,11 @@ const USAGE: &str = "usage:
   setstream cells    \"<expr>\" --streams N
   setstream subscribe \"SUBSCRIBE <expr> TOLERANCE <tol>\" ... --trace <file> [--epochs N] [--copies N] [--second-level S] [--seed N]
   setstream stats    [--rounds N] [--sites N] [--events N] [--seed N] [--sample R]
-  setstream serve    [--port P] [--listen HOST:PORT] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
+  setstream serve    [--port P] [--listen HOST:PORT] [--fault-dup P] [--fault-drop P] [--rounds N] [--interval-ms M] [--sites N] [--events N] [--seed N] [--sample R]
   setstream site     --connect HOST:PORT [--id N] [--rounds N] [--events N] [--seed N] [--copies N] [--second-level S]
   setstream scrape   --addr HOST:PORT [--path /metrics]
-  setstream top      --addr HOST:PORT [--interval SECS] [--iterations N]";
+  setstream top      --addr HOST:PORT [--interval SECS] [--iterations N]
+  setstream lineage  --addr HOST:PORT [--stream N] [--epoch N]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -73,6 +75,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "site" => cmd_site(&rest),
         "scrape" => cmd_scrape(&rest),
         "top" => cmd_top(&rest),
+        "lineage" => cmd_lineage(&rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -349,6 +352,7 @@ fn cmd_serve(rest: &[&String]) -> Result<(), String> {
     let metrics_stack = Arc::clone(&stack);
     let health_stack = Arc::clone(&stack);
     let trace_stack = Arc::clone(&stack);
+    let lineage_stack = Arc::clone(&stack);
     let server = HttpServer::bind(&format!("127.0.0.1:{port}"))
         .map_err(|e| e.to_string())?
         .route("/metrics", "text/plain; version=0.0.4", move || {
@@ -368,6 +372,12 @@ fn cmd_serve(rest: &[&String]) -> Result<(), String> {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .render_trace()
+        })
+        .route_query("/lineage", "application/json", move |query| {
+            lineage_stack
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .render_lineage(query)
         });
     stack
         .lock()
@@ -377,11 +387,24 @@ fn cmd_serve(rest: &[&String]) -> Result<(), String> {
 
     // With --listen, also accept real TCP sites: the collector feeds the
     // same coordinator the demo's in-process sites use, and its traffic
-    // counters land in the same /metrics exposition.
+    // counters land in the same /metrics exposition. With --fault-dup /
+    // --fault-drop, a fault-injecting proxy fronts the collector so the
+    // remote sites' recovery (and its lineage record) can be exercised
+    // deterministically from the command line.
+    let fault_dup: f64 = flag_num(&flags, "fault-dup", 0.0f64)?;
+    let fault_drop: f64 = flag_num(&flags, "fault-drop", 0.0f64)?;
     let _collector = match flags.get("listen") {
-        None => None,
+        None => {
+            if fault_dup > 0.0 || fault_drop > 0.0 {
+                return Err("--fault-dup/--fault-drop require --listen".into());
+            }
+            None
+        }
         Some(listen) => {
-            use setstream_apps::distributed::transport::{CoordinatorServer, ServerRole, TransportOptions};
+            use setstream_apps::distributed::network::FaultSpec;
+            use setstream_apps::distributed::transport::{
+                CoordinatorServer, FaultyListener, ServerRole, TransportOptions,
+            };
             let (coordinator, transport) = {
                 let guard = stack.lock().unwrap_or_else(PoisonError::into_inner);
                 (Arc::clone(guard.coordinator()), Arc::clone(guard.transport_metrics()))
@@ -389,8 +412,22 @@ fn cmd_serve(rest: &[&String]) -> Result<(), String> {
             let opts = TransportOptions::builder().build().map_err(|e| e.to_string())?;
             let handle = CoordinatorServer::spawn(listen, coordinator, ServerRole::Coordinator, opts, transport)
                 .map_err(|e| e.to_string())?;
-            println!("collecting sites on {}", handle.addr());
-            Some(handle)
+            let proxy = if fault_dup > 0.0 || fault_drop > 0.0 {
+                let spec = FaultSpec {
+                    duplicate: fault_dup,
+                    drop: fault_drop,
+                    ..FaultSpec::reliable()
+                };
+                let seed: u64 = flag_num(&flags, "seed", 42u64)?;
+                let proxy = FaultyListener::spawn(handle.addr(), spec, seed)
+                    .map_err(|e| e.to_string())?;
+                println!("collecting sites on {}", proxy.addr());
+                Some(proxy)
+            } else {
+                println!("collecting sites on {}", handle.addr());
+                None
+            };
+            Some((handle, proxy))
         }
     };
     println!("serving on http://{}", server.local_addr());
@@ -662,6 +699,43 @@ fn render_top_frame(addr: std::net::SocketAddr, lines: &[demo::MetricLine], prev
         println!("alarms   : {}", active.join(", "));
     }
     updates
+}
+
+/// Fetch committed-epoch provenance from a running `setstream serve`:
+/// which sites fed each `(stream, epoch)`, how many retransmits and
+/// resyncs the collection took, and the cut→commit latency. Raw JSON
+/// goes to stdout (pipeable); a one-line summary goes to stderr.
+fn cmd_lineage(rest: &[&String]) -> Result<(), String> {
+    use setstream_obs::serve::http_get;
+
+    let (positional, flags) = parse_flags(rest)?;
+    if !positional.is_empty() {
+        return Err("lineage takes only flags".into());
+    }
+    let addr = resolve_addr(&flags)?;
+    let mut path = String::from("/lineage");
+    let mut sep = '?';
+    for key in ["stream", "epoch"] {
+        if let Some(v) = flags.get(key) {
+            v.parse::<u64>()
+                .map_err(|_| format!("--{key}: bad value {v:?}"))?;
+            path.push(sep);
+            path.push_str(key);
+            path.push('=');
+            path.push_str(v);
+            sep = '&';
+        }
+    }
+    let (status, body) =
+        http_get(addr, &path).map_err(|e| format!("GET {addr}{path}: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET {addr}{path}: HTTP {status}"));
+    }
+    let entries = body.matches("\"epoch\":").count();
+    let committed = body.matches("\"committed\":true").count();
+    eprintln!("lineage: {entries} epoch entries ({committed} committed) from {addr}{path}");
+    println!("{body}");
+    Ok(())
 }
 
 /// Self-refreshing terminal dashboard over a running `setstream serve`.

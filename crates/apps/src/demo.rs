@@ -18,7 +18,7 @@ use setstream_engine::{
     ChangeEvent, ExprReport, QualityConfig, QualityMonitor, QueryId, StreamEngine,
     SubscriptionOptions, Tolerance,
 };
-use setstream_obs::{chrome, export, Registry, RingRecorder, TraceHandle};
+use setstream_obs::{chrome, export, lineage, serve, Registry, RingRecorder, TraceHandle};
 use setstream_stream::{StreamId, Update};
 use std::sync::Arc;
 
@@ -107,8 +107,8 @@ impl DemoStack {
             .seed(config.seed)
             .build();
         let recorder = Arc::new(RingRecorder::new(config.trace_capacity));
-        let mut engine =
-            StreamEngine::new(family).with_trace(TraceHandle::new(recorder.clone()));
+        let trace = TraceHandle::new(recorder.clone());
+        let mut engine = StreamEngine::new(family).with_trace(trace.clone());
         let union_q = engine.register_query("A | B").map_err(|e| e.to_string())?;
         let inter_q = engine.register_query("A & B").map_err(|e| e.to_string())?;
 
@@ -138,11 +138,21 @@ impl DemoStack {
             .watch("intersection", "A & B")
             .map_err(|e| e.to_string())?;
 
-        let coordinator = Arc::new(Coordinator::new(family));
+        // One trace handle spans the whole stack: site cuts start traces,
+        // the trace context rides the frames' wire extension, and the
+        // coordinator's merge/commit spans join them — `/trace` then
+        // stitches each epoch across the site and coordinator tracks.
+        let coordinator = Arc::new(
+            Coordinator::new(family).with_trace(trace.clone(), "coordinator"),
+        );
         let collection = Arc::new(CollectionMetrics::new());
         let transport = Arc::new(TransportMetrics::new());
         let sites: Vec<Site> = (0..config.sites)
-            .map(|i| Site::new(i as u32, family))
+            .map(|i| {
+                let mut site = Site::new(i as u32, family);
+                site.set_trace(trace.clone());
+                site
+            })
             .collect();
         let fault = if config.faulty_links {
             FaultSpec::nasty()
@@ -292,6 +302,16 @@ impl DemoStack {
     /// Chrome trace-event JSON of the recorded spans (`/trace`).
     pub fn render_trace(&self) -> String {
         chrome::render(&self.recorder)
+    }
+
+    /// Lineage document (`/lineage?stream=&epoch=`): the coordinator's
+    /// retained epoch provenance as a JSON array, filtered by the raw
+    /// query string (both parameters optional; unparsable values are
+    /// ignored rather than erroring a dashboard).
+    pub fn render_lineage(&self, query: &str) -> String {
+        let stream = serve::query_param(query, "stream").and_then(|v| v.parse().ok());
+        let epoch = serve::query_param(query, "epoch").and_then(|v| v.parse().ok());
+        lineage::render_json(&self.coordinator.lineage().query(stream, epoch))
     }
 
     /// Health document (`/health`): coordinator collection health, alarm
@@ -481,8 +501,14 @@ fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
 }
 
 /// Read quantile `q` out of the cumulative `_bucket` series of histogram
-/// `name` in `lines`. Returns the upper bound of the covering bucket.
+/// `name` in `lines`. Returns the upper bound of the covering bucket, or
+/// `None` when no defensible answer exists: histogram absent, empty
+/// (zero total), a non-finite `q`, or a scrape poisoned with NaN counts
+/// (`setstream top` renders those as `-` instead of a bogus `+Inf`).
 pub fn histogram_quantile(lines: &[MetricLine], name: &str, q: f64) -> Option<f64> {
+    if !q.is_finite() {
+        return None;
+    }
     let bucket_name = format!("{name}_bucket");
     let mut buckets: Vec<(f64, f64)> = lines
         .iter()
@@ -499,11 +525,17 @@ pub fn histogram_quantile(lines: &[MetricLine], name: &str, q: f64) -> Option<f6
         .collect();
     buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     let total = buckets.last()?.1;
-    if total <= 0.0 {
+    // `total <= 0.0` alone misses NaN (fails every comparison), which
+    // previously fell through to a bogus `+Inf` answer on saturated or
+    // garbage scrapes.
+    if !total.is_finite() || total <= 0.0 {
         return None;
     }
     let rank = (q.clamp(0.0, 1.0) * total).max(1.0);
     for (bound, cumulative) in &buckets {
+        if cumulative.is_nan() {
+            continue;
+        }
         if *cumulative >= rank {
             return Some(*bound);
         }
@@ -572,6 +604,22 @@ mod tests {
         let trace = stack.render_trace();
         assert!(trace.contains("\"traceEvents\""));
         assert!(trace.contains("engine.query"));
+        // The collection loop is traced end to end: site cuts and the
+        // coordinator's merge/commit spans land in the same export.
+        assert!(trace.contains("site.cut_epoch"));
+        assert!(trace.contains("collect.merge"));
+        assert!(trace.contains("collect.commit"));
+
+        // And the coordinator's lineage ring knows who contributed (the
+        // demo workload routes stream 0 through site 0 and stream 1
+        // through site 1).
+        let lineage = stack.render_lineage("");
+        assert!(lineage.contains("\"sites\":[0]"), "{lineage}");
+        assert!(lineage.contains("\"sites\":[1]"), "{lineage}");
+        assert!(lineage.contains("\"committed\":true"), "{lineage}");
+        let filtered = stack.render_lineage("stream=0&epoch=1");
+        assert!(filtered.contains("\"stream\":0"));
+        assert!(!filtered.contains("\"stream\":1"));
     }
 
     #[test]
@@ -601,5 +649,32 @@ h_count 10\n";
         assert_eq!(histogram_quantile(&lines, "h", 0.9), Some(100.0));
         assert_eq!(histogram_quantile(&lines, "h", 1.0), Some(f64::INFINITY));
         assert_eq!(histogram_quantile(&lines, "missing", 0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_survive_empty_and_poisoned_scrapes() {
+        // Empty histogram (all-zero buckets): no quantile, not +Inf.
+        let empty = parse_metric_text(
+            "h_bucket{le=\"10\"} 0\nh_bucket{le=\"+Inf\"} 0\nh_count 0\n",
+        );
+        assert_eq!(histogram_quantile(&empty, "h", 0.5), None);
+
+        // NaN total (saturated/garbage scrape): previously fell through
+        // every comparison and answered +Inf; now refuses.
+        let poisoned = parse_metric_text(
+            "h_bucket{le=\"10\"} NaN\nh_bucket{le=\"+Inf\"} NaN\n",
+        );
+        assert_eq!(histogram_quantile(&poisoned, "h", 0.5), None);
+
+        // A NaN mid-bucket is skipped, not treated as covering.
+        let partial = parse_metric_text(
+            "h_bucket{le=\"10\"} NaN\nh_bucket{le=\"100\"} 4\nh_bucket{le=\"+Inf\"} 4\n",
+        );
+        assert_eq!(histogram_quantile(&partial, "h", 0.5), Some(100.0));
+
+        // Non-finite q is a caller bug, answered with None not a panic.
+        let lines = parse_metric_text("h_bucket{le=\"+Inf\"} 4\n");
+        assert_eq!(histogram_quantile(&lines, "h", f64::NAN), None);
+        assert_eq!(histogram_quantile(&lines, "h", f64::INFINITY), None);
     }
 }

@@ -14,9 +14,12 @@
 //! ```
 
 use setstream_core::{SketchFamily, SketchVector};
+use setstream_distributed::{Coordinator, Site};
 use setstream_engine::{QualityConfig, QualityMonitor, ShardedIngestor, StreamEngine};
+use setstream_obs::{RingRecorder, TraceHandle};
 use setstream_stream::{StreamId, Update};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 const PAPER_S: u32 = 32;
@@ -146,6 +149,16 @@ fn main() {
     } else {
         (20_000, 131_072, 3)
     };
+    // The overhead ratios (metrics, quality, tracing) gate at ≤5% in
+    // tier1.sh, so they need enough work per timing for the ratio to be
+    // signal rather than scheduler noise: at 2k updates the quick ratios
+    // routinely landed below 1.0. They get their own larger sample and
+    // more min-of-N reps than the throughput sweeps.
+    let (n_obs, obs_reps) = if args.quick {
+        (20_000usize, 5usize)
+    } else {
+        (60_000, 7)
+    };
 
     let mut rows = String::new();
     println!("ingest_bench: s = {PAPER_S}, scalar/batch over {n_scalar} updates, parallel over {n_parallel}");
@@ -223,15 +236,15 @@ fn main() {
     // ingest stats) on the same insert-only workload. The ratio is the
     // price of leaving metrics on; the budget is 5% (see tier1.sh).
     let r_obs = 512usize;
-    let updates = workload(n_scalar, Shape::InsertOnly);
-    let raw = time_ns_per_update(&updates, reps, |us| {
+    let updates = workload(n_obs, Shape::InsertOnly);
+    let raw = time_ns_per_update(&updates, obs_reps, |us| {
         let mut v = family(r_obs).new_vector();
         v.update_batch(us);
         v
     });
     let engine_ns = {
         let mut best = f64::INFINITY;
-        for _ in 0..reps {
+        for _ in 0..obs_reps {
             let mut engine = StreamEngine::new(family(r_obs));
             let t = Instant::now();
             engine.process_batch(&updates);
@@ -247,7 +260,7 @@ fn main() {
     );
     let _ = write!(
         rows,
-        ",\n    {{\"mode\":\"metrics_overhead\",\"r\":{r_obs},\"s\":{PAPER_S},\"updates\":{n_scalar},\
+        ",\n    {{\"mode\":\"metrics_overhead\",\"r\":{r_obs},\"s\":{PAPER_S},\"updates\":{n_obs},\
          \"raw_ns_per_update\":{raw:.1},\"engine_ns_per_update\":{engine_ns:.1},\
          \"overhead\":{metrics_overhead:.3}}}"
     );
@@ -283,7 +296,7 @@ fn main() {
         .expect("valid bench config");
         let monitored_ns = {
             let mut best = f64::INFINITY;
-            for _ in 0..reps {
+            for _ in 0..obs_reps {
                 let mut engine = StreamEngine::new(family(r_obs));
                 let t = Instant::now();
                 engine.process_batch(&updates);
@@ -304,15 +317,63 @@ fn main() {
         let _ = write!(
             obs_rows,
             "{}{{\"mode\":\"quality_overhead\",\"sampling_rate\":{rate},\"r\":{r_obs},\
-             \"s\":{PAPER_S},\"updates\":{n_scalar},\
+             \"s\":{PAPER_S},\"updates\":{n_obs},\
              \"engine_ns_per_update\":{engine_ns:.1},\
              \"engine_plus_monitor_ns_per_update\":{monitored_ns:.1},\
              \"overhead\":{overhead:.3}}}",
             if obs_rows.is_empty() { "" } else { ",\n    " }
         );
     }
+    // Tracing & lineage overhead: a continuous-collection cycle —
+    // observe a 512-update slice, cut an epoch (Hello/Delta/Commit
+    // frames), ingest them at a coordinator — run with a noop
+    // TraceHandle vs a recording one. The coordinator's lineage ring is
+    // always-on in both runs (it has no off switch), so the ratio prices
+    // exactly the optional layer: span records at cut/merge/commit plus
+    // the 24-byte trace-context extension on every frame. Collection
+    // runs the transport-scale family (r = 64, the `setstream site`
+    // default) — at r = 512 a first-epoch delta overflows the frame cap.
+    const EPOCH_LEN: usize = 512;
+    let r_cycle = 64usize;
+    let cycle_ns = |trace: &TraceHandle| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..obs_reps {
+            let mut site = Site::new(1, family(r_cycle));
+            site.set_trace(trace.clone());
+            let coordinator =
+                Coordinator::new(family(r_cycle)).with_trace(trace.clone(), "coordinator");
+            let t = Instant::now();
+            for slice in updates.chunks(EPOCH_LEN) {
+                site.observe_batch(slice);
+                let cut = site.cut_epoch().expect("epoch cut");
+                for frame in &cut.frames {
+                    coordinator.ingest_frame(frame).expect("coordinator ingest");
+                }
+            }
+            let dt = t.elapsed().as_secs_f64();
+            std::hint::black_box(&coordinator);
+            best = best.min(dt * 1e9 / updates.len() as f64);
+        }
+        best
+    };
+    let noop_ns = cycle_ns(&TraceHandle::noop());
+    let recording = TraceHandle::new(Arc::new(RingRecorder::new(4096)));
+    let traced_ns = cycle_ns(&recording);
+    let tracing_overhead = traced_ns / noop_ns;
+    println!(
+        "  tracing overhead r={r_cycle} epoch={EPOCH_LEN}: noop {noop_ns:.1} ns/update   traced {traced_ns:.1} ns/update   ratio {tracing_overhead:.3}x"
+    );
+    let _ = write!(
+        obs_rows,
+        ",\n    {{\"mode\":\"tracing_overhead\",\"r\":{r_cycle},\"s\":{PAPER_S},\"updates\":{n_obs},\
+         \"epoch_len\":{EPOCH_LEN},\
+         \"noop_ns_per_update\":{noop_ns:.1},\"traced_ns_per_update\":{traced_ns:.1},\
+         \"overhead\":{tracing_overhead:.3}}}"
+    );
+
     let obs_json = format!(
-        "{{\n  \"bench\": \"obs\",\n  \"quick\": {},\n  \"quality_overhead\": {quality_overhead:.3},\n  \"results\": [\n    {obs_rows}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"obs\",\n  \"quick\": {},\n  \"quality_overhead\": {quality_overhead:.3},\n  \
+         \"tracing_overhead\": {tracing_overhead:.3},\n  \"results\": [\n    {obs_rows}\n  ]\n}}\n",
         args.quick
     );
     std::fs::write(&args.obs_out, &obs_json).unwrap_or_else(|e| {

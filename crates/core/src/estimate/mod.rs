@@ -173,6 +173,25 @@ pub struct WitnessSummary {
     pub copies: usize,
 }
 
+/// One `(stream, site, epoch)` provenance fact behind a distributed
+/// estimate: the named site's contribution to the named stream was applied
+/// up to the named epoch when the answer was computed. A distributed
+/// coordinator attaches a list of these to its annotated answers so a
+/// consumer can say exactly which collection epochs an estimate rests on
+/// (and replay or audit them against the lineage ring).
+///
+/// Stream and site are plain `u32`s here — the core crate stays ignorant
+/// of the stream/distributed layers' newtypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochWitness {
+    /// The stream the contribution was for.
+    pub stream: u32,
+    /// The contributing site.
+    pub site: u32,
+    /// The site's applied-epoch watermark for the stream.
+    pub epoch: u64,
+}
+
 /// The result of a cardinality estimation.
 ///
 /// A self-describing record: alongside the value it carries the estimator

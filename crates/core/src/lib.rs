@@ -65,7 +65,8 @@ pub use config::SketchConfig;
 pub use error::EstimateError;
 pub use incremental::EvalCache;
 pub use estimate::{
-    Estimate, EstimateMethod, EstimatorOptions, UnionMode, WitnessMode, WitnessSummary,
+    EpochWitness, Estimate, EstimateMethod, EstimatorOptions, UnionMode, WitnessMode,
+    WitnessSummary,
 };
 pub use family::{
     IngestStats, PreparedBatch, SketchFamily, SketchFamilyBuilder, SketchVector,

@@ -39,14 +39,16 @@
 use crate::codec;
 use crate::metrics::CoordinatorMetrics;
 use crate::site::{DeltaMessage, Epoch, EpochCommit, Hello, SiteId, SynopsisMessage};
-use crate::wire::{FrameKind, WireError};
+use crate::wire::{FrameContext, FrameKind, WireError};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use setstream_core::{
-    estimate, Estimate, EstimateError, EstimatorOptions, SketchFamily, SketchVector,
+    estimate, EpochWitness, Estimate, EstimateError, EstimatorOptions, SketchFamily,
+    SketchVector,
 };
 use setstream_expr::SetExpr;
-use setstream_obs::{MetricSource, Sample};
+use setstream_hash::clock;
+use setstream_obs::{LineageRing, MetricSource, Sample, TraceHandle};
 use setstream_stream::StreamId;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -251,6 +253,19 @@ pub struct AnnotatedEstimate {
     pub staleness: Vec<StreamStaleness>,
     /// Collection-wide health at query time.
     pub health: CollectionHealth,
+    /// The exact `(stream, site, epoch)` watermarks the answer rests on.
+    pub lineage: Vec<EpochWitness>,
+}
+
+impl AnnotatedEstimate {
+    /// The provenance witness: one entry per contributing site per queried
+    /// stream, naming the applied-epoch watermark the merged synopsis
+    /// included when this answer was computed. Cross-reference against the
+    /// coordinator's [`LineageRing`] (`/lineage`) to audit how each of
+    /// those epochs was collected.
+    pub fn lineage(&self) -> &[EpochWitness] {
+        &self.lineage
+    }
 }
 
 #[derive(Default)]
@@ -262,6 +277,9 @@ struct State {
     /// Streams whose merged synopsis changed since the last drain —
     /// the delta-frame feed for an engine's subscription dirty set.
     dirty: BTreeSet<StreamId>,
+    /// The last trace context applied per stream — what a relay re-ships
+    /// upstream so one trace spans site → relay → root coordinator.
+    stream_ctx: BTreeMap<StreamId, FrameContext>,
 }
 
 impl State {
@@ -321,6 +339,10 @@ impl State {
     }
 }
 
+/// Epoch-lineage entries a coordinator retains by default — enough for
+/// hundreds of sites over many collection rounds while bounding memory.
+const DEFAULT_LINEAGE_CAPACITY: usize = 1024;
+
 /// The query-processing coordinator.
 pub struct Coordinator {
     family: SketchFamily,
@@ -330,6 +352,17 @@ pub struct Coordinator {
     quarantine_after: u32,
     state: Mutex<State>,
     metrics: Arc<CoordinatorMetrics>,
+    /// Span recorder for merge/commit spans (noop unless
+    /// [`Coordinator::with_trace`] installed a real sink — zero cost when
+    /// off).
+    trace: TraceHandle,
+    /// Chrome-export track merge/commit spans render under (a per-node
+    /// name like `coordinator` or `relay-2`).
+    track: String,
+    /// Always-on bounded provenance ring: who contributed to every
+    /// retained `(stream, epoch)`, with retransmit/resync/stall counts and
+    /// cut→commit latency.
+    lineage: Arc<LineageRing>,
 }
 
 impl Coordinator {
@@ -341,6 +374,9 @@ impl Coordinator {
             quarantine_after: 8,
             state: Mutex::new(State::default()),
             metrics: Arc::new(CoordinatorMetrics::new()),
+            trace: TraceHandle::noop(),
+            track: "coordinator".to_string(),
+            lineage: Arc::new(LineageRing::new(DEFAULT_LINEAGE_CAPACITY)),
         }
     }
 
@@ -371,6 +407,48 @@ impl Coordinator {
         self
     }
 
+    /// Record merge/commit spans into `trace` under the Chrome-export
+    /// track `track` (e.g. `coordinator`, `relay-2`). Frames carrying a
+    /// trace-context extension produce *child* spans of the originating
+    /// site cut, so one trace id follows an epoch across processes.
+    pub fn with_trace(mut self, trace: TraceHandle, track: impl Into<String>) -> Self {
+        self.trace = trace;
+        self.track = track.into();
+        self
+    }
+
+    /// Override how many `(stream, epoch)` lineage entries the provenance
+    /// ring retains (default 1024; minimum 1). Evictions are counted in
+    /// `setstream_lineage_dropped_total`.
+    pub fn with_lineage_capacity(mut self, capacity: usize) -> Self {
+        self.lineage = Arc::new(LineageRing::new(capacity));
+        self
+    }
+
+    /// The coordinator's epoch provenance ring: per retained
+    /// `(stream, epoch)`, the contributing sites, merge fan-in,
+    /// retransmit/resync counts, credit stalls, and cut→commit timestamps.
+    pub fn lineage(&self) -> &Arc<LineageRing> {
+        &self.lineage
+    }
+
+    /// Charge a credit-window stall against `site`'s still-open lineage
+    /// entries. The transport server calls this when a slow consumer
+    /// overflows its send window, so lineage shows *why* an epoch was slow
+    /// to commit.
+    pub fn note_credit_stall(&self, site: SiteId) {
+        self.lineage.record_credit_stall(site);
+    }
+
+    /// The last trace context applied for `stream`, if any frame carried
+    /// one. A relay forwards this (with a fresh span id) on its own
+    /// upstream cuts so the root coordinator's spans join the same trace.
+    /// Under fan-in the *last contributor wins* — lineage, not the trace,
+    /// is the exhaustive record.
+    pub fn stream_context(&self, stream: StreamId) -> Option<FrameContext> {
+        self.state.lock().stream_ctx.get(&stream).copied()
+    }
+
     /// The stored coins queries are answered under.
     pub fn family(&self) -> &SketchFamily {
         &self.family
@@ -382,14 +460,14 @@ impl Coordinator {
     /// link identifies its site.
     pub fn ingest_frame(&self, frame: &Bytes) -> Result<(), CoordinatorError> {
         // Decode outside the lock; merge inside.
-        let (kind, payload) = match crate::wire::decode_frame(frame.clone()) {
+        let (kind, payload, ctx) = match crate::wire::decode_frame_parts(frame.clone()) {
             Ok(decoded) => decoded,
             Err(e) => {
                 self.metrics.record_rejection("wire");
                 return Err(e.into());
             }
         };
-        let result = self.apply(kind, &payload);
+        let result = self.apply(kind, &payload, ctx);
         match &result {
             Ok(()) => self.metrics.record_frame(kind),
             Err(e) => self.metrics.record_rejection(e.reason()),
@@ -405,10 +483,10 @@ impl Coordinator {
             self.metrics.record_rejection("quarantined");
             return Err(CoordinatorError::Quarantined { site });
         }
-        let decoded = crate::wire::decode_frame(frame.clone());
+        let decoded = crate::wire::decode_frame_parts(frame.clone());
         let result = match decoded {
-            Ok((kind, payload)) => {
-                let applied = self.apply(kind, &payload);
+            Ok((kind, payload, ctx)) => {
+                let applied = self.apply(kind, &payload, ctx);
                 if applied.is_ok() {
                     self.metrics.record_frame(kind);
                 }
@@ -434,7 +512,24 @@ impl Coordinator {
         result
     }
 
-    fn apply(&self, kind: FrameKind, payload: &Bytes) -> Result<(), CoordinatorError> {
+    /// Open a merge/commit span on the coordinator's track, as a child of
+    /// the frame's trace context when it carried one (so the span joins
+    /// the originating site cut's trace).
+    fn frame_span(&self, name: &'static str, ctx: Option<FrameContext>) -> setstream_obs::Span<'_> {
+        let mut span = match ctx {
+            Some(c) => self.trace.child_span(name, c.trace),
+            None => self.trace.span(name),
+        };
+        span.track(&self.track);
+        span
+    }
+
+    fn apply(
+        &self,
+        kind: FrameKind,
+        payload: &Bytes,
+        ctx: Option<FrameContext>,
+    ) -> Result<(), CoordinatorError> {
         match kind {
             FrameKind::Hello => {
                 let hello: Hello = codec::from_bytes(payload).map_err(WireError::from)?;
@@ -462,6 +557,13 @@ impl Coordinator {
                 if msg.vector.family() != &self.family {
                     return Err(CoordinatorError::CoinMismatch { site: msg.site });
                 }
+                let mut span = self.frame_span("collect.merge", ctx);
+                if span.is_recording() {
+                    span.detail(format!(
+                        "site={} stream={} epoch={} kind=synopsis",
+                        msg.site, msg.stream, msg.epoch
+                    ));
+                }
                 let mut st = self.state.lock();
                 st.frames += 1;
                 let entry = st.sites.entry(msg.site).or_default();
@@ -470,6 +572,9 @@ impl Coordinator {
                 }
                 let watermark = entry.watermarks.get(&msg.stream).copied().unwrap_or(0);
                 if msg.epoch < watermark {
+                    drop(st);
+                    self.lineage
+                        .record_retransmit(msg.stream.0, msg.epoch, msg.site);
                     return Err(CoordinatorError::StaleEpoch {
                         site: msg.site,
                         stream: msg.stream,
@@ -486,11 +591,26 @@ impl Coordinator {
                 }
                 entry.needs_resync = false;
                 st.dirty.insert(msg.stream);
+                if let Some(c) = ctx {
+                    st.stream_ctx.insert(msg.stream, c);
+                }
+                drop(st);
+                let (trace_id, cut_ns) = ctx.map_or((0, 0), |c| (c.trace.trace_id, c.cut_ns));
+                self.lineage
+                    .record_frame(msg.stream.0, msg.epoch, msg.site, trace_id, cut_ns);
+                self.lineage.record_resync(msg.stream.0, msg.epoch);
             }
             FrameKind::Delta => {
                 let msg: DeltaMessage = codec::from_bytes(payload).map_err(WireError::from)?;
                 if msg.vector.family() != &self.family {
                     return Err(CoordinatorError::CoinMismatch { site: msg.site });
+                }
+                let mut span = self.frame_span("collect.merge", ctx);
+                if span.is_recording() {
+                    span.detail(format!(
+                        "site={} stream={} epoch={} kind=delta",
+                        msg.site, msg.stream, msg.epoch
+                    ));
                 }
                 let mut st = self.state.lock();
                 st.frames += 1;
@@ -500,6 +620,9 @@ impl Coordinator {
                 }
                 let watermark = entry.watermarks.get(&msg.stream).copied().unwrap_or(0);
                 if msg.epoch <= watermark {
+                    drop(st);
+                    self.lineage
+                        .record_retransmit(msg.stream.0, msg.epoch, msg.site);
                     return Err(CoordinatorError::StaleEpoch {
                         site: msg.site,
                         stream: msg.stream,
@@ -528,9 +651,20 @@ impl Coordinator {
                 }
                 entry.watermarks.insert(msg.stream, msg.epoch);
                 st.dirty.insert(msg.stream);
+                if let Some(c) = ctx {
+                    st.stream_ctx.insert(msg.stream, c);
+                }
+                drop(st);
+                let (trace_id, cut_ns) = ctx.map_or((0, 0), |c| (c.trace.trace_id, c.cut_ns));
+                self.lineage
+                    .record_frame(msg.stream.0, msg.epoch, msg.site, trace_id, cut_ns);
             }
             FrameKind::Commit => {
                 let msg: EpochCommit = codec::from_bytes(payload).map_err(WireError::from)?;
+                let mut span = self.frame_span("collect.commit", ctx);
+                if span.is_recording() {
+                    span.detail(format!("site={} epoch={}", msg.site, msg.epoch));
+                }
                 let mut st = self.state.lock();
                 st.frames += 1;
                 let entry = st.sites.entry(msg.site).or_default();
@@ -538,6 +672,10 @@ impl Coordinator {
                     return Err(CoordinatorError::Quarantined { site: msg.site });
                 }
                 entry.commit_epoch = entry.commit_epoch.max(msg.epoch);
+                drop(st);
+                let cut_ns = ctx.map_or(0, |c| c.cut_ns);
+                self.lineage
+                    .record_commit(msg.epoch, msg.site, clock::now_ns(), cut_ns);
             }
             FrameKind::Flush => {
                 self.state.lock().frames += 1;
@@ -655,12 +793,24 @@ impl Coordinator {
         let st = self.state.lock();
         let mut merged: Vec<(StreamId, SketchVector)> = Vec::new();
         let mut staleness = Vec::new();
+        let mut lineage = Vec::new();
         for id in expr.streams() {
             let v = st
                 .merged_vector(id)
                 .ok_or(CoordinatorError::UnknownStream(id))?;
             merged.push((id, v));
             staleness.push(st.staleness_of(id));
+            // The witness: exactly which per-site epochs the merged vector
+            // for this stream contains.
+            for (&site, s) in &st.sites {
+                if s.contributions.contains_key(&id) {
+                    lineage.push(EpochWitness {
+                        stream: id.0,
+                        site,
+                        epoch: s.watermarks.get(&id).copied().unwrap_or(0),
+                    });
+                }
+            }
         }
         let pairs: Vec<(StreamId, &SketchVector)> =
             merged.iter().map(|(id, v)| (*id, v)).collect();
@@ -670,6 +820,7 @@ impl Coordinator {
             estimate,
             staleness,
             health: st.health(),
+            lineage,
         })
     }
 }
@@ -681,6 +832,7 @@ impl MetricSource for Coordinator {
     /// advanced site.
     fn collect(&self, out: &mut Vec<Sample>) {
         self.metrics.collect_counters(out);
+        self.lineage.collect(out);
         let st = self.state.lock();
         let health = st.health();
         out.push(
@@ -1178,5 +1330,96 @@ mod tests {
         assert!(names.contains(&"setstream_distributed_frames_rejected_total"));
         assert!(names.contains(&"setstream_distributed_sites"));
         assert!(names.contains(&"setstream_distributed_site_commit_epoch"));
+        // The lineage ring exports through the same source.
+        assert!(names.contains(&"setstream_lineage_retained"));
+        assert!(names.contains(&"setstream_lineage_dropped_total"));
+    }
+
+    #[test]
+    fn lineage_follows_cut_to_commit_and_names_retransmitters() {
+        use setstream_obs::RingRecorder;
+
+        let fam = family();
+        let recorder = std::sync::Arc::new(RingRecorder::new(64));
+        let trace = TraceHandle::new(recorder.clone());
+        let mut site = Site::new(7, fam);
+        site.set_trace(trace.clone());
+        let coord = Coordinator::new(fam).with_trace(trace, "coordinator");
+
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        let cut = site.cut_epoch().unwrap();
+        deliver_cut(&cut, &coord);
+
+        let entries = coord.lineage().query(Some(0), Some(1));
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.sites, vec![7]);
+        assert_eq!(e.fanin, 1);
+        assert_ne!(e.trace_id, 0, "trace id travels in the frame extension");
+        assert!(e.cut_ns > 0);
+        assert!(e.is_committed());
+        assert!(e.commit_ns >= e.cut_ns, "cut→commit latency is non-negative");
+
+        // A relay would pick the stream's context up from here.
+        let ctx = coord.stream_context(StreamId(0)).unwrap();
+        assert_eq!(ctx.trace.trace_id, e.trace_id);
+
+        // Replaying the delta is a StaleEpoch — lineage names the
+        // retransmitting site.
+        coord.ingest_frame(&cut.frames[1]).unwrap_err();
+        let e = &coord.lineage().query(Some(0), Some(1))[0];
+        assert_eq!(e.retransmits, 1);
+        assert_eq!(e.retransmit_sites, vec![7]);
+
+        // And the span ring holds cut → merge → commit in ONE trace, with
+        // the merge parented on the originating cut span.
+        let events = recorder.events();
+        let cut_span = events.iter().find(|e| e.name == "site.cut_epoch").unwrap();
+        assert!(events.iter().any(|e| e.name == "collect.merge"
+            && e.trace_id == cut_span.trace_id
+            && e.parent_id == cut_span.id));
+        assert!(events
+            .iter()
+            .any(|e| e.name == "collect.commit" && e.trace_id == cut_span.trace_id));
+    }
+
+    #[test]
+    fn untraced_frames_still_populate_lineage() {
+        let fam = family();
+        let mut site = Site::new(1, fam);
+        let coord = Coordinator::new(fam);
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        deliver_cut(&site.cut_epoch().unwrap(), &coord);
+        let entries = coord.lineage().snapshot();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].trace_id, 0);
+        assert_eq!(entries[0].cut_ns, 0, "no extension, no cut timestamp");
+        assert!(entries[0].is_committed());
+        assert!(coord.stream_context(StreamId(0)).is_none());
+    }
+
+    #[test]
+    fn query_lineage_witness_names_contributing_epochs() {
+        let fam = family();
+        let coord = Coordinator::new(fam);
+        let mut s1 = Site::new(1, fam);
+        let mut s2 = Site::new(2, fam);
+        s1.observe(&Update::insert(StreamId(0), 1, 1));
+        s2.observe(&Update::insert(StreamId(0), 2, 1));
+        deliver_cut(&s1.cut_epoch().unwrap(), &coord);
+        deliver_cut(&s2.cut_epoch().unwrap(), &coord);
+        // Site 1 advances one epoch further: the witness must show the
+        // per-site watermarks the merged answer actually contains.
+        s1.observe(&Update::insert(StreamId(0), 3, 1));
+        deliver_cut(&s1.cut_epoch().unwrap(), &coord);
+
+        let ann = coord.query(&"A".parse().unwrap()).unwrap();
+        assert_eq!(
+            ann.lineage(),
+            &[
+                EpochWitness { stream: 0, site: 1, epoch: 2 },
+                EpochWitness { stream: 0, site: 2, epoch: 1 },
+            ]
+        );
     }
 }

@@ -39,6 +39,20 @@
 //!   delta frames (sketch linearity) and ships one compact delta per
 //!   (stream, epoch) upstream.
 //!
+//! # Tracing & lineage
+//!
+//! Frames may carry an optional, version-gated **trace-context
+//! extension** ([`wire::FrameContext`]): a site cut stamps its trace id
+//! and cut timestamp onto the frames it ships, relays re-ship the context
+//! upstream, and every coordinator on the path records merge/commit spans
+//! into its [`setstream_obs::TraceHandle`] — one trace follows each epoch
+//! from site cut to root commit. Independent of tracing, every
+//! coordinator keeps an always-on bounded
+//! [`setstream_obs::LineageRing`]: per `(stream, epoch)`, the
+//! contributing sites, merge fan-in, retransmit/resync counts, credit
+//! stalls, and cut→commit latency. Old peers ignore the extension;
+//! untraced frames are bit-identical to the pre-extension format.
+//!
 //! # Example: continuous collection
 //!
 //! ```
@@ -90,3 +104,4 @@ pub use site::Site;
 pub use transport::{
     CoordinatorServer, FaultyListener, ServerRole, TcpCollector, TransportOptions,
 };
+pub use wire::{ExtensionTag, FrameContext};

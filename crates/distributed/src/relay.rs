@@ -33,7 +33,7 @@ use crate::site::{DeltaMessage, Epoch, EpochCommit, Hello, SiteId, SynopsisMessa
 use crate::transport::{
     CoordinatorServer, ServerHandle, ServerRole, TcpCollector, TransportError, TransportOptions,
 };
-use crate::wire::{encode_frame, FrameKind, WireError};
+use crate::wire::{encode_frame, encode_frame_traced, FrameContext, FrameKind, WireError};
 use bytes::Bytes;
 use setstream_core::{SketchFamily, SketchVector};
 use setstream_stream::StreamId;
@@ -59,10 +59,18 @@ pub struct Relay {
 impl Relay {
     /// A relay presenting itself upstream as site `id`.
     pub fn new(id: SiteId, family: SketchFamily) -> Self {
+        Relay::with_coordinator(id, Coordinator::new(family))
+    }
+
+    /// A relay around a custom-built child-facing coordinator — the hook
+    /// for tracing and lineage tuning, e.g.
+    /// `Coordinator::new(family).with_trace(trace, "relay-2")` so the
+    /// relay's merge spans join each originating site cut's trace.
+    pub fn with_coordinator(id: SiteId, downstream: Coordinator) -> Self {
         Relay {
             id,
-            family,
-            downstream: Arc::new(Coordinator::new(family)),
+            family: *downstream.family(),
+            downstream: Arc::new(downstream),
             baselines: BTreeMap::new(),
             shipped: BTreeMap::new(),
             epoch: 0,
@@ -88,6 +96,14 @@ impl Relay {
     /// Cut the relay's next upstream epoch: one delta frame per stream
     /// whose merged child state changed since the last cut, bracketed by
     /// `Hello` and `Commit`. Rolls the baselines forward.
+    ///
+    /// Trace propagation: each upstream delta re-ships the stream's last
+    /// child frame context *verbatim* (same trace id, span id, and cut
+    /// timestamp), so the root coordinator's merge spans parent directly
+    /// onto the originating site cut and cut→commit latency stays
+    /// end-to-end rather than per-hop. Under fan-in the last contributor's
+    /// context wins — the lineage ring, not the trace, is the exhaustive
+    /// record of who contributed.
     pub fn cut_upstream(&mut self) -> Result<Vec<Bytes>, WireError> {
         self.epoch += 1;
         let mut frames = vec![encode_frame(
@@ -99,6 +115,7 @@ impl Relay {
             },
         )?];
         let mut seq = 0u32;
+        let mut last_ctx: Option<FrameContext> = None;
         for stream in self.downstream.streams() {
             let Some(merged) = self.downstream.merged_synopsis(stream) else {
                 continue;
@@ -116,7 +133,11 @@ impl Relay {
                 }
                 None => (merged.clone(), 0),
             };
-            frames.push(encode_frame(
+            let ctx = self.downstream.stream_context(stream);
+            if ctx.is_some() {
+                last_ctx = ctx;
+            }
+            frames.push(encode_frame_traced(
                 FrameKind::Delta,
                 &DeltaMessage {
                     site: self.id,
@@ -126,18 +147,20 @@ impl Relay {
                     seq,
                     vector: delta,
                 },
+                ctx.as_ref(),
             )?);
             self.shipped.insert(stream, self.epoch);
             self.baselines.insert(stream, merged);
             seq += 1;
         }
-        frames.push(encode_frame(
+        frames.push(encode_frame_traced(
             FrameKind::Commit,
             &EpochCommit {
                 site: self.id,
                 epoch: self.epoch,
                 deltas: seq,
             },
+            last_ctx.as_ref(),
         )?);
         Ok(frames)
     }
@@ -156,7 +179,8 @@ impl Relay {
         )?];
         let mut count = 0u32;
         for (&stream, vector) in &self.baselines {
-            frames.push(encode_frame(
+            let ctx = self.downstream.stream_context(stream);
+            frames.push(encode_frame_traced(
                 FrameKind::Synopsis,
                 &SynopsisMessage {
                     site: self.id,
@@ -164,6 +188,7 @@ impl Relay {
                     epoch: self.epoch,
                     vector: vector.clone(),
                 },
+                ctx.as_ref(),
             )?);
             self.shipped.insert(stream, self.epoch);
             count += 1;
@@ -199,7 +224,19 @@ impl RelayNode {
         opts: TransportOptions,
         metrics: Arc<TransportMetrics>,
     ) -> Result<RelayNode, TransportError> {
-        let relay = Relay::new(id, family);
+        RelayNode::spawn_with(listen, upstream, Relay::new(id, family), opts, metrics)
+    }
+
+    /// Like [`RelayNode::spawn`] but around a pre-built [`Relay`] — the
+    /// hook for a trace-recording child-facing coordinator
+    /// ([`Relay::with_coordinator`]).
+    pub fn spawn_with(
+        listen: &str,
+        upstream: SocketAddr,
+        relay: Relay,
+        opts: TransportOptions,
+        metrics: Arc<TransportMetrics>,
+    ) -> Result<RelayNode, TransportError> {
         let server = CoordinatorServer::spawn(
             listen,
             Arc::clone(relay.coordinator()),
@@ -214,6 +251,11 @@ impl RelayNode {
             upstream: collector,
             opts,
         })
+    }
+
+    /// The relay's upstream site identity.
+    pub fn id(&self) -> SiteId {
+        self.relay.id()
     }
 
     /// The address child sites should connect to.
@@ -422,5 +464,53 @@ mod tests {
         for (d, r) in direct.sketches().iter().zip(relayed.sketches()) {
             assert_eq!(d.counters(), r.counters());
         }
+    }
+
+    #[test]
+    fn relay_propagates_site_trace_context_to_the_root() {
+        use setstream_obs::{RingRecorder, TraceHandle};
+
+        let fam = family();
+        let recorder = Arc::new(RingRecorder::new(64));
+        let trace = TraceHandle::new(recorder.clone());
+
+        let mut site = Site::new(3, fam);
+        site.set_trace(trace.clone());
+        let mut relay = Relay::with_coordinator(
+            1000,
+            Coordinator::new(fam).with_trace(trace.clone(), "relay-1000"),
+        );
+        let root = Coordinator::new(fam).with_trace(trace, "root");
+
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        let cut = site.cut_epoch().unwrap();
+        for frame in &cut.frames {
+            relay.coordinator().ingest_frame_from(3, frame).unwrap();
+        }
+        for frame in relay.cut_upstream().unwrap() {
+            root.ingest_frame_from(1000, &frame).unwrap();
+        }
+
+        // The root's lineage entry keeps the originating cut's trace id
+        // and timestamp (end-to-end, not per-hop), credited to the relay's
+        // upstream identity.
+        let events = recorder.events();
+        let cut_span = events.iter().find(|e| e.name == "site.cut_epoch").unwrap();
+        let entries = root.lineage().snapshot();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].trace_id, cut_span.trace_id);
+        assert_eq!(entries[0].sites, vec![1000]);
+        assert!(entries[0].cut_ns > 0);
+        assert!(entries[0].is_committed());
+
+        // One trace spans three tracks: the site, the relay, the root.
+        let tracks: Vec<&str> = events
+            .iter()
+            .filter(|e| e.trace_id == cut_span.trace_id)
+            .map(|e| e.track.as_str())
+            .collect();
+        assert!(tracks.contains(&"site-3"), "{tracks:?}");
+        assert!(tracks.contains(&"relay-1000"), "{tracks:?}");
+        assert!(tracks.contains(&"root"), "{tracks:?}");
     }
 }

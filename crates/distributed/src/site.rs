@@ -38,11 +38,12 @@
 //! that the next delta then re-ships.
 
 use crate::codec::{self, CodecError};
-use crate::wire::{encode_frame, FrameKind, WireError};
+use crate::wire::{encode_frame, encode_frame_traced, FrameContext, FrameKind, WireError};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use setstream_core::{SketchFamily, SketchVector};
 use setstream_engine::durable::{self, DurableError, DurableKind};
+use setstream_hash::clock;
 use setstream_obs::TraceHandle;
 use setstream_stream::{StreamId, Update};
 use std::collections::BTreeMap;
@@ -378,14 +379,35 @@ impl Site {
     /// [`EpochCut::frames`] — that ordering is what makes a crash at any
     /// point recoverable without double-counting (the durable epoch is
     /// then always ≥ the coordinator's watermark).
+    ///
+    /// When tracing is enabled ([`Self::set_trace`]), the cut opens a
+    /// `site.cut_epoch` root span and every frame of the batch carries its
+    /// context plus the cut wall clock as a wire extension, so relays and
+    /// the coordinator parent their merge/commit spans under this cut and
+    /// can histogram true cut→commit latency. With the default no-op
+    /// handle the frames are bit-identical to the pre-extension format —
+    /// that emission gate is the version gate.
     pub fn cut_epoch(&mut self) -> Result<EpochCut, WireError> {
         let trace = self.trace.clone();
         let mut span = trace.span("site.cut_epoch");
         if span.is_recording() {
             span.track(format!("site-{}", self.id));
         }
+        let ctx = span.is_recording().then(|| FrameContext {
+            trace: span.context(),
+            cut_ns: clock::now_ns(),
+        });
+        let ctx = ctx.as_ref();
         self.epoch += 1;
-        let mut frames = vec![self.hello_frame()?];
+        let mut frames = vec![encode_frame_traced(
+            FrameKind::Hello,
+            &Hello {
+                site: self.id,
+                family: self.family,
+                resume_epoch: self.epoch,
+            },
+            ctx,
+        )?];
         let mut seq = 0u32;
         for (&stream, live) in &self.streams {
             let (delta, prev) = match self.baselines.get(&stream) {
@@ -401,7 +423,7 @@ impl Site {
                 }
                 None => (live.clone(), 0),
             };
-            frames.push(encode_frame(
+            frames.push(encode_frame_traced(
                 FrameKind::Delta,
                 &DeltaMessage {
                     site: self.id,
@@ -411,17 +433,19 @@ impl Site {
                     seq,
                     vector: delta,
                 },
+                ctx,
             )?);
             self.shipped.insert(stream, self.epoch);
             seq += 1;
         }
-        frames.push(encode_frame(
+        frames.push(encode_frame_traced(
             FrameKind::Commit,
             &EpochCommit {
                 site: self.id,
                 epoch: self.epoch,
                 deltas: seq,
             },
+            ctx,
         )?);
         for (&stream, live) in &self.streams {
             self.baselines.insert(stream, live.clone());
@@ -771,6 +795,44 @@ mod tests {
         assert!(Site::restore_from_bytes(b"not a checkpoint").is_err());
         // The pristine blob still restores.
         assert!(Site::restore_from_bytes(&blob).is_ok());
+    }
+
+    #[test]
+    fn traced_cuts_attach_one_context_to_every_frame() {
+        use crate::wire::decode_frame_parts;
+        use setstream_obs::RingRecorder;
+        use std::sync::Arc;
+
+        let mut site = Site::new(4, family());
+        site.set_trace(setstream_obs::TraceHandle::new(Arc::new(RingRecorder::new(8))));
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        site.observe(&Update::insert(StreamId(1), 2, 1));
+        let cut = site.cut_epoch().unwrap();
+        let contexts: Vec<_> = cut
+            .frames
+            .iter()
+            .map(|f| decode_frame_parts(f.clone()).unwrap().2)
+            .collect();
+        assert_eq!(contexts.len(), 4); // hello + 2 deltas + commit
+        let first = contexts[0].expect("traced cut attaches a context");
+        assert!(first.trace.is_active());
+        assert!(first.cut_ns > 0);
+        assert!(
+            contexts.iter().all(|c| *c == Some(first)),
+            "every frame of the batch shares the cut's context"
+        );
+    }
+
+    #[test]
+    fn untraced_cuts_ship_extension_free_frames() {
+        use crate::wire::{decode_frame_parts, EXT_FLAG};
+        let mut site = Site::new(4, family());
+        site.observe(&Update::insert(StreamId(0), 1, 1));
+        let cut = site.cut_epoch().unwrap();
+        for frame in &cut.frames {
+            assert_eq!(frame[4] & EXT_FLAG, 0, "no-op trace must not emit extensions");
+            assert_eq!(decode_frame_parts(frame.clone()).unwrap().2, None);
+        }
     }
 
     #[test]

@@ -1226,8 +1226,10 @@ impl FrameHandler for CoordinatorHandler {
     fn on_overflow(&mut self, conn: u64) {
         // A peer that will not read its acks is wedged: quarantine it so
         // collection health reports it stale instead of silently losing
-        // its epochs.
+        // its epochs, and charge the stall to the site's still-open
+        // lineage entries so slow commits are explainable after the fact.
         if let Some(&site) = self.sites.get(&conn) {
+            self.coordinator.note_credit_stall(site);
             self.coordinator.quarantine(site);
         }
     }

@@ -9,11 +9,35 @@
 //! The CRC covers `kind | len | payload` so bit rot anywhere in a frame is
 //! detected before the codec sees it. Built on [`bytes`] so frames can be
 //! sliced out of a receive buffer without copying payloads.
+//!
+//! # Trace-context extension
+//!
+//! A frame may carry one optional, length-prefixed extension block. Its
+//! presence is signalled by the [`EXT_FLAG`] high bit of the kind byte,
+//! and the block sits at the *front* of the payload region:
+//!
+//! ```text
+//! magic:u32 | kind|0x80:u8 | len:u32 | tag:u8 | ext_len:u16 | ext[ext_len] | message | crc32:u32
+//! ```
+//!
+//! `len` covers `tag + ext_len + ext + message` together, so
+//! [`frame_size_hint`] needs no extension awareness beyond masking the
+//! flag bit, and the CRC covers the extension like any other payload
+//! byte. Extension-free frames are bit-identical to the original format.
+//! The extension is **version-gated at the sender**: sites and relays emit
+//! it only when tracing is enabled, so peers that predate it never see
+//! the flag; receivers skip unrecognized tags (and unrecognized sizes of
+//! known tags) rather than rejecting the frame, which is what lets either
+//! side upgrade first. [`ExtensionTag::TraceContext`] carries
+//! `trace_id:u64 | span_id:u64 | cut_ns:u64` — the propagatable
+//! [`TraceContext`] plus the sender's epoch-cut wall clock, which is what
+//! lets the coordinator histogram true cut→commit latency.
 
 use crate::codec::{self, CodecError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
+use setstream_obs::TraceContext;
 use std::fmt;
 
 /// Frame magic: "2LHS".
@@ -31,6 +55,48 @@ pub const FRAME_OVERHEAD: usize = 13;
 /// family this workspace mints) yet small enough that even a frame-per-
 /// connection abuser stays bounded.
 pub const MAX_PAYLOAD_LEN: usize = 16 << 20;
+
+/// High bit of the kind byte: set when the payload region starts with an
+/// extension block. The remaining 7 bits are the [`FrameKind`].
+pub const EXT_FLAG: u8 = 0x80;
+
+/// What an extension block carries. One tag byte on the wire; receivers
+/// skip tags they do not recognize, so new tags can ship without breaking
+/// old peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtensionTag {
+    /// A propagated trace context: `trace_id:u64 | span_id:u64 | cut_ns:u64`.
+    TraceContext,
+}
+
+impl ExtensionTag {
+    fn as_byte(self) -> u8 {
+        match self {
+            ExtensionTag::TraceContext => 1,
+        }
+    }
+
+    /// `None` for unrecognized tags — the frame still decodes, the
+    /// extension is simply ignored (forward compatibility).
+    fn from_byte(b: u8) -> Option<Self> {
+        (b == 1).then_some(ExtensionTag::TraceContext)
+    }
+}
+
+/// The decoded trace-context extension: who to parent downstream spans
+/// under, plus the sender's epoch-cut timestamp (its own clock, ns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameContext {
+    /// Trace identity to continue (`trace_id`/`span_id`).
+    pub trace: TraceContext,
+    /// Wall clock at the originating site's epoch cut (0 = unknown).
+    pub cut_ns: u64,
+}
+
+/// Serialized size of a [`FrameContext`] extension body.
+const TRACE_EXT_LEN: usize = 24;
+/// Extension block header: tag byte + u16 length.
+const EXT_HEADER_LEN: usize = 3;
 
 /// What a frame carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +164,15 @@ pub enum WireError {
         /// CRC computed over the received content.
         actual: u32,
     },
+    /// The extension block's declared length overruns the payload region,
+    /// so the message boundary cannot be found. Only reachable for frames
+    /// that passed CRC (a hostile or buggy writer, not bit rot).
+    Extension {
+        /// Declared extension body length.
+        ext_len: usize,
+        /// Bytes actually available in the payload region.
+        available: usize,
+    },
     /// Payload decoding failed.
     Codec(CodecError),
 }
@@ -112,6 +187,10 @@ impl fmt::Display for WireError {
             WireError::Corrupt { expected, actual } => {
                 write!(f, "frame CRC mismatch: header {expected:#x}, computed {actual:#x}")
             }
+            WireError::Extension { ext_len, available } => write!(
+                f,
+                "extension block of {ext_len} bytes overruns payload ({available} available)"
+            ),
             WireError::Codec(e) => write!(f, "payload codec error: {e}"),
         }
     }
@@ -127,18 +206,44 @@ impl From<CodecError> for WireError {
 
 /// Encode `value` as a framed message of the given kind.
 pub fn encode_frame<T: Serialize>(kind: FrameKind, value: &T) -> Result<Bytes, WireError> {
+    encode_frame_traced(kind, value, None)
+}
+
+/// Encode `value` as a framed message, optionally prefixed with a
+/// trace-context extension block. `ctx: None` produces a frame
+/// bit-identical to [`encode_frame`]'s original format, which is how the
+/// extension stays version-gated: callers only pass a context when their
+/// trace handle is enabled.
+pub fn encode_frame_traced<T: Serialize>(
+    kind: FrameKind,
+    value: &T,
+    ctx: Option<&FrameContext>,
+) -> Result<Bytes, WireError> {
     let payload = codec::to_bytes(value)?;
-    if payload.len() > MAX_PAYLOAD_LEN {
-        return Err(WireError::Oversize(payload.len()));
+    let ext_bytes = if ctx.is_some() {
+        EXT_HEADER_LEN + TRACE_EXT_LEN
+    } else {
+        0
+    };
+    let total = payload.len() + ext_bytes;
+    if total > MAX_PAYLOAD_LEN {
+        return Err(WireError::Oversize(total));
     }
-    let len: u32 = payload
-        .len()
-        .try_into()
-        .map_err(|_| WireError::Oversize(payload.len()))?;
-    let mut buf = BytesMut::with_capacity(payload.len() + 13);
+    let len: u32 = total.try_into().map_err(|_| WireError::Oversize(total))?;
+    let mut buf = BytesMut::with_capacity(total + 13);
     buf.put_u32_le(MAGIC);
-    buf.put_u8(kind.as_byte());
+    match ctx {
+        Some(_) => buf.put_u8(kind.as_byte() | EXT_FLAG),
+        None => buf.put_u8(kind.as_byte()),
+    }
     buf.put_u32_le(len);
+    if let Some(ctx) = ctx {
+        buf.put_u8(ExtensionTag::TraceContext.as_byte());
+        buf.put_slice(&(TRACE_EXT_LEN as u16).to_le_bytes());
+        buf.put_u64_le(ctx.trace.trace_id);
+        buf.put_u64_le(ctx.trace.span_id);
+        buf.put_u64_le(ctx.cut_ns);
+    }
     buf.put_slice(&payload);
     // analyze: allow(indexing) — the 4-byte magic was just written; `buf.len() >= 4`
     let crc = crc32(&buf[4..]);
@@ -147,8 +252,23 @@ pub fn encode_frame<T: Serialize>(kind: FrameKind, value: &T) -> Result<Bytes, W
 }
 
 /// Decode one frame, returning its kind and raw payload (zero-copy slice
-/// of the input).
-pub fn decode_frame(mut frame: Bytes) -> Result<(FrameKind, Bytes), WireError> {
+/// of the input). Any extension block is validated and discarded; use
+/// [`decode_frame_parts`] to keep it.
+pub fn decode_frame(frame: Bytes) -> Result<(FrameKind, Bytes), WireError> {
+    let (kind, payload, _ctx) = decode_frame_parts(frame)?;
+    Ok((kind, payload))
+}
+
+/// Decode one frame into kind, message payload, and the trace-context
+/// extension if one was attached and recognized.
+///
+/// Unknown extension tags — and recognized tags with an unexpected body
+/// size — yield `None` rather than an error: the message still decodes, so
+/// old peers can be upgraded around. A structurally impossible block
+/// (declared length overrunning the payload) is [`WireError::Extension`].
+pub fn decode_frame_parts(
+    mut frame: Bytes,
+) -> Result<(FrameKind, Bytes, Option<FrameContext>), WireError> {
     if frame.len() < 13 {
         return Err(WireError::Truncated);
     }
@@ -157,7 +277,12 @@ pub fn decode_frame(mut frame: Bytes) -> Result<(FrameKind, Bytes), WireError> {
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    let kind = FrameKind::from_byte(frame.get_u8())?;
+    let kind_byte = frame.get_u8();
+    let has_ext = kind_byte & EXT_FLAG != 0;
+    // Report the raw byte on failure so diagnostics show what was on the
+    // wire, flag bit included.
+    let kind = FrameKind::from_byte(kind_byte & !EXT_FLAG)
+        .map_err(|_| WireError::BadKind(kind_byte))?;
     let len = frame.get_u32_le() as usize;
     if len > MAX_PAYLOAD_LEN {
         return Err(WireError::Oversize(len));
@@ -165,14 +290,46 @@ pub fn decode_frame(mut frame: Bytes) -> Result<(FrameKind, Bytes), WireError> {
     if frame.len() != len + 4 {
         return Err(WireError::Truncated);
     }
-    let payload = frame.slice(..len);
+    let mut payload = frame.slice(..len);
     frame.advance(len);
     let expected = frame.get_u32_le();
     let actual = crc32(&crc_region);
     if expected != actual {
         return Err(WireError::Corrupt { expected, actual });
     }
-    Ok((kind, payload))
+    // Extension parsing runs after the CRC check, so a malformed block in
+    // a CRC-valid frame is a writer bug (or hostility), never bit rot.
+    let mut ctx = None;
+    if has_ext {
+        if payload.len() < EXT_HEADER_LEN {
+            return Err(WireError::Extension {
+                ext_len: 0,
+                available: payload.len(),
+            });
+        }
+        let tag = payload.get_u8();
+        let ext_len = u16::from_le_bytes([payload.get_u8(), payload.get_u8()]) as usize;
+        if ext_len > payload.len() {
+            return Err(WireError::Extension {
+                ext_len,
+                available: payload.len(),
+            });
+        }
+        let mut ext = payload.slice(..ext_len);
+        payload.advance(ext_len);
+        if ExtensionTag::from_byte(tag) == Some(ExtensionTag::TraceContext)
+            && ext.len() >= TRACE_EXT_LEN
+        {
+            ctx = Some(FrameContext {
+                trace: TraceContext {
+                    trace_id: ext.get_u64_le(),
+                    span_id: ext.get_u64_le(),
+                },
+                cut_ns: ext.get_u64_le(),
+            });
+        }
+    }
+    Ok((kind, payload, ctx))
 }
 
 /// Peek at a (possibly partial) receive buffer and report the total size
@@ -196,7 +353,10 @@ pub fn frame_size_hint(buf: &[u8]) -> Result<Option<usize>, WireError> {
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    FrameKind::from_byte(kind_byte)?;
+    // The extension flag never changes a frame's extent: `len` covers the
+    // extension block and the message together, so masking it off here is
+    // all the hint needs to agree with `decode_frame` on every frame.
+    FrameKind::from_byte(kind_byte & !EXT_FLAG).map_err(|_| WireError::BadKind(kind_byte))?;
     let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
     if len > MAX_PAYLOAD_LEN {
         return Err(WireError::Oversize(len));
@@ -319,6 +479,106 @@ mod tests {
         match decode_frame(Bytes::from(bytes)) {
             Err(WireError::BadMagic(_)) => {}
             other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    fn ctx(trace_id: u64, span_id: u64, cut_ns: u64) -> FrameContext {
+        FrameContext {
+            trace: TraceContext { trace_id, span_id },
+            cut_ns,
+        }
+    }
+
+    #[test]
+    fn traced_frames_round_trip_context_and_payload() {
+        let value: Vec<u64> = (0..20).collect();
+        let frame =
+            encode_frame_traced(FrameKind::Delta, &value, Some(&ctx(7, 9, 123_456))).unwrap();
+        let (kind, payload, got) = decode_frame_parts(frame.clone()).unwrap();
+        assert_eq!(kind, FrameKind::Delta);
+        assert_eq!(got, Some(ctx(7, 9, 123_456)));
+        let back: Vec<u64> = codec::from_bytes(&payload).unwrap();
+        assert_eq!(back, value);
+        // decode_frame / decode_payload see the same message, minus ctx.
+        let (kind, back2): (FrameKind, Vec<u64>) = decode_payload(frame).unwrap();
+        assert_eq!(kind, FrameKind::Delta);
+        assert_eq!(back2, value);
+    }
+
+    #[test]
+    fn untraced_encoding_is_bit_identical_to_the_original_format() {
+        let plain = encode_frame(FrameKind::Synopsis, &42u64).unwrap();
+        let traced_none = encode_frame_traced(FrameKind::Synopsis, &42u64, None).unwrap();
+        assert_eq!(plain, traced_none);
+        assert_eq!(plain[4] & EXT_FLAG, 0, "no flag without a context");
+        let (_, _, got) = decode_frame_parts(plain).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn traced_frames_satisfy_the_size_hint_contract() {
+        let frame = encode_frame_traced(FrameKind::Commit, &5u32, Some(&ctx(1, 2, 3))).unwrap();
+        for cut in 0..9 {
+            assert_eq!(frame_size_hint(&frame[..cut]).unwrap(), None, "cut {cut}");
+        }
+        for cut in 9..=frame.len() {
+            assert_eq!(frame_size_hint(&frame[..cut]).unwrap(), Some(frame.len()));
+        }
+    }
+
+    #[test]
+    fn unknown_extension_tags_are_skipped_not_fatal() {
+        // Hand-build a frame whose extension carries an unrecognized tag.
+        let payload = codec::to_bytes(&99u64).unwrap();
+        let ext_body = [0xAAu8; 5];
+        let total = EXT_HEADER_LEN + ext_body.len() + payload.len();
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u8(FrameKind::Hello.as_byte() | EXT_FLAG);
+        buf.put_u32_le(total as u32);
+        buf.put_u8(0x7E); // no such tag
+        buf.put_slice(&(ext_body.len() as u16).to_le_bytes());
+        buf.put_slice(&ext_body);
+        buf.put_slice(&payload);
+        let crc = crc32(&buf[4..]);
+        buf.put_u32_le(crc);
+        let (kind, body, got) = decode_frame_parts(buf.freeze()).unwrap();
+        assert_eq!(kind, FrameKind::Hello);
+        assert_eq!(got, None, "unknown tag is ignored");
+        let back: u64 = codec::from_bytes(&body).unwrap();
+        assert_eq!(back, 99);
+    }
+
+    #[test]
+    fn extension_overrunning_payload_is_a_typed_error() {
+        // ext_len claims more bytes than the payload region holds.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u8(FrameKind::Delta.as_byte() | EXT_FLAG);
+        buf.put_u32_le(3); // payload region: just the ext header
+        buf.put_u8(ExtensionTag::TraceContext.as_byte());
+        buf.put_slice(&500u16.to_le_bytes()); // overruns
+        let crc = crc32(&buf[4..]);
+        buf.put_u32_le(crc);
+        assert!(matches!(
+            decode_frame_parts(buf.freeze()),
+            Err(WireError::Extension { ext_len: 500, .. })
+        ));
+    }
+
+    #[test]
+    fn traced_corruption_is_detected_anywhere() {
+        let frame =
+            encode_frame_traced(FrameKind::Delta, &vec![1u64, 2], Some(&ctx(3, 4, 5))).unwrap();
+        for i in 0..frame.len() {
+            let mut bad = frame.to_vec();
+            bad[i] ^= 0x01;
+            // Flipping the kind byte's high bit alone changes the CRC, so
+            // even ext-flag flips are caught.
+            assert!(
+                decode_frame_parts(Bytes::from(bad)).is_err(),
+                "flipping byte {i} went undetected"
+            );
         }
     }
 

@@ -25,12 +25,13 @@ use setstream_core::{estimate, EstimatorOptions, SketchFamily};
 use setstream_distributed::coordinator::Coordinator;
 use setstream_distributed::metrics::TransportMetrics;
 use setstream_distributed::network::{fault_seed, FaultSpec, SeedEcho};
-use setstream_distributed::relay::RelayNode;
+use setstream_distributed::relay::{Relay, RelayNode};
 use setstream_distributed::site::{Site, SiteId};
 use setstream_distributed::transport::{
     CoordinatorServer, FaultyListener, ServerRole, TcpCollector, TransportOptions,
 };
 use setstream_engine::StreamEngine;
+use setstream_obs::{chrome, RingRecorder, TraceHandle};
 use setstream_stream::{StreamId, Update};
 use std::sync::Arc;
 use std::time::Duration;
@@ -287,5 +288,172 @@ fn thousand_sites_two_level_relays_soak() {
     for mid in mids.drain(..) {
         mid.shutdown();
     }
+    root_server.shutdown();
+}
+
+/// Tracing & lineage acceptance: 100 traced sites through two traced
+/// relays — one uplink clean, one through a proxy that duplicates every
+/// frame — into a traced root, all sharing one ring recorder.
+///
+/// The root's committed lineage must match the fault script *exactly*:
+/// every epoch entry names both relays as contributors, and only the
+/// faulted relay as a retransmitter. And each committed epoch's trace
+/// must stitch across at least three thread tracks (a site cut, a relay
+/// merge, the root) in the recorder and survive the Chrome export with
+/// cross-track flow arrows.
+#[test]
+fn traced_collection_lineage_matches_fault_script_and_stitches() {
+    const TRACED_SITES: u32 = 100;
+    const CLEAN_RELAY: SiteId = 9101;
+    const FAULTED_RELAY: SiteId = 9102;
+
+    let seed = fault_seed(0x11ea);
+    let _echo = SeedEcho::new(seed);
+    let fam = family();
+    let opts = opts();
+    let metrics = Arc::new(TransportMetrics::new());
+    let recorder = Arc::new(RingRecorder::new(1 << 14));
+    let trace = TraceHandle::new(recorder.clone());
+
+    let root = Arc::new(Coordinator::new(fam).with_trace(trace.clone(), "root"));
+    let mut root_server = CoordinatorServer::spawn(
+        "127.0.0.1:0",
+        Arc::clone(&root),
+        ServerRole::Coordinator,
+        opts,
+        Arc::clone(&metrics),
+    )
+    .unwrap();
+
+    // The fault script: every frame the faulted relay ships upstream is
+    // delivered twice. Deterministic — no drops, no reordering — so the
+    // second copy of each delta is always a StaleEpoch retransmit at the
+    // root, attributable to exactly this relay.
+    let mut proxy = FaultyListener::spawn(
+        root_server.addr(),
+        FaultSpec {
+            duplicate: 1.0,
+            ..FaultSpec::reliable()
+        },
+        seed,
+    )
+    .unwrap();
+
+    let spawn_relay = |id: SiteId, upstream: std::net::SocketAddr| {
+        RelayNode::spawn_with(
+            "127.0.0.1:0",
+            upstream,
+            Relay::with_coordinator(
+                id,
+                Coordinator::new(fam).with_trace(trace.clone(), format!("relay-{id}")),
+            ),
+            opts,
+            Arc::clone(&metrics),
+        )
+        .unwrap()
+    };
+    let mut relays = vec![
+        spawn_relay(CLEAN_RELAY, root_server.addr()),
+        spawn_relay(FAULTED_RELAY, proxy.addr()),
+    ];
+
+    // 100 traced sites, alternating between the two relays.
+    let mut fleet: Vec<(Site, TcpCollector)> = (1..=TRACED_SITES)
+        .map(|s| {
+            let relay = &relays[(s as usize) % 2];
+            let mut site = Site::new(s, fam);
+            site.set_trace(trace.clone());
+            let collector = TcpCollector::new(relay.addr(), opts, Arc::clone(&metrics));
+            (site, collector)
+        })
+        .collect();
+
+    for round in 0..ROUNDS {
+        for (site, collector) in fleet.iter_mut() {
+            for u in workload(site.id(), round) {
+                site.observe(&u);
+            }
+            collector.collect(site).unwrap();
+        }
+        for relay in relays.iter_mut() {
+            relay.flush_upstream().unwrap();
+        }
+    }
+
+    // Lineage vs fault script. Both streams commit each relay epoch, so
+    // the ring holds 2 streams × ROUNDS committed entries.
+    let committed: Vec<_> = root
+        .lineage()
+        .snapshot()
+        .into_iter()
+        .filter(|e| e.is_committed())
+        .collect();
+    assert_eq!(
+        committed.len(),
+        2 * ROUNDS as usize,
+        "committed entries: {committed:?}"
+    );
+    for e in &committed {
+        let at = format!("stream {} epoch {}", e.stream, e.epoch);
+        assert_eq!(e.sites, vec![CLEAN_RELAY, FAULTED_RELAY], "{at}: contributors");
+        assert!(e.fanin >= 2, "{at}: two relay deltas must have merged");
+        assert!(
+            e.retransmits >= 1,
+            "{at}: the duplicating uplink never showed up as a retransmit"
+        );
+        assert_eq!(
+            e.retransmit_sites,
+            vec![FAULTED_RELAY],
+            "{at}: only the faulted relay may appear as a retransmitter"
+        );
+        assert_ne!(e.trace_id, 0, "{at}: traced collection must record a trace id");
+        assert_ne!(e.cut_ns, 0, "{at}: site cut timestamp must propagate");
+        assert!(e.commit_ns >= e.cut_ns, "{at}: commit must not precede the cut");
+    }
+
+    // Every committed epoch's trace stitches across the deployment: the
+    // originating site's cut span, a relay merge span, and a root span
+    // all share the entry's trace id on three distinct tracks.
+    let events = recorder.events();
+    for e in &committed {
+        let tracks: std::collections::BTreeSet<&str> = events
+            .iter()
+            .filter(|ev| ev.trace_id == e.trace_id)
+            .map(|ev| ev.track.as_str())
+            .collect();
+        assert!(
+            tracks.iter().any(|t| t.starts_with("site-")),
+            "trace {:#x} has no site cut span (tracks: {tracks:?})",
+            e.trace_id
+        );
+        assert!(
+            tracks.iter().any(|t| t.starts_with("relay-")),
+            "trace {:#x} has no relay span (tracks: {tracks:?})",
+            e.trace_id
+        );
+        assert!(
+            tracks.contains("root"),
+            "trace {:#x} never reached the root (tracks: {tracks:?})",
+            e.trace_id
+        );
+    }
+
+    // And the Chrome export carries the stitching: per-track timeline
+    // rows plus cross-track flow arrows for the committed traces.
+    let export = chrome::render(&recorder);
+    assert!(export.contains("\"root\""), "root track missing from export");
+    assert!(
+        export.contains(&format!("\"relay-{CLEAN_RELAY}\"")),
+        "clean relay track missing from export"
+    );
+    assert!(
+        export.contains("\"ph\":\"s\"") && export.contains("\"ph\":\"f\""),
+        "export has no flow arrows — cross-process stitching is broken"
+    );
+
+    for relay in relays.drain(..) {
+        relay.shutdown();
+    }
+    proxy.shutdown();
     root_server.shutdown();
 }

@@ -20,9 +20,10 @@ use proptest::prelude::*;
 use setstream_distributed::site::EpochCommit;
 use setstream_distributed::transport::FrameReader;
 use setstream_distributed::wire::{
-    decode_frame, decode_payload, encode_frame, frame_size_hint, FrameKind, WireError,
-    MAX_PAYLOAD_LEN,
+    decode_frame, decode_frame_parts, decode_payload, encode_frame, encode_frame_traced,
+    frame_size_hint, FrameContext, FrameKind, WireError, EXT_FLAG, MAX_PAYLOAD_LEN,
 };
+use setstream_obs::TraceContext;
 
 fn commit_frame(epoch: u64) -> Bytes {
     encode_frame(
@@ -88,8 +89,156 @@ fn frame_reader_is_bounded_by_its_cap() {
     assert!(matches!(reader.next_frame(), Err(WireError::Oversize(_))));
 }
 
+/// IEEE CRC32, bit-by-bit — mirrors the wire implementation so tests can
+/// re-seal frames after mutating extension bytes. The CRC check runs
+/// *before* extension parsing, so a hostile block has to arrive
+/// CRC-valid to exercise the extension path at all.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Recompute the trailing CRC over everything after the magic.
+fn reseal(bytes: &mut [u8]) {
+    let end = bytes.len() - 4;
+    let crc = crc32(&bytes[4..end]);
+    bytes[end..].copy_from_slice(&crc.to_le_bytes());
+}
+
+fn traced_commit_frame(epoch: u64, ctx: &FrameContext) -> Bytes {
+    encode_frame_traced(
+        FrameKind::Commit,
+        &EpochCommit {
+            site: 7,
+            epoch,
+            deltas: 3,
+        },
+        Some(ctx),
+    )
+    .unwrap()
+}
+
+#[test]
+fn declared_extension_overrun_is_a_typed_error() {
+    // A CRC-valid frame whose extension block claims more bytes than the
+    // payload holds: structurally impossible, must be WireError::Extension
+    // (the writer is buggy or hostile), never a panic or a bogus decode.
+    let ctx = FrameContext::default();
+    let mut bytes = traced_commit_frame(1, &ctx).to_vec();
+    // Ext header sits at the start of the payload: tag at 9, u16 len at 10.
+    bytes[10..12].copy_from_slice(&u16::MAX.to_le_bytes());
+    reseal(&mut bytes);
+    match decode_frame_parts(Bytes::from(bytes.clone())) {
+        Err(WireError::Extension { ext_len, .. }) => assert_eq!(ext_len, u16::MAX as usize),
+        other => panic!("expected Extension error, got {other:?}"),
+    }
+    // The hint judges frames by header alone; an in-payload overrun is
+    // decode's job, and (Ok hint, Err decode) is a legal combination.
+    assert_eq!(frame_size_hint(&bytes).unwrap(), Some(bytes.len()));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn traced_frames_round_trip_and_plain_consumers_ignore_the_extension(
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
+        cut_ns in any::<u64>(),
+        epoch in any::<u64>(),
+    ) {
+        let ctx = FrameContext {
+            trace: TraceContext { trace_id, span_id },
+            cut_ns,
+        };
+        let traced = traced_commit_frame(epoch, &ctx);
+        // Full decode recovers the exact context.
+        let (kind, _, back) = decode_frame_parts(traced.clone()).unwrap();
+        prop_assert_eq!(kind, FrameKind::Commit);
+        prop_assert_eq!(back, Some(ctx));
+        // A context-blind consumer (the pre-extension decode path) still
+        // reads the message — the extension is skipped, not misparsed.
+        let (_, msg): (FrameKind, EpochCommit) = decode_payload(traced.clone()).unwrap();
+        prop_assert_eq!(msg.epoch, epoch);
+        // The streaming hint agrees on the traced frame's exact extent.
+        prop_assert_eq!(frame_size_hint(&traced).unwrap(), Some(traced.len()));
+        // And the version gate: a ctx-less encode is bit-identical to the
+        // original format and decodes with no context.
+        let plain = commit_frame(epoch);
+        prop_assert_eq!(plain[4] & EXT_FLAG, 0);
+        let (_, _, none) = decode_frame_parts(plain).unwrap();
+        prop_assert_eq!(none, None);
+    }
+
+    #[test]
+    fn hostile_extension_tags_and_lengths_never_break_frame_decode(
+        tag in any::<u8>(),
+        declared in 0u16..64,
+        epoch in any::<u64>(),
+    ) {
+        // Rewrite the tag and declared length of a real extension block,
+        // reseal the CRC, and decode. Unknown tags and short/shifted
+        // bodies must degrade to "no context" — the frame (and its kind)
+        // still decode; only a declared overrun is an error.
+        let ctx = FrameContext {
+            trace: TraceContext { trace_id: 9, span_id: 9 },
+            cut_ns: 9,
+        };
+        let mut bytes = traced_commit_frame(epoch, &ctx).to_vec();
+        bytes[9] = tag;
+        bytes[10..12].copy_from_slice(&declared.to_le_bytes());
+        reseal(&mut bytes);
+        let payload_len = bytes.len() - 13; // magic4 + kind1 + len4 + crc4
+        match decode_frame_parts(Bytes::from(bytes.clone())) {
+            Ok((kind, _, _)) => {
+                prop_assert_eq!(kind, FrameKind::Commit);
+                prop_assert!(declared as usize <= payload_len - 3);
+            }
+            Err(WireError::Extension { ext_len, available }) => {
+                prop_assert_eq!(ext_len, declared as usize);
+                prop_assert!(ext_len > available);
+            }
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+        // Hostile extension interiors never confuse the framing layer.
+        prop_assert_eq!(frame_size_hint(&bytes).unwrap(), Some(bytes.len()));
+    }
+
+    #[test]
+    fn garbage_extension_payloads_never_panic(
+        garbage in vec(any::<u8>(), 0..64),
+        epoch in any::<u64>(),
+    ) {
+        // An EXT-flagged frame whose entire payload is attacker-chosen
+        // (CRC resealed): decode yields a typed result — Ok with the kind
+        // intact, or Truncated/Extension — and the streaming reader can
+        // carry the frame without desyncing.
+        let plain = commit_frame(epoch);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&plain[..4]);
+        bytes.push(plain[4] | EXT_FLAG);
+        bytes.extend_from_slice(&(garbage.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&garbage);
+        bytes.extend_from_slice(&[0u8; 4]);
+        reseal(&mut bytes);
+        match decode_frame_parts(Bytes::from(bytes.clone())) {
+            Ok((kind, _, _)) => prop_assert_eq!(kind, FrameKind::Commit),
+            Err(WireError::Extension { .. } | WireError::Truncated) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+        prop_assert_eq!(frame_size_hint(&bytes).unwrap(), Some(bytes.len()));
+        let mut reader = FrameReader::new(1 << 16);
+        reader.extend(&bytes);
+        prop_assert!(reader.next_frame().unwrap().is_some());
+        prop_assert_eq!(reader.buffered(), 0);
+    }
 
     #[test]
     fn truncations_never_panic_and_never_decode(cut in 0usize..40) {

@@ -14,7 +14,7 @@ use setstream_core::{
 use setstream_expr::intern::NodeId;
 use setstream_expr::{ParseError, SetExpr, SubscribeError};
 use setstream_hash::clock;
-use setstream_obs::TraceHandle;
+use setstream_obs::{TraceContext, TraceHandle};
 use setstream_stream::cdc::CdcEvent;
 use setstream_stream::{StreamId, Update};
 use std::collections::{BTreeMap, BTreeSet};
@@ -348,8 +348,23 @@ impl StreamEngine {
     /// ([`Estimate::method`]), witness evidence ([`Estimate::witnesses`]),
     /// atomic fraction, and confidence band ride along with the value.
     pub fn evaluate(&self, query: impl Into<Query>) -> Result<Estimate, EngineError> {
+        self.evaluate_traced(query, TraceContext::default())
+    }
+
+    /// Like [`Self::evaluate`], but the `engine.query` span joins an
+    /// existing trace as a child of `ctx` — e.g. a collection epoch's
+    /// context (`Coordinator::stream_context` in the distributed layer),
+    /// so a query answered from freshly merged state renders in the same
+    /// Chrome trace as the site cut → merge → commit chain that produced
+    /// it. An inactive (default) context degrades to a root span, making
+    /// this exactly [`Self::evaluate`].
+    pub fn evaluate_traced(
+        &self,
+        query: impl Into<Query>,
+        ctx: TraceContext,
+    ) -> Result<Estimate, EngineError> {
         let query = query.into();
-        let mut span = self.trace.span("engine.query");
+        let mut span = self.trace.child_span("engine.query", ctx);
         let start = clock::now_ns();
         let result = match &query {
             Query::Registered(id) => self

@@ -303,3 +303,38 @@ fn trace_ring_records_estimate_spans() {
         .unwrap();
     assert!(q_span.detail.contains("via"), "detail: {}", q_span.detail);
 }
+
+#[test]
+fn traced_evaluate_joins_an_existing_trace() {
+    use setstream_engine::prelude::*;
+    use setstream_obs::TraceContext;
+    use std::sync::Arc;
+    let ring = Arc::new(RingRecorder::new(16));
+    let mut engine = engine_with_data();
+    engine.set_trace(TraceHandle::new(ring.clone()));
+    let q = engine.register_query("A | B").unwrap();
+    // Joining a foreign trace (e.g. a collection epoch's context): the
+    // query span carries that trace id and parents on the given span.
+    let ctx = TraceContext {
+        trace_id: 777,
+        span_id: 42,
+    };
+    let _ = engine.evaluate_traced(q, ctx).unwrap();
+    let span = ring
+        .events()
+        .into_iter()
+        .find(|e| e.name == "engine.query")
+        .unwrap();
+    assert_eq!(span.trace_id, 777);
+    assert_eq!(span.parent_id, 42);
+    // An inactive context degrades to a root span — evaluate semantics.
+    let _ = engine.evaluate_traced(q, TraceContext::default()).unwrap();
+    let root = ring
+        .events()
+        .into_iter()
+        .filter(|e| e.name == "engine.query")
+        .last()
+        .unwrap();
+    assert_eq!(root.parent_id, 0);
+    assert_eq!(root.trace_id, root.id);
+}

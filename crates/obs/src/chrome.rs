@@ -73,11 +73,54 @@ pub fn render_events(events: &[TraceEvent]) -> String {
             micros(e.duration_ns),
         );
         let _ = write!(line, ",\"args\":{{\"id\":{}", e.id);
+        if e.trace_id != 0 {
+            let _ = write!(line, ",\"trace\":{}", e.trace_id);
+        }
+        if e.parent_id != 0 {
+            let _ = write!(line, ",\"parent\":{}", e.parent_id);
+        }
         if !e.detail.is_empty() {
             let _ = write!(line, ",\"detail\":\"{}\"", escape(&e.detail));
         }
         line.push_str("}}");
         push(&mut out, &line);
+    }
+    // Stitch cross-track parent→child edges as flow events: spans that
+    // share a trace (a site cut feeding a relay merge feeding a commit)
+    // render as arrows between their timeline rows. A flow needs both ends
+    // in the ring, so orphan children (parent evicted or remote and never
+    // merged into this recorder) keep their `parent` arg but get no arrow.
+    for e in events {
+        if e.parent_id == 0 {
+            continue;
+        }
+        let Some(parent) = events.iter().find(|p| p.id == e.parent_id) else {
+            continue;
+        };
+        let ptid = tracks
+            .iter()
+            .position(|t| *t == parent.track.as_str())
+            .unwrap_or(0);
+        let ctid = tracks
+            .iter()
+            .position(|t| *t == e.track.as_str())
+            .unwrap_or(0);
+        let start = format!(
+            "{{\"ph\":\"s\",\"pid\":{PID},\"tid\":{ptid},\"id\":{},\
+             \"name\":\"trace-{}\",\"cat\":\"lineage\",\"ts\":{}}}",
+            e.id,
+            e.trace_id,
+            micros(parent.start_ns),
+        );
+        push(&mut out, &start);
+        let finish = format!(
+            "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{PID},\"tid\":{ctid},\"id\":{},\
+             \"name\":\"trace-{}\",\"cat\":\"lineage\",\"ts\":{}}}",
+            e.id,
+            e.trace_id,
+            micros(e.start_ns),
+        );
+        push(&mut out, &finish);
     }
     out.push_str("\n]}\n");
     out
@@ -115,6 +158,8 @@ mod tests {
     fn event(name: &'static str, track: &str, start_ns: u64, duration_ns: u64) -> TraceEvent {
         TraceEvent {
             id: 42,
+            trace_id: 0,
+            parent_id: 0,
             name,
             detail: String::new(),
             track: track.to_string(),
@@ -157,6 +202,41 @@ mod tests {
             json.contains("\"detail\":\"quote \\\" back\\\\slash\\nnewline\""),
             "{json}"
         );
+    }
+
+    #[test]
+    fn cross_track_traces_stitch_with_flow_events() {
+        let mut cut = event("site.cut_epoch", "site-0", 1_000, 400);
+        cut.id = 10;
+        cut.trace_id = 10;
+        let mut merge = event("collect.merge", "relay-1", 2_000, 100);
+        merge.id = 11;
+        merge.trace_id = 10;
+        merge.parent_id = 10;
+        let mut commit = event("collect.commit", "coordinator", 3_000, 50);
+        commit.id = 12;
+        commit.trace_id = 10;
+        commit.parent_id = 11;
+        let json = render_events(&[cut, merge, commit]);
+        // Spans carry their trace identity in args…
+        assert!(json.contains("\"args\":{\"id\":11,\"trace\":10,\"parent\":10}"));
+        // …and each parent→child edge emits a flow start/finish pair.
+        assert!(json.contains("\"ph\":\"s\",\"pid\":1,\"tid\":1,\"id\":11"), "{json}");
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":2,\"id\":11"));
+        assert!(json.contains("\"ph\":\"s\",\"pid\":1,\"tid\":2,\"id\":12"));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":3,\"id\":12"));
+        assert_eq!(json.matches("\"name\":\"trace-10\"").count(), 4);
+    }
+
+    #[test]
+    fn orphan_children_keep_parent_arg_but_emit_no_flow() {
+        let mut child = event("collect.commit", "", 3_000, 50);
+        child.trace_id = 7;
+        child.parent_id = 999; // parent not in the ring
+        let json = render_events(&[child]);
+        assert!(json.contains("\"trace\":7,\"parent\":999"));
+        assert!(!json.contains("\"ph\":\"s\""));
+        assert!(!json.contains("\"ph\":\"f\""));
     }
 
     #[test]

@@ -21,7 +21,16 @@
 //! * [`quality`] — typed accuracy alarms ([`AlarmSet`]) with edge-triggered
 //!   transition counters; driven by `setstream-engine`'s `QualityMonitor`.
 //! * [`serve`] — a dependency-free blocking HTTP scrape server
-//!   ([`HttpServer`]) for `/metrics`, `/health`, and `/trace`.
+//!   ([`HttpServer`]) for `/metrics`, `/health`, `/trace`, and `/lineage`.
+//!
+//! The distributed layer (PR 10) adds:
+//!
+//! * [`trace::TraceContext`] — a propagatable trace identity carried across
+//!   process boundaries by the SSWL wire format, so site cuts, relay merges,
+//!   and coordinator commits stitch into one timeline.
+//! * [`lineage`] — a bounded per-`(stream, epoch)` provenance ring
+//!   ([`LineageRing`]): contributing sites, merge fan-in, retransmits,
+//!   resyncs, credit stalls, and cut→commit latency.
 //!
 //! # Example
 //!
@@ -48,14 +57,18 @@
 
 pub mod chrome;
 pub mod export;
+pub mod lineage;
 pub mod metrics;
 pub mod quality;
 pub mod registry;
 pub mod serve;
 pub mod trace;
 
+pub use lineage::{EpochLineage, LineageRing};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use quality::{AlarmKind, AlarmSet, AlarmStatus, AlarmTransition};
 pub use registry::{MetricSource, Registry, Sample, SampleValue};
 pub use serve::{HttpServer, ServeError, StopHandle};
-pub use trace::{NoopTrace, RingRecorder, Span, TraceEvent, TraceHandle, TraceSink};
+pub use trace::{
+    NoopTrace, RingRecorder, Span, TraceContext, TraceEvent, TraceHandle, TraceSink,
+};

@@ -1,0 +1,471 @@
+//! Per-epoch provenance: which sites, retransmissions, and stalls produced
+//! each committed `(stream, epoch)`.
+//!
+//! The coordinator's merged synopsis — and therefore every estimate — is a
+//! pure function of which delta frames were folded in. [`LineageRing`]
+//! records that derivation as a bounded ring of [`EpochLineage`] entries,
+//! one per `(stream, epoch)`: contributing sites, merge fan-in, duplicate
+//! deliveries observed as retransmits, resync replacements, credit-window
+//! stalls, and the wall-clock cut→commit latency (exported as the
+//! `setstream_collection_epoch_latency_ns` histogram family).
+//!
+//! Like [`RingRecorder`](crate::trace::RingRecorder), the ring is bounded
+//! and drop-counted: eviction is visible on `/metrics` as
+//! `setstream_lineage_dropped_total` rather than silently forgetting
+//! epochs. All entry mutation happens under one mutex, so a concurrent
+//! scrape never sees a torn entry (model-checked under loom).
+
+use crate::metrics::Histogram;
+use crate::registry::{MetricSource, Sample};
+use std::collections::VecDeque;
+
+#[cfg(loom)]
+use loom::sync::{
+    atomic::{AtomicU64, Ordering},
+    Mutex,
+};
+#[cfg(not(loom))]
+use std::sync::{
+    atomic::{AtomicU64, Ordering},
+    Mutex,
+};
+
+/// Provenance of one `(stream, epoch)` at a coordinator or relay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochLineage {
+    /// Stream the entry describes.
+    pub stream: u32,
+    /// Sender-assigned epoch number.
+    pub epoch: u64,
+    /// Distributed trace covering this epoch's collection (0 = untraced).
+    pub trace_id: u64,
+    /// Sites whose frames were folded in, sorted ascending.
+    pub sites: Vec<u32>,
+    /// Delta/synopsis frames merged into this entry (relay merge fan-in).
+    pub fanin: u64,
+    /// Duplicate deliveries rejected as already-applied — the observable
+    /// footprint of sender retransmissions.
+    pub retransmits: u64,
+    /// Sites that were seen retransmitting, sorted ascending.
+    pub retransmit_sites: Vec<u32>,
+    /// Synopsis replacements (resync shipments) folded in.
+    pub resyncs: u64,
+    /// Credit-window stalls charged while the entry was still open.
+    pub credit_stalls: u64,
+    /// Earliest site cut timestamp seen (ns, sender clock; 0 = unknown).
+    pub cut_ns: u64,
+    /// Commit timestamp at this node (ns, local clock; 0 = uncommitted).
+    pub commit_ns: u64,
+}
+
+impl EpochLineage {
+    fn new(stream: u32, epoch: u64) -> Self {
+        EpochLineage {
+            stream,
+            epoch,
+            trace_id: 0,
+            sites: Vec::new(),
+            fanin: 0,
+            retransmits: 0,
+            retransmit_sites: Vec::new(),
+            resyncs: 0,
+            credit_stalls: 0,
+            cut_ns: 0,
+            commit_ns: 0,
+        }
+    }
+
+    /// Whether a commit has been observed for this entry.
+    pub fn is_committed(&self) -> bool {
+        self.commit_ns != 0
+    }
+}
+
+fn insert_sorted(v: &mut Vec<u32>, site: u32) {
+    if let Err(pos) = v.binary_search(&site) {
+        v.insert(pos, site);
+    }
+}
+
+/// A bounded ring of [`EpochLineage`] entries keyed by `(stream, epoch)`.
+///
+/// Recording methods are called from the coordinator's frame-apply path;
+/// they take one short mutex hold each (the ring is bounded, and the apply
+/// path already serializes on the coordinator state lock). Scrapes clone
+/// entries out under the same mutex, so no reader observes partial updates.
+#[derive(Debug)]
+pub struct LineageRing {
+    capacity: usize,
+    entries: Mutex<VecDeque<EpochLineage>>,
+    dropped: AtomicU64,
+    latency: Histogram,
+}
+
+impl LineageRing {
+    /// A ring retaining at most `capacity` epoch entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        LineageRing {
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+            latency: Histogram::latency_ns(),
+        }
+    }
+
+    fn lock(&self) -> impl std::ops::DerefMut<Target = VecDeque<EpochLineage>> + '_ {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Find-or-create the entry for `(stream, epoch)` and mutate it. New
+    /// entries evict the oldest when the ring is full (counted in
+    /// `dropped`). Recent entries live near the back, so the scan starts
+    /// there.
+    fn with_entry(&self, stream: u32, epoch: u64, f: impl FnOnce(&mut EpochLineage)) {
+        let mut q = self.lock();
+        if let Some(e) = q
+            .iter_mut()
+            .rev()
+            .find(|e| e.stream == stream && e.epoch == epoch)
+        {
+            f(e);
+            return;
+        }
+        if q.len() == self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut entry = EpochLineage::new(stream, epoch);
+        f(&mut entry);
+        q.push_back(entry);
+    }
+
+    /// Record one applied delta/synopsis frame: `site` contributed to
+    /// `(stream, epoch)`. `trace_id`/`cut_ns` come from the frame's trace
+    /// extension (0 when absent); the entry keeps the first trace and the
+    /// earliest nonzero cut timestamp.
+    pub fn record_frame(&self, stream: u32, epoch: u64, site: u32, trace_id: u64, cut_ns: u64) {
+        self.with_entry(stream, epoch, |e| {
+            insert_sorted(&mut e.sites, site);
+            e.fanin += 1;
+            if e.trace_id == 0 {
+                e.trace_id = trace_id;
+            }
+            if cut_ns != 0 && (e.cut_ns == 0 || cut_ns < e.cut_ns) {
+                e.cut_ns = cut_ns;
+            }
+        });
+    }
+
+    /// Record a resync (synopsis replacement) folded into `(stream, epoch)`.
+    pub fn record_resync(&self, stream: u32, epoch: u64) {
+        self.with_entry(stream, epoch, |e| e.resyncs += 1);
+    }
+
+    /// Record a duplicate delivery for `(stream, epoch)` from `site` — a
+    /// frame rejected as already-applied, i.e. a sender retransmission.
+    /// Only touches an existing entry: duplicates for epochs the ring no
+    /// longer remembers are ignored rather than resurrecting ghost entries.
+    pub fn record_retransmit(&self, stream: u32, epoch: u64, site: u32) {
+        let mut q = self.lock();
+        if let Some(e) = q
+            .iter_mut()
+            .rev()
+            .find(|e| e.stream == stream && e.epoch == epoch)
+        {
+            e.retransmits += 1;
+            insert_sorted(&mut e.retransmit_sites, site);
+        }
+    }
+
+    /// Charge a credit-window stall against every still-open entry `site`
+    /// contributed to.
+    pub fn record_credit_stall(&self, site: u32) {
+        let mut q = self.lock();
+        for e in q.iter_mut() {
+            if e.commit_ns == 0 && e.sites.binary_search(&site).is_ok() {
+                e.credit_stalls += 1;
+            }
+        }
+    }
+
+    /// Record a commit from `site` for `epoch`: stamps `commit_ns` on every
+    /// entry of that epoch the site contributed to, and — when the commit
+    /// frame carried a cut timestamp — observes one cut→commit latency
+    /// sample. Returns how many entries the commit closed.
+    pub fn record_commit(&self, epoch: u64, site: u32, now_ns: u64, cut_ns: u64) -> usize {
+        if cut_ns != 0 {
+            self.latency.observe(now_ns.saturating_sub(cut_ns));
+        }
+        let mut q = self.lock();
+        let mut closed = 0;
+        for e in q.iter_mut() {
+            if e.epoch == epoch && e.sites.binary_search(&site).is_ok() {
+                e.commit_ns = now_ns;
+                closed += 1;
+            }
+        }
+        closed
+    }
+
+    /// All retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<EpochLineage> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// Entries matching the given filters (both optional), oldest first.
+    pub fn query(&self, stream: Option<u32>, epoch: Option<u64>) -> Vec<EpochLineage> {
+        self.lock()
+            .iter()
+            .filter(|e| stream.map_or(true, |s| e.stream == s))
+            .filter(|e| epoch.map_or(true, |n| e.epoch == n))
+            .cloned()
+            .collect()
+    }
+
+    /// Entries evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of entries retained before eviction starts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Lineage loss must be visible on `/metrics`, and the cut→commit latency
+/// histogram is the ring's headline export.
+impl MetricSource for LineageRing {
+    fn collect(&self, out: &mut Vec<Sample>) {
+        out.push(
+            Sample::histogram(
+                "setstream_collection_epoch_latency_ns",
+                self.latency.snapshot(),
+            )
+            .with_help("Wall-clock site cut to coordinator commit latency per committed epoch"),
+        );
+        out.push(
+            Sample::counter("setstream_lineage_dropped_total", self.dropped())
+                .with_help("Epoch lineage entries evicted because the provenance ring was full"),
+        );
+        out.push(
+            Sample::gauge("setstream_lineage_retained", self.len() as i64)
+                .with_help("Epoch lineage entries currently retained"),
+        );
+    }
+}
+
+/// Render lineage entries as a JSON array (hand-rolled, dependency-free;
+/// every field is numeric so no string escaping is needed). Used by the
+/// `/lineage` endpoint and the `setstream lineage` CLI.
+pub fn render_json(entries: &[EpochLineage]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let sites = e
+            .sites
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let retx = e
+            .retransmit_sites
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "{{\"stream\":{},\"epoch\":{},\"trace_id\":{},\"sites\":[{}],\
+             \"fanin\":{},\"retransmits\":{},\"retransmit_sites\":[{}],\
+             \"resyncs\":{},\"credit_stalls\":{},\"cut_ns\":{},\
+             \"commit_ns\":{},\"committed\":{}}}",
+            e.stream,
+            e.epoch,
+            e.trace_id,
+            sites,
+            e.fanin,
+            e.retransmits,
+            retx,
+            e.resyncs,
+            e.credit_stalls,
+            e.cut_ns,
+            e.commit_ns,
+            e.is_committed(),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export;
+    use crate::registry::Registry;
+    use std::sync::Arc;
+
+    #[test]
+    fn frames_accumulate_sites_fanin_and_earliest_cut() {
+        let ring = LineageRing::new(8);
+        ring.record_frame(0, 3, 7, 99, 5_000);
+        ring.record_frame(0, 3, 2, 0, 4_000);
+        ring.record_frame(0, 3, 7, 0, 0);
+        ring.record_frame(1, 3, 7, 0, 0);
+        let e = &ring.query(Some(0), Some(3))[0];
+        assert_eq!(e.sites, vec![2, 7]);
+        assert_eq!(e.fanin, 3);
+        assert_eq!(e.trace_id, 99, "first trace wins");
+        assert_eq!(e.cut_ns, 4_000, "earliest nonzero cut wins");
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn retransmits_only_touch_live_entries_and_name_the_site() {
+        let ring = LineageRing::new(4);
+        ring.record_frame(0, 1, 5, 0, 0);
+        ring.record_retransmit(0, 1, 5);
+        ring.record_retransmit(0, 1, 5);
+        ring.record_retransmit(9, 9, 5); // unknown epoch: ignored
+        let e = &ring.query(Some(0), Some(1))[0];
+        assert_eq!(e.retransmits, 2);
+        assert_eq!(e.retransmit_sites, vec![5]);
+        assert_eq!(ring.len(), 1, "retransmit never creates entries");
+    }
+
+    #[test]
+    fn commit_stamps_contributed_entries_and_observes_latency() {
+        let ring = LineageRing::new(8);
+        ring.record_frame(0, 2, 1, 0, 1_000);
+        ring.record_frame(1, 2, 1, 0, 1_000);
+        ring.record_frame(0, 2, 9, 0, 0);
+        assert_eq!(ring.record_commit(2, 1, 9_000, 1_000), 2);
+        let entries = ring.query(None, Some(2));
+        assert!(entries.iter().all(|e| e.is_committed()));
+        let mut out = Vec::new();
+        ring.collect(&mut out);
+        let hist = out
+            .iter()
+            .find(|s| s.name == "setstream_collection_epoch_latency_ns")
+            .expect("latency family present");
+        match &hist.value {
+            crate::registry::SampleValue::Histogram(snap) => {
+                assert_eq!(snap.count, 1);
+                assert_eq!(snap.sum, 8_000);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn credit_stalls_charge_open_entries_of_the_site() {
+        let ring = LineageRing::new(8);
+        ring.record_frame(0, 1, 3, 0, 0);
+        ring.record_frame(0, 2, 3, 0, 0);
+        ring.record_commit(1, 3, 100, 0);
+        ring.record_credit_stall(3);
+        ring.record_credit_stall(4); // uninvolved site: no effect
+        assert_eq!(ring.query(Some(0), Some(1))[0].credit_stalls, 0);
+        assert_eq!(ring.query(Some(0), Some(2))[0].credit_stalls, 1);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let ring = LineageRing::new(2);
+        ring.record_frame(0, 1, 1, 0, 0);
+        ring.record_frame(0, 2, 1, 0, 0);
+        ring.record_frame(0, 3, 1, 0, 0);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let epochs: Vec<u64> = ring.snapshot().iter().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![2, 3], "oldest entry evicted first");
+    }
+
+    #[test]
+    fn render_json_is_parseable_shape() {
+        let ring = LineageRing::new(4);
+        ring.record_frame(7, 42, 3, 11, 5);
+        ring.record_retransmit(7, 42, 3);
+        let json = render_json(&ring.snapshot());
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"stream\":7"));
+        assert!(json.contains("\"epoch\":42"));
+        assert!(json.contains("\"sites\":[3]"));
+        assert!(json.contains("\"retransmit_sites\":[3]"));
+        assert!(json.contains("\"committed\":false"));
+        assert_eq!(render_json(&[]), "[]");
+    }
+
+    /// The exported families must be conformant exposition text, and
+    /// `lineage_dropped` must carry HELP.
+    #[test]
+    fn exports_conformant_exposition_with_help() {
+        let registry = Registry::new();
+        let ring = Arc::new(LineageRing::new(2));
+        ring.record_frame(0, 1, 1, 0, 500);
+        ring.record_commit(1, 1, 1_500, 500);
+        registry.register(ring.clone() as Arc<dyn MetricSource>);
+        let body = export::render(&registry);
+        assert!(body.contains("# HELP setstream_lineage_dropped_total"));
+        let summary = export::parse_exposition(&body).expect("conformant exposition");
+        assert!(summary
+            .families
+            .iter()
+            .any(|f| f == "setstream_collection_epoch_latency_ns"));
+        assert!(summary
+            .families
+            .iter()
+            .any(|f| f == "setstream_lineage_dropped_total"));
+        assert!(summary.helped >= 3, "all lineage families carry HELP");
+    }
+}
+
+/// Model-checked concurrency properties (`RUSTFLAGS="--cfg loom"`).
+#[cfg(all(loom, test))]
+mod loom_tests {
+    use super::*;
+    use loom::thread;
+    use std::sync::Arc;
+
+    /// Two recorders race a scraper on a capacity-1 ring: retained +
+    /// dropped always accounts for every distinct epoch recorded, and any
+    /// entry the scraper observes is internally consistent (sites and
+    /// fan-in written atomically under the lock — no torn reads).
+    #[test]
+    fn loom_lineage_ring_accounts_for_every_entry() {
+        loom::model(|| {
+            let ring = Arc::new(LineageRing::new(1));
+            let t1 = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || ring.record_frame(0, 1, 10, 0, 0))
+            };
+            let t2 = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || ring.record_frame(0, 2, 20, 0, 0))
+            };
+            for e in ring.snapshot() {
+                assert_eq!(e.fanin, 1, "entry visible only after full write");
+                assert_eq!(e.sites.len(), 1);
+                let site = e.sites[0];
+                assert_eq!(site, if e.epoch == 1 { 10 } else { 20 });
+            }
+            t1.join().expect("recorder panicked");
+            t2.join().expect("recorder panicked");
+            assert_eq!(ring.len(), 1);
+            assert_eq!(ring.dropped(), 1, "one of the two entries was evicted");
+        });
+    }
+}

@@ -60,11 +60,29 @@ impl std::error::Error for ServeError {
 }
 
 type Handler = Arc<dyn Fn() -> String + Send + Sync>;
+type QueryHandler = Arc<dyn Fn(&str) -> String + Send + Sync>;
+
+enum RouteHandler {
+    /// Ignores any query string.
+    Plain(Handler),
+    /// Receives the raw query string (empty when none was sent).
+    Query(QueryHandler),
+}
 
 struct Route {
     path: String,
     content_type: &'static str,
-    handler: Handler,
+    handler: RouteHandler,
+}
+
+/// Extract the (first) value of `key` from a raw query string like
+/// `stream=1&epoch=42`. No percent-decoding — the scrape surface only
+/// takes numeric parameters.
+pub fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 /// Serve-loop counters, exported so the scrape surface monitors itself.
@@ -175,7 +193,25 @@ impl HttpServer {
         self.routes.push(Route {
             path: path.to_string(),
             content_type,
-            handler: Arc::new(handler),
+            handler: RouteHandler::Plain(Arc::new(handler)),
+        });
+        self
+    }
+
+    /// Register a query-aware route, builder-style. `handler` receives the
+    /// raw query string (`""` when the request had none), e.g.
+    /// `/lineage?stream=0&epoch=42` passes `"stream=0&epoch=42"`. Parse
+    /// values with [`query_param`].
+    pub fn route_query(
+        mut self,
+        path: &str,
+        content_type: &'static str,
+        handler: impl Fn(&str) -> String + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push(Route {
+            path: path.to_string(),
+            content_type,
+            handler: RouteHandler::Query(Arc::new(handler)),
         });
         self
     }
@@ -276,11 +312,18 @@ impl HttpServer {
                 "GET only\n",
             );
         }
-        // Ignore any query string: `/metrics?x=1` scrapes `/metrics`.
-        let path = path.split('?').next().unwrap_or(path);
+        // Split off the query string: plain routes ignore it (`/metrics?x=1`
+        // scrapes `/metrics`), query routes receive it raw.
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path, ""),
+        };
         match self.routes.iter().find(|r| r.path == path) {
             Some(route) => {
-                let body = (route.handler)();
+                let body = match &route.handler {
+                    RouteHandler::Plain(h) => h(),
+                    RouteHandler::Query(h) => h(query),
+                };
                 self.metrics.served.inc();
                 respond(&mut stream, 200, "OK", route.content_type, &body)
             }
@@ -385,6 +428,39 @@ mod tests {
         let server = handle.join().expect("server thread");
         assert_eq!(server.metrics().served.get(), 2);
         assert_eq!(server.metrics().rejected.get(), 1);
+    }
+
+    #[test]
+    fn query_routes_receive_the_raw_query_string() {
+        let server = test_server().route_query("/lineage", "application/json", |q| {
+            format!(
+                "{{\"stream\":\"{}\",\"epoch\":\"{}\"}}",
+                query_param(q, "stream").unwrap_or(""),
+                query_param(q, "epoch").unwrap_or("")
+            )
+        });
+        let addr = server.local_addr();
+        let handle = thread::spawn(move || {
+            for _ in 0..2 {
+                server.serve_one().expect("serve_one");
+            }
+        });
+        let (code, body) = http_get(addr, "/lineage?stream=7&epoch=42").expect("GET");
+        assert_eq!(code, 200);
+        assert_eq!(body, "{\"stream\":\"7\",\"epoch\":\"42\"}");
+        let (code, body) = http_get(addr, "/lineage").expect("GET bare");
+        assert_eq!(code, 200);
+        assert_eq!(body, "{\"stream\":\"\",\"epoch\":\"\"}");
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn query_param_picks_first_match_and_handles_garbage() {
+        assert_eq!(query_param("stream=1&epoch=2", "epoch"), Some("2"));
+        assert_eq!(query_param("stream=1&stream=2", "stream"), Some("1"));
+        assert_eq!(query_param("", "stream"), None);
+        assert_eq!(query_param("noequals&stream=3", "stream"), Some("3"));
+        assert_eq!(query_param("streamx=9", "stream"), None);
     }
 
     #[test]

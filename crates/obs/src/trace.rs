@@ -23,11 +23,42 @@ use std::sync::{
     Mutex,
 };
 
+/// A propagatable trace identity: which distributed trace a span belongs
+/// to and which span is its parent.
+///
+/// Contexts cross process boundaries (the SSWL wire format carries them as
+/// an optional frame extension), so a `Site::cut_epoch` span on one host
+/// and the coordinator's commit span on another share one `trace_id` and
+/// stitch into a single timeline. Derive a child with
+/// [`TraceHandle::child_span`]; read a live span's context with
+/// [`Span::context`]. The all-zero context is "no trace" — sinks and
+/// encoders treat `trace_id == 0` as absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Identity of the whole distributed trace (stable across hops).
+    pub trace_id: u64,
+    /// The span the next hop should parent itself under.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Whether this context carries a real trace (`trace_id != 0`).
+    pub fn is_active(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
 /// One completed span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Process-unique span ID (see [`setstream_hash::clock::next_id`]).
     pub id: u64,
+    /// The distributed trace this span belongs to (0 = untraced local
+    /// span). Root spans carry `trace_id == id`.
+    pub trace_id: u64,
+    /// The span this one was derived from via [`TraceHandle::child_span`]
+    /// (0 = root / no parent).
+    pub parent_id: u64,
     /// Static span name, e.g. `"engine.query"` or `"site.cut_epoch"`.
     pub name: &'static str,
     /// Free-form detail attached by the instrumented code (may be empty).
@@ -179,15 +210,19 @@ impl TraceHandle {
         self.enabled
     }
 
-    /// Start a span; it records to the sink when finished (or dropped).
+    /// Start a root span; it records to the sink when finished (or
+    /// dropped). Root spans open a fresh trace (`trace_id == id`).
     ///
     /// With a no-op handle this reads no clock and allocates nothing.
     #[inline]
     pub fn span(&self, name: &'static str) -> Span<'_> {
         if self.enabled {
+            let id = clock::next_id();
             Span {
                 handle: Some(self),
-                id: clock::next_id(),
+                id,
+                trace_id: id,
+                parent_id: 0,
                 name,
                 detail: String::new(),
                 track: String::new(),
@@ -197,6 +232,43 @@ impl TraceHandle {
             Span {
                 handle: None,
                 id: 0,
+                trace_id: 0,
+                parent_id: 0,
+                name,
+                detail: String::new(),
+                track: String::new(),
+                start_ns: 0,
+            }
+        }
+    }
+
+    /// Start a span parented under `ctx` — same `trace_id`, fresh span ID,
+    /// `parent_id = ctx.span_id`. An inactive context (trace_id 0) degrades
+    /// to a root span, so callers can pass whatever arrived off the wire.
+    ///
+    /// With a no-op handle this reads no clock and allocates nothing.
+    #[inline]
+    pub fn child_span(&self, name: &'static str, ctx: TraceContext) -> Span<'_> {
+        if !ctx.is_active() {
+            return self.span(name);
+        }
+        if self.enabled {
+            Span {
+                handle: Some(self),
+                id: clock::next_id(),
+                trace_id: ctx.trace_id,
+                parent_id: ctx.span_id,
+                name,
+                detail: String::new(),
+                track: String::new(),
+                start_ns: clock::now_ns(),
+            }
+        } else {
+            Span {
+                handle: None,
+                id: 0,
+                trace_id: 0,
+                parent_id: 0,
                 name,
                 detail: String::new(),
                 track: String::new(),
@@ -226,6 +298,8 @@ impl std::fmt::Debug for TraceHandle {
 pub struct Span<'a> {
     handle: Option<&'a TraceHandle>,
     id: u64,
+    trace_id: u64,
+    parent_id: u64,
     name: &'static str,
     detail: String,
     track: String,
@@ -233,6 +307,15 @@ pub struct Span<'a> {
 }
 
 impl Span<'_> {
+    /// The context a downstream hop should parent itself under: this
+    /// span's trace and span IDs. Inactive (all-zero) for no-op spans.
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: self.id,
+        }
+    }
+
     /// Attach free-form detail (overwrites any previous detail).
     ///
     /// No-op spans skip the formatting cost: pass a closure-produced string
@@ -267,6 +350,8 @@ impl Drop for Span<'_> {
             let end = clock::now_ns();
             handle.sink.record(TraceEvent {
                 id: self.id,
+                trace_id: self.trace_id,
+                parent_id: self.parent_id,
                 name: self.name,
                 detail: std::mem::take(&mut self.detail),
                 track: std::mem::take(&mut self.track),
@@ -349,6 +434,43 @@ mod tests {
     }
 
     #[test]
+    fn child_spans_inherit_trace_and_parent_from_context() {
+        let ring = Arc::new(RingRecorder::new(8));
+        let h = TraceHandle::new(ring.clone());
+        let ctx = {
+            let root = h.span("root");
+            let ctx = root.context();
+            assert_eq!(ctx.trace_id, ctx.span_id, "root opens its own trace");
+            assert!(ctx.is_active());
+            ctx
+        };
+        h.child_span("child", ctx).finish();
+        let events = ring.events();
+        let root = events.iter().find(|e| e.name == "root").unwrap();
+        let child = events.iter().find(|e| e.name == "child").unwrap();
+        assert_eq!(root.trace_id, root.id);
+        assert_eq!(root.parent_id, 0);
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent_id, root.id);
+        assert!(child.id != root.id);
+    }
+
+    #[test]
+    fn inactive_context_degrades_child_to_root_and_noop_context_is_inactive() {
+        let noop = TraceHandle::noop();
+        let s = noop.span("x");
+        assert!(!s.context().is_active());
+        drop(s);
+
+        let ring = Arc::new(RingRecorder::new(4));
+        let h = TraceHandle::new(ring.clone());
+        h.child_span("orphan", TraceContext::default()).finish();
+        let e = &ring.events()[0];
+        assert_eq!(e.trace_id, e.id, "inactive ctx starts a fresh trace");
+        assert_eq!(e.parent_id, 0);
+    }
+
+    #[test]
     fn ring_recorder_evicts_oldest() {
         let ring = Arc::new(RingRecorder::new(2));
         let h = TraceHandle::new(ring.clone());
@@ -370,6 +492,8 @@ mod loom_tests {
     fn event(name: &'static str) -> TraceEvent {
         TraceEvent {
             id: 0,
+            trace_id: 0,
+            parent_id: 0,
             name,
             detail: String::new(),
             track: String::new(),

@@ -18,6 +18,8 @@ fn event(
 ) -> TraceEvent {
     TraceEvent {
         id,
+        trace_id: 0,
+        parent_id: 0,
         name,
         detail: detail.to_string(),
         track: track.to_string(),

@@ -26,8 +26,12 @@ trap cleanup EXIT
 
 # Long-lived server: the demo rounds just keep the in-process stack warm
 # while the external site connects; we kill it when the smoke is done.
-"$BIN" serve --port 0 --listen 127.0.0.1:0 --rounds 400 --interval-ms 50 \
-    --events 200 --sites 2 > "$out" &
+# --fault-dup 1.0 fronts the collection listener with a proxy that
+# duplicates every frame, so the remote site's traffic deterministically
+# exercises the StaleEpoch retransmit path — and must show up as such in
+# the coordinator's lineage record.
+"$BIN" serve --port 0 --listen 127.0.0.1:0 --fault-dup 1.0 --rounds 400 \
+    --interval-ms 50 --events 200 --sites 2 > "$out" &
 pid=$!
 
 collect_addr=""
@@ -67,4 +71,15 @@ for counter in setstream_transport_connects_total setstream_transport_acks_sent_
     }
 done
 
-echo "net_smoke: OK (collector $collect_addr, http $http_addr)"
+# Lineage must attribute the duplicated frames: the coordinator's
+# /lineage record for the faulted collection names the retransmitting
+# site (id 100 — the demo's in-process sites are 0 and 1 and see no
+# faults, so a 100 inside retransmit_sites can only be the TCP site).
+lineage=$("$BIN" lineage --addr "$http_addr")
+echo "$lineage" | grep -Eq '"retransmit_sites":\[[^]]*100' || {
+    echo "net_smoke: FAIL — site 100 missing from lineage retransmit_sites" >&2
+    echo "$lineage" >&2
+    exit 1
+}
+
+echo "net_smoke: OK (collector $collect_addr, http $http_addr, lineage names site 100)"

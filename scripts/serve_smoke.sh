@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Quality-plane smoke: boot `setstream serve` on an ephemeral port, scrape
-# all three endpoints, and validate the /metrics body parses as Prometheus
+# every endpoint, and validate the /metrics body parses as Prometheus
 # exposition text (`setstream scrape` runs the strict parser and fails on
 # malformed output).
 #
@@ -51,5 +51,10 @@ fi
 
 # /trace — must be Chrome trace-event JSON.
 "$BIN" scrape --addr "$addr" --path /trace | grep -q '"traceEvents"'
+
+# /lineage — per-epoch provenance with committed collection rounds, and
+# the stream filter narrows the answer.
+"$BIN" lineage --addr "$addr" | grep -q '"committed":true'
+"$BIN" lineage --addr "$addr" --stream 0 | grep -q '"stream":0'
 
 echo "serve_smoke: OK (http://$addr)"

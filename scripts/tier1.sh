@@ -99,6 +99,18 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
         exit 1
     }
 
+    # And for distributed tracing: recording spans + the trace-context
+    # frame extension may slow a full site-cut → coordinator-commit
+    # collection cycle by at most 5% over the noop-trace path (lineage is
+    # always-on in both). Same 1.05 contract, 1.15 quick-noise ceiling.
+    t_overhead=$(sed -n 's/.*"tracing_overhead": \([0-9.]*\).*/\1/p' \
+        target/BENCH_obs.quick.json)
+    echo "    tracing+lineage overhead (traced vs noop collection): ${t_overhead}x"
+    awk -v o="$t_overhead" 'BEGIN { exit !(o != "" && o <= 1.15) }' || {
+        echo "tier-1: FAIL — tracing overhead ${t_overhead}x exceeds budget" >&2
+        exit 1
+    }
+
     # Perf gates keyed off the recorded host topology. The SIMD batch
     # path must beat per-update scalar ingest by ≥2x even in the noisy
     # quick bench (the full bench pins ≥4x insert-only / ≥2x mixed);
